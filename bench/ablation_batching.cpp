@@ -1,0 +1,56 @@
+// Ablation A1 — batching interval sweep (DESIGN.md §4).
+//
+// The paper fixes 5 ms batches; this sweep shows the trade-off the interval
+// controls: larger batches raise the conflict-free read fraction and
+// amortize protocol rounds (higher throughput at high client counts) at the
+// cost of added baseline latency.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+
+namespace {
+
+using namespace lsr;
+using namespace lsr::bench;
+
+constexpr TimeNs kIntervals[] = {0,
+                                 1 * kMillisecond,
+                                 2 * kMillisecond,
+                                 5 * kMillisecond,
+                                 10 * kMillisecond,
+                                 20 * kMillisecond};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  std::printf("Ablation: batch interval sweep, 256 clients, 10%% updates%s\n",
+              args.full ? " [--full]" : "");
+
+  Table table({"batch interval", "throughput/s", "read p95 (ms)",
+               "update p95 (ms)", "reads <= 2 RT"});
+  for (const TimeNs interval : kIntervals) {
+    RunConfig config;
+    config.system = interval == 0 ? System::kCrdt : System::kCrdtBatching;
+    config.batch_interval = interval;
+    config.clients = 256;
+    config.read_ratio = 0.9;
+    config.warmup = args.warmup();
+    config.measure = args.measure();
+    config.seed = args.seed;
+    const RunResult result = run_workload(config);
+    table.add_row({interval == 0 ? "off" : fmt_ms(interval, 0) + " ms",
+                   fmt_si(result.throughput_per_sec),
+                   fmt_double(result.percentile_read_ms(0.95), 2),
+                   fmt_double(result.percentile_update_ms(0.95), 2),
+                   fmt_percent(result.reads_within_rts(2))});
+  }
+  table.print(std::cout, args.csv);
+  std::printf(
+      "\nReading: batching trades baseline latency (~interval) for conflict\n"
+      "reduction; the paper's 5 ms setting already pushes reads <= 2 RT\n"
+      "above 97%%.\n");
+  return 0;
+}

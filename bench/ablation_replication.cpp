@@ -1,0 +1,46 @@
+// Ablation A2 — replication factor sweep (DESIGN.md §4).
+//
+// The paper evaluates three replicas; the protocol works for any majority
+// quorum system. Larger clusters pay more MERGE/PREPARE fan-out per command
+// but spread proposer load across more nodes.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+
+namespace {
+
+using namespace lsr;
+using namespace lsr::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  std::printf("Ablation: replication factor, 256 clients, 10%% updates%s\n",
+              args.full ? " [--full]" : "");
+
+  Table table({"replicas", "system", "throughput/s", "read p95 (ms)",
+               "update p95 (ms)", "reads <= 2 RT"});
+  for (const std::size_t replicas : {3u, 5u, 7u}) {
+    for (const System system : {System::kCrdt, System::kCrdtBatching}) {
+      RunConfig config;
+      config.system = system;
+      config.replicas = replicas;
+      config.clients = 256;
+      config.read_ratio = 0.9;
+      config.warmup = args.warmup();
+      config.measure = args.measure();
+      config.seed = args.seed;
+      const RunResult result = run_workload(config);
+      table.add_row({std::to_string(replicas), system_name(system),
+                     fmt_si(result.throughput_per_sec),
+                     fmt_double(result.percentile_read_ms(0.95), 2),
+                     fmt_double(result.percentile_update_ms(0.95), 2),
+                     fmt_percent(result.reads_within_rts(2))});
+    }
+  }
+  table.print(std::cout, args.csv);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 2 — "Read (top) and update (bottom) 95th percentile latency with
+// 10 % updates."
+//
+// Sweeps client counts at a 90 % read mix and prints the 95th-percentile
+// read and update latency (ms) for the four systems.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+
+namespace {
+
+using namespace lsr;
+using namespace lsr::bench;
+
+constexpr std::size_t kClientCounts[] = {1, 4, 16, 64, 256, 1024, 4096};
+constexpr System kSystems[] = {System::kCrdt, System::kCrdtBatching,
+                               System::kMultiPaxos, System::kRaft};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  std::printf("Figure 2: 95th percentile latency (ms), 10%% updates%s\n",
+              args.full ? " [--full]" : "");
+
+  Table reads({"clients", "CRDT Paxos", "CRDT Paxos w/batch", "Multi-Paxos",
+               "Raft"});
+  Table updates({"clients", "CRDT Paxos", "CRDT Paxos w/batch", "Multi-Paxos",
+                 "Raft"});
+  for (const std::size_t clients : kClientCounts) {
+    std::vector<std::string> read_row{std::to_string(clients)};
+    std::vector<std::string> update_row{std::to_string(clients)};
+    for (const System system : kSystems) {
+      RunConfig config;
+      config.system = system;
+      config.clients = clients;
+      config.read_ratio = 0.9;
+      config.warmup = args.warmup();
+      config.measure = args.measure();
+      config.seed = args.seed;
+      const RunResult result = run_workload(config);
+      read_row.push_back(fmt_double(result.percentile_read_ms(0.95), 2));
+      update_row.push_back(fmt_double(result.percentile_update_ms(0.95), 2));
+    }
+    reads.add_row(std::move(read_row));
+    updates.add_row(std::move(update_row));
+  }
+  std::printf("\n== read p95 (ms) ==\n");
+  reads.print(std::cout, args.csv);
+  std::printf("\n== update p95 (ms) ==\n");
+  updates.print(std::cout, args.csv);
+
+  std::printf(
+      "\nExpected shape (paper): CRDT Paxos read p95 sits slightly above the\n"
+      "leader-based systems (a small fraction of reads retries on update\n"
+      "conflicts); its update p95 stays consistently low (single round\n"
+      "trip); batching adds ~batch-interval to both but caps the tail.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 3 — "Round trips to process reads (w/o (top) and w/ batching
+// (bottom))."
+//
+// Cumulative distribution of the number of round trips a read needed before
+// a state was learned, for 16/32/64/128 clients at 10 % updates. Also checks
+// the paper's headline claim: with batching, more than 97 % of reads finish
+// within two round trips.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+
+namespace {
+
+using namespace lsr;
+using namespace lsr::bench;
+
+constexpr std::size_t kClientCounts[] = {16, 32, 64, 128};
+constexpr int kMaxRts = 10;
+
+void run_variant(const BenchArgs& args, System system, const char* title,
+                 double* min_within_two) {
+  std::printf("\n== %s ==\n", title);
+  std::vector<std::string> headers{"round trips"};
+  for (const std::size_t clients : kClientCounts)
+    headers.push_back(std::to_string(clients) + " clients");
+  Table table(std::move(headers));
+
+  std::vector<RunResult> results;
+  for (const std::size_t clients : kClientCounts) {
+    RunConfig config;
+    config.system = system;
+    config.clients = clients;
+    config.read_ratio = 0.9;
+    config.warmup = args.warmup();
+    config.measure = args.measure();
+    config.seed = args.seed;
+    results.push_back(run_workload(config));
+  }
+  for (int rts = 1; rts <= kMaxRts; ++rts) {
+    std::vector<std::string> row{"<= " + std::to_string(rts)};
+    for (const RunResult& result : results)
+      row.push_back(fmt_percent(result.reads_within_rts(rts)));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout, args.csv);
+  for (const RunResult& result : results)
+    *min_within_two = std::min(*min_within_two, result.reads_within_rts(2));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
+  std::printf(
+      "Figure 3: cumulative %% of reads by round trips needed, 10%% "
+      "updates%s\n",
+      args.full ? " [--full]" : "");
+
+  double unbatched_within_two = 1.0;
+  double batched_within_two = 1.0;
+  run_variant(args, System::kCrdt, "CRDT Paxos (no batching)",
+              &unbatched_within_two);
+  run_variant(args, System::kCrdtBatching, "CRDT Paxos (5 ms batching)",
+              &batched_within_two);
+
+  std::printf(
+      "\nPaper claim check: >97%% of reads within two round trips (with\n"
+      "batching). Measured (worst client count): %.1f%% -> %s\n",
+      batched_within_two * 100.0,
+      batched_within_two > 0.97 ? "REPRODUCED" : "NOT reproduced");
+  std::printf("Without batching the tail is heavier (worst: %.1f%% <= 2 RT),\n"
+              "matching the paper's top plot.\n",
+              unbatched_within_two * 100.0);
+  return 0;
+}

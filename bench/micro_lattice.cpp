@@ -1,0 +1,117 @@
+// Micro-benchmarks of the CRDT lattice operations (join, compare, wire
+// round-trip) — the per-message computational costs the protocol pays.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "lattice/gcounter.h"
+#include "lattice/gset.h"
+#include "lattice/orset.h"
+#include "lattice/pncounter.h"
+#include "lattice/semilattice.h"
+
+namespace {
+
+using namespace lsr;
+using namespace lsr::lattice;
+
+GCounter make_gcounter(std::size_t slots, std::uint64_t seed) {
+  Rng rng(seed);
+  GCounter counter(slots);
+  for (std::size_t i = 0; i < slots; ++i)
+    counter.increment(i, rng.next_below(1'000'000));
+  return counter;
+}
+
+void BM_GCounterJoin(benchmark::State& state) {
+  const auto slots = static_cast<std::size_t>(state.range(0));
+  const GCounter a = make_gcounter(slots, 1);
+  const GCounter b = make_gcounter(slots, 2);
+  for (auto _ : state) {
+    GCounter merged = a;
+    merged.join(b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_GCounterJoin)->Arg(3)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GCounterLeq(benchmark::State& state) {
+  const auto slots = static_cast<std::size_t>(state.range(0));
+  const GCounter a = make_gcounter(slots, 1);
+  const GCounter b = join_of(a, make_gcounter(slots, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.leq(b));
+  }
+}
+BENCHMARK(BM_GCounterLeq)->Arg(3)->Arg(64);
+
+void BM_GCounterEncodeDecode(benchmark::State& state) {
+  const auto slots = static_cast<std::size_t>(state.range(0));
+  const GCounter counter = make_gcounter(slots, 3);
+  for (auto _ : state) {
+    const Bytes wire = encode_to_bytes(counter);
+    benchmark::DoNotOptimize(decode_from_bytes<GCounter>(wire));
+  }
+}
+BENCHMARK(BM_GCounterEncodeDecode)->Arg(3)->Arg(64);
+
+void BM_PNCounterJoin(benchmark::State& state) {
+  PNCounter a(8);
+  PNCounter b(8);
+  Rng rng(4);
+  for (std::size_t i = 0; i < 8; ++i) {
+    a.increment(i, rng.next_below(1000));
+    b.decrement(i, rng.next_below(1000));
+  }
+  for (auto _ : state) {
+    PNCounter merged = a;
+    merged.join(b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_PNCounterJoin);
+
+void BM_GSetJoin(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  GSet<std::uint64_t> a;
+  GSet<std::uint64_t> b;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a.add(i * 2);
+    b.add(i * 2 + 1);
+  }
+  for (auto _ : state) {
+    GSet<std::uint64_t> merged = a;
+    merged.join(b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_GSetJoin)->Arg(16)->Arg(256);
+
+void BM_ORSetAdd(benchmark::State& state) {
+  ORSet<std::uint64_t> set;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    set.add(0, i++);
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_ORSetAdd);
+
+void BM_ORSetJoin(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  ORSet<std::uint64_t> a;
+  ORSet<std::uint64_t> b;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a.add(0, i);
+    b.add(1, i + n / 2);
+  }
+  for (auto _ : state) {
+    ORSet<std::uint64_t> merged = a;
+    merged.join(b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_ORSetJoin)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

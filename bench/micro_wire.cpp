@@ -1,0 +1,85 @@
+// Micro-benchmarks of the wire codec and full protocol-message round trips.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/wire.h"
+#include "core/messages.h"
+#include "lattice/gcounter.h"
+
+namespace {
+
+using namespace lsr;
+
+void BM_VarintEncode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::uint64_t> values(1024);
+  for (auto& v : values) v = rng.next_u64() >> rng.next_below(64);
+  for (auto _ : state) {
+    Encoder enc;
+    for (const auto v : values) enc.put_u64(v);
+    benchmark::DoNotOptimize(enc.bytes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintEncode);
+
+void BM_VarintDecode(benchmark::State& state) {
+  Rng rng(2);
+  Encoder enc;
+  for (int i = 0; i < 1024; ++i) enc.put_u64(rng.next_u64() >> rng.next_below(64));
+  const Bytes wire = std::move(enc).take();
+  for (auto _ : state) {
+    Decoder dec(wire);
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 1024; ++i) sum += dec.get_u64();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_VarintDecode);
+
+void BM_PrepareMessageRoundTrip(benchmark::State& state) {
+  lattice::GCounter payload(3);
+  payload.increment(0, 123456);
+  payload.increment(1, 7);
+  payload.increment(2, 999999999);
+  const core::Prepare<lattice::GCounter> prepare{42, 3, core::Round{17, 12345},
+                                                 payload};
+  for (auto _ : state) {
+    const Bytes wire = core::encode_message<lattice::GCounter>(
+        core::Message<lattice::GCounter>(prepare));
+    Decoder dec(wire);
+    benchmark::DoNotOptimize(core::decode_message<lattice::GCounter>(dec));
+  }
+}
+BENCHMARK(BM_PrepareMessageRoundTrip);
+
+void BM_MergeMessageRoundTrip(benchmark::State& state) {
+  lattice::GCounter payload(3);
+  payload.increment(0, 1);
+  const core::Merge<lattice::GCounter> merge{7, payload};
+  for (auto _ : state) {
+    const Bytes wire = core::encode_message<lattice::GCounter>(
+        core::Message<lattice::GCounter>(merge));
+    Decoder dec(wire);
+    benchmark::DoNotOptimize(core::decode_message<lattice::GCounter>(dec));
+  }
+}
+BENCHMARK(BM_MergeMessageRoundTrip);
+
+void BM_StringRoundTrip(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    Encoder enc;
+    enc.put_string(payload);
+    Decoder dec(enc.bytes());
+    benchmark::DoNotOptimize(dec.get_string());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StringRoundTrip)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Continuous availability demo (the paper's Sect. 4.2 story): a replica is
+// killed mid-run and — because there is no leader — the service keeps
+// processing reads and updates without any election gap. The dead replica
+// later recovers (crash-recovery model: its payload state survived) and
+// converges by participating again.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/workload.h"
+#include "core/ops.h"
+#include "core/replica.h"
+#include "lattice/gcounter.h"
+#include "sim/simulator.h"
+
+using namespace lsr;
+
+namespace {
+using CounterReplica = core::Replica<lattice::GCounter>;
+}
+
+int main() {
+  std::printf("failure demo: replica 2 crashes at t=2s, recovers at t=4s\n\n");
+  sim::Simulator sim(/*seed=*/11);
+  bench::Collector collector(0, 3600 * kSecond);
+
+  const std::vector<NodeId> replicas{0, 1, 2};
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    sim.add_node([&replicas](net::Context& ctx) {
+      return std::make_unique<CounterReplica>(
+          ctx, replicas, core::ProtocolConfig{}, core::gcounter_ops());
+    });
+  }
+  constexpr std::size_t kClients = 9;
+  std::vector<NodeId> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    const NodeId target = replicas[i % replicas.size()];
+    clients.push_back(sim.add_node([&, target, i](net::Context& ctx) {
+      auto client = std::make_unique<bench::CounterClient>(
+          ctx, target, /*read_ratio=*/0.9, 500 + i, &collector,
+          /*stop_time=*/6 * kSecond);
+      // Clients of the dead replica reconnect to a survivor.
+      client->enable_retry(200 * kMillisecond, 2,
+                           static_cast<NodeId>(replicas.size()));
+      return client;
+    }));
+  }
+
+  sim.call_at(2 * kSecond, [&] { sim.set_down(2, true); });
+  sim.call_at(4 * kSecond, [&] { sim.set_down(2, false); });
+
+  std::uint64_t last_completed = 0;
+  for (int second = 1; second <= 6; ++second) {
+    sim.run_until(second * kSecond);
+    std::uint64_t completed = 0;
+    for (const NodeId id : clients)
+      completed += sim.endpoint_as<bench::CounterClient>(id).completed();
+    std::printf("t=%ds  +%llu requests this second   replica values: ",
+                second,
+                static_cast<unsigned long long>(completed - last_completed));
+    for (const NodeId id : replicas) {
+      if (sim.is_down(id)) {
+        std::printf("[down] ");
+      } else {
+        std::printf("%llu ", static_cast<unsigned long long>(
+                                 sim.endpoint_as<CounterReplica>(id)
+                                     .acceptor()
+                                     .state()
+                                     .value()));
+      }
+    }
+    std::printf("\n");
+    last_completed = completed;
+  }
+
+  sim.run_to_completion();
+  std::printf("\nafter drain: ");
+  std::uint64_t reference = 0;
+  bool converged = true;
+  for (const NodeId id : replicas) {
+    const auto value =
+        sim.endpoint_as<CounterReplica>(id).acceptor().state().value();
+    std::printf("replica %u = %llu  ", id,
+                static_cast<unsigned long long>(value));
+    if (id == 0)
+      reference = value;
+    else if (value != reference)
+      converged = false;
+  }
+  std::printf("\nthe recovered replica converged: %s\n",
+              converged ? "YES" : "no (needs more traffic to re-merge)");
+  // Progress through the failure is the point of the demo:
+  std::printf("service stayed available throughout -> %s\n",
+              last_completed > 0 ? "OK" : "WRONG");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Key-value store: per-key linearizable CRDT counters over three replicas —
+// the paper's "fine-granular scale" deployment (one protocol instance per
+// key, as in Scalaris). A scripted client maintains view counters for a set
+// of URLs through different replicas and reads them back linearizably.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ops.h"
+#include "kv/kv_store.h"
+#include "lattice/gcounter.h"
+#include "rsm/client_msg.h"
+#include "sim/simulator.h"
+
+using namespace lsr;
+
+namespace {
+
+using Store = kv::KvStore<lattice::GCounter>;
+
+struct Step {
+  std::string key;
+  bool is_read = false;
+  NodeId replica = 0;
+};
+
+class UrlClient final : public net::Endpoint {
+ public:
+  UrlClient(net::Context& ctx, std::vector<Step> steps)
+      : ctx_(ctx), steps_(std::move(steps)) {}
+
+  void on_start() override { submit(); }
+
+  void on_message(NodeId, const Bytes& data) override {
+    Decoder dec(data);
+    if (dec.get_u8() != kv::kEnvelopeTag) return;
+    const std::string key = dec.get_string();
+    const Bytes inner = dec.get_bytes();
+    Decoder inner_dec(inner);
+    if (static_cast<rsm::ClientTag>(inner_dec.get_u8()) ==
+        rsm::ClientTag::kQueryDone) {
+      const auto done = rsm::QueryDone::decode(inner_dec);
+      Decoder result(done.result);
+      read_results[key] = result.get_u64();
+      std::printf("  read %-12s -> %llu (via replica %u)\n", key.c_str(),
+                  static_cast<unsigned long long>(read_results[key]),
+                  steps_[index_].replica);
+    }
+    ++index_;
+    submit();
+  }
+
+  std::map<std::string, std::uint64_t> read_results;
+
+ private:
+  void submit() {
+    if (index_ >= steps_.size()) return;
+    const Step& step = steps_[index_];
+    Encoder inner;
+    if (step.is_read) {
+      rsm::ClientQuery{make_request_id(ctx_.self(), seq_++), 0, {}}.encode(
+          inner);
+    } else {
+      rsm::ClientUpdate{make_request_id(ctx_.self(), seq_++), 0,
+                        core::encode_increment_args(1)}
+          .encode(inner);
+    }
+    ctx_.send(step.replica, kv::make_envelope(step.key, inner.bytes()));
+  }
+
+  net::Context& ctx_;
+  std::vector<Step> steps_;
+  std::size_t index_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("kv store: per-URL linearizable view counters, 3 replicas\n");
+  sim::Simulator sim(/*seed=*/23);
+  const std::vector<NodeId> replicas{0, 1, 2};
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    sim.add_node([&replicas](net::Context& ctx) {
+      return std::make_unique<Store>(ctx, replicas, core::ProtocolConfig{},
+                                     core::gcounter_ops());
+    });
+  }
+
+  // Views arrive at whatever replica is closest; reads are linearizable
+  // regardless of which replica serves them.
+  std::vector<Step> script;
+  const std::vector<std::string> urls{"/home", "/about", "/pricing"};
+  const int views[] = {5, 2, 7};
+  for (std::size_t u = 0; u < urls.size(); ++u)
+    for (int v = 0; v < views[u]; ++v)
+      script.push_back({urls[u], false, static_cast<NodeId>(v % 3)});
+  for (std::size_t u = 0; u < urls.size(); ++u)
+    script.push_back({urls[u], true, static_cast<NodeId>((u + 1) % 3)});
+
+  const NodeId client = sim.add_node([&script](net::Context& ctx) {
+    return std::make_unique<UrlClient>(ctx, script);
+  });
+  sim.run_to_completion();
+
+  const auto& results = sim.endpoint_as<UrlClient>(client).read_results;
+  bool ok = true;
+  for (std::size_t u = 0; u < urls.size(); ++u)
+    ok = ok && results.count(urls[u]) &&
+         results.at(urls[u]) == static_cast<std::uint64_t>(views[u]);
+  std::printf("per-key counts correct across replicas -> %s\n",
+              ok ? "OK" : "WRONG");
+  std::printf("keys hosted on replica 0: %zu (created on demand)\n",
+              sim.endpoint_as<Store>(0).key_count());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// Quickstart: a linearizable replicated G-Counter on three replicas.
+//
+// Demonstrates the core public API:
+//   * lsr::core::Replica<L>  — a protocol replica for any CRDT lattice L,
+//   * lsr::core::gcounter_ops() — the registered update/query functions,
+//   * lsr::sim::Simulator   — the deterministic cluster host,
+//   * the client wire protocol (rsm::ClientUpdate / ClientQuery).
+//
+// A scripted client submits five increments (each completes in a single
+// round trip, no synchronization) and then one linearizable read, which must
+// observe all five — the paper's Update Visibility condition.
+#include <cstdio>
+#include <memory>
+
+#include "core/ops.h"
+#include "core/replica.h"
+#include "lattice/gcounter.h"
+#include "rsm/client_msg.h"
+#include "sim/simulator.h"
+
+using namespace lsr;
+
+namespace {
+
+// A minimal scripted client: submit `n` increments back-to-back, then one
+// read, then stop.
+class ScriptedClient final : public net::Endpoint {
+ public:
+  ScriptedClient(net::Context& ctx, NodeId replica, int increments)
+      : ctx_(ctx), replica_(replica), remaining_(increments) {}
+
+  void on_start() override { next(); }
+
+  void on_message(NodeId, const Bytes& data) override {
+    Decoder dec(data);
+    const auto tag = static_cast<rsm::ClientTag>(dec.get_u8());
+    if (tag == rsm::ClientTag::kUpdateDone) {
+      std::printf("  update #%d acknowledged at t=%.2f ms\n",
+                  done_ + 1, ms(ctx_.now()));
+      ++done_;
+      next();
+    } else if (tag == rsm::ClientTag::kQueryDone) {
+      const auto done = rsm::QueryDone::decode(dec);
+      value = core::decode_counter_result(done.result);
+      std::printf("  linearizable read -> %llu at t=%.2f ms\n",
+                  static_cast<unsigned long long>(value), ms(ctx_.now()));
+    }
+  }
+
+  std::uint64_t value = 0;
+
+ private:
+  static double ms(TimeNs t) { return static_cast<double>(t) / kMillisecond; }
+
+  void next() {
+    Encoder enc;
+    if (done_ < remaining_) {
+      rsm::ClientUpdate update{make_request_id(ctx_.self(), seq_++), 0,
+                               core::encode_increment_args(1)};
+      update.encode(enc);
+    } else {
+      rsm::ClientQuery query{make_request_id(ctx_.self(), seq_++), 0, {}};
+      query.encode(enc);
+    }
+    ctx_.send(replica_, std::move(enc).take());
+  }
+
+  net::Context& ctx_;
+  NodeId replica_;
+  int remaining_;
+  int done_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("quickstart: linearizable replicated G-Counter, 3 replicas\n");
+  sim::Simulator sim(/*seed=*/42);
+
+  // Three replicas hosting the CRDT Paxos protocol over a G-Counter.
+  const std::vector<NodeId> replicas{0, 1, 2};
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    sim.add_node([&replicas](net::Context& ctx) {
+      return std::make_unique<core::Replica<lattice::GCounter>>(
+          ctx, replicas, core::ProtocolConfig{}, core::gcounter_ops());
+    });
+  }
+
+  // One client, wired to replica 0.
+  const NodeId client = sim.add_node([](net::Context& ctx) {
+    return std::make_unique<ScriptedClient>(ctx, /*replica=*/0,
+                                            /*increments=*/5);
+  });
+
+  sim.run_to_completion();
+
+  auto& scripted = sim.endpoint_as<ScriptedClient>(client);
+  std::printf("final read: %llu (expected 5) -> %s\n",
+              static_cast<unsigned long long>(scripted.value),
+              scripted.value == 5 ? "OK" : "WRONG");
+
+  // Every replica's payload state converged in place — no log anywhere.
+  for (const NodeId id : replicas) {
+    const auto& replica =
+        sim.endpoint_as<core::Replica<lattice::GCounter>>(id);
+    std::printf("replica %u payload value: %llu (state: %zu bytes)\n", id,
+                static_cast<unsigned long long>(
+                    replica.acceptor().state().value()),
+                replica.acceptor().state().byte_size());
+  }
+  return scripted.value == 5 ? 0 : 1;
+}

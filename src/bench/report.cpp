@@ -1,0 +1,102 @@
+#include "bench/report.h"
+
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+#include "common/assert.h"
+
+namespace lsr::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LSR_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out, bool csv) const {
+  if (csv) {
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      out << (i ? "," : "") << headers_[i];
+    out << "\n";
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size(); ++i)
+        out << (i ? "," : "") << row[i];
+      out << "\n";
+    }
+    return;
+  }
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << (i ? "  " : "");
+      out << cells[i];
+      for (std::size_t pad = cells[i].size(); pad < widths[i]; ++pad)
+        out << ' ';
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_si(double value) {
+  char buf[64];
+  if (value >= 1e6)
+    std::snprintf(buf, sizeof buf, "%.2fM", value / 1e6);
+  else if (value >= 1e3)
+    std::snprintf(buf, sizeof buf, "%.1fk", value / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.1f", value);
+  return buf;
+}
+
+std::string fmt_ms(TimeNs ns, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f",
+                precision, static_cast<double>(ns) / kMillisecond);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+TimeNs BenchArgs::warmup() const {
+  return full ? 2 * kSecond : 500 * kMillisecond;
+}
+
+TimeNs BenchArgs::measure() const { return full ? 10 * kSecond : 2 * kSecond; }
+
+BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      args.csv = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  return args;
+}
+
+}  // namespace lsr::bench

@@ -1,0 +1,45 @@
+// ASCII table / CSV reporting and shared CLI flags for the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lsr::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Aligned ASCII (csv == false) or comma-separated (csv == true).
+  void print(std::ostream& out, bool csv = false) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_double(double value, int precision = 1);
+// 12345.6 -> "12.3k" etc.
+std::string fmt_si(double value);
+std::string fmt_ms(TimeNs ns, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 1);
+
+// Common CLI: --full (longer runs), --csv, --seed N.
+struct BenchArgs {
+  bool full = false;
+  bool csv = false;
+  std::uint64_t seed = 1;
+  // Measurement durations derived from `full`.
+  TimeNs warmup() const;
+  TimeNs measure() const;
+};
+
+BenchArgs parse_bench_args(int argc, char** argv);
+
+}  // namespace lsr::bench

@@ -1,0 +1,157 @@
+#include "bench/runner.h"
+
+#include <memory>
+
+#include "bench/workload.h"
+#include "common/assert.h"
+#include "core/ops.h"
+#include "core/replica.h"
+#include "lattice/gcounter.h"
+#include "sim/simulator.h"
+
+namespace lsr::bench {
+
+const char* system_name(System system) {
+  switch (system) {
+    case System::kCrdt: return "CRDT Paxos";
+    case System::kCrdtBatching: return "CRDT Paxos w/batching";
+    case System::kMultiPaxos: return "Multi-Paxos";
+    case System::kRaft: return "Raft";
+  }
+  return "?";
+}
+
+double RunResult::reads_within_rts(int max_rts) const {
+  std::uint64_t total = 0;
+  std::uint64_t within = 0;
+  for (std::size_t i = 0; i < read_round_trips.size(); ++i) {
+    total += read_round_trips[i];
+    if (static_cast<int>(i) <= max_rts) within += read_round_trips[i];
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(within) / static_cast<double>(total);
+}
+
+RunResult run_workload(const RunConfig& config) {
+  LSR_EXPECTS(config.replicas >= 1);
+  using lattice::GCounter;
+  using CrdtReplica = core::Replica<GCounter>;
+
+  sim::NetworkConfig net = config.net;
+  net.lossy_node_limit = static_cast<NodeId>(config.replicas);
+  sim::Simulator sim(config.seed, net, config.node);
+
+  const TimeNs end = config.warmup + config.measure;
+  Collector collector(config.warmup, end, config.series_bucket);
+
+  std::vector<NodeId> replica_ids(config.replicas);
+  for (std::size_t i = 0; i < config.replicas; ++i)
+    replica_ids[i] = static_cast<NodeId>(i);
+
+  const bool is_crdt =
+      config.system == System::kCrdt || config.system == System::kCrdtBatching;
+
+  core::ProtocolConfig protocol = config.protocol;
+  protocol.batch_interval =
+      config.system == System::kCrdtBatching ? config.batch_interval : 0;
+
+  for (std::size_t i = 0; i < config.replicas; ++i) {
+    switch (config.system) {
+      case System::kCrdt:
+      case System::kCrdtBatching:
+        sim.add_node([&replica_ids, protocol](net::Context& ctx) {
+          return std::make_unique<CrdtReplica>(ctx, replica_ids, protocol,
+                                               core::gcounter_ops());
+        });
+        break;
+      case System::kMultiPaxos:
+        sim.add_node([&replica_ids, &config](net::Context& ctx) {
+          return std::make_unique<paxos::MultiPaxosReplica>(ctx, replica_ids,
+                                                            config.paxos);
+        });
+        break;
+      case System::kRaft:
+        sim.add_node([&replica_ids, &config, i](net::Context& ctx) {
+          raft::RaftConfig raft_config = config.raft;
+          raft_config.rng_seed = config.seed * 31 + i;
+          return std::make_unique<raft::RaftReplica>(ctx, replica_ids,
+                                                     raft_config);
+        });
+        break;
+    }
+  }
+
+  // Round-trip accounting hook (CRDT only), gated on the measurement window.
+  if (is_crdt) {
+    for (std::size_t i = 0; i < config.replicas; ++i) {
+      auto& replica = sim.endpoint_as<CrdtReplica>(replica_ids[i]);
+      replica.proposer().hooks.on_query_round_trips =
+          [&collector, &sim](int rts) {
+            collector.record_read_round_trips(sim.now(), rts);
+          };
+    }
+  }
+
+  // Closed-loop clients, spread evenly over the replicas (the paper's
+  // clients each talk to one of the three replicas).
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    const NodeId target = replica_ids[i % config.replicas];
+    sim.add_node([&, target, i](net::Context& ctx) {
+      auto client = std::make_unique<CounterClient>(
+          ctx, target, config.read_ratio, config.seed * 7919 + i, &collector);
+      if (config.client_retry_timeout > 0)
+        client->enable_retry(config.client_retry_timeout,
+                             config.client_failover_after,
+                             static_cast<NodeId>(config.replicas));
+      return client;
+    });
+  }
+
+  if (config.fail_node_at > 0) {
+    sim.call_at(config.fail_node_at,
+                [&sim, &config] { sim.set_down(config.fail_node, true); });
+  }
+
+  // Baselines need their leader elected before the warmup ends; give every
+  // system the same lead-in (part of the warmup window).
+  sim.run_until(end);
+
+  RunResult result;
+  result.throughput_per_sec = collector.throughput_per_sec();
+  result.completed = collector.completed();
+  result.read_latency = collector.read_latency();
+  result.update_latency = collector.update_latency();
+  result.read_round_trips = collector.read_round_trips();
+  result.read_series = collector.read_series();
+  result.update_series = collector.update_series();
+  result.messages_sent = sim.messages_sent();
+  result.bytes_sent = sim.bytes_sent();
+
+  if (is_crdt) {
+    for (std::size_t i = 0; i < config.replicas; ++i) {
+      const auto& stats =
+          sim.endpoint_as<CrdtReplica>(replica_ids[i]).proposer().stats();
+      result.learned_consistent_quorum += stats.learned_consistent_quorum;
+      result.learned_by_vote += stats.learned_by_vote;
+      result.nacks += stats.nacks_received;
+      result.prepare_attempts += stats.prepare_attempts;
+    }
+  } else if (config.system == System::kMultiPaxos) {
+    for (std::size_t i = 0; i < config.replicas; ++i) {
+      const auto& stats =
+          sim.endpoint_as<paxos::MultiPaxosReplica>(replica_ids[i]).stats();
+      result.peak_log_entries =
+          std::max(result.peak_log_entries, stats.peak_log_entries);
+    }
+  } else {
+    for (std::size_t i = 0; i < config.replicas; ++i) {
+      const auto& stats =
+          sim.endpoint_as<raft::RaftReplica>(replica_ids[i]).stats();
+      result.peak_log_entries =
+          std::max(result.peak_log_entries, stats.peak_log_entries);
+    }
+  }
+  return result;
+}
+
+}  // namespace lsr::bench

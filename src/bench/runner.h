@@ -1,0 +1,95 @@
+// Workload runner: builds a simulated cluster of the chosen system (CRDT
+// Paxos with or without batching, Multi-Paxos, Raft) plus closed-loop
+// clients, runs it for a configured virtual duration and returns the
+// measurements every figure of the paper is derived from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "paxos/multipaxos.h"
+#include "raft/raft.h"
+#include "sim/network.h"
+
+namespace lsr::bench {
+
+enum class System { kCrdt, kCrdtBatching, kMultiPaxos, kRaft };
+
+const char* system_name(System system);
+
+struct RunConfig {
+  System system = System::kCrdt;
+  std::size_t replicas = 3;
+  std::size_t clients = 64;
+  double read_ratio = 0.9;
+
+  TimeNs warmup = 500 * kMillisecond;
+  TimeNs measure = 2 * kSecond;
+  std::uint64_t seed = 1;
+
+  // CRDT Paxos knobs. batch_interval applies to kCrdtBatching only.
+  core::ProtocolConfig protocol;
+  TimeNs batch_interval = 5 * kMillisecond;
+
+  paxos::PaxosConfig paxos;
+  raft::RaftConfig raft;
+
+  sim::NetworkConfig net;    // lossy_node_limit is set by the runner
+  sim::NodeConfig node;
+
+  // Fig. 4: crash this replica at this virtual time (0 = no failure).
+  TimeNs fail_node_at = 0;
+  NodeId fail_node = 2;
+
+  // Client retransmission/failover (Basho-Bench-style reconnects); used by
+  // the failure experiment so clients of the dead replica keep running.
+  // 0 = disabled.
+  TimeNs client_retry_timeout = 0;
+  int client_failover_after = 3;
+
+  // Fig. 4: per-bucket latency time series resolution (0 = off).
+  TimeNs series_bucket = 0;
+};
+
+struct RunResult {
+  double throughput_per_sec = 0;
+  std::uint64_t completed = 0;
+  Histogram read_latency;
+  Histogram update_latency;
+
+  // CRDT Paxos only: distribution of round trips per read (index = RTs) and
+  // learn-path counters.
+  std::vector<std::uint64_t> read_round_trips;
+  std::uint64_t learned_consistent_quorum = 0;
+  std::uint64_t learned_by_vote = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t prepare_attempts = 0;
+
+  // Baselines: log growth high-water mark.
+  std::uint64_t peak_log_entries = 0;
+
+  // Fig. 4 time series (bucket index -> latency histogram).
+  std::vector<Histogram> read_series;
+  std::vector<Histogram> update_series;
+
+  // Wire statistics over the whole run (including warmup).
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+
+  double percentile_read_ms(double q) const {
+    return static_cast<double>(read_latency.percentile(q)) / kMillisecond;
+  }
+  double percentile_update_ms(double q) const {
+    return static_cast<double>(update_latency.percentile(q)) / kMillisecond;
+  }
+
+  // Fraction of reads that completed within `max_rts` round trips.
+  double reads_within_rts(int max_rts) const;
+};
+
+RunResult run_workload(const RunConfig& config);
+
+}  // namespace lsr::bench

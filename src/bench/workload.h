@@ -1,0 +1,204 @@
+// Closed-loop workload client and measurement collector shared by the
+// benchmark harness and the integration tests. The client mimics the paper's
+// Basho Bench setup: each client independently submits a request to its
+// (fixed) replica and waits for the reply before submitting the next; the
+// read/update mix is Bernoulli-sampled per request.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/context.h"
+#include "rsm/client_msg.h"
+
+namespace lsr::bench {
+
+// Aggregates measurements inside [measure_start, measure_end) of virtual
+// time; optionally maintains a per-bucket time series (Fig. 4) and the
+// read round-trip distribution (Fig. 3).
+class Collector {
+ public:
+  Collector(TimeNs measure_start, TimeNs measure_end,
+            TimeNs series_bucket = 0)
+      : measure_start_(measure_start),
+        measure_end_(measure_end),
+        series_bucket_(series_bucket) {
+    if (series_bucket_ > 0) {
+      const auto buckets = static_cast<std::size_t>(
+          (measure_end_ - 0) / series_bucket_ + 1);
+      read_series_.resize(buckets);
+      update_series_.resize(buckets);
+    }
+  }
+
+  void record(bool is_read, TimeNs start, TimeNs end) {
+    if (start < measure_start_ || start >= measure_end_) return;
+    const TimeNs latency = end - start;
+    (is_read ? read_latency_ : update_latency_).record(latency);
+    if (series_bucket_ > 0) {
+      const auto bucket = static_cast<std::size_t>(end / series_bucket_);
+      auto& series = is_read ? read_series_ : update_series_;
+      if (bucket < series.size()) series[bucket].record(latency);
+    }
+  }
+
+  void record_read_round_trips(TimeNs now, int round_trips) {
+    if (now < measure_start_ || now >= measure_end_) return;
+    if (round_trips < 0) round_trips = 0;
+    if (static_cast<std::size_t>(round_trips) >= read_rts_.size())
+      read_rts_.resize(static_cast<std::size_t>(round_trips) + 1, 0);
+    ++read_rts_[static_cast<std::size_t>(round_trips)];
+  }
+
+  const Histogram& read_latency() const { return read_latency_; }
+  const Histogram& update_latency() const { return update_latency_; }
+  const std::vector<std::uint64_t>& read_round_trips() const { return read_rts_; }
+  const std::vector<Histogram>& read_series() const { return read_series_; }
+  const std::vector<Histogram>& update_series() const { return update_series_; }
+
+  std::uint64_t completed() const {
+    return read_latency_.count() + update_latency_.count();
+  }
+
+  double throughput_per_sec() const {
+    const double window_sec =
+        static_cast<double>(measure_end_ - measure_start_) / kSecond;
+    return window_sec <= 0 ? 0.0
+                           : static_cast<double>(completed()) / window_sec;
+  }
+
+  TimeNs measure_start() const { return measure_start_; }
+  TimeNs measure_end() const { return measure_end_; }
+
+ private:
+  TimeNs measure_start_;
+  TimeNs measure_end_;
+  TimeNs series_bucket_;
+  Histogram read_latency_;
+  Histogram update_latency_;
+  std::vector<std::uint64_t> read_rts_;
+  std::vector<Histogram> read_series_;
+  std::vector<Histogram> update_series_;
+};
+
+// Closed-loop client endpoint. Works against any of the three systems (they
+// all speak rsm::client_msg). op 0 is "increment by 1" / "read value".
+class CounterClient final : public net::Endpoint {
+ public:
+  // stop_time == 0: submit forever (performance runs end by stopping the
+  // simulation); > 0: submit no new request at/after that virtual time, so
+  // the simulation can drain to quiescence.
+  CounterClient(net::Context& ctx, NodeId replica, double read_ratio,
+                std::uint64_t seed, Collector* collector,
+                TimeNs stop_time = 0)
+      : ctx_(ctx),
+        replica_(replica),
+        read_ratio_(read_ratio),
+        rng_(seed),
+        collector_(collector),
+        stop_time_(stop_time) {}
+
+  // Enables request retransmission (same request id) after `timeout`; after
+  // `failover_after` consecutive timeouts the client reconnects to the next
+  // replica of `replica_count` — Basho-Bench-style behaviour used in the
+  // failure experiments. The systems are responsible for dedup (baselines
+  // replicate per-client sessions; CRDT updates may double-apply, which is
+  // why correctness tests keep retries off — see DESIGN.md).
+  void enable_retry(TimeNs timeout, int failover_after,
+                    NodeId replica_count) {
+    retry_timeout_ = timeout;
+    failover_after_ = failover_after;
+    replica_count_ = replica_count;
+  }
+
+  void on_start() override { submit_next(); }
+
+  void on_message(NodeId from, const Bytes& data) override {
+    (void)from;
+    Decoder dec(data);
+    const std::uint8_t tag = dec.get_u8();
+    RequestId request = 0;
+    if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kUpdateDone)) {
+      request = rsm::UpdateDone::decode(dec).request;
+    } else if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kQueryDone)) {
+      const auto done = rsm::QueryDone::decode(dec);
+      request = done.request;
+      last_read_value_ = done.result;
+    } else {
+      return;  // not for us
+    }
+    if (request != inflight_request_) return;  // stale (e.g. pre-recovery)
+    if (retry_timer_ != net::kInvalidTimer) {
+      ctx_.cancel_timer(retry_timer_);
+      retry_timer_ = net::kInvalidTimer;
+    }
+    timeouts_in_a_row_ = 0;
+    if (collector_ != nullptr)
+      collector_->record(inflight_is_read_, inflight_start_, ctx_.now());
+    ++completed_;
+    submit_next();
+  }
+
+  std::uint64_t completed() const { return completed_; }
+  const Bytes& last_read_value() const { return last_read_value_; }
+
+ private:
+  void submit_next() {
+    if (stop_time_ > 0 && ctx_.now() >= stop_time_) return;
+    inflight_is_read_ = rng_.next_bool(read_ratio_);
+    inflight_start_ = ctx_.now();
+    inflight_request_ = make_request_id(ctx_.self(), next_counter_++);
+    transmit();
+  }
+
+  void transmit() {
+    Encoder enc;
+    if (inflight_is_read_) {
+      rsm::ClientQuery query{inflight_request_, 0, {}};
+      query.encode(enc);
+    } else {
+      Encoder args;
+      args.put_u64(1);
+      rsm::ClientUpdate update{inflight_request_, 0, std::move(args).take()};
+      update.encode(enc);
+    }
+    ctx_.send(replica_, std::move(enc).take());
+    if (retry_timeout_ > 0) {
+      retry_timer_ = ctx_.set_timer(retry_timeout_, 0, [this] {
+        retry_timer_ = net::kInvalidTimer;
+        ++timeouts_in_a_row_;
+        if (failover_after_ > 0 && timeouts_in_a_row_ >= failover_after_ &&
+            replica_count_ > 1) {
+          replica_ = (replica_ + 1) % replica_count_;
+          timeouts_in_a_row_ = 0;
+        }
+        transmit();
+      });
+    }
+  }
+
+  net::Context& ctx_;
+  NodeId replica_;
+  double read_ratio_;
+  Rng rng_;
+  Collector* collector_;
+  TimeNs stop_time_;
+  TimeNs retry_timeout_ = 0;
+  int failover_after_ = 0;
+  NodeId replica_count_ = 0;
+  int timeouts_in_a_row_ = 0;
+  net::TimerId retry_timer_ = net::kInvalidTimer;
+  RequestId inflight_request_ = 0;
+  bool inflight_is_read_ = false;
+  TimeNs inflight_start_ = 0;
+  std::uint64_t next_counter_ = 0;
+  std::uint64_t completed_ = 0;
+  Bytes last_read_value_;
+};
+
+}  // namespace lsr::bench

@@ -1,0 +1,38 @@
+// Assertion macros in the spirit of the Core Guidelines' Expects()/Ensures():
+// cheap, always-on invariant checks that abort with a readable message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lsr::detail {
+
+[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "[lsr] %s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace lsr::detail
+
+// Invariant that must hold in all builds (protocol safety depends on it).
+#define LSR_ASSERT(expr)                                                \
+  ((expr) ? (void)0                                                     \
+          : ::lsr::detail::assert_fail("assertion", #expr, __FILE__, __LINE__))
+
+// Precondition on a public interface.
+#define LSR_EXPECTS(expr)                                                  \
+  ((expr) ? (void)0                                                       \
+          : ::lsr::detail::assert_fail("precondition", #expr, __FILE__, __LINE__))
+
+// Postcondition on a public interface.
+#define LSR_ENSURES(expr)                                                   \
+  ((expr) ? (void)0                                                        \
+          : ::lsr::detail::assert_fail("postcondition", #expr, __FILE__, __LINE__))
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define LSR_DASSERT(expr) ((void)0)
+#else
+#define LSR_DASSERT(expr) LSR_ASSERT(expr)
+#endif

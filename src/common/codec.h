@@ -1,0 +1,52 @@
+// Wire codecs for primitive element types, used by the container CRDTs
+// (GSet<T>, ORSet<T>, ...) to serialize their elements. Extend by overloading
+// wire_put / wire_get for your own element type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/wire.h"
+
+namespace lsr {
+
+inline void wire_put(Encoder& enc, std::uint64_t v) { enc.put_u64(v); }
+inline void wire_put(Encoder& enc, std::uint32_t v) { enc.put_u32(v); }
+inline void wire_put(Encoder& enc, std::int64_t v) { enc.put_i64(v); }
+inline void wire_put(Encoder& enc, const std::string& v) { enc.put_string(v); }
+
+template <typename T>
+T wire_get(Decoder& dec);
+
+template <>
+inline std::uint64_t wire_get<std::uint64_t>(Decoder& dec) {
+  return dec.get_u64();
+}
+template <>
+inline std::uint32_t wire_get<std::uint32_t>(Decoder& dec) {
+  return dec.get_u32();
+}
+template <>
+inline std::int64_t wire_get<std::int64_t>(Decoder& dec) {
+  return dec.get_i64();
+}
+template <>
+inline std::string wire_get<std::string>(Decoder& dec) {
+  return dec.get_string();
+}
+
+template <typename A, typename B>
+void wire_put(Encoder& enc, const std::pair<A, B>& p) {
+  wire_put(enc, p.first);
+  wire_put(enc, p.second);
+}
+
+// Concept: a type with wire_put / wire_get overloads available.
+template <typename T>
+concept WireCodable = requires(Encoder& enc, Decoder& dec, const T& value) {
+  wire_put(enc, value);
+  { wire_get<T>(dec) } -> std::same_as<T>;
+};
+
+}  // namespace lsr

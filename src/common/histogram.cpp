@@ -1,0 +1,96 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.h"
+
+namespace lsr {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < kUnitBuckets) return static_cast<int>(v);
+  // v in [2^high, 2^(high+1)); shifting by (high - 5) maps it to [32, 64).
+  const int high = 63 - std::countl_zero(v);
+  const int row = high - 5;  // row >= 1 because v >= 64
+  const auto offset =
+      static_cast<int>((v >> (high - 5)) - kSubBuckets);  // [0, 32)
+  const int index = kUnitBuckets + (row - 1) * kSubBuckets + offset;
+  return std::min(index, kNumBuckets - 1);
+}
+
+std::int64_t Histogram::bucket_upper(int index) {
+  if (index < kUnitBuckets) return index;  // exact
+  const int row = (index - kUnitBuckets) / kSubBuckets + 1;
+  const int offset = (index - kUnitBuckets) % kSubBuckets;
+  const int high = row + 5;
+  const std::uint64_t lower = static_cast<std::uint64_t>(kSubBuckets + offset)
+                              << (high - 5);
+  const std::uint64_t width = std::uint64_t{1} << (high - 5);
+  return static_cast<std::int64_t>(lower + width - 1);
+}
+
+void Histogram::record(std::int64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::int64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+  buckets_[static_cast<std::size_t>(bucket_index(value))] += n;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+}
+
+std::int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+std::int64_t Histogram::max() const { return count_ == 0 ? 0 : max_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::int64_t Histogram::percentile(double quantile) const {
+  if (count_ == 0) return 0;
+  quantile = std::clamp(quantile, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(quantile * static_cast<double>(count_) +
+                                    0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0)
+      return std::min<std::int64_t>(bucket_upper(static_cast<int>(i)), max_);
+  }
+  return max_;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace lsr

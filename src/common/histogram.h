@@ -1,0 +1,54 @@
+// Log-bucketed value histogram (HDR-histogram style) for latency recording.
+//
+// Values below 64 are bucketed exactly; larger values use 32 sub-buckets per
+// octave (~3 % relative precision), ample for nanosecond latencies. Memory is
+// a fixed ~15 KiB per histogram. percentile() reports bucket upper edges
+// clamped to the observed maximum, so single-valued histograms report
+// exactly that value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lsr {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::int64_t value);
+  void record_n(std::int64_t value, std::uint64_t count);
+
+  // Merges another histogram's counts into this one.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const;  // 0 when empty
+  std::int64_t max() const;  // 0 when empty
+  double mean() const;       // 0 when empty
+
+  // Returns an upper bound (within ~3 % relative error, clamped to max())
+  // for the value at the given quantile in [0,1]. Returns 0 when empty.
+  std::int64_t percentile(double quantile) const;
+
+  void clear();
+
+ private:
+  static constexpr int kUnitBuckets = 64;    // exact buckets for [0, 64)
+  static constexpr int kSubBuckets = 32;     // per octave above that
+  static constexpr int kOctaves = 58;        // covers values up to 2^63
+  static constexpr int kNumBuckets = kUnitBuckets + kOctaves * kSubBuckets;
+
+  static int bucket_index(std::int64_t value);
+  static std::int64_t bucket_upper(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace lsr

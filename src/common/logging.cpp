@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstring>
+
+namespace lsr {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::string format_message(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char stack_buf[512];
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(stack_buf, sizeof stack_buf, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(copy);
+    return "<format error>";
+  }
+  if (static_cast<std::size_t>(needed) < sizeof stack_buf) {
+    va_end(copy);
+    return std::string(stack_buf, static_cast<std::size_t>(needed));
+  }
+  std::string big(static_cast<std::size_t>(needed) + 1, '\0');
+  std::vsnprintf(big.data(), big.size(), fmt, copy);
+  va_end(copy);
+  big.resize(static_cast<std::size_t>(needed));
+  return big;
+}
+
+void log_line(LogLevel level, const char* file, int line, const std::string& msg) {
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::fprintf(stderr, "[%s] %s:%d %s\n", level_name(level), base, line,
+               msg.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace lsr

@@ -1,0 +1,33 @@
+// Minimal leveled logger. Simulation hot paths use LSR_LOG_DEBUG which
+// compiles to a branch on the global level; the default level is kWarn so
+// benchmarks stay quiet.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace lsr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const char* file, int line, const std::string& msg);
+std::string format_message(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define LSR_LOG(level, ...)                                                   \
+  do {                                                                        \
+    if (static_cast<int>(level) >= static_cast<int>(::lsr::log_level()))      \
+      ::lsr::detail::log_line(level, __FILE__, __LINE__,                      \
+                              ::lsr::detail::format_message(__VA_ARGS__));    \
+  } while (0)
+
+#define LSR_LOG_DEBUG(...) LSR_LOG(::lsr::LogLevel::kDebug, __VA_ARGS__)
+#define LSR_LOG_INFO(...) LSR_LOG(::lsr::LogLevel::kInfo, __VA_ARGS__)
+#define LSR_LOG_WARN(...) LSR_LOG(::lsr::LogLevel::kWarn, __VA_ARGS__)
+#define LSR_LOG_ERROR(...) LSR_LOG(::lsr::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace lsr

@@ -1,0 +1,80 @@
+// Deterministic, fast pseudo-random number generation for simulations and
+// property tests. xoshiro256** seeded via splitmix64; identical sequences on
+// every platform (unlike std::mt19937 distributions, whose mapping to ranges
+// is implementation-defined).
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace lsr {
+
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9Bull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64_next(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) via Lemire's multiply-shift (unbiased enough
+  // for simulation purposes and fully deterministic).
+  std::uint64_t next_below(std::uint64_t bound) {
+    LSR_EXPECTS(bound > 0);
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  // Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    LSR_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next_u64()
+                                                    : next_below(span));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double probability_true) {
+    return next_double() < probability_true;
+  }
+
+  // Derives an independent child generator (for giving each simulated process
+  // its own stream without correlation).
+  Rng fork() { return Rng(next_u64() ^ 0xA02BDBF7BB3C0A7ull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace lsr

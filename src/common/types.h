@@ -1,0 +1,41 @@
+// Shared primitive types: node/replica/client identifiers, time units, bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsr {
+
+// Identifies a process (replica or client) within one cluster/simulation.
+using NodeId = std::uint32_t;
+
+// Per-proposer monotonically increasing request identifier. Globally unique
+// when combined with the issuing node id; proposers embed the node id in the
+// low bits (see make_request_id).
+using RequestId = std::uint64_t;
+
+// Virtual or wall-clock time in nanoseconds.
+using TimeNs = std::int64_t;
+
+// Raw serialized message payload.
+using Bytes = std::vector<std::uint8_t>;
+
+constexpr TimeNs kMicrosecond = 1'000;
+constexpr TimeNs kMillisecond = 1'000'000;
+constexpr TimeNs kSecond = 1'000'000'000;
+
+// Builds a cluster-unique request id from a per-node counter. Node ids are
+// bounded well below 2^20 in practice; the counter occupies the high bits so
+// ids from one node stay ordered.
+constexpr RequestId make_request_id(NodeId node, std::uint64_t counter) {
+  return (counter << 20) | static_cast<RequestId>(node & 0xFFFFF);
+}
+
+constexpr NodeId request_id_node(RequestId id) {
+  return static_cast<NodeId>(id & 0xFFFFF);
+}
+
+constexpr std::uint64_t request_id_counter(RequestId id) { return id >> 20; }
+
+}  // namespace lsr

@@ -1,0 +1,14 @@
+#include "common/wire.h"
+
+// The wire format is fully inline/templated; this translation unit exists so
+// the library has a stable archive member for the module and as the anchor
+// for WireError's vtable.
+
+namespace lsr {
+
+// Anchor (keeps typeinfo for WireError in one TU).
+namespace {
+[[maybe_unused]] void anchor() { throw WireError("unreachable"); }
+}  // namespace
+
+}  // namespace lsr

@@ -1,0 +1,183 @@
+// Checked binary wire format used by every protocol message in the repository.
+//
+// Layout primitives: fixed u8, LEB128 varints for u32/u64 (zig-zag for signed),
+// length-prefixed byte strings, and container helpers. Decoding is bounds-
+// checked and throws WireError on malformed input — a remote peer must never
+// be able to crash a replica with a truncated packet.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lsr {
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void put_u32(std::uint32_t v) { put_varint(v); }
+  void put_u64(std::uint64_t v) { put_varint(v); }
+
+  void put_i64(std::int64_t v) { put_varint(zigzag(v)); }
+
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  void put_bytes(const std::uint8_t* data, std::size_t n) {
+    put_u64(n);
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  void put_bytes(const Bytes& b) { put_bytes(b.data(), b.size()); }
+
+  void put_string(std::string_view s) {
+    put_bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  // Serializes a container of encodable elements with a user-provided encoder
+  // for each element.
+  template <typename Container, typename Fn>
+  void put_container(const Container& c, Fn&& encode_element) {
+    put_u64(c.size());
+    for (const auto& element : c) encode_element(*this, element);
+  }
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  static constexpr std::uint64_t zigzag(std::int64_t v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+  }
+
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  Bytes buf_;
+};
+
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Decoder(const Bytes& b) : Decoder(b.data(), b.size()) {}
+
+  std::uint8_t get_u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t get_u32() {
+    const std::uint64_t v = get_varint();
+    if (v > 0xFFFFFFFFull) throw WireError("varint exceeds u32");
+    return static_cast<std::uint32_t>(v);
+  }
+
+  std::uint64_t get_u64() { return get_varint(); }
+
+  std::int64_t get_i64() { return unzigzag(get_varint()); }
+
+  bool get_bool() {
+    const std::uint8_t v = get_u8();
+    if (v > 1) throw WireError("bool out of range");
+    return v == 1;
+  }
+
+  Bytes get_bytes() {
+    const std::uint64_t n = get_u64();
+    require(n);
+    Bytes out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string get_string() {
+    const std::uint64_t n = get_u64();
+    require(n);
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  // Reads a length-prefixed sequence, invoking the element decoder n times.
+  template <typename Fn>
+  void get_container(Fn&& decode_element) {
+    const std::uint64_t n = get_u64();
+    if (n > size_ - pos_) throw WireError("container length exceeds input");
+    for (std::uint64_t i = 0; i < n; ++i) decode_element(*this);
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  // Call at end of a full-message decode to reject trailing garbage.
+  void expect_done() const {
+    if (!done()) throw WireError("trailing bytes after message");
+  }
+
+ private:
+  static constexpr std::int64_t unzigzag(std::uint64_t v) {
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+  }
+
+  void require(std::uint64_t n) const {
+    if (n > size_ - pos_) throw WireError("unexpected end of input");
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t result = 0;
+    int shift = 0;
+    for (;;) {
+      require(1);
+      const std::uint8_t byte = data_[pos_++];
+      if (shift == 63 && (byte & 0x7F) > 1) throw WireError("varint overflow");
+      result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return result;
+      shift += 7;
+      if (shift > 63) throw WireError("varint too long");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// Convenience: encode a value that provides encode(Encoder&) into fresh bytes.
+template <typename T>
+Bytes encode_to_bytes(const T& value) {
+  Encoder enc;
+  value.encode(enc);
+  return std::move(enc).take();
+}
+
+// Convenience: decode a default-constructible value providing
+// static T decode(Decoder&).
+template <typename T>
+T decode_from_bytes(const Bytes& bytes) {
+  Decoder dec(bytes);
+  T value = T::decode(dec);
+  dec.expect_done();
+  return value;
+}
+
+}  // namespace lsr

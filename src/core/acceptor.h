@@ -1,0 +1,97 @@
+// Acceptor role of the protocol (paper Algorithm 2, right column): holds the
+// CRDT payload state `s` and the highest observed round `r` — the *entire*
+// per-replica protocol state ("memory overhead of a single counter"). Pure
+// message-in/message-out logic with no I/O, so the transition table is
+// directly unit-testable; lsr::core::Replica wires it to a transport.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <variant>
+
+#include "common/assert.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "core/round.h"
+#include "lattice/semilattice.h"
+
+namespace lsr::core {
+
+struct AcceptorStats {
+  std::uint64_t merges = 0;
+  std::uint64_t local_updates = 0;
+  std::uint64_t prepare_acks = 0;
+  std::uint64_t prepare_nacks = 0;
+  std::uint64_t votes_granted = 0;
+  std::uint64_t votes_denied = 0;
+};
+
+template <lattice::SerializableLattice L>
+class Acceptor {
+ public:
+  explicit Acceptor(L initial = L{}, const ProtocolConfig* config = nullptr)
+      : state_(std::move(initial)), config_(config) {}
+
+  const L& state() const { return state_; }
+  const Round& round() const { return round_; }
+  const AcceptorStats& stats() const { return stats_; }
+
+  // Alg. 2 lines 28-31: apply an update function at the co-located proposer.
+  // The update must be inflationary (Definition 3); we check in debug builds.
+  const L& apply_update(const std::function<void(L&)>& update_fn) {
+#ifndef NDEBUG
+    const L before = state_;
+#endif
+    update_fn(state_);
+#ifndef NDEBUG
+    LSR_ASSERT(before.leq(state_));  // monotonically non-decreasing
+#endif
+    round_.id = Round::kWriteId;  // line 30: rid <- write
+    ++stats_.local_updates;
+    return state_;
+  }
+
+  // Alg. 2 lines 32-35.
+  Merged handle(const Merge<L>& msg) {
+    state_.join(msg.state);
+    round_.id = Round::kWriteId;  // line 34
+    ++stats_.merges;
+    return Merged{msg.op};
+  }
+
+  // Alg. 2 lines 36-42 (+ NACK on stale fixed prepares, described in prose).
+  std::variant<Ack<L>, Nack<L>> handle(const Prepare<L>& msg) {
+    if (msg.state) state_.join(*msg.state);  // line 37
+    Round requested = msg.round;
+    if (requested.is_incremental())
+      requested = Round{round_.number + 1, requested.id};  // line 39
+    if (requested.number > round_.number) {                // line 40
+      round_ = requested;                                  // line 41
+      ++stats_.prepare_acks;
+      return Ack<L>{msg.op, msg.attempt, round_, state_};  // line 42
+    }
+    ++stats_.prepare_nacks;
+    return Nack<L>{msg.op, msg.attempt, round_, state_};
+  }
+
+  // Alg. 2 lines 43-47.
+  std::variant<Voted<L>, Nack<L>> handle(const Vote<L>& msg) {
+    state_.join(msg.state);      // line 44: merge unconditionally
+    if (msg.round == round_) {   // line 45: valid only if round unchanged
+      ++stats_.votes_granted;
+      Voted<L> voted{msg.op, msg.attempt, std::nullopt};
+      if (config_ != nullptr && config_->state_in_voted) voted.state = state_;
+      return voted;
+    }
+    ++stats_.votes_denied;
+    return Nack<L>{msg.op, msg.attempt, round_, state_};
+  }
+
+ private:
+  L state_;       // the replicated CRDT payload (updated in place, no log)
+  Round round_;   // highest observed round; starts (0, kInitId)
+  const ProtocolConfig* config_;  // optional; only for the VOTED-state ablation
+  AcceptorStats stats_;
+};
+
+}  // namespace lsr::core

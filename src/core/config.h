@@ -1,0 +1,46 @@
+// Configuration knobs for the CRDT Paxos protocol.
+#pragma once
+
+#include "common/types.h"
+
+namespace lsr::core {
+
+struct ProtocolConfig {
+  // Retransmission / retry timeout for in-flight update (MERGE) and query
+  // (PREPARE/VOTE) rounds. MERGE retransmission is safe because joins are
+  // idempotent; query timeouts restart with an incremental prepare.
+  TimeNs retry_timeout = 5 * kMillisecond;
+
+  // Per-proposer batching (paper Sect. 3.6). 0 disables batching: every
+  // client command starts its own protocol instance immediately. > 0: the
+  // proposer buffers commands and flushes one update batch and one query
+  // batch per interval (the paper's evaluation uses 5 ms).
+  TimeNs batch_interval = 0;
+
+  // Optimization 1 (Sect. 3.6): when false, the first PREPARE of a query
+  // carries no payload state (never ships s0); retries always carry the LUB
+  // of received payloads, which the paper recommends. When true, the first
+  // PREPARE ships the proposer's local acceptor state (the unoptimized
+  // "s0 or recently observed local state" variant).
+  bool state_in_first_prepare = false;
+
+  // Optimization 2 (Sect. 3.6): when false, VOTED messages carry no payload
+  // (the proposer remembers its proposal). When true, acceptors echo their
+  // full state in VOTED (the unoptimized variant; only useful to measure
+  // the bandwidth saving).
+  bool state_in_voted = false;
+
+  // GLA-Stability (Sect. 3.4): proposers remember the largest learned state
+  // and never return a smaller one. On by default.
+  bool gla_stability = true;
+
+  // Extension (paper Sect. 5, "future research": delta-state CRDTs of
+  // Almeida et al.): MERGE messages ship only the delta produced by the
+  // batch of updates instead of the full payload state. Requires
+  // Ops<L>::delta to be set; joins are unaffected (a delta is just a small
+  // lattice element), so all correctness arguments carry over — the quorum
+  // that acknowledged the MERGE includes the update. Off by default.
+  bool delta_updates = false;
+};
+
+}  // namespace lsr::core

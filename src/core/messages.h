@@ -1,0 +1,229 @@
+// Wire messages of the CRDT Paxos protocol (paper Algorithm 2) plus the
+// request-tracking fields the paper prescribes in prose: every message
+// belongs to a protocol instance (`op`, proposer-local id) and, for query
+// messages, an attempt number so stale replies of earlier attempts are
+// discarded ("proposers implement a mechanism to keep track of ongoing
+// requests and can differentiate to which request an incoming message
+// belongs").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+
+#include "common/types.h"
+#include "common/wire.h"
+#include "core/round.h"
+#include "lattice/semilattice.h"
+
+namespace lsr::core {
+
+enum class MsgTag : std::uint8_t {
+  kMerge = 16,
+  kMerged = 17,
+  kPrepare = 18,
+  kAck = 19,
+  kVote = 20,
+  kVoted = 21,
+  kNack = 22,
+};
+
+// <MERGE, s> — update propagation (Alg. 2 line 4).
+template <lattice::SerializableLattice L>
+struct Merge {
+  std::uint64_t op = 0;
+  L state;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kMerge));
+    enc.put_u64(op);
+    state.encode(enc);
+  }
+  static Merge decode(Decoder& dec) {
+    Merge msg;
+    msg.op = dec.get_u64();
+    msg.state = L::decode(dec);
+    return msg;
+  }
+};
+
+// <MERGED> — update acknowledgment (line 35).
+struct Merged {
+  std::uint64_t op = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kMerged));
+    enc.put_u64(op);
+  }
+  static Merged decode(Decoder& dec) {
+    Merged msg;
+    msg.op = dec.get_u64();
+    return msg;
+  }
+};
+
+// <PREPARE, r, s> — phase-1 announcement (line 10). The payload state is
+// optional (Sect. 3.6: proposers need not ship s0).
+template <lattice::SerializableLattice L>
+struct Prepare {
+  std::uint64_t op = 0;
+  std::uint32_t attempt = 0;
+  Round round;  // round.number may be kIncrementalNumber (⊥)
+  std::optional<L> state;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kPrepare));
+    enc.put_u64(op);
+    enc.put_u32(attempt);
+    round.encode(enc);
+    enc.put_bool(state.has_value());
+    if (state) state->encode(enc);
+  }
+  static Prepare decode(Decoder& dec) {
+    Prepare msg;
+    msg.op = dec.get_u64();
+    msg.attempt = dec.get_u32();
+    msg.round = Round::decode(dec);
+    if (dec.get_bool()) msg.state = L::decode(dec);
+    return msg;
+  }
+};
+
+// <ACK, r, s> — phase-1 acceptance carrying the acceptor's round and payload
+// state (line 42).
+template <lattice::SerializableLattice L>
+struct Ack {
+  std::uint64_t op = 0;
+  std::uint32_t attempt = 0;
+  Round round;
+  L state;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kAck));
+    enc.put_u64(op);
+    enc.put_u32(attempt);
+    round.encode(enc);
+    state.encode(enc);
+  }
+  static Ack decode(Decoder& dec) {
+    Ack msg;
+    msg.op = dec.get_u64();
+    msg.attempt = dec.get_u32();
+    msg.round = Round::decode(dec);
+    msg.state = L::decode(dec);
+    return msg;
+  }
+};
+
+// <VOTE, r, s'> — phase-2 proposal (line 17).
+template <lattice::SerializableLattice L>
+struct Vote {
+  std::uint64_t op = 0;
+  std::uint32_t attempt = 0;
+  Round round;
+  L state;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kVote));
+    enc.put_u64(op);
+    enc.put_u32(attempt);
+    round.encode(enc);
+    state.encode(enc);
+  }
+  static Vote decode(Decoder& dec) {
+    Vote msg;
+    msg.op = dec.get_u64();
+    msg.attempt = dec.get_u32();
+    msg.round = Round::decode(dec);
+    msg.state = L::decode(dec);
+    return msg;
+  }
+};
+
+// <VOTED> — phase-2 acceptance (line 47). Payload state is optional: the
+// optimized protocol omits it because the proposer remembers its proposal.
+template <lattice::SerializableLattice L>
+struct Voted {
+  std::uint64_t op = 0;
+  std::uint32_t attempt = 0;
+  std::optional<L> state;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kVoted));
+    enc.put_u64(op);
+    enc.put_u32(attempt);
+    enc.put_bool(state.has_value());
+    if (state) state->encode(enc);
+  }
+  static Voted decode(Decoder& dec) {
+    Voted msg;
+    msg.op = dec.get_u64();
+    msg.attempt = dec.get_u32();
+    if (dec.get_bool()) msg.state = L::decode(dec);
+    return msg;
+  }
+};
+
+// <NACK, r, s> — denial (described in prose, Sect. 3.2 "Retrying Requests"):
+// carries the acceptor's current round and payload state so the proposer can
+// retry with the LUB of everything it has seen.
+template <lattice::SerializableLattice L>
+struct Nack {
+  std::uint64_t op = 0;
+  std::uint32_t attempt = 0;
+  Round round;
+  L state;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kNack));
+    enc.put_u64(op);
+    enc.put_u32(attempt);
+    round.encode(enc);
+    state.encode(enc);
+  }
+  static Nack decode(Decoder& dec) {
+    Nack msg;
+    msg.op = dec.get_u64();
+    msg.attempt = dec.get_u32();
+    msg.round = Round::decode(dec);
+    msg.state = L::decode(dec);
+    return msg;
+  }
+};
+
+template <lattice::SerializableLattice L>
+using Message = std::variant<Merge<L>, Merged, Prepare<L>, Ack<L>, Vote<L>,
+                             Voted<L>, Nack<L>>;
+
+template <lattice::SerializableLattice L>
+Bytes encode_message(const Message<L>& msg) {
+  Encoder enc;
+  std::visit([&enc](const auto& m) { m.encode(enc); }, msg);
+  return std::move(enc).take();
+}
+
+// Decodes a protocol message. The tag has *not* been consumed yet.
+template <lattice::SerializableLattice L>
+Message<L> decode_message(Decoder& dec) {
+  const auto tag = static_cast<MsgTag>(dec.get_u8());
+  switch (tag) {
+    case MsgTag::kMerge: return Merge<L>::decode(dec);
+    case MsgTag::kMerged: return Merged::decode(dec);
+    case MsgTag::kPrepare: return Prepare<L>::decode(dec);
+    case MsgTag::kAck: return Ack<L>::decode(dec);
+    case MsgTag::kVote: return Vote<L>::decode(dec);
+    case MsgTag::kVoted: return Voted<L>::decode(dec);
+    case MsgTag::kNack: return Nack<L>::decode(dec);
+  }
+  throw WireError("unknown protocol message tag");
+}
+
+// True when the tag addresses the acceptor role (PREPARE/VOTE/MERGE), false
+// for proposer-bound replies. Used for execution-lane classification.
+inline bool is_acceptor_bound(std::uint8_t tag) {
+  return tag == static_cast<std::uint8_t>(MsgTag::kMerge) ||
+         tag == static_cast<std::uint8_t>(MsgTag::kPrepare) ||
+         tag == static_cast<std::uint8_t>(MsgTag::kVote);
+}
+
+}  // namespace lsr::core

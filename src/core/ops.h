@@ -1,0 +1,76 @@
+// Registered update/query functions of a replicated CRDT state machine.
+//
+// Clients submit commands as (op index, argument bytes); the proposer maps
+// them to functions over the lattice. Update functions must be inflationary
+// (Definition 3); query functions must not modify the state — enforced by
+// const. The replica index (== NodeId for replicas, by convention 0..N-1) is
+// passed to update functions so per-replica CRDTs (G-Counter slots, OR-Set
+// dots) can address their own slot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "common/wire.h"
+#include "lattice/gcounter.h"
+#include "lattice/semilattice.h"
+
+namespace lsr::core {
+
+template <lattice::SerializableLattice L>
+struct Ops {
+  using UpdateFn = std::function<void(L& state, Decoder& args, NodeId self)>;
+  using QueryFn = std::function<Bytes(const L& state, Decoder& args)>;
+  // Optional delta extractor for the delta-update extension
+  // (ProtocolConfig::delta_updates): returns a (usually much smaller)
+  // lattice element d with  before JOIN d == after.
+  using DeltaFn = std::function<L(const L& before, const L& after)>;
+
+  std::vector<UpdateFn> updates;
+  std::vector<QueryFn> queries;
+  DeltaFn delta;
+};
+
+// The replicated counter used throughout the paper's evaluation:
+//   update 0: increment own slot by a u64 amount;
+//   query 0:  return the counter value as a u64.
+inline Ops<lattice::GCounter> gcounter_ops() {
+  Ops<lattice::GCounter> ops;
+  ops.updates.push_back(
+      [](lattice::GCounter& state, Decoder& args, NodeId self) {
+        state.increment(self, args.get_u64());
+      });
+  ops.queries.push_back([](const lattice::GCounter& state, Decoder& args) {
+    (void)args;
+    Encoder enc;
+    enc.put_u64(state.value());
+    return std::move(enc).take();
+  });
+  // Delta: only the slots that grew (join = element-wise max makes the
+  // grown absolute values a valid delta).
+  ops.delta = [](const lattice::GCounter& before,
+                 const lattice::GCounter& after) {
+    lattice::GCounter delta(after.slot_count());
+    for (std::size_t i = 0; i < after.slot_count(); ++i)
+      if (after.slot(i) > before.slot(i)) delta.increment(i, after.slot(i));
+    return delta;
+  };
+  return ops;
+}
+
+inline Bytes encode_increment_args(std::uint64_t amount) {
+  Encoder enc;
+  enc.put_u64(amount);
+  return std::move(enc).take();
+}
+
+inline std::uint64_t decode_counter_result(const Bytes& result) {
+  Decoder dec(result);
+  const std::uint64_t value = dec.get_u64();
+  dec.expect_done();
+  return value;
+}
+
+}  // namespace lsr::core

@@ -1,0 +1,530 @@
+// Proposer role of the protocol (paper Algorithm 2, left column).
+//
+// Update commands (lines 1-6): apply the update function at the co-located
+// acceptor, MERGE the resulting state to the remote acceptors, acknowledge
+// the client once a quorum (counting self) confirmed — one round trip, no
+// synchronization. MERGE retransmission on timeout is safe (joins are
+// idempotent).
+//
+// Query commands (lines 7-24): learn a state via a Paxos-like two-phase
+// exchange before applying the query function:
+//   (a) learned by consistent quorum — all quorum ACKs carry equivalent
+//       states (1 round trip);
+//   (b) learned by vote — all quorum ACKs carry the same round: propose the
+//       LUB in VOTE messages and collect a quorum of VOTED (2 round trips);
+//   (c) inconsistent rounds and states — retry with a fixed prepare at
+//       max(seen rounds)+1 carrying the LUB of received payloads.
+// NACKs short-circuit an attempt once a quorum has become impossible; the
+// retry uses an incremental prepare (Sect. 3.5's eventual-liveness recipe).
+//
+// Batching (Sect. 3.6): with batch_interval > 0 the proposer buffers
+// commands and runs at most one update instance and one query instance per
+// flush; buffered commands are applied locally and never shipped.
+//
+// GLA-Stability (Sect. 3.4): the proposer remembers the largest learned
+// state and returns the maximum of it and the freshly learned state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/acceptor.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "core/ops.h"
+#include "core/round.h"
+#include "core/stats.h"
+#include "lattice/semilattice.h"
+#include "net/context.h"
+#include "rsm/client_msg.h"
+
+namespace lsr::core {
+
+template <lattice::SerializableLattice L>
+class Proposer {
+ public:
+  Proposer(net::Context& ctx, Acceptor<L>& local_acceptor,
+           std::vector<NodeId> replicas, ProtocolConfig config, Ops<L> ops,
+           int timer_lane)
+      : ctx_(ctx),
+        local_(local_acceptor),
+        replicas_(std::move(replicas)),
+        config_(config),
+        ops_(std::move(ops)),
+        timer_lane_(timer_lane) {
+    LSR_EXPECTS(!replicas_.empty());
+    quorum_ = replicas_.size() / 2 + 1;
+  }
+
+  // Called from Endpoint::on_start / on_recover: arms the batch flush timer.
+  void start() {
+    if (config_.batch_interval > 0) arm_flush_timer();
+  }
+
+  void on_recover() {
+    // Crash-recovery: in-flight protocol instances lost their timers; the
+    // instances themselves died with the volatile request bookkeeping (the
+    // paper's proposers keep no durable state). Clients re-submit.
+    updates_.clear();
+    queries_.clear();
+    update_batch_.clear();
+    query_batch_.clear();
+    updates_in_flight_ = 0;
+    queries_in_flight_ = 0;
+    if (config_.batch_interval > 0) arm_flush_timer();
+  }
+
+  const ProposerStats& stats() const { return stats_; }
+  ProposerHooks hooks;
+
+  // Invoked with every learned state (after GLA-stability adjustment), in
+  // learn order — the tests verify the paper's Validity / Stability /
+  // Consistency conditions through this hook.
+  std::function<void(const L&)> on_state_learned;
+
+  // Largest state this proposer ever learned (GLA-Stability bookkeeping).
+  const L& learned_state() const { return learned_; }
+
+  // ---- client entry points (Alg. 2 lines 1-2 and 7-8) ----
+
+  void handle_client_update(NodeId client, rsm::ClientUpdate msg) {
+    if (msg.op >= ops_.updates.size()) {  // hostile/buggy client: drop
+      LSR_LOG_WARN("proposer %u: unknown update op %u from client %u",
+                   ctx_.self(), msg.op, client);
+      return;
+    }
+    Command cmd{msg.request, client, msg.op, std::move(msg.args)};
+    if (config_.batch_interval > 0) {
+      update_batch_.push_back(std::move(cmd));
+      return;
+    }
+    std::vector<Command> single;
+    single.push_back(std::move(cmd));
+    start_update(std::move(single));
+  }
+
+  void handle_client_query(NodeId client, rsm::ClientQuery msg) {
+    if (msg.op >= ops_.queries.size()) {  // hostile/buggy client: drop
+      LSR_LOG_WARN("proposer %u: unknown query op %u from client %u",
+                   ctx_.self(), msg.op, client);
+      return;
+    }
+    Command cmd{msg.request, client, msg.op, std::move(msg.args)};
+    if (config_.batch_interval > 0) {
+      query_batch_.push_back(std::move(cmd));
+      return;
+    }
+    std::vector<Command> single;
+    single.push_back(std::move(cmd));
+    start_query(std::move(single));
+  }
+
+  // ---- acceptor replies (routed here by Replica) ----
+
+  void handle(NodeId from, const Merged& msg) {
+    const auto it = updates_.find(msg.op);
+    if (it == updates_.end()) return;  // already complete or stale
+    UpdateOp& op = it->second;
+    if (!op.acked.insert(from).second) return;  // duplicate
+    if (op.acked.size() >= quorum_) finish_update(it);
+  }
+
+  void handle(NodeId from, const Ack<L>& msg) {
+    const auto it = queries_.find(msg.op);
+    if (it == queries_.end()) return;
+    QueryOp& op = it->second;
+    if (msg.attempt != op.attempt || op.phase != Phase::kPrepare) return;
+    if (!op.acked.insert(from).second) return;  // duplicate delivery
+    op.ack_rounds.push_back(msg.round);
+    op.ack_states.push_back(msg.state);
+    op.gathered.join(msg.state);
+    op.max_seen_round = std::max(op.max_seen_round, msg.round.number);
+    if (op.acked.size() >= quorum_) decide(it);  // line 11: quorum of ACKs
+  }
+
+  void handle(NodeId from, const Voted<L>& msg) {
+    const auto it = queries_.find(msg.op);
+    if (it == queries_.end()) return;
+    QueryOp& op = it->second;
+    if (msg.attempt != op.attempt || op.phase != Phase::kVote) return;
+    if (!op.voted.insert(from).second) return;
+    if (op.voted.size() >= quorum_) {
+      // Line 22-24: state learned by unanimous vote; the proposer remembers
+      // its proposal (Sect. 3.6), no state needs to travel back.
+      ++stats_.learned_by_vote;
+      finish_query(it, op.proposal);
+    }
+  }
+
+  void handle(NodeId from, const Nack<L>& msg) {
+    ++stats_.nacks_received;
+    const auto it = queries_.find(msg.op);
+    if (it == queries_.end()) return;
+    QueryOp& op = it->second;
+    if (msg.attempt != op.attempt) return;
+    op.gathered.join(msg.state);
+    op.max_seen_round = std::max(op.max_seen_round, msg.round.number);
+    if (!op.nacked.insert(from).second) return;
+    // Retry as soon as this attempt can no longer assemble a quorum
+    // ("any proposer that received a NACK ... must retry its request").
+    const std::size_t reachable = replicas_.size() - op.nacked.size();
+    if (reachable < quorum_) {
+      begin_attempt(op, incremental_round(ctx_.self(), next_round_counter()),
+                    std::optional<L>(op.gathered));
+    }
+  }
+
+ private:
+  enum class Phase { kPrepare, kVote };
+
+  struct Command {
+    RequestId request = 0;
+    NodeId client = 0;
+    std::uint32_t op = 0;
+    Bytes args;
+  };
+
+  struct UpdateOp {
+    std::uint64_t id = 0;
+    std::vector<Command> commands;
+    std::set<NodeId> acked;
+    L state;  // state after local application; retransmitted on timeout
+    net::TimerId timer = net::kInvalidTimer;
+    int transmissions = 1;
+  };
+
+  struct QueryOp {
+    std::uint64_t id = 0;
+    std::vector<Command> commands;
+    std::uint32_t attempt = 0;
+    Phase phase = Phase::kPrepare;
+    Round round;
+    std::set<NodeId> acked;
+    std::set<NodeId> nacked;
+    std::set<NodeId> voted;
+    std::vector<Round> ack_rounds;
+    std::vector<L> ack_states;
+    L gathered;   // LUB of every payload received across attempts
+    L proposal;   // state proposed in the VOTE phase
+    std::uint64_t max_seen_round = 0;
+    int round_trips = 0;
+    net::TimerId timer = net::kInvalidTimer;
+  };
+
+  using UpdateMap = std::unordered_map<std::uint64_t, UpdateOp>;
+  using QueryMap = std::unordered_map<std::uint64_t, QueryOp>;
+
+  // ---- update protocol ----
+
+  void start_update(std::vector<Command> commands) {
+    LSR_EXPECTS(!commands.empty());
+    ++stats_.update_rounds;
+    ++updates_in_flight_;
+    const std::uint64_t op_id = next_op_id_++;
+    UpdateOp op;
+    op.id = op_id;
+    op.commands = std::move(commands);
+    // Lines 2-3: apply all (batched) update functions at the local acceptor.
+    const bool use_delta = config_.delta_updates && ops_.delta != nullptr;
+    const L before = use_delta ? local_.state() : L{};
+    for (const Command& cmd : op.commands) {
+      LSR_DASSERT(cmd.op < ops_.updates.size());  // validated at entry
+      try {
+        local_.apply_update([this, &cmd](L& state) {
+          Decoder args(cmd.args);
+          ops_.updates[cmd.op](state, args, ctx_.self());
+        });
+      } catch (const WireError& error) {
+        // Malformed argument bytes: the command is dropped; update
+        // functions must decode before mutating, so the state is intact.
+        LSR_LOG_WARN("proposer %u: dropping update with bad args: %s",
+                     ctx_.self(), error.what());
+      }
+    }
+    // Delta extension: ship only what the batch changed. The delta is a
+    // lattice element too, so MERGE handling and retransmission are
+    // unchanged.
+    op.state = use_delta ? ops_.delta(before, local_.state()) : local_.state();
+    auto [it, inserted] = updates_.emplace(op_id, std::move(op));
+    LSR_ASSERT(inserted);
+    UpdateOp& stored = it->second;
+    stored.acked.insert(ctx_.self());  // the local acceptor has the state
+    if (stored.acked.size() >= quorum_) {  // single-replica deployments
+      finish_update(it);
+      return;
+    }
+    // Line 4: send MERGE to all remote acceptors.
+    const Merge<L> merge{op_id, stored.state};
+    const Bytes wire = encode_message<L>(Message<L>(merge));
+    for (const NodeId replica : replicas_)
+      if (replica != ctx_.self()) ctx_.send(replica, wire);
+    arm_update_timer(op_id);
+  }
+
+  void finish_update(typename UpdateMap::iterator it) {
+    UpdateOp& op = it->second;
+    ctx_.cancel_timer(op.timer);
+    for (const Command& cmd : op.commands) {
+      rsm::UpdateDone done{cmd.request};
+      Encoder enc;
+      done.encode(enc);
+      ctx_.send(cmd.client, std::move(enc).take());  // line 6
+      ++stats_.updates_done;
+      if (hooks.on_update_round_trips) hooks.on_update_round_trips(op.transmissions);
+    }
+    updates_.erase(it);
+    --updates_in_flight_;
+    // Batching: a completed update batch unblocks the buffered query batch
+    // (flushing it now lets the queries observe the merged state, which
+    // maximizes the consistent-quorum fast path).
+    if (config_.batch_interval > 0) maybe_flush_queries();
+  }
+
+  void arm_update_timer(std::uint64_t op_id) {
+    const auto it = updates_.find(op_id);
+    LSR_ASSERT(it != updates_.end());
+    it->second.timer =
+        ctx_.set_timer(config_.retry_timeout, timer_lane_, [this, op_id] {
+          const auto op_it = updates_.find(op_id);
+          if (op_it == updates_.end()) return;
+          UpdateOp& op = op_it->second;
+          ++stats_.merge_retransmissions;
+          ++op.transmissions;
+          // Retransmit only to acceptors that have not confirmed; joins are
+          // idempotent so duplicates are harmless.
+          const Merge<L> merge{op_id, op.state};
+          const Bytes wire = encode_message<L>(Message<L>(merge));
+          for (const NodeId replica : replicas_)
+            if (replica != ctx_.self() && op.acked.count(replica) == 0)
+              ctx_.send(replica, wire);
+          arm_update_timer(op_id);
+        });
+  }
+
+  // ---- query protocol ----
+
+  void start_query(std::vector<Command> commands) {
+    LSR_EXPECTS(!commands.empty());
+    ++stats_.query_rounds;
+    ++queries_in_flight_;
+    const std::uint64_t op_id = next_op_id_++;
+    QueryOp op;
+    op.id = op_id;
+    op.commands = std::move(commands);
+    auto [it, inserted] = queries_.emplace(op_id, std::move(op));
+    LSR_ASSERT(inserted);
+    // Line 9: begin with an incremental prepare. Optionally include the local
+    // acceptor state (the unoptimized variant ships "s0 or a recently
+    // observed state"; the optimized one ships nothing initially).
+    std::optional<L> initial;
+    if (config_.state_in_first_prepare) initial = local_.state();
+    begin_attempt(it->second, incremental_round(ctx_.self(), next_round_counter()),
+                  std::move(initial));
+  }
+
+  void begin_attempt(QueryOp& op, Round round, std::optional<L> state) {
+    const std::uint64_t op_id = op.id;
+    ++op.attempt;
+    ++op.round_trips;
+    ++stats_.prepare_attempts;
+    op.phase = Phase::kPrepare;
+    op.round = round;
+    op.acked.clear();
+    op.nacked.clear();
+    op.voted.clear();
+    op.ack_rounds.clear();
+    op.ack_states.clear();
+    Prepare<L> prepare{op_id, op.attempt, round, std::move(state)};
+    const Bytes wire = encode_message<L>(Message<L>(prepare));
+    for (const NodeId replica : replicas_)
+      if (replica != ctx_.self()) ctx_.send(replica, wire);
+    rearm_query_timer(op, op_id);
+    // Line 10 sends to *all* acceptors: the co-located one is invoked
+    // directly, last, so a decision (possible when quorum == 1) happens
+    // after all sends. Nothing may touch `op` after this call.
+    dispatch_local(local_.handle(prepare));
+  }
+
+  void decide(typename QueryMap::iterator it) {
+    QueryOp& op = it->second;
+    // Line 12: s' is the LUB of the quorum's ACK states.
+    L lub = op.ack_states.front();
+    for (std::size_t i = 1; i < op.ack_states.size(); ++i)
+      lub.join(op.ack_states[i]);
+    // Line 13: all states equivalent to the LUB -> learned by consistent
+    // quorum (since each s_i v lub by construction, lub v s_i suffices).
+    bool consistent_states = true;
+    for (const L& state : op.ack_states)
+      if (!lub.leq(state)) {
+        consistent_states = false;
+        break;
+      }
+    if (consistent_states) {
+      ++stats_.learned_consistent_quorum;
+      finish_query(it, std::move(lub));  // lines 14-15
+      return;
+    }
+    // Line 16: all rounds equal -> propose the LUB in the VOTE phase.
+    bool consistent_rounds = true;
+    for (const Round& round : op.ack_rounds)
+      if (round != op.ack_rounds.front()) {
+        consistent_rounds = false;
+        break;
+      }
+    if (consistent_rounds) {
+      ++stats_.vote_phases;
+      ++op.round_trips;
+      op.phase = Phase::kVote;
+      op.round = op.ack_rounds.front();
+      op.proposal = std::move(lub);
+      const std::uint64_t op_id = it->first;
+      Vote<L> vote{op_id, op.attempt, op.round, op.proposal};
+      const Bytes wire = encode_message<L>(Message<L>(vote));
+      for (const NodeId replica : replicas_)
+        if (replica != ctx_.self()) ctx_.send(replica, wire);
+      rearm_query_timer(op, op_id);
+      dispatch_local(local_.handle(vote));  // nothing after this line
+      return;
+    }
+    // Lines 18-21: inconsistent rounds — retry with a fixed prepare above
+    // every observed round, carrying the LUB of everything received.
+    begin_attempt(op, fixed_round(op.max_seen_round + 1, ctx_.self(),
+                                  next_round_counter()),
+                  std::optional<L>(std::move(lub)));
+  }
+
+  void finish_query(typename QueryMap::iterator it, L learned) {
+    QueryOp& op = it->second;
+    ctx_.cancel_timer(op.timer);
+    if (config_.gla_stability) {
+      // Sect. 3.4: return max(learned, largest previously learned). The two
+      // are comparable by the Consistency property, so the join is the max.
+      learned.join(learned_);
+      learned_ = learned;
+    }
+    if (on_state_learned) on_state_learned(learned);
+    for (const Command& cmd : op.commands) {
+      LSR_DASSERT(cmd.op < ops_.queries.size());  // validated at entry
+      try {
+        Decoder args(cmd.args);
+        rsm::QueryDone done{cmd.request, ops_.queries[cmd.op](learned, args)};
+        Encoder enc;
+        done.encode(enc);
+        ctx_.send(cmd.client, std::move(enc).take());  // lines 15 / 24
+        ++stats_.queries_done;
+        if (hooks.on_query_round_trips)
+          hooks.on_query_round_trips(op.round_trips);
+      } catch (const WireError& error) {
+        LSR_LOG_WARN("proposer %u: dropping query with bad args: %s",
+                     ctx_.self(), error.what());
+      }
+    }
+    queries_.erase(it);
+    --queries_in_flight_;
+  }
+
+  void rearm_query_timer(QueryOp& op, std::uint64_t op_id) {
+    ctx_.cancel_timer(op.timer);
+    op.timer =
+        ctx_.set_timer(config_.retry_timeout, timer_lane_, [this, op_id] {
+          const auto it = queries_.find(op_id);
+          if (it == queries_.end()) return;
+          ++stats_.query_timeouts;
+          QueryOp& op = it->second;
+          // Replies were lost or too few acceptors are reachable: restart
+          // with an incremental prepare and everything gathered so far.
+          begin_attempt(op, incremental_round(ctx_.self(), next_round_counter()),
+                        std::optional<L>(op.gathered));
+        });
+  }
+
+  // Routes the co-located acceptor's reply back into this proposer.
+  template <typename Reply>
+  void dispatch_local(Reply&& reply) {
+    std::visit([this](auto&& msg) { handle(ctx_.self(), msg); },
+               std::forward<Reply>(reply));
+  }
+
+  std::uint64_t next_round_counter() { return round_counter_++; }
+
+  // ---- batching (Sect. 3.6) ----
+
+  void arm_flush_timer() {
+    TimeNs delay = config_.batch_interval;
+    if (!started_) {
+      // Stagger the flush phase across replicas: with synchronized ticks all
+      // proposers would start their query learn at the same instant, making
+      // round conflicts (and therefore 3-RT reads) systematic instead of
+      // rare.
+      std::size_t index = 0;
+      for (std::size_t i = 0; i < replicas_.size(); ++i)
+        if (replicas_[i] == ctx_.self()) index = i;
+      delay += config_.batch_interval * static_cast<TimeNs>(index) /
+               static_cast<TimeNs>(replicas_.size());
+      jitter_state_ = 0x9E3779B97F4A7C15ull * (ctx_.self() + 1);
+      started_ = true;
+    } else if (config_.batch_interval >= 8) {
+      // Small forward drift per tick (as real timers exhibit): flush phases
+      // wander and occasionally pass through each other, producing the rare
+      // conflicting learns the paper's Fig. 3 (bottom) shows.
+      delay += static_cast<TimeNs>(splitmix64_next(jitter_state_) %
+                                   static_cast<std::uint64_t>(
+                                       config_.batch_interval / 8));
+    }
+    flush_timer_ = ctx_.set_timer(delay, timer_lane_,
+                                  [this] { flush_batches(); });
+  }
+
+  void flush_batches() {
+    arm_flush_timer();
+    const bool update_busy = updates_in_flight_ > 0;
+    if (!update_batch_.empty() && !update_busy) {
+      std::vector<Command> batch = std::move(update_batch_);
+      update_batch_.clear();
+      start_update(std::move(batch));
+    }
+    // Queries wait for an in-flight/just-started update batch (they are
+    // flushed from finish_update instead) so they observe the merged state.
+    if (updates_in_flight_ == 0) maybe_flush_queries();
+  }
+
+  void maybe_flush_queries() {
+    if (query_batch_.empty() || queries_in_flight_ > 0) return;
+    std::vector<Command> batch = std::move(query_batch_);
+    query_batch_.clear();
+    start_query(std::move(batch));
+  }
+
+  net::Context& ctx_;
+  Acceptor<L>& local_;
+  std::vector<NodeId> replicas_;
+  ProtocolConfig config_;
+  Ops<L> ops_;
+  int timer_lane_;
+  std::size_t quorum_ = 0;
+
+  UpdateMap updates_;
+  QueryMap queries_;
+  std::vector<Command> update_batch_;
+  std::vector<Command> query_batch_;
+  std::size_t updates_in_flight_ = 0;
+  std::size_t queries_in_flight_ = 0;
+  net::TimerId flush_timer_ = net::kInvalidTimer;
+
+  L learned_{};  // s_learned of Sect. 3.4
+  std::uint64_t next_op_id_ = 1;
+  std::uint64_t round_counter_ = 0;
+  bool started_ = false;  // first flush gets a per-replica phase offset
+  std::uint64_t jitter_state_ = 0;
+  ProposerStats stats_;
+};
+
+}  // namespace lsr::core

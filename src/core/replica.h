@@ -1,0 +1,122 @@
+// A full protocol replica: co-located acceptor + proposer behind one
+// endpoint, with wire decoding and execution-lane classification.
+//
+// Lane model (mirrors the paper's Erlang deployment where acceptor and
+// proposer are separate serial processes on a multi-core node):
+//   lane 0 — acceptor: MERGE / PREPARE / VOTE handling;
+//   lane 1 — proposer: client commands and acceptor replies.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+#include "common/wire.h"
+#include "core/acceptor.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "core/ops.h"
+#include "core/proposer.h"
+#include "lattice/semilattice.h"
+#include "net/context.h"
+#include "rsm/client_msg.h"
+
+namespace lsr::core {
+
+constexpr int kAcceptorLane = 0;
+constexpr int kProposerLane = 1;
+
+template <lattice::SerializableLattice L>
+class Replica final : public net::Endpoint {
+ public:
+  Replica(net::Context& ctx, std::vector<NodeId> replicas,
+          ProtocolConfig config, Ops<L> ops, L initial = L{})
+      : ctx_(ctx),
+        config_(config),
+        acceptor_(std::move(initial), &config_),
+        proposer_(ctx, acceptor_, std::move(replicas), config_, std::move(ops),
+                  kProposerLane) {}
+
+  Acceptor<L>& acceptor() { return acceptor_; }
+  const Acceptor<L>& acceptor() const { return acceptor_; }
+  Proposer<L>& proposer() { return proposer_; }
+  const Proposer<L>& proposer() const { return proposer_; }
+
+  void on_start() override { proposer_.start(); }
+  void on_recover() override { proposer_.on_recover(); }
+
+  int lane_count() const override { return 2; }
+
+  int lane_of(const Bytes& data) const override {
+    if (data.empty()) return kProposerLane;
+    return is_acceptor_bound(data.front()) ? kAcceptorLane : kProposerLane;
+  }
+
+  void on_message(NodeId from, const Bytes& data) override {
+    try {
+      Decoder dec(data);
+      const std::uint8_t tag = dec.get_u8();
+      if (rsm::is_client_tag(tag)) {
+        handle_client(from, static_cast<rsm::ClientTag>(tag), dec);
+        return;
+      }
+      // Protocol message: re-decode including the tag byte.
+      Decoder full(data);
+      Message<L> msg = decode_message<L>(full);
+      full.expect_done();
+      std::visit([this, from](auto&& m) { dispatch(from, m); }, msg);
+    } catch (const WireError& error) {
+      // Malformed input from a peer must never take the replica down.
+      LSR_LOG_WARN("replica %u: dropping malformed message from %u: %s",
+                   ctx_.self(), from, error.what());
+    }
+  }
+
+ private:
+  void handle_client(NodeId from, rsm::ClientTag tag, Decoder& dec) {
+    switch (tag) {
+      case rsm::ClientTag::kUpdate:
+        proposer_.handle_client_update(from, rsm::ClientUpdate::decode(dec));
+        break;
+      case rsm::ClientTag::kQuery:
+        proposer_.handle_client_query(from, rsm::ClientQuery::decode(dec));
+        break;
+      default:
+        LSR_LOG_WARN("replica %u: unexpected client tag %u from %u",
+                     ctx_.self(), static_cast<unsigned>(tag), from);
+    }
+  }
+
+  // Acceptor-bound messages: handle and send the reply back to the proposer.
+  void dispatch(NodeId from, const Merge<L>& msg) {
+    reply(from, acceptor_.handle(msg));
+  }
+  void dispatch(NodeId from, const Prepare<L>& msg) {
+    std::visit([this, from](auto&& r) { reply(from, r); },
+               acceptor_.handle(msg));
+  }
+  void dispatch(NodeId from, const Vote<L>& msg) {
+    std::visit([this, from](auto&& r) { reply(from, r); },
+               acceptor_.handle(msg));
+  }
+
+  // Proposer-bound replies.
+  void dispatch(NodeId from, const Merged& msg) { proposer_.handle(from, msg); }
+  void dispatch(NodeId from, const Ack<L>& msg) { proposer_.handle(from, msg); }
+  void dispatch(NodeId from, const Voted<L>& msg) { proposer_.handle(from, msg); }
+  void dispatch(NodeId from, const Nack<L>& msg) { proposer_.handle(from, msg); }
+
+  template <typename Reply>
+  void reply(NodeId to, const Reply& msg) {
+    ctx_.send(to, encode_message<L>(Message<L>(msg)));
+  }
+
+  net::Context& ctx_;
+  ProtocolConfig config_;
+  Acceptor<L> acceptor_;
+  Proposer<L> proposer_;
+};
+
+}  // namespace lsr::core

@@ -1,0 +1,33 @@
+// Proposer-side statistics and instrumentation hooks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace lsr::core {
+
+struct ProposerStats {
+  std::uint64_t updates_done = 0;   // client update commands completed
+  std::uint64_t queries_done = 0;   // client query commands completed
+  std::uint64_t update_rounds = 0;  // MERGE rounds executed (1 per batch)
+  std::uint64_t query_rounds = 0;   // learn instances executed (1 per batch)
+  std::uint64_t prepare_attempts = 0;
+  std::uint64_t vote_phases = 0;
+  std::uint64_t learned_consistent_quorum = 0;  // 1-RT fast path
+  std::uint64_t learned_by_vote = 0;            // 2-RT path
+  std::uint64_t nacks_received = 0;
+  std::uint64_t merge_retransmissions = 0;
+  std::uint64_t query_timeouts = 0;
+};
+
+struct ProposerHooks {
+  // Invoked once per completed *query command* with the number of round
+  // trips its protocol instance needed (Fig. 3 of the paper).
+  std::function<void(int round_trips)> on_query_round_trips;
+  // Invoked once per completed update command (round trips incl. MERGE
+  // retransmissions; 1 in loss-free runs — the paper's single-round-trip
+  // guarantee).
+  std::function<void(int round_trips)> on_update_round_trips;
+};
+
+}  // namespace lsr::core

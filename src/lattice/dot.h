@@ -1,0 +1,127 @@
+// Dots and dot contexts — the causal bookkeeping behind the optimized
+// observed-remove CRDTs (ORSet, MVRegister). A dot uniquely identifies one
+// update event as (replica, sequence); a DotContext compactly records a set
+// of observed dots as a version vector plus a "cloud" of out-of-gap dots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/wire.h"
+
+namespace lsr::lattice {
+
+struct Dot {
+  std::uint32_t replica = 0;
+  std::uint64_t sequence = 0;
+
+  auto operator<=>(const Dot&) const = default;
+
+  void encode(Encoder& enc) const {
+    enc.put_u32(replica);
+    enc.put_u64(sequence);
+  }
+
+  static Dot decode(Decoder& dec) {
+    Dot dot;
+    dot.replica = dec.get_u32();
+    dot.sequence = dec.get_u64();
+    return dot;
+  }
+};
+
+class DotContext {
+ public:
+  // True iff `dot` has been observed.
+  bool contains(const Dot& dot) const {
+    const auto it = vector_.find(dot.replica);
+    if (it != vector_.end() && dot.sequence <= it->second) return true;
+    return cloud_.count(dot) > 0;
+  }
+
+  // Mint the next dot for `replica` and record it as observed.
+  Dot next_dot(std::uint32_t replica) {
+    const Dot dot{replica, vector_[replica] + 1};
+    add(dot);
+    return dot;
+  }
+
+  void add(const Dot& dot) {
+    cloud_.insert(dot);
+    compact();
+  }
+
+  void join(const DotContext& other) {
+    for (const auto& [replica, seq] : other.vector_) {
+      auto& mine = vector_[replica];
+      if (seq > mine) mine = seq;
+    }
+    cloud_.insert(other.cloud_.begin(), other.cloud_.end());
+    compact();
+  }
+
+  bool leq(const DotContext& other) const {
+    for (const auto& [replica, seq] : vector_)
+      if (!other.contains(Dot{replica, seq})) return false;
+    for (const auto& dot : cloud_)
+      if (!other.contains(dot)) return false;
+    return true;
+  }
+
+  bool operator==(const DotContext& other) const {
+    return leq(other) && other.leq(*this);
+  }
+
+  void encode(Encoder& enc) const {
+    enc.put_container(vector_, [](Encoder& e, const auto& kv) {
+      e.put_u32(kv.first);
+      e.put_u64(kv.second);
+    });
+    enc.put_container(cloud_, [](Encoder& e, const Dot& d) { d.encode(e); });
+  }
+
+  static DotContext decode(Decoder& dec) {
+    DotContext ctx;
+    dec.get_container([&ctx](Decoder& d) {
+      const auto replica = d.get_u32();
+      ctx.vector_[replica] = d.get_u64();
+    });
+    dec.get_container([&ctx](Decoder& d) { ctx.cloud_.insert(Dot::decode(d)); });
+    ctx.compact();
+    return ctx;
+  }
+
+  const std::map<std::uint32_t, std::uint64_t>& vector() const { return vector_; }
+  const std::set<Dot>& cloud() const { return cloud_; }
+
+ private:
+  // Absorb cloud dots that extend a replica's contiguous prefix.
+  void compact() {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (auto it = cloud_.begin(); it != cloud_.end();) {
+        auto& head = vector_[it->replica];
+        if (it->sequence == head + 1) {
+          head = it->sequence;
+          it = cloud_.erase(it);
+          progressed = true;
+        } else if (it->sequence <= head) {
+          it = cloud_.erase(it);  // already covered
+          progressed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Drop empty entries created by lookups so equality is structural.
+    for (auto it = vector_.begin(); it != vector_.end();)
+      it = (it->second == 0) ? vector_.erase(it) : std::next(it);
+  }
+
+  std::map<std::uint32_t, std::uint64_t> vector_;
+  std::set<Dot> cloud_;
+};
+
+}  // namespace lsr::lattice

@@ -1,0 +1,83 @@
+// Grow-only counter (paper Algorithm 1): one non-negative slot per replica,
+// join = element-wise max, value = sum of slots. This is the CRDT the paper's
+// entire evaluation replicates.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/wire.h"
+
+namespace lsr::lattice {
+
+class GCounter {
+ public:
+  GCounter() = default;
+  explicit GCounter(std::size_t replicas) : slots_(replicas, 0) {}
+
+  // update(): increment this replica's slot (Algorithm 1, lines 10-12).
+  // Inflationary by construction.
+  void increment(std::size_t replica, std::uint64_t amount = 1) {
+    ensure_slot(replica);
+    slots_[replica] += amount;
+  }
+
+  // query(): the counter's value (Algorithm 1, lines 8-9).
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto slot : slots_) sum += slot;
+    return sum;
+  }
+
+  std::uint64_t slot(std::size_t replica) const {
+    return replica < slots_.size() ? slots_[replica] : 0;
+  }
+
+  std::size_t slot_count() const { return slots_.size(); }
+
+  // merge(): element-wise max (Algorithm 1, lines 5-6).
+  void join(const GCounter& other) {
+    if (other.slots_.size() > slots_.size()) slots_.resize(other.slots_.size(), 0);
+    for (std::size_t i = 0; i < other.slots_.size(); ++i)
+      slots_[i] = std::max(slots_[i], other.slots_[i]);
+  }
+
+  // compare(): element-wise <= (Algorithm 1, lines 3-4).
+  bool leq(const GCounter& other) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      if (slots_[i] > (i < other.slots_.size() ? other.slots_[i] : 0))
+        return false;
+    return true;
+  }
+
+  bool operator==(const GCounter& other) const {
+    return leq(other) && other.leq(*this);
+  }
+
+  void encode(Encoder& enc) const {
+    enc.put_container(slots_, [](Encoder& e, std::uint64_t v) { e.put_u64(v); });
+  }
+
+  static GCounter decode(Decoder& dec) {
+    GCounter counter;
+    dec.get_container([&counter](Decoder& d) {
+      counter.slots_.push_back(d.get_u64());
+    });
+    return counter;
+  }
+
+  // Approximate in-memory footprint; used by the overhead benchmark to verify
+  // the paper's "memory overhead of a single counter per replica" claim.
+  std::size_t byte_size() const { return slots_.size() * sizeof(std::uint64_t); }
+
+ private:
+  void ensure_slot(std::size_t replica) {
+    if (replica >= slots_.size()) slots_.resize(replica + 1, 0);
+  }
+
+  std::vector<std::uint64_t> slots_;
+};
+
+}  // namespace lsr::lattice

@@ -1,0 +1,78 @@
+// Grow-only map from keys to nested lattices; join and order are pointwise.
+// Composes with every other lattice in this library (e.g. GMap<string,
+// PNCounter> is a map of named counters, GMap<string, ORSet<string>> a map of
+// sets) — the building block for Riak-style composed CRDT documents.
+#pragma once
+
+#include <map>
+
+#include "common/codec.h"
+#include "common/wire.h"
+#include "lattice/semilattice.h"
+
+namespace lsr::lattice {
+
+template <WireCodable K, SerializableLattice V>
+class GMap {
+ public:
+  GMap() = default;
+
+  // Access (creating if absent) the nested lattice at `key`. Mutations via
+  // the returned reference must be inflationary on V, which makes the whole
+  // map update inflationary.
+  V& at(const K& key) { return entries_[key]; }
+
+  const V* find(const K& key) const {
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  bool contains(const K& key) const { return entries_.count(key) > 0; }
+  std::size_t size() const { return entries_.size(); }
+
+  const std::map<K, V>& entries() const { return entries_; }
+
+  void join(const GMap& other) {
+    for (const auto& [key, value] : other.entries_) entries_[key].join(value);
+  }
+
+  bool leq(const GMap& other) const {
+    for (const auto& [key, value] : entries_) {
+      const auto it = other.entries_.find(key);
+      // A missing key on the other side is only acceptable if our nested
+      // value is itself bottom (v everything); conservatively compare with a
+      // default-constructed V.
+      if (it == other.entries_.end()) {
+        if (!value.leq(V{})) return false;
+      } else if (!value.leq(it->second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool operator==(const GMap& other) const {
+    return leq(other) && other.leq(*this);
+  }
+
+  void encode(Encoder& enc) const {
+    enc.put_container(entries_, [](Encoder& e, const auto& kv) {
+      wire_put(e, kv.first);
+      kv.second.encode(e);
+    });
+  }
+
+  static GMap decode(Decoder& dec) {
+    GMap map;
+    dec.get_container([&map](Decoder& d) {
+      K key = wire_get<K>(d);
+      map.entries_.emplace(std::move(key), V::decode(d));
+    });
+    return map;
+  }
+
+ private:
+  std::map<K, V> entries_;
+};
+
+}  // namespace lsr::lattice

@@ -1,0 +1,52 @@
+// Grow-only set: join = union, order = subset inclusion.
+#pragma once
+
+#include <algorithm>
+#include <set>
+
+#include "common/codec.h"
+#include "common/wire.h"
+
+namespace lsr::lattice {
+
+template <WireCodable T>
+class GSet {
+ public:
+  GSet() = default;
+  GSet(std::initializer_list<T> init) : elements_(init) {}
+
+  void add(T element) { elements_.insert(std::move(element)); }
+
+  bool contains(const T& element) const { return elements_.count(element) > 0; }
+
+  std::size_t size() const { return elements_.size(); }
+
+  const std::set<T>& elements() const { return elements_; }
+
+  void join(const GSet& other) {
+    elements_.insert(other.elements_.begin(), other.elements_.end());
+  }
+
+  bool leq(const GSet& other) const {
+    return std::includes(other.elements_.begin(), other.elements_.end(),
+                         elements_.begin(), elements_.end());
+  }
+
+  bool operator==(const GSet& other) const = default;
+
+  void encode(Encoder& enc) const {
+    enc.put_container(elements_,
+                      [](Encoder& e, const T& v) { wire_put(e, v); });
+  }
+
+  static GSet decode(Decoder& dec) {
+    GSet set;
+    dec.get_container([&set](Decoder& d) { set.add(wire_get<T>(d)); });
+    return set;
+  }
+
+ private:
+  std::set<T> elements_;
+};
+
+}  // namespace lsr::lattice

@@ -1,0 +1,70 @@
+// Last-writer-wins register: value tagged with (timestamp, writer id); join
+// keeps the tag-larger write. Timestamps are caller-supplied (logical clocks
+// in the examples) with the writer id breaking ties deterministically.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+
+#include "common/codec.h"
+#include "common/wire.h"
+
+namespace lsr::lattice {
+
+template <WireCodable T>
+class LWWRegister {
+ public:
+  LWWRegister() = default;
+
+  void assign(T value, std::int64_t timestamp, std::uint32_t writer) {
+    // Only inflationary writes are applied; an older timestamp loses.
+    if (std::tie(timestamp, writer) >= std::tie(timestamp_, writer_)) {
+      value_ = std::move(value);
+      timestamp_ = timestamp;
+      writer_ = writer;
+    }
+  }
+
+  const T& value() const { return value_; }
+  std::int64_t timestamp() const { return timestamp_; }
+  std::uint32_t writer() const { return writer_; }
+
+  void join(const LWWRegister& other) {
+    if (std::tie(other.timestamp_, other.writer_) >
+        std::tie(timestamp_, writer_)) {
+      value_ = other.value_;
+      timestamp_ = other.timestamp_;
+      writer_ = other.writer_;
+    }
+  }
+
+  bool leq(const LWWRegister& other) const {
+    return std::tie(timestamp_, writer_) <=
+           std::tie(other.timestamp_, other.writer_);
+  }
+
+  bool operator==(const LWWRegister& other) const {
+    return timestamp_ == other.timestamp_ && writer_ == other.writer_;
+  }
+
+  void encode(Encoder& enc) const {
+    enc.put_i64(timestamp_);
+    enc.put_u32(writer_);
+    wire_put(enc, value_);
+  }
+
+  static LWWRegister decode(Decoder& dec) {
+    LWWRegister reg;
+    reg.timestamp_ = dec.get_i64();
+    reg.writer_ = dec.get_u32();
+    reg.value_ = wire_get<T>(dec);
+    return reg;
+  }
+
+ private:
+  T value_{};
+  std::int64_t timestamp_ = 0;
+  std::uint32_t writer_ = 0;
+};
+
+}  // namespace lsr::lattice

@@ -1,0 +1,38 @@
+// Max register: the simplest useful join semilattice over integers with
+// join = max. Often used as a high-water mark (e.g. largest offset seen).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/wire.h"
+
+namespace lsr::lattice {
+
+class MaxRegister {
+ public:
+  MaxRegister() = default;
+  explicit MaxRegister(std::int64_t value) : value_(value) {}
+
+  // Inflationary update: raise the register to at least `value`.
+  void raise(std::int64_t value) { value_ = std::max(value_, value); }
+
+  std::int64_t value() const { return value_; }
+
+  void join(const MaxRegister& other) { value_ = std::max(value_, other.value_); }
+
+  bool leq(const MaxRegister& other) const { return value_ <= other.value_; }
+
+  bool operator==(const MaxRegister& other) const = default;
+
+  void encode(Encoder& enc) const { enc.put_i64(value_); }
+
+  static MaxRegister decode(Decoder& dec) { return MaxRegister(dec.get_i64()); }
+
+  std::size_t byte_size() const { return sizeof(std::int64_t); }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+}  // namespace lsr::lattice

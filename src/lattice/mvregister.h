@@ -1,0 +1,92 @@
+// Multi-value register: concurrent assignments are all retained (each tagged
+// with a dot) until overwritten causally; readers observe the set of
+// concurrent values and may reconcile. Dot-context formulation: an assign
+// replaces all *observed* values with a single freshly-dotted value.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "common/codec.h"
+#include "common/wire.h"
+#include "lattice/dot.h"
+
+namespace lsr::lattice {
+
+template <WireCodable T>
+class MVRegister {
+ public:
+  MVRegister() = default;
+
+  void assign(std::uint32_t replica, T value) {
+    values_.clear();  // all currently observed values are causally dominated
+    const Dot dot = context_.next_dot(replica);
+    values_.emplace(dot, std::move(value));
+  }
+
+  // The set of concurrent values (usually a single element).
+  std::set<T> values() const {
+    std::set<T> out;
+    for (const auto& [dot, value] : values_) out.insert(value);
+    return out;
+  }
+
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+
+  void join(const MVRegister& other) {
+    for (auto it = values_.begin(); it != values_.end();) {
+      const bool in_other = other.values_.count(it->first) > 0;
+      if (!in_other && other.context_.contains(it->first))
+        it = values_.erase(it);
+      else
+        ++it;
+    }
+    for (const auto& [dot, value] : other.values_) {
+      if (!context_.contains(dot) || values_.count(dot))
+        values_.emplace(dot, value);
+    }
+    context_.join(other.context_);
+  }
+
+  bool leq(const MVRegister& other) const {
+    if (!context_.leq(other.context_)) return false;
+    MVRegister merged = other;
+    merged.join(*this);
+    return merged == other;
+  }
+
+  bool operator==(const MVRegister& other) const {
+    if (context_ != other.context_) return false;
+    if (values_.size() != other.values_.size()) return false;
+    for (const auto& [dot, value] : values_) {
+      const auto it = other.values_.find(dot);
+      if (it == other.values_.end()) return false;
+    }
+    return true;
+  }
+
+  void encode(Encoder& enc) const {
+    enc.put_container(values_, [](Encoder& e, const auto& kv) {
+      kv.first.encode(e);
+      wire_put(e, kv.second);
+    });
+    context_.encode(enc);
+  }
+
+  static MVRegister decode(Decoder& dec) {
+    MVRegister reg;
+    dec.get_container([&reg](Decoder& d) {
+      Dot dot = Dot::decode(d);
+      reg.values_.emplace(dot, wire_get<T>(d));
+    });
+    reg.context_ = DotContext::decode(dec);
+    return reg;
+  }
+
+ private:
+  std::map<Dot, T> values_;
+  DotContext context_;
+};
+
+}  // namespace lsr::lattice

@@ -1,0 +1,106 @@
+// Observed-remove set with add-wins semantics, in the optimized (dot-context)
+// formulation of Bieniusa et al. — no per-element tombstones. Each live
+// element carries the set of dots that added it; a remove deletes the dots
+// (they stay covered by the causal context). On join, a dot survives iff it
+// is present on both sides, or present on one side and *not yet seen* by the
+// other's context — which is exactly "adds win over concurrent removes".
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "common/codec.h"
+#include "common/wire.h"
+#include "lattice/dot.h"
+
+namespace lsr::lattice {
+
+template <WireCodable T>
+class ORSet {
+ public:
+  ORSet() = default;
+
+  // Adding is performed by a specific replica, which mints a fresh dot.
+  void add(std::uint32_t replica, T element) {
+    const Dot dot = context_.next_dot(replica);
+    entries_[std::move(element)].insert(dot);
+  }
+
+  // Remove deletes all observed dots for the element. Concurrent adds (dots
+  // we have not observed) survive a later join: add-wins.
+  void remove(const T& element) { entries_.erase(element); }
+
+  bool contains(const T& element) const { return entries_.count(element) > 0; }
+
+  std::size_t size() const { return entries_.size(); }
+
+  std::set<T> elements() const {
+    std::set<T> out;
+    for (const auto& [element, dots] : entries_) out.insert(element);
+    return out;
+  }
+
+  void join(const ORSet& other) {
+    // For each element, keep: dots in both; dots only here that other has not
+    // seen; dots only there that we have not seen.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      auto& dots = it->second;
+      const auto other_it = other.entries_.find(it->first);
+      for (auto dot_it = dots.begin(); dot_it != dots.end();) {
+        const bool in_other =
+            other_it != other.entries_.end() && other_it->second.count(*dot_it);
+        if (!in_other && other.context_.contains(*dot_it))
+          dot_it = dots.erase(dot_it);  // other observed and removed it
+        else
+          ++dot_it;
+      }
+      it = dots.empty() ? entries_.erase(it) : std::next(it);
+    }
+    for (const auto& [element, other_dots] : other.entries_) {
+      auto& dots = entries_[element];
+      for (const auto& dot : other_dots)
+        if (!context_.contains(dot) || dots.count(dot)) dots.insert(dot);
+      if (dots.empty()) entries_.erase(element);
+    }
+    context_.join(other.context_);
+  }
+
+  bool leq(const ORSet& other) const {
+    // s1 v s2 iff joining s1 into s2 does not change s2.
+    if (!context_.leq(other.context_)) return false;
+    ORSet merged = other;
+    merged.join(*this);
+    return merged == other;
+  }
+
+  bool operator==(const ORSet& other) const {
+    return entries_ == other.entries_ && context_ == other.context_;
+  }
+
+  const DotContext& context() const { return context_; }
+
+  void encode(Encoder& enc) const {
+    enc.put_container(entries_, [](Encoder& e, const auto& kv) {
+      wire_put(e, kv.first);
+      e.put_container(kv.second, [](Encoder& e2, const Dot& d) { d.encode(e2); });
+    });
+    context_.encode(enc);
+  }
+
+  static ORSet decode(Decoder& dec) {
+    ORSet set;
+    dec.get_container([&set](Decoder& d) {
+      T element = wire_get<T>(d);
+      auto& dots = set.entries_[std::move(element)];
+      d.get_container([&dots](Decoder& d2) { dots.insert(Dot::decode(d2)); });
+    });
+    set.context_ = DotContext::decode(dec);
+    return set;
+  }
+
+ private:
+  std::map<T, std::set<Dot>> entries_;
+  DotContext context_;
+};
+
+}  // namespace lsr::lattice

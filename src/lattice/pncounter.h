@@ -1,0 +1,65 @@
+// Positive-negative counter: a pair of G-counters (increments, decrements).
+// value = sum(p) - sum(n). Join and order are component-wise.
+#pragma once
+
+#include <cstdint>
+
+#include "common/wire.h"
+#include "lattice/gcounter.h"
+
+namespace lsr::lattice {
+
+class PNCounter {
+ public:
+  PNCounter() = default;
+  explicit PNCounter(std::size_t replicas)
+      : positive_(replicas), negative_(replicas) {}
+
+  void increment(std::size_t replica, std::uint64_t amount = 1) {
+    positive_.increment(replica, amount);
+  }
+
+  void decrement(std::size_t replica, std::uint64_t amount = 1) {
+    negative_.increment(replica, amount);
+  }
+
+  std::int64_t value() const {
+    return static_cast<std::int64_t>(positive_.value()) -
+           static_cast<std::int64_t>(negative_.value());
+  }
+
+  void join(const PNCounter& other) {
+    positive_.join(other.positive_);
+    negative_.join(other.negative_);
+  }
+
+  bool leq(const PNCounter& other) const {
+    return positive_.leq(other.positive_) && negative_.leq(other.negative_);
+  }
+
+  bool operator==(const PNCounter& other) const {
+    return leq(other) && other.leq(*this);
+  }
+
+  void encode(Encoder& enc) const {
+    positive_.encode(enc);
+    negative_.encode(enc);
+  }
+
+  static PNCounter decode(Decoder& dec) {
+    PNCounter counter;
+    counter.positive_ = GCounter::decode(dec);
+    counter.negative_ = GCounter::decode(dec);
+    return counter;
+  }
+
+  std::size_t byte_size() const {
+    return positive_.byte_size() + negative_.byte_size();
+  }
+
+ private:
+  GCounter positive_;
+  GCounter negative_;
+};
+
+}  // namespace lsr::lattice

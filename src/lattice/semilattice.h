@@ -1,0 +1,65 @@
+// Join-semilattice concepts and helpers (paper Sect. 2.2, Definitions 1-3).
+//
+// A state-based CRDT is a triple (S, Q, U): a join semilattice S of payload
+// states, query functions Q, and monotonically non-decreasing update
+// functions U. Every lattice type in this library models:
+//
+//   void join(const T& other);      // s <- s LUB other      (Definition 2)
+//   bool leq(const T& other) const; // the partial order v   (Definition 1)
+//   void encode(Encoder&) const / static T decode(Decoder&); // wire format
+//
+// join must be idempotent, commutative and associative; update functions on
+// the type must be inflationary (s v u(s)). Those laws are enforced by the
+// property tests in tests/lattice_properties_test.cpp.
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+#include "common/wire.h"
+
+namespace lsr::lattice {
+
+template <typename T>
+concept JoinSemilattice =
+    std::default_initializable<T> && std::copyable<T> &&
+    requires(T mutable_value, const T& other) {
+      { mutable_value.join(other) } -> std::same_as<void>;
+      { std::as_const(mutable_value).leq(other) } -> std::same_as<bool>;
+    };
+
+template <typename T>
+concept SerializableLattice =
+    JoinSemilattice<T> &&
+    requires(const T& value, Encoder& enc, Decoder& dec) {
+      { value.encode(enc) } -> std::same_as<void>;
+      { T::decode(dec) } -> std::same_as<T>;
+    };
+
+// s1 LUB s2 as a new value.
+template <JoinSemilattice T>
+T join_of(T left, const T& right) {
+  left.join(right);
+  return left;
+}
+
+// s1 == s2 in the lattice sense: s1 v s2 and s2 v s1 (paper: "equivalent",
+// all queries agree on both states).
+template <JoinSemilattice T>
+bool equivalent(const T& left, const T& right) {
+  return left.leq(right) && right.leq(left);
+}
+
+// s1 and s2 can be ordered (the paper's Consistency condition requires all
+// learned states to be pairwise comparable).
+template <JoinSemilattice T>
+bool comparable(const T& left, const T& right) {
+  return left.leq(right) || right.leq(left);
+}
+
+template <JoinSemilattice T>
+bool strictly_less(const T& left, const T& right) {
+  return left.leq(right) && !right.leq(left);
+}
+
+}  // namespace lsr::lattice

@@ -1,0 +1,63 @@
+// Two-phase set: a pair of grow-only sets (added, removed). An element is a
+// member iff added and never removed; removal is permanent (the classic
+// tombstone design from Shapiro et al.).
+#pragma once
+
+#include "lattice/gset.h"
+
+namespace lsr::lattice {
+
+template <WireCodable T>
+class TwoPSet {
+ public:
+  TwoPSet() = default;
+
+  void add(T element) { added_.add(std::move(element)); }
+
+  // Removing an element that was never added is permitted and simply
+  // pre-blocks any future add (standard 2P-set semantics).
+  void remove(T element) { removed_.add(std::move(element)); }
+
+  bool contains(const T& element) const {
+    return added_.contains(element) && !removed_.contains(element);
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& e : added_.elements())
+      if (!removed_.contains(e)) ++n;
+    return n;
+  }
+
+  const GSet<T>& added() const { return added_; }
+  const GSet<T>& removed() const { return removed_; }
+
+  void join(const TwoPSet& other) {
+    added_.join(other.added_);
+    removed_.join(other.removed_);
+  }
+
+  bool leq(const TwoPSet& other) const {
+    return added_.leq(other.added_) && removed_.leq(other.removed_);
+  }
+
+  bool operator==(const TwoPSet& other) const = default;
+
+  void encode(Encoder& enc) const {
+    added_.encode(enc);
+    removed_.encode(enc);
+  }
+
+  static TwoPSet decode(Decoder& dec) {
+    TwoPSet set;
+    set.added_ = GSet<T>::decode(dec);
+    set.removed_ = GSet<T>::decode(dec);
+    return set;
+  }
+
+ private:
+  GSet<T> added_;
+  GSet<T> removed_;
+};
+
+}  // namespace lsr::lattice

@@ -1,0 +1,69 @@
+// Transport abstraction the protocol code is written against. Two hosts
+// implement it: the deterministic discrete-event simulator (sim::Simulator,
+// used by tests and benchmarks) and the real-time threaded in-process cluster
+// (net::InprocCluster, used by the examples). Protocol code is identical on
+// both.
+//
+// Execution model (matches the paper's Erlang deployment): every node hosts a
+// small fixed set of *lanes*; each lane is a serial executor (one Erlang
+// actor), different lanes run in parallel (multi-core node). Endpoint
+// implementations classify incoming messages into lanes via lane_of(). The
+// CRDT replica uses two lanes (acceptor, proposer); the Multi-Paxos and Raft
+// baselines use a single lane, modelling their single peer FSM / log process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace lsr::net {
+
+using TimerId = std::uint64_t;
+
+constexpr TimerId kInvalidTimer = 0;
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual NodeId self() const = 0;
+  virtual TimeNs now() const = 0;
+
+  // Asynchronously delivers `data` to node `dst` (may be lost / delayed /
+  // duplicated / reordered by the host, never corrupted).
+  virtual void send(NodeId dst, Bytes data) = 0;
+
+  // One-shot timer executing `fn` on the given lane of this node after
+  // `delay`. Timers are lost if the node is down when they fire.
+  virtual TimerId set_timer(TimeNs delay, int lane, std::function<void()> fn) = 0;
+  virtual void cancel_timer(TimerId id) = 0;
+
+  // Charges additional service time to the lane currently executing; used by
+  // the baselines to model command-log writes.
+  virtual void consume(TimeNs cost) = 0;
+};
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  // Invoked once when the hosting node starts.
+  virtual void on_start() {}
+
+  // Invoked after a crashed node recovers (crash-recovery model: internal
+  // state is preserved, in-flight messages and timers are lost).
+  virtual void on_recover() {}
+
+  virtual void on_message(NodeId from, const Bytes& data) = 0;
+
+  // Classifies a raw message into an execution lane; must not mutate state.
+  virtual int lane_of(const Bytes& data) const {
+    (void)data;
+    return 0;
+  }
+
+  virtual int lane_count() const { return 1; }
+};
+
+}  // namespace lsr::net

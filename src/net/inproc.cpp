@@ -1,0 +1,181 @@
+#include "net/inproc.h"
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace lsr::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+struct InprocCluster::Node {
+  NodeId id = 0;
+  InprocCluster* cluster = nullptr;
+  std::unique_ptr<Context> context;
+  std::unique_ptr<Endpoint> endpoint;
+  std::thread thread;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::pair<NodeId, Bytes>> mailbox;
+
+  struct Timer {
+    TimeNs fire_at;
+    std::function<void()> fn;
+  };
+  // Timers are only touched from the node's own thread.
+  std::map<TimerId, Timer> timers;
+  TimerId next_timer_id = 1;
+
+  std::atomic<bool> paused{false};
+  bool was_paused = false;
+};
+
+class InprocCluster::InprocContext final : public Context {
+ public:
+  InprocContext(InprocCluster* cluster, Node* node)
+      : cluster_(cluster), node_(node) {}
+
+  NodeId self() const override { return node_->id; }
+
+  TimeNs now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - cluster_->epoch_)
+        .count();
+  }
+
+  void send(NodeId dst, Bytes data) override {
+    if (dst >= cluster_->nodes_.size()) return;
+    Node& target = *cluster_->nodes_[dst];
+    {
+      std::lock_guard<std::mutex> lock(target.mutex);
+      target.mailbox.emplace_back(node_->id, std::move(data));
+    }
+    target.cv.notify_one();
+  }
+
+  TimerId set_timer(TimeNs delay, int lane, std::function<void()> fn) override {
+    (void)lane;  // threads provide real parallelism; lanes are a sim concept
+    const TimerId id = node_->next_timer_id++;
+    node_->timers.emplace(id, Node::Timer{now() + delay, std::move(fn)});
+    return id;
+  }
+
+  void cancel_timer(TimerId id) override { node_->timers.erase(id); }
+
+  void consume(TimeNs cost) override { (void)cost; }  // real time rules here
+
+ private:
+  InprocCluster* cluster_;
+  Node* node_;
+};
+
+InprocCluster::InprocCluster() : epoch_(Clock::now()) {}
+
+InprocCluster::~InprocCluster() { stop(); }
+
+NodeId InprocCluster::add_node(const EndpointFactory& factory) {
+  LSR_EXPECTS(!started_);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  node->cluster = this;
+  node->context = std::make_unique<InprocContext>(this, node.get());
+  node->endpoint = factory(*node->context);
+  LSR_ENSURES(node->endpoint != nullptr);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void InprocCluster::start() {
+  LSR_EXPECTS(!started_);
+  started_ = true;
+  running_.store(true);
+  for (auto& node : nodes_)
+    node->thread = std::thread([this, node = node.get()] { node_loop(*node); });
+}
+
+void InprocCluster::stop() {
+  if (!started_) return;
+  running_.store(false);
+  for (auto& node : nodes_) node->cv.notify_all();
+  for (auto& node : nodes_)
+    if (node->thread.joinable()) node->thread.join();
+  started_ = false;
+}
+
+Endpoint& InprocCluster::endpoint(NodeId node) {
+  LSR_EXPECTS(node < nodes_.size());
+  return *nodes_[node]->endpoint;
+}
+
+void InprocCluster::set_paused(NodeId node, bool paused) {
+  LSR_EXPECTS(node < nodes_.size());
+  nodes_[node]->paused.store(paused);
+  nodes_[node]->cv.notify_all();
+}
+
+void InprocCluster::node_loop(Node& node) {
+  node.endpoint->on_start();
+  while (running_.load()) {
+    if (node.paused.load()) {
+      // Crash simulation: drop queued messages and pending timers, then wait.
+      std::unique_lock<std::mutex> lock(node.mutex);
+      node.mailbox.clear();
+      node.timers.clear();
+      node.was_paused = true;
+      node.cv.wait_for(lock, std::chrono::milliseconds(10));
+      continue;
+    }
+    if (node.was_paused) {
+      node.was_paused = false;
+      node.endpoint->on_recover();
+    }
+    // Next timer deadline (timers are own-thread only; safe unlocked).
+    TimeNs next_fire = -1;
+    TimerId next_id = kInvalidTimer;
+    for (const auto& [id, timer] : node.timers) {
+      if (next_fire < 0 || timer.fire_at < next_fire) {
+        next_fire = timer.fire_at;
+        next_id = id;
+      }
+    }
+    const TimeNs now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - epoch_)
+                              .count();
+    if (next_id != kInvalidTimer && next_fire <= now_ns) {
+      auto handler = std::move(node.timers.at(next_id).fn);
+      node.timers.erase(next_id);
+      handler();
+      continue;
+    }
+    std::pair<NodeId, Bytes> message;
+    bool have_message = false;
+    {
+      std::unique_lock<std::mutex> lock(node.mutex);
+      const auto wait_predicate = [&] {
+        return !running_.load() || node.paused.load() || !node.mailbox.empty();
+      };
+      if (node.mailbox.empty()) {
+        if (next_id != kInvalidTimer) {
+          const auto deadline =
+              epoch_ + std::chrono::nanoseconds(next_fire);
+          node.cv.wait_until(lock, deadline, wait_predicate);
+        } else {
+          node.cv.wait_for(lock, std::chrono::milliseconds(50),
+                           wait_predicate);
+        }
+      }
+      if (!node.mailbox.empty()) {
+        message = std::move(node.mailbox.front());
+        node.mailbox.pop_front();
+        have_message = true;
+      }
+    }
+    if (have_message && !node.paused.load())
+      node.endpoint->on_message(message.first, message.second);
+  }
+}
+
+}  // namespace lsr::net

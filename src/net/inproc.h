@@ -1,0 +1,66 @@
+// Real-time, threaded in-process cluster: each node runs its endpoint on its
+// own thread with a mutex-protected mailbox and a timer queue. Used by the
+// examples to run a live replicated service inside one OS process; the
+// protocol code is identical to what runs on the deterministic simulator
+// because both implement net::Context.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "net/context.h"
+
+namespace lsr::net {
+
+class InprocCluster {
+ public:
+  using EndpointFactory = std::function<std::unique_ptr<Endpoint>(Context&)>;
+
+  InprocCluster();
+  ~InprocCluster();
+
+  InprocCluster(const InprocCluster&) = delete;
+  InprocCluster& operator=(const InprocCluster&) = delete;
+
+  // Must be called before start().
+  NodeId add_node(const EndpointFactory& factory);
+
+  // Spawns one thread per node and invokes on_start on each.
+  void start();
+
+  // Stops all node threads (drains nothing; pending messages are dropped).
+  void stop();
+
+  Endpoint& endpoint(NodeId node);
+  template <typename T>
+  T& endpoint_as(NodeId node) {
+    return static_cast<T&>(endpoint(node));
+  }
+
+  // Pauses a node (its thread discards incoming messages and timers do not
+  // fire) — a lightweight stand-in for a crash in the crash-recovery model:
+  // endpoint state is preserved. Resume calls on_recover.
+  void set_paused(NodeId node, bool paused);
+
+ private:
+  struct Node;
+  class InprocContext;
+
+  void node_loop(Node& node);
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace lsr::net

@@ -1,0 +1,302 @@
+// Wire messages of the Multi-Paxos baseline (leader-based RSM with a command
+// log and leader read leases — the architecture of riak_ensemble, which the
+// paper compares against).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "common/wire.h"
+
+namespace lsr::paxos {
+
+struct Ballot {
+  std::uint64_t number = 0;
+  NodeId node = 0;
+
+  auto operator<=>(const Ballot&) const = default;
+
+  void encode(Encoder& enc) const {
+    enc.put_u64(number);
+    enc.put_u32(node);
+  }
+  static Ballot decode(Decoder& dec) {
+    Ballot b;
+    b.number = dec.get_u64();
+    b.node = dec.get_u32();
+    return b;
+  }
+};
+
+// A replicated update command (only updates enter the log; reads are served
+// from the leader under a lease).
+struct Command {
+  NodeId client = 0;
+  RequestId request = 0;
+  std::int64_t amount = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u32(client);
+    enc.put_u64(request);
+    enc.put_i64(amount);
+  }
+  static Command decode(Decoder& dec) {
+    Command cmd;
+    cmd.client = dec.get_u32();
+    cmd.request = dec.get_u64();
+    cmd.amount = dec.get_i64();
+    return cmd;
+  }
+};
+
+struct LogEntry {
+  Ballot accepted;
+  Command command;
+
+  void encode(Encoder& enc) const {
+    accepted.encode(enc);
+    command.encode(enc);
+  }
+  static LogEntry decode(Decoder& dec) {
+    LogEntry entry;
+    entry.accepted = Ballot::decode(dec);
+    entry.command = Command::decode(dec);
+    return entry;
+  }
+};
+
+enum class MsgTag : std::uint8_t {
+  kPrepare = 16,
+  kPromise = 17,
+  kPrepareNack = 18,
+  kAccept = 19,
+  kAccepted = 20,
+  kHeartbeat = 21,
+  kHeartbeatAck = 22,
+  kForward = 23,
+  kCatchupRequest = 24,
+  kCatchup = 25,
+};
+
+struct Prepare {
+  Ballot ballot;
+  std::uint64_t from_slot = 1;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kPrepare));
+    ballot.encode(enc);
+    enc.put_u64(from_slot);
+  }
+  static Prepare decode(Decoder& dec) {
+    Prepare msg;
+    msg.ballot = Ballot::decode(dec);
+    msg.from_slot = dec.get_u64();
+    return msg;
+  }
+};
+
+struct Promise {
+  Ballot ballot;
+  std::int64_t snapshot_value = 0;
+  std::uint64_t snapshot_applied = 0;
+  std::uint64_t commit_index = 0;
+  std::vector<std::pair<std::uint64_t, LogEntry>> entries;
+  // Per-client session state at the snapshot (dedup of retried updates).
+  std::vector<std::pair<NodeId, RequestId>> sessions;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kPromise));
+    ballot.encode(enc);
+    enc.put_i64(snapshot_value);
+    enc.put_u64(snapshot_applied);
+    enc.put_u64(commit_index);
+    enc.put_container(entries, [](Encoder& e, const auto& kv) {
+      e.put_u64(kv.first);
+      kv.second.encode(e);
+    });
+    enc.put_container(sessions, [](Encoder& e, const auto& kv) {
+      e.put_u32(kv.first);
+      e.put_u64(kv.second);
+    });
+  }
+  static Promise decode(Decoder& dec) {
+    Promise msg;
+    msg.ballot = Ballot::decode(dec);
+    msg.snapshot_value = dec.get_i64();
+    msg.snapshot_applied = dec.get_u64();
+    msg.commit_index = dec.get_u64();
+    dec.get_container([&msg](Decoder& d) {
+      const std::uint64_t slot = d.get_u64();
+      msg.entries.emplace_back(slot, LogEntry::decode(d));
+    });
+    dec.get_container([&msg](Decoder& d) {
+      const NodeId client = d.get_u32();
+      msg.sessions.emplace_back(client, d.get_u64());
+    });
+    return msg;
+  }
+};
+
+struct PrepareNack {
+  Ballot promised;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kPrepareNack));
+    promised.encode(enc);
+  }
+  static PrepareNack decode(Decoder& dec) {
+    PrepareNack msg;
+    msg.promised = Ballot::decode(dec);
+    return msg;
+  }
+};
+
+struct Accept {
+  Ballot ballot;
+  std::uint64_t slot = 0;
+  std::uint64_t commit_index = 0;
+  Command command;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kAccept));
+    ballot.encode(enc);
+    enc.put_u64(slot);
+    enc.put_u64(commit_index);
+    command.encode(enc);
+  }
+  static Accept decode(Decoder& dec) {
+    Accept msg;
+    msg.ballot = Ballot::decode(dec);
+    msg.slot = dec.get_u64();
+    msg.commit_index = dec.get_u64();
+    msg.command = Command::decode(dec);
+    return msg;
+  }
+};
+
+struct Accepted {
+  Ballot ballot;
+  std::uint64_t slot = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kAccepted));
+    ballot.encode(enc);
+    enc.put_u64(slot);
+  }
+  static Accepted decode(Decoder& dec) {
+    Accepted msg;
+    msg.ballot = Ballot::decode(dec);
+    msg.slot = dec.get_u64();
+    return msg;
+  }
+};
+
+struct Heartbeat {
+  Ballot ballot;
+  std::uint64_t sequence = 0;
+  std::uint64_t commit_index = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kHeartbeat));
+    ballot.encode(enc);
+    enc.put_u64(sequence);
+    enc.put_u64(commit_index);
+  }
+  static Heartbeat decode(Decoder& dec) {
+    Heartbeat msg;
+    msg.ballot = Ballot::decode(dec);
+    msg.sequence = dec.get_u64();
+    msg.commit_index = dec.get_u64();
+    return msg;
+  }
+};
+
+struct HeartbeatAck {
+  Ballot ballot;
+  std::uint64_t sequence = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kHeartbeatAck));
+    ballot.encode(enc);
+    enc.put_u64(sequence);
+  }
+  static HeartbeatAck decode(Decoder& dec) {
+    HeartbeatAck msg;
+    msg.ballot = Ballot::decode(dec);
+    msg.sequence = dec.get_u64();
+    return msg;
+  }
+};
+
+// Follower-to-leader forwarding of a raw client message.
+struct Forward {
+  NodeId client = 0;
+  Bytes payload;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kForward));
+    enc.put_u32(client);
+    enc.put_bytes(payload);
+  }
+  static Forward decode(Decoder& dec) {
+    Forward msg;
+    msg.client = dec.get_u32();
+    msg.payload = dec.get_bytes();
+    return msg;
+  }
+};
+
+struct CatchupRequest {
+  std::uint64_t applied = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kCatchupRequest));
+    enc.put_u64(applied);
+  }
+  static CatchupRequest decode(Decoder& dec) {
+    CatchupRequest msg;
+    msg.applied = dec.get_u64();
+    return msg;
+  }
+};
+
+struct Catchup {
+  std::int64_t snapshot_value = 0;
+  std::uint64_t snapshot_applied = 0;
+  std::uint64_t commit_index = 0;
+  std::vector<std::pair<std::uint64_t, LogEntry>> entries;
+  std::vector<std::pair<NodeId, RequestId>> sessions;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kCatchup));
+    enc.put_i64(snapshot_value);
+    enc.put_u64(snapshot_applied);
+    enc.put_u64(commit_index);
+    enc.put_container(entries, [](Encoder& e, const auto& kv) {
+      e.put_u64(kv.first);
+      kv.second.encode(e);
+    });
+    enc.put_container(sessions, [](Encoder& e, const auto& kv) {
+      e.put_u32(kv.first);
+      e.put_u64(kv.second);
+    });
+  }
+  static Catchup decode(Decoder& dec) {
+    Catchup msg;
+    msg.snapshot_value = dec.get_i64();
+    msg.snapshot_applied = dec.get_u64();
+    msg.commit_index = dec.get_u64();
+    dec.get_container([&msg](Decoder& d) {
+      const std::uint64_t slot = d.get_u64();
+      msg.entries.emplace_back(slot, LogEntry::decode(d));
+    });
+    dec.get_container([&msg](Decoder& d) {
+      const NodeId client = d.get_u32();
+      msg.sessions.emplace_back(client, d.get_u64());
+    });
+    return msg;
+  }
+};
+
+}  // namespace lsr::paxos

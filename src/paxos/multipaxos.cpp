@@ -1,0 +1,491 @@
+#include "paxos/multipaxos.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/logging.h"
+#include "rsm/client_msg.h"
+
+namespace lsr::paxos {
+
+MultiPaxosReplica::MultiPaxosReplica(net::Context& ctx,
+                                     std::vector<NodeId> replicas,
+                                     PaxosConfig config)
+    : ctx_(ctx), replicas_(std::move(replicas)), config_(config) {
+  LSR_EXPECTS(!replicas_.empty());
+}
+
+std::size_t MultiPaxosReplica::rank() const {
+  for (std::size_t i = 0; i < replicas_.size(); ++i)
+    if (replicas_[i] == ctx_.self()) return i;
+  LSR_ASSERT(false && "self not in replica set");
+  return 0;
+}
+
+void MultiPaxosReplica::on_start() {
+  if (rank() == 0) {
+    // Bootstrap: the first replica campaigns immediately; the others wait
+    // behind their failover timers and normally never campaign.
+    start_view_change();
+  }
+  arm_failover_timer();
+}
+
+void MultiPaxosReplica::on_recover() {
+  // Volatile roles are dropped; durable-equivalent state (promised ballot,
+  // log, applied snapshot) was preserved by the crash-recovery model.
+  leading_ = false;
+  campaigning_ = false;
+  pending_reads_.clear();
+  pending_client_.clear();
+  slot_acks_.clear();
+  heartbeat_acks_.clear();
+  heartbeat_sent_.clear();
+  lease_until_ = 0;
+  leader_hint_ = kNoLeader;
+  arm_failover_timer();
+}
+
+void MultiPaxosReplica::broadcast(const Bytes& data) {
+  for (const NodeId replica : replicas_)
+    if (replica != ctx_.self()) ctx_.send(replica, data);
+}
+
+void MultiPaxosReplica::on_message(NodeId from, const Bytes& data) {
+  try {
+    Decoder dec(data);
+    const std::uint8_t tag = dec.get_u8();
+    if (rsm::is_client_tag(tag)) {
+      if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kUpdate)) {
+        auto msg = rsm::ClientUpdate::decode(dec);
+        if (leading_) {
+          Decoder args(msg.args);
+          handle_client_update(from, msg.request,
+                               static_cast<std::int64_t>(args.get_u64()));
+        } else if (leader_hint_ != kNoLeader && leader_hint_ != ctx_.self()) {
+          ++stats_.forwards;
+          Forward fwd{from, data};
+          Encoder enc;
+          fwd.encode(enc);
+          ctx_.send(leader_hint_, std::move(enc).take());
+        } else {
+          pending_client_.emplace_back(from, data);
+        }
+      } else if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kQuery)) {
+        auto msg = rsm::ClientQuery::decode(dec);
+        if (leading_) {
+          handle_client_query(from, msg.request);
+        } else if (leader_hint_ != kNoLeader && leader_hint_ != ctx_.self()) {
+          ++stats_.forwards;
+          Forward fwd{from, data};
+          Encoder enc;
+          fwd.encode(enc);
+          ctx_.send(leader_hint_, std::move(enc).take());
+        } else {
+          pending_client_.emplace_back(from, data);
+        }
+      }
+      return;
+    }
+    switch (static_cast<MsgTag>(tag)) {
+      case MsgTag::kPrepare: on_prepare(from, Prepare::decode(dec)); break;
+      case MsgTag::kPromise: on_promise(from, Promise::decode(dec)); break;
+      case MsgTag::kPrepareNack: on_prepare_nack(PrepareNack::decode(dec)); break;
+      case MsgTag::kAccept: on_accept(from, Accept::decode(dec)); break;
+      case MsgTag::kAccepted: on_accepted(from, Accepted::decode(dec)); break;
+      case MsgTag::kHeartbeat: on_heartbeat(from, Heartbeat::decode(dec)); break;
+      case MsgTag::kHeartbeatAck:
+        on_heartbeat_ack(from, HeartbeatAck::decode(dec));
+        break;
+      case MsgTag::kForward: {
+        const auto fwd = Forward::decode(dec);
+        on_message(fwd.client, fwd.payload);  // re-dispatch as if from client
+        break;
+      }
+      case MsgTag::kCatchupRequest:
+        on_catchup_request(from, CatchupRequest::decode(dec));
+        break;
+      case MsgTag::kCatchup: on_catchup(Catchup::decode(dec)); break;
+      default:
+        LSR_LOG_WARN("paxos %u: unknown tag %u", ctx_.self(), tag);
+    }
+  } catch (const WireError& error) {
+    LSR_LOG_WARN("paxos %u: malformed message from %u: %s", ctx_.self(), from,
+                 error.what());
+  }
+}
+
+void MultiPaxosReplica::drain_pending_client_messages() {
+  // Re-dispatch buffered client commands now that a leader is known.
+  std::deque<std::pair<NodeId, Bytes>> pending = std::move(pending_client_);
+  pending_client_.clear();
+  for (auto& [client, data] : pending) on_message(client, data);
+}
+
+// ---- leader: updates ----
+
+void MultiPaxosReplica::handle_client_update(NodeId client, RequestId request,
+                                             std::int64_t amount) {
+  ctx_.consume(config_.fsm_cost);
+  propose(Command{client, request, amount});
+}
+
+void MultiPaxosReplica::propose(Command command) {
+  const std::uint64_t slot = next_slot_++;
+  log_[slot] = LogEntry{ballot_, command};
+  ctx_.consume(config_.log_write_cost);  // leader's own log append
+  ++stats_.log_appends;
+  stats_.peak_log_entries =
+      std::max<std::uint64_t>(stats_.peak_log_entries, log_.size());
+  slot_acks_[slot].insert(ctx_.self());
+  Accept accept{ballot_, slot, commit_index_, command};
+  Encoder enc;
+  accept.encode(enc);
+  broadcast(enc.bytes());
+  if (quorum() == 1) maybe_commit(slot);
+}
+
+void MultiPaxosReplica::on_accepted(NodeId from, const Accepted& msg) {
+  if (!leading_ || msg.ballot != ballot_) return;
+  slot_acks_[msg.slot].insert(from);
+  maybe_commit(msg.slot);
+}
+
+void MultiPaxosReplica::maybe_commit(std::uint64_t slot) {
+  const auto it = slot_acks_.find(slot);
+  if (it == slot_acks_.end() || it->second.size() < quorum()) return;
+  if (slot > commit_index_) {
+    // Slots commit in order in practice (pipelined FIFO links); out-of-order
+    // majorities simply wait for the lower slot.
+    std::uint64_t new_commit = commit_index_;
+    while (true) {
+      const auto ack_it = slot_acks_.find(new_commit + 1);
+      if (ack_it == slot_acks_.end() || ack_it->second.size() < quorum()) break;
+      ++new_commit;
+    }
+    commit_index_ = new_commit;
+  }
+  for (auto ack_it = slot_acks_.begin(); ack_it != slot_acks_.end();)
+    ack_it = (ack_it->first <= commit_index_) ? slot_acks_.erase(ack_it)
+                                              : std::next(ack_it);
+  try_apply();
+}
+
+// ---- leader: reads under lease ----
+
+bool MultiPaxosReplica::lease_valid() const {
+  return leading_ && ctx_.now() < lease_until_;
+}
+
+void MultiPaxosReplica::handle_client_query(NodeId client, RequestId request) {
+  ctx_.consume(config_.fsm_cost);
+  PendingRead read{client, request, commit_index_};
+  if (lease_valid() && applied_index_ >= read.needed_index) {
+    serve_read(read);
+    ++stats_.reads_leased;
+    return;
+  }
+  ++stats_.reads_deferred;
+  pending_reads_.push_back(read);
+}
+
+void MultiPaxosReplica::serve_read(const PendingRead& read) {
+  Encoder result;
+  result.put_u64(static_cast<std::uint64_t>(value_));
+  rsm::QueryDone done{read.request, std::move(result).take()};
+  Encoder enc;
+  done.encode(enc);
+  ctx_.send(read.client, std::move(enc).take());
+  ++stats_.reads_done;
+}
+
+void MultiPaxosReplica::drain_reads() {
+  if (!lease_valid()) return;
+  auto it = pending_reads_.begin();
+  while (it != pending_reads_.end()) {
+    if (applied_index_ >= it->needed_index) {
+      serve_read(*it);
+      it = pending_reads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---- heartbeats / leases ----
+
+void MultiPaxosReplica::send_heartbeat() {
+  if (!leading_) return;
+  ++heartbeat_sequence_;
+  heartbeat_sent_[heartbeat_sequence_] = ctx_.now();
+  heartbeat_acks_[heartbeat_sequence_].insert(ctx_.self());
+  // Prune old bookkeeping.
+  while (heartbeat_sent_.size() > 16) heartbeat_sent_.erase(heartbeat_sent_.begin());
+  while (heartbeat_acks_.size() > 16) heartbeat_acks_.erase(heartbeat_acks_.begin());
+  Heartbeat hb{ballot_, heartbeat_sequence_, commit_index_};
+  Encoder enc;
+  hb.encode(enc);
+  broadcast(enc.bytes());
+  if (quorum() == 1)
+    lease_until_ = ctx_.now() + config_.lease_duration;
+  heartbeat_timer_ = ctx_.set_timer(config_.heartbeat_interval, 0,
+                                    [this] { send_heartbeat(); });
+}
+
+void MultiPaxosReplica::on_heartbeat_ack(NodeId from, const HeartbeatAck& msg) {
+  if (!leading_ || msg.ballot != ballot_) return;
+  const auto sent_it = heartbeat_sent_.find(msg.sequence);
+  if (sent_it == heartbeat_sent_.end()) return;
+  auto& acks = heartbeat_acks_[msg.sequence];
+  acks.insert(from);
+  if (acks.size() >= quorum()) {
+    lease_until_ = std::max(lease_until_,
+                            sent_it->second + config_.lease_duration);
+    drain_reads();
+  }
+}
+
+void MultiPaxosReplica::on_heartbeat(NodeId from, const Heartbeat& msg) {
+  if (msg.ballot < promised_) return;  // stale leader
+  promised_ = msg.ballot;
+  if (leading_ && msg.ballot.node != ctx_.self()) leading_ = false;
+  leader_hint_ = msg.ballot.node;
+  leader_contact();
+  commit_index_ = std::max(commit_index_, msg.commit_index);
+  try_apply();
+  if (applied_index_ < commit_index_ && !log_.count(applied_index_ + 1))
+    request_catchup();  // a gap is blocking us
+  HeartbeatAck ack{msg.ballot, msg.sequence};
+  Encoder enc;
+  ack.encode(enc);
+  ctx_.send(from, std::move(enc).take());
+  drain_pending_client_messages();
+}
+
+// ---- acceptor side ----
+
+void MultiPaxosReplica::on_prepare(NodeId from, const Prepare& msg) {
+  if (msg.ballot <= promised_) {
+    PrepareNack nack{promised_};
+    Encoder enc;
+    nack.encode(enc);
+    ctx_.send(from, std::move(enc).take());
+    return;
+  }
+  promised_ = msg.ballot;
+  if (leading_) leading_ = false;
+  leader_hint_ = msg.ballot.node;
+  leader_contact();
+  Promise promise;
+  promise.ballot = msg.ballot;
+  promise.snapshot_value = value_;
+  promise.snapshot_applied = applied_index_;
+  promise.commit_index = commit_index_;
+  promise.sessions.assign(sessions_.begin(), sessions_.end());
+  for (const auto& [slot, entry] : log_)
+    if (slot >= msg.from_slot) promise.entries.emplace_back(slot, entry);
+  Encoder enc;
+  promise.encode(enc);
+  ctx_.send(from, std::move(enc).take());
+}
+
+void MultiPaxosReplica::on_accept(NodeId from, const Accept& msg) {
+  if (msg.ballot < promised_) return;  // stale leader; drop
+  promised_ = msg.ballot;
+  leader_hint_ = msg.ballot.node;
+  leader_contact();
+  if (msg.slot > applied_index_) {
+    log_[msg.slot] = LogEntry{msg.ballot, msg.command};
+    ctx_.consume(config_.log_write_cost);
+    ++stats_.log_appends;
+    stats_.peak_log_entries =
+        std::max<std::uint64_t>(stats_.peak_log_entries, log_.size());
+  }
+  commit_index_ = std::max(commit_index_, msg.commit_index);
+  try_apply();
+  Accepted accepted{msg.ballot, msg.slot};
+  Encoder enc;
+  accepted.encode(enc);
+  ctx_.send(from, std::move(enc).take());
+}
+
+// ---- view change ----
+
+void MultiPaxosReplica::start_view_change() {
+  ++stats_.view_changes;
+  campaigning_ = true;
+  leading_ = false;
+  promises_.clear();
+  promised_entries_.clear();
+  best_snapshot_value_ = value_;
+  best_snapshot_applied_ = applied_index_;
+  best_snapshot_sessions_.assign(sessions_.begin(), sessions_.end());
+  promised_commit_ = commit_index_;
+  ballot_ = Ballot{promised_.number + 1, ctx_.self()};
+  promised_ = ballot_;
+  promises_.insert(ctx_.self());
+  for (const auto& [slot, entry] : log_)
+    if (slot > applied_index_) promised_entries_[slot] = entry;
+  Prepare prepare{ballot_, applied_index_ + 1};
+  Encoder enc;
+  prepare.encode(enc);
+  broadcast(enc.bytes());
+  if (promises_.size() >= quorum()) on_promise(ctx_.self(), Promise{});
+}
+
+void MultiPaxosReplica::on_promise(NodeId from, const Promise& msg) {
+  if (!campaigning_) return;
+  if (from != ctx_.self()) {
+    if (msg.ballot != ballot_) return;
+    promises_.insert(from);
+    if (msg.snapshot_applied > best_snapshot_applied_) {
+      best_snapshot_applied_ = msg.snapshot_applied;
+      best_snapshot_value_ = msg.snapshot_value;
+      best_snapshot_sessions_ = msg.sessions;
+    }
+    promised_commit_ = std::max(promised_commit_, msg.commit_index);
+    for (const auto& [slot, entry] : msg.entries) {
+      const auto it = promised_entries_.find(slot);
+      if (it == promised_entries_.end() || it->second.accepted < entry.accepted)
+        promised_entries_[slot] = entry;
+    }
+  }
+  if (promises_.size() < quorum()) return;
+  // Won the view: adopt the freshest snapshot, re-propose every surviving
+  // uncommitted entry under our ballot.
+  campaigning_ = false;
+  leading_ = true;
+  adopt_snapshot(best_snapshot_value_, best_snapshot_applied_,
+                 best_snapshot_sessions_);
+  commit_index_ = std::max(commit_index_, promised_commit_);
+  leader_hint_ = ctx_.self();
+  std::uint64_t max_slot = applied_index_;
+  for (const auto& [slot, entry] : promised_entries_) {
+    if (slot <= applied_index_) continue;
+    log_[slot] = LogEntry{ballot_, entry.command};
+    max_slot = std::max(max_slot, slot);
+  }
+  next_slot_ = max_slot + 1;
+  slot_acks_.clear();
+  for (const auto& [slot, entry] : log_) {
+    if (slot <= applied_index_) continue;
+    slot_acks_[slot].insert(ctx_.self());
+    Accept accept{ballot_, slot, commit_index_, entry.command};
+    Encoder enc;
+    accept.encode(enc);
+    broadcast(enc.bytes());
+  }
+  try_apply();
+  send_heartbeat();
+  drain_pending_client_messages();
+  LSR_LOG_INFO("paxos %u: leading with ballot (%llu,%u)", ctx_.self(),
+               static_cast<unsigned long long>(ballot_.number), ballot_.node);
+}
+
+void MultiPaxosReplica::on_prepare_nack(const PrepareNack& msg) {
+  if (!campaigning_) return;
+  campaigning_ = false;
+  promised_ = std::max(promised_, msg.promised);
+  // Another candidate is ahead; fall back to follower and wait.
+  arm_failover_timer();
+}
+
+void MultiPaxosReplica::arm_failover_timer() {
+  ctx_.cancel_timer(failover_timer_);
+  const TimeNs delay =
+      config_.failover_timeout +
+      static_cast<TimeNs>(rank()) * config_.failover_stagger;
+  failover_timer_ = ctx_.set_timer(delay, 0, [this] {
+    const bool quiet =
+        ctx_.now() - last_leader_contact_ >=
+        config_.failover_timeout;
+    if (!leading_ && !campaigning_ && quiet) start_view_change();
+    arm_failover_timer();
+  });
+}
+
+void MultiPaxosReplica::leader_contact() { last_leader_contact_ = ctx_.now(); }
+
+// ---- log / state machine ----
+
+void MultiPaxosReplica::try_apply() {
+  bool applied_any = false;
+  while (applied_index_ < commit_index_) {
+    const auto it = log_.find(applied_index_ + 1);
+    if (it == log_.end()) break;  // gap: wait for catch-up
+    // Session dedup: retried updates apply at most once.
+    auto& last_applied = sessions_[it->second.command.client];
+    if (it->second.command.request > last_applied) {
+      value_ += it->second.command.amount;
+      last_applied = it->second.command.request;
+    }
+    ++applied_index_;
+    applied_any = true;
+    if (leading_) {
+      rsm::UpdateDone done{it->second.command.request};
+      Encoder enc;
+      done.encode(enc);
+      ctx_.send(it->second.command.client, std::move(enc).take());
+      ++stats_.updates_done;
+    }
+  }
+  if (applied_any) {
+    truncate_log();
+    drain_reads();
+  }
+}
+
+void MultiPaxosReplica::truncate_log() {
+  // Snapshot semantics: (value_, applied_index_) is the snapshot; entries at
+  // or below applied - keep_tail can go. The kept tail serves follower
+  // catch-up without a snapshot transfer.
+  if (applied_index_ <= config_.log_keep_tail) return;
+  const std::uint64_t cut = applied_index_ - config_.log_keep_tail;
+  log_.erase(log_.begin(), log_.lower_bound(cut + 1));
+}
+
+void MultiPaxosReplica::adopt_snapshot(
+    std::int64_t value, std::uint64_t applied,
+    const std::vector<std::pair<NodeId, RequestId>>& sessions) {
+  if (applied <= applied_index_) return;
+  value_ = value;
+  applied_index_ = applied;
+  sessions_.clear();
+  for (const auto& [client, request] : sessions) sessions_[client] = request;
+  commit_index_ = std::max(commit_index_, applied);
+  log_.erase(log_.begin(), log_.lower_bound(applied + 1));
+}
+
+void MultiPaxosReplica::request_catchup() {
+  if (leader_hint_ == kNoLeader || leader_hint_ == ctx_.self()) return;
+  CatchupRequest req{applied_index_};
+  Encoder enc;
+  req.encode(enc);
+  ctx_.send(leader_hint_, std::move(enc).take());
+}
+
+void MultiPaxosReplica::on_catchup_request(NodeId from,
+                                           const CatchupRequest& msg) {
+  ++stats_.catchups_served;
+  Catchup reply;
+  reply.snapshot_value = value_;
+  reply.snapshot_applied = applied_index_;
+  reply.commit_index = commit_index_;
+  reply.sessions.assign(sessions_.begin(), sessions_.end());
+  for (const auto& [slot, entry] : log_)
+    if (slot > msg.applied && slot <= commit_index_)
+      reply.entries.emplace_back(slot, entry);
+  Encoder enc;
+  reply.encode(enc);
+  ctx_.send(from, std::move(enc).take());
+}
+
+void MultiPaxosReplica::on_catchup(const Catchup& msg) {
+  adopt_snapshot(msg.snapshot_value, msg.snapshot_applied, msg.sessions);
+  for (const auto& [slot, entry] : msg.entries)
+    if (slot > applied_index_ && !log_.count(slot)) log_[slot] = entry;
+  commit_index_ = std::max(commit_index_, msg.commit_index);
+  try_apply();
+}
+
+}  // namespace lsr::paxos

@@ -1,0 +1,172 @@
+// Multi-Paxos baseline: leader-based replicated state machine over a
+// replicated integer counter, architected like riak_ensemble (the system the
+// paper's evaluation compares against):
+//   * a stable leader sequences update commands into a command log
+//     (pipelined phase-2 rounds, one slot per command);
+//   * every log append pays a write cost (the paper's comparators write
+//     their logs to a RAM disk);
+//   * reads are served locally at the leader under a majority-renewed
+//     *read lease* — no log entry, no quorum round;
+//   * followers forward client commands to the leader;
+//   * on leader failure the next replica runs phase 1 (view change),
+//     adopting the highest accepted entries and any newer applied snapshot;
+//   * the log is truncated by snapshotting the applied counter state.
+//
+// Everything runs on a single execution lane — the single peer FSM of the
+// real system, and the leader bottleneck the paper attributes to it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "net/context.h"
+#include "paxos/messages.h"
+
+namespace lsr::paxos {
+
+struct PaxosConfig {
+  TimeNs heartbeat_interval = 1 * kMillisecond;
+  // Lease = last majority-acknowledged heartbeat + this duration. Must stay
+  // below failover_timeout or a deposed leader could serve stale reads.
+  TimeNs lease_duration = 5 * kMillisecond;
+  // A follower that saw no leader traffic for this long starts a view
+  // change; staggered by replica rank to avoid duelling candidates. Large
+  // relative to the heartbeat so queueing delay under load cannot trigger
+  // spurious view changes.
+  TimeNs failover_timeout = 100 * kMillisecond;
+  TimeNs failover_stagger = 50 * kMillisecond;
+  // Service cost per log append (RAM-disk write of the comparators).
+  TimeNs log_write_cost = 10 * kMicrosecond;
+  // Extra FSM bookkeeping per client command at the leader (lease checks,
+  // state transitions of the peer FSM).
+  TimeNs fsm_cost = 5 * kMicrosecond;
+  // Log tail kept after applying, for follower catch-up without snapshots.
+  std::uint64_t log_keep_tail = 1024;
+};
+
+struct PaxosStats {
+  std::uint64_t updates_done = 0;
+  std::uint64_t reads_done = 0;
+  std::uint64_t reads_leased = 0;      // served under a valid lease
+  std::uint64_t reads_deferred = 0;    // had to wait for lease/apply
+  std::uint64_t forwards = 0;
+  std::uint64_t view_changes = 0;
+  std::uint64_t log_appends = 0;
+  std::uint64_t peak_log_entries = 0;  // high-water mark (log growth)
+  std::uint64_t catchups_served = 0;
+};
+
+class MultiPaxosReplica final : public net::Endpoint {
+ public:
+  MultiPaxosReplica(net::Context& ctx, std::vector<NodeId> replicas,
+                    PaxosConfig config = {});
+
+  void on_start() override;
+  void on_recover() override;
+  void on_message(NodeId from, const Bytes& data) override;
+
+  bool is_leader() const { return leading_; }
+  std::int64_t value() const { return value_; }
+  std::uint64_t applied_index() const { return applied_index_; }
+  std::uint64_t commit_index() const { return commit_index_; }
+  const PaxosStats& stats() const { return stats_; }
+
+ private:
+  struct PendingRead {
+    NodeId client = 0;
+    RequestId request = 0;
+    std::uint64_t needed_index = 0;
+  };
+
+  std::size_t quorum() const { return replicas_.size() / 2 + 1; }
+  std::size_t rank() const;
+  void broadcast(const Bytes& data);
+
+  // Client command handling (possibly forwarded).
+  void handle_client_update(NodeId client, RequestId request,
+                            std::int64_t amount);
+  void handle_client_query(NodeId client, RequestId request);
+  void drain_pending_client_messages();
+
+  // Leader side.
+  void propose(Command command);
+  void on_accepted(NodeId from, const Accepted& msg);
+  void maybe_commit(std::uint64_t slot);
+  void send_heartbeat();
+  void on_heartbeat_ack(NodeId from, const HeartbeatAck& msg);
+  bool lease_valid() const;
+  void serve_read(const PendingRead& read);
+  void drain_reads();
+
+  // Acceptor side.
+  void on_prepare(NodeId from, const Prepare& msg);
+  void on_accept(NodeId from, const Accept& msg);
+  void on_heartbeat(NodeId from, const Heartbeat& msg);
+
+  // View change.
+  void start_view_change();
+  void on_promise(NodeId from, const Promise& msg);
+  void on_prepare_nack(const PrepareNack& msg);
+  void arm_failover_timer();
+  void leader_contact();
+
+  // Log / state machine.
+  void try_apply();
+  void truncate_log();
+  void adopt_snapshot(std::int64_t value, std::uint64_t applied,
+                      const std::vector<std::pair<NodeId, RequestId>>& sessions);
+  void on_catchup_request(NodeId from, const CatchupRequest& msg);
+  void on_catchup(const Catchup& msg);
+  void request_catchup();
+
+  net::Context& ctx_;
+  std::vector<NodeId> replicas_;
+  PaxosConfig config_;
+
+  // Durable-equivalent state (survives crash-recovery).
+  Ballot promised_;
+  std::map<std::uint64_t, LogEntry> log_;  // slot -> entry (sparse)
+  std::int64_t value_ = 0;                 // applied counter state
+  std::uint64_t applied_index_ = 0;
+  std::uint64_t commit_index_ = 0;
+  // Per-client session (last applied update request id): replicated with
+  // the snapshot so retried updates apply at most once.
+  std::map<NodeId, RequestId> sessions_;
+
+  // Leader state.
+  bool leading_ = false;
+  Ballot ballot_;  // our ballot when leading / campaigning
+  std::uint64_t next_slot_ = 1;
+  std::map<std::uint64_t, std::set<NodeId>> slot_acks_;
+  std::uint64_t heartbeat_sequence_ = 0;
+  std::map<std::uint64_t, TimeNs> heartbeat_sent_;
+  std::map<std::uint64_t, std::set<NodeId>> heartbeat_acks_;
+  TimeNs lease_until_ = 0;
+  std::vector<PendingRead> pending_reads_;
+  net::TimerId heartbeat_timer_ = net::kInvalidTimer;
+
+  // Candidate state.
+  bool campaigning_ = false;
+  std::set<NodeId> promises_;
+  std::map<std::uint64_t, LogEntry> promised_entries_;
+  std::int64_t best_snapshot_value_ = 0;
+  std::uint64_t best_snapshot_applied_ = 0;
+  std::vector<std::pair<NodeId, RequestId>> best_snapshot_sessions_;
+  std::uint64_t promised_commit_ = 0;
+
+  // Follower state.
+  NodeId leader_hint_ = kNoLeader;
+  TimeNs last_leader_contact_ = 0;
+  net::TimerId failover_timer_ = net::kInvalidTimer;
+  std::deque<std::pair<NodeId, Bytes>> pending_client_;
+
+  PaxosStats stats_;
+
+  static constexpr NodeId kNoLeader = ~NodeId{0};
+};
+
+}  // namespace lsr::paxos

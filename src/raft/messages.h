@@ -1,0 +1,228 @@
+// Wire messages of the Raft baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "common/wire.h"
+
+namespace lsr::raft {
+
+// Raft replicates both updates and *consistent reads* through its log —
+// exactly what the paper states about the `ra` implementation it compares
+// against ("appends both updates and consistent reads to its command log").
+struct Command {
+  bool is_read = false;
+  NodeId client = 0;
+  RequestId request = 0;
+  std::int64_t amount = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_bool(is_read);
+    enc.put_u32(client);
+    enc.put_u64(request);
+    enc.put_i64(amount);
+  }
+  static Command decode(Decoder& dec) {
+    Command cmd;
+    cmd.is_read = dec.get_bool();
+    cmd.client = dec.get_u32();
+    cmd.request = dec.get_u64();
+    cmd.amount = dec.get_i64();
+    return cmd;
+  }
+};
+
+struct LogEntry {
+  std::uint64_t term = 0;
+  Command command;
+
+  void encode(Encoder& enc) const {
+    enc.put_u64(term);
+    command.encode(enc);
+  }
+  static LogEntry decode(Decoder& dec) {
+    LogEntry entry;
+    entry.term = dec.get_u64();
+    entry.command = Command::decode(dec);
+    return entry;
+  }
+};
+
+enum class MsgTag : std::uint8_t {
+  kRequestVote = 16,
+  kVoteReply = 17,
+  kAppendEntries = 18,
+  kAppendReply = 19,
+  kInstallSnapshot = 20,
+  kSnapshotReply = 21,
+  kForward = 22,
+};
+
+struct RequestVote {
+  std::uint64_t term = 0;
+  NodeId candidate = 0;
+  std::uint64_t last_log_index = 0;
+  std::uint64_t last_log_term = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kRequestVote));
+    enc.put_u64(term);
+    enc.put_u32(candidate);
+    enc.put_u64(last_log_index);
+    enc.put_u64(last_log_term);
+  }
+  static RequestVote decode(Decoder& dec) {
+    RequestVote msg;
+    msg.term = dec.get_u64();
+    msg.candidate = dec.get_u32();
+    msg.last_log_index = dec.get_u64();
+    msg.last_log_term = dec.get_u64();
+    return msg;
+  }
+};
+
+struct VoteReply {
+  std::uint64_t term = 0;
+  bool granted = false;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kVoteReply));
+    enc.put_u64(term);
+    enc.put_bool(granted);
+  }
+  static VoteReply decode(Decoder& dec) {
+    VoteReply msg;
+    msg.term = dec.get_u64();
+    msg.granted = dec.get_bool();
+    return msg;
+  }
+};
+
+struct AppendEntries {
+  std::uint64_t term = 0;
+  NodeId leader = 0;
+  std::uint64_t prev_log_index = 0;
+  std::uint64_t prev_log_term = 0;
+  std::uint64_t commit_index = 0;
+  std::vector<LogEntry> entries;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kAppendEntries));
+    enc.put_u64(term);
+    enc.put_u32(leader);
+    enc.put_u64(prev_log_index);
+    enc.put_u64(prev_log_term);
+    enc.put_u64(commit_index);
+    enc.put_container(entries,
+                      [](Encoder& e, const LogEntry& entry) { entry.encode(e); });
+  }
+  static AppendEntries decode(Decoder& dec) {
+    AppendEntries msg;
+    msg.term = dec.get_u64();
+    msg.leader = dec.get_u32();
+    msg.prev_log_index = dec.get_u64();
+    msg.prev_log_term = dec.get_u64();
+    msg.commit_index = dec.get_u64();
+    dec.get_container(
+        [&msg](Decoder& d) { msg.entries.push_back(LogEntry::decode(d)); });
+    return msg;
+  }
+};
+
+struct AppendReply {
+  std::uint64_t term = 0;
+  bool success = false;
+  std::uint64_t match_index = 0;  // on success: last replicated index
+  std::uint64_t hint_index = 0;   // on failure: follower's last log index
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kAppendReply));
+    enc.put_u64(term);
+    enc.put_bool(success);
+    enc.put_u64(match_index);
+    enc.put_u64(hint_index);
+  }
+  static AppendReply decode(Decoder& dec) {
+    AppendReply msg;
+    msg.term = dec.get_u64();
+    msg.success = dec.get_bool();
+    msg.match_index = dec.get_u64();
+    msg.hint_index = dec.get_u64();
+    return msg;
+  }
+};
+
+struct InstallSnapshot {
+  std::uint64_t term = 0;
+  NodeId leader = 0;
+  std::uint64_t last_included_index = 0;
+  std::uint64_t last_included_term = 0;
+  std::int64_t value = 0;
+  // Per-client session state (last applied request id) — replicated with the
+  // snapshot so retried updates stay exactly-once across leader changes.
+  std::vector<std::pair<NodeId, RequestId>> sessions;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kInstallSnapshot));
+    enc.put_u64(term);
+    enc.put_u32(leader);
+    enc.put_u64(last_included_index);
+    enc.put_u64(last_included_term);
+    enc.put_i64(value);
+    enc.put_container(sessions, [](Encoder& e, const auto& kv) {
+      e.put_u32(kv.first);
+      e.put_u64(kv.second);
+    });
+  }
+  static InstallSnapshot decode(Decoder& dec) {
+    InstallSnapshot msg;
+    msg.term = dec.get_u64();
+    msg.leader = dec.get_u32();
+    msg.last_included_index = dec.get_u64();
+    msg.last_included_term = dec.get_u64();
+    msg.value = dec.get_i64();
+    dec.get_container([&msg](Decoder& d) {
+      const NodeId client = d.get_u32();
+      msg.sessions.emplace_back(client, d.get_u64());
+    });
+    return msg;
+  }
+};
+
+struct SnapshotReply {
+  std::uint64_t term = 0;
+  std::uint64_t match_index = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kSnapshotReply));
+    enc.put_u64(term);
+    enc.put_u64(match_index);
+  }
+  static SnapshotReply decode(Decoder& dec) {
+    SnapshotReply msg;
+    msg.term = dec.get_u64();
+    msg.match_index = dec.get_u64();
+    return msg;
+  }
+};
+
+struct Forward {
+  NodeId client = 0;
+  Bytes payload;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kForward));
+    enc.put_u32(client);
+    enc.put_bytes(payload);
+  }
+  static Forward decode(Decoder& dec) {
+    Forward msg;
+    msg.client = dec.get_u32();
+    msg.payload = dec.get_bytes();
+    return msg;
+  }
+};
+
+}  // namespace lsr::raft

@@ -1,0 +1,498 @@
+#include "raft/raft.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/logging.h"
+#include "rsm/client_msg.h"
+
+namespace lsr::raft {
+
+RaftReplica::RaftReplica(net::Context& ctx, std::vector<NodeId> replicas,
+                         RaftConfig config)
+    : ctx_(ctx),
+      replicas_(std::move(replicas)),
+      config_(config),
+      rng_(config.rng_seed * 0x9E3779B97F4A7C15ull + 1) {
+  LSR_EXPECTS(!replicas_.empty());
+  for (const NodeId replica : replicas_)
+    if (replica != ctx_.self()) peers_[replica] = Peer{};
+}
+
+void RaftReplica::on_start() {
+  // Bias the first election towards replica 0 for a fast, deterministic
+  // bootstrap (matching the staggered start of production deployments).
+  if (replicas_.front() == ctx_.self()) {
+    election_timer_ = ctx_.set_timer(kMillisecond, 0, [this] { start_election(); });
+  } else {
+    arm_election_timer();
+  }
+}
+
+void RaftReplica::on_recover() {
+  role_ = Role::kFollower;
+  leader_hint_ = kNobody;
+  votes_.clear();
+  pending_client_.clear();
+  for (auto& [id, peer] : peers_) peer = Peer{};
+  // Recompute volatile apply state from the durable snapshot + log.
+  value_ = snapshot_value_;
+  sessions_ = snapshot_sessions_;
+  applied_index_ = snapshot_index_;
+  commit_index_ = snapshot_index_;
+  arm_election_timer();
+}
+
+void RaftReplica::broadcast(const Bytes& data) {
+  for (const NodeId replica : replicas_)
+    if (replica != ctx_.self()) ctx_.send(replica, data);
+}
+
+// ---- log accessors ----
+
+std::uint64_t RaftReplica::term_at(std::uint64_t index) const {
+  if (index == snapshot_index_) return snapshot_term_;
+  if (index < snapshot_index_ || index > last_log_index()) return 0;
+  return log_[static_cast<std::size_t>(index - snapshot_index_ - 1)].term;
+}
+
+const LogEntry& RaftReplica::entry_at(std::uint64_t index) const {
+  LSR_EXPECTS(index > snapshot_index_ && index <= last_log_index());
+  return log_[static_cast<std::size_t>(index - snapshot_index_ - 1)];
+}
+
+void RaftReplica::append_entry(LogEntry entry) {
+  log_.push_back(std::move(entry));
+  ctx_.consume(config_.log_write_cost);
+  ++stats_.log_appends;
+  stats_.peak_log_entries =
+      std::max<std::uint64_t>(stats_.peak_log_entries, log_.size());
+}
+
+// ---- message dispatch ----
+
+void RaftReplica::on_message(NodeId from, const Bytes& data) {
+  try {
+    Decoder dec(data);
+    const std::uint8_t tag = dec.get_u8();
+    if (rsm::is_client_tag(tag)) {
+      handle_client(from, data, tag, dec);
+      return;
+    }
+    switch (static_cast<MsgTag>(tag)) {
+      case MsgTag::kRequestVote:
+        on_request_vote(from, RequestVote::decode(dec));
+        break;
+      case MsgTag::kVoteReply: on_vote_reply(from, VoteReply::decode(dec)); break;
+      case MsgTag::kAppendEntries:
+        on_append_entries(from, AppendEntries::decode(dec));
+        break;
+      case MsgTag::kAppendReply:
+        on_append_reply(from, AppendReply::decode(dec));
+        break;
+      case MsgTag::kInstallSnapshot:
+        on_install_snapshot(from, InstallSnapshot::decode(dec));
+        break;
+      case MsgTag::kSnapshotReply:
+        on_snapshot_reply(from, SnapshotReply::decode(dec));
+        break;
+      case MsgTag::kForward: {
+        const auto fwd = Forward::decode(dec);
+        on_message(fwd.client, fwd.payload);
+        break;
+      }
+      default:
+        LSR_LOG_WARN("raft %u: unknown tag %u", ctx_.self(), tag);
+    }
+  } catch (const WireError& error) {
+    LSR_LOG_WARN("raft %u: malformed message from %u: %s", ctx_.self(), from,
+                 error.what());
+  }
+}
+
+void RaftReplica::handle_client(NodeId client, const Bytes& data,
+                                std::uint8_t tag, Decoder& dec) {
+  if (role_ != Role::kLeader) {
+    if (leader_hint_ != kNobody && leader_hint_ != ctx_.self()) {
+      ++stats_.forwards;
+      Forward fwd{client, data};
+      Encoder enc;
+      fwd.encode(enc);
+      ctx_.send(leader_hint_, std::move(enc).take());
+    } else {
+      pending_client_.emplace_back(client, data);
+    }
+    return;
+  }
+  ctx_.consume(config_.fsm_cost);
+  Command cmd;
+  if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kUpdate)) {
+    const auto msg = rsm::ClientUpdate::decode(dec);
+    Decoder args(msg.args);
+    cmd = Command{false, client, msg.request,
+                  static_cast<std::int64_t>(args.get_u64())};
+  } else if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kQuery)) {
+    const auto msg = rsm::ClientQuery::decode(dec);
+    cmd = Command{true, client, msg.request, 0};
+  } else {
+    return;
+  }
+  append_entry(LogEntry{term_, cmd});
+  if (quorum() == 1) {
+    advance_commit();
+  } else {
+    replicate_all();
+  }
+}
+
+void RaftReplica::drain_pending_client_messages() {
+  std::deque<std::pair<NodeId, Bytes>> pending = std::move(pending_client_);
+  pending_client_.clear();
+  for (auto& [client, data] : pending) on_message(client, data);
+}
+
+// ---- election ----
+
+void RaftReplica::arm_election_timer() {
+  ctx_.cancel_timer(election_timer_);
+  const TimeNs delay = rng_.next_in(config_.election_timeout_min,
+                                    config_.election_timeout_max);
+  election_timer_ = ctx_.set_timer(delay, 0, [this] {
+    if (role_ != Role::kLeader) start_election();
+    arm_election_timer();
+  });
+}
+
+void RaftReplica::start_election() {
+  ++stats_.elections_started;
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = ctx_.self();
+  votes_.clear();
+  votes_.insert(ctx_.self());
+  leader_hint_ = kNobody;
+  RequestVote msg{term_, ctx_.self(), last_log_index(),
+                  term_at(last_log_index())};
+  Encoder enc;
+  msg.encode(enc);
+  broadcast(enc.bytes());
+  arm_election_timer();
+  if (votes_.size() >= quorum()) become_leader();
+}
+
+void RaftReplica::on_request_vote(NodeId from, const RequestVote& msg) {
+  if (msg.term > term_) become_follower(msg.term, kNobody);
+  bool granted = false;
+  if (msg.term == term_ &&
+      (voted_for_ == kNobody || voted_for_ == msg.candidate)) {
+    // Election restriction: candidate's log must be at least as up-to-date.
+    const std::uint64_t my_last_term = term_at(last_log_index());
+    const bool up_to_date =
+        msg.last_log_term > my_last_term ||
+        (msg.last_log_term == my_last_term &&
+         msg.last_log_index >= last_log_index());
+    if (up_to_date) {
+      granted = true;
+      voted_for_ = msg.candidate;
+      arm_election_timer();
+    }
+  }
+  VoteReply reply{term_, granted};
+  Encoder enc;
+  reply.encode(enc);
+  ctx_.send(from, std::move(enc).take());
+}
+
+void RaftReplica::on_vote_reply(NodeId from, const VoteReply& msg) {
+  if (msg.term > term_) {
+    become_follower(msg.term, kNobody);
+    return;
+  }
+  if (role_ != Role::kCandidate || msg.term != term_ || !msg.granted) return;
+  votes_.insert(from);
+  if (votes_.size() >= quorum()) become_leader();
+}
+
+void RaftReplica::become_leader() {
+  ++stats_.terms_won;
+  role_ = Role::kLeader;
+  leader_hint_ = ctx_.self();
+  for (auto& [id, peer] : peers_) {
+    peer.next_index = last_log_index() + 1;
+    peer.match_index = 0;
+    peer.in_flight = false;
+  }
+  // A no-op entry lets the new leader commit entries from prior terms
+  // immediately (Raft §5.4.2).
+  append_entry(LogEntry{term_, Command{false, kNobody, 0, 0}});
+  replicate_all();
+  send_heartbeats();
+  drain_pending_client_messages();
+  LSR_LOG_INFO("raft %u: leader of term %llu", ctx_.self(),
+               static_cast<unsigned long long>(term_));
+}
+
+void RaftReplica::become_follower(std::uint64_t term, NodeId leader_hint) {
+  const bool was_leader = role_ == Role::kLeader;
+  role_ = Role::kFollower;
+  if (term > term_) {
+    term_ = term;
+    voted_for_ = kNobody;
+  }
+  if (leader_hint != kNobody) leader_hint_ = leader_hint;
+  votes_.clear();
+  if (was_leader) ctx_.cancel_timer(heartbeat_timer_);
+  arm_election_timer();
+}
+
+// ---- replication ----
+
+void RaftReplica::replicate(NodeId peer_id) {
+  Peer& peer = peers_.at(peer_id);
+  if (peer.in_flight &&
+      ctx_.now() - peer.last_send < config_.rpc_timeout)
+    return;
+  if (peer.next_index <= snapshot_index_) {
+    // The needed entries were truncated away: ship the snapshot.
+    InstallSnapshot snap{term_, ctx_.self(), snapshot_index_, snapshot_term_,
+                         snapshot_value_,
+                         {snapshot_sessions_.begin(), snapshot_sessions_.end()}};
+    Encoder enc;
+    snap.encode(enc);
+    ctx_.send(peer_id, std::move(enc).take());
+    ++stats_.snapshots_sent;
+    peer.in_flight = true;
+    peer.last_send = ctx_.now();
+    return;
+  }
+  AppendEntries msg;
+  msg.term = term_;
+  msg.leader = ctx_.self();
+  msg.prev_log_index = peer.next_index - 1;
+  msg.prev_log_term = term_at(msg.prev_log_index);
+  msg.commit_index = commit_index_;
+  const std::uint64_t last = last_log_index();
+  std::uint64_t index = peer.next_index;
+  while (index <= last && msg.entries.size() < config_.max_batch_entries)
+    msg.entries.push_back(entry_at(index++));
+  Encoder enc;
+  msg.encode(enc);
+  ctx_.send(peer_id, std::move(enc).take());
+  peer.in_flight = true;
+  peer.last_send = ctx_.now();
+}
+
+void RaftReplica::replicate_all() {
+  for (auto& [id, peer] : peers_)
+    if (!peer.in_flight && peer.next_index <= last_log_index()) replicate(id);
+}
+
+void RaftReplica::send_heartbeats() {
+  if (role_ != Role::kLeader) return;
+  for (auto& [id, peer] : peers_) {
+    if (!peer.in_flight || ctx_.now() - peer.last_send >= config_.rpc_timeout) {
+      peer.in_flight = false;  // retransmit if the RPC was lost
+      replicate(id);
+      if (!peer.in_flight) {
+        // Nothing to send: empty heartbeat keeps followers quiet.
+        AppendEntries hb;
+        hb.term = term_;
+        hb.leader = ctx_.self();
+        hb.prev_log_index = peer.next_index - 1;
+        hb.prev_log_term = term_at(hb.prev_log_index);
+        hb.commit_index = commit_index_;
+        Encoder enc;
+        hb.encode(enc);
+        ctx_.send(id, std::move(enc).take());
+        peer.in_flight = true;
+        peer.last_send = ctx_.now();
+      }
+    }
+  }
+  heartbeat_timer_ = ctx_.set_timer(config_.heartbeat_interval, 0,
+                                    [this] { send_heartbeats(); });
+}
+
+void RaftReplica::on_append_entries(NodeId from, const AppendEntries& msg) {
+  if (msg.term < term_) {
+    AppendReply reply{term_, false, 0, last_log_index()};
+    Encoder enc;
+    reply.encode(enc);
+    ctx_.send(from, std::move(enc).take());
+    return;
+  }
+  if (msg.term > term_ || role_ != Role::kFollower)
+    become_follower(msg.term, msg.leader);
+  leader_hint_ = msg.leader;
+  arm_election_timer();
+
+  // Consistency check on the previous entry.
+  if (msg.prev_log_index > last_log_index() ||
+      (msg.prev_log_index > snapshot_index_ &&
+       term_at(msg.prev_log_index) != msg.prev_log_term) ||
+      msg.prev_log_index < snapshot_index_) {
+    AppendReply reply{term_, false, 0,
+                      std::min(last_log_index(),
+                               msg.prev_log_index > 0 ? msg.prev_log_index - 1
+                                                      : 0)};
+    Encoder enc;
+    reply.encode(enc);
+    ctx_.send(from, std::move(enc).take());
+    drain_pending_client_messages();
+    return;
+  }
+  // Append, truncating any conflicting suffix.
+  std::uint64_t index = msg.prev_log_index;
+  for (const LogEntry& entry : msg.entries) {
+    ++index;
+    if (index <= last_log_index()) {
+      if (term_at(index) == entry.term) continue;  // already have it
+      // Conflict: drop our suffix from here on.
+      log_.resize(static_cast<std::size_t>(index - snapshot_index_ - 1));
+    }
+    append_entry(entry);
+  }
+  commit_index_ =
+      std::max(commit_index_, std::min(msg.commit_index, last_log_index()));
+  try_apply();
+  AppendReply reply{term_, true,
+                    std::max(msg.prev_log_index + msg.entries.size(),
+                             snapshot_index_),
+                    0};
+  Encoder enc;
+  reply.encode(enc);
+  ctx_.send(from, std::move(enc).take());
+  drain_pending_client_messages();
+}
+
+void RaftReplica::on_append_reply(NodeId from, const AppendReply& msg) {
+  if (msg.term > term_) {
+    become_follower(msg.term, kNobody);
+    return;
+  }
+  if (role_ != Role::kLeader || msg.term != term_) return;
+  Peer& peer = peers_.at(from);
+  peer.in_flight = false;
+  if (msg.success) {
+    peer.match_index = std::max(peer.match_index, msg.match_index);
+    peer.next_index = peer.match_index + 1;
+    advance_commit();
+  } else {
+    // Fast backup: jump to the follower's last index + 1.
+    peer.next_index =
+        std::max<std::uint64_t>(1, std::min(peer.next_index - 1,
+                                            msg.hint_index + 1));
+  }
+  replicate(from);
+}
+
+void RaftReplica::on_install_snapshot(NodeId from, const InstallSnapshot& msg) {
+  if (msg.term < term_) return;
+  if (msg.term > term_ || role_ != Role::kFollower)
+    become_follower(msg.term, msg.leader);
+  leader_hint_ = msg.leader;
+  arm_election_timer();
+  if (msg.last_included_index > snapshot_index_) {
+    snapshot_index_ = msg.last_included_index;
+    snapshot_term_ = msg.last_included_term;
+    snapshot_value_ = msg.value;
+    snapshot_sessions_.clear();
+    for (const auto& [client, request] : msg.sessions)
+      snapshot_sessions_[client] = request;
+    log_.clear();
+    value_ = snapshot_value_;
+    sessions_ = snapshot_sessions_;
+    applied_index_ = snapshot_index_;
+    commit_index_ = std::max(commit_index_, snapshot_index_);
+  }
+  SnapshotReply reply{term_, snapshot_index_};
+  Encoder enc;
+  reply.encode(enc);
+  ctx_.send(from, std::move(enc).take());
+}
+
+void RaftReplica::on_snapshot_reply(NodeId from, const SnapshotReply& msg) {
+  if (msg.term > term_) {
+    become_follower(msg.term, kNobody);
+    return;
+  }
+  if (role_ != Role::kLeader) return;
+  Peer& peer = peers_.at(from);
+  peer.in_flight = false;
+  peer.match_index = std::max(peer.match_index, msg.match_index);
+  peer.next_index = peer.match_index + 1;
+  replicate(from);
+}
+
+void RaftReplica::advance_commit() {
+  // Highest index replicated on a majority whose entry is from this term.
+  std::vector<std::uint64_t> matches;
+  matches.push_back(last_log_index());
+  for (const auto& [id, peer] : peers_) matches.push_back(peer.match_index);
+  std::sort(matches.begin(), matches.end(), std::greater<>());
+  const std::uint64_t majority_match = matches[quorum() - 1];
+  if (majority_match > commit_index_ &&
+      term_at(majority_match) == term_) {
+    commit_index_ = majority_match;
+    try_apply();
+  }
+}
+
+void RaftReplica::try_apply() {
+  bool applied_any = false;
+  while (applied_index_ < commit_index_ && applied_index_ < last_log_index()) {
+    const LogEntry& entry = entry_at(applied_index_ + 1);
+    ++applied_index_;
+    if (entry.command.client == kNobody) continue;  // leader no-op
+    if (entry.command.is_read) {
+      if (role_ == Role::kLeader) {
+        Encoder result;
+        result.put_u64(static_cast<std::uint64_t>(value_));
+        rsm::QueryDone done{entry.command.request, std::move(result).take()};
+        Encoder enc;
+        done.encode(enc);
+        ctx_.send(entry.command.client, std::move(enc).take());
+        ++stats_.reads_done;
+      }
+    } else {
+      // Session dedup: a retried update that already applied must not apply
+      // twice; the client still deserves its acknowledgment.
+      auto& last_applied = sessions_[entry.command.client];
+      if (entry.command.request > last_applied) {
+        value_ += entry.command.amount;
+        last_applied = entry.command.request;
+      }
+      if (role_ == Role::kLeader) {
+        rsm::UpdateDone done{entry.command.request};
+        Encoder enc;
+        done.encode(enc);
+        ctx_.send(entry.command.client, std::move(enc).take());
+        ++stats_.updates_done;
+      }
+    }
+    applied_any = true;
+  }
+  if (applied_any) truncate_log();
+}
+
+void RaftReplica::truncate_log() {
+  if (applied_index_ <= snapshot_index_ + config_.log_keep_tail) return;
+  const std::uint64_t new_snapshot = applied_index_ - config_.log_keep_tail;
+  const auto drop = static_cast<std::size_t>(new_snapshot - snapshot_index_);
+  snapshot_term_ = term_at(new_snapshot);
+  // Recompute the snapshot state: replay the dropped prefix with the same
+  // session dedup the live apply path uses.
+  for (std::size_t i = 0; i < drop; ++i) {
+    const LogEntry& entry = log_[i];
+    if (entry.command.is_read || entry.command.client == kNobody) continue;
+    auto& last_applied = snapshot_sessions_[entry.command.client];
+    if (entry.command.request > last_applied) {
+      snapshot_value_ += entry.command.amount;
+      last_applied = entry.command.request;
+    }
+  }
+  log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(drop));
+  snapshot_index_ = new_snapshot;
+}
+
+}  // namespace lsr::raft

@@ -1,0 +1,152 @@
+// Raft baseline: leader election with randomized timeouts, log replication
+// with per-follower pipelining and batching, commit by majority match,
+// snapshot-based log truncation, and follower forwarding.
+//
+// Consistent reads are appended to the command log (the behaviour the paper
+// attributes to the `ra` implementation), which makes Raft's throughput
+// independent of the read/update mix — the flat lines of Figure 1.
+//
+// Single execution lane: one peer process, as in `ra`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/context.h"
+#include "raft/messages.h"
+
+namespace lsr::raft {
+
+struct RaftConfig {
+  // Raft's stock defaults (150-300 ms): large enough that heartbeats queued
+  // behind thousands of client commands do not trigger spurious elections.
+  TimeNs election_timeout_min = 150 * kMillisecond;
+  TimeNs election_timeout_max = 300 * kMillisecond;
+  TimeNs heartbeat_interval = 5 * kMillisecond;
+  // An un-acknowledged AppendEntries is retransmitted after this long.
+  TimeNs rpc_timeout = 25 * kMillisecond;
+  // Service cost per log append (RAM-disk log write).
+  TimeNs log_write_cost = 10 * kMicrosecond;
+  // Per-client-command processing at the leader.
+  TimeNs fsm_cost = 5 * kMicrosecond;
+  std::size_t max_batch_entries = 16;
+  // Applied entries below (applied - keep_tail) are truncated away; slower
+  // followers are caught up via InstallSnapshot.
+  std::uint64_t log_keep_tail = 1024;
+  std::uint64_t rng_seed = 1;
+};
+
+struct RaftStats {
+  std::uint64_t updates_done = 0;
+  std::uint64_t reads_done = 0;
+  std::uint64_t elections_started = 0;
+  std::uint64_t terms_won = 0;
+  std::uint64_t log_appends = 0;
+  std::uint64_t peak_log_entries = 0;
+  std::uint64_t snapshots_sent = 0;
+  std::uint64_t forwards = 0;
+};
+
+class RaftReplica final : public net::Endpoint {
+ public:
+  RaftReplica(net::Context& ctx, std::vector<NodeId> replicas,
+              RaftConfig config = {});
+
+  void on_start() override;
+  void on_recover() override;
+  void on_message(NodeId from, const Bytes& data) override;
+
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  Role role() const { return role_; }
+  bool is_leader() const { return role_ == Role::kLeader; }
+  std::uint64_t term() const { return term_; }
+  std::int64_t value() const { return value_; }
+  std::uint64_t commit_index() const { return commit_index_; }
+  std::uint64_t last_log_index() const {
+    return snapshot_index_ + log_.size();
+  }
+  const RaftStats& stats() const { return stats_; }
+
+ private:
+  struct Peer {
+    std::uint64_t next_index = 1;
+    std::uint64_t match_index = 0;
+    bool in_flight = false;
+    TimeNs last_send = 0;
+  };
+
+  std::size_t quorum() const { return replicas_.size() / 2 + 1; }
+  void broadcast(const Bytes& data);
+
+  // Log accessors (index space includes the snapshot prefix).
+  std::uint64_t term_at(std::uint64_t index) const;
+  const LogEntry& entry_at(std::uint64_t index) const;
+  void append_entry(LogEntry entry);
+
+  // Client handling.
+  void handle_client(NodeId client, const Bytes& data, std::uint8_t tag,
+                     Decoder& dec);
+  void drain_pending_client_messages();
+
+  // Election.
+  void arm_election_timer();
+  void start_election();
+  void on_request_vote(NodeId from, const RequestVote& msg);
+  void on_vote_reply(NodeId from, const VoteReply& msg);
+  void become_leader();
+  void become_follower(std::uint64_t term, NodeId leader_hint);
+
+  // Replication.
+  void replicate(NodeId peer_id);
+  void replicate_all();
+  void send_heartbeats();
+  void on_append_entries(NodeId from, const AppendEntries& msg);
+  void on_append_reply(NodeId from, const AppendReply& msg);
+  void on_install_snapshot(NodeId from, const InstallSnapshot& msg);
+  void on_snapshot_reply(NodeId from, const SnapshotReply& msg);
+  void advance_commit();
+  void try_apply();
+  void truncate_log();
+
+  net::Context& ctx_;
+  std::vector<NodeId> replicas_;
+  RaftConfig config_;
+  Rng rng_;
+
+  // Durable-equivalent state.
+  std::uint64_t term_ = 0;
+  NodeId voted_for_ = kNobody;
+  std::deque<LogEntry> log_;          // entries (snapshot_index_+1 ...)
+  std::uint64_t snapshot_index_ = 0;  // last index covered by the snapshot
+  std::uint64_t snapshot_term_ = 0;
+  std::int64_t snapshot_value_ = 0;
+  std::map<NodeId, RequestId> snapshot_sessions_;
+
+  // Volatile state.
+  Role role_ = Role::kFollower;
+  NodeId leader_hint_ = kNobody;
+  std::uint64_t commit_index_ = 0;
+  std::uint64_t applied_index_ = 0;
+  std::int64_t value_ = 0;
+  // State-machine session table: last applied update request per client.
+  // Part of the replicated state (rebuilt from snapshot + log), so retried
+  // client updates apply at most once even across leader changes.
+  std::map<NodeId, RequestId> sessions_;
+  std::set<NodeId> votes_;
+  std::map<NodeId, Peer> peers_;
+  net::TimerId election_timer_ = net::kInvalidTimer;
+  net::TimerId heartbeat_timer_ = net::kInvalidTimer;
+  std::deque<std::pair<NodeId, Bytes>> pending_client_;
+
+  RaftStats stats_;
+
+  static constexpr NodeId kNobody = ~NodeId{0};
+};
+
+}  // namespace lsr::raft

@@ -1,0 +1,107 @@
+// Client-facing message format shared by all three replicated systems
+// (CRDT Paxos, Multi-Paxos, Raft): a client submits update commands (modify
+// state, return nothing) or query commands (return a value, modify nothing) —
+// exactly the RSM class the paper supports (Sect. 1: operations that both
+// modify and return are not supported).
+//
+// Tags 1..15 are reserved for client traffic; protocol-internal messages of
+// each system start at tag 16. This lets one client implementation drive any
+// of the systems.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "common/wire.h"
+
+namespace lsr::rsm {
+
+enum class ClientTag : std::uint8_t {
+  kUpdate = 1,
+  kQuery = 2,
+  kUpdateDone = 3,
+  kQueryDone = 4,
+};
+
+constexpr std::uint8_t kMaxClientTag = 15;
+
+inline bool is_client_tag(std::uint8_t tag) {
+  return tag >= 1 && tag <= kMaxClientTag;
+}
+
+struct ClientUpdate {
+  RequestId request = 0;
+  std::uint32_t op = 0;  // index into the system's registered update functions
+  Bytes args;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(ClientTag::kUpdate));
+    enc.put_u64(request);
+    enc.put_u32(op);
+    enc.put_bytes(args);
+  }
+
+  static ClientUpdate decode(Decoder& dec) {  // tag already consumed
+    ClientUpdate msg;
+    msg.request = dec.get_u64();
+    msg.op = dec.get_u32();
+    msg.args = dec.get_bytes();
+    return msg;
+  }
+};
+
+struct ClientQuery {
+  RequestId request = 0;
+  std::uint32_t op = 0;  // index into the system's registered query functions
+  Bytes args;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(ClientTag::kQuery));
+    enc.put_u64(request);
+    enc.put_u32(op);
+    enc.put_bytes(args);
+  }
+
+  static ClientQuery decode(Decoder& dec) {
+    ClientQuery msg;
+    msg.request = dec.get_u64();
+    msg.op = dec.get_u32();
+    msg.args = dec.get_bytes();
+    return msg;
+  }
+};
+
+struct UpdateDone {
+  RequestId request = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(ClientTag::kUpdateDone));
+    enc.put_u64(request);
+  }
+
+  static UpdateDone decode(Decoder& dec) {
+    UpdateDone msg;
+    msg.request = dec.get_u64();
+    return msg;
+  }
+};
+
+struct QueryDone {
+  RequestId request = 0;
+  Bytes result;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(ClientTag::kQueryDone));
+    enc.put_u64(request);
+    enc.put_bytes(result);
+  }
+
+  static QueryDone decode(Decoder& dec) {
+    QueryDone msg;
+    msg.request = dec.get_u64();
+    msg.result = dec.get_bytes();
+    return msg;
+  }
+};
+
+}  // namespace lsr::rsm

@@ -1,0 +1,25 @@
+#include "sim/event_queue.h"
+
+#include "common/assert.h"
+
+namespace lsr::sim {
+
+void EventQueue::push(TimeNs time, Action action) {
+  heap_.push(Event{time, next_sequence_++, std::move(action)});
+}
+
+TimeNs EventQueue::next_time() const {
+  LSR_EXPECTS(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Action EventQueue::pop() {
+  LSR_EXPECTS(!heap_.empty());
+  // priority_queue::top() is const; the action must be moved out, which is
+  // safe because the element is removed immediately afterwards.
+  Action action = std::move(const_cast<Event&>(heap_.top()).action);
+  heap_.pop();
+  return action;
+}
+
+}  // namespace lsr::sim

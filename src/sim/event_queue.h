@@ -1,0 +1,46 @@
+// Time-ordered event queue for the discrete-event simulator. Ties are broken
+// by insertion sequence so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lsr::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void push(TimeNs time, Action action);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  TimeNs next_time() const;
+
+  // Pops and returns the earliest event's action, advancing nothing else.
+  Action pop();
+
+ private:
+  struct Event {
+    TimeNs time;
+    std::uint64_t sequence;
+    Action action;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace lsr::sim

@@ -1,0 +1,33 @@
+// Network and node models for the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace lsr::sim {
+
+struct NetworkConfig {
+  // One-way delivery latency, sampled uniformly per message. The default
+  // models the paper's 10 GbE LAN. Random latencies also yield reordering.
+  TimeNs latency_min = 50 * kMicrosecond;
+  TimeNs latency_max = 150 * kMicrosecond;
+
+  // Applied only to links where *both* endpoints' node ids are below
+  // lossy_node_limit (replica-to-replica links in our setups); client
+  // channels are modelled as reliable, matching the paper's load generators.
+  double loss_probability = 0.0;
+  double duplicate_probability = 0.0;
+  NodeId lossy_node_limit = 0;
+};
+
+struct NodeConfig {
+  // Serial service time per handled message on its lane...
+  TimeNs service_ns = 5 * kMicrosecond;
+  // ...plus a size-dependent component (deserialization, LUB computation).
+  double per_byte_ns = 2.0;
+  // Service time for timer callbacks.
+  TimeNs timer_service_ns = 1 * kMicrosecond;
+};
+
+}  // namespace lsr::sim

@@ -1,0 +1,252 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace lsr::sim {
+
+// Context implementation handed to each hosted endpoint.
+class SimContext final : public net::Context {
+ public:
+  SimContext(Simulator* sim, NodeId self) : sim_(sim), self_(self) {}
+
+  NodeId self() const override { return self_; }
+  TimeNs now() const override { return sim_->now(); }
+
+  void send(NodeId dst, Bytes data) override {
+    sim_->send_from(self_, dst, std::move(data));
+  }
+
+  net::TimerId set_timer(TimeNs delay, int lane,
+                         std::function<void()> fn) override {
+    return sim_->set_timer(self_, delay, lane, std::move(fn));
+  }
+
+  void cancel_timer(net::TimerId id) override { sim_->cancel_timer(id); }
+
+  void consume(TimeNs cost) override {
+    LSR_EXPECTS(cost >= 0);
+    sim_->consumed_extra_ += cost;
+  }
+
+ private:
+  Simulator* sim_;
+  NodeId self_;
+};
+
+Simulator::Simulator(std::uint64_t seed, NetworkConfig net_config,
+                     NodeConfig node_config)
+    : net_config_(net_config), node_config_(node_config), rng_(seed) {}
+
+Simulator::~Simulator() = default;
+
+NodeId Simulator::add_node(const EndpointFactory& factory) {
+  LSR_EXPECTS(!started_);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.emplace_back();
+  Node& node = nodes_.back();
+  node.context = std::make_unique<SimContext>(this, id);
+  node.endpoint = factory(*node.context);
+  LSR_ENSURES(node.endpoint != nullptr);
+  node.lanes.resize(static_cast<std::size_t>(node.endpoint->lane_count()));
+  // on_start runs as the node's first unit of work on lane 0.
+  events_.push(0, [this, id] {
+    if (!nodes_[id].down) {
+      enqueue_lane(id, 0,
+                   QueueItem{.callback = [this, id] { nodes_[id].endpoint->on_start(); }});
+    }
+  });
+  return id;
+}
+
+bool Simulator::step() {
+  if (events_.empty()) return false;
+  started_ = true;
+  const TimeNs t = events_.next_time();
+  LSR_ASSERT(t >= now_);
+  auto action = events_.pop();
+  now_ = t;
+  ++events_processed_;
+  action();
+  return true;
+}
+
+void Simulator::run_until(TimeNs t) {
+  started_ = true;
+  while (!events_.empty() && events_.next_time() <= t) step();
+  now_ = std::max(now_, t);
+}
+
+void Simulator::run_to_completion(TimeNs safety_limit) {
+  while (!events_.empty()) {
+    LSR_ASSERT(events_.next_time() <= safety_limit);
+    step();
+  }
+}
+
+void Simulator::call_at(TimeNs t, std::function<void()> fn) {
+  LSR_EXPECTS(t >= now_);
+  events_.push(t, std::move(fn));
+}
+
+void Simulator::set_down(NodeId node_id, bool down) {
+  LSR_EXPECTS(node_id < nodes_.size());
+  Node& node = nodes_[node_id];
+  if (node.down == down) return;
+  node.down = down;
+  if (down) {
+    // Crash: queued messages and running work are lost; pending timers die
+    // (their generation check fails). Internal endpoint state survives.
+    ++node.generation;
+    for (Lane& lane : node.lanes) {
+      lane.queue.clear();
+      lane.head = 0;
+      lane.busy = false;
+    }
+  } else {
+    enqueue_lane(node_id, 0, QueueItem{.callback = [this, node_id] {
+                   nodes_[node_id].endpoint->on_recover();
+                 }});
+  }
+}
+
+bool Simulator::is_down(NodeId node) const {
+  LSR_EXPECTS(node < nodes_.size());
+  return nodes_[node].down;
+}
+
+void Simulator::set_partitioned(NodeId a, NodeId b, bool blocked) {
+  const auto key = std::minmax(a, b);
+  if (blocked)
+    partitions_.insert(key);
+  else
+    partitions_.erase(key);
+}
+
+net::Endpoint& Simulator::endpoint(NodeId node) {
+  LSR_EXPECTS(node < nodes_.size());
+  return *nodes_[node].endpoint;
+}
+
+void Simulator::send_from(NodeId src, NodeId dst, Bytes data) {
+  LSR_EXPECTS(dst < nodes_.size());
+  ++messages_sent_;
+  bytes_sent_ += data.size();
+  if (partitions_.count(std::minmax(src, dst)) > 0) {
+    ++messages_dropped_;
+    return;
+  }
+  const bool lossy_link = src < net_config_.lossy_node_limit &&
+                          dst < net_config_.lossy_node_limit && src != dst;
+  if (lossy_link && rng_.next_bool(net_config_.loss_probability)) {
+    ++messages_dropped_;
+    return;
+  }
+  const int copies =
+      1 + ((lossy_link && rng_.next_bool(net_config_.duplicate_probability)) ? 1
+                                                                             : 0);
+  for (int i = 0; i < copies; ++i) {
+    const TimeNs latency = rng_.next_in(net_config_.latency_min,
+                                        net_config_.latency_max);
+    // Copy only when duplicating.
+    Bytes payload = (i + 1 == copies) ? std::move(data) : data;
+    events_.push(now_ + latency,
+                 [this, dst, src, payload = std::move(payload)]() mutable {
+                   deliver(dst, src, std::move(payload));
+                 });
+  }
+}
+
+void Simulator::deliver(NodeId dst, NodeId from, Bytes data) {
+  Node& node = nodes_[dst];
+  if (node.down) {
+    ++messages_dropped_;
+    return;
+  }
+  const int lane = node.endpoint->lane_of(data);
+  LSR_ASSERT(lane >= 0 && static_cast<std::size_t>(lane) < node.lanes.size());
+  enqueue_lane(dst, lane,
+               QueueItem{.from = from, .data = std::move(data), .is_message = true});
+}
+
+void Simulator::enqueue_lane(NodeId node_id, int lane_index, QueueItem item) {
+  Node& node = nodes_[node_id];
+  Lane& lane = node.lanes[static_cast<std::size_t>(lane_index)];
+  lane.queue.push_back(std::move(item));
+  if (!lane.busy) start_next(node_id, lane_index);
+}
+
+TimeNs Simulator::service_cost(const QueueItem& item) const {
+  if (!item.is_message) return node_config_.timer_service_ns;
+  return node_config_.service_ns +
+         static_cast<TimeNs>(node_config_.per_byte_ns *
+                             static_cast<double>(item.data.size()));
+}
+
+void Simulator::start_next(NodeId node_id, int lane_index) {
+  Node& node = nodes_[node_id];
+  Lane& lane = node.lanes[static_cast<std::size_t>(lane_index)];
+  // Compact the FIFO once the consumed prefix grows.
+  if (lane.head > 64 && lane.head * 2 > lane.queue.size()) {
+    lane.queue.erase(lane.queue.begin(),
+                     lane.queue.begin() + static_cast<std::ptrdiff_t>(lane.head));
+    lane.head = 0;
+  }
+  if (lane.head >= lane.queue.size()) {
+    lane.busy = false;
+    return;
+  }
+  lane.busy = true;
+  QueueItem item = std::move(lane.queue[lane.head++]);
+  const TimeNs cost = service_cost(item);
+  const std::uint64_t generation = node.generation;
+  events_.push(now_ + cost, [this, node_id, lane_index, generation,
+                             item = std::move(item)]() mutable {
+    Node& n = nodes_[node_id];
+    if (n.generation != generation || n.down) return;  // crashed meanwhile
+    consumed_extra_ = 0;
+    if (item.is_message)
+      n.endpoint->on_message(item.from, item.data);
+    else
+      item.callback();
+    const TimeNs extra = consumed_extra_;
+    consumed_extra_ = 0;
+    if (n.generation != generation || n.down) return;  // crashed inside handler
+    if (extra > 0) {
+      // The handler charged extra service time (e.g. a log write): delay the
+      // lane's next dequeue accordingly.
+      events_.push(now_ + extra,
+                   [this, node_id, lane_index, generation] {
+                     Node& inner = nodes_[node_id];
+                     if (inner.generation != generation || inner.down) return;
+                     start_next(node_id, lane_index);
+                   });
+    } else {
+      start_next(node_id, lane_index);
+    }
+  });
+}
+
+net::TimerId Simulator::set_timer(NodeId node_id, TimeNs delay, int lane,
+                                  std::function<void()> fn) {
+  LSR_EXPECTS(delay >= 0);
+  const net::TimerId id = next_timer_id_++;
+  live_timers_.insert(id);
+  const std::uint64_t generation = nodes_[node_id].generation;
+  events_.push(now_ + delay, [this, node_id, lane, generation, id,
+                              fn = std::move(fn)]() mutable {
+    if (live_timers_.erase(id) == 0) return;  // cancelled
+    Node& node = nodes_[node_id];
+    if (node.down || node.generation != generation) return;  // lost in crash
+    enqueue_lane(node_id, lane, QueueItem{.callback = std::move(fn)});
+  });
+  return id;
+}
+
+void Simulator::cancel_timer(net::TimerId id) {
+  if (id != net::kInvalidTimer) live_timers_.erase(id);
+}
+
+}  // namespace lsr::sim

@@ -1,0 +1,136 @@
+// Deterministic discrete-event cluster simulator.
+//
+// Hosts net::Endpoint instances as nodes. Each node has lane_count() serial
+// execution lanes (M/G/1 queues); messages and timers are classified into a
+// lane and processed one at a time per lane, with a configurable service
+// time — this reproduces the actor execution model of the paper's Erlang
+// implementation and is what makes saturation throughput curves meaningful.
+//
+// Failure injection: nodes can crash (lose queued messages and pending
+// timers, keep their internal state — the paper's crash-recovery model) and
+// recover; links can be partitioned; replica-to-replica links can drop and
+// duplicate messages.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/context.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace lsr::sim {
+
+class Simulator {
+ public:
+  using EndpointFactory =
+      std::function<std::unique_ptr<net::Endpoint>(net::Context&)>;
+
+  Simulator(std::uint64_t seed, NetworkConfig net_config = {},
+            NodeConfig node_config = {});
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Adds a node hosting the endpoint built by `factory`. Nodes receive
+  // consecutive ids starting at 0. on_start runs at time 0 once run begins.
+  NodeId add_node(const EndpointFactory& factory);
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  // Runs until the event queue is exhausted or the virtual clock passes `t`.
+  void run_until(TimeNs t);
+  void run_for(TimeNs duration) { run_until(now_ + duration); }
+  // Runs until no events remain (useful for quiescent tests).
+  void run_to_completion(TimeNs safety_limit = 3600 * kSecond);
+  // Executes a single event; returns false when the queue is empty.
+  bool step();
+
+  TimeNs now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules an out-of-band action (failure injection, workload control).
+  void call_at(TimeNs t, std::function<void()> fn);
+
+  // Crash / recovery. Crashing clears queued work and pending timers; the
+  // endpoint object (its internal state) survives. Recovery invokes
+  // Endpoint::on_recover on lane 0.
+  void set_down(NodeId node, bool down);
+  bool is_down(NodeId node) const;
+
+  // Bidirectional link control.
+  void set_partitioned(NodeId a, NodeId b, bool blocked);
+
+  net::Endpoint& endpoint(NodeId node);
+  template <typename T>
+  T& endpoint_as(NodeId node) {
+    return static_cast<T&>(endpoint(node));
+  }
+
+  // Wire statistics (for the overhead experiment).
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  friend class SimContext;
+
+  struct QueueItem {
+    // Either a message (from, data) or a timer/recovery callback.
+    NodeId from = 0;
+    Bytes data;
+    std::function<void()> callback;
+    bool is_message = false;
+  };
+
+  struct Lane {
+    std::vector<QueueItem> queue;  // FIFO via index
+    std::size_t head = 0;
+    bool busy = false;
+  };
+
+  struct Node {
+    std::unique_ptr<net::Context> context;
+    std::unique_ptr<net::Endpoint> endpoint;
+    std::vector<Lane> lanes;
+    bool down = false;
+    std::uint64_t generation = 0;  // bumped on crash: invalidates scheduled work
+  };
+
+  void send_from(NodeId src, NodeId dst, Bytes data);
+  void deliver(NodeId dst, NodeId from, Bytes data);
+  void enqueue_lane(NodeId node, int lane, QueueItem item);
+  void start_next(NodeId node, int lane);
+
+  net::TimerId set_timer(NodeId node, TimeNs delay, int lane,
+                         std::function<void()> fn);
+  void cancel_timer(net::TimerId id);
+
+  TimeNs service_cost(const QueueItem& item) const;
+
+  NetworkConfig net_config_;
+  NodeConfig node_config_;
+  Rng rng_;
+  EventQueue events_;
+  TimeNs now_ = 0;
+  std::vector<Node> nodes_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::unordered_set<net::TimerId> live_timers_;
+  net::TimerId next_timer_id_ = 1;
+  TimeNs consumed_extra_ = 0;  // accumulated via Context::consume
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace lsr::sim

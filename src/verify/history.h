@@ -1,0 +1,48 @@
+// Operation histories for linearizability checking: increment (update) and
+// read (query) operations on a replicated counter, with invocation/response
+// timestamps from the client's perspective.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lsr::verify {
+
+struct CounterOp {
+  enum class Kind { kIncrement, kRead };
+
+  Kind kind = Kind::kIncrement;
+  TimeNs invoke = 0;
+  TimeNs response = 0;
+  std::uint64_t amount = 1;  // increments
+  std::uint64_t value = 0;   // reads: returned counter value
+};
+
+class History {
+ public:
+  void add_increment(TimeNs invoke, TimeNs response, std::uint64_t amount = 1) {
+    ops_.push_back({CounterOp::Kind::kIncrement, invoke, response, amount, 0});
+  }
+
+  void add_read(TimeNs invoke, TimeNs response, std::uint64_t value) {
+    ops_.push_back({CounterOp::Kind::kRead, invoke, response, 1, value});
+  }
+
+  const std::vector<CounterOp>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  std::size_t read_count() const {
+    std::size_t n = 0;
+    for (const auto& op : ops_)
+      if (op.kind == CounterOp::Kind::kRead) ++n;
+    return n;
+  }
+
+ private:
+  std::vector<CounterOp> ops_;
+};
+
+}  // namespace lsr::verify

@@ -1,0 +1,215 @@
+#include "verify/linearizability.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace lsr::verify {
+
+namespace {
+
+std::string format_read(const CounterOp& op) {
+  return "read[" + std::to_string(op.invoke) + "," +
+         std::to_string(op.response) + "]=" + std::to_string(op.value);
+}
+
+}  // namespace
+
+CheckResult check_counter_linearizable(const History& history) {
+  std::vector<const CounterOp*> increments;
+  std::vector<const CounterOp*> reads;
+  for (const auto& op : history.ops()) {
+    if (op.kind == CounterOp::Kind::kIncrement) {
+      LSR_EXPECTS(op.amount == 1);  // fast checker assumes unit increments
+      increments.push_back(&op);
+    } else {
+      reads.push_back(&op);
+    }
+  }
+
+  // Sorted invocation and response times of increments enable O(log n)
+  // "how many before t" lookups.
+  std::vector<TimeNs> inc_invokes;
+  std::vector<TimeNs> inc_responses;
+  inc_invokes.reserve(increments.size());
+  inc_responses.reserve(increments.size());
+  for (const auto* inc : increments) {
+    inc_invokes.push_back(inc->invoke);
+    inc_responses.push_back(inc->response);
+  }
+  std::sort(inc_invokes.begin(), inc_invokes.end());
+  std::sort(inc_responses.begin(), inc_responses.end());
+
+  // Condition (1): value bounds per read.
+  for (const auto* read : reads) {
+    const auto completed_before =
+        static_cast<std::uint64_t>(std::lower_bound(inc_responses.begin(),
+                                                    inc_responses.end(),
+                                                    read->invoke) -
+                                   inc_responses.begin());
+    // An increment with invoke == response-time of the read is concurrent
+    // with it (real-time precedence is strict), so it may still linearize
+    // before the read: use upper_bound, not lower_bound.
+    const auto invoked_before =
+        static_cast<std::uint64_t>(std::upper_bound(inc_invokes.begin(),
+                                                    inc_invokes.end(),
+                                                    read->response) -
+                                   inc_invokes.begin());
+    if (read->value < completed_before) {
+      return {false, format_read(*read) + " is stale: " +
+                         std::to_string(completed_before) +
+                         " increments had completed before its invocation"};
+    }
+    if (read->value > invoked_before) {
+      return {false, format_read(*read) + " reads from the future: only " +
+                         std::to_string(invoked_before) +
+                         " increments were invoked before its response"};
+    }
+  }
+
+  // Condition (2): non-overlapping reads must be monotone. Sorting reads by
+  // invocation lets a single sweep find violations: track the maximum value
+  // among reads whose response precedes the current read's invocation.
+  std::vector<const CounterOp*> by_invoke = reads;
+  std::sort(by_invoke.begin(), by_invoke.end(),
+            [](const CounterOp* a, const CounterOp* b) {
+              return a->invoke < b->invoke;
+            });
+  // Min-heap by response of already-seen reads, with the running max value
+  // of those whose response < current invoke.
+  std::vector<const CounterOp*> heap;  // min-heap by response
+  const auto heap_cmp = [](const CounterOp* a, const CounterOp* b) {
+    return a->response > b->response;
+  };
+  std::uint64_t max_prior_value = 0;
+  const CounterOp* max_prior_read = nullptr;
+  for (const auto* read : by_invoke) {
+    while (!heap.empty() && heap.front()->response < read->invoke) {
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      const CounterOp* done = heap.back();
+      heap.pop_back();
+      if (max_prior_read == nullptr || done->value > max_prior_value) {
+        max_prior_value = done->value;
+        max_prior_read = done;
+      }
+    }
+    if (max_prior_read != nullptr && read->value < max_prior_value) {
+      return {false, format_read(*read) + " went backwards: preceding " +
+                         format_read(*max_prior_read) +
+                         " already returned a larger value"};
+    }
+    heap.push_back(read);
+    std::push_heap(heap.begin(), heap.end(), heap_cmp);
+  }
+
+  // Condition (3): for reads r -> r' (r.response < r'.invoke), every
+  // increment whose whole interval lies between them (invoked after r's
+  // response, completed before r''s invocation) must be counted by r' *in
+  // addition to* whatever r counted:  v(r') >= v(r) + #such increments.
+  // (Conditions 1+2 alone are incomplete — a read at its upper bound pins
+  // down exactly which increments precede it.) Quadratic in the number of
+  // reads, so applied only to moderately sized histories; the protocol test
+  // benches keep recorded histories within this bound.
+  constexpr std::size_t kPairwiseLimit = 4000;
+  if (by_invoke.size() <= kPairwiseLimit) {
+    // For counting: increments sorted by invoke; responses available for
+    // binary search per predecessor via a filtered, sorted copy.
+    std::vector<std::pair<TimeNs, TimeNs>> incs;  // (invoke, response)
+    incs.reserve(increments.size());
+    for (const auto* inc : increments) incs.emplace_back(inc->invoke, inc->response);
+    std::sort(incs.begin(), incs.end());
+    for (std::size_t i = 0; i < by_invoke.size(); ++i) {
+      const CounterOp* r = by_invoke[i];
+      // Responses of increments invoked strictly after r->response.
+      const auto first_after = std::upper_bound(
+          incs.begin(), incs.end(),
+          std::make_pair(r->response, std::numeric_limits<TimeNs>::max()));
+      std::vector<TimeNs> responses_after;
+      responses_after.reserve(static_cast<std::size_t>(incs.end() - first_after));
+      for (auto it = first_after; it != incs.end(); ++it)
+        responses_after.push_back(it->second);
+      std::sort(responses_after.begin(), responses_after.end());
+      if (responses_after.empty()) continue;
+      for (std::size_t j = 0; j < by_invoke.size(); ++j) {
+        const CounterOp* r_prime = by_invoke[j];
+        if (r->response >= r_prime->invoke) continue;  // not ordered
+        const auto between = static_cast<std::uint64_t>(
+            std::lower_bound(responses_after.begin(), responses_after.end(),
+                             r_prime->invoke) -
+            responses_after.begin());
+        if (r_prime->value < r->value + between) {
+          return {false,
+                  format_read(*r_prime) + " undercounts: " + format_read(*r) +
+                      " preceded it and " + std::to_string(between) +
+                      " further increments completed in between"};
+        }
+      }
+    }
+  }
+
+  return {true, ""};
+}
+
+namespace {
+
+// Exhaustive Wing&Gong search. Operations are indexed; a bitmask encodes the
+// set already linearized. An op may be linearized next iff every op whose
+// response precedes its invocation is already linearized (real-time order),
+// and, for reads, the current counter value matches the returned value.
+class ExhaustiveSearch {
+ public:
+  explicit ExhaustiveSearch(const History& history) {
+    for (const auto& op : history.ops()) ops_.push_back(&op);
+  }
+
+  CheckResult run() {
+    LSR_EXPECTS(ops_.size() <= 62);
+    if (search(0, 0)) return {true, ""};
+    return {false, "no valid linearization order exists"};
+  }
+
+ private:
+  bool search(std::uint64_t done_mask, std::uint64_t /*unused*/) {
+    if (done_mask == (std::uint64_t{1} << ops_.size()) - 1) return true;
+    if (!visited_.insert(done_mask).second) return false;
+    // Counter value is determined by the set of linearized increments.
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < ops_.size(); ++i)
+      if ((done_mask >> i) & 1)
+        if (ops_[i]->kind == CounterOp::Kind::kIncrement)
+          value += ops_[i]->amount;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if ((done_mask >> i) & 1) continue;
+      if (!minimal(done_mask, i)) continue;
+      if (ops_[i]->kind == CounterOp::Kind::kRead &&
+          ops_[i]->value != value)
+        continue;
+      if (search(done_mask | (std::uint64_t{1} << i), 0)) return true;
+    }
+    return false;
+  }
+
+  // Op i may be linearized next iff no unlinearized op j completed before i
+  // was invoked.
+  bool minimal(std::uint64_t done_mask, std::size_t i) const {
+    for (std::size_t j = 0; j < ops_.size(); ++j) {
+      if (j == i || ((done_mask >> j) & 1)) continue;
+      if (ops_[j]->response < ops_[i]->invoke) return false;
+    }
+    return true;
+  }
+
+  std::vector<const CounterOp*> ops_;
+  std::unordered_set<std::uint64_t> visited_;
+};
+
+}  // namespace
+
+CheckResult check_counter_linearizable_exhaustive(const History& history) {
+  return ExhaustiveSearch(history).run();
+}
+
+}  // namespace lsr::verify

@@ -1,0 +1,39 @@
+// Linearizability checkers for replicated-counter histories.
+//
+// check_counter_linearizable: fast O(n log n) checker for histories of unit
+// increments and reads. It verifies the interval conditions that a
+// linearization must satisfy:
+//   (1) for every read r:  #increments completed before r's invocation
+//                           <= value(r) <=
+//                          #increments invoked before r's response;
+//   (2) for reads r1, r2 with r1.response < r2.invoke: value(r1) <= value(r2).
+// For unit increments these conditions are also sufficient (the object is a
+// monotone counter; a witness linearization can always be assembled by
+// placing each read after exactly value(r) increments). The exhaustive
+// checker below cross-validates this on small histories in the test suite.
+//
+// WGChecker: exhaustive Wing&Gong-style search with memoization on the set
+// of linearized operations; exponential worst case, intended for histories
+// of up to ~20 operations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "verify/history.h"
+
+namespace lsr::verify {
+
+struct CheckResult {
+  bool linearizable = true;
+  std::string explanation;  // human-readable violation description
+};
+
+// Fast checker: requires all increments to have amount == 1.
+CheckResult check_counter_linearizable(const History& history);
+
+// Exhaustive checker (any amounts). History size must be <= 62 ops; runtime
+// is exponential, use for small histories only.
+CheckResult check_counter_linearizable_exhaustive(const History& history);
+
+}  // namespace lsr::verify

@@ -1,0 +1,100 @@
+// Closed-loop counter client that records every operation into a History
+// for linearizability checking. Used by the correctness test-benches; the
+// plain bench::CounterClient is used for performance runs (no recording
+// overhead beyond the collector).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/wire.h"
+#include "net/context.h"
+#include "rsm/client_msg.h"
+#include "verify/history.h"
+
+namespace lsr::verify {
+
+class RecordingClient final : public net::Endpoint {
+ public:
+  // max_ops == 0: run until the simulation stops.
+  RecordingClient(net::Context& ctx, NodeId replica, double read_ratio,
+                  std::uint64_t seed, History* history,
+                  std::uint64_t max_ops = 0)
+      : ctx_(ctx),
+        replica_(replica),
+        read_ratio_(read_ratio),
+        rng_(seed),
+        history_(history),
+        max_ops_(max_ops) {}
+
+  void on_start() override { submit_next(); }
+
+  void on_message(NodeId from, const Bytes& data) override {
+    (void)from;
+    Decoder dec(data);
+    const std::uint8_t tag = dec.get_u8();
+    if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kUpdateDone)) {
+      const auto done = rsm::UpdateDone::decode(dec);
+      if (done.request != inflight_request_) return;
+      history_->add_increment(inflight_start_, ctx_.now(), 1);
+    } else if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kQueryDone)) {
+      const auto done = rsm::QueryDone::decode(dec);
+      if (done.request != inflight_request_) return;
+      Decoder result(done.result);
+      history_->add_read(inflight_start_, ctx_.now(), result.get_u64());
+    } else {
+      return;
+    }
+    ++completed_;
+    inflight_request_ = 0;
+    if (max_ops_ == 0 || completed_ < max_ops_) submit_next();
+  }
+
+  std::uint64_t completed() const { return completed_; }
+
+  // Call after the run: records a still-pending update as possibly-applied
+  // (response = +inf), the standard treatment for crash histories — an
+  // update whose ack was lost may nevertheless be visible to reads. Pending
+  // reads are simply dropped (they constrain nothing).
+  void flush_pending() {
+    if (inflight_request_ == 0 || !inflight_is_update_) return;
+    history_->add_increment(inflight_start_,
+                            std::numeric_limits<TimeNs>::max(), 1);
+    inflight_request_ = 0;
+  }
+
+ private:
+  void submit_next() {
+    const bool is_read = rng_.next_bool(read_ratio_);
+    inflight_is_update_ = !is_read;
+    inflight_start_ = ctx_.now();
+    inflight_request_ = make_request_id(ctx_.self(), next_counter_++);
+    Encoder enc;
+    if (is_read) {
+      rsm::ClientQuery query{inflight_request_, 0, {}};
+      query.encode(enc);
+    } else {
+      Encoder args;
+      args.put_u64(1);
+      rsm::ClientUpdate update{inflight_request_, 0, std::move(args).take()};
+      update.encode(enc);
+    }
+    ctx_.send(replica_, std::move(enc).take());
+  }
+
+  net::Context& ctx_;
+  NodeId replica_;
+  double read_ratio_;
+  Rng rng_;
+  History* history_;
+  std::uint64_t max_ops_;
+  RequestId inflight_request_ = 0;
+  bool inflight_is_update_ = false;
+  TimeNs inflight_start_ = 0;
+  std::uint64_t next_counter_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace lsr::verify

@@ -1,0 +1,188 @@
+// Unit tests of the acceptor transition table — Algorithm 2, right column,
+// rule by rule.
+#include "core/acceptor.h"
+
+#include <gtest/gtest.h>
+
+#include "lattice/gcounter.h"
+#include "lattice/semilattice.h"
+
+namespace lsr::core {
+namespace {
+
+using lattice::GCounter;
+
+GCounter counter_with(std::size_t slot, std::uint64_t value) {
+  GCounter counter(3);
+  counter.increment(slot, value);
+  return counter;
+}
+
+TEST(Acceptor, InitialState) {
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  EXPECT_EQ(acceptor.state().value(), 0u);
+  EXPECT_EQ(acceptor.round().number, 0u);
+  EXPECT_EQ(acceptor.round().id, Round::kInitId);
+}
+
+TEST(Acceptor, MergeJoinsAndMarksWrite) {
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  const auto reply = acceptor.handle(Merge<GCounter>{7, counter_with(1, 5)});
+  EXPECT_EQ(reply.op, 7u);
+  EXPECT_EQ(acceptor.state().value(), 5u);
+  EXPECT_EQ(acceptor.round().id, Round::kWriteId);  // line 34
+  EXPECT_EQ(acceptor.round().number, 0u);           // number untouched
+}
+
+TEST(Acceptor, ApplyUpdateIsLocalMergeEquivalent) {
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  const GCounter& result = acceptor.apply_update(
+      [](GCounter& state) { state.increment(0, 3); });
+  EXPECT_EQ(result.value(), 3u);
+  EXPECT_EQ(acceptor.round().id, Round::kWriteId);  // line 30
+}
+
+TEST(Acceptor, IncrementalPrepareAlwaysAccepted) {
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  // Even after many prepares, an incremental one bumps past the stored
+  // number (line 39) and is acked.
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    const auto reply = acceptor.handle(Prepare<GCounter>{
+        i, 1, incremental_round(9, i), std::nullopt});
+    const auto* ack = std::get_if<Ack<GCounter>>(&reply);
+    ASSERT_NE(ack, nullptr) << "iteration " << i;
+    EXPECT_EQ(ack->round.number, i);  // grows by one each time
+  }
+}
+
+TEST(Acceptor, FixedPrepareAcceptedOnlyAboveCurrentNumber) {
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  // Raise the acceptor's round to 5.
+  acceptor.handle(Prepare<GCounter>{1, 1, fixed_round(5, 2, 0), std::nullopt});
+  // Equal number: rejected (strict > required, line 40).
+  auto reply =
+      acceptor.handle(Prepare<GCounter>{2, 1, fixed_round(5, 3, 1), std::nullopt});
+  EXPECT_NE(std::get_if<Nack<GCounter>>(&reply), nullptr);
+  // Lower number: rejected.
+  reply =
+      acceptor.handle(Prepare<GCounter>{3, 1, fixed_round(4, 3, 2), std::nullopt});
+  EXPECT_NE(std::get_if<Nack<GCounter>>(&reply), nullptr);
+  // Higher number: accepted and adopted.
+  reply =
+      acceptor.handle(Prepare<GCounter>{4, 1, fixed_round(6, 3, 3), std::nullopt});
+  const auto* ack = std::get_if<Ack<GCounter>>(&reply);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(acceptor.round().number, 6u);
+}
+
+TEST(Acceptor, PrepareMergesCarriedState) {
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  const auto reply = acceptor.handle(Prepare<GCounter>{
+      1, 1, incremental_round(2, 0), counter_with(0, 9)});  // line 37
+  const auto* ack = std::get_if<Ack<GCounter>>(&reply);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->state.value(), 9u);  // ACK carries the merged state
+  EXPECT_EQ(acceptor.state().value(), 9u);
+}
+
+TEST(Acceptor, NackCarriesRoundAndState) {
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  acceptor.handle(Merge<GCounter>{1, counter_with(2, 4)});
+  acceptor.handle(Prepare<GCounter>{2, 1, fixed_round(8, 2, 0), std::nullopt});
+  const auto reply =
+      acceptor.handle(Prepare<GCounter>{3, 1, fixed_round(3, 4, 1), std::nullopt});
+  const auto* nack = std::get_if<Nack<GCounter>>(&reply);
+  ASSERT_NE(nack, nullptr);
+  EXPECT_EQ(nack->round.number, 8u);      // acceptor's current round
+  EXPECT_EQ(nack->state.value(), 4u);     // piggybacked payload for retries
+}
+
+TEST(Acceptor, VoteGrantedWhenRoundMatches) {
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  const auto prep = acceptor.handle(Prepare<GCounter>{
+      1, 1, incremental_round(2, 0), std::nullopt});
+  const auto& ack = std::get<Ack<GCounter>>(prep);
+  const auto reply = acceptor.handle(Vote<GCounter>{
+      1, 1, ack.round, counter_with(0, 2)});
+  const auto* voted = std::get_if<Voted<GCounter>>(&reply);
+  ASSERT_NE(voted, nullptr);
+  // Sect. 3.6 optimization: no state echoed by default.
+  EXPECT_FALSE(voted->state.has_value());
+  // Line 44: the proposal was merged regardless.
+  EXPECT_EQ(acceptor.state().value(), 2u);
+}
+
+TEST(Acceptor, VoteDeniedAfterInterveningUpdate) {
+  // The crux of linearizability (line 45 + lines 30/34): any state
+  // modification between PREPARE and VOTE invalidates the vote.
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  const auto prep = acceptor.handle(Prepare<GCounter>{
+      1, 1, incremental_round(2, 0), std::nullopt});
+  const auto& ack = std::get<Ack<GCounter>>(prep);
+  acceptor.handle(Merge<GCounter>{9, counter_with(1, 1)});  // concurrent update
+  const auto reply = acceptor.handle(Vote<GCounter>{
+      1, 1, ack.round, counter_with(0, 2)});
+  EXPECT_NE(std::get_if<Nack<GCounter>>(&reply), nullptr);
+  // But the vote's state was still merged (line 44).
+  EXPECT_EQ(acceptor.state().value(), 3u);
+}
+
+TEST(Acceptor, VoteDeniedAfterInterveningPrepare) {
+  // Invariant I4: a later PREPARE raises the round, so the pending vote for
+  // the earlier round must fail.
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  const auto prep = acceptor.handle(Prepare<GCounter>{
+      1, 1, incremental_round(2, 0), std::nullopt});
+  const auto& ack = std::get<Ack<GCounter>>(prep);
+  acceptor.handle(Prepare<GCounter>{2, 1, incremental_round(3, 1), std::nullopt});
+  const auto reply = acceptor.handle(Vote<GCounter>{
+      1, 1, ack.round, counter_with(0, 2)});
+  EXPECT_NE(std::get_if<Nack<GCounter>>(&reply), nullptr);
+}
+
+TEST(Acceptor, StateGrowsMonotonically) {
+  // Lemma 3.2: the payload state only ever grows, whatever the message mix.
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  GCounter previous = acceptor.state();
+  const auto check = [&] {
+    EXPECT_TRUE(previous.leq(acceptor.state()));
+    previous = acceptor.state();
+  };
+  acceptor.handle(Merge<GCounter>{1, counter_with(0, 3)});
+  check();
+  acceptor.handle(Prepare<GCounter>{2, 1, incremental_round(5, 0),
+                                    counter_with(1, 1)});
+  check();
+  acceptor.handle(Vote<GCounter>{3, 1, Round{99, 1234}, counter_with(2, 7)});
+  check();
+  acceptor.apply_update([](GCounter& state) { state.increment(0, 1); });
+  check();
+}
+
+TEST(Acceptor, VotedEchoesStateWhenConfigured) {
+  ProtocolConfig config;
+  config.state_in_voted = true;  // the unoptimized variant
+  Acceptor<GCounter> acceptor{GCounter(3), &config};
+  const auto prep = acceptor.handle(Prepare<GCounter>{
+      1, 1, incremental_round(2, 0), std::nullopt});
+  const auto& ack = std::get<Ack<GCounter>>(prep);
+  const auto reply = acceptor.handle(Vote<GCounter>{
+      1, 1, ack.round, counter_with(0, 2)});
+  const auto* voted = std::get_if<Voted<GCounter>>(&reply);
+  ASSERT_NE(voted, nullptr);
+  ASSERT_TRUE(voted->state.has_value());
+  EXPECT_EQ(voted->state->value(), 2u);
+}
+
+TEST(Acceptor, StatsCountTransitions) {
+  Acceptor<GCounter> acceptor{GCounter(3)};
+  acceptor.handle(Merge<GCounter>{1, counter_with(0, 1)});
+  acceptor.handle(Prepare<GCounter>{2, 1, incremental_round(3, 0), std::nullopt});
+  acceptor.handle(Prepare<GCounter>{3, 1, fixed_round(0, 3, 1), std::nullopt});
+  EXPECT_EQ(acceptor.stats().merges, 1u);
+  EXPECT_EQ(acceptor.stats().prepare_acks, 1u);
+  EXPECT_EQ(acceptor.stats().prepare_nacks, 1u);
+}
+
+}  // namespace
+}  // namespace lsr::core

@@ -1,0 +1,150 @@
+// Wire round-trips and fuzz robustness for the Multi-Paxos and Raft message
+// codecs (the baselines must be as hostile-input-proof as the core).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "paxos/messages.h"
+#include "raft/messages.h"
+
+namespace lsr {
+namespace {
+
+TEST(PaxosMessages, BallotOrdering) {
+  using paxos::Ballot;
+  EXPECT_LT((Ballot{1, 2}), (Ballot{2, 0}));
+  EXPECT_LT((Ballot{2, 0}), (Ballot{2, 1}));
+  EXPECT_EQ((Ballot{3, 3}), (Ballot{3, 3}));
+}
+
+TEST(PaxosMessages, PromiseRoundTripWithEntriesAndSessions) {
+  paxos::Promise promise;
+  promise.ballot = {7, 1};
+  promise.snapshot_value = -42;
+  promise.snapshot_applied = 100;
+  promise.commit_index = 120;
+  promise.entries.emplace_back(
+      101, paxos::LogEntry{{7, 1}, paxos::Command{9, 555, 3}});
+  promise.entries.emplace_back(
+      102, paxos::LogEntry{{6, 0}, paxos::Command{10, 556, -1}});
+  promise.sessions.emplace_back(9, 555);
+  Encoder enc;
+  promise.encode(enc);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), static_cast<std::uint8_t>(paxos::MsgTag::kPromise));
+  const auto decoded = paxos::Promise::decode(dec);
+  EXPECT_TRUE(dec.done());
+  EXPECT_EQ(decoded.ballot, (paxos::Ballot{7, 1}));
+  EXPECT_EQ(decoded.snapshot_value, -42);
+  ASSERT_EQ(decoded.entries.size(), 2u);
+  EXPECT_EQ(decoded.entries[0].second.command.request, 555u);
+  EXPECT_EQ(decoded.entries[1].second.command.amount, -1);
+  ASSERT_EQ(decoded.sessions.size(), 1u);
+  EXPECT_EQ(decoded.sessions[0].first, 9u);
+}
+
+TEST(PaxosMessages, AcceptAndHeartbeatRoundTrip) {
+  paxos::Accept accept{{3, 2}, 55, 54, paxos::Command{4, 77, 1}};
+  Encoder enc;
+  accept.encode(enc);
+  Decoder dec(enc.bytes());
+  dec.get_u8();
+  const auto decoded = paxos::Accept::decode(dec);
+  EXPECT_EQ(decoded.slot, 55u);
+  EXPECT_EQ(decoded.commit_index, 54u);
+
+  paxos::Heartbeat hb{{3, 2}, 999, 54};
+  Encoder enc2;
+  hb.encode(enc2);
+  Decoder dec2(enc2.bytes());
+  dec2.get_u8();
+  EXPECT_EQ(paxos::Heartbeat::decode(dec2).sequence, 999u);
+}
+
+TEST(PaxosMessages, ForwardWrapsRawClientBytes) {
+  paxos::Forward fwd{17, Bytes{1, 2, 3, 4}};
+  Encoder enc;
+  fwd.encode(enc);
+  Decoder dec(enc.bytes());
+  dec.get_u8();
+  const auto decoded = paxos::Forward::decode(dec);
+  EXPECT_EQ(decoded.client, 17u);
+  EXPECT_EQ(decoded.payload, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(RaftMessages, AppendEntriesRoundTrip) {
+  raft::AppendEntries msg;
+  msg.term = 5;
+  msg.leader = 1;
+  msg.prev_log_index = 10;
+  msg.prev_log_term = 4;
+  msg.commit_index = 9;
+  msg.entries.push_back(raft::LogEntry{5, raft::Command{true, 7, 88, 0}});
+  msg.entries.push_back(raft::LogEntry{5, raft::Command{false, 8, 89, 2}});
+  Encoder enc;
+  msg.encode(enc);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(),
+            static_cast<std::uint8_t>(raft::MsgTag::kAppendEntries));
+  const auto decoded = raft::AppendEntries::decode(dec);
+  ASSERT_EQ(decoded.entries.size(), 2u);
+  EXPECT_TRUE(decoded.entries[0].command.is_read);
+  EXPECT_FALSE(decoded.entries[1].command.is_read);
+  EXPECT_EQ(decoded.entries[1].command.amount, 2);
+}
+
+TEST(RaftMessages, SnapshotCarriesSessions) {
+  raft::InstallSnapshot snap;
+  snap.term = 3;
+  snap.leader = 0;
+  snap.last_included_index = 500;
+  snap.last_included_term = 2;
+  snap.value = 12345;
+  snap.sessions.emplace_back(9, 777);
+  snap.sessions.emplace_back(10, 778);
+  Encoder enc;
+  snap.encode(enc);
+  Decoder dec(enc.bytes());
+  dec.get_u8();
+  const auto decoded = raft::InstallSnapshot::decode(dec);
+  EXPECT_EQ(decoded.value, 12345);
+  ASSERT_EQ(decoded.sessions.size(), 2u);
+  EXPECT_EQ(decoded.sessions[1].second, 778u);
+}
+
+TEST(RaftMessages, VoteRoundTrip) {
+  raft::RequestVote rv{9, 2, 100, 8};
+  Encoder enc;
+  rv.encode(enc);
+  Decoder dec(enc.bytes());
+  dec.get_u8();
+  const auto decoded = raft::RequestVote::decode(dec);
+  EXPECT_EQ(decoded.term, 9u);
+  EXPECT_EQ(decoded.last_log_index, 100u);
+}
+
+// Fuzz: replicas must survive arbitrary bytes (exercised end-to-end in
+// multipaxos/raft replica paths through their on_message try/catch).
+TEST(BaselineMessages, TruncatedDecodingThrowsCleanly) {
+  paxos::Promise promise;
+  promise.ballot = {7, 1};
+  promise.entries.emplace_back(
+      1, paxos::LogEntry{{7, 1}, paxos::Command{9, 555, 3}});
+  Encoder enc;
+  promise.encode(enc);
+  const Bytes wire = std::move(enc).take();
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    Decoder dec(wire.data(), cut);
+    dec.get_u8();
+    EXPECT_THROW(
+        {
+          auto decoded = paxos::Promise::decode(dec);
+          dec.expect_done();
+          (void)decoded;
+        },
+        WireError)
+        << "cut " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace lsr

@@ -1,0 +1,126 @@
+#include "lattice/gcounter.h"
+
+#include <gtest/gtest.h>
+
+#include "lattice/semilattice.h"
+
+namespace lsr::lattice {
+namespace {
+
+TEST(GCounter, StartsAtZero) {
+  GCounter c(3);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(c.slot_count(), 3u);
+}
+
+TEST(GCounter, IncrementOwnSlot) {
+  GCounter c(3);
+  c.increment(0);
+  c.increment(1, 5);
+  EXPECT_EQ(c.value(), 6u);
+  EXPECT_EQ(c.slot(0), 1u);
+  EXPECT_EQ(c.slot(1), 5u);
+  EXPECT_EQ(c.slot(2), 0u);
+}
+
+TEST(GCounter, JoinTakesElementwiseMax) {
+  GCounter a(3);
+  GCounter b(3);
+  a.increment(0, 4);
+  a.increment(1, 1);
+  b.increment(1, 3);
+  b.increment(2, 7);
+  a.join(b);
+  EXPECT_EQ(a.slot(0), 4u);
+  EXPECT_EQ(a.slot(1), 3u);
+  EXPECT_EQ(a.slot(2), 7u);
+  EXPECT_EQ(a.value(), 14u);
+}
+
+TEST(GCounter, JoinNeverLosesIncrements) {
+  // The SEC scenario from Algorithm 1: replicas only increment their own
+  // slot, so merging in any order converges without losing updates.
+  GCounter r0(3);
+  GCounter r1(3);
+  GCounter r2(3);
+  r0.increment(0, 10);
+  r1.increment(1, 20);
+  r2.increment(2, 30);
+  GCounter merged_a = r0;
+  merged_a.join(r1);
+  merged_a.join(r2);
+  GCounter merged_b = r2;
+  merged_b.join(r0);
+  merged_b.join(r1);
+  EXPECT_EQ(merged_a, merged_b);
+  EXPECT_EQ(merged_a.value(), 60u);
+}
+
+TEST(GCounter, LeqIsElementwise) {
+  GCounter small(2);
+  GCounter big(2);
+  small.increment(0, 1);
+  big.increment(0, 2);
+  big.increment(1, 1);
+  EXPECT_TRUE(small.leq(big));
+  EXPECT_FALSE(big.leq(small));
+}
+
+TEST(GCounter, IncomparableStates) {
+  GCounter a(2);
+  GCounter b(2);
+  a.increment(0, 5);
+  b.increment(1, 5);
+  EXPECT_FALSE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  EXPECT_FALSE(comparable(a, b));
+  // Their join dominates both.
+  const GCounter m = join_of(a, b);
+  EXPECT_TRUE(a.leq(m));
+  EXPECT_TRUE(b.leq(m));
+}
+
+TEST(GCounter, DifferentSlotCountsJoin) {
+  GCounter a(1);
+  GCounter b(4);
+  a.increment(0, 9);
+  b.increment(3, 2);
+  a.join(b);
+  EXPECT_EQ(a.slot_count(), 4u);
+  EXPECT_EQ(a.value(), 11u);
+  // And the reverse direction agrees.
+  GCounter c(4);
+  c.increment(3, 2);
+  GCounter d(1);
+  d.increment(0, 9);
+  c.join(d);
+  EXPECT_EQ(c, a);
+}
+
+TEST(GCounter, LeqAcrossDifferentSlotCounts) {
+  GCounter shorter(1);
+  GCounter longer(3);
+  shorter.increment(0, 2);
+  longer.increment(0, 2);
+  EXPECT_TRUE(shorter.leq(longer));
+  EXPECT_TRUE(longer.leq(shorter));  // trailing zero slots are implicit
+  EXPECT_TRUE(equivalent(shorter, longer));
+}
+
+TEST(GCounter, WireRoundTrip) {
+  GCounter c(3);
+  c.increment(0, 123456789);
+  c.increment(2, 42);
+  const Bytes data = encode_to_bytes(c);
+  const auto decoded = decode_from_bytes<GCounter>(data);
+  EXPECT_EQ(decoded, c);
+  EXPECT_EQ(decoded.value(), c.value());
+}
+
+TEST(GCounter, ByteSizeTracksSlots) {
+  GCounter c(3);
+  EXPECT_EQ(c.byte_size(), 3 * sizeof(std::uint64_t));
+}
+
+}  // namespace
+}  // namespace lsr::lattice

@@ -1,0 +1,220 @@
+// Direct verification of the paper's Sect. 3.1 / 3.4 conditions on learned
+// states, observed through the proposer's learn hook:
+//   Validity      — learned states are some set of submitted updates on s0;
+//   Consistency   — all learned states are pairwise comparable;
+//   GLA-Stability — states learned at one proposer grow monotonically;
+//   Update Visibility / Update Stability — via targeted sequential flows.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/ops.h"
+#include "core/replica.h"
+#include "lattice/gcounter.h"
+#include "lattice/semilattice.h"
+#include "sim/simulator.h"
+#include "verify/history.h"
+#include "verify/recording_client.h"
+
+namespace lsr {
+namespace {
+
+using lattice::GCounter;
+using CounterReplica = core::Replica<GCounter>;
+
+struct LearnLog {
+  std::vector<std::vector<GCounter>> per_proposer;  // learn order per node
+  std::vector<GCounter> all;                        // global learn order
+};
+
+// Runs a mixed workload and captures every learned state.
+LearnLog run_and_capture(std::uint64_t seed, double read_ratio,
+                         TimeNs batch_interval = 0) {
+  sim::Simulator sim(seed);
+  const std::vector<NodeId> replica_ids{0, 1, 2};
+  core::ProtocolConfig config;
+  config.batch_interval = batch_interval;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim.add_node([&replica_ids, config](net::Context& ctx) {
+      return std::make_unique<CounterReplica>(ctx, replica_ids, config,
+                                              core::gcounter_ops());
+    });
+  }
+  LearnLog log;
+  log.per_proposer.resize(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim.endpoint_as<CounterReplica>(replica_ids[i])
+        .proposer()
+        .on_state_learned = [&log, i](const GCounter& state) {
+      log.per_proposer[i].push_back(state);
+      log.all.push_back(state);
+    };
+  }
+  verify::History history;
+  for (std::size_t i = 0; i < 6; ++i) {
+    sim.add_node([&, i](net::Context& ctx) {
+      return std::make_unique<verify::RecordingClient>(
+          ctx, replica_ids[i % 3], read_ratio, seed * 19 + i, &history, 40);
+    });
+  }
+  sim.run_until(30 * kSecond);
+  return log;
+}
+
+TEST(GlaConditions, ConsistencyAllLearnedStatesComparable) {
+  // Theorem 3.8: any two learned states are comparable. O(n^2) over a few
+  // hundred learns.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const LearnLog log = run_and_capture(seed, 0.5);
+    ASSERT_FALSE(log.all.empty());
+    for (std::size_t i = 0; i < log.all.size(); ++i)
+      for (std::size_t j = i + 1; j < log.all.size(); ++j)
+        ASSERT_TRUE(lattice::comparable(log.all[i], log.all[j]))
+            << "seed " << seed << ": learned states " << i << " and " << j
+            << " are incomparable";
+  }
+}
+
+TEST(GlaConditions, GlaStabilityPerProposerMonotone) {
+  // Sect. 3.4: the states learned at the same process increase
+  // monotonically.
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    const LearnLog log = run_and_capture(seed, 0.5);
+    for (std::size_t proposer = 0; proposer < 3; ++proposer) {
+      const auto& learns = log.per_proposer[proposer];
+      for (std::size_t i = 1; i < learns.size(); ++i)
+        ASSERT_TRUE(learns[i - 1].leq(learns[i]))
+            << "seed " << seed << ", proposer " << proposer
+            << ": learned state " << i << " shrank";
+    }
+  }
+}
+
+TEST(GlaConditions, GlobalLearnOrderMonotoneInTheSimulation) {
+  // Stronger than Theorem 3.5 (which orders only learns of *subsequently
+  // submitted* queries) but true in our runs and a useful canary: learns in
+  // global completion order never shrink when combined with GLA stability
+  // per proposer + Consistency.
+  const LearnLog log = run_and_capture(21, 0.3);
+  GCounter running;
+  for (const GCounter& state : log.all) {
+    // Comparable by Consistency; the join never loses information.
+    ASSERT_TRUE(lattice::comparable(running, state));
+    running.join(state);
+  }
+}
+
+TEST(GlaConditions, ValidityLearnedSlotsNeverExceedSubmittedUpdates) {
+  // Theorem 3.1 for the G-Counter: slot i of any learned state is at most
+  // the number of update commands applied by proposer i (each increments
+  // slot i by exactly 1), and never negative garbage.
+  sim::Simulator sim(31);
+  const std::vector<NodeId> replica_ids{0, 1, 2};
+  std::vector<std::vector<GCounter>> learned(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim.add_node([&replica_ids](net::Context& ctx) {
+      return std::make_unique<CounterReplica>(
+          ctx, replica_ids, core::ProtocolConfig{}, core::gcounter_ops());
+    });
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim.endpoint_as<CounterReplica>(replica_ids[i]).proposer().on_state_learned =
+        [&learned, i](const GCounter& state) { learned[i].push_back(state); };
+  }
+  verify::History history;
+  for (std::size_t i = 0; i < 6; ++i) {
+    sim.add_node([&, i](net::Context& ctx) {
+      return std::make_unique<verify::RecordingClient>(
+          ctx, replica_ids[i % 3], 0.5, 41 + i, &history, 40);
+    });
+  }
+  sim.run_until(30 * kSecond);
+  // Updates applied at proposer i == its acceptor stats.local_updates.
+  std::vector<std::uint64_t> applied(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    applied[i] = sim.endpoint_as<CounterReplica>(replica_ids[i])
+                     .acceptor()
+                     .stats()
+                     .local_updates;
+  for (std::size_t proposer = 0; proposer < 3; ++proposer) {
+    for (const GCounter& state : learned[proposer]) {
+      for (std::size_t slot = 0; slot < 3; ++slot)
+        ASSERT_LE(state.slot(slot), applied[slot])
+            << "learned state contains updates nobody submitted";
+      ASSERT_EQ(state.slot_count(), 3u);
+    }
+  }
+}
+
+TEST(GlaConditions, UpdateVisibilitySequentialCrossReplica) {
+  // Theorem 3.10, done strictly: complete an update via replica 0, then
+  // query via replica 1 — the learned state must include the update. The
+  // RecordingClient performing 1 update then 1 read per round enforces the
+  // happens-before; linearizability of the values follows.
+  sim::Simulator sim(51);
+  const std::vector<NodeId> replica_ids{0, 1, 2};
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim.add_node([&replica_ids](net::Context& ctx) {
+      return std::make_unique<CounterReplica>(
+          ctx, replica_ids, core::ProtocolConfig{}, core::gcounter_ops());
+    });
+  }
+  // A scripted flow: alternating update (via 0) / read (via 1).
+  struct Alternator final : public net::Endpoint {
+    explicit Alternator(net::Context& ctx) : ctx(ctx) {}
+    void on_start() override { next(); }
+    void on_message(NodeId, const Bytes& data) override {
+      Decoder dec(data);
+      const auto tag = static_cast<rsm::ClientTag>(dec.get_u8());
+      if (tag == rsm::ClientTag::kQueryDone) {
+        const auto done = rsm::QueryDone::decode(dec);
+        values.push_back(core::decode_counter_result(done.result));
+      }
+      ++step;
+      if (step < 40) next();
+    }
+    void next() {
+      Encoder enc;
+      if (step % 2 == 0) {
+        rsm::ClientUpdate update{make_request_id(ctx.self(), seq++), 0,
+                                 core::encode_increment_args(1)};
+        update.encode(enc);
+        ctx.send(0, std::move(enc).take());  // update via replica 0
+      } else {
+        rsm::ClientQuery query{make_request_id(ctx.self(), seq++), 0, {}};
+        query.encode(enc);
+        ctx.send(1, std::move(enc).take());  // read via replica 1
+      }
+    }
+    net::Context& ctx;
+    int step = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::uint64_t> values;
+  };
+  const NodeId alternator = sim.add_node(
+      [](net::Context& ctx) { return std::make_unique<Alternator>(ctx); });
+  sim.run_to_completion();
+  const auto& values = sim.endpoint_as<Alternator>(alternator).values;
+  ASSERT_EQ(values.size(), 20u);
+  // Read k happens after k+1 completed updates: it must see all of them.
+  for (std::size_t k = 0; k < values.size(); ++k)
+    EXPECT_EQ(values[k], k + 1) << "read " << k << " missed a completed update";
+}
+
+TEST(GlaConditions, HoldsUnderBatchingToo) {
+  for (std::uint64_t seed = 61; seed <= 64; ++seed) {
+    const LearnLog log = run_and_capture(seed, 0.5, 5 * kMillisecond);
+    for (std::size_t i = 0; i < log.all.size(); ++i)
+      for (std::size_t j = i + 1; j < log.all.size(); ++j)
+        ASSERT_TRUE(lattice::comparable(log.all[i], log.all[j]));
+    for (std::size_t proposer = 0; proposer < 3; ++proposer) {
+      const auto& learns = log.per_proposer[proposer];
+      for (std::size_t i = 1; i < learns.size(); ++i)
+        ASSERT_TRUE(learns[i - 1].leq(learns[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsr

@@ -1,0 +1,127 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lsr {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.95), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.percentile(0.5), 1000);
+  EXPECT_EQ(h.percentile(1.0), 1000);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 64; ++i) h.record(i);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  // Small values (< 64) fall into exact unit buckets.
+  EXPECT_EQ(h.percentile(0.5), 31);
+  EXPECT_EQ(h.max(), 63);
+}
+
+TEST(Histogram, NegativeClampedToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, PercentileWithinRelativeError) {
+  // The log-bucketed histogram guarantees a bounded relative error; verify
+  // against exact order statistics on random data.
+  Rng rng(7);
+  std::vector<std::int64_t> values;
+  Histogram h;
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_below(50'000'000));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const auto exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const auto approx = h.percentile(q);
+    if (exact > 0) {
+      const double rel =
+          std::abs(static_cast<double>(approx - exact)) / exact;
+      EXPECT_LT(rel, 0.05) << "q=" << q << " exact=" << exact
+                           << " approx=" << approx;
+    }
+  }
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  Rng rng(11);
+  Histogram separate_a;
+  Histogram separate_b;
+  Histogram combined;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_below(1'000'000));
+    combined.record(v);
+    (i % 2 == 0 ? separate_a : separate_b).record(v);
+  }
+  separate_a.merge(separate_b);
+  EXPECT_EQ(separate_a.count(), combined.count());
+  EXPECT_EQ(separate_a.min(), combined.min());
+  EXPECT_EQ(separate_a.max(), combined.max());
+  EXPECT_EQ(separate_a.percentile(0.95), combined.percentile(0.95));
+  EXPECT_DOUBLE_EQ(separate_a.mean(), combined.mean());
+}
+
+TEST(Histogram, RecordNCountsBulk) {
+  Histogram h;
+  h.record_n(500, 10);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.percentile(0.5), 500);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(123);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0);
+}
+
+TEST(Histogram, LargeValuesDoNotOverflow) {
+  Histogram h;
+  h.record(std::int64_t{1} << 61);
+  EXPECT_GE(h.max(), std::int64_t{1} << 61);
+  EXPECT_GT(h.percentile(1.0), 0);
+}
+
+TEST(Histogram, MonotonePercentiles) {
+  Rng rng(13);
+  Histogram h;
+  for (int i = 0; i < 5000; ++i)
+    h.record(static_cast<std::int64_t>(rng.next_below(10'000'000)));
+  std::int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const auto p = h.percentile(q);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace lsr

@@ -1,0 +1,222 @@
+// Semantics of the individual CRDTs beyond the shared lattice laws:
+// PN-counter arithmetic, 2P-set remove-permanence, LWW ordering, MV-register
+// concurrency, OR-set add-wins, dot-context compaction, G-map composition.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lattice/dot.h"
+#include "lattice/gmap.h"
+#include "lattice/gset.h"
+#include "lattice/lwwregister.h"
+#include "lattice/maxregister.h"
+#include "lattice/mvregister.h"
+#include "lattice/orset.h"
+#include "lattice/pncounter.h"
+#include "lattice/twopset.h"
+
+namespace lsr::lattice {
+namespace {
+
+TEST(PNCounterSemantics, IncrementAndDecrement) {
+  PNCounter counter(2);
+  counter.increment(0, 10);
+  counter.decrement(1, 3);
+  EXPECT_EQ(counter.value(), 7);
+  counter.decrement(0, 10);
+  EXPECT_EQ(counter.value(), -3);
+}
+
+TEST(PNCounterSemantics, ConcurrentIncDecMerge) {
+  PNCounter a(2);
+  PNCounter b(2);
+  a.increment(0, 5);
+  b.decrement(1, 2);
+  a.join(b);
+  b.join(a);
+  EXPECT_EQ(a.value(), 3);
+  EXPECT_EQ(b.value(), 3);
+}
+
+TEST(MaxRegisterSemantics, RaiseOnly) {
+  MaxRegister reg(10);
+  reg.raise(5);  // lowering is a no-op
+  EXPECT_EQ(reg.value(), 10);
+  reg.raise(20);
+  EXPECT_EQ(reg.value(), 20);
+}
+
+TEST(TwoPSetSemantics, RemoveIsPermanent) {
+  TwoPSet<std::string> set;
+  set.add("x");
+  EXPECT_TRUE(set.contains("x"));
+  set.remove("x");
+  EXPECT_FALSE(set.contains("x"));
+  set.add("x");  // re-add cannot resurrect a removed element
+  EXPECT_FALSE(set.contains("x"));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(TwoPSetSemantics, ConcurrentAddRemoveMerges) {
+  TwoPSet<std::string> a;
+  TwoPSet<std::string> b;
+  a.add("k");
+  b.add("k");
+  b.remove("k");  // remove wins in a 2P-set
+  a.join(b);
+  EXPECT_FALSE(a.contains("k"));
+}
+
+TEST(LWWRegisterSemantics, LastTimestampWins) {
+  LWWRegister<std::string> a;
+  LWWRegister<std::string> b;
+  a.assign("old", 10, 0);
+  b.assign("new", 20, 1);
+  a.join(b);
+  EXPECT_EQ(a.value(), "new");
+  // Joining an older write changes nothing.
+  LWWRegister<std::string> c;
+  c.assign("ancient", 1, 2);
+  a.join(c);
+  EXPECT_EQ(a.value(), "new");
+}
+
+TEST(LWWRegisterSemantics, WriterBreaksTimestampTies) {
+  LWWRegister<std::string> a;
+  LWWRegister<std::string> b;
+  a.assign("from-writer-1", 10, 1);
+  b.assign("from-writer-2", 10, 2);
+  const auto merged_ab = join_of(a, b);
+  const auto merged_ba = join_of(b, a);
+  EXPECT_EQ(merged_ab.value(), "from-writer-2");  // higher writer id wins
+  EXPECT_EQ(merged_ba.value(), "from-writer-2");  // ...in either order
+}
+
+TEST(MVRegisterSemantics, ConcurrentWritesBothSurvive) {
+  MVRegister<std::uint64_t> a;
+  MVRegister<std::uint64_t> b;
+  a.assign(0, 111);
+  b.assign(1, 222);
+  a.join(b);
+  EXPECT_EQ(a.values(), (std::set<std::uint64_t>{111, 222}));
+}
+
+TEST(MVRegisterSemantics, CausalOverwriteReplacesObserved) {
+  MVRegister<std::uint64_t> a;
+  MVRegister<std::uint64_t> b;
+  a.assign(0, 111);
+  b.join(a);          // b observed 111
+  b.assign(1, 222);   // causally dominates it
+  a.join(b);
+  EXPECT_EQ(a.values(), (std::set<std::uint64_t>{222}));
+}
+
+TEST(ORSetSemantics, AddWinsOverConcurrentRemove) {
+  ORSet<std::string> a;
+  ORSet<std::string> b;
+  a.add(0, "item");
+  b.join(a);
+  // Concurrently: b removes it while a re-adds it (fresh dot).
+  b.remove("item");
+  a.add(0, "item");
+  a.join(b);
+  b.join(a);
+  EXPECT_TRUE(a.contains("item"));  // the unseen add survives
+  EXPECT_TRUE(b.contains("item"));
+}
+
+TEST(ORSetSemantics, ObservedRemoveActuallyRemoves) {
+  ORSet<std::string> a;
+  ORSet<std::string> b;
+  a.add(0, "item");
+  b.join(a);
+  b.remove("item");  // b observed the add, so the remove covers its dot
+  a.join(b);
+  EXPECT_FALSE(a.contains("item"));
+  EXPECT_FALSE(b.contains("item"));
+}
+
+TEST(ORSetSemantics, ReAddAfterRemove) {
+  ORSet<std::string> set;
+  set.add(0, "x");
+  set.remove("x");
+  EXPECT_FALSE(set.contains("x"));
+  set.add(0, "x");
+  EXPECT_TRUE(set.contains("x"));
+}
+
+TEST(ORSetSemantics, ElementsListsLiveOnly) {
+  ORSet<std::uint64_t> set;
+  set.add(0, 1);
+  set.add(0, 2);
+  set.add(1, 3);
+  set.remove(2);
+  EXPECT_EQ(set.elements(), (std::set<std::uint64_t>{1, 3}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(DotContextSemantics, CompactionAbsorbsContiguousDots) {
+  DotContext ctx;
+  ctx.add(Dot{1, 1});
+  ctx.add(Dot{1, 2});
+  ctx.add(Dot{1, 3});
+  EXPECT_TRUE(ctx.cloud().empty());  // all contiguous -> version vector
+  EXPECT_EQ(ctx.vector().at(1), 3u);
+  ctx.add(Dot{1, 5});  // gap: stays in the cloud
+  EXPECT_EQ(ctx.cloud().size(), 1u);
+  ctx.add(Dot{1, 4});  // fills the gap: 4 and 5 both absorb
+  EXPECT_TRUE(ctx.cloud().empty());
+  EXPECT_EQ(ctx.vector().at(1), 5u);
+}
+
+TEST(DotContextSemantics, ContainsChecksVectorAndCloud) {
+  DotContext ctx;
+  ctx.add(Dot{2, 1});
+  ctx.add(Dot{2, 7});
+  EXPECT_TRUE(ctx.contains(Dot{2, 1}));
+  EXPECT_TRUE(ctx.contains(Dot{2, 7}));
+  EXPECT_FALSE(ctx.contains(Dot{2, 3}));
+  EXPECT_FALSE(ctx.contains(Dot{3, 1}));
+}
+
+TEST(DotContextSemantics, NextDotIsFreshAndRecorded) {
+  DotContext ctx;
+  const Dot d1 = ctx.next_dot(4);
+  const Dot d2 = ctx.next_dot(4);
+  EXPECT_EQ(d1.sequence + 1, d2.sequence);
+  EXPECT_TRUE(ctx.contains(d1));
+  EXPECT_TRUE(ctx.contains(d2));
+}
+
+TEST(GMapSemantics, PointwiseJoinAndNestedMutation) {
+  GMap<std::string, PNCounter> a;
+  GMap<std::string, PNCounter> b;
+  a.at("likes").increment(0, 10);
+  b.at("likes").increment(1, 5);
+  b.at("views").increment(1, 100);
+  a.join(b);
+  EXPECT_EQ(a.at("likes").value(), 15);
+  EXPECT_EQ(a.at("views").value(), 100);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(GMapSemantics, ComposesWithORSet) {
+  using Doc = GMap<std::string, ORSet<std::string>>;
+  Doc a;
+  Doc b;
+  a.at("tags").add(0, "systems");
+  b.at("tags").add(1, "crdt");
+  a.join(b);
+  EXPECT_EQ(a.at("tags").elements(),
+            (std::set<std::string>{"systems", "crdt"}));
+}
+
+TEST(GSetSemantics, InitializerListAndContains) {
+  GSet<std::uint64_t> set{1, 2, 3};
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_FALSE(set.contains(9));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+}  // namespace
+}  // namespace lsr::lattice

@@ -1,0 +1,131 @@
+// The linearizability checkers themselves: hand-built histories with known
+// verdicts, plus cross-validation of the fast monotone-counter checker
+// against the exhaustive Wing&Gong search on thousands of small random
+// histories.
+#include "verify/linearizability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "verify/history.h"
+
+namespace lsr::verify {
+namespace {
+
+TEST(Linearizability, EmptyHistoryIsLinearizable) {
+  History history;
+  EXPECT_TRUE(check_counter_linearizable(history).linearizable);
+  EXPECT_TRUE(check_counter_linearizable_exhaustive(history).linearizable);
+}
+
+TEST(Linearizability, SequentialHistoryOk) {
+  History history;
+  history.add_increment(0, 10);
+  history.add_read(20, 30, 1);
+  history.add_increment(40, 50);
+  history.add_read(60, 70, 2);
+  EXPECT_TRUE(check_counter_linearizable(history).linearizable);
+  EXPECT_TRUE(check_counter_linearizable_exhaustive(history).linearizable);
+}
+
+TEST(Linearizability, StaleReadDetected) {
+  History history;
+  history.add_increment(0, 10);  // completed before the read begins
+  history.add_read(20, 30, 0);   // must observe it
+  const auto result = check_counter_linearizable(history);
+  EXPECT_FALSE(result.linearizable);
+  EXPECT_NE(result.explanation.find("stale"), std::string::npos);
+  EXPECT_FALSE(check_counter_linearizable_exhaustive(history).linearizable);
+}
+
+TEST(Linearizability, FutureReadDetected) {
+  History history;
+  history.add_read(0, 10, 1);     // nothing was ever invoked before t=10
+  history.add_increment(20, 30);
+  const auto result = check_counter_linearizable(history);
+  EXPECT_FALSE(result.linearizable);
+  EXPECT_NE(result.explanation.find("future"), std::string::npos);
+  EXPECT_FALSE(check_counter_linearizable_exhaustive(history).linearizable);
+}
+
+TEST(Linearizability, NonMonotoneReadsDetected) {
+  History history;
+  history.add_increment(0, 100);  // long-running increment
+  history.add_read(5, 10, 1);     // observed it (concurrent: allowed)
+  history.add_read(20, 30, 0);    // later read must not go backwards
+  const auto result = check_counter_linearizable(history);
+  EXPECT_FALSE(result.linearizable);
+  EXPECT_NE(result.explanation.find("backwards"), std::string::npos);
+  EXPECT_FALSE(check_counter_linearizable_exhaustive(history).linearizable);
+}
+
+TEST(Linearizability, ConcurrentReadsMayDisagree) {
+  // Two overlapping reads may see different prefixes of a concurrent
+  // increment — both orders are valid linearizations.
+  History history;
+  history.add_increment(0, 100);
+  history.add_read(10, 90, 1);
+  history.add_read(20, 80, 0);
+  EXPECT_TRUE(check_counter_linearizable(history).linearizable);
+  EXPECT_TRUE(check_counter_linearizable_exhaustive(history).linearizable);
+}
+
+TEST(Linearizability, ConcurrentIncrementsBoundTheRead) {
+  History history;
+  history.add_increment(0, 100);
+  history.add_increment(0, 100);
+  history.add_increment(0, 100);
+  history.add_read(50, 60, 3);  // all three may linearize before it
+  EXPECT_TRUE(check_counter_linearizable(history).linearizable);
+  history.add_read(50, 60, 4);  // ...but a fourth increment does not exist
+  EXPECT_FALSE(check_counter_linearizable(history).linearizable);
+}
+
+TEST(Linearizability, ExhaustiveHandlesNonUnitAmounts) {
+  History history;
+  history.add_increment(0, 10, 5);
+  history.add_read(20, 30, 5);
+  EXPECT_TRUE(check_counter_linearizable_exhaustive(history).linearizable);
+  History bad;
+  bad.add_increment(0, 10, 5);
+  bad.add_read(20, 30, 3);  // 3 is not reachable with a single +5
+  EXPECT_FALSE(check_counter_linearizable_exhaustive(bad).linearizable);
+}
+
+// Cross-validation: on small random histories of unit increments, the fast
+// interval checker and the exhaustive search must agree exactly.
+TEST(Linearizability, FastCheckerMatchesExhaustiveOnRandomHistories) {
+  Rng rng(2024);
+  int checked = 0;
+  int disagreements = 0;
+  int non_linearizable_seen = 0;
+  for (int iteration = 0; iteration < 3000; ++iteration) {
+    History history;
+    const int ops = 2 + static_cast<int>(rng.next_below(8));
+    // Generate random overlapping intervals; read values are random small
+    // numbers so both valid and invalid histories occur.
+    for (int i = 0; i < ops; ++i) {
+      const TimeNs invoke = static_cast<TimeNs>(rng.next_below(50));
+      const TimeNs response = invoke + 1 + static_cast<TimeNs>(rng.next_below(30));
+      if (rng.next_bool(0.5))
+        history.add_increment(invoke, response);
+      else
+        history.add_read(invoke, response, rng.next_below(4));
+    }
+    const bool fast = check_counter_linearizable(history).linearizable;
+    const bool exhaustive =
+        check_counter_linearizable_exhaustive(history).linearizable;
+    ++checked;
+    if (!exhaustive) ++non_linearizable_seen;
+    if (fast != exhaustive) ++disagreements;
+  }
+  EXPECT_EQ(disagreements, 0);
+  // The generator must actually produce both outcomes for this test to mean
+  // anything.
+  EXPECT_GT(non_linearizable_seen, 100);
+  EXPECT_LT(non_linearizable_seen, checked - 100);
+}
+
+}  // namespace
+}  // namespace lsr::verify

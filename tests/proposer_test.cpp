@@ -1,0 +1,354 @@
+// Unit tests of the proposer decision table (Algorithm 2, left column),
+// driven message-by-message through a fake transport: learned by consistent
+// quorum, learned by vote, fixed-prepare retry, NACK-driven incremental
+// retry, timeout retransmission, GLA-stability, batching.
+#include "core/proposer.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/acceptor.h"
+#include "core/ops.h"
+#include "lattice/gcounter.h"
+#include "test_context.h"
+
+namespace lsr::core {
+namespace {
+
+using lattice::GCounter;
+using test::FakeContext;
+
+constexpr NodeId kClient = 10;
+
+struct ProposerHarness {
+  FakeContext ctx{0};
+  ProtocolConfig config;
+  Acceptor<GCounter> local{GCounter(3)};
+  std::optional<Proposer<GCounter>> proposer;
+
+  explicit ProposerHarness(ProtocolConfig cfg = {}) : config(cfg) {
+    proposer.emplace(ctx, local, std::vector<NodeId>{0, 1, 2}, config,
+                     gcounter_ops(), 0);
+    proposer->start();
+  }
+
+  // Decodes the most recent protocol message sent to `dst`.
+  template <typename T>
+  T last_sent(NodeId dst) {
+    const auto messages = ctx.sent_to(dst);
+    EXPECT_FALSE(messages.empty());
+    Decoder dec(messages.back());
+    auto msg = decode_message<GCounter>(dec);
+    auto* typed = std::get_if<T>(&msg);
+    EXPECT_NE(typed, nullptr);
+    return std::move(*typed);
+  }
+
+  // Decodes the most recent client-bound message sent to kClient.
+  std::optional<rsm::QueryDone> last_query_done() {
+    for (auto it = ctx.sent.rbegin(); it != ctx.sent.rend(); ++it) {
+      if (it->first != kClient) continue;
+      Decoder dec(it->second);
+      if (dec.get_u8() == static_cast<std::uint8_t>(rsm::ClientTag::kQueryDone))
+        return rsm::QueryDone::decode(dec);
+    }
+    return std::nullopt;
+  }
+
+  bool update_done_received() {
+    for (const auto& [dst, data] : ctx.sent) {
+      if (dst != kClient) continue;
+      Decoder dec(data);
+      if (dec.get_u8() ==
+          static_cast<std::uint8_t>(rsm::ClientTag::kUpdateDone))
+        return true;
+    }
+    return false;
+  }
+
+  void submit_update(std::uint64_t amount = 1) {
+    proposer->handle_client_update(
+        kClient, rsm::ClientUpdate{1, 0, encode_increment_args(amount)});
+  }
+
+  void submit_query() {
+    proposer->handle_client_query(kClient, rsm::ClientQuery{2, 0, {}});
+  }
+
+  GCounter counter_with(std::size_t slot, std::uint64_t value) {
+    GCounter counter(3);
+    counter.increment(slot, value);
+    return counter;
+  }
+};
+
+TEST(Proposer, UpdateAppliesLocallyAndMerges) {
+  ProposerHarness h;
+  h.submit_update(4);
+  // Applied at the co-located acceptor immediately (lines 2-3).
+  EXPECT_EQ(h.local.state().value(), 4u);
+  // MERGE to both remote acceptors (line 4).
+  const auto merge1 = h.last_sent<Merge<GCounter>>(1);
+  const auto merge2 = h.last_sent<Merge<GCounter>>(2);
+  EXPECT_EQ(merge1.state.value(), 4u);
+  EXPECT_EQ(merge2.op, merge1.op);
+  // Client not yet acknowledged: self is only 1 of quorum 2.
+  EXPECT_FALSE(h.update_done_received());
+  h.proposer->handle(1, Merged{merge1.op});
+  EXPECT_TRUE(h.update_done_received());  // line 6
+  EXPECT_EQ(h.proposer->stats().updates_done, 1u);
+}
+
+TEST(Proposer, UpdateTimeoutRetransmitsToSilentAcceptorsOnly) {
+  ProposerHarness h;
+  h.submit_update();
+  const auto merge = h.last_sent<Merge<GCounter>>(1);
+  h.proposer->handle(1, Merged{merge.op});  // acceptor 1 confirmed; 2 silent
+  EXPECT_TRUE(h.update_done_received());    // quorum reached; op finished
+  h.ctx.clear_sent();
+  EXPECT_FALSE(h.ctx.fire_next_timer() &&
+               !h.ctx.sent.empty());  // timer cancelled on completion
+
+  // New update where nobody answers: the timer must retransmit to both.
+  h.submit_update();
+  h.ctx.clear_sent();
+  ASSERT_TRUE(h.ctx.fire_next_timer());
+  EXPECT_EQ(h.ctx.sent_to(1).size(), 1u);
+  EXPECT_EQ(h.ctx.sent_to(2).size(), 1u);
+  EXPECT_EQ(h.proposer->stats().merge_retransmissions, 1u);
+}
+
+TEST(Proposer, QueryFirstAttemptIsIncrementalPrepareWithoutState) {
+  ProposerHarness h;
+  h.submit_query();
+  const auto prepare = h.last_sent<Prepare<GCounter>>(1);
+  EXPECT_TRUE(prepare.round.is_incremental());  // line 9
+  EXPECT_FALSE(prepare.state.has_value());      // Sect. 3.6 optimization
+  EXPECT_EQ(prepare.attempt, 1u);
+}
+
+TEST(Proposer, LearnedByConsistentQuorumInOneRoundTrip) {
+  ProposerHarness h;
+  int rts = -1;
+  h.proposer->hooks.on_query_round_trips = [&rts](int n) { rts = n; };
+  h.submit_query();
+  const auto prepare = h.last_sent<Prepare<GCounter>>(1);
+  // Remote ACK carries a state equivalent to the local acceptor's (both s0).
+  h.proposer->handle(
+      1, Ack<GCounter>{prepare.op, prepare.attempt, h.local.round(),
+                       GCounter(3)});
+  const auto done = h.last_query_done();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(decode_counter_result(done->result), 0u);
+  EXPECT_EQ(rts, 1);  // lines 13-15: no second phase
+  EXPECT_EQ(h.proposer->stats().learned_consistent_quorum, 1u);
+  EXPECT_EQ(h.proposer->stats().learned_by_vote, 0u);
+}
+
+TEST(Proposer, LearnedByVoteWhenStatesDifferButRoundsAgree) {
+  ProposerHarness h;
+  int rts = -1;
+  h.proposer->hooks.on_query_round_trips = [&rts](int n) { rts = n; };
+  h.submit_query();
+  const auto prepare = h.last_sent<Prepare<GCounter>>(1);
+  // Remote state differs -> no consistent quorum; same round -> vote phase.
+  h.proposer->handle(
+      1, Ack<GCounter>{prepare.op, prepare.attempt, h.local.round(),
+                       h.counter_with(1, 5)});
+  const auto vote = h.last_sent<Vote<GCounter>>(1);
+  EXPECT_EQ(vote.round, h.local.round());      // line 17: the agreed round
+  EXPECT_EQ(vote.state.value(), 5u);           // LUB of the ACK states
+  EXPECT_FALSE(h.last_query_done().has_value());  // local VOTED is 1 of 2
+  h.proposer->handle(1, Voted<GCounter>{vote.op, vote.attempt, std::nullopt});
+  const auto done = h.last_query_done();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(decode_counter_result(done->result), 5u);
+  EXPECT_EQ(rts, 2);  // prepare + vote
+  EXPECT_EQ(h.proposer->stats().learned_by_vote, 1u);
+}
+
+TEST(Proposer, InconsistentRoundsTriggerFixedPrepareRetry) {
+  ProposerHarness h;
+  h.submit_query();
+  const auto prepare = h.last_sent<Prepare<GCounter>>(1);
+  // Remote acceptor had a much higher round number -> rounds differ.
+  h.proposer->handle(
+      1, Ack<GCounter>{prepare.op, prepare.attempt, Round{40, 999},
+                       h.counter_with(1, 5)});
+  // Lines 18-21: retry with a fixed prepare above every observed round,
+  // carrying the LUB of the received payloads.
+  const auto retry = h.last_sent<Prepare<GCounter>>(1);
+  EXPECT_EQ(retry.attempt, 2u);
+  EXPECT_FALSE(retry.round.is_incremental());
+  EXPECT_EQ(retry.round.number, 41u);
+  ASSERT_TRUE(retry.state.has_value());
+  EXPECT_EQ(retry.state->value(), 5u);
+}
+
+TEST(Proposer, StaleAttemptRepliesAreIgnored) {
+  ProposerHarness h;
+  h.submit_query();
+  const auto first = h.last_sent<Prepare<GCounter>>(1);
+  // Force a retry (inconsistent rounds AND inconsistent states — equivalent
+  // states would short-circuit to a consistent-quorum learn, line 13).
+  h.proposer->handle(1, Ack<GCounter>{first.op, first.attempt, Round{40, 999},
+                                      h.counter_with(1, 5)});
+  const auto second = h.last_sent<Prepare<GCounter>>(1);
+  ASSERT_EQ(second.attempt, 2u);
+  // A late ACK for attempt 1 must not complete attempt 2.
+  h.proposer->handle(2, Ack<GCounter>{first.op, 1, Round{41, 1}, GCounter(3)});
+  EXPECT_FALSE(h.last_query_done().has_value());
+}
+
+TEST(Proposer, NackQuorumImpossibleRetriesIncrementally) {
+  ProposerHarness h;
+  h.submit_query();
+  const auto prepare = h.last_sent<Prepare<GCounter>>(1);
+  // Both remotes NACK -> only self remains -> quorum impossible -> retry.
+  h.proposer->handle(1, Nack<GCounter>{prepare.op, prepare.attempt,
+                                       Round{50, 1}, h.counter_with(1, 3)});
+  EXPECT_EQ(h.proposer->stats().prepare_attempts, 1u);  // not yet
+  h.proposer->handle(2, Nack<GCounter>{prepare.op, prepare.attempt,
+                                       Round{51, 2}, h.counter_with(2, 4)});
+  const auto retry = h.last_sent<Prepare<GCounter>>(1);
+  EXPECT_EQ(retry.attempt, 2u);
+  EXPECT_TRUE(retry.round.is_incremental());  // Sect. 3.5 liveness recipe
+  ASSERT_TRUE(retry.state.has_value());
+  EXPECT_EQ(retry.state->value(), 7u);  // LUB of everything gathered
+}
+
+TEST(Proposer, SingleNackDoesNotAbortAttempt) {
+  ProposerHarness h;
+  h.submit_query();
+  const auto prepare = h.last_sent<Prepare<GCounter>>(1);
+  h.proposer->handle(1, Nack<GCounter>{prepare.op, prepare.attempt,
+                                       Round{50, 1}, GCounter(3)});
+  // Quorum still possible via acceptor 2 + self; the other remote's ACK
+  // (same state as local) completes the read.
+  h.proposer->handle(2, Ack<GCounter>{prepare.op, prepare.attempt,
+                                      h.local.round(), GCounter(3)});
+  EXPECT_TRUE(h.last_query_done().has_value());
+}
+
+TEST(Proposer, QueryTimeoutRestartsWithIncrementalPrepare) {
+  ProposerHarness h;
+  h.submit_query();
+  h.ctx.clear_sent();
+  ASSERT_TRUE(h.ctx.fire_next_timer());
+  const auto retry = h.last_sent<Prepare<GCounter>>(1);
+  EXPECT_EQ(retry.attempt, 2u);
+  EXPECT_TRUE(retry.round.is_incremental());
+  EXPECT_EQ(h.proposer->stats().query_timeouts, 1u);
+}
+
+TEST(Proposer, GlaStabilityNeverShrinksLearnedStates) {
+  // Sect. 3.4: even if a smaller state would be learned later (out-of-order
+  // replies), the proposer returns at least its largest learned state.
+  ProposerHarness h;
+  std::vector<std::uint64_t> learned;
+  h.proposer->on_state_learned = [&learned](const GCounter& state) {
+    learned.push_back(state.value());
+  };
+  // First query learns value 7.
+  h.submit_query();
+  auto prepare = h.last_sent<Prepare<GCounter>>(1);
+  h.proposer->handle(1, Ack<GCounter>{prepare.op, prepare.attempt,
+                                      h.local.round(), h.counter_with(1, 7)});
+  h.proposer->handle(1, Voted<GCounter>{prepare.op, prepare.attempt,
+                                        std::nullopt});
+  ASSERT_EQ(learned.size(), 1u);
+  EXPECT_EQ(learned[0], 7u);
+  // Second query's quorum only shows value 7 too (local acceptor already
+  // merged it), so learned stays monotone.
+  h.submit_query();
+  prepare = h.last_sent<Prepare<GCounter>>(1);
+  h.proposer->handle(1, Ack<GCounter>{prepare.op, prepare.attempt,
+                                      h.local.round(), h.counter_with(1, 7)});
+  ASSERT_EQ(learned.size(), 2u);
+  EXPECT_GE(learned[1], learned[0]);
+}
+
+TEST(Proposer, UnoptimizedFirstPrepareCarriesLocalState) {
+  ProtocolConfig config;
+  config.state_in_first_prepare = true;
+  ProposerHarness h(config);
+  h.local.apply_update([](GCounter& state) { state.increment(0, 6); });
+  h.submit_query();
+  const auto prepare = h.last_sent<Prepare<GCounter>>(1);
+  ASSERT_TRUE(prepare.state.has_value());
+  EXPECT_EQ(prepare.state->value(), 6u);
+}
+
+TEST(Proposer, BatchingBuffersUntilFlush) {
+  ProtocolConfig config;
+  config.batch_interval = 5 * kMillisecond;
+  ProposerHarness h(config);
+  h.submit_update();
+  h.submit_update();
+  h.submit_query();
+  // Nothing sent yet; commands are buffered.
+  EXPECT_TRUE(h.ctx.sent.empty());
+  EXPECT_EQ(h.local.state().value(), 0u);
+  // Flush: the update batch applies both increments locally and runs ONE
+  // merge round; the query batch waits for its completion.
+  ASSERT_TRUE(h.ctx.fire_next_timer());
+  EXPECT_EQ(h.local.state().value(), 2u);
+  const auto merge = h.last_sent<Merge<GCounter>>(1);
+  EXPECT_EQ(merge.state.value(), 2u);
+  EXPECT_EQ(h.ctx.sent_to(1).size(), 1u);  // one round for two commands
+  // Completing the update batch releases the query batch.
+  h.proposer->handle(1, Merged{merge.op});
+  const auto prepare = h.last_sent<Prepare<GCounter>>(1);
+  h.proposer->handle(1, Ack<GCounter>{prepare.op, prepare.attempt,
+                                      h.local.round(), h.local.state()});
+  const auto done = h.last_query_done();
+  ASSERT_TRUE(done.has_value());
+  // The read observes both buffered updates.
+  EXPECT_EQ(decode_counter_result(done->result), 2u);
+}
+
+TEST(Proposer, DeltaUpdatesShipOnlyTheChange) {
+  ProtocolConfig config;
+  config.delta_updates = true;
+  ProposerHarness h(config);
+  // Pre-existing state at the local acceptor (from an earlier merge).
+  h.local.handle(Merge<GCounter>{99, h.counter_with(1, 1000)});
+  h.submit_update(4);
+  const auto merge = h.last_sent<Merge<GCounter>>(1);
+  // The MERGE carries only slot 0 (the update), not the 1000 in slot 1.
+  EXPECT_EQ(merge.state.slot(0), 4u);
+  EXPECT_EQ(merge.state.slot(1), 0u);
+  // Merging the delta at a remote acceptor that has the old state yields
+  // exactly the full new state.
+  Acceptor<GCounter> remote{GCounter(3)};
+  remote.handle(Merge<GCounter>{99, h.counter_with(1, 1000)});
+  remote.handle(merge);
+  EXPECT_TRUE(lattice::equivalent(remote.state(), h.local.state()));
+}
+
+TEST(Proposer, DeltaBatchCoversAllBatchedCommands) {
+  ProtocolConfig config;
+  config.delta_updates = true;
+  config.batch_interval = 5 * kMillisecond;
+  ProposerHarness h(config);
+  h.submit_update(2);
+  h.submit_update(3);
+  ASSERT_TRUE(h.ctx.fire_next_timer());
+  const auto merge = h.last_sent<Merge<GCounter>>(1);
+  EXPECT_EQ(merge.state.slot(0), 5u);  // both commands included
+}
+
+TEST(Proposer, RecoverDropsInflightAndRearms) {
+  ProtocolConfig config;
+  config.batch_interval = 5 * kMillisecond;
+  ProposerHarness h(config);
+  h.submit_update();
+  h.proposer->on_recover();
+  EXPECT_TRUE(h.ctx.sent.empty());
+  // The flush timer is re-armed after recovery (otherwise batching stalls).
+  EXPECT_FALSE(h.ctx.timers.empty());
+}
+
+}  // namespace
+}  // namespace lsr::core

@@ -1,0 +1,315 @@
+// The central correctness suite: full client histories recorded over the
+// deterministic simulator under many random schedules (seeds), message loss,
+// duplication and reordering — then checked for counter linearizability.
+// This replaces the paper's "protocol scheduler that enforces random
+// interleavings of incoming messages".
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/ops.h"
+#include "core/replica.h"
+#include "lattice/gcounter.h"
+#include "sim/simulator.h"
+#include "verify/history.h"
+#include "verify/linearizability.h"
+#include "verify/recording_client.h"
+
+namespace lsr {
+namespace {
+
+using lattice::GCounter;
+using CounterReplica = core::Replica<GCounter>;
+
+struct RunSpec {
+  std::uint64_t seed = 1;
+  std::size_t replicas = 3;
+  std::size_t clients = 6;
+  double read_ratio = 0.5;
+  std::uint64_t ops_per_client = 40;
+  double loss = 0.0;
+  double duplication = 0.0;
+  TimeNs batch_interval = 0;
+  bool delta_updates = false;
+};
+
+verify::History run_and_record(const RunSpec& spec) {
+  sim::NetworkConfig net;
+  net.loss_probability = spec.loss;
+  net.duplicate_probability = spec.duplication;
+  net.lossy_node_limit = static_cast<NodeId>(spec.replicas);
+  sim::Simulator sim(spec.seed, net);
+
+  std::vector<NodeId> replica_ids(spec.replicas);
+  for (std::size_t i = 0; i < spec.replicas; ++i)
+    replica_ids[i] = static_cast<NodeId>(i);
+  core::ProtocolConfig config;
+  config.batch_interval = spec.batch_interval;
+  config.delta_updates = spec.delta_updates;
+  // Loss runs need snappy in-protocol retries to finish quickly.
+  config.retry_timeout = 2 * kMillisecond;
+  for (std::size_t i = 0; i < spec.replicas; ++i) {
+    sim.add_node([&replica_ids, config](net::Context& ctx) {
+      return std::make_unique<CounterReplica>(ctx, replica_ids, config,
+                                              core::gcounter_ops());
+    });
+  }
+  verify::History history;
+  std::vector<NodeId> clients;
+  for (std::size_t i = 0; i < spec.clients; ++i) {
+    const NodeId target = replica_ids[i % spec.replicas];
+    clients.push_back(sim.add_node([&, target, i](net::Context& ctx) {
+      return std::make_unique<verify::RecordingClient>(
+          ctx, target, spec.read_ratio, spec.seed * 131 + i, &history,
+          spec.ops_per_client);
+    }));
+  }
+  sim.run_until(60 * kSecond);
+  // With batching the flush timer never dies; stop on the deadline instead
+  // of running to quiescence and flush any still-pending op.
+  for (const NodeId id : clients)
+    sim.endpoint_as<verify::RecordingClient>(id).flush_pending();
+  return history;
+}
+
+void expect_linearizable(const RunSpec& spec) {
+  const verify::History history = run_and_record(spec);
+  // All clients must have finished their scripts (liveness).
+  EXPECT_GE(history.size(), spec.clients * spec.ops_per_client);
+  const auto result = verify::check_counter_linearizable(history);
+  EXPECT_TRUE(result.linearizable)
+      << "seed " << spec.seed << ": " << result.explanation;
+}
+
+// ---- random schedules, fault-free ----
+
+class ManySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ManySeeds, MixedWorkloadLinearizable) {
+  RunSpec spec;
+  spec.seed = GetParam();
+  expect_linearizable(spec);
+}
+
+TEST_P(ManySeeds, UpdateHeavyLinearizable) {
+  RunSpec spec;
+  spec.seed = GetParam() + 1000;
+  spec.read_ratio = 0.2;
+  expect_linearizable(spec);
+}
+
+TEST_P(ManySeeds, WithBatchingLinearizable) {
+  RunSpec spec;
+  spec.seed = GetParam() + 2000;
+  spec.batch_interval = 5 * kMillisecond;
+  expect_linearizable(spec);
+}
+
+TEST_P(ManySeeds, FiveReplicasLinearizable) {
+  RunSpec spec;
+  spec.seed = GetParam() + 3000;
+  spec.replicas = 5;
+  spec.clients = 10;
+  expect_linearizable(spec);
+}
+
+TEST_P(ManySeeds, DeltaUpdatesLinearizable) {
+  // The delta-state extension must not affect any correctness property,
+  // even with loss (delta retransmission is idempotent too).
+  RunSpec spec;
+  spec.seed = GetParam() + 4000;
+  spec.delta_updates = true;
+  spec.loss = 0.05;
+  spec.ops_per_client = 25;
+  expect_linearizable(spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ManySeeds, ::testing::Range<std::uint64_t>(1, 13));
+
+// ---- adversarial networks ----
+
+class LossySeeds
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(LossySeeds, LinearizableUnderLossAndDuplication) {
+  RunSpec spec;
+  spec.seed = std::get<0>(GetParam());
+  spec.loss = std::get<1>(GetParam());
+  spec.duplication = 0.05;
+  spec.ops_per_client = 25;  // loss runs are slower; keep histories bounded
+  expect_linearizable(spec);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossGrid, LossySeeds,
+    ::testing::Combine(::testing::Values<std::uint64_t>(21, 22, 23, 24),
+                       ::testing::Values(0.01, 0.05, 0.15)));
+
+// ---- exhaustive check on small histories ----
+
+class SmallHistories : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmallHistories, ExhaustivelyLinearizable) {
+  RunSpec spec;
+  spec.seed = GetParam() + 5000;
+  spec.clients = 2;
+  spec.ops_per_client = 9;  // 18 ops: within Wing&Gong reach
+  spec.read_ratio = 0.5;
+  const verify::History history = run_and_record(spec);
+  ASSERT_LE(history.size(), 62u);
+  const auto exhaustive = verify::check_counter_linearizable_exhaustive(history);
+  EXPECT_TRUE(exhaustive.linearizable) << exhaustive.explanation;
+  // And the fast checker agrees.
+  EXPECT_TRUE(verify::check_counter_linearizable(history).linearizable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallHistories,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---- crash-recovery ----
+
+TEST(ProtocolCrash, HistoriesStayLinearizableAcrossCrashAndRecovery) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::NetworkConfig net;
+    net.lossy_node_limit = 3;
+    sim::Simulator sim(seed, net);
+    const std::vector<NodeId> replica_ids{0, 1, 2};
+    for (std::size_t i = 0; i < 3; ++i) {
+      sim.add_node([&replica_ids](net::Context& ctx) {
+        return std::make_unique<CounterReplica>(
+            ctx, replica_ids, core::ProtocolConfig{}, core::gcounter_ops());
+      });
+    }
+    verify::History history;
+    std::vector<NodeId> clients;
+    for (std::size_t i = 0; i < 6; ++i) {
+      clients.push_back(sim.add_node([&, i](net::Context& ctx) {
+        return std::make_unique<verify::RecordingClient>(
+            ctx, replica_ids[i % 3], 0.5, seed * 17 + i, &history, 60);
+      }));
+    }
+    // Crash replica 2 mid-run and recover it later; its clients stall while
+    // it is down (no client retries here — exactly-once would be violated).
+    sim.call_at(40 * kMillisecond, [&sim] { sim.set_down(2, true); });
+    sim.call_at(120 * kMillisecond, [&sim] { sim.set_down(2, false); });
+    sim.run_until(10 * kSecond);
+    for (const NodeId id : clients)
+      sim.endpoint_as<verify::RecordingClient>(id).flush_pending();
+    const auto result = verify::check_counter_linearizable(history);
+    EXPECT_TRUE(result.linearizable)
+        << "seed " << seed << ": " << result.explanation;
+    EXPECT_GT(history.size(), 120u);  // the surviving clients made progress
+  }
+}
+
+TEST(ProtocolCrash, RecoveredReplicaRetainsItsState) {
+  // Crash-recovery model: internal state survives. After recovery the
+  // replica still holds (at least) what it had merged before the crash.
+  sim::Simulator sim(99);
+  const std::vector<NodeId> replica_ids{0, 1, 2};
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim.add_node([&replica_ids](net::Context& ctx) {
+      return std::make_unique<CounterReplica>(
+          ctx, replica_ids, core::ProtocolConfig{}, core::gcounter_ops());
+    });
+  }
+  verify::History history;
+  sim.add_node([&](net::Context& ctx) {
+    return std::make_unique<verify::RecordingClient>(ctx, 0, 0.0, 7, &history,
+                                                     30);
+  });
+  sim.run_for(100 * kMillisecond);
+  const auto before =
+      sim.endpoint_as<CounterReplica>(2).acceptor().state().value();
+  EXPECT_GT(before, 0u);
+  sim.set_down(2, true);
+  sim.run_for(50 * kMillisecond);
+  sim.set_down(2, false);
+  sim.run_for(kMillisecond);
+  EXPECT_GE(sim.endpoint_as<CounterReplica>(2).acceptor().state().value(),
+            before);
+}
+
+// ---- partitions ----
+
+TEST(ProtocolPartition, MinorityPartitionHealsAndStaysLinearizable) {
+  for (std::uint64_t seed = 31; seed <= 34; ++seed) {
+    sim::Simulator sim(seed);
+    const std::vector<NodeId> replica_ids{0, 1, 2};
+    core::ProtocolConfig config;
+    config.retry_timeout = 2 * kMillisecond;
+    for (std::size_t i = 0; i < 3; ++i) {
+      sim.add_node([&replica_ids, config](net::Context& ctx) {
+        return std::make_unique<CounterReplica>(ctx, replica_ids, config,
+                                                core::gcounter_ops());
+      });
+    }
+    verify::History history;
+    std::vector<NodeId> clients;
+    for (std::size_t i = 0; i < 4; ++i) {
+      clients.push_back(sim.add_node([&, i](net::Context& ctx) {
+        // Clients talk to the majority side (replicas 0 and 1).
+        return std::make_unique<verify::RecordingClient>(
+            ctx, replica_ids[i % 2], 0.5, seed * 13 + i, &history, 40);
+      }));
+    }
+    // Cut replica 2 off for a while; the majority keeps serving.
+    sim.call_at(30 * kMillisecond, [&sim] {
+      sim.set_partitioned(0, 2, true);
+      sim.set_partitioned(1, 2, true);
+    });
+    sim.call_at(150 * kMillisecond, [&sim] {
+      sim.set_partitioned(0, 2, false);
+      sim.set_partitioned(1, 2, false);
+    });
+    sim.run_until(10 * kSecond);
+    for (const NodeId id : clients)
+      sim.endpoint_as<verify::RecordingClient>(id).flush_pending();
+    EXPECT_GE(history.size(), 160u);  // everyone finished
+    const auto result = verify::check_counter_linearizable(history);
+    EXPECT_TRUE(result.linearizable)
+        << "seed " << seed << ": " << result.explanation;
+  }
+}
+
+// ---- eventual liveness (Sect. 3.5) ----
+
+TEST(ProtocolLiveness, QueriesTerminateOnceUpdatesStop) {
+  // "If a finite number of updates are submitted and proposer p receives a
+  // query, then p will eventually learn some state." Updates stop at 50 ms;
+  // every read issued afterwards must complete.
+  sim::Simulator sim(77);
+  const std::vector<NodeId> replica_ids{0, 1, 2};
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim.add_node([&replica_ids](net::Context& ctx) {
+      return std::make_unique<CounterReplica>(
+          ctx, replica_ids, core::ProtocolConfig{}, core::gcounter_ops());
+    });
+  }
+  verify::History writer_history;
+  verify::History reader_history;
+  // Writers hammer updates but stop (finite updates).
+  for (std::size_t i = 0; i < 4; ++i) {
+    sim.add_node([&, i](net::Context& ctx) {
+      return std::make_unique<verify::RecordingClient>(
+          ctx, replica_ids[i % 3], 0.0, 70 + i, &writer_history, 50);
+    });
+  }
+  std::vector<NodeId> readers;
+  for (std::size_t i = 0; i < 3; ++i) {
+    readers.push_back(sim.add_node([&, i](net::Context& ctx) {
+      return std::make_unique<verify::RecordingClient>(
+          ctx, replica_ids[i], 1.0, 80 + i, &reader_history, 100);
+    }));
+  }
+  sim.run_until(30 * kSecond);
+  // All reader scripts completed: no starvation after quiescence.
+  for (const NodeId id : readers)
+    EXPECT_EQ(sim.endpoint_as<verify::RecordingClient>(id).completed(), 100u);
+  EXPECT_EQ(reader_history.read_count(), 300u);
+}
+
+}  // namespace
+}  // namespace lsr

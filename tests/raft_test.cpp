@@ -1,0 +1,208 @@
+// Raft baseline: elections, replication, reads-through-the-log, failover,
+// snapshots/truncation.
+#include "raft/raft.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench/workload.h"
+#include "sim/simulator.h"
+
+namespace lsr {
+namespace {
+
+using raft::RaftReplica;
+
+struct RaftCluster {
+  std::unique_ptr<sim::Simulator> sim;
+  std::vector<NodeId> replicas;
+  std::vector<NodeId> clients;
+  std::unique_ptr<bench::Collector> collector;
+
+  RaftReplica& replica(std::size_t i) {
+    return sim->endpoint_as<RaftReplica>(replicas[i]);
+  }
+  bench::CounterClient& client(std::size_t i) {
+    return sim->endpoint_as<bench::CounterClient>(clients[i]);
+  }
+
+  int leader_count() {
+    int count = 0;
+    for (const NodeId id : replicas)
+      if (sim->endpoint_as<RaftReplica>(id).is_leader()) ++count;
+    return count;
+  }
+};
+
+RaftCluster make_cluster(std::uint64_t seed, std::size_t n_replicas,
+                         std::size_t n_clients, double read_ratio,
+                         TimeNs client_stop = 0,
+                         sim::NetworkConfig net = {},
+                         TimeNs client_retry = 0) {
+  RaftCluster cluster;
+  net.lossy_node_limit = static_cast<NodeId>(n_replicas);
+  cluster.sim = std::make_unique<sim::Simulator>(seed, net);
+  cluster.collector = std::make_unique<bench::Collector>(0, 3600 * kSecond);
+  std::vector<NodeId> ids(n_replicas);
+  for (std::size_t i = 0; i < n_replicas; ++i) ids[i] = static_cast<NodeId>(i);
+  for (std::size_t i = 0; i < n_replicas; ++i) {
+    cluster.replicas.push_back(
+        cluster.sim->add_node([&ids, seed, i](net::Context& ctx) {
+          raft::RaftConfig config;
+          config.rng_seed = seed * 131 + i;
+          return std::make_unique<RaftReplica>(ctx, ids, config);
+        }));
+  }
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    const NodeId target = ids[i % n_replicas];
+    cluster.clients.push_back(cluster.sim->add_node(
+        [&, target, i, client_stop, client_retry,
+         n_replicas](net::Context& ctx) {
+          auto client = std::make_unique<bench::CounterClient>(
+              ctx, target, read_ratio, seed * 41 + i, cluster.collector.get(),
+              client_stop);
+          if (client_retry > 0)
+            client->enable_retry(client_retry, 3,
+                                 static_cast<NodeId>(n_replicas));
+          return client;
+        }));
+  }
+  return cluster;
+}
+
+TEST(Raft, ElectsExactlyOneLeader) {
+  RaftCluster cluster = make_cluster(1, 3, 0, 0.0);
+  cluster.sim->run_for(100 * kMillisecond);
+  EXPECT_EQ(cluster.leader_count(), 1);
+}
+
+TEST(Raft, UpdatesReplicateAndApply) {
+  RaftCluster cluster =
+      make_cluster(2, 3, 4, /*read_ratio=*/0.0, 300 * kMillisecond);
+  cluster.sim->run_for(300 * kMillisecond);
+  cluster.sim->run_for(200 * kMillisecond);  // drain + heartbeats propagate
+  std::uint64_t done = 0;
+  for (std::size_t i = 0; i < 4; ++i) done += cluster.client(i).completed();
+  EXPECT_GT(done, 100u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(cluster.replica(i).value(), static_cast<std::int64_t>(done))
+        << "replica " << i;
+}
+
+TEST(Raft, ReadsGoThroughTheLog) {
+  RaftCluster cluster = make_cluster(3, 3, 4, /*read_ratio=*/1.0);
+  cluster.sim->run_for(300 * kMillisecond);
+  std::uint64_t done = 0;
+  for (std::size_t i = 0; i < 4; ++i) done += cluster.client(i).completed();
+  EXPECT_GT(done, 200u);
+  // Unlike Multi-Paxos leases, every read became a log entry.
+  std::uint64_t appends = 0;
+  for (std::size_t i = 0; i < 3; ++i)
+    appends += cluster.replica(i).stats().log_appends;
+  EXPECT_GT(appends, done);  // each read appended at leader + followers
+}
+
+TEST(Raft, FollowersForwardToLeader) {
+  RaftCluster cluster = make_cluster(4, 3, 3, /*read_ratio=*/0.5);
+  cluster.sim->run_for(200 * kMillisecond);
+  EXPECT_GT(cluster.client(0).completed(), 10u);
+  EXPECT_GT(cluster.client(1).completed(), 10u);
+  EXPECT_GT(cluster.client(2).completed(), 10u);
+}
+
+TEST(Raft, LeaderCrashElectsNewLeader) {
+  RaftCluster cluster = make_cluster(5, 3, 6, /*read_ratio=*/0.5, 0, {},
+                                     /*client_retry=*/50 * kMillisecond);
+  cluster.sim->run_for(200 * kMillisecond);
+  ASSERT_EQ(cluster.leader_count(), 1);
+  std::size_t leader = 0;
+  for (std::size_t i = 0; i < 3; ++i)
+    if (cluster.replica(i).is_leader()) leader = i;
+  cluster.sim->set_down(cluster.replicas[leader], true);
+  cluster.sim->run_for(500 * kMillisecond);
+  int survivors_leading = 0;
+  for (std::size_t i = 0; i < 3; ++i)
+    if (i != leader && cluster.replica(i).is_leader()) ++survivors_leading;
+  EXPECT_EQ(survivors_leading, 1);
+  // Survivor clients make progress under the new leader.
+  const std::size_t survivor_client = (leader + 1) % 3;
+  const auto before = cluster.client(survivor_client).completed();
+  cluster.sim->run_for(300 * kMillisecond);
+  EXPECT_GT(cluster.client(survivor_client).completed(), before);
+}
+
+TEST(Raft, AtMostOneLeaderPerTermUnderPartitions) {
+  RaftCluster cluster = make_cluster(6, 5, 0, 0.0);
+  cluster.sim->run_for(200 * kMillisecond);
+  // Partition the leader away from everyone; a new leader must emerge in a
+  // strictly higher term among the majority side.
+  std::size_t leader = 0;
+  for (std::size_t i = 0; i < 5; ++i)
+    if (cluster.replica(i).is_leader()) leader = i;
+  const std::uint64_t term_at_partition = cluster.replica(leader).term();
+  for (std::size_t i = 0; i < 5; ++i)
+    if (i != leader)
+      cluster.sim->set_partitioned(cluster.replicas[leader],
+                                   cluster.replicas[i], true);
+  cluster.sim->run_for(500 * kMillisecond);
+  int leaders_in_majority = 0;
+  std::uint64_t majority_term = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (i == leader) continue;
+    if (cluster.replica(i).is_leader()) {
+      ++leaders_in_majority;
+      majority_term = cluster.replica(i).term();
+    }
+  }
+  EXPECT_EQ(leaders_in_majority, 1);
+  EXPECT_GT(majority_term, term_at_partition);
+  // Heal: the old leader steps down to the higher term.
+  for (std::size_t i = 0; i < 5; ++i)
+    if (i != leader)
+      cluster.sim->set_partitioned(cluster.replicas[leader],
+                                   cluster.replicas[i], false);
+  cluster.sim->run_for(300 * kMillisecond);
+  EXPECT_EQ(cluster.leader_count(), 1);
+}
+
+TEST(Raft, LogTruncationKeepsStateCorrect) {
+  RaftCluster cluster =
+      make_cluster(7, 3, 8, /*read_ratio=*/0.0, 2 * kSecond);
+  cluster.sim->run_for(2 * kSecond);
+  cluster.sim->run_for(300 * kMillisecond);
+  std::uint64_t done = 0;
+  for (std::size_t i = 0; i < 8; ++i) done += cluster.client(i).completed();
+  EXPECT_GT(done, 2000u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster.replica(i).value(), static_cast<std::int64_t>(done));
+    EXPECT_LT(cluster.replica(i).stats().peak_log_entries, 2048u);
+  }
+}
+
+TEST(Raft, SurvivesMessageLoss) {
+  sim::NetworkConfig net;
+  net.loss_probability = 0.05;
+  RaftCluster cluster =
+      make_cluster(8, 3, 4, /*read_ratio=*/0.5, 500 * kMillisecond, net);
+  cluster.sim->run_for(kSecond);
+  std::uint64_t done = 0;
+  for (std::size_t i = 0; i < 4; ++i) done += cluster.client(i).completed();
+  EXPECT_GT(done, 50u);
+}
+
+TEST(Raft, CrashedFollowerCatchesUpViaSnapshot) {
+  RaftCluster cluster =
+      make_cluster(9, 3, 8, /*read_ratio=*/0.0, 1500 * kMillisecond);
+  cluster.sim->run_for(200 * kMillisecond);
+  cluster.sim->set_down(cluster.replicas[2], true);
+  // Enough traffic to truncate past the dead follower's log position.
+  cluster.sim->run_for(kSecond);
+  cluster.sim->set_down(cluster.replicas[2], false);
+  cluster.sim->run_for(800 * kMillisecond);
+  // The recovered follower converges to the final value.
+  EXPECT_EQ(cluster.replica(2).value(), cluster.replica(0).value());
+}
+
+}  // namespace
+}  // namespace lsr

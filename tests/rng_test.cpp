@@ -1,0 +1,94 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lsr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.next_bool(0.3)) ++hits;
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(Rng, UniformityCoarse) {
+  Rng rng(17);
+  constexpr int kBuckets = 16;
+  int counts[kBuckets] = {};
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_GT(c, n / kBuckets * 9 / 10);
+    EXPECT_LT(c, n / kBuckets * 11 / 10);
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng rng(5);
+  const auto first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace lsr

@@ -1,0 +1,66 @@
+// Rounds: total order, sentinel ids, incremental marker, wire codec.
+#include "core/round.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lsr::core {
+namespace {
+
+TEST(Round, OrderedByNumberThenId) {
+  EXPECT_LT((Round{1, 5}), (Round{2, 1}));
+  EXPECT_LT((Round{2, 1}), (Round{2, 2}));
+  EXPECT_EQ((Round{3, 3}), (Round{3, 3}));
+  EXPECT_GT((Round{4, 0}), (Round{3, 999}));
+}
+
+TEST(Round, InitialRoundIsSmallest) {
+  const Round initial{0, Round::kInitId};
+  EXPECT_LT(initial, (Round{0, Round::kWriteId}));
+  EXPECT_LT(initial, (Round{0, make_round_id(0, 0)}));
+  EXPECT_LT(initial, (Round{1, 0}));
+}
+
+TEST(Round, ProposerIdsNeverCollideWithSentinels) {
+  for (NodeId node = 0; node < 16; ++node) {
+    for (std::uint64_t counter = 0; counter < 16; ++counter) {
+      const auto id = make_round_id(node, counter);
+      EXPECT_NE(id, Round::kInitId);
+      EXPECT_NE(id, Round::kWriteId);
+      EXPECT_GE(id, std::uint64_t{1} << 20);
+    }
+  }
+}
+
+TEST(Round, ProposerIdsAreUniqueAcrossNodesAndCounters) {
+  std::set<std::uint64_t> ids;
+  for (NodeId node = 0; node < 8; ++node)
+    for (std::uint64_t counter = 0; counter < 64; ++counter)
+      EXPECT_TRUE(ids.insert(make_round_id(node, counter)).second);
+}
+
+TEST(Round, IncrementalMarker) {
+  const Round round = incremental_round(3, 7);
+  EXPECT_TRUE(round.is_incremental());
+  EXPECT_FALSE((Round{0, 0}).is_incremental());
+  const Round fixed = fixed_round(12, 3, 8);
+  EXPECT_FALSE(fixed.is_incremental());
+  EXPECT_EQ(fixed.number, 12u);
+}
+
+TEST(Round, WireRoundTrip) {
+  const Round rounds[] = {Round{0, Round::kInitId}, Round{0, Round::kWriteId},
+                          Round{17, make_round_id(2, 5)},
+                          incremental_round(1, 1)};
+  for (const Round& round : rounds) {
+    Encoder enc;
+    round.encode(enc);
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(Round::decode(dec), round);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+}  // namespace
+}  // namespace lsr::core

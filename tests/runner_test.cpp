@@ -1,0 +1,133 @@
+// The benchmark runner itself: all four systems produce sane measurements,
+// the failure injection works, and runs are reproducible for a fixed seed.
+#include "bench/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "bench/workload.h"
+
+namespace lsr::bench {
+namespace {
+
+RunConfig quick_config(System system, std::size_t clients = 16) {
+  RunConfig config;
+  config.system = system;
+  config.clients = clients;
+  config.read_ratio = 0.9;
+  config.warmup = 200 * kMillisecond;
+  config.measure = 400 * kMillisecond;
+  config.seed = 3;
+  return config;
+}
+
+class AllSystems : public ::testing::TestWithParam<System> {};
+
+TEST_P(AllSystems, ProducesThroughputAndLatencies) {
+  const RunResult result = run_workload(quick_config(GetParam()));
+  EXPECT_GT(result.throughput_per_sec, 100.0);
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_GT(result.read_latency.count(), 0u);
+  EXPECT_GT(result.update_latency.count(), 0u);
+  EXPECT_GT(result.read_latency.percentile(0.95), 0);
+  EXPECT_GT(result.messages_sent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, AllSystems,
+                         ::testing::Values(System::kCrdt,
+                                           System::kCrdtBatching,
+                                           System::kMultiPaxos, System::kRaft),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case System::kCrdt: return "Crdt";
+                             case System::kCrdtBatching: return "CrdtBatching";
+                             case System::kMultiPaxos: return "MultiPaxos";
+                             case System::kRaft: return "Raft";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(Runner, CrdtReportsRoundTripsAndLearnPaths) {
+  const RunResult result = run_workload(quick_config(System::kCrdt));
+  std::uint64_t total_rts = 0;
+  for (const auto count : result.read_round_trips) total_rts += count;
+  EXPECT_GT(total_rts, 0u);
+  EXPECT_GT(result.learned_consistent_quorum + result.learned_by_vote, 0u);
+  EXPECT_EQ(result.peak_log_entries, 0u);  // no log, by construction
+  EXPECT_GT(result.reads_within_rts(20), 0.99);
+}
+
+TEST(Runner, BaselinesReportLogGrowth) {
+  const RunResult paxos = run_workload(quick_config(System::kMultiPaxos));
+  EXPECT_GT(paxos.peak_log_entries, 0u);
+  const RunResult raft = run_workload(quick_config(System::kRaft));
+  EXPECT_GT(raft.peak_log_entries, 0u);
+}
+
+TEST(Runner, DeterministicForFixedSeed) {
+  const RunResult a = run_workload(quick_config(System::kCrdt));
+  const RunResult b = run_workload(quick_config(System::kCrdt));
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.read_latency.percentile(0.95), b.read_latency.percentile(0.95));
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+  RunConfig config = quick_config(System::kCrdt);
+  const RunResult a = run_workload(config);
+  config.seed = 4;
+  const RunResult b = run_workload(config);
+  EXPECT_NE(a.messages_sent, b.messages_sent);
+}
+
+TEST(Runner, FailureInjectionKeepsServiceAvailable) {
+  RunConfig config = quick_config(System::kCrdt, 12);
+  config.measure = 2 * kSecond;
+  config.series_bucket = 500 * kMillisecond;
+  config.fail_node_at = config.warmup + kSecond;
+  config.fail_node = 2;
+  config.client_retry_timeout = 100 * kMillisecond;
+  const RunResult result = run_workload(config);
+  // Buckets after the failure still complete reads (continuous
+  // availability).
+  ASSERT_FALSE(result.read_series.empty());
+  const std::size_t fail_bucket =
+      static_cast<std::size_t>(config.fail_node_at / config.series_bucket);
+  bool post_failure_reads = false;
+  for (std::size_t i = fail_bucket + 1; i < result.read_series.size(); ++i)
+    if (result.read_series[i].count() > 0) post_failure_reads = true;
+  EXPECT_TRUE(post_failure_reads);
+}
+
+TEST(Collector, WindowFiltersWarmupAndTail) {
+  Collector collector(100, 200);
+  collector.record(true, 50, 90);    // before the window: dropped
+  collector.record(true, 150, 160);  // inside: kept
+  collector.record(true, 250, 260);  // after: dropped
+  EXPECT_EQ(collector.completed(), 1u);
+  EXPECT_EQ(collector.read_latency().count(), 1u);
+}
+
+TEST(Collector, RoundTripWindowing) {
+  Collector collector(100, 200);
+  collector.record_read_round_trips(50, 1);   // outside
+  collector.record_read_round_trips(150, 2);  // inside
+  collector.record_read_round_trips(150, 2);  // inside
+  const auto& rts = collector.read_round_trips();
+  std::uint64_t total = 0;
+  for (const auto count : rts) total += count;
+  EXPECT_EQ(total, 2u);
+  ASSERT_GT(rts.size(), 2u);
+  EXPECT_EQ(rts[2], 2u);
+}
+
+TEST(Collector, SeriesBucketsByCompletionTime) {
+  Collector collector(0, 10 * kSecond, kSecond);
+  collector.record(true, 100, kSecond + 5);          // bucket 1
+  collector.record(false, 100, 3 * kSecond + 5);     // bucket 3
+  ASSERT_GT(collector.read_series().size(), 3u);
+  EXPECT_EQ(collector.read_series()[1].count(), 1u);
+  EXPECT_EQ(collector.update_series()[3].count(), 1u);
+}
+
+}  // namespace
+}  // namespace lsr::bench

@@ -1,0 +1,262 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/wire.h"
+#include "net/context.h"
+
+namespace lsr::sim {
+namespace {
+
+// Endpoint that records every delivery and can echo messages back.
+class Recorder final : public net::Endpoint {
+ public:
+  explicit Recorder(net::Context& ctx) : ctx_(ctx) {}
+
+  void on_message(NodeId from, const Bytes& data) override {
+    received.push_back({from, data, ctx_.now()});
+    if (echo && !data.empty() && data.front() == 0x01) {
+      Bytes reply{0x02};
+      ctx_.send(from, std::move(reply));
+    }
+  }
+
+  void on_recover() override { ++recoveries; }
+
+  struct Delivery {
+    NodeId from;
+    Bytes data;
+    TimeNs at;
+  };
+  std::vector<Delivery> received;
+  bool echo = false;
+  int recoveries = 0;
+  net::Context& ctx_;
+};
+
+Simulator::EndpointFactory recorder_factory() {
+  return [](net::Context& ctx) { return std::make_unique<Recorder>(ctx); };
+}
+
+TEST(Simulator, DeliversWithinLatencyBounds) {
+  NetworkConfig net;
+  net.latency_min = 100 * kMicrosecond;
+  net.latency_max = 200 * kMicrosecond;
+  Simulator sim(1, net);
+  const NodeId a = sim.add_node(recorder_factory());
+  const NodeId b = sim.add_node(recorder_factory());
+  sim.call_at(0, [&] {
+    sim.endpoint_as<Recorder>(a).ctx_.send(b, Bytes{0x42});
+  });
+  sim.run_to_completion();
+  auto& recorder = sim.endpoint_as<Recorder>(b);
+  ASSERT_EQ(recorder.received.size(), 1u);
+  EXPECT_EQ(recorder.received[0].from, a);
+  // Delivery time = latency + service time.
+  EXPECT_GE(recorder.received[0].at, net.latency_min);
+  EXPECT_LE(recorder.received[0].at,
+            net.latency_max + kMillisecond);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    const NodeId a = sim.add_node(recorder_factory());
+    const NodeId b = sim.add_node(recorder_factory());
+    sim.endpoint_as<Recorder>(b).echo = true;
+    for (int i = 0; i < 50; ++i) {
+      sim.call_at(i * 10 * kMicrosecond, [&sim, a, b] {
+        sim.endpoint_as<Recorder>(a).ctx_.send(b, Bytes{0x01});
+      });
+    }
+    sim.run_to_completion();
+    std::vector<TimeNs> times;
+    for (const auto& d : sim.endpoint_as<Recorder>(a).received)
+      times.push_back(d.at);
+    return times;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(Simulator, ServiceTimeSerializesLane) {
+  // Two messages arriving simultaneously at one node must be handled
+  // back-to-back, one service time apart.
+  NetworkConfig net;
+  net.latency_min = net.latency_max = 100 * kMicrosecond;
+  NodeConfig node;
+  node.service_ns = 10 * kMicrosecond;
+  node.per_byte_ns = 0;
+  Simulator sim(3, net, node);
+  const NodeId a = sim.add_node(recorder_factory());
+  const NodeId b = sim.add_node(recorder_factory());
+  const NodeId c = sim.add_node(recorder_factory());
+  sim.call_at(0, [&] {
+    sim.endpoint_as<Recorder>(a).ctx_.send(c, Bytes{0x10});
+    sim.endpoint_as<Recorder>(b).ctx_.send(c, Bytes{0x11});
+  });
+  sim.run_to_completion();
+  auto& recorder = sim.endpoint_as<Recorder>(c);
+  ASSERT_EQ(recorder.received.size(), 2u);
+  const TimeNs gap = recorder.received[1].at - recorder.received[0].at;
+  EXPECT_EQ(gap, node.service_ns);
+}
+
+TEST(Simulator, PartitionBlocksBothDirections) {
+  Simulator sim(5);
+  const NodeId a = sim.add_node(recorder_factory());
+  const NodeId b = sim.add_node(recorder_factory());
+  sim.set_partitioned(a, b, true);
+  sim.call_at(0, [&] {
+    sim.endpoint_as<Recorder>(a).ctx_.send(b, Bytes{1});
+    sim.endpoint_as<Recorder>(b).ctx_.send(a, Bytes{2});
+  });
+  sim.run_to_completion();
+  EXPECT_TRUE(sim.endpoint_as<Recorder>(a).received.empty());
+  EXPECT_TRUE(sim.endpoint_as<Recorder>(b).received.empty());
+  EXPECT_EQ(sim.messages_dropped(), 2u);
+
+  // Healing restores delivery.
+  sim.set_partitioned(a, b, false);
+  sim.call_at(sim.now() + 1, [&] {
+    sim.endpoint_as<Recorder>(a).ctx_.send(b, Bytes{3});
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(sim.endpoint_as<Recorder>(b).received.size(), 1u);
+}
+
+TEST(Simulator, DownNodeDropsMessagesAndRecovers) {
+  Simulator sim(7);
+  const NodeId a = sim.add_node(recorder_factory());
+  const NodeId b = sim.add_node(recorder_factory());
+  sim.run_for(kMillisecond);  // let on_start settle
+  sim.set_down(b, true);
+  EXPECT_TRUE(sim.is_down(b));
+  sim.call_at(sim.now() + 1, [&] {
+    sim.endpoint_as<Recorder>(a).ctx_.send(b, Bytes{1});
+  });
+  sim.run_for(10 * kMillisecond);
+  EXPECT_TRUE(sim.endpoint_as<Recorder>(b).received.empty());
+  sim.set_down(b, false);
+  sim.run_for(10 * kMillisecond);
+  EXPECT_EQ(sim.endpoint_as<Recorder>(b).recoveries, 1);
+  sim.call_at(sim.now() + 1, [&] {
+    sim.endpoint_as<Recorder>(a).ctx_.send(b, Bytes{2});
+  });
+  sim.run_for(10 * kMillisecond);
+  ASSERT_EQ(sim.endpoint_as<Recorder>(b).received.size(), 1u);
+  EXPECT_EQ(sim.endpoint_as<Recorder>(b).received[0].data, Bytes{2});
+}
+
+TEST(Simulator, LossDropsOnlyReplicaLinks) {
+  NetworkConfig net;
+  net.loss_probability = 1.0;  // drop everything on lossy links
+  net.lossy_node_limit = 2;    // nodes 0 and 1 are "replicas"
+  Simulator sim(9, net);
+  const NodeId r0 = sim.add_node(recorder_factory());
+  const NodeId r1 = sim.add_node(recorder_factory());
+  const NodeId client = sim.add_node(recorder_factory());
+  sim.call_at(0, [&] {
+    sim.endpoint_as<Recorder>(r0).ctx_.send(r1, Bytes{1});      // dropped
+    sim.endpoint_as<Recorder>(client).ctx_.send(r0, Bytes{2});  // delivered
+  });
+  sim.run_to_completion();
+  EXPECT_TRUE(sim.endpoint_as<Recorder>(r1).received.empty());
+  EXPECT_EQ(sim.endpoint_as<Recorder>(r0).received.size(), 1u);
+}
+
+TEST(Simulator, DuplicationDeliversTwice) {
+  NetworkConfig net;
+  net.duplicate_probability = 1.0;
+  net.lossy_node_limit = 2;
+  Simulator sim(11, net);
+  const NodeId a = sim.add_node(recorder_factory());
+  const NodeId b = sim.add_node(recorder_factory());
+  sim.call_at(0, [&] {
+    sim.endpoint_as<Recorder>(a).ctx_.send(b, Bytes{1});
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(sim.endpoint_as<Recorder>(b).received.size(), 2u);
+}
+
+TEST(Simulator, TimersFireInOrderAndCancel) {
+  Simulator sim(13);
+  const NodeId a = sim.add_node(recorder_factory());
+  std::vector<int> fired;
+  net::TimerId to_cancel = net::kInvalidTimer;
+  sim.call_at(0, [&] {
+    auto& ctx = sim.endpoint_as<Recorder>(a).ctx_;
+    ctx.set_timer(3 * kMillisecond, 0, [&fired] { fired.push_back(3); });
+    ctx.set_timer(1 * kMillisecond, 0, [&fired] { fired.push_back(1); });
+    to_cancel =
+        ctx.set_timer(2 * kMillisecond, 0, [&fired] { fired.push_back(2); });
+    ctx.cancel_timer(to_cancel);
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, CrashLosesPendingTimers) {
+  Simulator sim(15);
+  const NodeId a = sim.add_node(recorder_factory());
+  int fired = 0;
+  sim.call_at(0, [&] {
+    sim.endpoint_as<Recorder>(a).ctx_.set_timer(5 * kMillisecond, 0,
+                                                [&fired] { ++fired; });
+  });
+  sim.call_at(kMillisecond, [&] { sim.set_down(a, true); });
+  sim.call_at(2 * kMillisecond, [&] { sim.set_down(a, false); });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 0);  // the timer died with the crash
+}
+
+TEST(Simulator, ConsumeExtendsLaneBusyTime) {
+  // An endpoint that charges extra service time on the first message delays
+  // the second message by that amount.
+  class Consumer final : public net::Endpoint {
+   public:
+    explicit Consumer(net::Context& ctx) : ctx_(ctx) {}
+    void on_message(NodeId, const Bytes&) override {
+      arrival_times.push_back(ctx_.now());
+      if (arrival_times.size() == 1) ctx_.consume(40 * kMicrosecond);
+    }
+    std::vector<TimeNs> arrival_times;
+    net::Context& ctx_;
+  };
+  NetworkConfig net;
+  net.latency_min = net.latency_max = 10 * kMicrosecond;
+  NodeConfig node;
+  node.service_ns = 5 * kMicrosecond;
+  node.per_byte_ns = 0;
+  Simulator sim(17, net, node);
+  const NodeId a = sim.add_node(recorder_factory());
+  const NodeId b = sim.add_node(
+      [](net::Context& ctx) { return std::make_unique<Consumer>(ctx); });
+  sim.call_at(0, [&] {
+    sim.endpoint_as<Recorder>(a).ctx_.send(b, Bytes{1});
+    sim.endpoint_as<Recorder>(a).ctx_.send(b, Bytes{2});
+  });
+  sim.run_to_completion();
+  auto& consumer = sim.endpoint_as<Consumer>(b);
+  ASSERT_EQ(consumer.arrival_times.size(), 2u);
+  // Second handling = first handling + consume(40us) + service(5us).
+  EXPECT_EQ(consumer.arrival_times[1] - consumer.arrival_times[0],
+            45 * kMicrosecond);
+}
+
+TEST(Simulator, WireStatsCount) {
+  Simulator sim(19);
+  const NodeId a = sim.add_node(recorder_factory());
+  const NodeId b = sim.add_node(recorder_factory());
+  sim.call_at(0, [&] {
+    sim.endpoint_as<Recorder>(a).ctx_.send(b, Bytes(10, 0xAA));
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(sim.messages_sent(), 1u);
+  EXPECT_EQ(sim.bytes_sent(), 10u);
+}
+
+}  // namespace
+}  // namespace lsr::sim

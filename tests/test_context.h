@@ -1,0 +1,82 @@
+// Test double for net::Context: captures sends, lets tests fire timers by
+// hand, and exposes a manual clock — used by the proposer/acceptor decision-
+// table tests to drive the protocol one message at a time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "common/wire.h"
+#include "net/context.h"
+
+namespace lsr::test {
+
+class FakeContext final : public net::Context {
+ public:
+  explicit FakeContext(NodeId self) : self_(self) {}
+
+  NodeId self() const override { return self_; }
+  TimeNs now() const override { return now_; }
+
+  void send(NodeId dst, Bytes data) override {
+    sent.push_back({dst, std::move(data)});
+  }
+
+  net::TimerId set_timer(TimeNs delay, int lane,
+                         std::function<void()> fn) override {
+    (void)lane;
+    const net::TimerId id = next_timer_++;
+    timers[id] = {now_ + delay, std::move(fn)};
+    return id;
+  }
+
+  void cancel_timer(net::TimerId id) override { timers.erase(id); }
+
+  void consume(TimeNs cost) override { consumed += cost; }
+
+  // --- test controls ---
+
+  void advance(TimeNs delta) { now_ += delta; }
+
+  // Fires the earliest pending timer (if any); returns whether one fired.
+  bool fire_next_timer() {
+    if (timers.empty()) return false;
+    auto best = timers.begin();
+    for (auto it = timers.begin(); it != timers.end(); ++it)
+      if (it->second.fire_at < best->second.fire_at) best = it;
+    auto fn = std::move(best->second.fn);
+    now_ = std::max(now_, best->second.fire_at);
+    timers.erase(best);
+    fn();
+    return true;
+  }
+
+  // Messages sent to `dst`, in order.
+  std::vector<Bytes> sent_to(NodeId dst) const {
+    std::vector<Bytes> out;
+    for (const auto& [node, data] : sent)
+      if (node == dst) out.push_back(data);
+    return out;
+  }
+
+  void clear_sent() { sent.clear(); }
+
+  struct Timer {
+    TimeNs fire_at;
+    std::function<void()> fn;
+  };
+
+  std::vector<std::pair<NodeId, Bytes>> sent;
+  std::map<net::TimerId, Timer> timers;
+  TimeNs consumed = 0;
+
+ private:
+  NodeId self_;
+  TimeNs now_ = 0;
+  net::TimerId next_timer_ = 1;
+};
+
+}  // namespace lsr::test

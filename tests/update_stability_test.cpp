@@ -1,0 +1,163 @@
+// Theorem 3.9 (Update Stability), checked directly: if update u1 completes
+// before update u2 is submitted, then every learned state that includes u2
+// also includes u1 — even when u1 and u2 go through *different* proposers.
+//
+// Setup: one sequential writer alternates updates between replicas 0 and 1
+// (so consecutive updates are ordered in real time but handled by different
+// proposers), while concurrent readers hammer all replicas. For the
+// G-Counter, update k at proposer p raised slot p to a known level, so
+// inclusion is a slot comparison.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/ops.h"
+#include "core/replica.h"
+#include "lattice/gcounter.h"
+#include "rsm/client_msg.h"
+#include "sim/simulator.h"
+#include "verify/history.h"
+#include "verify/recording_client.h"
+
+namespace lsr {
+namespace {
+
+using lattice::GCounter;
+using CounterReplica = core::Replica<GCounter>;
+
+// Sequential writer: update via replica (k % 2), wait for the ack, repeat.
+// Records, after each completed update k, the slot level it raised.
+class AlternatingWriter final : public net::Endpoint {
+ public:
+  AlternatingWriter(net::Context& ctx, int total) : ctx_(ctx), total_(total) {}
+
+  void on_start() override { submit(); }
+
+  void on_message(NodeId, const Bytes& data) override {
+    Decoder dec(data);
+    if (static_cast<rsm::ClientTag>(dec.get_u8()) !=
+        rsm::ClientTag::kUpdateDone)
+      return;
+    // Update k went to proposer k%2 and raised its slot to (k/2)+1.
+    completed_levels.push_back(
+        {static_cast<NodeId>(done_ % 2), done_ / 2 + 1});
+    ++done_;
+    if (done_ < total_) submit();
+  }
+
+  // (proposer slot, level reached) in completion order.
+  std::vector<std::pair<NodeId, std::uint64_t>> completed_levels;
+
+ private:
+  void submit() {
+    Encoder enc;
+    rsm::ClientUpdate{make_request_id(ctx_.self(), seq_++), 0,
+                      core::encode_increment_args(1)}
+        .encode(enc);
+    ctx_.send(static_cast<NodeId>(done_ % 2), std::move(enc).take());
+  }
+
+  net::Context& ctx_;
+  int total_;
+  int done_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+TEST(UpdateStability, LearnedStatesIncludePredecessorUpdates) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::Simulator sim(seed);
+    const std::vector<NodeId> replica_ids{0, 1, 2};
+    for (std::size_t i = 0; i < 3; ++i) {
+      sim.add_node([&replica_ids](net::Context& ctx) {
+        return std::make_unique<CounterReplica>(
+            ctx, replica_ids, core::ProtocolConfig{}, core::gcounter_ops());
+      });
+    }
+    std::vector<GCounter> learned;
+    for (std::size_t i = 0; i < 3; ++i) {
+      sim.endpoint_as<CounterReplica>(replica_ids[i])
+          .proposer()
+          .on_state_learned =
+          [&learned](const GCounter& state) { learned.push_back(state); };
+    }
+    const NodeId writer = sim.add_node([](net::Context& ctx) {
+      return std::make_unique<AlternatingWriter>(ctx, 40);
+    });
+    // Concurrent readers on every replica to generate learned states racing
+    // with the updates.
+    verify::History reader_history;
+    for (std::size_t i = 0; i < 3; ++i) {
+      sim.add_node([&, i](net::Context& ctx) {
+        return std::make_unique<verify::RecordingClient>(
+            ctx, replica_ids[i], 1.0, seed * 7 + i, &reader_history, 80);
+      });
+    }
+    sim.run_until(30 * kSecond);
+
+    const auto& levels =
+        sim.endpoint_as<AlternatingWriter>(writer).completed_levels;
+    ASSERT_EQ(levels.size(), 40u);
+    // Theorem 3.9: for consecutive updates u_k (completed) before u_{k+1}
+    // (submitted after), every learned state including u_{k+1} includes u_k.
+    for (const GCounter& state : learned) {
+      for (std::size_t k = 0; k + 1 < levels.size(); ++k) {
+        const auto [next_slot, next_level] = levels[k + 1];
+        const auto [prev_slot, prev_level] = levels[k];
+        const bool includes_next = state.slot(next_slot) >= next_level;
+        if (includes_next) {
+          EXPECT_GE(state.slot(prev_slot), prev_level)
+              << "seed " << seed << ": a learned state includes update "
+              << k + 1 << " but not its completed predecessor " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(UpdateStability, HoldsUnderBatchingAndLoss) {
+  sim::NetworkConfig net;
+  net.loss_probability = 0.05;
+  net.lossy_node_limit = 3;
+  sim::Simulator sim(42, net);
+  const std::vector<NodeId> replica_ids{0, 1, 2};
+  core::ProtocolConfig config;
+  config.batch_interval = 2 * kMillisecond;
+  config.retry_timeout = 2 * kMillisecond;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim.add_node([&replica_ids, config](net::Context& ctx) {
+      return std::make_unique<CounterReplica>(ctx, replica_ids, config,
+                                              core::gcounter_ops());
+    });
+  }
+  std::vector<GCounter> learned;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim.endpoint_as<CounterReplica>(replica_ids[i]).proposer().on_state_learned =
+        [&learned](const GCounter& state) { learned.push_back(state); };
+  }
+  const NodeId writer = sim.add_node([](net::Context& ctx) {
+    return std::make_unique<AlternatingWriter>(ctx, 30);
+  });
+  verify::History reader_history;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim.add_node([&, i](net::Context& ctx) {
+      return std::make_unique<verify::RecordingClient>(
+          ctx, replica_ids[i], 1.0, 90 + i, &reader_history, 60);
+    });
+  }
+  sim.run_until(60 * kSecond);
+  const auto& levels =
+      sim.endpoint_as<AlternatingWriter>(writer).completed_levels;
+  ASSERT_EQ(levels.size(), 30u);
+  for (const GCounter& state : learned) {
+    for (std::size_t k = 0; k + 1 < levels.size(); ++k) {
+      const auto [next_slot, next_level] = levels[k + 1];
+      const auto [prev_slot, prev_level] = levels[k];
+      if (state.slot(next_slot) >= next_level)
+        EXPECT_GE(state.slot(prev_slot), prev_level);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsr

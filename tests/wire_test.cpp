@@ -1,0 +1,160 @@
+#include "common/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/rng.h"
+
+namespace lsr {
+namespace {
+
+TEST(Wire, U8RoundTrip) {
+  Encoder enc;
+  enc.put_u8(0);
+  enc.put_u8(127);
+  enc.put_u8(255);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0u);
+  EXPECT_EQ(dec.get_u8(), 127u);
+  EXPECT_EQ(dec.get_u8(), 255u);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Wire, VarintBoundaries) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 32) - 1,
+                                  1ull << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  Encoder enc;
+  for (const auto v : values) enc.put_u64(v);
+  Decoder dec(enc.bytes());
+  for (const auto v : values) EXPECT_EQ(dec.get_u64(), v);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Wire, VarintCompactness) {
+  Encoder enc;
+  enc.put_u64(5);
+  EXPECT_EQ(enc.size(), 1u);  // small values take one byte
+}
+
+TEST(Wire, SignedZigZag) {
+  const std::int64_t values[] = {0,
+                                 -1,
+                                 1,
+                                 -64,
+                                 64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  Encoder enc;
+  for (const auto v : values) enc.put_i64(v);
+  Decoder dec(enc.bytes());
+  for (const auto v : values) EXPECT_EQ(dec.get_i64(), v);
+}
+
+TEST(Wire, SmallNegativesAreCompact) {
+  Encoder enc;
+  enc.put_i64(-2);
+  EXPECT_EQ(enc.size(), 1u);  // zig-zag keeps small magnitudes small
+}
+
+TEST(Wire, StringAndBytes) {
+  Encoder enc;
+  enc.put_string("hello");
+  enc.put_string("");
+  enc.put_bytes(Bytes{1, 2, 3});
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "hello");
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_EQ(dec.get_bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Wire, BoolRejectsGarbage) {
+  Encoder enc;
+  enc.put_u8(2);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.get_bool(), WireError);
+}
+
+TEST(Wire, TruncatedInputThrows) {
+  Encoder enc;
+  enc.put_string("truncate me");
+  Bytes data = std::move(enc).take();
+  for (std::size_t cut = 0; cut < data.size(); ++cut) {
+    Decoder dec(data.data(), cut);
+    EXPECT_THROW(dec.get_string(), WireError) << "cut at " << cut;
+  }
+}
+
+TEST(Wire, ContainerLengthBombRejected) {
+  // A length prefix far beyond the remaining input must be rejected before
+  // any allocation happens.
+  Encoder enc;
+  enc.put_u64(std::numeric_limits<std::uint64_t>::max());
+  Decoder dec(enc.bytes());
+  EXPECT_THROW(dec.get_bytes(), WireError);
+}
+
+TEST(Wire, ContainerHelperRoundTrip) {
+  const std::vector<std::uint64_t> values{3, 1, 4, 1, 5, 9, 2, 6};
+  Encoder enc;
+  enc.put_container(values, [](Encoder& e, std::uint64_t v) { e.put_u64(v); });
+  std::vector<std::uint64_t> decoded;
+  Decoder dec(enc.bytes());
+  dec.get_container([&decoded](Decoder& d) { decoded.push_back(d.get_u64()); });
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(Wire, ExpectDoneRejectsTrailingBytes) {
+  Encoder enc;
+  enc.put_u64(1);
+  enc.put_u8(0xFF);
+  Decoder dec(enc.bytes());
+  dec.get_u64();
+  EXPECT_THROW(dec.expect_done(), WireError);
+}
+
+TEST(Wire, OverlongVarintRejected) {
+  Bytes evil(11, 0x80);  // 11 continuation bytes
+  Decoder dec(evil);
+  EXPECT_THROW(dec.get_u64(), WireError);
+}
+
+TEST(Wire, FuzzRoundTripRandomSequences) {
+  Rng rng(42);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::vector<std::uint64_t> u64s;
+    std::vector<std::int64_t> i64s;
+    std::vector<std::string> strings;
+    Encoder enc;
+    const int n = static_cast<int>(rng.next_below(20));
+    for (int i = 0; i < n; ++i) {
+      u64s.push_back(rng.next_u64() >> rng.next_below(64));
+      enc.put_u64(u64s.back());
+      i64s.push_back(static_cast<std::int64_t>(rng.next_u64()));
+      enc.put_i64(i64s.back());
+      std::string s(rng.next_below(32), 'x');
+      for (auto& c : s) c = static_cast<char>('a' + rng.next_below(26));
+      strings.push_back(s);
+      enc.put_string(s);
+    }
+    Decoder dec(enc.bytes());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(dec.get_u64(), u64s[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(dec.get_i64(), i64s[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(dec.get_string(), strings[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+}  // namespace
+}  // namespace lsr
