@@ -48,6 +48,13 @@ int main(int argc, char** argv) {
                    fmt_percent(result.reads_within_rts(2))});
   }
   table.print(std::cout, args.csv);
+  if (!args.json_path.empty()) {
+    JsonReport report;
+    report.set_meta("bench", std::string("ablation_batching"));
+    report.set_meta("seed", static_cast<double>(args.seed));
+    report.add_table("results", table);
+    report.write_file(args.json_path);
+  }
   std::printf(
       "\nReading: batching trades baseline latency (~interval) for conflict\n"
       "reduction; the paper's 5 ms setting already pushes reads <= 2 RT\n"

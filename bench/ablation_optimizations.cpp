@@ -59,6 +59,13 @@ int main(int argc, char** argv) {
                    fmt_double(result.percentile_read_ms(0.95), 2)});
   }
   table.print(std::cout, args.csv);
+  if (!args.json_path.empty()) {
+    JsonReport report;
+    report.set_meta("bench", std::string("ablation_optimizations"));
+    report.set_meta("seed", static_cast<double>(args.seed));
+    report.add_table("results", table);
+    report.write_file(args.json_path);
+  }
   std::printf(
       "\nReading: shipping payloads that LUB computation cannot use only\n"
       "burns bandwidth; both optimizations reduce bytes/op with no\n"

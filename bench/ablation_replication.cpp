@@ -42,5 +42,12 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout, args.csv);
+  if (!args.json_path.empty()) {
+    JsonReport report;
+    report.set_meta("bench", std::string("ablation_replication"));
+    report.set_meta("seed", static_cast<double>(args.seed));
+    report.add_table("results", table);
+    report.write_file(args.json_path);
+  }
   return 0;
 }

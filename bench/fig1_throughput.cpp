@@ -29,6 +29,9 @@ int main(int argc, char** argv) {
       "Figure 1: throughput (requests/s) vs clients, three replicas%s\n",
       args.full ? " [--full]" : "");
 
+  JsonReport report;
+  report.set_meta("bench", std::string("fig1_throughput"));
+  report.set_meta("seed", static_cast<double>(args.seed));
   for (const double read_ratio : kReadRatios) {
     std::printf("\n== %.0f%% reads ==\n", read_ratio * 100.0);
     Table table({"clients", "CRDT Paxos", "CRDT Paxos w/batch", "Multi-Paxos",
@@ -49,7 +52,11 @@ int main(int argc, char** argv) {
       table.add_row(std::move(row));
     }
     table.print(std::cout, args.csv);
+    report.add_table("reads_" + std::to_string(static_cast<int>(
+                                    read_ratio * 100)) + "pct",
+                     table);
   }
+  if (!args.json_path.empty()) report.write_file(args.json_path);
 
   std::printf(
       "\nExpected shape (paper): CRDT Paxos leads on read-heavy mixes and at\n"

@@ -51,6 +51,14 @@ int main(int argc, char** argv) {
   reads.print(std::cout, args.csv);
   std::printf("\n== update p95 (ms) ==\n");
   updates.print(std::cout, args.csv);
+  if (!args.json_path.empty()) {
+    JsonReport report;
+    report.set_meta("bench", std::string("fig2_latency"));
+    report.set_meta("seed", static_cast<double>(args.seed));
+    report.add_table("read_p95_ms", reads);
+    report.add_table("update_p95_ms", updates);
+    report.write_file(args.json_path);
+  }
 
   std::printf(
       "\nExpected shape (paper): CRDT Paxos read p95 sits slightly above the\n"

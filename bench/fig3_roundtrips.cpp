@@ -20,7 +20,8 @@ constexpr std::size_t kClientCounts[] = {16, 32, 64, 128};
 constexpr int kMaxRts = 10;
 
 void run_variant(const BenchArgs& args, System system, const char* title,
-                 double* min_within_two) {
+                 double* min_within_two, JsonReport* report,
+                 const char* section) {
   std::printf("\n== %s ==\n", title);
   std::vector<std::string> headers{"round trips"};
   for (const std::size_t clients : kClientCounts)
@@ -45,6 +46,7 @@ void run_variant(const BenchArgs& args, System system, const char* title,
     table.add_row(std::move(row));
   }
   table.print(std::cout, args.csv);
+  report->add_table(section, table);
   for (const RunResult& result : results)
     *min_within_two = std::min(*min_within_two, result.reads_within_rts(2));
 }
@@ -60,10 +62,16 @@ int main(int argc, char** argv) {
 
   double unbatched_within_two = 1.0;
   double batched_within_two = 1.0;
+  JsonReport report;
+  report.set_meta("bench", std::string("fig3_roundtrips"));
+  report.set_meta("seed", static_cast<double>(args.seed));
   run_variant(args, System::kCrdt, "CRDT Paxos (no batching)",
-              &unbatched_within_two);
+              &unbatched_within_two, &report, "no_batching");
   run_variant(args, System::kCrdtBatching, "CRDT Paxos (5 ms batching)",
-              &batched_within_two);
+              &batched_within_two, &report, "batching_5ms");
+  report.set_meta("batched_within_two", batched_within_two);
+  report.set_meta("unbatched_within_two", unbatched_within_two);
+  if (!args.json_path.empty()) report.write_file(args.json_path);
 
   std::printf(
       "\nPaper claim check: >97%% of reads within two round trips (with\n"

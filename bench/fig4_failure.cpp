@@ -17,7 +17,8 @@ namespace {
 using namespace lsr;
 using namespace lsr::bench;
 
-void run_variant(const BenchArgs& args, System system, const char* title) {
+void run_variant(const BenchArgs& args, System system, const char* title,
+                 JsonReport* report, const char* section) {
   // Quick mode compresses the paper's 10-minute timeline into 12 s with the
   // failure at t=6 s; --full uses 60 s with the failure at t=30 s.
   const TimeNs duration = args.full ? 60 * kSecond : 12 * kSecond;
@@ -56,6 +57,7 @@ void run_variant(const BenchArgs& args, System system, const char* title) {
                    std::to_string(updates.count())});
   }
   table.print(std::cout, args.csv);
+  report->add_table(section, table);
 }
 
 }  // namespace
@@ -65,8 +67,14 @@ int main(int argc, char** argv) {
   std::printf("Figure 4: p95 latency across a node failure, 64 clients, "
               "10%% updates%s\n",
               args.full ? " [--full]" : "");
-  run_variant(args, System::kCrdt, "CRDT Paxos (no batching)");
-  run_variant(args, System::kCrdtBatching, "CRDT Paxos (5 ms batching)");
+  JsonReport report;
+  report.set_meta("bench", std::string("fig4_failure"));
+  report.set_meta("seed", static_cast<double>(args.seed));
+  run_variant(args, System::kCrdt, "CRDT Paxos (no batching)", &report,
+              "no_batching");
+  run_variant(args, System::kCrdtBatching, "CRDT Paxos (5 ms batching)",
+              &report, "batching_5ms");
+  if (!args.json_path.empty()) report.write_file(args.json_path);
   std::printf(
       "\nExpected shape (paper): continuous availability through the crash\n"
       "(no leader election gap); latencies rise slightly afterwards because\n"

@@ -1,0 +1,87 @@
+// Shard scaling — aggregate KV throughput vs shard count.
+//
+// Sweeps the shard count of the sharded KV runtime (1, 4, 16 shards per
+// node) against client counts on a Zipfian multi-key workload, three
+// replicas. More shards mean more acceptor/proposer lane pairs per node, so
+// at saturation the aggregate throughput must rise with the shard count —
+// the multi-core scaling argument for partitioning the keyspace.
+//
+// Flags: --full (longer runs), --csv, --seed N, --json <path>
+// (default BENCH_shards.json). Exits non-zero when throughput fails to
+// increase monotonically (beyond noise) from 1 -> 4 -> 16 shards at the
+// largest client count — this is the CI smoke check.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+
+namespace {
+
+using namespace lsr;
+using namespace lsr::bench;
+
+constexpr std::uint32_t kShardCounts[] = {1, 4, 16};
+constexpr std::size_t kClientCounts[] = {16, 64, 256};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = parse_bench_args(argc, argv);
+  if (args.json_path.empty()) args.json_path = "BENCH_shards.json";
+  std::printf(
+      "Shard scaling: KV throughput (requests/s) vs shards per node%s\n"
+      "three replicas, 1024 keys, Zipfian(0.99), 90%% reads\n\n",
+      args.full ? " [--full]" : "");
+
+  Table table({"clients", "shards1", "shards4", "shards16"});
+  // throughput[c][s] in requests/s.
+  std::vector<std::vector<double>> throughput;
+  for (const std::size_t clients : kClientCounts) {
+    std::vector<std::string> row{std::to_string(clients)};
+    std::vector<double> by_shards;
+    for (const std::uint32_t shards : kShardCounts) {
+      KvRunConfig config;
+      config.clients = clients;
+      config.shards = shards;
+      config.warmup = args.warmup();
+      config.measure = args.measure();
+      config.seed = args.seed;
+      const RunResult result = run_kv_workload(config);
+      by_shards.push_back(result.throughput_per_sec);
+      row.push_back(fmt_double(result.throughput_per_sec, 0));
+    }
+    throughput.push_back(std::move(by_shards));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout, args.csv);
+
+  // Smoke check at the largest client count (the saturated point): each
+  // shard-count step must not lose more than 5% throughput.
+  const auto& saturated = throughput.back();
+  bool monotonic = true;
+  for (std::size_t s = 1; s < saturated.size(); ++s)
+    monotonic = monotonic && saturated[s] >= saturated[s - 1] * 0.95;
+  std::printf("\n1 -> 4 -> 16 shards at %zu clients: %s\n",
+              kClientCounts[sizeof(kClientCounts) / sizeof(kClientCounts[0]) -
+                            1],
+              monotonic ? "throughput scales (within noise)"
+                        : "THROUGHPUT DOES NOT SCALE");
+
+  JsonReport report;
+  report.set_meta("bench", std::string("scale_shards"));
+  report.set_meta("replicas", 3.0);
+  report.set_meta("keys", 1024.0);
+  report.set_meta("zipf_theta", 0.99);
+  report.set_meta("read_ratio", 0.9);
+  report.set_meta("seed", static_cast<double>(args.seed));
+  report.set_meta("monotonic", monotonic ? std::string("yes")
+                                         : std::string("no"));
+  report.add_table("throughput_per_sec", table);
+  if (!report.write_file(args.json_path)) return 2;
+  std::printf("results written to %s\n", args.json_path.c_str());
+
+  return monotonic ? 0 : 1;
+}

@@ -55,6 +55,13 @@ int main(int argc, char** argv) {
                    std::to_string(result.peak_log_entries), state});
   }
   table.print(std::cout, args.csv);
+  if (!args.json_path.empty()) {
+    JsonReport report;
+    report.set_meta("bench", std::string("tab_overhead"));
+    report.set_meta("seed", static_cast<double>(args.seed));
+    report.add_table("results", table);
+    report.write_file(args.json_path);
+  }
 
   // Message-size overhead: a full PREPARE message for a 3-replica G-Counter
   // versus the raw payload — the difference is the coordination overhead the

@@ -34,15 +34,14 @@ class UrlClient final : public net::Endpoint {
   void on_start() override { submit(); }
 
   void on_message(NodeId, const Bytes& data) override {
-    Decoder dec(data);
-    if (dec.get_u8() != kv::kEnvelopeTag) return;
-    const std::string key = dec.get_string();
-    const Bytes inner = dec.get_bytes();
-    Decoder inner_dec(inner);
+    kv::EnvelopeView env;
+    if (!kv::peek_envelope(data, env)) return;
+    Decoder inner_dec(env.inner, env.inner_size);
     if (static_cast<rsm::ClientTag>(inner_dec.get_u8()) ==
         rsm::ClientTag::kQueryDone) {
       const auto done = rsm::QueryDone::decode(inner_dec);
       Decoder result(done.result);
+      const std::string key(env.key);
       read_results[key] = result.get_u64();
       std::printf("  read %-12s -> %llu (via replica %u)\n", key.c_str(),
                   static_cast<unsigned long long>(read_results[key]),
@@ -85,7 +84,9 @@ int main() {
   for (std::size_t i = 0; i < replicas.size(); ++i) {
     sim.add_node([&replicas](net::Context& ctx) {
       return std::make_unique<Store>(ctx, replicas, core::ProtocolConfig{},
-                                     core::gcounter_ops());
+                                     core::gcounter_ops(),
+                                     lsr::lattice::GCounter{},
+                                     kv::ShardOptions{/*shards=*/4});
     });
   }
 

@@ -1,12 +1,65 @@
 #include "bench/report.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "common/assert.h"
+#include "common/logging.h"
 
 namespace lsr::bench {
+
+namespace {
+
+// A cell that fully parses as a finite double and uses plain decimal
+// notation is emitted as a JSON number. "nan"/"inf" and hex floats parse via
+// strtod but are not valid JSON number tokens, so they stay quoted.
+bool is_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (const char c : cell) {
+    const bool decimal = (c >= '0' && c <= '9') || c == '+' || c == '-' ||
+                         c == '.' || c == 'e' || c == 'E';
+    if (!decimal) return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size() && std::isfinite(value);
+}
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_json_cell(std::ostream& out, const std::string& cell) {
+  if (is_numeric(cell))
+    out << cell;
+  else
+    write_json_string(out, cell);
+}
+
+}  // namespace
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
@@ -47,6 +100,64 @@ void Table::print(std::ostream& out, bool csv) const {
   for (const auto w : widths) total += w + 2;
   out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
   for (const auto& row : rows_) print_row(row);
+}
+
+void JsonReport::set_meta(const std::string& key, const std::string& value) {
+  std::ostringstream rendered;
+  write_json_string(rendered, value);
+  meta_.emplace_back(key, rendered.str());
+}
+
+void JsonReport::set_meta(const std::string& key, double value) {
+  char buf[64];
+  if (std::isfinite(value))
+    std::snprintf(buf, sizeof buf, "%.12g", value);
+  else
+    std::snprintf(buf, sizeof buf, "null");
+  meta_.emplace_back(key, buf);
+}
+
+void JsonReport::add_table(const std::string& name, const Table& table) {
+  tables_.emplace_back(name, table);
+}
+
+void JsonReport::write(std::ostream& out) const {
+  out << "{\n  \"meta\": {";
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    out << (i ? ", " : "");
+    write_json_string(out, meta_[i].first);
+    out << ": " << meta_[i].second;
+  }
+  out << "},\n  \"tables\": {";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const auto& [name, table] = tables_[t];
+    out << (t ? ",\n    " : "\n    ");
+    write_json_string(out, name);
+    out << ": [";
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+      const auto& row = table.rows()[r];
+      out << (r ? ",\n      " : "\n      ") << "{";
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        out << (c ? ", " : "");
+        write_json_string(out, table.headers()[c]);
+        out << ": ";
+        write_json_cell(out, row[c]);
+      }
+      out << "}";
+    }
+    out << (table.rows().empty() ? "]" : "\n    ]");
+  }
+  out << (tables_.empty() ? "}" : "\n  }") << "\n}\n";
+}
+
+bool JsonReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    LSR_LOG_WARN("cannot write JSON report to %s", path.c_str());
+    return false;
+  }
+  write(out);
+  return out.good();
 }
 
 std::string fmt_double(double value, int precision) {
@@ -94,6 +205,8 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       args.csv = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
     }
   }
   return args;

@@ -1,9 +1,11 @@
-// ASCII table / CSV reporting and shared CLI flags for the bench binaries.
+// ASCII table / CSV / JSON reporting and shared CLI flags for the bench
+// binaries.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -19,9 +21,33 @@ class Table {
   // Aligned ASCII (csv == false) or comma-separated (csv == true).
   void print(std::ostream& out, bool csv = false) const;
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+// Collects tables (and scalar metadata) of one bench run and writes them as
+// a JSON document, so every PR can record its perf trajectory as
+// BENCH_*.json files. Rows become objects keyed by header; purely numeric
+// cells are emitted as JSON numbers.
+class JsonReport {
+ public:
+  void set_meta(const std::string& key, const std::string& value);
+  void set_meta(const std::string& key, double value);
+  void add_table(const std::string& name, const Table& table);
+
+  // {"meta": {...}, "tables": {"<name>": [{header: cell, ...}, ...]}}
+  void write(std::ostream& out) const;
+  // Returns false (and logs) when the file cannot be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  // Meta values are pre-rendered JSON fragments (quoted string or number).
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, Table>> tables_;
 };
 
 std::string fmt_double(double value, int precision = 1);
@@ -30,11 +56,13 @@ std::string fmt_si(double value);
 std::string fmt_ms(TimeNs ns, int precision = 2);
 std::string fmt_percent(double fraction, int precision = 1);
 
-// Common CLI: --full (longer runs), --csv, --seed N.
+// Common CLI: --full (longer runs), --csv, --seed N, --json <path>.
 struct BenchArgs {
   bool full = false;
   bool csv = false;
   std::uint64_t seed = 1;
+  // When non-empty, the binary writes its tables as JSON to this path.
+  std::string json_path;
   // Measurement durations derived from `full`.
   TimeNs warmup() const;
   TimeNs measure() const;

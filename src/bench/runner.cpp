@@ -1,11 +1,13 @@
 #include "bench/runner.h"
 
 #include <memory>
+#include <string>
 
 #include "bench/workload.h"
 #include "common/assert.h"
 #include "core/ops.h"
 #include "core/replica.h"
+#include "kv/sharded_store.h"
 #include "lattice/gcounter.h"
 #include "sim/simulator.h"
 
@@ -151,6 +153,63 @@ RunResult run_workload(const RunConfig& config) {
           std::max(result.peak_log_entries, stats.peak_log_entries);
     }
   }
+  return result;
+}
+
+RunResult run_kv_workload(const KvRunConfig& config) {
+  LSR_EXPECTS(config.replicas >= 1);
+  LSR_EXPECTS(config.keys >= 1);
+  using lattice::GCounter;
+  using Store = kv::ShardedStore<GCounter>;
+
+  sim::NetworkConfig net = config.net;
+  net.lossy_node_limit = static_cast<NodeId>(config.replicas);
+  sim::Simulator sim(config.seed, net, config.node);
+
+  const TimeNs end = config.warmup + config.measure;
+  Collector collector(config.warmup, end);
+
+  std::vector<NodeId> replica_ids(config.replicas);
+  for (std::size_t i = 0; i < config.replicas; ++i)
+    replica_ids[i] = static_cast<NodeId>(i);
+
+  const kv::ShardOptions shard_options{config.shards};
+  for (std::size_t i = 0; i < config.replicas; ++i) {
+    sim.add_node([&replica_ids, &config, &shard_options](net::Context& ctx) {
+      return std::make_unique<Store>(ctx, replica_ids, config.protocol,
+                                     core::gcounter_ops(), GCounter{},
+                                     shard_options);
+    });
+  }
+
+  // Shared keyspace + popularity distribution (clients draw from it with
+  // their own rng streams).
+  auto keys = std::make_unique<std::vector<std::string>>();
+  keys->reserve(config.keys);
+  for (std::uint64_t k = 0; k < config.keys; ++k)
+    keys->push_back("key" + std::to_string(k));
+  auto zipf = config.zipf_theta > 0.0
+                  ? std::make_unique<Zipfian>(config.keys, config.zipf_theta)
+                  : nullptr;
+
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    const NodeId target = replica_ids[i % config.replicas];
+    sim.add_node([&, target, i](net::Context& ctx) {
+      return std::make_unique<KvWorkloadClient>(
+          ctx, target, keys.get(), zipf.get(), config.read_ratio,
+          config.seed * 7919 + i, &collector);
+    });
+  }
+
+  sim.run_until(end);
+
+  RunResult result;
+  result.throughput_per_sec = collector.throughput_per_sec();
+  result.completed = collector.completed();
+  result.read_latency = collector.read_latency();
+  result.update_latency = collector.update_latency();
+  result.messages_sent = sim.messages_sent();
+  result.bytes_sent = sim.bytes_sent();
   return result;
 }
 

@@ -92,4 +92,26 @@ struct RunResult {
 
 RunResult run_workload(const RunConfig& config);
 
+// Multi-key workload over the sharded KV store (kv::ShardedStore): a
+// Zipfian-ranked keyspace, closed-loop clients spread over the replicas, one
+// CRDT protocol instance per key, `shards` execution shards per node.
+struct KvRunConfig {
+  std::size_t replicas = 3;
+  std::size_t clients = 64;
+  std::uint32_t shards = 4;     // power of two
+  std::uint64_t keys = 1024;    // keyspace size
+  double zipf_theta = 0.99;     // 0 = uniform
+  double read_ratio = 0.9;
+
+  TimeNs warmup = 500 * kMillisecond;
+  TimeNs measure = 2 * kSecond;
+  std::uint64_t seed = 1;
+
+  core::ProtocolConfig protocol;
+  sim::NetworkConfig net;  // lossy_node_limit is set by the runner
+  sim::NodeConfig node;
+};
+
+RunResult run_kv_workload(const KvRunConfig& config);
+
 }  // namespace lsr::bench

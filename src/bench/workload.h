@@ -5,14 +5,18 @@
 // read/update mix is Bernoulli-sampled per request.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "kv/shard.h"
 #include "net/context.h"
 #include "rsm/client_msg.h"
 
@@ -199,6 +203,140 @@ class CounterClient final : public net::Endpoint {
   std::uint64_t next_counter_ = 0;
   std::uint64_t completed_ = 0;
   Bytes last_read_value_;
+};
+
+// Zipfian key popularity (Gray et al. / YCSB formulation): item 0 is the
+// hottest, theta in [0, 1) controls the skew (0 = uniform, 0.99 = the YCSB
+// default where a few percent of keys absorb most of the traffic). Keys are
+// routed onto shards by hash, so hot keys spread across shards regardless of
+// their index.
+class Zipfian {
+ public:
+  explicit Zipfian(std::uint64_t items, double theta = 0.99)
+      : items_(items), theta_(theta) {
+    LSR_EXPECTS(items >= 1);
+    LSR_EXPECTS(theta >= 0.0 && theta < 1.0);
+    zetan_ = zeta(items_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t next(Rng& rng) const {
+    if (items_ == 1) return 0;
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= items_ ? items_ - 1 : rank;
+  }
+
+  std::uint64_t items() const { return items_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  std::uint64_t items_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+// Closed-loop multi-key client for the sharded KV store: each request picks
+// a key from a shared keyspace (Zipfian-ranked), wraps the command in a
+// shard envelope and waits for the enveloped reply. The keyspace vector is
+// owned by the runner and shared across clients.
+class KvWorkloadClient final : public net::Endpoint {
+ public:
+  KvWorkloadClient(net::Context& ctx, NodeId replica,
+                   const std::vector<std::string>* keys, const Zipfian* zipf,
+                   double read_ratio, std::uint64_t seed,
+                   Collector* collector, TimeNs stop_time = 0)
+      : ctx_(ctx),
+        replica_(replica),
+        keys_(keys),
+        zipf_(zipf),
+        read_ratio_(read_ratio),
+        rng_(seed),
+        collector_(collector),
+        stop_time_(stop_time) {
+    LSR_EXPECTS(keys_ != nullptr && !keys_->empty());
+    LSR_EXPECTS(zipf_ == nullptr || zipf_->items() <= keys_->size());
+  }
+
+  void on_start() override { submit_next(); }
+
+  void on_message(NodeId from, const Bytes& data) override {
+    (void)from;
+    kv::EnvelopeView env;
+    if (!kv::peek_envelope(data, env)) return;
+    Decoder dec(env.inner, env.inner_size);
+    std::uint8_t tag = 0;
+    RequestId request = 0;
+    try {
+      tag = dec.get_u8();
+      if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kUpdateDone)) {
+        request = rsm::UpdateDone::decode(dec).request;
+      } else if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kQueryDone)) {
+        request = rsm::QueryDone::decode(dec).request;
+      } else {
+        return;  // not for us
+      }
+    } catch (const WireError&) {
+      return;
+    }
+    if (request != inflight_request_) return;  // stale
+    if (collector_ != nullptr)
+      collector_->record(inflight_is_read_, inflight_start_, ctx_.now());
+    ++completed_;
+    submit_next();
+  }
+
+  std::uint64_t completed() const { return completed_; }
+
+ private:
+  void submit_next() {
+    if (stop_time_ > 0 && ctx_.now() >= stop_time_) return;
+    inflight_is_read_ = rng_.next_bool(read_ratio_);
+    inflight_start_ = ctx_.now();
+    inflight_request_ = make_request_id(ctx_.self(), next_counter_++);
+    const std::uint64_t rank =
+        zipf_ != nullptr ? zipf_->next(rng_) : rng_.next_below(keys_->size());
+    const std::string& key = (*keys_)[rank];
+    Encoder inner;
+    if (inflight_is_read_) {
+      rsm::ClientQuery{inflight_request_, 0, {}}.encode(inner);
+    } else {
+      Encoder args;
+      args.put_u64(1);
+      rsm::ClientUpdate{inflight_request_, 0, std::move(args).take()}.encode(
+          inner);
+    }
+    ctx_.send(replica_, kv::make_envelope(key, inner.bytes()));
+  }
+
+  net::Context& ctx_;
+  NodeId replica_;
+  const std::vector<std::string>* keys_;
+  const Zipfian* zipf_;
+  double read_ratio_;
+  Rng rng_;
+  Collector* collector_;
+  TimeNs stop_time_;
+  RequestId inflight_request_ = 0;
+  bool inflight_is_read_ = false;
+  TimeNs inflight_start_ = 0;
+  std::uint64_t next_counter_ = 0;
+  std::uint64_t completed_ = 0;
 };
 
 }  // namespace lsr::bench

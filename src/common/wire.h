@@ -42,6 +42,10 @@ class Encoder {
 
   void put_bytes(const Bytes& b) { put_bytes(b.data(), b.size()); }
 
+  // Appends raw bytes with no length prefix (trailing payloads that extend to
+  // the end of the buffer, e.g. the inner message of a kv shard envelope).
+  void put_raw(const Bytes& b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
   void put_string(std::string_view s) {
     put_bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
   }

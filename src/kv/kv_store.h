@@ -1,158 +1,14 @@
-// Key-value layer: a keyspace of independent linearizable CRDT RSMs — the
-// deployment granularity of the paper ("linearizable access on CRDT data on
-// a fine-granular scale", as in Scalaris where the protocol runs per key).
-//
-// Every key gets its own acceptor/proposer pair (protocol state: the CRDT
-// payload + one round — still no log), multiplexed over a single endpoint
-// per node. Messages are wrapped in a key envelope; per-key instances are
-// created on demand on first touch.
+// Compatibility header: the flat per-key KvStore grew into the sharded
+// runtime in sharded_store.h. KvStore<L> is ShardedStore<L>; pass
+// ShardOptions to pick the shard count (default 4, power of two).
 #pragma once
 
-#include <map>
-#include <memory>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "common/logging.h"
-#include "common/types.h"
-#include "common/wire.h"
-#include "core/messages.h"
-#include "core/replica.h"
-#include "net/context.h"
-#include "rsm/client_msg.h"
+#include "kv/shard.h"
+#include "kv/sharded_store.h"
 
 namespace lsr::kv {
 
-constexpr std::uint8_t kEnvelopeTag = 0xE0;
-
-// Wraps an inner (client or protocol) message with its key.
-inline Bytes make_envelope(const std::string& key, const Bytes& inner) {
-  Encoder enc;
-  enc.put_u8(kEnvelopeTag);
-  enc.put_string(key);
-  enc.put_bytes(inner);
-  return std::move(enc).take();
-}
-
 template <lattice::SerializableLattice L>
-class KvStore final : public net::Endpoint {
- public:
-  KvStore(net::Context& ctx, std::vector<NodeId> replicas,
-          core::ProtocolConfig config, core::Ops<L> ops, L initial = L{})
-      : ctx_(ctx),
-        replicas_(std::move(replicas)),
-        config_(config),
-        ops_(std::move(ops)),
-        initial_(std::move(initial)) {}
-
-  void on_start() override {
-    for (auto& [key, instance] : instances_) instance->replica.on_start();
-  }
-
-  void on_recover() override {
-    for (auto& [key, instance] : instances_) instance->replica.on_recover();
-  }
-
-  int lane_count() const override { return 2; }
-
-  int lane_of(const Bytes& data) const override {
-    // Peek through the envelope at the inner tag. Malformed input lands on
-    // the proposer lane and is dropped during handling.
-    try {
-      Decoder dec(data);
-      if (dec.get_u8() != kEnvelopeTag) return core::kProposerLane;
-      (void)dec.get_string();
-      const Bytes inner = dec.get_bytes();
-      if (inner.empty()) return core::kProposerLane;
-      return core::is_acceptor_bound(inner.front()) ? core::kAcceptorLane
-                                                    : core::kProposerLane;
-    } catch (const WireError&) {
-      return core::kProposerLane;
-    }
-  }
-
-  void on_message(NodeId from, const Bytes& data) override {
-    try {
-      Decoder dec(data);
-      if (dec.get_u8() != kEnvelopeTag) {
-        LSR_LOG_WARN("kv %u: non-envelope message from %u", ctx_.self(), from);
-        return;
-      }
-      const std::string key = dec.get_string();
-      const Bytes inner = dec.get_bytes();
-      dec.expect_done();
-      instance(key).replica.on_message(from, inner);
-    } catch (const WireError& error) {
-      LSR_LOG_WARN("kv %u: malformed envelope from %u: %s", ctx_.self(), from,
-                   error.what());
-    }
-  }
-
-  // Number of keys this node currently hosts.
-  std::size_t key_count() const { return instances_.size(); }
-
-  bool has_key(const std::string& key) const {
-    return instances_.count(key) > 0;
-  }
-
-  // Access to a key's replica (creates the instance if absent).
-  core::Replica<L>& replica_for(const std::string& key) {
-    return instance(key).replica;
-  }
-
- private:
-  // Per-key context: prefixes every outgoing message with the key so the
-  // peer's KvStore can demultiplex, and shares the node's clock and timers.
-  class KeyedContext final : public net::Context {
-   public:
-    KeyedContext(net::Context& inner, std::string key)
-        : inner_(inner), key_(std::move(key)) {}
-
-    NodeId self() const override { return inner_.self(); }
-    TimeNs now() const override { return inner_.now(); }
-    void send(NodeId dst, Bytes data) override {
-      inner_.send(dst, make_envelope(key_, data));
-    }
-    net::TimerId set_timer(TimeNs delay, int lane,
-                           std::function<void()> fn) override {
-      return inner_.set_timer(delay, lane, std::move(fn));
-    }
-    void cancel_timer(net::TimerId id) override { inner_.cancel_timer(id); }
-    void consume(TimeNs cost) override { inner_.consume(cost); }
-
-   private:
-    net::Context& inner_;
-    std::string key_;
-  };
-
-  struct Instance {
-    Instance(net::Context& outer, const std::string& key,
-             const std::vector<NodeId>& replicas,
-             const core::ProtocolConfig& config, const core::Ops<L>& ops,
-             const L& initial)
-        : context(outer, key),
-          replica(context, replicas, config, ops, initial) {}
-
-    KeyedContext context;
-    core::Replica<L> replica;
-  };
-
-  Instance& instance(const std::string& key) {
-    const auto it = instances_.find(key);
-    if (it != instances_.end()) return *it->second;
-    auto created = std::make_unique<Instance>(ctx_, key, replicas_, config_,
-                                              ops_, initial_);
-    created->replica.on_start();
-    return *instances_.emplace(key, std::move(created)).first->second;
-  }
-
-  net::Context& ctx_;
-  std::vector<NodeId> replicas_;
-  core::ProtocolConfig config_;
-  core::Ops<L> ops_;
-  L initial_;
-  std::map<std::string, std::unique_ptr<Instance>> instances_;
-};
+using KvStore = ShardedStore<L>;
 
 }  // namespace lsr::kv

@@ -1,0 +1,116 @@
+// Key-space sharding primitives for the KV layer.
+//
+// The keyspace is partitioned into a fixed power-of-two number of shards by
+// a 32-bit FNV-1a hash of the key. The hash travels in every envelope, so a
+// receiver routes a message to its shard (and execution lane) by masking the
+// hash — without parsing the key, and independently of the sender's shard
+// count. Every replica masks the same hash, so a key lives in the same shard
+// index on every replica.
+//
+// Envelope layout (compact, decoded once per message):
+//   u8      kEnvelopeTag
+//   varint  fnv1a(key)           -- shard routing hash
+//   varint  key length, key bytes
+//   ...     inner message        -- remainder of the buffer, no length prefix
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+#include "common/wire.h"
+
+namespace lsr::kv {
+
+constexpr std::uint8_t kEnvelopeTag = 0xE1;
+
+using ShardId = std::uint32_t;
+
+constexpr std::uint32_t fnv1a(std::string_view key) noexcept {
+  std::uint32_t hash = 2166136261u;
+  for (const char c : key) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+// Maps a key hash onto one of `shards` shards; `shards` must be a power of
+// two.
+constexpr ShardId shard_of_hash(std::uint32_t hash, std::uint32_t shards) noexcept {
+  return hash & (shards - 1);
+}
+
+constexpr ShardId shard_of_key(std::string_view key, std::uint32_t shards) noexcept {
+  return shard_of_hash(fnv1a(key), shards);
+}
+
+// Non-owning view of a decoded envelope; `key` and `inner` point into the
+// original buffer.
+struct EnvelopeView {
+  std::uint32_t key_hash = 0;
+  std::string_view key;
+  const std::uint8_t* inner = nullptr;
+  std::size_t inner_size = 0;
+
+  std::uint8_t inner_tag() const noexcept {
+    return inner_size > 0 ? inner[0] : 0;
+  }
+};
+
+// Allocation-free envelope peek: parses the header in place, never throws,
+// never copies. Returns false on anything malformed (wrong tag, truncated
+// varint, key length past the end). Safe on arbitrary remote input — this is
+// what Endpoint::lane_of runs on every incoming message.
+inline bool peek_envelope(const std::uint8_t* data, std::size_t size,
+                          EnvelopeView& out) noexcept {
+  std::size_t pos = 0;
+  const auto get_varint = [&](std::uint64_t& value) noexcept {
+    value = 0;
+    int shift = 0;
+    while (pos < size) {
+      const std::uint8_t byte = data[pos++];
+      if (shift == 63 && (byte & 0x7F) > 1) return false;
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return true;
+      shift += 7;
+      if (shift > 63) return false;
+    }
+    return false;
+  };
+  if (size == 0 || data[0] != kEnvelopeTag) return false;
+  pos = 1;
+  std::uint64_t hash = 0;
+  std::uint64_t key_len = 0;
+  if (!get_varint(hash) || hash > 0xFFFFFFFFull) return false;
+  if (!get_varint(key_len) || key_len > size - pos) return false;
+  out.key_hash = static_cast<std::uint32_t>(hash);
+  out.key = std::string_view(reinterpret_cast<const char*>(data + pos),
+                             static_cast<std::size_t>(key_len));
+  pos += static_cast<std::size_t>(key_len);
+  out.inner = data + pos;
+  out.inner_size = size - pos;
+  return true;
+}
+
+inline bool peek_envelope(const Bytes& data, EnvelopeView& out) noexcept {
+  return peek_envelope(data.data(), data.size(), out);
+}
+
+// Wraps an inner (client or protocol) message with its routing header. The
+// hash overload lets per-key send paths reuse a precomputed hash.
+inline Bytes make_envelope(std::uint32_t key_hash, std::string_view key,
+                           const Bytes& inner) {
+  Encoder enc;
+  enc.put_u8(kEnvelopeTag);
+  enc.put_u32(key_hash);
+  enc.put_string(key);
+  enc.put_raw(inner);
+  return std::move(enc).take();
+}
+
+inline Bytes make_envelope(std::string_view key, const Bytes& inner) {
+  return make_envelope(fnv1a(key), key, inner);
+}
+
+}  // namespace lsr::kv

@@ -1,0 +1,230 @@
+// Sharded key-value runtime: a keyspace of independent linearizable CRDT
+// RSMs — the deployment granularity of the paper ("linearizable access on
+// CRDT data on a fine-granular scale", as in Scalaris where the protocol
+// runs per key) — partitioned into a fixed power-of-two number of shards.
+//
+// Two-level structure:
+//   shard  = unit of parallelism. Each shard owns the protocol instances of
+//            the keys that hash into it and executes on its own pair of
+//            acceptor/proposer lanes (lanes 2s and 2s+1). Different shards
+//            never share mutable state, so hosts may run them concurrently:
+//            the simulator gives each lane its own M/G/1 queue, the threaded
+//            InprocCluster runs one worker thread per shard (executor group).
+//   key    = unit of replication. Every key gets its own acceptor/proposer
+//            pair (protocol state: the CRDT payload + one round — still no
+//            log), created on demand on first touch.
+//
+// Messages are wrapped in a compact shard envelope (see shard.h) carrying
+// the key's FNV-1a hash; routing to a shard masks the hash and never parses
+// the key, and the envelope is decoded exactly once per message.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+#include "common/wire.h"
+#include "core/messages.h"
+#include "core/replica.h"
+#include "kv/shard.h"
+#include "net/context.h"
+#include "rsm/client_msg.h"
+
+namespace lsr::kv {
+
+struct ShardOptions {
+  std::uint32_t shards = 4;  // must be a power of two
+
+  constexpr bool valid() const {
+    return shards > 0 && (shards & (shards - 1)) == 0;
+  }
+};
+
+template <lattice::SerializableLattice L>
+class ShardedStore final : public net::Endpoint {
+ public:
+  ShardedStore(net::Context& ctx, std::vector<NodeId> replicas,
+               core::ProtocolConfig config, core::Ops<L> ops, L initial = L{},
+               ShardOptions options = {})
+      : ctx_(ctx),
+        replicas_(std::move(replicas)),
+        config_(config),
+        ops_(std::move(ops)),
+        initial_(std::move(initial)),
+        shards_(options.shards) {
+    LSR_EXPECTS(options.valid());
+  }
+
+  void on_start() override {
+    for (auto& shard : shards_)
+      for (auto& [key, instance] : shard.instances) instance->replica.on_start();
+  }
+
+  // Crash recovery fans out to every per-key instance in every shard.
+  void on_recover() override {
+    for (auto& shard : shards_)
+      for (auto& [key, instance] : shard.instances)
+        instance->replica.on_recover();
+  }
+
+  int lane_count() const override { return 2 * static_cast<int>(shards_.size()); }
+
+  // Lanes 2s / 2s+1 are shard s's acceptor / proposer lane; the shard is the
+  // executor group, so hosts with real threads keep both roles of one shard
+  // on one serial executor while different shards run in parallel.
+  int executor_count() const override { return static_cast<int>(shards_.size()); }
+  int executor_of(int lane) const override { return lane / 2; }
+
+  int lane_of(const Bytes& data) const override {
+    // Allocation-free peek (never throws, never copies): mask the envelope's
+    // key hash onto a shard, classify the inner tag onto that shard's
+    // acceptor or proposer lane. Malformed input lands on lane 0's proposer
+    // lane and is dropped during handling.
+    EnvelopeView env;
+    if (!peek_envelope(data, env)) return core::kProposerLane;
+    const int base = 2 * static_cast<int>(shard_of_hash(env.key_hash, shard_count()));
+    return base + (core::is_acceptor_bound(env.inner_tag())
+                       ? core::kAcceptorLane
+                       : core::kProposerLane);
+  }
+
+  void on_message(NodeId from, const Bytes& data) override {
+    EnvelopeView env;
+    if (!peek_envelope(data, env)) {
+      LSR_LOG_WARN("kv %u: malformed envelope from %u (%zu bytes)",
+                   ctx_.self(), from, data.size());
+      return;
+    }
+    if (env.key_hash != fnv1a(env.key)) {
+      // A wrong hash would route the key to different shards on different
+      // replicas; peers never send this, so drop it as corruption.
+      LSR_LOG_WARN("kv %u: envelope hash mismatch for key '%.*s' from %u",
+                   ctx_.self(), static_cast<int>(env.key.size()),
+                   env.key.data(), from);
+      return;
+    }
+    try {
+      Bytes inner(env.inner, env.inner + env.inner_size);
+      instance(env.key_hash, env.key).replica.on_message(from, inner);
+    } catch (const WireError& error) {
+      LSR_LOG_WARN("kv %u: malformed inner message from %u: %s", ctx_.self(),
+                   from, error.what());
+    }
+  }
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  // Shard a key routes to (identical on every replica).
+  ShardId shard_of(std::string_view key) const {
+    return shard_of_hash(fnv1a(key), shard_count());
+  }
+
+  // Number of keys this node currently hosts.
+  std::size_t key_count() const {
+    std::size_t n = 0;
+    for (const auto& shard : shards_) n += shard.instances.size();
+    return n;
+  }
+
+  std::size_t shard_key_count(ShardId shard) const {
+    return shards_[shard].instances.size();
+  }
+
+  bool has_key(std::string_view key) const {
+    const Shard& shard = shards_[shard_of(key)];
+    return shard.instances.find(key) != shard.instances.end();
+  }
+
+  // Access to a key's replica (creates the instance if absent).
+  core::Replica<L>& replica_for(std::string_view key) {
+    return instance(fnv1a(key), key).replica;
+  }
+
+ private:
+  // Per-key context: prefixes every outgoing message with the key's shard
+  // envelope (hash precomputed once) and translates the instance-relative
+  // lane of timers onto the shard's lane pair.
+  class KeyedContext final : public net::Context {
+   public:
+    KeyedContext(net::Context& inner, std::string key, std::uint32_t key_hash,
+                 int base_lane)
+        : inner_(inner),
+          key_(std::move(key)),
+          key_hash_(key_hash),
+          base_lane_(base_lane) {}
+
+    NodeId self() const override { return inner_.self(); }
+    TimeNs now() const override { return inner_.now(); }
+    void send(NodeId dst, Bytes data) override {
+      inner_.send(dst, make_envelope(key_hash_, key_, data));
+    }
+    net::TimerId set_timer(TimeNs delay, int lane,
+                           std::function<void()> fn) override {
+      return inner_.set_timer(delay, base_lane_ + lane, std::move(fn));
+    }
+    void cancel_timer(net::TimerId id) override { inner_.cancel_timer(id); }
+    void consume(TimeNs cost) override { inner_.consume(cost); }
+
+   private:
+    net::Context& inner_;
+    std::string key_;
+    std::uint32_t key_hash_;
+    int base_lane_;
+  };
+
+  struct Instance {
+    Instance(net::Context& outer, std::string_view key, std::uint32_t key_hash,
+             int base_lane, const std::vector<NodeId>& replicas,
+             const core::ProtocolConfig& config, const core::Ops<L>& ops,
+             const L& initial)
+        : context(outer, std::string(key), key_hash, base_lane),
+          replica(context, replicas, config, ops, initial) {}
+
+    KeyedContext context;
+    core::Replica<L> replica;
+  };
+
+  // Transparent lookup so incoming messages probe the map with the
+  // string_view from the envelope — no key copy on the hot path.
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view key) const noexcept {
+      return std::hash<std::string_view>{}(key);
+    }
+  };
+
+  struct Shard {
+    std::unordered_map<std::string, std::unique_ptr<Instance>, KeyHash,
+                       std::equal_to<>>
+        instances;
+  };
+
+  Instance& instance(std::uint32_t key_hash, std::string_view key) {
+    const ShardId shard_id = shard_of_hash(key_hash, shard_count());
+    Shard& shard = shards_[shard_id];
+    const auto it = shard.instances.find(key);
+    if (it != shard.instances.end()) return *it->second;
+    auto created = std::make_unique<Instance>(
+        ctx_, key, key_hash, 2 * static_cast<int>(shard_id), replicas_,
+        config_, ops_, initial_);
+    created->replica.on_start();
+    return *shard.instances.emplace(std::string(key), std::move(created))
+                .first->second;
+  }
+
+  net::Context& ctx_;
+  std::vector<NodeId> replicas_;
+  core::ProtocolConfig config_;
+  core::Ops<L> ops_;
+  L initial_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace lsr::kv

@@ -57,13 +57,30 @@ class Endpoint {
 
   virtual void on_message(NodeId from, const Bytes& data) = 0;
 
-  // Classifies a raw message into an execution lane; must not mutate state.
+  // Classifies a raw message into an execution lane. Must not mutate state
+  // and must be safe to call from any thread concurrently with the
+  // endpoint's handlers: threaded hosts (InprocCluster) invoke it on the
+  // *sender's* thread to pick the destination mailbox. Implement it as a
+  // pure function of the bytes (and immutable configuration).
   virtual int lane_of(const Bytes& data) const {
     (void)data;
     return 0;
   }
 
   virtual int lane_count() const { return 1; }
+
+  // Lanes are grouped into executors: lanes in the same group are serialized
+  // with respect to each other, different groups may run genuinely in
+  // parallel (the threaded InprocCluster runs one worker thread per group;
+  // the simulator needs no grouping because virtual-time lanes never race).
+  // The sharded KV store maps each shard's acceptor/proposer lane pair onto
+  // one executor. Default: every lane in one group (single-threaded
+  // endpoint, safe for endpoints with cross-lane shared state).
+  virtual int executor_count() const { return 1; }
+  virtual int executor_of(int lane) const {
+    (void)lane;
+    return 0;
+  }
 };
 
 }  // namespace lsr::net

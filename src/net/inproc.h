@@ -1,19 +1,18 @@
-// Real-time, threaded in-process cluster: each node runs its endpoint on its
-// own thread with a mutex-protected mailbox and a timer queue. Used by the
-// examples to run a live replicated service inside one OS process; the
-// protocol code is identical to what runs on the deterministic simulator
-// because both implement net::Context.
+// Real-time, threaded in-process cluster: each node runs one worker thread
+// per *executor group* of its endpoint (Endpoint::executor_count), each with
+// a mutex-protected mailbox and timer queue. Single-group endpoints (the
+// plain Replica, clients, the log baselines) behave exactly like the old
+// one-thread-per-node model; the sharded KV store reports one group per
+// shard, so its shards execute genuinely in parallel on a multi-core host.
+// Used by the examples to run a live replicated service inside one OS
+// process; the protocol code is identical to what runs on the deterministic
+// simulator because both implement net::Context.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/types.h"
@@ -34,7 +33,9 @@ class InprocCluster {
   // Must be called before start().
   NodeId add_node(const EndpointFactory& factory);
 
-  // Spawns one thread per node and invokes on_start on each.
+  // Spawns the worker threads of every node and invokes on_start on each
+  // endpoint (from its executor-0 thread, before other executors process
+  // messages).
   void start();
 
   // Stops all node threads (drains nothing; pending messages are dropped).
@@ -46,16 +47,18 @@ class InprocCluster {
     return static_cast<T&>(endpoint(node));
   }
 
-  // Pauses a node (its thread discards incoming messages and timers do not
+  // Pauses a node (its threads discard incoming messages and timers do not
   // fire) — a lightweight stand-in for a crash in the crash-recovery model:
-  // endpoint state is preserved. Resume calls on_recover.
+  // endpoint state is preserved. Resume calls on_recover once, from the
+  // node's executor-0 thread, before any executor resumes message handling.
   void set_paused(NodeId node, bool paused);
 
  private:
+  struct Executor;
   struct Node;
   class InprocContext;
 
-  void node_loop(Node& node);
+  void executor_loop(Node& node, Executor& executor);
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<bool> running_{false};

@@ -55,7 +55,10 @@ NodeId Simulator::add_node(const EndpointFactory& factory) {
   events_.push(0, [this, id] {
     if (!nodes_[id].down) {
       enqueue_lane(id, 0,
-                   QueueItem{.callback = [this, id] { nodes_[id].endpoint->on_start(); }});
+                   QueueItem{.data = {},
+                             .callback = [this, id] {
+                               nodes_[id].endpoint->on_start();
+                             }});
     }
   });
   return id;
@@ -106,7 +109,7 @@ void Simulator::set_down(NodeId node_id, bool down) {
       lane.busy = false;
     }
   } else {
-    enqueue_lane(node_id, 0, QueueItem{.callback = [this, node_id] {
+    enqueue_lane(node_id, 0, QueueItem{.data = {}, .callback = [this, node_id] {
                    nodes_[node_id].endpoint->on_recover();
                  }});
   }
@@ -168,7 +171,10 @@ void Simulator::deliver(NodeId dst, NodeId from, Bytes data) {
   const int lane = node.endpoint->lane_of(data);
   LSR_ASSERT(lane >= 0 && static_cast<std::size_t>(lane) < node.lanes.size());
   enqueue_lane(dst, lane,
-               QueueItem{.from = from, .data = std::move(data), .is_message = true});
+               QueueItem{.from = from,
+                         .data = std::move(data),
+                         .callback = nullptr,
+                         .is_message = true});
 }
 
 void Simulator::enqueue_lane(NodeId node_id, int lane_index, QueueItem item) {
@@ -240,7 +246,7 @@ net::TimerId Simulator::set_timer(NodeId node_id, TimeNs delay, int lane,
     if (live_timers_.erase(id) == 0) return;  // cancelled
     Node& node = nodes_[node_id];
     if (node.down || node.generation != generation) return;  // lost in crash
-    enqueue_lane(node_id, lane, QueueItem{.callback = std::move(fn)});
+    enqueue_lane(node_id, lane, QueueItem{.data = {}, .callback = std::move(fn)});
   });
   return id;
 }

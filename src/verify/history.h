@@ -1,9 +1,13 @@
 // Operation histories for linearizability checking: increment (update) and
 // read (query) operations on a replicated counter, with invocation/response
-// timestamps from the client's perspective.
+// timestamps from the client's perspective. KeyedHistory extends this to the
+// sharded KV store: one independent history per key, since the paper's
+// guarantee is per-key linearizability (one protocol instance per key).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -43,6 +47,29 @@ class History {
 
  private:
   std::vector<CounterOp> ops_;
+};
+
+// Per-key operation histories extracted from a multi-key run against the
+// sharded store. Each key's history is checked independently (the protocol
+// makes no cross-key ordering promise).
+class KeyedHistory {
+ public:
+  History& for_key(const std::string& key) { return histories_[key]; }
+
+  const std::map<std::string, History>& histories() const {
+    return histories_;
+  }
+
+  std::size_t key_count() const { return histories_.size(); }
+
+  std::size_t total_ops() const {
+    std::size_t n = 0;
+    for (const auto& [key, history] : histories_) n += history.size();
+    return n;
+  }
+
+ private:
+  std::map<std::string, History> histories_;
 };
 
 }  // namespace lsr::verify

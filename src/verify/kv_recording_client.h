@@ -1,0 +1,119 @@
+// Closed-loop multi-key client that records every operation into a
+// KeyedHistory for per-key linearizability checking of the sharded KV
+// store. The KV sibling of RecordingClient: each request picks a random key
+// from a shared keyspace, wraps the command in a shard envelope, and files
+// the completed operation under that key's history.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/wire.h"
+#include "kv/shard.h"
+#include "net/context.h"
+#include "rsm/client_msg.h"
+#include "verify/history.h"
+
+namespace lsr::verify {
+
+class KvRecordingClient final : public net::Endpoint {
+ public:
+  // max_ops == 0: run until the simulation stops.
+  KvRecordingClient(net::Context& ctx, NodeId replica,
+                    const std::vector<std::string>* keys, double read_ratio,
+                    std::uint64_t seed, KeyedHistory* history,
+                    std::uint64_t max_ops = 0)
+      : ctx_(ctx),
+        replica_(replica),
+        keys_(keys),
+        read_ratio_(read_ratio),
+        rng_(seed),
+        history_(history),
+        max_ops_(max_ops) {
+    LSR_EXPECTS(keys_ != nullptr && !keys_->empty());
+  }
+
+  void on_start() override { submit_next(); }
+
+  void on_message(NodeId from, const Bytes& data) override {
+    (void)from;
+    kv::EnvelopeView env;
+    if (!kv::peek_envelope(data, env)) return;
+    Decoder dec(env.inner, env.inner_size);
+    try {
+      const std::uint8_t tag = dec.get_u8();
+      if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kUpdateDone)) {
+        const auto done = rsm::UpdateDone::decode(dec);
+        if (done.request != inflight_request_) return;
+        history_->for_key(inflight_key_)
+            .add_increment(inflight_start_, ctx_.now(), 1);
+      } else if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kQueryDone)) {
+        const auto done = rsm::QueryDone::decode(dec);
+        if (done.request != inflight_request_) return;
+        Decoder result(done.result);
+        history_->for_key(inflight_key_)
+            .add_read(inflight_start_, ctx_.now(), result.get_u64());
+      } else {
+        return;
+      }
+    } catch (const WireError&) {
+      return;
+    }
+    ++completed_;
+    inflight_request_ = 0;
+    if (max_ops_ == 0 || completed_ < max_ops_) submit_next();
+  }
+
+  std::uint64_t completed() const { return completed_; }
+
+  // Call after the run: records a still-pending update as possibly-applied
+  // (response = +inf) under its key — an update whose ack was lost may
+  // nevertheless be visible to reads. Pending reads constrain nothing and
+  // are dropped.
+  void flush_pending() {
+    if (inflight_request_ == 0 || !inflight_is_update_) return;
+    history_->for_key(inflight_key_)
+        .add_increment(inflight_start_, std::numeric_limits<TimeNs>::max(), 1);
+    inflight_request_ = 0;
+  }
+
+ private:
+  void submit_next() {
+    const bool is_read = rng_.next_bool(read_ratio_);
+    inflight_is_update_ = !is_read;
+    inflight_start_ = ctx_.now();
+    inflight_request_ = make_request_id(ctx_.self(), next_counter_++);
+    inflight_key_ = (*keys_)[rng_.next_below(keys_->size())];
+    Encoder inner;
+    if (is_read) {
+      rsm::ClientQuery{inflight_request_, 0, {}}.encode(inner);
+    } else {
+      Encoder args;
+      args.put_u64(1);
+      rsm::ClientUpdate{inflight_request_, 0, std::move(args).take()}.encode(
+          inner);
+    }
+    ctx_.send(replica_, kv::make_envelope(inflight_key_, inner.bytes()));
+  }
+
+  net::Context& ctx_;
+  NodeId replica_;
+  const std::vector<std::string>* keys_;
+  double read_ratio_;
+  Rng rng_;
+  KeyedHistory* history_;
+  std::uint64_t max_ops_;
+  RequestId inflight_request_ = 0;
+  bool inflight_is_update_ = false;
+  std::string inflight_key_;
+  TimeNs inflight_start_ = 0;
+  std::uint64_t next_counter_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace lsr::verify

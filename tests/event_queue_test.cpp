@@ -58,7 +58,9 @@ TEST(EventQueue, RandomInterleavingStaysSorted) {
     // events may arrive later; discrete-event *simulation* guarantees
     // monotonicity only because it never schedules into the past, which the
     // Simulator asserts. Here we check heap integrity instead:
-    if (pending > 0) EXPECT_LE(popped.empty() ? 0 : 0, queue.next_time());
+    if (pending > 0) {
+      EXPECT_LE(popped.empty() ? 0 : 0, queue.next_time());
+    }
   }
   while (!queue.empty()) queue.pop()();
 }

@@ -6,13 +6,20 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/workload.h"
 #include "core/ops.h"
 #include "core/replica.h"
+#include "kv/kv_store.h"
 #include "lattice/gcounter.h"
+#include "rsm/client_msg.h"
 
 namespace lsr::net {
 namespace {
@@ -99,6 +106,134 @@ TEST(Inproc, PauseDropsTrafficAndRecoverCallsHook) {
   cluster.stop();
   EXPECT_EQ(cluster.endpoint_as<Echo>(b).recoveries.load(), 1);
   EXPECT_EQ(cluster.endpoint_as<Echo>(b).received.load(), 1);
+}
+
+TEST(Inproc, ExecutorGroupsRunOnDistinctThreads) {
+  // Endpoint with four lanes in two executor groups: lanes of one group are
+  // handled on one thread, different groups on different threads.
+  class Grouped final : public Endpoint {
+   public:
+    explicit Grouped(Context&) {}
+    int lane_count() const override { return 4; }
+    int executor_count() const override { return 2; }
+    int executor_of(int lane) const override { return lane / 2; }
+    int lane_of(const Bytes& data) const override {
+      return data.empty() ? 0 : data.front() % 4;
+    }
+    void on_message(NodeId, const Bytes& data) override {
+      std::lock_guard<std::mutex> lock(mutex);
+      thread_of_lane[data.empty() ? 0 : data.front() % 4].insert(
+          std::this_thread::get_id());
+      ++handled;
+    }
+    std::mutex mutex;
+    std::map<int, std::set<std::thread::id>> thread_of_lane;
+    std::atomic<int> handled{0};
+  };
+  InprocCluster cluster;
+  const NodeId target = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Grouped>(ctx); });
+  const NodeId sender = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  cluster.start();
+  auto& grouped = cluster.endpoint_as<Grouped>(target);
+  auto& echo = cluster.endpoint_as<Echo>(sender);
+  for (int i = 0; i < 40; ++i)
+    echo.ctx_.send(target, Bytes{static_cast<std::uint8_t>(i % 4)});
+  for (int i = 0; i < 200 && grouped.handled.load() < 40; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  cluster.stop();
+  ASSERT_EQ(grouped.handled.load(), 40);
+  std::lock_guard<std::mutex> lock(grouped.mutex);
+  ASSERT_EQ(grouped.thread_of_lane[0].size(), 1u);
+  ASSERT_EQ(grouped.thread_of_lane[2].size(), 1u);
+  // Lanes of the same group share a thread...
+  EXPECT_EQ(grouped.thread_of_lane[0], grouped.thread_of_lane[1]);
+  EXPECT_EQ(grouped.thread_of_lane[2], grouped.thread_of_lane[3]);
+  // ...and the two groups run on different threads.
+  EXPECT_NE(*grouped.thread_of_lane[0].begin(),
+            *grouped.thread_of_lane[2].begin());
+}
+
+TEST(Inproc, ShardedStoreServesKeysAcrossShardThreads) {
+  // Live end-to-end: a 4-shard store on every replica (so each node runs
+  // four shard threads), a scripted client writing and reading keys that
+  // spread over the shards.
+  using Store = kv::KvStore<lattice::GCounter>;
+  class ShardClient final : public Endpoint {
+   public:
+    explicit ShardClient(Context& ctx) : ctx_(ctx) {
+      for (int i = 0; i < 8; ++i)
+        keys_.push_back("live-key-" + std::to_string(i));
+    }
+    void on_start() override { submit(); }
+    void on_message(NodeId, const Bytes& data) override {
+      kv::EnvelopeView env;
+      if (!kv::peek_envelope(data, env)) return;
+      Decoder inner(env.inner, env.inner_size);
+      const auto tag = static_cast<rsm::ClientTag>(inner.get_u8());
+      if (tag == rsm::ClientTag::kQueryDone) {
+        const auto done = rsm::QueryDone::decode(inner);
+        Decoder result(done.result);
+        std::lock_guard<std::mutex> lock(mutex);
+        values[std::string(env.key)] = result.get_u64();
+      }
+      ++step_;
+      submit();
+    }
+    std::atomic<std::size_t> completed{0};
+    std::mutex mutex;
+    std::map<std::string, std::uint64_t> values;
+
+   private:
+    void submit() {
+      // Two update rounds over all keys, then one read round.
+      const std::size_t total = keys_.size() * 3;
+      if (step_ >= total) {
+        completed.store(step_);
+        return;
+      }
+      const std::string& key = keys_[step_ % keys_.size()];
+      Encoder inner;
+      if (step_ < keys_.size() * 2) {
+        rsm::ClientUpdate{make_request_id(ctx_.self(), seq_++), 0,
+                          core::encode_increment_args(1)}
+            .encode(inner);
+      } else {
+        rsm::ClientQuery{make_request_id(ctx_.self(), seq_++), 0, {}}.encode(
+            inner);
+      }
+      ctx_.send(step_ % 3, kv::make_envelope(key, inner.bytes()));
+    }
+
+    Context& ctx_;
+    std::vector<std::string> keys_;
+    std::size_t step_ = 0;
+    std::uint64_t seq_ = 0;
+  };
+
+  InprocCluster cluster;
+  const std::vector<NodeId> replicas{0, 1, 2};
+  for (std::size_t i = 0; i < 3; ++i) {
+    cluster.add_node([&replicas](Context& ctx) {
+      return std::make_unique<Store>(ctx, replicas, core::ProtocolConfig{},
+                                     core::gcounter_ops(),
+                                     lattice::GCounter{},
+                                     kv::ShardOptions{/*shards=*/4});
+    });
+  }
+  const NodeId client = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<ShardClient>(ctx); });
+  cluster.start();
+  auto& shard_client = cluster.endpoint_as<ShardClient>(client);
+  for (int i = 0; i < 400 && shard_client.completed.load() < 24; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  cluster.stop();
+  ASSERT_EQ(shard_client.completed.load(), 24u);
+  std::lock_guard<std::mutex> lock(shard_client.mutex);
+  ASSERT_EQ(shard_client.values.size(), 8u);
+  for (const auto& [key, value] : shard_client.values)
+    EXPECT_EQ(value, 2u) << "key " << key;
 }
 
 TEST(Inproc, RunsTheFullProtocol) {

@@ -1,5 +1,5 @@
 // Key-value layer: per-key isolation, on-demand instances, linearizability
-// per key, and envelope robustness.
+// per key, and envelope robustness — across shard counts 1, 4 and 16.
 #include "kv/kv_store.h"
 
 #include <gtest/gtest.h>
@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "core/ops.h"
 #include "lattice/gcounter.h"
@@ -29,22 +30,29 @@ class KvClient final : public net::Endpoint {
   };
   static constexpr NodeId kSameReplica = ~NodeId{0};
 
-  KvClient(net::Context& ctx, NodeId replica, std::vector<Step> steps)
-      : ctx_(ctx), replica_(replica), steps_(std::move(steps)) {}
+  KvClient(net::Context& ctx, NodeId replica, std::vector<Step> steps,
+           TimeNs start_delay = 0)
+      : ctx_(ctx),
+        replica_(replica),
+        steps_(std::move(steps)),
+        start_delay_(start_delay) {}
 
-  void on_start() override { submit(); }
+  void on_start() override {
+    if (start_delay_ > 0)
+      ctx_.set_timer(start_delay_, 0, [this] { submit(); });
+    else
+      submit();
+  }
 
   void on_message(NodeId, const Bytes& data) override {
-    Decoder dec(data);
-    if (dec.get_u8() != kEnvelopeTag) return;
-    const std::string key = dec.get_string();
-    const Bytes inner = dec.get_bytes();
-    Decoder inner_dec(inner);
+    EnvelopeView env;
+    if (!peek_envelope(data, env)) return;
+    Decoder inner_dec(env.inner, env.inner_size);
     const auto tag = static_cast<rsm::ClientTag>(inner_dec.get_u8());
     if (tag == rsm::ClientTag::kQueryDone) {
       const auto done = rsm::QueryDone::decode(inner_dec);
       Decoder result(done.result);
-      reads.emplace_back(key, result.get_u64());
+      reads.emplace_back(std::string(env.key), result.get_u64());
     }
     ++index_;
     submit();
@@ -73,6 +81,7 @@ class KvClient final : public net::Endpoint {
   net::Context& ctx_;
   NodeId replica_;
   std::vector<Step> steps_;
+  TimeNs start_delay_ = 0;
   std::size_t index_ = 0;
   std::uint64_t seq_ = 0;
 };
@@ -81,12 +90,13 @@ struct KvCluster {
   std::unique_ptr<sim::Simulator> sim;
   std::vector<NodeId> replicas{0, 1, 2};
 
-  explicit KvCluster(std::uint64_t seed) {
+  KvCluster(std::uint64_t seed, std::uint32_t shards) {
     sim = std::make_unique<sim::Simulator>(seed);
     for (std::size_t i = 0; i < 3; ++i) {
-      sim->add_node([this](net::Context& ctx) {
+      sim->add_node([this, shards](net::Context& ctx) {
         return std::make_unique<Store>(ctx, replicas, core::ProtocolConfig{},
-                                       core::gcounter_ops());
+                                       core::gcounter_ops(), GCounter{},
+                                       ShardOptions{shards});
       });
     }
   }
@@ -94,8 +104,15 @@ struct KvCluster {
   Store& store(std::size_t i) { return sim->endpoint_as<Store>(replicas[i]); }
 };
 
-TEST(KvStore, KeysAreIndependentCounters) {
-  KvCluster cluster(1);
+class KvStoreP : public ::testing::TestWithParam<std::uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, KvStoreP, ::testing::Values(1u, 4u, 16u),
+                         [](const auto& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+TEST_P(KvStoreP, KeysAreIndependentCounters) {
+  KvCluster cluster(1, GetParam());
   std::vector<KvClient::Step> steps;
   for (int i = 0; i < 5; ++i) steps.push_back({"alpha", false});
   for (int i = 0; i < 3; ++i) steps.push_back({"beta", false});
@@ -113,8 +130,8 @@ TEST(KvStore, KeysAreIndependentCounters) {
   EXPECT_EQ(reads[2], (std::pair<std::string, std::uint64_t>{"gamma", 0}));
 }
 
-TEST(KvStore, InstancesCreatedOnDemand) {
-  KvCluster cluster(2);
+TEST_P(KvStoreP, InstancesCreatedOnDemand) {
+  KvCluster cluster(2, GetParam());
   EXPECT_EQ(cluster.store(0).key_count(), 0u);
   std::vector<KvClient::Step> steps{{"x", false}, {"y", false}};
   cluster.sim->add_node([&steps](net::Context& ctx) {
@@ -127,10 +144,10 @@ TEST(KvStore, InstancesCreatedOnDemand) {
   EXPECT_TRUE(cluster.store(2).has_key("y"));
 }
 
-TEST(KvStore, CrossReplicaVisibilityPerKey) {
+TEST_P(KvStoreP, CrossReplicaVisibilityPerKey) {
   // Updates via replica 0, then (sequentially) a read via replica 2 — same
   // key, Update Visibility must hold across replicas.
-  KvCluster cluster(3);
+  KvCluster cluster(3, GetParam());
   std::vector<KvClient::Step> steps{{"shared", false, 0},
                                     {"shared", false, 0},
                                     {"shared", true, 2}};
@@ -143,8 +160,8 @@ TEST(KvStore, CrossReplicaVisibilityPerKey) {
   EXPECT_EQ(reads[0].second, 2u);
 }
 
-TEST(KvStore, ManyKeysManyClients) {
-  KvCluster cluster(4);
+TEST_P(KvStoreP, ManyKeysManyClients) {
+  KvCluster cluster(4, GetParam());
   Rng rng(77);
   const std::vector<std::string> keys{"a", "b", "c", "d", "e", "f"};
   std::vector<NodeId> clients;
@@ -173,16 +190,56 @@ TEST(KvStore, ManyKeysManyClients) {
   }
 }
 
-TEST(KvStore, MalformedEnvelopesAreDropped) {
-  KvCluster cluster(5);
+TEST_P(KvStoreP, CrashRecoverFansOutToEveryShardInstance) {
+  // Touch keys in every shard, crash replica 0, recover it, and keep using
+  // keys in every shard through it: every per-key instance must have been
+  // re-armed by on_recover.
+  KvCluster cluster(6, GetParam());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 32; ++i) keys.push_back("key" + std::to_string(i));
+  std::vector<KvClient::Step> warm;
+  for (const auto& key : keys) warm.push_back({key, false});
+  cluster.sim->add_node([&warm](net::Context& ctx) {
+    return std::make_unique<KvClient>(ctx, 0, warm);
+  });
+  // Crash replica 0 after the warm phase has drained, recover it, then run
+  // a second (delayed-start) client through it.
+  cluster.sim->call_at(200 * kMillisecond,
+                       [&] { cluster.sim->set_down(0, true); });
+  cluster.sim->call_at(220 * kMillisecond,
+                       [&] { cluster.sim->set_down(0, false); });
+  std::vector<KvClient::Step> after;
+  for (const auto& key : keys) after.push_back({key, false});
+  for (const auto& key : keys) after.push_back({key, true});
+  const NodeId client = cluster.sim->add_node([&after](net::Context& ctx) {
+    return std::make_unique<KvClient>(ctx, 0, after, 300 * kMillisecond);
+  });
+  cluster.sim->run_to_completion();
+  if (GetParam() >= 4) {
+    // 32 distinct keys must not all land in one shard.
+    std::size_t populated = 0;
+    for (std::uint32_t s = 0; s < GetParam(); ++s)
+      populated += cluster.store(0).shard_key_count(s) > 0 ? 1 : 0;
+    EXPECT_GT(populated, 1u);
+  }
+  const auto& reads = cluster.sim->endpoint_as<KvClient>(client).reads;
+  ASSERT_EQ(reads.size(), keys.size());
+  for (const auto& [key, value] : reads) EXPECT_EQ(value, 2u) << "key " << key;
+}
+
+TEST_P(KvStoreP, MalformedEnvelopesAreDropped) {
+  KvCluster cluster(5, GetParam());
   Rng rng(9);
   auto& store = cluster.store(0);
+  const LogLevel saved_level = log_level();
+  set_log_level(LogLevel::kError);  // provoking drops; keep the output quiet
   for (int i = 0; i < 2000; ++i) {
     Bytes junk(rng.next_below(48));
     for (auto& byte : junk) byte = static_cast<std::uint8_t>(rng.next_u64());
     store.on_message(1, junk);
   }
-  SUCCEED();
+  set_log_level(saved_level);
+  EXPECT_EQ(store.key_count(), 0u);
 }
 
 }  // namespace

@@ -153,8 +153,9 @@ TEST(UpdateStability, HoldsUnderBatchingAndLoss) {
     for (std::size_t k = 0; k + 1 < levels.size(); ++k) {
       const auto [next_slot, next_level] = levels[k + 1];
       const auto [prev_slot, prev_level] = levels[k];
-      if (state.slot(next_slot) >= next_level)
+      if (state.slot(next_slot) >= next_level) {
         EXPECT_GE(state.slot(prev_slot), prev_level);
+      }
     }
   }
 }
