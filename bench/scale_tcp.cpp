@@ -1,0 +1,173 @@
+// TCP scaling — aggregate KV throughput over real loopback sockets.
+//
+// The same Zipfian multi-key workload bench_scale_shards runs on the
+// simulator, now on net::TcpCluster: three replicas, every node a real TCP
+// endpoint, closed-loop clients measured on the wall clock. Sweeps shard
+// count × client count, then runs the acceptance phase: the identical
+// workload with recording clients while replica 2 is killed and reconnected
+// mid-run, followed by the per-key linearizability checker over the merged
+// histories.
+//
+// Flags: --full (longer runs, larger sweep), --csv, --seed N, --json <path>
+// (default BENCH_tcp.json). Exits non-zero when any cell produces zero
+// throughput or the kill/reconnect run is not per-key linearizable — this is
+// the CI smoke check for the socket transport.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/report.h"
+#include "bench/workload.h"
+#include "core/ops.h"
+#include "kv/sharded_store.h"
+#include "lattice/gcounter.h"
+#include "net/tcp.h"
+#include "verify/tcp_kill_reconnect.h"
+
+namespace {
+
+using namespace lsr;
+using Store = kv::ShardedStore<lattice::GCounter>;
+
+constexpr std::size_t kReplicas = 3;
+constexpr std::uint64_t kKeys = 256;
+constexpr double kZipfTheta = 0.99;
+constexpr double kReadRatio = 0.9;
+
+std::vector<std::string> make_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k)
+    keys.push_back("key" + std::to_string(k));
+  return keys;
+}
+
+void add_replicas(net::TcpCluster& cluster, std::uint32_t shards,
+                  const std::vector<NodeId>& replica_ids) {
+  for (std::size_t i = 0; i < kReplicas; ++i) {
+    cluster.add_node([&replica_ids, shards](net::Context& ctx) {
+      return std::make_unique<Store>(ctx, replica_ids, core::ProtocolConfig{},
+                                     core::gcounter_ops(), lattice::GCounter{},
+                                     kv::ShardOptions{shards});
+    });
+  }
+}
+
+// One throughput cell: `clients` closed-loop Zipfian clients against
+// `shards`-sharded replicas over loopback TCP for a wall-clock window.
+// Clients run on their own executor threads, so each gets a private
+// Collector; the merge happens after stop() joined everything.
+double run_cell(std::uint32_t shards, std::size_t clients, std::uint64_t seed,
+                TimeNs warmup, TimeNs measure) {
+  // Endpoint-referenced state outlives the cluster (declared first =>
+  // destroyed last), matching the harness in verify/tcp_kill_reconnect.h.
+  const auto keys = make_keys();
+  const bench::Zipfian zipf(kKeys, kZipfTheta);
+  std::vector<std::unique_ptr<bench::Collector>> collectors;
+  net::TcpCluster cluster;
+  const std::vector<NodeId> replica_ids{0, 1, 2};
+  add_replicas(cluster, shards, replica_ids);
+  for (std::size_t i = 0; i < clients; ++i) {
+    collectors.push_back(
+        std::make_unique<bench::Collector>(warmup, warmup + measure));
+    cluster.add_node([&, i](net::Context& ctx) {
+      return std::make_unique<bench::KvWorkloadClient>(
+          ctx, replica_ids[i % kReplicas], &keys, &zipf, kReadRatio,
+          seed * 7919 + i, collectors[i].get());
+    });
+  }
+  cluster.start();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(warmup + measure));
+  cluster.stop();
+  std::uint64_t completed = 0;
+  for (const auto& collector : collectors) completed += collector->completed();
+  const double window_sec = static_cast<double>(measure) / kSecond;
+  return static_cast<double>(completed) / window_sec;
+}
+
+// Acceptance phase: the shared kill/reconnect harness (the same scenario
+// tests/tcp_test.cpp asserts on) — replica 2 killed and reconnected
+// mid-workload, every key's merged history linearizable.
+bool run_kill_reconnect_check(std::uint64_t seed) {
+  verify::TcpKillReconnectOptions options;
+  options.seed = seed;
+  std::printf("  killing replica 2 mid-workload, reconnecting %.0f ms later\n",
+              static_cast<double>(options.downtime) / kMillisecond);
+  const auto result = verify::run_tcp_kill_reconnect(options);
+  if (!result.ok()) {
+    std::printf("  FAILED: %s\n", result.explanation.c_str());
+    return false;
+  }
+  std::printf("  %zu keys, %zu ops checked -> linearizable\n",
+              result.key_count, result.total_ops);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  if (args.json_path.empty()) args.json_path = "BENCH_tcp.json";
+  // Wall-clock windows (this bench runs on real sockets, not virtual time):
+  // kept short by default so the CI smoke stays cheap.
+  const TimeNs warmup = args.full ? kSecond : 300 * kMillisecond;
+  const TimeNs measure = args.full ? 5 * kSecond : 1500 * kMillisecond;
+  const std::vector<std::uint32_t> shard_counts =
+      args.full ? std::vector<std::uint32_t>{1, 4, 16}
+                : std::vector<std::uint32_t>{1, 4};
+  const std::vector<std::size_t> client_counts =
+      args.full ? std::vector<std::size_t>{8, 32, 128}
+                : std::vector<std::size_t>{8, 32};
+
+  std::printf(
+      "TCP scaling: KV throughput (requests/s) over loopback sockets%s\n"
+      "three replicas, %llu keys, Zipfian(%.2f), %.0f%% reads, "
+      "wall-clock %.1fs per cell\n\n",
+      args.full ? " [--full]" : "", static_cast<unsigned long long>(kKeys),
+      kZipfTheta, kReadRatio * 100,
+      static_cast<double>(warmup + measure) / kSecond);
+
+  std::vector<std::string> headers{"clients"};
+  for (const std::uint32_t shards : shard_counts)
+    headers.push_back("shards" + std::to_string(shards));
+  bench::Table table(std::move(headers));
+  bool all_cells_ok = true;
+  for (const std::size_t clients : client_counts) {
+    std::vector<std::string> row{std::to_string(clients)};
+    for (const std::uint32_t shards : shard_counts) {
+      const double throughput =
+          run_cell(shards, clients, args.seed, warmup, measure);
+      all_cells_ok = all_cells_ok && throughput > 0.0;
+      row.push_back(bench::fmt_double(throughput, 0));
+      std::printf("  %zu clients x %u shards: %.0f req/s\n", clients, shards,
+                  throughput);
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("\n");
+  table.print(std::cout, args.csv);
+
+  std::printf("\nkill/reconnect linearizability check:\n");
+  const bool linearizable = run_kill_reconnect_check(args.seed);
+
+  bench::JsonReport report;
+  report.set_meta("bench", std::string("scale_tcp"));
+  report.set_meta("transport", std::string("tcp"));
+  report.set_meta("replicas", static_cast<double>(kReplicas));
+  report.set_meta("keys", static_cast<double>(kKeys));
+  report.set_meta("zipf_theta", kZipfTheta);
+  report.set_meta("read_ratio", kReadRatio);
+  report.set_meta("seed", static_cast<double>(args.seed));
+  report.set_meta("wall_clock_cell_sec",
+                  static_cast<double>(warmup + measure) / kSecond);
+  report.set_meta("kill_reconnect_linearizable",
+                  linearizable ? std::string("yes") : std::string("no"));
+  report.add_table("throughput_per_sec", table);
+  if (!report.write_file(args.json_path)) return 2;
+  std::printf("results written to %s\n", args.json_path.c_str());
+
+  return (all_cells_ok && linearizable) ? 0 : 1;
+}

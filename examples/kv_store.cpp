@@ -2,15 +2,25 @@
 // the paper's "fine-granular scale" deployment (one protocol instance per
 // key, as in Scalaris). A scripted client maintains view counters for a set
 // of URLs through different replicas and reads them back linearizably.
+//
+// Three hosts, one protocol: the same endpoints run unchanged on the
+// deterministic simulator (default), the threaded in-process cluster
+// (--transport inproc) or real loopback TCP sockets (--transport tcp).
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ops.h"
 #include "kv/kv_store.h"
 #include "lattice/gcounter.h"
+#include "net/inproc.h"
+#include "net/tcp.h"
 #include "rsm/client_msg.h"
 #include "sim/simulator.h"
 
@@ -51,11 +61,16 @@ class UrlClient final : public net::Endpoint {
     submit();
   }
 
+  bool done() const { return done_.load(); }
+
   std::map<std::string, std::uint64_t> read_results;
 
  private:
   void submit() {
-    if (index_ >= steps_.size()) return;
+    if (index_ >= steps_.size()) {
+      done_.store(true);
+      return;
+    }
     const Step& step = steps_[index_];
     Encoder inner;
     if (step.is_read) {
@@ -73,47 +88,105 @@ class UrlClient final : public net::Endpoint {
   std::vector<Step> steps_;
   std::size_t index_ = 0;
   std::uint64_t seq_ = 0;
+  std::atomic<bool> done_{false};  // polled by the live-cluster drivers
 };
 
-}  // namespace
-
-int main() {
-  std::printf("kv store: per-URL linearizable view counters, 3 replicas\n");
-  sim::Simulator sim(/*seed=*/23);
-  const std::vector<NodeId> replicas{0, 1, 2};
-  for (std::size_t i = 0; i < replicas.size(); ++i) {
-    sim.add_node([&replicas](net::Context& ctx) {
-      return std::make_unique<Store>(ctx, replicas, core::ProtocolConfig{},
-                                     core::gcounter_ops(),
-                                     lsr::lattice::GCounter{},
-                                     kv::ShardOptions{/*shards=*/4});
-    });
-  }
-
-  // Views arrive at whatever replica is closest; reads are linearizable
-  // regardless of which replica serves them.
+std::vector<Step> make_script(const std::vector<std::string>& urls,
+                              const int* views) {
   std::vector<Step> script;
-  const std::vector<std::string> urls{"/home", "/about", "/pricing"};
-  const int views[] = {5, 2, 7};
   for (std::size_t u = 0; u < urls.size(); ++u)
     for (int v = 0; v < views[u]; ++v)
       script.push_back({urls[u], false, static_cast<NodeId>(v % 3)});
   for (std::size_t u = 0; u < urls.size(); ++u)
     script.push_back({urls[u], true, static_cast<NodeId>((u + 1) % 3)});
+  return script;
+}
 
-  const NodeId client = sim.add_node([&script](net::Context& ctx) {
+// One store configuration for every host — the whole point of the example.
+template <typename Host>
+void add_store_nodes(Host& host, const std::vector<NodeId>& replicas) {
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    host.add_node([&replicas](net::Context& ctx) {
+      return std::make_unique<Store>(ctx, replicas, core::ProtocolConfig{},
+                                     core::gcounter_ops(),
+                                     lattice::GCounter{},
+                                     kv::ShardOptions{/*shards=*/4});
+    });
+  }
+}
+
+// The three hosts share everything but the run loop: the simulator runs to
+// quiescence in virtual time, the live clusters poll the client's done flag
+// on the wall clock.
+template <typename Cluster>
+bool run_live(const std::vector<Step>& script,
+              std::map<std::string, std::uint64_t>& results) {
+  Cluster cluster;
+  const std::vector<NodeId> replicas{0, 1, 2};
+  add_store_nodes(cluster, replicas);
+  const NodeId client = cluster.add_node([&script](net::Context& ctx) {
     return std::make_unique<UrlClient>(ctx, script);
   });
-  sim.run_to_completion();
+  cluster.start();
+  for (int waited = 0;
+       waited < 10000 &&
+       !cluster.template endpoint_as<UrlClient>(client).done();
+       waited += 5)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  cluster.stop();
+  results = cluster.template endpoint_as<UrlClient>(client).read_results;
+  return cluster.template endpoint_as<UrlClient>(client).done();
+}
 
-  const auto& results = sim.endpoint_as<UrlClient>(client).read_results;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* transport = "sim";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc)
+      transport = argv[++i];
+  }
+  std::printf(
+      "kv store: per-URL linearizable view counters, 3 replicas, "
+      "transport=%s\n",
+      transport);
+
+  const std::vector<std::string> urls{"/home", "/about", "/pricing"};
+  const int views[] = {5, 2, 7};
+  const std::vector<Step> script = make_script(urls, views);
+
+  std::map<std::string, std::uint64_t> results;
+  std::size_t keys_hosted = 0;
+  if (std::strcmp(transport, "sim") == 0) {
+    sim::Simulator sim(/*seed=*/23);
+    const std::vector<NodeId> replicas{0, 1, 2};
+    add_store_nodes(sim, replicas);
+    const NodeId client = sim.add_node([&script](net::Context& ctx) {
+      return std::make_unique<UrlClient>(ctx, script);
+    });
+    sim.run_to_completion();
+    results = sim.endpoint_as<UrlClient>(client).read_results;
+    keys_hosted = sim.endpoint_as<Store>(0).key_count();
+  } else if (std::strcmp(transport, "inproc") == 0) {
+    if (!run_live<net::InprocCluster>(script, results)) return 2;
+  } else if (std::strcmp(transport, "tcp") == 0) {
+    if (!run_live<net::TcpCluster>(script, results)) return 2;
+  } else {
+    std::fprintf(stderr, "unknown --transport %s (sim | inproc | tcp)\n",
+                 transport);
+    return 2;
+  }
+
+  // Views arrive at whatever replica is closest; reads are linearizable
+  // regardless of which replica serves them — on every transport.
   bool ok = true;
   for (std::size_t u = 0; u < urls.size(); ++u)
     ok = ok && results.count(urls[u]) &&
          results.at(urls[u]) == static_cast<std::uint64_t>(views[u]);
   std::printf("per-key counts correct across replicas -> %s\n",
               ok ? "OK" : "WRONG");
-  std::printf("keys hosted on replica 0: %zu (created on demand)\n",
-              sim.endpoint_as<Store>(0).key_count());
+  if (keys_hosted > 0)
+    std::printf("keys hosted on replica 0: %zu (created on demand)\n",
+                keys_hosted);
   return ok ? 0 : 1;
 }

@@ -173,10 +173,17 @@ RunResult run_kv_workload(const KvRunConfig& config) {
   for (std::size_t i = 0; i < config.replicas; ++i)
     replica_ids[i] = static_cast<NodeId>(i);
 
+  // Sect. 3.6 batching finally reaches the KV path: each key's proposer
+  // flushes one update and one query batch per interval, so a Zipfian hot
+  // key coalesces its queued commands instead of serializing per-command
+  // protocol instances.
+  core::ProtocolConfig protocol = config.protocol;
+  if (config.batch_interval > 0) protocol.batch_interval = config.batch_interval;
+
   const kv::ShardOptions shard_options{config.shards};
   for (std::size_t i = 0; i < config.replicas; ++i) {
-    sim.add_node([&replica_ids, &config, &shard_options](net::Context& ctx) {
-      return std::make_unique<Store>(ctx, replica_ids, config.protocol,
+    sim.add_node([&replica_ids, &protocol, &shard_options](net::Context& ctx) {
+      return std::make_unique<Store>(ctx, replica_ids, protocol,
                                      core::gcounter_ops(), GCounter{},
                                      shard_options);
     });

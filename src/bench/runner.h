@@ -108,6 +108,11 @@ struct KvRunConfig {
   std::uint64_t seed = 1;
 
   core::ProtocolConfig protocol;
+  // Per-key proposer batching (paper Sect. 3.6). > 0: every key's proposer
+  // buffers commands and flushes once per interval — Zipfian hot keys
+  // amortize their protocol rounds over the whole batch instead of
+  // serializing one instance per command. Overrides protocol.batch_interval.
+  TimeNs batch_interval = 0;
   sim::NetworkConfig net;  // lossy_node_limit is set by the runner
   sim::NodeConfig node;
 };

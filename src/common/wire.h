@@ -166,6 +166,56 @@ class Decoder {
   std::size_t pos_ = 0;
 };
 
+// Fixed-size frame header for stream transports (net::TcpCluster): every
+// message travels as header + payload on a byte stream, so torn writes and
+// partial reads reassemble deterministically. Fields are little-endian u32s
+// — fixed-width (not varint) so the receiver knows the header size before
+// reading a single payload byte.
+//
+//   u32 magic    -- "LSRF"; a mismatch means a desynced or foreign stream
+//   u32 sender   -- NodeId of the sending endpoint
+//   u32 length   -- payload byte count; bounded by the receiver
+struct FrameHeader {
+  static constexpr std::size_t kSize = 12;
+  static constexpr std::uint32_t kMagic = 0x4652534Cu;  // 'L','S','R','F'
+  // Default receive-side bound on `length`: far above any protocol message,
+  // far below an allocation that could hurt (oversized frames are a remote
+  // crash vector otherwise).
+  static constexpr std::uint32_t kDefaultMaxPayload = 16u << 20;
+
+  std::uint32_t sender = 0;
+  std::uint32_t length = 0;
+
+  void write(std::uint8_t out[kSize]) const {
+    put_le32(out, kMagic);
+    put_le32(out + 4, sender);
+    put_le32(out + 8, length);
+  }
+
+  // Returns false on a magic mismatch (caller must drop the stream; there is
+  // no way to resynchronize a length-prefixed stream after corruption).
+  static bool read(const std::uint8_t in[kSize], FrameHeader& out) {
+    if (get_le32(in) != kMagic) return false;
+    out.sender = get_le32(in + 4);
+    out.length = get_le32(in + 8);
+    return true;
+  }
+
+ private:
+  static void put_le32(std::uint8_t* out, std::uint32_t v) {
+    out[0] = static_cast<std::uint8_t>(v);
+    out[1] = static_cast<std::uint8_t>(v >> 8);
+    out[2] = static_cast<std::uint8_t>(v >> 16);
+    out[3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  static std::uint32_t get_le32(const std::uint8_t* in) {
+    return static_cast<std::uint32_t>(in[0]) |
+           (static_cast<std::uint32_t>(in[1]) << 8) |
+           (static_cast<std::uint32_t>(in[2]) << 16) |
+           (static_cast<std::uint32_t>(in[3]) << 24);
+  }
+};
+
 // Convenience: encode a value that provides encode(Encoder&) into fresh bytes.
 template <typename T>
 Bytes encode_to_bytes(const T& value) {

@@ -55,15 +55,22 @@ class Replica final : public net::Endpoint {
   }
 
   void on_message(NodeId from, const Bytes& data) override {
+    on_message(from, data.data(), data.size());
+  }
+
+  // Span-based entry point: decodes in place, so callers that carve a
+  // message out of a larger buffer (the kv shard envelope) deliver it
+  // without a copy.
+  void on_message(NodeId from, const std::uint8_t* data, std::size_t size) {
     try {
-      Decoder dec(data);
+      Decoder dec(data, size);
       const std::uint8_t tag = dec.get_u8();
       if (rsm::is_client_tag(tag)) {
         handle_client(from, static_cast<rsm::ClientTag>(tag), dec);
         return;
       }
       // Protocol message: re-decode including the tag byte.
-      Decoder full(data);
+      Decoder full(data, size);
       Message<L> msg = decode_message<L>(full);
       full.expect_done();
       std::visit([this, from](auto&& m) { dispatch(from, m); }, msg);

@@ -108,13 +108,11 @@ class ShardedStore final : public net::Endpoint {
                    env.key.data(), from);
       return;
     }
-    try {
-      Bytes inner(env.inner, env.inner + env.inner_size);
-      instance(env.key_hash, env.key).replica.on_message(from, inner);
-    } catch (const WireError& error) {
-      LSR_LOG_WARN("kv %u: malformed inner message from %u: %s", ctx_.self(),
-                   from, error.what());
-    }
+    // Zero-copy delivery: the replica decodes the inner message in place
+    // (and drops malformed input itself) — the envelope's payload is never
+    // rematerialized.
+    instance(env.key_hash, env.key)
+        .replica.on_message(from, env.inner, env.inner_size);
   }
 
   std::uint32_t shard_count() const {

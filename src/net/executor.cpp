@@ -1,0 +1,264 @@
+#include "net/executor.h"
+
+#include <chrono>
+
+#include "common/assert.h"
+
+namespace lsr::net {
+
+namespace {
+// Timer ids carry the owning executor in the low byte so cancel_timer can
+// find the right timer queue without a node-global registry.
+constexpr int kExecutorBits = 8;
+constexpr TimerId kExecutorMask = (TimerId{1} << kExecutorBits) - 1;
+}  // namespace
+
+NodeRuntime::NodeRuntime(NodeId id, Endpoint& endpoint,
+                         std::function<TimeNs()> now)
+    : id_(id), endpoint_(endpoint), now_(std::move(now)) {
+  const int groups = endpoint_.executor_count();
+  LSR_EXPECTS(groups >= 1 && groups <= (1 << kExecutorBits));
+  for (int g = 0; g < groups; ++g) {
+    executors_.push_back(std::make_unique<Executor>());
+    executors_.back()->index = g;
+  }
+}
+
+NodeRuntime::~NodeRuntime() { stop(); }
+
+NodeRuntime::Executor& NodeRuntime::executor_of_lane(int lane) {
+  int group = endpoint_.executor_of(lane);
+  if (group < 0 || static_cast<std::size_t>(group) >= executors_.size())
+    group = 0;
+  return *executors_[static_cast<std::size_t>(group)];
+}
+
+void NodeRuntime::start() {
+  LSR_EXPECTS(!started_threads_);
+  started_threads_ = true;
+  running_.store(true);
+  for (auto& executor : executors_)
+    executor->thread =
+        std::thread([this, executor = executor.get()] { executor_loop(*executor); });
+}
+
+void NodeRuntime::stop() {
+  if (!started_threads_) return;
+  running_.store(false);
+  // Lock-then-notify so a worker between its predicate check and the actual
+  // sleep cannot miss the shutdown signal.
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex_);
+  }
+  gate_cv_.notify_all();
+  for (auto& executor : executors_) {
+    {
+      std::lock_guard<std::mutex> lock(executor->mutex);
+    }
+    executor->cv.notify_all();
+  }
+  for (auto& executor : executors_)
+    if (executor->thread.joinable()) executor->thread.join();
+  started_threads_ = false;
+  // A restart re-runs on_start; the gate must hold the other executors off
+  // again until it completes.
+  endpoint_started_ = false;
+}
+
+void NodeRuntime::post(NodeId from, Bytes data) {
+  if (paused_.load()) return;  // a down node loses its mail (crash semantics)
+  // lane_of is const and state-free, safe from the posting thread.
+  Executor& executor = executor_of_lane(endpoint_.lane_of(data));
+  {
+    std::lock_guard<std::mutex> lock(executor.mutex);
+    executor.mailbox.emplace_back(from, std::move(data));
+  }
+  executor.cv.notify_one();
+}
+
+TimerId NodeRuntime::set_timer(TimeNs delay, int lane,
+                               std::function<void()> fn) {
+  Executor& executor = executor_of_lane(lane);
+  const TimerId id = (next_timer_seq_.fetch_add(1) << kExecutorBits) |
+                     static_cast<TimerId>(executor.index);
+  {
+    std::lock_guard<std::mutex> lock(executor.mutex);
+    executor.timers.emplace(id, Executor::Timer{now_() + delay, std::move(fn)});
+    ++executor.timer_epoch;
+  }
+  executor.cv.notify_one();
+  return id;
+}
+
+void NodeRuntime::cancel_timer(TimerId id) {
+  if (id == kInvalidTimer) return;
+  const auto group = static_cast<std::size_t>(id & kExecutorMask);
+  if (group >= executors_.size()) return;
+  Executor& executor = *executors_[group];
+  std::lock_guard<std::mutex> lock(executor.mutex);
+  executor.timers.erase(id);
+}
+
+void NodeRuntime::set_paused(bool paused) {
+  if (paused) {
+    if (!paused_.exchange(true)) {
+      // Drop queued work synchronously so even a pause shorter than an
+      // executor wakeup loses messages and timers (crash semantics).
+      for (auto& executor : executors_) {
+        std::lock_guard<std::mutex> lock(executor->mutex);
+        executor->mailbox.clear();
+        executor->timers.clear();
+      }
+    }
+  } else if (paused_.load()) {
+    // Arm the recovery barrier and drop crash-era mail *before* releasing
+    // the executors, so nothing queued while down is delivered ahead of
+    // on_recover.
+    recover_pending_.store(true);
+    for (auto& executor : executors_) {
+      std::lock_guard<std::mutex> lock(executor->mutex);
+      executor->mailbox.clear();
+      executor->timers.clear();
+    }
+    paused_.store(false);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex_);
+  }
+  gate_cv_.notify_all();
+  for (auto& executor : executors_) {
+    {
+      std::lock_guard<std::mutex> lock(executor->mutex);
+    }
+    executor->cv.notify_all();
+  }
+}
+
+void NodeRuntime::run_recovery_barrier(Executor& executor) {
+  if (executor.index == 0) {
+    // Cycling every executor's mutex waits out dequeues that had not yet
+    // observed the flag (they re-check it under the lock); the condvar wait
+    // drains handlers already running.
+    for (auto& other : executors_) {
+      std::lock_guard<std::mutex> sync(other->mutex);
+    }
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex_);
+      gate_cv_.wait(lock, [this] {
+        return handlers_inflight_.load() == 0 || !running_.load() ||
+               paused_.load();
+      });
+    }
+    // A node re-paused mid-drain crashed again before recovering: leave the
+    // barrier armed (the next resume re-enters it) and never run on_recover
+    // — or send anything — while down.
+    if (!running_.load() || paused_.load()) return;
+    endpoint_.on_recover();
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex_);
+      recover_pending_.store(false);
+    }
+    gate_cv_.notify_all();
+  } else {
+    std::unique_lock<std::mutex> lock(gate_mutex_);
+    gate_cv_.wait(lock, [this] {
+      return !recover_pending_.load() || !running_.load() || paused_.load();
+    });
+  }
+}
+
+void NodeRuntime::executor_loop(Executor& executor) {
+  // Executor 0 starts the endpoint; the others wait on the gate so no
+  // message handler runs before on_start.
+  if (executor.index == 0) {
+    endpoint_.on_start();
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex_);
+      endpoint_started_ = true;
+    }
+    gate_cv_.notify_all();
+  } else {
+    std::unique_lock<std::mutex> lock(gate_mutex_);
+    gate_cv_.wait(lock,
+                  [this] { return endpoint_started_ || !running_.load(); });
+  }
+  while (running_.load()) {
+    if (paused_.load()) {
+      // Crash simulation: drop queued messages and pending timers, then
+      // park until unpaused (or shutdown).
+      std::unique_lock<std::mutex> lock(executor.mutex);
+      executor.mailbox.clear();
+      executor.timers.clear();
+      executor.cv.wait(
+          lock, [this] { return !running_.load() || !paused_.load(); });
+      continue;
+    }
+    if (recover_pending_.load()) {
+      // Recovery barrier: executor 0 replays on_recover (which may touch
+      // every shard) while the other executors hold off.
+      run_recovery_barrier(executor);
+      continue;
+    }
+    std::function<void()> timer_fn;
+    std::pair<NodeId, Bytes> message;
+    bool have_timer = false;
+    bool have_message = false;
+    {
+      std::unique_lock<std::mutex> lock(executor.mutex);
+      // Re-check the gates under the lock: after this point a dequeue is
+      // invisible to the recovery barrier until handlers_inflight says so.
+      if (paused_.load() || recover_pending_.load()) continue;
+      // Earliest pending timer on this executor.
+      TimeNs next_fire = -1;
+      TimerId next_id = kInvalidTimer;
+      for (const auto& [id, timer] : executor.timers) {
+        if (next_fire < 0 || timer.fire_at < next_fire) {
+          next_fire = timer.fire_at;
+          next_id = id;
+        }
+      }
+      const TimeNs now_ns = now_();
+      if (next_id != kInvalidTimer && next_fire <= now_ns) {
+        timer_fn = std::move(executor.timers.at(next_id).fn);
+        executor.timers.erase(next_id);
+        have_timer = true;
+        handlers_inflight_.fetch_add(1);
+      } else if (!executor.mailbox.empty()) {
+        message = std::move(executor.mailbox.front());
+        executor.mailbox.pop_front();
+        have_message = true;
+        handlers_inflight_.fetch_add(1);
+      } else {
+        const std::uint64_t epoch_seen = executor.timer_epoch;
+        const auto wake = [&] {
+          return !running_.load() || paused_.load() ||
+                 recover_pending_.load() || !executor.mailbox.empty() ||
+                 executor.timer_epoch != epoch_seen;
+        };
+        if (next_id != kInvalidTimer) {
+          // Sleep until the earliest deadline; a new earlier timer bumps
+          // timer_epoch and re-enters here with the shorter wait.
+          executor.cv.wait_for(lock, std::chrono::nanoseconds(next_fire - now_ns),
+                               wake);
+        } else {
+          executor.cv.wait(lock, wake);
+        }
+      }
+    }
+    if (have_timer) {
+      timer_fn();
+    } else if (have_message && !paused_.load()) {
+      endpoint_.on_message(message.first, message.second);
+    }
+    if (have_timer || have_message) {
+      if (handlers_inflight_.fetch_sub(1) == 1 && recover_pending_.load()) {
+        {
+          std::lock_guard<std::mutex> lock(gate_mutex_);
+        }
+        gate_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace lsr::net

@@ -1,0 +1,116 @@
+// Shared executor-lane machinery for the real-time (threaded) transport
+// hosts. A NodeRuntime is everything one node needs besides the wire itself:
+// one serial executor per Endpoint executor group (mutex-protected mailbox +
+// timer queue + worker thread) and the node lifecycle gates (startup,
+// pause/crash, recovery drain barrier). InprocCluster delivers bytes by
+// calling post() on the destination's runtime directly; TcpCluster feeds
+// post() from the frames its socket thread reads — the executor semantics
+// (lane routing, serialization per group, crash-recovery ordering) are
+// byte-identical across both hosts, which is what keeps the protocol code
+// host-agnostic.
+//
+// All barriers are condvar-based: the startup hold-off of non-zero executors
+// and the recovery drain (handlers in flight must reach zero before
+// on_recover runs) block on condition variables instead of sleep-polling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "net/context.h"
+
+namespace lsr::net {
+
+class NodeRuntime {
+ public:
+  // `now` supplies the host's clock (nanoseconds since the cluster epoch);
+  // timers fire against it. The endpoint must outlive the runtime.
+  NodeRuntime(NodeId id, Endpoint& endpoint, std::function<TimeNs()> now);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  // Spawns one worker thread per executor group; executor 0 runs on_start
+  // before any other executor handles a message (condvar hold-off).
+  void start();
+
+  // Stops and joins every worker thread (drains nothing; queued messages
+  // and timers are dropped).
+  void stop();
+
+  // Delivers raw bytes to the endpoint: classifies the lane on the caller's
+  // thread via Endpoint::lane_of and enqueues on that lane's executor.
+  // Messages posted while the node is paused are discarded (crash
+  // semantics).
+  void post(NodeId from, Bytes data);
+
+  TimerId set_timer(TimeNs delay, int lane, std::function<void()> fn);
+  void cancel_timer(TimerId id);
+
+  // Pause: queued messages and timers are dropped synchronously and the
+  // executors park (a crash in the crash-recovery model: endpoint state is
+  // preserved). Unpause: executor 0 drains in-flight handlers behind a
+  // condvar barrier, runs on_recover, then every executor resumes.
+  void set_paused(bool paused);
+  bool paused() const { return paused_.load(); }
+
+  int executor_count() const { return static_cast<int>(executors_.size()); }
+  NodeId id() const { return id_; }
+
+ private:
+  struct Executor {
+    int index = 0;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::pair<NodeId, Bytes>> mailbox;
+
+    struct Timer {
+      TimeNs fire_at;
+      std::function<void()> fn;
+    };
+    std::map<TimerId, Timer> timers;  // guarded by mutex (cross-executor sets)
+    std::uint64_t timer_epoch = 0;    // bumped on insert, re-checks deadlines
+
+    std::thread thread;
+  };
+
+  Executor& executor_of_lane(int lane);
+  void executor_loop(Executor& executor);
+  void run_recovery_barrier(Executor& executor);
+
+  NodeId id_;
+  Endpoint& endpoint_;
+  std::function<TimeNs()> now_;
+  std::vector<std::unique_ptr<Executor>> executors_;
+
+  std::atomic<bool> running_{false};
+  bool started_threads_ = false;
+  std::atomic<bool> paused_{false};
+  // Set on unpause; executor 0 runs on_recover and clears it while the other
+  // executors hold off on message handling.
+  std::atomic<bool> recover_pending_{false};
+  // Handlers currently executing across all executors; the recovery barrier
+  // drains this to zero before on_recover runs.
+  std::atomic<int> handlers_inflight_{0};
+  std::atomic<TimerId> next_timer_seq_{1};
+
+  // Node-wide gate: startup hold-off, recovery drain and release all wait
+  // here. Notifications happen with gate_mutex_ held so waiters never miss
+  // a state change.
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  bool endpoint_started_ = false;
+};
+
+}  // namespace lsr::net

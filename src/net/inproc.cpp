@@ -1,66 +1,16 @@
 #include "net/inproc.h"
 
-#include <condition_variable>
-#include <deque>
-#include <map>
-#include <mutex>
-#include <thread>
 #include <utility>
 
 #include "common/assert.h"
-#include "common/logging.h"
 
 namespace lsr::net {
 
-namespace {
-using Clock = std::chrono::steady_clock;
-
-// Timer ids carry the owning executor in the low byte so cancel_timer can
-// find the right timer queue without a node-global registry.
-constexpr int kExecutorBits = 8;
-constexpr TimerId kExecutorMask = (TimerId{1} << kExecutorBits) - 1;
-}  // namespace
-
-struct InprocCluster::Executor {
-  int index = 0;
-
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<std::pair<NodeId, Bytes>> mailbox;
-
-  struct Timer {
-    TimeNs fire_at;
-    std::function<void()> fn;
-  };
-  std::map<TimerId, Timer> timers;  // guarded by mutex (cross-executor sets)
-  std::uint64_t timer_epoch = 0;    // bumped on insert, re-checks deadlines
-
-  std::thread thread;
-};
-
 struct InprocCluster::Node {
   NodeId id = 0;
-  InprocCluster* cluster = nullptr;
   std::unique_ptr<Context> context;
   std::unique_ptr<Endpoint> endpoint;
-  std::vector<std::unique_ptr<Executor>> executors;
-
-  std::atomic<bool> started{false};
-  std::atomic<bool> paused{false};
-  // Set on unpause; executor 0 runs on_recover and clears it while the other
-  // executors hold off on message handling.
-  std::atomic<bool> recover_pending{false};
-  // Handlers currently executing across all executors; the recovery barrier
-  // drains this to zero before on_recover runs.
-  std::atomic<int> handlers_inflight{0};
-  std::atomic<TimerId> next_timer_seq{1};
-
-  Executor& executor_of_lane(int lane) {
-    int group = endpoint->executor_of(lane);
-    if (group < 0 || static_cast<std::size_t>(group) >= executors.size())
-      group = 0;
-    return *executors[static_cast<std::size_t>(group)];
-  }
+  std::unique_ptr<NodeRuntime> runtime;
 };
 
 class InprocCluster::InprocContext final : public Context {
@@ -70,47 +20,18 @@ class InprocCluster::InprocContext final : public Context {
 
   NodeId self() const override { return node_->id; }
 
-  TimeNs now() const override {
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               Clock::now() - cluster_->epoch_)
-        .count();
-  }
+  TimeNs now() const override { return cluster_->now(); }
 
   void send(NodeId dst, Bytes data) override {
     if (dst >= cluster_->nodes_.size()) return;
-    Node& target = *cluster_->nodes_[dst];
-    // lane_of is const and state-free, safe from the sender's thread.
-    Executor& executor = target.executor_of_lane(target.endpoint->lane_of(data));
-    {
-      std::lock_guard<std::mutex> lock(executor.mutex);
-      executor.mailbox.emplace_back(node_->id, std::move(data));
-    }
-    executor.cv.notify_one();
+    cluster_->nodes_[dst]->runtime->post(node_->id, std::move(data));
   }
 
   TimerId set_timer(TimeNs delay, int lane, std::function<void()> fn) override {
-    Executor& executor = node_->executor_of_lane(lane);
-    const TimerId id =
-        (node_->next_timer_seq.fetch_add(1) << kExecutorBits) |
-        static_cast<TimerId>(executor.index);
-    {
-      std::lock_guard<std::mutex> lock(executor.mutex);
-      executor.timers.emplace(id,
-                              Executor::Timer{now() + delay, std::move(fn)});
-      ++executor.timer_epoch;
-    }
-    executor.cv.notify_one();
-    return id;
+    return node_->runtime->set_timer(delay, lane, std::move(fn));
   }
 
-  void cancel_timer(TimerId id) override {
-    if (id == kInvalidTimer) return;
-    const auto group = static_cast<std::size_t>(id & kExecutorMask);
-    if (group >= node_->executors.size()) return;
-    Executor& executor = *node_->executors[group];
-    std::lock_guard<std::mutex> lock(executor.mutex);
-    executor.timers.erase(id);
-  }
+  void cancel_timer(TimerId id) override { node_->runtime->cancel_timer(id); }
 
   void consume(TimeNs cost) override { (void)cost; }  // real time rules here
 
@@ -119,25 +40,26 @@ class InprocCluster::InprocContext final : public Context {
   Node* node_;
 };
 
-InprocCluster::InprocCluster() : epoch_(Clock::now()) {}
+InprocCluster::InprocCluster() : epoch_(std::chrono::steady_clock::now()) {}
 
 InprocCluster::~InprocCluster() { stop(); }
+
+TimeNs InprocCluster::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
 
 NodeId InprocCluster::add_node(const EndpointFactory& factory) {
   LSR_EXPECTS(!started_);
   const NodeId id = static_cast<NodeId>(nodes_.size());
   auto node = std::make_unique<Node>();
   node->id = id;
-  node->cluster = this;
   node->context = std::make_unique<InprocContext>(this, node.get());
   node->endpoint = factory(*node->context);
   LSR_ENSURES(node->endpoint != nullptr);
-  const int groups = node->endpoint->executor_count();
-  LSR_EXPECTS(groups >= 1 && groups <= (1 << kExecutorBits));
-  for (int g = 0; g < groups; ++g) {
-    node->executors.push_back(std::make_unique<Executor>());
-    node->executors.back()->index = g;
-  }
+  node->runtime = std::make_unique<NodeRuntime>(id, *node->endpoint,
+                                                [this] { return now(); });
   nodes_.push_back(std::move(node));
   return id;
 }
@@ -145,23 +67,12 @@ NodeId InprocCluster::add_node(const EndpointFactory& factory) {
 void InprocCluster::start() {
   LSR_EXPECTS(!started_);
   started_ = true;
-  running_.store(true);
-  for (auto& node : nodes_)
-    for (auto& executor : node->executors)
-      executor->thread = std::thread(
-          [this, node = node.get(), executor = executor.get()] {
-            executor_loop(*node, *executor);
-          });
+  for (auto& node : nodes_) node->runtime->start();
 }
 
 void InprocCluster::stop() {
   if (!started_) return;
-  running_.store(false);
-  for (auto& node : nodes_)
-    for (auto& executor : node->executors) executor->cv.notify_all();
-  for (auto& node : nodes_)
-    for (auto& executor : node->executors)
-      if (executor->thread.joinable()) executor->thread.join();
+  for (auto& node : nodes_) node->runtime->stop();
   started_ = false;
 }
 
@@ -172,125 +83,7 @@ Endpoint& InprocCluster::endpoint(NodeId node) {
 
 void InprocCluster::set_paused(NodeId node_id, bool paused) {
   LSR_EXPECTS(node_id < nodes_.size());
-  Node& node = *nodes_[node_id];
-  if (paused) {
-    if (!node.paused.exchange(true)) {
-      // Drop queued work synchronously so even a pause shorter than an
-      // executor wakeup loses messages and timers (crash semantics).
-      for (auto& executor : node.executors) {
-        std::lock_guard<std::mutex> lock(executor->mutex);
-        executor->mailbox.clear();
-        executor->timers.clear();
-      }
-    }
-  } else if (node.paused.load()) {
-    // Arm the recovery barrier and drop crash-era mail *before* releasing
-    // the executors, so nothing queued while down is delivered ahead of
-    // on_recover.
-    node.recover_pending.store(true);
-    for (auto& executor : node.executors) {
-      std::lock_guard<std::mutex> lock(executor->mutex);
-      executor->mailbox.clear();
-      executor->timers.clear();
-    }
-    node.paused.store(false);
-  }
-  for (auto& executor : node.executors) executor->cv.notify_all();
-}
-
-void InprocCluster::executor_loop(Node& node, Executor& executor) {
-  // Executor 0 starts the endpoint; the others wait so no message handler
-  // runs before on_start.
-  if (executor.index == 0) {
-    node.endpoint->on_start();
-    node.started.store(true);
-  } else {
-    while (running_.load() && !node.started.load())
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  while (running_.load()) {
-    if (node.paused.load()) {
-      // Crash simulation: drop queued messages and pending timers, then wait.
-      std::unique_lock<std::mutex> lock(executor.mutex);
-      executor.mailbox.clear();
-      executor.timers.clear();
-      executor.cv.wait_for(lock, std::chrono::milliseconds(10));
-      continue;
-    }
-    if (node.recover_pending.load()) {
-      // Recovery barrier: executor 0 replays on_recover (which may touch
-      // every shard) while the other executors hold off. Cycling every
-      // executor's mutex waits out dequeues that had not yet observed the
-      // flag (they re-check it under the lock); draining handlers_inflight
-      // waits out handlers already running.
-      if (executor.index == 0) {
-        for (auto& other : node.executors) {
-          std::lock_guard<std::mutex> sync(other->mutex);
-        }
-        while (node.handlers_inflight.load() > 0)
-          std::this_thread::sleep_for(std::chrono::microseconds(100));
-        node.endpoint->on_recover();
-        node.recover_pending.store(false);
-      } else {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      }
-      continue;
-    }
-    std::function<void()> timer_fn;
-    std::pair<NodeId, Bytes> message;
-    bool have_timer = false;
-    bool have_message = false;
-    {
-      std::unique_lock<std::mutex> lock(executor.mutex);
-      // Re-check the gates under the lock: after this point a dequeue is
-      // invisible to the recovery barrier until handlers_inflight says so.
-      if (node.paused.load() || node.recover_pending.load()) continue;
-      // Earliest pending timer on this executor.
-      TimeNs next_fire = -1;
-      TimerId next_id = kInvalidTimer;
-      for (const auto& [id, timer] : executor.timers) {
-        if (next_fire < 0 || timer.fire_at < next_fire) {
-          next_fire = timer.fire_at;
-          next_id = id;
-        }
-      }
-      const TimeNs now_ns =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                               epoch_)
-              .count();
-      if (next_id != kInvalidTimer && next_fire <= now_ns) {
-        timer_fn = std::move(executor.timers.at(next_id).fn);
-        executor.timers.erase(next_id);
-        have_timer = true;
-        node.handlers_inflight.fetch_add(1);
-      } else if (!executor.mailbox.empty()) {
-        message = std::move(executor.mailbox.front());
-        executor.mailbox.pop_front();
-        have_message = true;
-        node.handlers_inflight.fetch_add(1);
-      } else {
-        const std::uint64_t epoch_seen = executor.timer_epoch;
-        const auto wake = [&] {
-          return !running_.load() || node.paused.load() ||
-                 node.recover_pending.load() || !executor.mailbox.empty() ||
-                 executor.timer_epoch != epoch_seen;
-        };
-        if (next_id != kInvalidTimer) {
-          executor.cv.wait_until(lock,
-                                 epoch_ + std::chrono::nanoseconds(next_fire),
-                                 wake);
-        } else {
-          executor.cv.wait_for(lock, std::chrono::milliseconds(50), wake);
-        }
-      }
-    }
-    if (have_timer) {
-      timer_fn();
-    } else if (have_message && !node.paused.load()) {
-      node.endpoint->on_message(message.first, message.second);
-    }
-    if (have_timer || have_message) node.handlers_inflight.fetch_sub(1);
-  }
+  nodes_[node_id]->runtime->set_paused(paused);
 }
 
 }  // namespace lsr::net

@@ -1,15 +1,17 @@
 // Real-time, threaded in-process cluster: each node runs one worker thread
 // per *executor group* of its endpoint (Endpoint::executor_count), each with
-// a mutex-protected mailbox and timer queue. Single-group endpoints (the
-// plain Replica, clients, the log baselines) behave exactly like the old
-// one-thread-per-node model; the sharded KV store reports one group per
+// a mutex-protected mailbox and timer queue — the shared net::NodeRuntime
+// machinery that net::TcpCluster builds on as well. Single-group endpoints
+// (the plain Replica, clients, the log baselines) behave exactly like the
+// old one-thread-per-node model; the sharded KV store reports one group per
 // shard, so its shards execute genuinely in parallel on a multi-core host.
-// Used by the examples to run a live replicated service inside one OS
-// process; the protocol code is identical to what runs on the deterministic
-// simulator because both implement net::Context.
+// Delivery is a direct enqueue into the destination node's runtime (no
+// sockets). Used by the examples to run a live replicated service inside
+// one OS process; the protocol code is identical to what runs on the
+// deterministic simulator and over TCP because all three implement
+// net::Context.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -17,6 +19,7 @@
 
 #include "common/types.h"
 #include "net/context.h"
+#include "net/executor.h"
 
 namespace lsr::net {
 
@@ -54,14 +57,12 @@ class InprocCluster {
   void set_paused(NodeId node, bool paused);
 
  private:
-  struct Executor;
   struct Node;
   class InprocContext;
 
-  void executor_loop(Node& node, Executor& executor);
+  TimeNs now() const;
 
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::atomic<bool> running_{false};
   bool started_ = false;
   std::chrono::steady_clock::time_point epoch_;
 };

@@ -1,0 +1,481 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace lsr::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+// Bounded connect: nonblocking connect + poll, so an unreachable peer (a
+// host dropping SYNs, not just a closed port) costs at most `timeout`
+// instead of the kernel's SYN-retry default (~2 minutes) — send_from holds
+// the peer-link mutex through this. Leaves the socket blocking again on
+// success; sendmsg relies on SO_SNDTIMEO, not O_NONBLOCK.
+bool connect_with_deadline(int fd, const sockaddr_in& addr, TimeNs timeout) {
+  set_nonblocking(fd);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) return false;
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms =
+        static_cast<int>(std::max<TimeNs>(timeout / kMillisecond, 1));
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) return false;  // timed out or poll error
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0)
+      return false;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  return true;
+}
+
+// Writes header + payload as one frame, riding out partial writes and EINTR.
+// Returns false on any terminal error — including an SO_SNDTIMEO expiry
+// (EAGAIN) or the overall deadline passing. The deadline matters: a peer
+// whose window trickles open makes every sendmsg partially succeed within
+// its own SO_SNDTIMEO, so without a per-frame bound the loop could stall an
+// executor indefinitely.
+bool send_all(int fd, const std::uint8_t* header, std::size_t header_size,
+              const std::uint8_t* payload, std::size_t payload_size,
+              Clock::time_point deadline) {
+  std::size_t sent = 0;
+  const std::size_t total = header_size + payload_size;
+  while (sent < total) {
+    if (Clock::now() > deadline) return false;
+    iovec iov[2];
+    int iov_count = 0;
+    if (sent < header_size) {
+      iov[iov_count++] = {const_cast<std::uint8_t*>(header) + sent,
+                          header_size - sent};
+      if (payload_size > 0)
+        iov[iov_count++] = {const_cast<std::uint8_t*>(payload), payload_size};
+    } else {
+      const std::size_t offset = sent - header_size;
+      iov[iov_count++] = {const_cast<std::uint8_t*>(payload) + offset,
+                          payload_size - offset};
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iov_count);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool write_frame(int fd, NodeId sender, const Bytes& payload,
+                 TimeNs send_timeout) {
+  std::uint8_t header[FrameHeader::kSize];
+  FrameHeader{sender, static_cast<std::uint32_t>(payload.size())}.write(header);
+  return send_all(fd, header, sizeof header, payload.data(), payload.size(),
+                  Clock::now() + std::chrono::nanoseconds(send_timeout));
+}
+}  // namespace
+
+bool FrameReader::parse(const std::uint8_t* data, std::size_t size,
+                        const std::function<void(NodeId, Bytes&&)>& sink,
+                        std::size_t& consumed) {
+  consumed = 0;
+  while (size - consumed >= FrameHeader::kSize) {
+    FrameHeader header;
+    if (!FrameHeader::read(data + consumed, header)) return false;
+    if (header.length > max_payload_) return false;
+    if (size - consumed - FrameHeader::kSize < header.length) break;
+    const std::uint8_t* payload_begin = data + consumed + FrameHeader::kSize;
+    Bytes payload(payload_begin, payload_begin + header.length);
+    consumed += FrameHeader::kSize + header.length;
+    sink(static_cast<NodeId>(header.sender), std::move(payload));
+  }
+  return true;
+}
+
+bool FrameReader::consume(const std::uint8_t* data, std::size_t size,
+                          const std::function<void(NodeId, Bytes&&)>& sink) {
+  std::size_t consumed = 0;
+  if (buffer_.empty()) {
+    // Fast path (the common case once a stream is flowing): parse complete
+    // frames straight out of the receive chunk; only a trailing partial
+    // frame is ever copied into the reassembly buffer.
+    if (!parse(data, size, sink, consumed)) return false;
+    buffer_.assign(data + consumed, data + size);
+    return true;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+  if (!parse(buffer_.data(), buffer_.size(), sink, consumed)) return false;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
+  return true;
+}
+
+// Outgoing connection to one peer: opened lazily on the first send, shared
+// by every executor thread of the owning node (the mutex serializes frame
+// writes, so frames are never interleaved mid-write).
+struct TcpCluster::PeerLink {
+  std::mutex mutex;
+  int fd = -1;
+  TimeNs next_attempt = 0;  // connect backoff deadline
+};
+
+struct TcpCluster::Node {
+  NodeId id = 0;
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  std::unique_ptr<Context> context;
+  std::unique_ptr<Endpoint> endpoint;
+  std::unique_ptr<NodeRuntime> runtime;
+  std::thread io_thread;
+  int wake_read = -1;   // self-pipe: stop/pause signals for the io thread
+  int wake_write = -1;
+  std::atomic<bool> drop_accepted{false};
+  std::vector<std::unique_ptr<PeerLink>> links;  // indexed by destination
+  std::atomic<std::uint64_t> connects{0};
+};
+
+class TcpCluster::TcpContext final : public Context {
+ public:
+  TcpContext(TcpCluster* cluster, Node* node)
+      : cluster_(cluster), node_(node) {}
+
+  NodeId self() const override { return node_->id; }
+  TimeNs now() const override { return cluster_->now(); }
+
+  void send(NodeId dst, Bytes data) override {
+    cluster_->send_from(*node_, dst, std::move(data));
+  }
+
+  TimerId set_timer(TimeNs delay, int lane, std::function<void()> fn) override {
+    return node_->runtime->set_timer(delay, lane, std::move(fn));
+  }
+
+  void cancel_timer(TimerId id) override { node_->runtime->cancel_timer(id); }
+
+  void consume(TimeNs cost) override { (void)cost; }  // real time rules here
+
+ private:
+  TcpCluster* cluster_;
+  Node* node_;
+};
+
+TcpCluster::TcpCluster(TcpClusterOptions options)
+    : options_(std::move(options)), epoch_(Clock::now()) {}
+
+TcpCluster::~TcpCluster() {
+  stop();
+  for (auto& node : nodes_) close_fd(node->listen_fd);
+}
+
+TimeNs TcpCluster::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch_)
+      .count();
+}
+
+NodeId TcpCluster::add_node(const EndpointFactory& factory) {
+  LSR_EXPECTS(!started_);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto node = std::make_unique<Node>();
+  node->id = id;
+
+  node->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  LSR_ENSURES(node->listen_fd >= 0);
+  const int one = 1;
+  ::setsockopt(node->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.base_port == 0
+                            ? std::uint16_t{0}
+                            : static_cast<std::uint16_t>(options_.base_port + id));
+  LSR_ENSURES(::inet_pton(AF_INET, options_.bind_address.c_str(),
+                          &addr.sin_addr) == 1);
+  LSR_ENSURES(::bind(node->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr) == 0);
+  LSR_ENSURES(::listen(node->listen_fd, 128) == 0);
+  socklen_t addr_len = sizeof addr;
+  LSR_ENSURES(::getsockname(node->listen_fd,
+                            reinterpret_cast<sockaddr*>(&addr),
+                            &addr_len) == 0);
+  node->port = ntohs(addr.sin_port);
+  set_nonblocking(node->listen_fd);
+
+  node->context = std::make_unique<TcpContext>(this, node.get());
+  node->endpoint = factory(*node->context);
+  LSR_ENSURES(node->endpoint != nullptr);
+  node->runtime = std::make_unique<NodeRuntime>(id, *node->endpoint,
+                                                [this] { return now(); });
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void TcpCluster::start() {
+  // One-shot lifecycle: stop() closes the listeners, so unlike
+  // InprocCluster a stopped TcpCluster cannot be restarted.
+  LSR_EXPECTS(!started_ && !stopped_);
+  started_ = true;
+  running_.store(true);
+  for (auto& node : nodes_) {
+    node->links.clear();
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      node->links.push_back(std::make_unique<PeerLink>());
+    int pipe_fds[2];
+    LSR_ENSURES(::pipe(pipe_fds) == 0);
+    node->wake_read = pipe_fds[0];
+    node->wake_write = pipe_fds[1];
+    set_nonblocking(node->wake_read);
+    set_nonblocking(node->wake_write);
+  }
+  // Socket threads first: a peer's on_start may send immediately, and its
+  // frames should find a reader (they would only sit in the kernel buffer
+  // otherwise, but why wait).
+  for (auto& node : nodes_)
+    node->io_thread = std::thread([this, node = node.get()] { io_loop(*node); });
+  for (auto& node : nodes_) node->runtime->start();
+}
+
+void TcpCluster::stop() {
+  if (!started_) return;
+  // Executors first: after runtime->stop() no thread of any node can call
+  // send_from, so descriptors close race-free below.
+  for (auto& node : nodes_) node->runtime->stop();
+  running_.store(false);
+  for (auto& node : nodes_) wake_io(*node);
+  for (auto& node : nodes_)
+    if (node->io_thread.joinable()) node->io_thread.join();
+  for (auto& node : nodes_) {
+    for (auto& link : node->links) {
+      std::lock_guard<std::mutex> lock(link->mutex);
+      close_fd(link->fd);
+    }
+    close_fd(node->wake_read);
+    close_fd(node->wake_write);
+    close_fd(node->listen_fd);
+  }
+  started_ = false;
+  stopped_ = true;
+}
+
+Endpoint& TcpCluster::endpoint(NodeId node) {
+  LSR_EXPECTS(node < nodes_.size());
+  return *nodes_[node]->endpoint;
+}
+
+std::uint16_t TcpCluster::port(NodeId node) const {
+  LSR_EXPECTS(node < nodes_.size());
+  return nodes_[node]->port;
+}
+
+std::uint64_t TcpCluster::connect_count(NodeId node) const {
+  LSR_EXPECTS(node < nodes_.size());
+  return nodes_[node]->connects.load();
+}
+
+void TcpCluster::set_paused(NodeId node_id, bool paused) {
+  LSR_EXPECTS(node_id < nodes_.size());
+  Node& node = *nodes_[node_id];
+  if (paused) {
+    node.runtime->set_paused(true);
+    // Kill the sockets too: peers writing to this node get resets and must
+    // run their reconnect path, and this node's own links start from
+    // scratch after recovery.
+    for (auto& link : node.links) {
+      std::lock_guard<std::mutex> lock(link->mutex);
+      close_fd(link->fd);
+      link->next_attempt = 0;
+    }
+    node.drop_accepted.store(true);
+    wake_io(node);
+  } else {
+    // Withdraw a drop the io thread has not processed yet: severing
+    // connections peers re-establish after recovery would be a spurious
+    // post-recovery failure (a pause shorter than an io wakeup simply goes
+    // unnoticed at the socket level — queued work was still dropped).
+    node.drop_accepted.store(false);
+    node.runtime->set_paused(false);
+  }
+}
+
+void TcpCluster::wake_io(Node& node) {
+  if (node.wake_write < 0) return;
+  const std::uint8_t byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(node.wake_write, &byte, 1);
+}
+
+bool TcpCluster::open_link(Node& src, NodeId dst, PeerLink& link) {
+  const TimeNs t = now();
+  if (link.next_attempt > 0 && t < link.next_attempt) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  set_nodelay(fd);
+  timeval timeout{};
+  timeout.tv_sec = options_.send_timeout / kSecond;
+  timeout.tv_usec = (options_.send_timeout % kSecond) / kMicrosecond;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(nodes_[dst]->port);
+  const char* dial = options_.bind_address == "0.0.0.0"
+                         ? "127.0.0.1"
+                         : options_.bind_address.c_str();
+  if (::inet_pton(AF_INET, dial, &addr.sin_addr) != 1 ||
+      !connect_with_deadline(fd, addr, options_.send_timeout)) {
+    ::close(fd);
+    link.next_attempt = t + options_.reconnect_backoff;
+    return false;
+  }
+  link.fd = fd;
+  link.next_attempt = 0;
+  src.connects.fetch_add(1);
+  return true;
+}
+
+void TcpCluster::send_from(Node& src, NodeId dst, Bytes data) {
+  if (dst >= nodes_.size() || !running_.load()) return;
+  if (src.runtime->paused()) return;  // a crashed node sends nothing
+  if (data.size() > options_.max_frame_payload) {
+    LSR_LOG_WARN("tcp %u: dropping oversized frame to %u (%zu bytes)", src.id,
+                 dst, data.size());
+    return;
+  }
+  PeerLink& link = *src.links[dst];
+  std::lock_guard<std::mutex> lock(link.mutex);
+  if (link.fd < 0 && !open_link(src, dst, link)) return;  // peer down: lost
+  if (!write_frame(link.fd, src.id, data, options_.send_timeout)) {
+    // Peer restarted or the connection died mid-stream: reconnect once
+    // immediately and retransmit; anything beyond that is the protocol
+    // retry timers' job (the message counts as lost).
+    close_fd(link.fd);
+    if (!open_link(src, dst, link)) return;
+    if (!write_frame(link.fd, src.id, data, options_.send_timeout))
+      close_fd(link.fd);
+  }
+}
+
+void TcpCluster::io_loop(Node& node) {
+  struct AcceptedConn {
+    int fd;
+    FrameReader reader;
+  };
+  std::vector<AcceptedConn> conns;
+  std::vector<pollfd> pfds;
+  Bytes chunk(64 * 1024);
+  while (running_.load()) {
+    pfds.clear();
+    pfds.push_back({node.wake_read, POLLIN, 0});
+    pfds.push_back({node.listen_fd, POLLIN, 0});
+    for (const auto& conn : conns) pfds.push_back({conn.fd, POLLIN, 0});
+    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfds[0].revents & POLLIN) {
+      std::uint8_t drain[64];
+      while (::read(node.wake_read, drain, sizeof drain) > 0) {
+      }
+    }
+    if (!running_.load()) break;
+    if (node.drop_accepted.exchange(false)) {
+      // Crash semantics: sever every incoming connection so peers observe
+      // the failure on their next write.
+      for (auto& conn : conns) ::close(conn.fd);
+      conns.clear();
+      continue;
+    }
+    if (pfds[1].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(node.listen_fd, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        set_nodelay(fd);
+        conns.push_back({fd, FrameReader(options_.max_frame_payload)});
+      }
+    }
+    // Only the connections that were polled this round (accepts above
+    // appended past the end of pfds).
+    const std::size_t polled = pfds.size() - 2;
+    for (std::size_t i = polled; i-- > 0;) {
+      if (!(pfds[i + 2].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      AcceptedConn& conn = conns[i];
+      bool drop = false;
+      for (;;) {
+        const ssize_t n = ::recv(conn.fd, chunk.data(), chunk.size(), 0);
+        if (n > 0) {
+          const bool ok = conn.reader.consume(
+              chunk.data(), static_cast<std::size_t>(n),
+              [&](NodeId sender, Bytes&& payload) {
+                // A frame naming an unknown sender is remote garbage.
+                if (sender < nodes_.size())
+                  node.runtime->post(sender, std::move(payload));
+              });
+          if (!ok) {
+            LSR_LOG_WARN("tcp %u: bad frame on incoming stream, dropping it",
+                         node.id);
+            drop = true;
+            break;
+          }
+          if (static_cast<std::size_t>(n) < chunk.size()) break;  // drained
+        } else if (n == 0) {
+          drop = true;  // peer closed
+          break;
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        } else if (errno == EINTR) {
+          continue;
+        } else {
+          drop = true;
+          break;
+        }
+      }
+      if (drop) {
+        ::close(conn.fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+  for (auto& conn : conns) ::close(conn.fd);
+}
+
+}  // namespace lsr::net

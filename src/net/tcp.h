@@ -1,0 +1,143 @@
+// Real socket transport: a third net::Context host (after the simulator and
+// the in-process cluster) that runs each node as a process-local endpoint
+// bound to a real TCP listener — loopback for tests and benches, any IPv4
+// address via TcpClusterOptions. Peers exchange length-prefixed frames
+// (wire.h FrameHeader) over persistent per-peer connections that are opened
+// lazily, re-opened on failure (with backoff), and written with a bounded
+// send timeout so a stalled peer exerts backpressure instead of wedging an
+// executor forever.
+//
+// Execution mirrors InprocCluster exactly — both hosts run the shared
+// net::NodeRuntime (one worker thread per executor group, per-node timer
+// queues, condvar crash/recovery barriers); only the delivery path differs:
+// a per-node socket thread polls the listener plus every accepted
+// connection, reassembles frames across partial reads, and posts payloads
+// into the destination executor's mailbox. Protocol bytes on the wire are
+// identical to what the simulator delivers, which is what lets the same
+// workloads and linearizability checkers run over all three hosts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "common/wire.h"
+#include "net/context.h"
+#include "net/executor.h"
+
+namespace lsr::net {
+
+// Incremental frame extractor for one TCP stream: feed it whatever recv
+// returned — any split, down to one byte at a time — and it invokes the sink
+// once per completed frame. Returns false on an unrecoverable protocol
+// violation (magic mismatch or a length above the bound): a length-prefixed
+// stream cannot resynchronize after corruption, so the caller must drop the
+// connection.
+class FrameReader {
+ public:
+  explicit FrameReader(
+      std::size_t max_payload = FrameHeader::kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  bool consume(const std::uint8_t* data, std::size_t size,
+               const std::function<void(NodeId, Bytes&&)>& sink);
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  // Extracts complete frames from [data, data+size); sets `consumed` to the
+  // byte count handed to the sink (a trailing partial frame stays).
+  bool parse(const std::uint8_t* data, std::size_t size,
+             const std::function<void(NodeId, Bytes&&)>& sink,
+             std::size_t& consumed);
+
+  std::size_t max_payload_;
+  Bytes buffer_;
+};
+
+struct TcpClusterOptions {
+  // IPv4 address the listeners bind to; peers connect to the same address
+  // ("0.0.0.0" listeners are dialed via loopback — all nodes of one cluster
+  // live in one process).
+  std::string bind_address = "127.0.0.1";
+  // 0: every node gets an ephemeral port (tests, benches). Otherwise node i
+  // listens on base_port + i.
+  std::uint16_t base_port = 0;
+  // Receive-side frame payload bound; oversized frames kill the connection.
+  std::size_t max_frame_payload = FrameHeader::kDefaultMaxPayload;
+  // A failed connect is not retried for this long (per peer link).
+  TimeNs reconnect_backoff = 10 * kMillisecond;
+  // SO_SNDTIMEO on outgoing connections: bounds how long a full peer socket
+  // can block an executor (backpressure with an upper limit); on expiry the
+  // frame is dropped and the connection recycled — protocol retry timers
+  // take over, exactly as for a lost datagram.
+  TimeNs send_timeout = kSecond;
+};
+
+class TcpCluster {
+ public:
+  using EndpointFactory = std::function<std::unique_ptr<Endpoint>(Context&)>;
+
+  explicit TcpCluster(TcpClusterOptions options = {});
+  ~TcpCluster();
+
+  TcpCluster(const TcpCluster&) = delete;
+  TcpCluster& operator=(const TcpCluster&) = delete;
+
+  // Must be called before start(); binds the node's listener immediately so
+  // every peer address is known before any endpoint runs.
+  NodeId add_node(const EndpointFactory& factory);
+
+  // Spawns each node's socket thread and executor threads; on_start runs on
+  // executor 0 before any message handling, as on every host.
+  void start();
+
+  // Stops executors first (no further sends), then the socket threads, then
+  // closes every descriptor. Pending messages are dropped, not drained.
+  void stop();
+
+  Endpoint& endpoint(NodeId node);
+  template <typename T>
+  T& endpoint_as(NodeId node) {
+    return static_cast<T&>(endpoint(node));
+  }
+
+  // Kill / reconnect in the crash-recovery model: pausing parks the node's
+  // executors, drops queued work, and closes every connection it owns, so
+  // peers see resets and exercise their reconnect path. Resuming runs
+  // on_recover behind the drain barrier; connections re-establish lazily on
+  // the next send in either direction.
+  void set_paused(NodeId node, bool paused);
+
+  std::uint16_t port(NodeId node) const;
+
+  // Successful outgoing connects of this node (first connects + reconnects);
+  // lets tests assert that a kill actually forced reconnections.
+  std::uint64_t connect_count(NodeId node) const;
+
+ private:
+  struct PeerLink;
+  struct Node;
+  class TcpContext;
+
+  TimeNs now() const;
+  void io_loop(Node& node);
+  void send_from(Node& src, NodeId dst, Bytes data);
+  bool open_link(Node& src, NodeId dst, PeerLink& link);
+  void wake_io(Node& node);
+
+  TcpClusterOptions options_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  bool stopped_ = false;  // stop() is final: listeners are gone
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace lsr::net

@@ -34,6 +34,8 @@ class History {
     ops_.push_back({CounterOp::Kind::kRead, invoke, response, 1, value});
   }
 
+  void add(const CounterOp& op) { ops_.push_back(op); }
+
   const std::vector<CounterOp>& ops() const { return ops_; }
   std::size_t size() const { return ops_.size(); }
   bool empty() const { return ops_.empty(); }
@@ -61,6 +63,16 @@ class KeyedHistory {
   }
 
   std::size_t key_count() const { return histories_.size(); }
+
+  // Appends every per-key operation of `other`. Clients on the threaded
+  // hosts record into private histories (one per executor thread); the
+  // checker wants them merged per key after the threads have stopped.
+  void merge_from(const KeyedHistory& other) {
+    for (const auto& [key, history] : other.histories()) {
+      History& merged = histories_[key];
+      for (const auto& op : history.ops()) merged.add(op);
+    }
+  }
 
   std::size_t total_ops() const {
     std::size_t n = 0;

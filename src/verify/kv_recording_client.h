@@ -5,6 +5,7 @@
 // the completed operation under that key's history.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -69,7 +70,9 @@ class KvRecordingClient final : public net::Endpoint {
     if (max_ops_ == 0 || completed_ < max_ops_) submit_next();
   }
 
-  std::uint64_t completed() const { return completed_; }
+  // Atomic so real-time hosts (InprocCluster, TcpCluster) can poll progress
+  // from outside the client's executor thread.
+  std::uint64_t completed() const { return completed_.load(); }
 
   // Call after the run: records a still-pending update as possibly-applied
   // (response = +inf) under its key — an update whose ack was lost may
@@ -113,7 +116,7 @@ class KvRecordingClient final : public net::Endpoint {
   std::string inflight_key_;
   TimeNs inflight_start_ = 0;
   std::uint64_t next_counter_ = 0;
-  std::uint64_t completed_ = 0;
+  std::atomic<std::uint64_t> completed_{0};
 };
 
 }  // namespace lsr::verify

@@ -1,0 +1,119 @@
+// The kill/reconnect acceptance scenario for the TCP transport, shared by
+// tests/tcp_test.cpp and bench/scale_tcp.cpp so the CI smoke and the test
+// suite can never silently diverge: a sharded KV store on three replicas
+// over loopback TCP, recording clients against replicas 0 and 1 (the 2/3
+// quorum stays live), replica 2 killed and reconnected mid-workload, then
+// every key's merged history checked for linearizability.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "core/ops.h"
+#include "kv/sharded_store.h"
+#include "lattice/gcounter.h"
+#include "net/tcp.h"
+#include "verify/history.h"
+#include "verify/kv_recording_client.h"
+#include "verify/linearizability.h"
+
+namespace lsr::verify {
+
+struct TcpKillReconnectOptions {
+  std::size_t clients = 4;
+  std::uint64_t ops_per_client = 80;
+  int keys = 16;
+  std::uint32_t shards = 4;
+  std::uint64_t seed = 1;
+  TimeNs kill_after = 50 * kMillisecond;    // wall-clock into the workload
+  TimeNs downtime = 150 * kMillisecond;     // how long replica 2 stays dead
+  int deadline_ms = 20000;                  // client-completion deadline
+};
+
+struct TcpKillReconnectResult {
+  bool completed = false;     // every client finished its session
+  bool linearizable = false;  // every key's merged history checked out
+  std::size_t key_count = 0;
+  std::size_t total_ops = 0;
+  // Outgoing connects of replica 0 — nonzero proves real sockets were
+  // dialed (and re-dialed after the kill).
+  std::uint64_t replica0_connects = 0;
+  std::string explanation;  // first linearizability violation, when any
+
+  bool ok() const { return completed && linearizable; }
+};
+
+inline TcpKillReconnectResult run_tcp_kill_reconnect(
+    const TcpKillReconnectOptions& options) {
+  using Store = kv::ShardedStore<lattice::GCounter>;
+  TcpKillReconnectResult result;
+  // Everything the endpoints point into outlives the cluster (declared
+  // first => destroyed last), so even an aborted run cannot tear the
+  // keyspace or histories out from under still-running client threads.
+  std::vector<std::string> keys;
+  for (int k = 0; k < options.keys; ++k)
+    keys.push_back("hot" + std::to_string(k));
+  std::vector<std::unique_ptr<KeyedHistory>> histories;
+  std::vector<NodeId> clients;
+  net::TcpCluster cluster;
+  const std::vector<NodeId> replica_ids{0, 1, 2};
+  for (std::size_t i = 0; i < replica_ids.size(); ++i) {
+    cluster.add_node([&](net::Context& ctx) {
+      return std::make_unique<Store>(ctx, replica_ids, core::ProtocolConfig{},
+                                     core::gcounter_ops(), lattice::GCounter{},
+                                     kv::ShardOptions{options.shards});
+    });
+  }
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    histories.push_back(std::make_unique<KeyedHistory>());
+    clients.push_back(cluster.add_node([&, c](net::Context& ctx) {
+      return std::make_unique<KvRecordingClient>(
+          ctx, static_cast<NodeId>(c % 2), &keys, /*read_ratio=*/0.5,
+          options.seed * 31 + c, histories[c].get(), options.ops_per_client);
+    }));
+  }
+  cluster.start();
+  std::this_thread::sleep_for(std::chrono::nanoseconds(options.kill_after));
+  cluster.set_paused(2, true);
+  std::this_thread::sleep_for(std::chrono::nanoseconds(options.downtime));
+  cluster.set_paused(2, false);
+  const auto all_done = [&] {
+    for (const NodeId client : clients)
+      if (cluster.endpoint_as<KvRecordingClient>(client).completed() <
+          options.ops_per_client)
+        return false;
+    return true;
+  };
+  for (int waited = 0; waited < options.deadline_ms && !all_done();
+       waited += 10)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  result.completed = all_done();
+  cluster.stop();
+  result.replica0_connects = cluster.connect_count(0);
+  if (!result.completed) {
+    result.explanation = "clients did not finish within the deadline";
+    return result;
+  }
+  KeyedHistory merged;
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    cluster.endpoint_as<KvRecordingClient>(clients[c]).flush_pending();
+    merged.merge_from(*histories[c]);
+  }
+  result.key_count = merged.key_count();
+  result.total_ops = merged.total_ops();
+  result.linearizable = true;
+  for (const auto& [key, history] : merged.histories()) {
+    const auto check = check_counter_linearizable(history);
+    if (!check.linearizable) {
+      result.linearizable = false;
+      if (result.explanation.empty())
+        result.explanation = "key " + key + ": " + check.explanation;
+    }
+  }
+  return result;
+}
+
+}  // namespace lsr::verify

@@ -98,6 +98,35 @@ TEST(Runner, FailureInjectionKeepsServiceAvailable) {
   EXPECT_TRUE(post_failure_reads);
 }
 
+TEST(KvRunner, BatchingCoalescesHotKeyTraffic) {
+  // A tiny hot keyspace (every client hammers the same few keys): with
+  // per-key batching each proposer flushes one protocol instance per
+  // interval instead of one per command, so the wire cost per completed
+  // operation must drop measurably.
+  KvRunConfig config;
+  config.clients = 48;
+  config.shards = 4;
+  config.keys = 4;  // all hot
+  config.zipf_theta = 0.99;
+  config.warmup = 200 * kMillisecond;
+  config.measure = 600 * kMillisecond;
+  config.seed = 11;
+  const RunResult unbatched = run_kv_workload(config);
+  config.batch_interval = 5 * kMillisecond;
+  const RunResult batched = run_kv_workload(config);
+  ASSERT_GT(unbatched.completed, 0u);
+  ASSERT_GT(batched.completed, 0u);
+  const double unbatched_msgs_per_op =
+      static_cast<double>(unbatched.messages_sent) /
+      static_cast<double>(unbatched.completed);
+  const double batched_msgs_per_op =
+      static_cast<double>(batched.messages_sent) /
+      static_cast<double>(batched.completed);
+  EXPECT_LT(batched_msgs_per_op, unbatched_msgs_per_op * 0.5)
+      << "batched " << batched_msgs_per_op << " vs unbatched "
+      << unbatched_msgs_per_op << " messages per completed op";
+}
+
 TEST(Collector, WindowFiltersWarmupAndTail) {
   Collector collector(100, 200);
   collector.record(true, 50, 90);    // before the window: dropped
