@@ -57,7 +57,9 @@ void run_variant(const BenchArgs& args, System system, const char* title,
                    std::to_string(updates.count())});
   }
   table.print(std::cout, args.csv);
-  report->add_table(section, table);
+  // Every JSON row names its system, so the file stays self-describing even
+  // when rows from several sections are pooled downstream.
+  report->add_table(section, table, {{"system", system_name(system)}});
 }
 
 }  // namespace

@@ -1,11 +1,16 @@
-// Key-value store: per-key linearizable CRDT counters over three replicas —
-// the paper's "fine-granular scale" deployment (one protocol instance per
-// key, as in Scalaris). A scripted client maintains view counters for a set
-// of URLs through different replicas and reads them back linearizably.
+// Key-value store: per-key linearizable counters over three replicas — the
+// paper's "fine-granular scale" deployment (one protocol instance per key,
+// as in Scalaris). A scripted client maintains view counters for a set of
+// URLs through different replicas and reads them back linearizably.
 //
 // Three hosts, one protocol: the same endpoints run unchanged on the
 // deterministic simulator (default), the threaded in-process cluster
 // (--transport inproc) or real loopback TCP sockets (--transport tcp).
+//
+// Three systems, one keyspace: --system crdt (default) runs the paper's
+// log-less CRDT Paxos per key; --system paxos / --system raft run the keyed
+// log baselines (a full Multi-Paxos / Raft replica per key) on the exact
+// same envelopes, clients and transports.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -17,10 +22,13 @@
 #include <vector>
 
 #include "core/ops.h"
+#include "kv/keyed_log_store.h"
 #include "kv/kv_store.h"
 #include "lattice/gcounter.h"
 #include "net/inproc.h"
 #include "net/tcp.h"
+#include "paxos/multipaxos.h"
+#include "raft/raft.h"
 #include "rsm/client_msg.h"
 #include "sim/simulator.h"
 
@@ -29,6 +37,8 @@ using namespace lsr;
 namespace {
 
 using Store = kv::KvStore<lattice::GCounter>;
+using PaxosStore = kv::KeyedLogStore<paxos::MultiPaxosReplica>;
+using RaftStore = kv::KeyedLogStore<raft::RaftReplica>;
 
 struct Step {
   std::string key;
@@ -102,28 +112,56 @@ std::vector<Step> make_script(const std::vector<std::string>& urls,
   return script;
 }
 
-// One store configuration for every host — the whole point of the example.
-template <typename Host>
+// One store configuration for every host and system — the whole point of
+// the example.
+template <typename KvStore, typename Host>
 void add_store_nodes(Host& host, const std::vector<NodeId>& replicas) {
   for (std::size_t i = 0; i < replicas.size(); ++i) {
     host.add_node([&replicas](net::Context& ctx) {
-      return std::make_unique<Store>(ctx, replicas, core::ProtocolConfig{},
-                                     core::gcounter_ops(),
-                                     lattice::GCounter{},
-                                     kv::ShardOptions{/*shards=*/4});
+      if constexpr (std::is_same_v<KvStore, Store>) {
+        return std::make_unique<Store>(ctx, replicas, core::ProtocolConfig{},
+                                       core::gcounter_ops(),
+                                       lattice::GCounter{},
+                                       kv::ShardOptions{/*shards=*/4});
+      } else {
+        // Per-key/per-replica timer randomization is derived inside the
+        // store; the default config is enough here.
+        return std::make_unique<KvStore>(ctx, replicas,
+                                         typename KvStore::Config{},
+                                         kv::ShardOptions{/*shards=*/4});
+      }
     });
   }
 }
 
-// The three hosts share everything but the run loop: the simulator runs to
-// quiescence in virtual time, the live clusters poll the client's done flag
-// on the wall clock.
-template <typename Cluster>
+// The three hosts share everything but the run loop: the simulator runs in
+// bounded virtual-time slices (the keyed baselines re-arm heartbeat and
+// election timers forever, so their event queue never drains), the live
+// clusters poll the client's done flag on the wall clock.
+template <typename KvStore>
+bool run_sim(const std::vector<Step>& script,
+             std::map<std::string, std::uint64_t>& results,
+             std::size_t& keys_hosted) {
+  sim::Simulator sim(/*seed=*/23);
+  const std::vector<NodeId> replicas{0, 1, 2};
+  add_store_nodes<KvStore>(sim, replicas);
+  const NodeId client = sim.add_node([&script](net::Context& ctx) {
+    return std::make_unique<UrlClient>(ctx, script);
+  });
+  while (sim.now() < 60 * kSecond &&
+         !sim.endpoint_as<UrlClient>(client).done())
+    sim.run_for(20 * kMillisecond);
+  results = sim.endpoint_as<UrlClient>(client).read_results;
+  keys_hosted = sim.endpoint_as<KvStore>(0).key_count();
+  return sim.endpoint_as<UrlClient>(client).done();
+}
+
+template <typename Cluster, typename KvStore>
 bool run_live(const std::vector<Step>& script,
               std::map<std::string, std::uint64_t>& results) {
   Cluster cluster;
   const std::vector<NodeId> replicas{0, 1, 2};
-  add_store_nodes(cluster, replicas);
+  add_store_nodes<KvStore>(cluster, replicas);
   const NodeId client = cluster.add_node([&script](net::Context& ctx) {
     return std::make_unique<UrlClient>(ctx, script);
   });
@@ -138,18 +176,39 @@ bool run_live(const std::vector<Step>& script,
   return cluster.template endpoint_as<UrlClient>(client).done();
 }
 
+template <typename KvStore>
+int run_system(const char* transport, const std::vector<Step>& script,
+               std::map<std::string, std::uint64_t>& results,
+               std::size_t& keys_hosted) {
+  if (std::strcmp(transport, "sim") == 0) {
+    if (!run_sim<KvStore>(script, results, keys_hosted)) return 2;
+  } else if (std::strcmp(transport, "inproc") == 0) {
+    if (!run_live<net::InprocCluster, KvStore>(script, results)) return 2;
+  } else if (std::strcmp(transport, "tcp") == 0) {
+    if (!run_live<net::TcpCluster, KvStore>(script, results)) return 2;
+  } else {
+    std::fprintf(stderr, "unknown --transport %s (sim | inproc | tcp)\n",
+                 transport);
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* transport = "sim";
+  const char* system = "crdt";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--transport") == 0 && i + 1 < argc)
       transport = argv[++i];
+    else if (std::strcmp(argv[i], "--system") == 0 && i + 1 < argc)
+      system = argv[++i];
   }
   std::printf(
       "kv store: per-URL linearizable view counters, 3 replicas, "
-      "transport=%s\n",
-      transport);
+      "transport=%s, system=%s\n",
+      transport, system);
 
   const std::vector<std::string> urls{"/home", "/about", "/pricing"};
   const int views[] = {5, 2, 7};
@@ -157,25 +216,18 @@ int main(int argc, char** argv) {
 
   std::map<std::string, std::uint64_t> results;
   std::size_t keys_hosted = 0;
-  if (std::strcmp(transport, "sim") == 0) {
-    sim::Simulator sim(/*seed=*/23);
-    const std::vector<NodeId> replicas{0, 1, 2};
-    add_store_nodes(sim, replicas);
-    const NodeId client = sim.add_node([&script](net::Context& ctx) {
-      return std::make_unique<UrlClient>(ctx, script);
-    });
-    sim.run_to_completion();
-    results = sim.endpoint_as<UrlClient>(client).read_results;
-    keys_hosted = sim.endpoint_as<Store>(0).key_count();
-  } else if (std::strcmp(transport, "inproc") == 0) {
-    if (!run_live<net::InprocCluster>(script, results)) return 2;
-  } else if (std::strcmp(transport, "tcp") == 0) {
-    if (!run_live<net::TcpCluster>(script, results)) return 2;
+  int rc = 2;
+  if (std::strcmp(system, "crdt") == 0) {
+    rc = run_system<Store>(transport, script, results, keys_hosted);
+  } else if (std::strcmp(system, "paxos") == 0) {
+    rc = run_system<PaxosStore>(transport, script, results, keys_hosted);
+  } else if (std::strcmp(system, "raft") == 0) {
+    rc = run_system<RaftStore>(transport, script, results, keys_hosted);
   } else {
-    std::fprintf(stderr, "unknown --transport %s (sim | inproc | tcp)\n",
-                 transport);
-    return 2;
+    std::fprintf(stderr, "unknown --system %s (crdt | paxos | raft)\n",
+                 system);
   }
+  if (rc != 0) return rc;
 
   // Views arrive at whatever replica is closest; reads are linearizable
   // regardless of which replica serves them — on every transport.

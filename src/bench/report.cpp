@@ -117,8 +117,9 @@ void JsonReport::set_meta(const std::string& key, double value) {
   meta_.emplace_back(key, buf);
 }
 
-void JsonReport::add_table(const std::string& name, const Table& table) {
-  tables_.emplace_back(name, table);
+void JsonReport::add_table(const std::string& name, const Table& table,
+                           RowAnnotations annotations) {
+  tables_.push_back({name, table, std::move(annotations)});
 }
 
 void JsonReport::write(std::ostream& out) const {
@@ -130,15 +131,21 @@ void JsonReport::write(std::ostream& out) const {
   }
   out << "},\n  \"tables\": {";
   for (std::size_t t = 0; t < tables_.size(); ++t) {
-    const auto& [name, table] = tables_[t];
+    const auto& [name, table, annotations] = tables_[t];
     out << (t ? ",\n    " : "\n    ");
     write_json_string(out, name);
     out << ": [";
     for (std::size_t r = 0; r < table.rows().size(); ++r) {
       const auto& row = table.rows()[r];
       out << (r ? ",\n      " : "\n      ") << "{";
+      for (std::size_t a = 0; a < annotations.size(); ++a) {
+        out << (a ? ", " : "");
+        write_json_string(out, annotations[a].first);
+        out << ": ";
+        write_json_cell(out, annotations[a].second);
+      }
       for (std::size_t c = 0; c < row.size(); ++c) {
-        out << (c ? ", " : "");
+        out << (c || !annotations.empty() ? ", " : "");
         write_json_string(out, table.headers()[c]);
         out << ": ";
         write_json_cell(out, row[c]);

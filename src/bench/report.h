@@ -35,9 +35,15 @@ class Table {
 // cells are emitted as JSON numbers.
 class JsonReport {
  public:
+  // Constant key/value pairs stamped into every JSON row of one table —
+  // e.g. {"system", system_name(system)} makes each row self-describing
+  // instead of relying on the table's name or field order.
+  using RowAnnotations = std::vector<std::pair<std::string, std::string>>;
+
   void set_meta(const std::string& key, const std::string& value);
   void set_meta(const std::string& key, double value);
-  void add_table(const std::string& name, const Table& table);
+  void add_table(const std::string& name, const Table& table,
+                 RowAnnotations annotations = {});
 
   // {"meta": {...}, "tables": {"<name>": [{header: cell, ...}, ...]}}
   void write(std::ostream& out) const;
@@ -45,9 +51,15 @@ class JsonReport {
   bool write_file(const std::string& path) const;
 
  private:
+  struct NamedTable {
+    std::string name;
+    Table table;
+    RowAnnotations annotations;
+  };
+
   // Meta values are pre-rendered JSON fragments (quoted string or number).
   std::vector<std::pair<std::string, std::string>> meta_;
-  std::vector<std::pair<std::string, Table>> tables_;
+  std::vector<NamedTable> tables_;
 };
 
 std::string fmt_double(double value, int precision = 1);

@@ -7,6 +7,7 @@
 #include "common/assert.h"
 #include "core/ops.h"
 #include "core/replica.h"
+#include "kv/keyed_log_store.h"
 #include "kv/sharded_store.h"
 #include "lattice/gcounter.h"
 #include "sim/simulator.h"
@@ -161,6 +162,8 @@ RunResult run_kv_workload(const KvRunConfig& config) {
   LSR_EXPECTS(config.keys >= 1);
   using lattice::GCounter;
   using Store = kv::ShardedStore<GCounter>;
+  using PaxosStore = kv::KeyedLogStore<paxos::MultiPaxosReplica>;
+  using RaftStore = kv::KeyedLogStore<raft::RaftReplica>;
 
   sim::NetworkConfig net = config.net;
   net.lossy_node_limit = static_cast<NodeId>(config.replicas);
@@ -173,20 +176,43 @@ RunResult run_kv_workload(const KvRunConfig& config) {
   for (std::size_t i = 0; i < config.replicas; ++i)
     replica_ids[i] = static_cast<NodeId>(i);
 
-  // Sect. 3.6 batching finally reaches the KV path: each key's proposer
-  // flushes one update and one query batch per interval, so a Zipfian hot
-  // key coalesces its queued commands instead of serializing per-command
-  // protocol instances.
+  // Sect. 3.6 batching on the KV path: each key's proposer flushes one
+  // update and one query batch per interval, so a Zipfian hot key coalesces
+  // its queued commands instead of serializing per-command protocol
+  // instances. kCrdtBatching turns it on even when left unconfigured.
   core::ProtocolConfig protocol = config.protocol;
   if (config.batch_interval > 0) protocol.batch_interval = config.batch_interval;
+  if (config.system == System::kCrdtBatching && protocol.batch_interval == 0)
+    protocol.batch_interval = 5 * kMillisecond;
 
   const kv::ShardOptions shard_options{config.shards};
   for (std::size_t i = 0; i < config.replicas; ++i) {
-    sim.add_node([&replica_ids, &protocol, &shard_options](net::Context& ctx) {
-      return std::make_unique<Store>(ctx, replica_ids, protocol,
-                                     core::gcounter_ops(), GCounter{},
-                                     shard_options);
-    });
+    switch (config.system) {
+      case System::kCrdt:
+      case System::kCrdtBatching:
+        sim.add_node([&replica_ids, &protocol, &shard_options](net::Context& ctx) {
+          return std::make_unique<Store>(ctx, replica_ids, protocol,
+                                         core::gcounter_ops(), GCounter{},
+                                         shard_options);
+        });
+        break;
+      case System::kMultiPaxos:
+        sim.add_node([&replica_ids, &config, &shard_options](net::Context& ctx) {
+          return std::make_unique<PaxosStore>(ctx, replica_ids, config.paxos,
+                                              shard_options);
+        });
+        break;
+      case System::kRaft:
+        // Per-replica and per-key rng differentiation happens inside the
+        // store (per_key_config); only the run seed is threaded through.
+        sim.add_node([&replica_ids, &config, &shard_options](net::Context& ctx) {
+          raft::RaftConfig raft_config = config.raft;
+          raft_config.rng_seed = config.seed;
+          return std::make_unique<RaftStore>(ctx, replica_ids, raft_config,
+                                             shard_options);
+        });
+        break;
+    }
   }
 
   // Shared keyspace + popularity distribution (clients draw from it with
@@ -217,6 +243,19 @@ RunResult run_kv_workload(const KvRunConfig& config) {
   result.update_latency = collector.update_latency();
   result.messages_sent = sim.messages_sent();
   result.bytes_sent = sim.bytes_sent();
+  // Log growth of the keyed baselines: per-node sum over every key's peak
+  // log, maxed over the replicas (the CRDT stores keep no log at all).
+  if (config.system == System::kMultiPaxos) {
+    for (std::size_t i = 0; i < config.replicas; ++i)
+      result.peak_log_entries =
+          std::max(result.peak_log_entries,
+                   sim.endpoint_as<PaxosStore>(replica_ids[i]).peak_log_entries());
+  } else if (config.system == System::kRaft) {
+    for (std::size_t i = 0; i < config.replicas; ++i)
+      result.peak_log_entries =
+          std::max(result.peak_log_entries,
+                   sim.endpoint_as<RaftStore>(replica_ids[i]).peak_log_entries());
+  }
   return result;
 }
 

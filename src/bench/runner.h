@@ -92,10 +92,16 @@ struct RunResult {
 
 RunResult run_workload(const RunConfig& config);
 
-// Multi-key workload over the sharded KV store (kv::ShardedStore): a
-// Zipfian-ranked keyspace, closed-loop clients spread over the replicas, one
-// CRDT protocol instance per key, `shards` execution shards per node.
+// Multi-key workload over the sharded keyed stores: a Zipfian-ranked
+// keyspace, closed-loop clients spread over the replicas, one protocol
+// instance per key, `shards` execution shards per node. The `system` knob
+// picks the runtime: kCrdt/kCrdtBatching run kv::ShardedStore (CRDT Paxos
+// per key), kMultiPaxos/kRaft run kv::KeyedLogStore (a full log-based
+// replica per key) — all four on the identical workload, clients and
+// envelopes, which is what makes BENCH_kv_baselines.json a Fig. 1-style
+// comparison.
 struct KvRunConfig {
+  System system = System::kCrdt;
   std::size_t replicas = 3;
   std::size_t clients = 64;
   std::uint32_t shards = 4;     // power of two
@@ -107,12 +113,26 @@ struct KvRunConfig {
   TimeNs measure = 2 * kSecond;
   std::uint64_t seed = 1;
 
+  // CRDT Paxos knobs (kCrdt, kCrdtBatching).
   core::ProtocolConfig protocol;
   // Per-key proposer batching (paper Sect. 3.6). > 0: every key's proposer
   // buffers commands and flushes once per interval — Zipfian hot keys
   // amortize their protocol rounds over the whole batch instead of
   // serializing one instance per command. Overrides protocol.batch_interval.
+  // kCrdtBatching defaults to 5 ms when left at 0.
   TimeNs batch_interval = 0;
+
+  // Log-baseline knobs (kMultiPaxos, kRaft). Defaults relax the single-key
+  // heartbeat cadence: every key runs its own leader, so the single-key
+  // 1 ms heartbeat would multiply into pure per-key background traffic.
+  paxos::PaxosConfig paxos = [] {
+    paxos::PaxosConfig config;
+    config.heartbeat_interval = 5 * kMillisecond;
+    config.lease_duration = 25 * kMillisecond;
+    return config;
+  }();
+  raft::RaftConfig raft;
+
   sim::NetworkConfig net;  // lossy_node_limit is set by the runner
   sim::NodeConfig node;
 };

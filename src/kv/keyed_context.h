@@ -1,0 +1,47 @@
+// Per-key net::Context decorator shared by the keyed stores (the CRDT
+// ShardedStore and the log-baseline KeyedLogStore): every outgoing message
+// of one key's protocol instance is prefixed with the key's shard envelope
+// (hash precomputed once at instance creation), and instance-relative timer
+// lanes are translated onto the lane block the hosting store assigned to the
+// key's shard. The wrapped instance never learns it is multiplexed.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/types.h"
+#include "kv/shard.h"
+#include "net/context.h"
+
+namespace lsr::kv {
+
+class KeyedContext final : public net::Context {
+ public:
+  KeyedContext(net::Context& inner, std::string key, std::uint32_t key_hash,
+               int base_lane)
+      : inner_(inner),
+        key_(std::move(key)),
+        key_hash_(key_hash),
+        base_lane_(base_lane) {}
+
+  NodeId self() const override { return inner_.self(); }
+  TimeNs now() const override { return inner_.now(); }
+  void send(NodeId dst, Bytes data) override {
+    inner_.send(dst, make_envelope(key_hash_, key_, data));
+  }
+  net::TimerId set_timer(TimeNs delay, int lane,
+                         std::function<void()> fn) override {
+    return inner_.set_timer(delay, base_lane_ + lane, std::move(fn));
+  }
+  void cancel_timer(net::TimerId id) override { inner_.cancel_timer(id); }
+  void consume(TimeNs cost) override { inner_.consume(cost); }
+
+ private:
+  net::Context& inner_;
+  std::string key_;
+  std::uint32_t key_hash_;
+  int base_lane_;
+};
+
+}  // namespace lsr::kv

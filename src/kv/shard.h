@@ -26,6 +26,16 @@ constexpr std::uint8_t kEnvelopeTag = 0xE1;
 
 using ShardId = std::uint32_t;
 
+// Shared by every keyed store (CRDT ShardedStore, log-baseline
+// KeyedLogStore): how many shards partition this node's keyspace.
+struct ShardOptions {
+  std::uint32_t shards = 4;  // must be a power of two
+
+  constexpr bool valid() const {
+    return shards > 0 && (shards & (shards - 1)) == 0;
+  }
+};
+
 constexpr std::uint32_t fnv1a(std::string_view key) noexcept {
   std::uint32_t hash = 2166136261u;
   for (const char c : key) {

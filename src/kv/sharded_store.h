@@ -31,19 +31,12 @@
 #include "common/wire.h"
 #include "core/messages.h"
 #include "core/replica.h"
+#include "kv/keyed_context.h"
 #include "kv/shard.h"
 #include "net/context.h"
 #include "rsm/client_msg.h"
 
 namespace lsr::kv {
-
-struct ShardOptions {
-  std::uint32_t shards = 4;  // must be a power of two
-
-  constexpr bool valid() const {
-    return shards > 0 && (shards & (shards - 1)) == 0;
-  }
-};
 
 template <lattice::SerializableLattice L>
 class ShardedStore final : public net::Endpoint {
@@ -146,37 +139,9 @@ class ShardedStore final : public net::Endpoint {
   }
 
  private:
-  // Per-key context: prefixes every outgoing message with the key's shard
-  // envelope (hash precomputed once) and translates the instance-relative
-  // lane of timers onto the shard's lane pair.
-  class KeyedContext final : public net::Context {
-   public:
-    KeyedContext(net::Context& inner, std::string key, std::uint32_t key_hash,
-                 int base_lane)
-        : inner_(inner),
-          key_(std::move(key)),
-          key_hash_(key_hash),
-          base_lane_(base_lane) {}
-
-    NodeId self() const override { return inner_.self(); }
-    TimeNs now() const override { return inner_.now(); }
-    void send(NodeId dst, Bytes data) override {
-      inner_.send(dst, make_envelope(key_hash_, key_, data));
-    }
-    net::TimerId set_timer(TimeNs delay, int lane,
-                           std::function<void()> fn) override {
-      return inner_.set_timer(delay, base_lane_ + lane, std::move(fn));
-    }
-    void cancel_timer(net::TimerId id) override { inner_.cancel_timer(id); }
-    void consume(TimeNs cost) override { inner_.consume(cost); }
-
-   private:
-    net::Context& inner_;
-    std::string key_;
-    std::uint32_t key_hash_;
-    int base_lane_;
-  };
-
+  // Per-key context (shared with the keyed log baselines): prefixes every
+  // outgoing message with the key's shard envelope and translates the
+  // instance-relative lane of timers onto the shard's lane pair.
   struct Instance {
     Instance(net::Context& outer, std::string_view key, std::uint32_t key_hash,
              int base_lane, const std::vector<NodeId>& replicas,

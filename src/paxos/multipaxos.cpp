@@ -52,8 +52,13 @@ void MultiPaxosReplica::broadcast(const Bytes& data) {
 }
 
 void MultiPaxosReplica::on_message(NodeId from, const Bytes& data) {
+  on_message(from, data.data(), data.size());
+}
+
+void MultiPaxosReplica::on_message(NodeId from, const std::uint8_t* data,
+                                   std::size_t size) {
   try {
-    Decoder dec(data);
+    Decoder dec(data, size);
     const std::uint8_t tag = dec.get_u8();
     if (rsm::is_client_tag(tag)) {
       if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kUpdate)) {
@@ -64,12 +69,12 @@ void MultiPaxosReplica::on_message(NodeId from, const Bytes& data) {
                                static_cast<std::int64_t>(args.get_u64()));
         } else if (leader_hint_ != kNoLeader && leader_hint_ != ctx_.self()) {
           ++stats_.forwards;
-          Forward fwd{from, data};
+          Forward fwd{from, Bytes(data, data + size)};
           Encoder enc;
           fwd.encode(enc);
           ctx_.send(leader_hint_, std::move(enc).take());
         } else {
-          pending_client_.emplace_back(from, data);
+          pending_client_.emplace_back(from, Bytes(data, data + size));
         }
       } else if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kQuery)) {
         auto msg = rsm::ClientQuery::decode(dec);
@@ -77,12 +82,12 @@ void MultiPaxosReplica::on_message(NodeId from, const Bytes& data) {
           handle_client_query(from, msg.request);
         } else if (leader_hint_ != kNoLeader && leader_hint_ != ctx_.self()) {
           ++stats_.forwards;
-          Forward fwd{from, data};
+          Forward fwd{from, Bytes(data, data + size)};
           Encoder enc;
           fwd.encode(enc);
           ctx_.send(leader_hint_, std::move(enc).take());
         } else {
-          pending_client_.emplace_back(from, data);
+          pending_client_.emplace_back(from, Bytes(data, data + size));
         }
       }
       return;
@@ -214,8 +219,35 @@ void MultiPaxosReplica::drain_reads() {
 
 // ---- heartbeats / leases ----
 
+void MultiPaxosReplica::retransmit_stalled_accepts() {
+  // Accepts are broadcast once at propose time; on a lossy link a slot whose
+  // Accept reached no majority would stall the commit index forever (the
+  // paper's comparators run over TCP, this port also runs on lossy simulated
+  // links). Heartbeats piggy-back the detector: no commit progress across
+  // a few intervals + uncommitted slots => re-broadcast the oldest ones.
+  if (commit_index_ > commit_at_last_heartbeat_ ||
+      log_.upper_bound(commit_index_) == log_.end()) {
+    commit_at_last_heartbeat_ = commit_index_;
+    stalled_heartbeats_ = 0;
+    return;
+  }
+  if (++stalled_heartbeats_ < 4) return;
+  stalled_heartbeats_ = 0;
+  constexpr std::uint64_t kMaxRetransmit = 32;
+  std::uint64_t sent = 0;
+  for (auto it = log_.upper_bound(commit_index_);
+       it != log_.end() && sent < kMaxRetransmit; ++it, ++sent) {
+    Accept accept{ballot_, it->first, commit_index_, it->second.command};
+    Encoder enc;
+    accept.encode(enc);
+    broadcast(enc.bytes());
+    ++stats_.accept_retransmits;
+  }
+}
+
 void MultiPaxosReplica::send_heartbeat() {
   if (!leading_) return;
+  retransmit_stalled_accepts();
   ++heartbeat_sequence_;
   heartbeat_sent_[heartbeat_sequence_] = ctx_.now();
   heartbeat_acks_[heartbeat_sequence_].insert(ctx_.self());
@@ -399,7 +431,10 @@ void MultiPaxosReplica::arm_failover_timer() {
     const bool quiet =
         ctx_.now() - last_leader_contact_ >=
         config_.failover_timeout;
-    if (!leading_ && !campaigning_ && quiet) start_view_change();
+    // A campaign whose Prepares or Promises were lost would otherwise stay
+    // `campaigning_` forever; restarting takes a fresh, higher ballot and is
+    // always safe.
+    if (!leading_ && quiet) start_view_change();
     arm_failover_timer();
   });
 }

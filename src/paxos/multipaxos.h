@@ -58,16 +58,23 @@ struct PaxosStats {
   std::uint64_t log_appends = 0;
   std::uint64_t peak_log_entries = 0;  // high-water mark (log growth)
   std::uint64_t catchups_served = 0;
+  std::uint64_t accept_retransmits = 0;  // stalled-slot Accept re-broadcasts
 };
 
 class MultiPaxosReplica final : public net::Endpoint {
  public:
+  using Config = PaxosConfig;
+  using Stats = PaxosStats;
+
   MultiPaxosReplica(net::Context& ctx, std::vector<NodeId> replicas,
                     PaxosConfig config = {});
 
   void on_start() override;
   void on_recover() override;
   void on_message(NodeId from, const Bytes& data) override;
+  // Span form for multiplexing hosts (the keyed KV store) that deliver the
+  // payload in place out of a shard envelope.
+  void on_message(NodeId from, const std::uint8_t* data, std::size_t size);
 
   bool is_leader() const { return leading_; }
   std::int64_t value() const { return value_; }
@@ -96,6 +103,7 @@ class MultiPaxosReplica final : public net::Endpoint {
   void propose(Command command);
   void on_accepted(NodeId from, const Accepted& msg);
   void maybe_commit(std::uint64_t slot);
+  void retransmit_stalled_accepts();
   void send_heartbeat();
   void on_heartbeat_ack(NodeId from, const HeartbeatAck& msg);
   bool lease_valid() const;
@@ -148,6 +156,11 @@ class MultiPaxosReplica final : public net::Endpoint {
   TimeNs lease_until_ = 0;
   std::vector<PendingRead> pending_reads_;
   net::TimerId heartbeat_timer_ = net::kInvalidTimer;
+  // Commit progress watermark for loss recovery: when the commit index sits
+  // still across consecutive heartbeats while uncommitted slots exist, their
+  // Accepts were probably lost and are re-broadcast.
+  std::uint64_t commit_at_last_heartbeat_ = 0;
+  int stalled_heartbeats_ = 0;
 
   // Candidate state.
   bool campaigning_ = false;

@@ -72,11 +72,16 @@ void RaftReplica::append_entry(LogEntry entry) {
 // ---- message dispatch ----
 
 void RaftReplica::on_message(NodeId from, const Bytes& data) {
+  on_message(from, data.data(), data.size());
+}
+
+void RaftReplica::on_message(NodeId from, const std::uint8_t* data,
+                             std::size_t size) {
   try {
-    Decoder dec(data);
+    Decoder dec(data, size);
     const std::uint8_t tag = dec.get_u8();
     if (rsm::is_client_tag(tag)) {
-      handle_client(from, data, tag, dec);
+      handle_client(from, data, size, tag, dec);
       return;
     }
     switch (static_cast<MsgTag>(tag)) {
@@ -110,17 +115,18 @@ void RaftReplica::on_message(NodeId from, const Bytes& data) {
   }
 }
 
-void RaftReplica::handle_client(NodeId client, const Bytes& data,
-                                std::uint8_t tag, Decoder& dec) {
+void RaftReplica::handle_client(NodeId client, const std::uint8_t* data,
+                                std::size_t size, std::uint8_t tag,
+                                Decoder& dec) {
   if (role_ != Role::kLeader) {
     if (leader_hint_ != kNobody && leader_hint_ != ctx_.self()) {
       ++stats_.forwards;
-      Forward fwd{client, data};
+      Forward fwd{client, Bytes(data, data + size)};
       Encoder enc;
       fwd.encode(enc);
       ctx_.send(leader_hint_, std::move(enc).take());
     } else {
-      pending_client_.emplace_back(client, data);
+      pending_client_.emplace_back(client, Bytes(data, data + size));
     }
     return;
   }

@@ -54,12 +54,18 @@ struct RaftStats {
 
 class RaftReplica final : public net::Endpoint {
  public:
+  using Config = RaftConfig;
+  using Stats = RaftStats;
+
   RaftReplica(net::Context& ctx, std::vector<NodeId> replicas,
               RaftConfig config = {});
 
   void on_start() override;
   void on_recover() override;
   void on_message(NodeId from, const Bytes& data) override;
+  // Span form for multiplexing hosts (the keyed KV store) that deliver the
+  // payload in place out of a shard envelope.
+  void on_message(NodeId from, const std::uint8_t* data, std::size_t size);
 
   enum class Role { kFollower, kCandidate, kLeader };
 
@@ -90,8 +96,8 @@ class RaftReplica final : public net::Endpoint {
   void append_entry(LogEntry entry);
 
   // Client handling.
-  void handle_client(NodeId client, const Bytes& data, std::uint8_t tag,
-                     Decoder& dec);
+  void handle_client(NodeId client, const std::uint8_t* data, std::size_t size,
+                     std::uint8_t tag, Decoder& dec);
   void drain_pending_client_messages();
 
   // Election.

@@ -39,6 +39,20 @@ class KvRecordingClient final : public net::Endpoint {
     LSR_EXPECTS(keys_ != nullptr && !keys_->empty());
   }
 
+  // Enables request retransmission (same request id and key) after
+  // `timeout`; after `failover_after` consecutive timeouts the client
+  // reconnects to the next of `replica_count` replicas. Required for the log
+  // baselines under crash/partition nemeses (a follower that forwarded a
+  // command to a dead leader does not keep it) — their replicated session
+  // tables make retried updates apply at most once, so the recorded history
+  // stays sound. The CRDT store has no sessions: keep retries off there or
+  // an increment may double-apply.
+  void enable_retry(TimeNs timeout, int failover_after, NodeId replica_count) {
+    retry_timeout_ = timeout;
+    failover_after_ = failover_after;
+    replica_count_ = replica_count;
+  }
+
   void on_start() override { submit_next(); }
 
   void on_message(NodeId from, const Bytes& data) override {
@@ -65,6 +79,11 @@ class KvRecordingClient final : public net::Endpoint {
     } catch (const WireError&) {
       return;
     }
+    if (retry_timer_ != net::kInvalidTimer) {
+      ctx_.cancel_timer(retry_timer_);
+      retry_timer_ = net::kInvalidTimer;
+    }
+    timeouts_in_a_row_ = 0;
     ++completed_;
     inflight_request_ = 0;
     if (max_ops_ == 0 || completed_ < max_ops_) submit_next();
@@ -92,8 +111,12 @@ class KvRecordingClient final : public net::Endpoint {
     inflight_start_ = ctx_.now();
     inflight_request_ = make_request_id(ctx_.self(), next_counter_++);
     inflight_key_ = (*keys_)[rng_.next_below(keys_->size())];
+    transmit();
+  }
+
+  void transmit() {
     Encoder inner;
-    if (is_read) {
+    if (!inflight_is_update_) {
       rsm::ClientQuery{inflight_request_, 0, {}}.encode(inner);
     } else {
       Encoder args;
@@ -102,6 +125,18 @@ class KvRecordingClient final : public net::Endpoint {
           inner);
     }
     ctx_.send(replica_, kv::make_envelope(inflight_key_, inner.bytes()));
+    if (retry_timeout_ > 0) {
+      retry_timer_ = ctx_.set_timer(retry_timeout_, 0, [this] {
+        retry_timer_ = net::kInvalidTimer;
+        ++timeouts_in_a_row_;
+        if (failover_after_ > 0 && timeouts_in_a_row_ >= failover_after_ &&
+            replica_count_ > 1) {
+          replica_ = (replica_ + 1) % replica_count_;
+          timeouts_in_a_row_ = 0;
+        }
+        transmit();
+      });
+    }
   }
 
   net::Context& ctx_;
@@ -111,6 +146,11 @@ class KvRecordingClient final : public net::Endpoint {
   Rng rng_;
   KeyedHistory* history_;
   std::uint64_t max_ops_;
+  TimeNs retry_timeout_ = 0;
+  int failover_after_ = 0;
+  NodeId replica_count_ = 0;
+  int timeouts_in_a_row_ = 0;
+  net::TimerId retry_timer_ = net::kInvalidTimer;
   RequestId inflight_request_ = 0;
   bool inflight_is_update_ = false;
   std::string inflight_key_;

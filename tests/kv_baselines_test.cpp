@@ -1,0 +1,388 @@
+// Keyed log-baseline runtime (kv::KeyedLogStore): lane/executor geometry,
+// cross-replica per-key counts through leader forwarding, envelope fuzz
+// robustness (truncated / bit-flipped / oversized payloads), and the
+// seed-sweep nemesis: per-key linearizability of all three systems under
+// message loss, duplication, a transient partition and a replica crash.
+#include "kv/keyed_log_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench/runner.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/ops.h"
+#include "kv/shard.h"
+#include "kv/sharded_store.h"
+#include "lattice/gcounter.h"
+#include "paxos/multipaxos.h"
+#include "raft/raft.h"
+#include "rsm/client_msg.h"
+#include "sim/simulator.h"
+#include "verify/history.h"
+#include "verify/kv_recording_client.h"
+#include "verify/linearizability.h"
+
+namespace lsr::kv {
+namespace {
+
+using PaxosStore = KeyedLogStore<paxos::MultiPaxosReplica>;
+using RaftStore = KeyedLogStore<raft::RaftReplica>;
+using CrdtStore = ShardedStore<lattice::GCounter>;
+
+std::vector<std::string> make_keys(std::size_t n, const std::string& prefix) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(prefix + std::to_string(i));
+  return keys;
+}
+
+// Runs the simulation in bounded slices until `done` reports true; the event
+// queue of the keyed baselines never drains (per-key leaders re-arm
+// heartbeat and election timers forever), so run_to_completion would spin to
+// the safety limit.
+template <typename DonePredicate>
+bool run_until_done(sim::Simulator& sim, TimeNs limit, DonePredicate done) {
+  while (sim.now() < limit) {
+    if (done()) return true;
+    sim.run_for(20 * kMillisecond);
+  }
+  return done();
+}
+
+TEST(KeyedLogStore, LaneGeometryIsOneLanePerShard) {
+  sim::Simulator sim(2);
+  const std::vector<NodeId> replicas{0};
+  sim.add_node([&replicas](net::Context& ctx) {
+    return std::make_unique<PaxosStore>(ctx, replicas, paxos::PaxosConfig{},
+                                        ShardOptions{8});
+  });
+  auto& store = sim.endpoint_as<PaxosStore>(0);
+  // The log baselines model a single peer FSM per key, so a shard is one
+  // lane and one executor group (the CRDT store has a pair per shard).
+  EXPECT_EQ(store.lane_count(), 8);
+  EXPECT_EQ(store.executor_count(), 8);
+  for (int lane = 0; lane < store.lane_count(); ++lane)
+    EXPECT_EQ(store.executor_of(lane), lane);
+  // Client and protocol messages of one key land on the same shard lane.
+  const std::string key = "geometry-key";
+  Encoder update;
+  rsm::ClientUpdate{make_request_id(9, 0), 0, core::encode_increment_args(1)}
+      .encode(update);
+  EXPECT_EQ(store.lane_of(make_envelope(key, update.bytes())),
+            static_cast<int>(store.shard_of(key)));
+  Encoder protocol_msg;
+  protocol_msg.put_u8(16);  // first protocol-internal tag
+  EXPECT_EQ(store.lane_of(make_envelope(key, protocol_msg.bytes())),
+            static_cast<int>(store.shard_of(key)));
+  // Malformed input routes to lane 0 and is dropped during handling.
+  EXPECT_EQ(store.lane_of(Bytes{0x00, 0x01}), 0);
+}
+
+// Scripted client: per-key increments submitted through different replicas,
+// then one read per key through yet another replica — the leader-forwarding
+// path must deliver the exact per-key count regardless of entry replica.
+class ScriptClient final : public net::Endpoint {
+ public:
+  struct Step {
+    std::string key;
+    bool is_read = false;
+    NodeId replica = 0;
+  };
+
+  ScriptClient(net::Context& ctx, std::vector<Step> steps)
+      : ctx_(ctx), steps_(std::move(steps)) {}
+
+  void on_start() override { submit(); }
+
+  void on_message(NodeId, const Bytes& data) override {
+    EnvelopeView env;
+    if (!peek_envelope(data, env)) return;
+    Decoder dec(env.inner, env.inner_size);
+    try {
+      const auto tag = static_cast<rsm::ClientTag>(dec.get_u8());
+      if (tag == rsm::ClientTag::kQueryDone) {
+        const auto done = rsm::QueryDone::decode(dec);
+        Decoder result(done.result);
+        reads[std::string(env.key)] = result.get_u64();
+      } else if (tag != rsm::ClientTag::kUpdateDone) {
+        return;
+      }
+    } catch (const WireError&) {
+      return;
+    }
+    ++index_;
+    submit();
+  }
+
+  bool done() const { return index_ >= steps_.size(); }
+
+  std::map<std::string, std::uint64_t> reads;
+
+ private:
+  void submit() {
+    if (done()) return;
+    const Step& step = steps_[index_];
+    Encoder inner;
+    if (step.is_read) {
+      rsm::ClientQuery{make_request_id(ctx_.self(), seq_++), 0, {}}.encode(
+          inner);
+    } else {
+      rsm::ClientUpdate{make_request_id(ctx_.self(), seq_++), 0,
+                        core::encode_increment_args(1)}
+          .encode(inner);
+    }
+    ctx_.send(step.replica, make_envelope(step.key, inner.bytes()));
+  }
+
+  net::Context& ctx_;
+  std::vector<Step> steps_;
+  std::size_t index_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+template <typename Store>
+void counts_correct_across_replicas() {
+  sim::Simulator sim(5);
+  const std::vector<NodeId> replicas{0, 1, 2};
+  for (int i = 0; i < 3; ++i) {
+    sim.add_node([&replicas](net::Context& ctx) {
+      return std::make_unique<Store>(ctx, replicas, typename Store::Config{},
+                                     ShardOptions{4});
+    });
+  }
+  const auto keys = make_keys(5, "url-");
+  std::vector<ScriptClient::Step> script;
+  for (std::size_t k = 0; k < keys.size(); ++k)
+    for (std::size_t v = 0; v <= k; ++v)  // key i gets i+1 increments
+      script.push_back({keys[k], false, static_cast<NodeId>(v % 3)});
+  for (std::size_t k = 0; k < keys.size(); ++k)
+    script.push_back({keys[k], true, static_cast<NodeId>((k + 1) % 3)});
+  const NodeId client = sim.add_node([&script](net::Context& ctx) {
+    return std::make_unique<ScriptClient>(ctx, script);
+  });
+  ASSERT_TRUE(run_until_done(sim, 20 * kSecond, [&] {
+    return sim.endpoint_as<ScriptClient>(client).done();
+  }));
+  auto& reads = sim.endpoint_as<ScriptClient>(client).reads;
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    ASSERT_TRUE(reads.count(keys[k])) << keys[k];
+    EXPECT_EQ(reads[keys[k]], k + 1) << keys[k];
+  }
+  // Keys were created on demand on every replica the protocol touched.
+  EXPECT_EQ(sim.endpoint_as<Store>(0).key_count(), keys.size());
+  EXPECT_GT(sim.endpoint_as<Store>(0).leader_count() +
+                sim.endpoint_as<Store>(1).leader_count() +
+                sim.endpoint_as<Store>(2).leader_count(),
+            0u);
+}
+
+TEST(KeyedLogStore, PaxosCountsCorrectAcrossReplicas) {
+  counts_correct_across_replicas<PaxosStore>();
+}
+
+TEST(KeyedLogStore, RaftCountsCorrectAcrossReplicas) {
+  counts_correct_across_replicas<RaftStore>();
+}
+
+// Envelope fuzz mirrored from shard_test: truncated, bit-flipped, oversized
+// and pure-garbage payloads must never crash the keyed baseline store, and
+// the envelope hash check must keep corrupted keys from materializing
+// (per-key instances are expensive here: each one is a full log replica).
+template <typename Store>
+void fuzz_garbage_through_store(std::uint64_t seed) {
+  const LogLevel saved_level = log_level();
+  set_log_level(LogLevel::kError);
+  class Sink final : public net::Endpoint {
+   public:
+    void on_message(NodeId, const Bytes&) override {}
+  };
+  sim::Simulator sim(seed);
+  const std::vector<NodeId> replicas{0};
+  sim.add_node([&replicas](net::Context& ctx) {
+    return std::make_unique<Store>(ctx, replicas, typename Store::Config{},
+                                   ShardOptions{4});
+  });
+  sim.add_node([](net::Context&) { return std::make_unique<Sink>(); });
+  auto& store = sim.endpoint_as<Store>(0);
+  Rng rng(seed);
+  Encoder update;
+  rsm::ClientUpdate{make_request_id(5, 1), 0, core::encode_increment_args(1)}
+      .encode(update);
+  for (int round = 0; round < 500; ++round) {
+    const std::string key = "fuzz" + std::to_string(rng.next_below(64));
+    Bytes envelope = make_envelope(key, update.bytes());
+    const int mode = static_cast<int>(rng.next_below(4));
+    if (mode == 0) {
+      envelope.resize(rng.next_below(envelope.size() + 1));  // truncate
+    } else if (mode == 1) {
+      const std::size_t at = rng.next_below(envelope.size());
+      envelope[at] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    } else if (mode == 2) {
+      // Oversized: a huge random tail (and sometimes a huge claimed key
+      // length) after a valid-looking prefix.
+      envelope.resize(8 + rng.next_below(64 * 1024));
+      for (std::size_t i = 1; i < envelope.size(); ++i)
+        envelope[i] = static_cast<std::uint8_t>(rng.next_u64());
+      envelope[0] = kEnvelopeTag;
+    } else {
+      envelope.assign(rng.next_below(64), 0);
+      for (auto& byte : envelope)
+        byte = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    const int lane = store.lane_of(envelope);
+    EXPECT_GE(lane, 0);
+    EXPECT_LT(lane, store.lane_count());
+    store.on_message(1, envelope);
+  }
+  // Only genuine fuzz-prefixed keys may materialize (a flip inside the inner
+  // payload still carries a valid header); corrupted headers never do.
+  EXPECT_LE(store.key_count(), 64u);
+  // Whatever instances came alive must not crash the simulation.
+  sim.run_for(50 * kMillisecond);
+  set_log_level(saved_level);
+}
+
+TEST(KeyedLogStore, FuzzGarbagePaxos) {
+  fuzz_garbage_through_store<PaxosStore>(11);
+}
+
+TEST(KeyedLogStore, FuzzGarbageRaft) { fuzz_garbage_through_store<RaftStore>(12); }
+
+// ---- seed-sweep nemesis ------------------------------------------------
+//
+// All three systems on the multi-key workload across >= 10 seeds, each run
+// under replica-link loss + duplication, a transient partition of replica 2
+// and a mid-run replica crash with recovery. Every key's history must stay
+// linearizable and every client session must complete.
+//
+// Asymmetry by design: the log baselines replicate per-client session
+// tables, so their clients run with retransmission + failover and any
+// replica (including a leader) may crash. The CRDT store has no sessions —
+// a retried increment could double-apply — so its clients keep retries off
+// and talk only to the replicas the nemesis never crashes (the same regime
+// as the PR 1 crash test).
+
+using NemesisParam = std::tuple<bench::System, std::uint32_t>;
+
+class KvBaselineNemesisP : public ::testing::TestWithParam<NemesisParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    SystemsAndShards, KvBaselineNemesisP,
+    ::testing::Combine(::testing::Values(bench::System::kCrdt,
+                                         bench::System::kMultiPaxos,
+                                         bench::System::kRaft),
+                       ::testing::Values(1u, 4u)),
+    [](const auto& info) {
+      const char* system = std::get<0>(info.param) == bench::System::kCrdt
+                               ? "Crdt"
+                               : std::get<0>(info.param) ==
+                                         bench::System::kMultiPaxos
+                                     ? "MultiPaxos"
+                                     : "Raft";
+      return std::string(system) + "Shards" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(KvBaselineNemesisP, PerKeyLinearizableUnderLossPartitionAndCrash) {
+  const auto [system, shards] = GetParam();
+  const bool is_crdt = system == bench::System::kCrdt;
+  constexpr int kSeeds = 10;
+  constexpr std::uint64_t kMaxOps = 40;
+  const auto keys = make_keys(8, "nem-");
+
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    sim::NetworkConfig net;
+    net.loss_probability = 0.03;
+    net.duplicate_probability = 0.02;
+    net.lossy_node_limit = 3;  // replica links only; client links stay fair
+    sim::Simulator sim(5000 + 100 * seed + shards, net);
+    const std::vector<NodeId> replicas{0, 1, 2};
+    for (int i = 0; i < 3; ++i) {
+      switch (system) {
+        case bench::System::kCrdt:
+          sim.add_node([&](net::Context& ctx) {
+            return std::make_unique<CrdtStore>(
+                ctx, replicas, core::ProtocolConfig{}, core::gcounter_ops(),
+                lattice::GCounter{}, ShardOptions{shards});
+          });
+          break;
+        case bench::System::kMultiPaxos:
+          sim.add_node([&](net::Context& ctx) {
+            return std::make_unique<PaxosStore>(ctx, replicas,
+                                                paxos::PaxosConfig{},
+                                                ShardOptions{shards});
+          });
+          break;
+        default:
+          sim.add_node([&](net::Context& ctx) {
+            raft::RaftConfig config;
+            config.rng_seed = 900 + 31 * static_cast<std::uint64_t>(seed);
+            return std::make_unique<RaftStore>(ctx, replicas, config,
+                                               ShardOptions{shards});
+          });
+          break;
+      }
+    }
+
+    verify::KeyedHistory history;
+    std::vector<NodeId> clients;
+    for (std::size_t c = 0; c < 4; ++c) {
+      // CRDT clients avoid the crashing replica (2); baseline clients spread
+      // over all three and rely on retry + failover.
+      const NodeId target =
+          is_crdt ? static_cast<NodeId>(c % 2) : static_cast<NodeId>(c % 3);
+      clients.push_back(sim.add_node([&, target, c](net::Context& ctx) {
+        auto client = std::make_unique<verify::KvRecordingClient>(
+            ctx, target, &keys, /*read_ratio=*/0.5,
+            /*seed=*/3000 + 10 * static_cast<std::uint64_t>(seed) + c,
+            &history, kMaxOps);
+        if (!is_crdt)
+          client->enable_retry(50 * kMillisecond, /*failover_after=*/3,
+                               /*replica_count=*/3);
+        return client;
+      }));
+    }
+
+    // Nemesis schedule: partition replica 2 away, heal, then crash a replica
+    // (a likely per-key leader for the baselines) and recover it.
+    const NodeId crash_node = is_crdt ? 2 : 0;
+    sim.call_at(30 * kMillisecond, [&] {
+      sim.set_partitioned(0, 2, true);
+      sim.set_partitioned(1, 2, true);
+    });
+    sim.call_at(90 * kMillisecond, [&] {
+      sim.set_partitioned(0, 2, false);
+      sim.set_partitioned(1, 2, false);
+    });
+    sim.call_at(150 * kMillisecond,
+                [&, crash_node] { sim.set_down(crash_node, true); });
+    sim.call_at(400 * kMillisecond,
+                [&, crash_node] { sim.set_down(crash_node, false); });
+
+    const bool all_done = run_until_done(sim, 30 * kSecond, [&] {
+      for (const NodeId client : clients)
+        if (sim.endpoint_as<verify::KvRecordingClient>(client).completed() <
+            kMaxOps)
+          return false;
+      return true;
+    });
+    for (const NodeId client : clients)
+      sim.endpoint_as<verify::KvRecordingClient>(client).flush_pending();
+
+    EXPECT_TRUE(all_done) << "seed " << seed << ": a client session wedged";
+    for (const auto& [key, key_history] : history.histories()) {
+      const auto result = verify::check_counter_linearizable(key_history);
+      EXPECT_TRUE(result.linearizable)
+          << "seed " << seed << " key " << key << ": " << result.explanation;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsr::kv

@@ -1,0 +1,177 @@
+// The keyed log baselines on the real-time threaded hosts: the same
+// kv::KeyedLogStore endpoints that run on the simulator execute on
+// net::InprocCluster worker threads and over loopback TCP sockets, with
+// per-key linearizability checked from merged client histories — the
+// "sim, inproc, and TCP" leg of the keyed-baseline acceptance. Runs under
+// ThreadSanitizer in CI (the store multiplexes per-key replicas across one
+// executor thread per shard; lane_of runs on sender threads).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kv/keyed_log_store.h"
+#include "net/inproc.h"
+#include "net/tcp.h"
+#include "paxos/multipaxos.h"
+#include "raft/raft.h"
+#include "verify/history.h"
+#include "verify/kv_recording_client.h"
+#include "verify/linearizability.h"
+
+namespace lsr::kv {
+namespace {
+
+using PaxosStore = KeyedLogStore<paxos::MultiPaxosReplica>;
+using RaftStore = KeyedLogStore<raft::RaftReplica>;
+
+struct ThreadedRunOptions {
+  std::size_t clients = 3;
+  std::uint64_t ops_per_client = 40;
+  int keys = 10;
+  std::uint32_t shards = 4;
+  std::uint64_t seed = 1;
+  // > 0: pause replica 2 for this long once the workload is underway (the
+  // crash-recovery kill; clients then need retry to recover forwarded
+  // commands that died with the paused node's queues).
+  TimeNs downtime = 0;
+  TimeNs retry_timeout = 0;
+  int deadline_ms = 30000;
+};
+
+struct ThreadedRunResult {
+  bool completed = false;
+  bool linearizable = false;
+  std::size_t key_count = 0;
+  std::string explanation;
+};
+
+template <typename Cluster, typename Store>
+ThreadedRunResult run_threaded_workload(const ThreadedRunOptions& options) {
+  ThreadedRunResult result;
+  // Outlives the cluster (declared first => destroyed last): keyspace and
+  // histories are pointed into by endpoints on other threads.
+  std::vector<std::string> keys;
+  for (int k = 0; k < options.keys; ++k)
+    keys.push_back("base" + std::to_string(k));
+  std::vector<std::unique_ptr<verify::KeyedHistory>> histories;
+  std::vector<NodeId> clients;
+  Cluster cluster;
+  const std::vector<NodeId> replica_ids{0, 1, 2};
+  for (std::size_t i = 0; i < replica_ids.size(); ++i) {
+    cluster.add_node([&](net::Context& ctx) {
+      return std::make_unique<Store>(ctx, replica_ids,
+                                     typename Store::Config{},
+                                     ShardOptions{options.shards});
+    });
+  }
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    histories.push_back(std::make_unique<verify::KeyedHistory>());
+    // Clients talk to replicas 0 and 1 so the 2/3 quorum stays live when
+    // replica 2 is paused.
+    clients.push_back(cluster.add_node([&, c](net::Context& ctx) {
+      auto client = std::make_unique<verify::KvRecordingClient>(
+          ctx, static_cast<NodeId>(c % 2), &keys, /*read_ratio=*/0.5,
+          options.seed * 31 + c, histories[c].get(), options.ops_per_client);
+      if (options.retry_timeout > 0)
+        client->enable_retry(options.retry_timeout, /*failover_after=*/3,
+                             /*replica_count=*/2);
+      return client;
+    }));
+  }
+  cluster.start();
+  if (options.downtime > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    cluster.set_paused(2, true);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(options.downtime));
+    cluster.set_paused(2, false);
+  }
+  const auto all_done = [&] {
+    for (const NodeId client : clients)
+      if (cluster.template endpoint_as<verify::KvRecordingClient>(client)
+              .completed() < options.ops_per_client)
+        return false;
+    return true;
+  };
+  for (int waited = 0; waited < options.deadline_ms && !all_done();
+       waited += 10)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  result.completed = all_done();
+  cluster.stop();
+  if (!result.completed) {
+    result.explanation = "clients did not finish within the deadline";
+    return result;
+  }
+  verify::KeyedHistory merged;
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    cluster.template endpoint_as<verify::KvRecordingClient>(clients[c])
+        .flush_pending();
+    merged.merge_from(*histories[c]);
+  }
+  result.key_count = merged.key_count();
+  result.linearizable = true;
+  for (const auto& [key, history] : merged.histories()) {
+    const auto check = verify::check_counter_linearizable(history);
+    if (!check.linearizable) {
+      result.linearizable = false;
+      if (result.explanation.empty())
+        result.explanation = "key " + key + ": " + check.explanation;
+    }
+  }
+  return result;
+}
+
+TEST(KeyedLogThreaded, PaxosLinearizableOnInproc) {
+  ThreadedRunOptions options;
+  options.seed = 41;
+  const auto result =
+      run_threaded_workload<net::InprocCluster, PaxosStore>(options);
+  ASSERT_TRUE(result.completed) << result.explanation;
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+  EXPECT_GT(result.key_count, 1u);
+}
+
+TEST(KeyedLogThreaded, RaftLinearizableOnInproc) {
+  ThreadedRunOptions options;
+  options.seed = 42;
+  // Cold keys pay a real-time election before first service; keep the
+  // session short so the suite stays fast under TSan.
+  options.ops_per_client = 30;
+  const auto result =
+      run_threaded_workload<net::InprocCluster, RaftStore>(options);
+  ASSERT_TRUE(result.completed) << result.explanation;
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+  EXPECT_GT(result.key_count, 1u);
+}
+
+TEST(KeyedLogThreaded, PaxosLinearizableOverTcpWithKillReconnect) {
+  // Real loopback sockets, replica 2 killed (connections dropped, queued
+  // work lost) and reconnected mid-workload. Retries cover commands that
+  // were forwarded into the dead node.
+  ThreadedRunOptions options;
+  options.seed = 43;
+  options.downtime = 100 * kMillisecond;
+  options.retry_timeout = 150 * kMillisecond;
+  const auto result =
+      run_threaded_workload<net::TcpCluster, PaxosStore>(options);
+  ASSERT_TRUE(result.completed) << result.explanation;
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+  EXPECT_GT(result.key_count, 1u);
+}
+
+TEST(KeyedLogThreaded, RaftLinearizableOverTcp) {
+  ThreadedRunOptions options;
+  options.seed = 44;
+  options.ops_per_client = 30;
+  const auto result =
+      run_threaded_workload<net::TcpCluster, RaftStore>(options);
+  ASSERT_TRUE(result.completed) << result.explanation;
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+  EXPECT_GT(result.key_count, 1u);
+}
+
+}  // namespace
+}  // namespace lsr::kv

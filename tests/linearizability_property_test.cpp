@@ -1,0 +1,186 @@
+// Property test hardening the checker layer: histories that are
+// linearizable *by construction* (generated from an explicit linearization
+// order) must be accepted, deliberately non-linearizable mutations of them
+// must be rejected, and on every generated history — valid, mutated or
+// randomly perturbed — the fast interval checker and the exhaustive
+// Wing&Gong search must return the same verdict. This is the adversarial
+// complement to the uniform-random cross-validation in
+// linearizability_test.cpp: mutations sit exactly on the boundary the fast
+// checker's interval conditions must police.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "verify/history.h"
+#include "verify/linearizability.h"
+
+namespace lsr::verify {
+namespace {
+
+// Builds a history from an explicit linearization: op i takes effect at
+// point (i+1)*16; its invocation/response interval is padded randomly around
+// the point, so intervals overlap freely while a witness order exists by
+// construction. Reads return exactly the number of increments linearized
+// before them.
+History make_linearizable_history(Rng& rng, int ops) {
+  History history;
+  std::uint64_t value = 0;
+  for (int i = 0; i < ops; ++i) {
+    const TimeNs point = static_cast<TimeNs>(i + 1) * 16;
+    const TimeNs pad_before = 1 + static_cast<TimeNs>(rng.next_below(24));
+    const TimeNs pad_after = 1 + static_cast<TimeNs>(rng.next_below(24));
+    const TimeNs invoke = point > pad_before ? point - pad_before : 0;
+    const TimeNs response = point + pad_after;
+    if (rng.next_bool(0.5)) {
+      history.add_increment(invoke, response);
+      ++value;
+    } else {
+      history.add_read(invoke, response, value);
+    }
+  }
+  return history;
+}
+
+std::uint64_t total_increments(const History& history) {
+  std::uint64_t n = 0;
+  for (const auto& op : history.ops())
+    if (op.kind == CounterOp::Kind::kIncrement) ++n;
+  return n;
+}
+
+void expect_both_accept(const History& history, int iteration) {
+  const auto fast = check_counter_linearizable(history);
+  EXPECT_TRUE(fast.linearizable)
+      << "iteration " << iteration << ": " << fast.explanation;
+  EXPECT_TRUE(check_counter_linearizable_exhaustive(history).linearizable)
+      << "iteration " << iteration;
+}
+
+void expect_both_reject(const History& history, int iteration,
+                        const char* mutation) {
+  EXPECT_FALSE(check_counter_linearizable(history).linearizable)
+      << "iteration " << iteration << ": " << mutation
+      << " mutation slipped past the fast checker";
+  EXPECT_FALSE(check_counter_linearizable_exhaustive(history).linearizable)
+      << "iteration " << iteration << ": " << mutation
+      << " mutation slipped past the exhaustive checker";
+}
+
+TEST(LinearizabilityProperty, ConstructedHistoriesAlwaysAccepted) {
+  Rng rng(4242);
+  for (int iteration = 0; iteration < 400; ++iteration) {
+    const int ops = 2 + static_cast<int>(rng.next_below(10));
+    expect_both_accept(make_linearizable_history(rng, ops), iteration);
+  }
+}
+
+TEST(LinearizabilityProperty, OvercountMutationsAlwaysRejected) {
+  // Raising any read above the total number of increments in the whole
+  // history is unreachable under every linearization.
+  Rng rng(515151);
+  int mutated = 0;
+  for (int iteration = 0; mutated < 300 && iteration < 3000; ++iteration) {
+    History history = make_linearizable_history(
+        rng, 3 + static_cast<int>(rng.next_below(9)));
+    std::vector<std::size_t> read_indices;
+    for (std::size_t i = 0; i < history.ops().size(); ++i)
+      if (history.ops()[i].kind == CounterOp::Kind::kRead)
+        read_indices.push_back(i);
+    if (read_indices.empty()) continue;
+    const auto& victim =
+        history.ops()[read_indices[rng.next_below(read_indices.size())]];
+    History broken;
+    for (const auto& op : history.ops()) {
+      if (&op == &victim) {
+        broken.add_read(op.invoke, op.response,
+                        total_increments(history) + 1 + rng.next_below(3));
+      } else {
+        broken.add(op);
+      }
+    }
+    expect_both_reject(broken, iteration, "overcount");
+    ++mutated;
+  }
+  EXPECT_EQ(mutated, 300);
+}
+
+TEST(LinearizabilityProperty, BackwardsReadMutationsAlwaysRejected) {
+  // Forcing a read that strictly follows another (response < invoke) below
+  // the earlier read's value violates counter monotonicity in every
+  // linearization.
+  Rng rng(626262);
+  int mutated = 0;
+  for (int iteration = 0; mutated < 300 && iteration < 6000; ++iteration) {
+    History history = make_linearizable_history(
+        rng, 4 + static_cast<int>(rng.next_below(8)));
+    // Find an ordered pair of reads where the earlier one saw value > 0.
+    const auto& ops = history.ops();
+    const CounterOp* first = nullptr;
+    std::size_t second_index = ops.size();
+    for (std::size_t i = 0; i < ops.size() && second_index == ops.size(); ++i) {
+      if (ops[i].kind != CounterOp::Kind::kRead || ops[i].value == 0) continue;
+      for (std::size_t j = 0; j < ops.size(); ++j) {
+        if (ops[j].kind != CounterOp::Kind::kRead || j == i) continue;
+        if (ops[i].response < ops[j].invoke) {
+          first = &ops[i];
+          second_index = j;
+          break;
+        }
+      }
+    }
+    if (first == nullptr) continue;
+    History broken;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (i == second_index) {
+        broken.add_read(ops[i].invoke, ops[i].response,
+                        first->value - 1 -
+                            rng.next_below(first->value));
+      } else {
+        broken.add(ops[i]);
+      }
+    }
+    expect_both_reject(broken, iteration, "backwards-read");
+    ++mutated;
+  }
+  EXPECT_EQ(mutated, 300);
+}
+
+TEST(LinearizabilityProperty, CheckersAgreeOnPerturbedHistories) {
+  // Nudging read values by +/-1 lands exactly on the boundary of the fast
+  // checker's interval conditions; whatever the verdict, the two checkers
+  // must agree on every history.
+  Rng rng(737373);
+  int disagreements = 0;
+  int rejected_seen = 0;
+  int accepted_seen = 0;
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    History history = make_linearizable_history(
+        rng, 3 + static_cast<int>(rng.next_below(9)));
+    History perturbed;
+    for (const auto& op : history.ops()) {
+      if (op.kind == CounterOp::Kind::kRead && rng.next_bool(0.6)) {
+        const bool up = rng.next_bool(0.5);
+        const std::uint64_t value =
+            up ? op.value + 1 : (op.value > 0 ? op.value - 1 : 0);
+        perturbed.add_read(op.invoke, op.response, value);
+      } else {
+        perturbed.add(op);
+      }
+    }
+    const bool fast = check_counter_linearizable(perturbed).linearizable;
+    const bool exhaustive =
+        check_counter_linearizable_exhaustive(perturbed).linearizable;
+    if (fast != exhaustive) ++disagreements;
+    if (exhaustive) ++accepted_seen; else ++rejected_seen;
+  }
+  EXPECT_EQ(disagreements, 0);
+  // The perturbation must exercise both verdicts to mean anything.
+  EXPECT_GT(rejected_seen, 20);
+  EXPECT_GT(accepted_seen, 20);
+}
+
+}  // namespace
+}  // namespace lsr::verify
