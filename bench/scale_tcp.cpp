@@ -1,17 +1,22 @@
-// TCP scaling — aggregate KV throughput over real loopback sockets.
+// TCP scaling — aggregate KV throughput over real loopback sockets, with a
+// frame-coalescing ablation.
 //
 // The same Zipfian multi-key workload bench_scale_shards runs on the
 // simulator, now on net::TcpCluster: three replicas, every node a real TCP
 // endpoint, closed-loop clients measured on the wall clock. Sweeps shard
-// count × client count, then runs the acceptance phase: the identical
-// workload with recording clients while replica 2 is killed and reconnected
-// mid-run, followed by the per-key linearizability checker over the merged
-// histories.
+// count × client count twice — once with writev coalescing on (the batched
+// pipeline's default, max_batch_frames frames per syscall) and once with it
+// off (one frame per syscall, the PR 2 data path) — so BENCH_tcp.json
+// records the batching gain as an ablation column. Then the acceptance
+// phase: the identical workload with recording clients while replica 2 is
+// killed and reconnected mid-run, followed by the per-key linearizability
+// checker over the merged histories.
 //
 // Flags: --full (longer runs, larger sweep), --csv, --seed N, --json <path>
 // (default BENCH_tcp.json). Exits non-zero when any cell produces zero
-// throughput or the kill/reconnect run is not per-key linearizable — this is
-// the CI smoke check for the socket transport.
+// throughput, when the coalesced sweep is not at least as fast in aggregate
+// as the uncoalesced one, or when the kill/reconnect run is not per-key
+// linearizable — this is the CI smoke check for the socket transport.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -47,27 +52,36 @@ std::vector<std::string> make_keys() {
 
 void add_replicas(net::TcpCluster& cluster, std::uint32_t shards,
                   const std::vector<NodeId>& replica_ids) {
+  // Executor groups match the machine: shards are the partitioning unit,
+  // worker threads the parallelism unit — a 16-shard replica on a 4-core
+  // box runs 4 workers, not 16 (oversubscription measurably hurts on the
+  // wall clock, unlike in virtual time).
+  const std::uint32_t cores = std::max(1u, std::thread::hardware_concurrency());
+  const kv::ShardOptions shard_options{shards, cores};
   for (std::size_t i = 0; i < kReplicas; ++i) {
-    cluster.add_node([&replica_ids, shards](net::Context& ctx) {
+    cluster.add_node([&replica_ids, shard_options](net::Context& ctx) {
       return std::make_unique<Store>(ctx, replica_ids, core::ProtocolConfig{},
                                      core::gcounter_ops(), lattice::GCounter{},
-                                     kv::ShardOptions{shards});
+                                     shard_options);
     });
   }
 }
 
 // One throughput cell: `clients` closed-loop Zipfian clients against
 // `shards`-sharded replicas over loopback TCP for a wall-clock window.
-// Clients run on their own executor threads, so each gets a private
-// Collector; the merge happens after stop() joined everything.
-double run_cell(std::uint32_t shards, std::size_t clients, std::uint64_t seed,
-                TimeNs warmup, TimeNs measure) {
+// `coalesce` toggles writev batching (off = max_batch_frames 1, one frame
+// per syscall). Clients run on their own executor threads, so each gets a
+// private Collector; the merge happens after stop() joined everything.
+double run_cell(std::uint32_t shards, std::size_t clients, bool coalesce,
+                std::uint64_t seed, TimeNs warmup, TimeNs measure) {
   // Endpoint-referenced state outlives the cluster (declared first =>
   // destroyed last), matching the harness in verify/tcp_kill_reconnect.h.
   const auto keys = make_keys();
   const bench::Zipfian zipf(kKeys, kZipfTheta);
   std::vector<std::unique_ptr<bench::Collector>> collectors;
-  net::TcpCluster cluster;
+  net::TcpClusterOptions options;
+  if (!coalesce) options.max_batch_frames = 1;
+  net::TcpCluster cluster(options);
   const std::vector<NodeId> replica_ids{0, 1, 2};
   add_replicas(cluster, shards, replica_ids);
   for (std::size_t i = 0; i < clients; ++i) {
@@ -117,38 +131,72 @@ int main(int argc, char** argv) {
   const TimeNs measure = args.full ? 5 * kSecond : 1500 * kMillisecond;
   const std::vector<std::uint32_t> shard_counts =
       args.full ? std::vector<std::uint32_t>{1, 4, 16}
-                : std::vector<std::uint32_t>{1, 4};
+                : std::vector<std::uint32_t>{1, 16};
   const std::vector<std::size_t> client_counts =
       args.full ? std::vector<std::size_t>{8, 32, 128}
-                : std::vector<std::size_t>{8, 32};
+                : std::vector<std::size_t>{32, 128};
 
   std::printf(
       "TCP scaling: KV throughput (requests/s) over loopback sockets%s\n"
       "three replicas, %llu keys, Zipfian(%.2f), %.0f%% reads, "
-      "wall-clock %.1fs per cell\n\n",
+      "wall-clock %.1fs per cell, coalescing ablation on/off\n\n",
       args.full ? " [--full]" : "", static_cast<unsigned long long>(kKeys),
       kZipfTheta, kReadRatio * 100,
       static_cast<double>(warmup + measure) / kSecond);
 
-  std::vector<std::string> headers{"clients"};
+  std::vector<std::string> headers{"clients", "coalesce"};
   for (const std::uint32_t shards : shard_counts)
     headers.push_back("shards" + std::to_string(shards));
   bench::Table table(std::move(headers));
   bool all_cells_ok = true;
-  for (const std::size_t clients : client_counts) {
-    std::vector<std::string> row{std::to_string(clients)};
-    for (const std::uint32_t shards : shard_counts) {
-      const double throughput =
-          run_cell(shards, clients, args.seed, warmup, measure);
-      all_cells_ok = all_cells_ok && throughput > 0.0;
-      row.push_back(bench::fmt_double(throughput, 0));
-      std::printf("  %zu clients x %u shards: %.0f req/s\n", clients, shards,
-                  throughput);
+  double total_coalesced = 0.0;
+  double total_uncoalesced = 0.0;
+  // Uncoalesced first so the headline (coalesced) numbers land on a warm
+  // machine; each mode gets a full clients x shards sweep.
+  for (const bool coalesce : {false, true}) {
+    for (const std::size_t clients : client_counts) {
+      std::vector<std::string> row{std::to_string(clients),
+                                   coalesce ? "on" : "off"};
+      for (const std::uint32_t shards : shard_counts) {
+        const double throughput =
+            run_cell(shards, clients, coalesce, args.seed, warmup, measure);
+        all_cells_ok = all_cells_ok && throughput > 0.0;
+        (coalesce ? total_coalesced : total_uncoalesced) += throughput;
+        row.push_back(bench::fmt_double(throughput, 0));
+        std::printf("  %zu clients x %u shards, coalescing %s: %.0f req/s\n",
+                    clients, shards, coalesce ? "on " : "off", throughput);
+      }
+      table.add_row(std::move(row));
     }
-    table.add_row(std::move(row));
   }
   std::printf("\n");
   table.print(std::cout, args.csv);
+  const double speedup =
+      total_uncoalesced > 0.0 ? total_coalesced / total_uncoalesced : 0.0;
+  std::printf("\ncoalescing speedup (aggregate): %.2fx\n", speedup);
+  // The smoke gate: batching must never make the transport slower. A small
+  // tolerance absorbs wall-clock noise on loaded CI machines without letting
+  // a real regression (batching off faster than on) through. Sanitizer
+  // builds skip the gate — instrumentation dwarfs the syscall costs the
+  // ablation measures — but still record the ablation and run every
+  // correctness check.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  constexpr bool kPerfGate = false;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  constexpr bool kPerfGate = false;
+#else
+  constexpr bool kPerfGate = true;
+#endif
+#else
+  constexpr bool kPerfGate = true;
+#endif
+  const bool coalescing_ok =
+      !kPerfGate || total_coalesced >= 0.95 * total_uncoalesced;
+  if (!coalescing_ok)
+    std::printf("FAILED: coalesced sweep slower than uncoalesced\n");
+  if (!kPerfGate)
+    std::printf("(sanitizer build: coalescing gate recorded, not enforced)\n");
 
   std::printf("\nkill/reconnect linearizability check:\n");
   const bool linearizable = run_kill_reconnect_check(args.seed);
@@ -163,11 +211,14 @@ int main(int argc, char** argv) {
   report.set_meta("seed", static_cast<double>(args.seed));
   report.set_meta("wall_clock_cell_sec",
                   static_cast<double>(warmup + measure) / kSecond);
+  report.set_meta("coalescing_speedup", speedup);
+  report.set_meta("coalescing_gate",
+                  std::string(kPerfGate ? "enforced" : "recorded-only"));
   report.set_meta("kill_reconnect_linearizable",
                   linearizable ? std::string("yes") : std::string("no"));
   report.add_table("throughput_per_sec", table);
   if (!report.write_file(args.json_path)) return 2;
   std::printf("results written to %s\n", args.json_path.c_str());
 
-  return (all_cells_ok && linearizable) ? 0 : 1;
+  return (all_cells_ok && coalescing_ok && linearizable) ? 0 : 1;
 }

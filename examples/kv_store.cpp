@@ -53,7 +53,7 @@ class UrlClient final : public net::Endpoint {
 
   void on_start() override { submit(); }
 
-  void on_message(NodeId, const Bytes& data) override {
+  void on_message(NodeId, ByteSpan data) override {
     kv::EnvelopeView env;
     if (!kv::peek_envelope(data, env)) return;
     Decoder inner_dec(env.inner, env.inner_size);

@@ -31,7 +31,7 @@ class ScriptedClient final : public net::Endpoint {
 
   void on_start() override { next(); }
 
-  void on_message(NodeId, const Bytes& data) override {
+  void on_message(NodeId, ByteSpan data) override {
     Decoder dec(data);
     const auto tag = static_cast<rsm::ClientTag>(dec.get_u8());
     if (tag == rsm::ClientTag::kUpdateDone) {

@@ -122,7 +122,7 @@ class CounterClient final : public net::Endpoint {
 
   void on_start() override { submit_next(); }
 
-  void on_message(NodeId from, const Bytes& data) override {
+  void on_message(NodeId from, ByteSpan data) override {
     (void)from;
     Decoder dec(data);
     const std::uint8_t tag = dec.get_u8();
@@ -275,7 +275,7 @@ class KvWorkloadClient final : public net::Endpoint {
 
   void on_start() override { submit_next(); }
 
-  void on_message(NodeId from, const Bytes& data) override {
+  void on_message(NodeId from, ByteSpan data) override {
     (void)from;
     kv::EnvelopeView env;
     if (!kv::peek_envelope(data, env)) return;

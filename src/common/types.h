@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace lsr {
@@ -20,6 +21,12 @@ using TimeNs = std::int64_t;
 
 // Raw serialized message payload.
 using Bytes = std::vector<std::uint8_t>;
+
+// Non-owning view of serialized bytes. The receive path hands these to
+// Endpoint::on_message / lane_of so a transport can deliver straight out of
+// its receive buffer (the TCP slab reader, the inproc mailbox) without a
+// per-message copy; a Bytes converts implicitly.
+using ByteSpan = std::span<const std::uint8_t>;
 
 constexpr TimeNs kMicrosecond = 1'000;
 constexpr TimeNs kMillisecond = 1'000'000;

@@ -84,6 +84,7 @@ class Decoder {
   Decoder(const std::uint8_t* data, std::size_t size)
       : data_(data), size_(size) {}
   explicit Decoder(const Bytes& b) : Decoder(b.data(), b.size()) {}
+  explicit Decoder(ByteSpan b) : Decoder(b.data(), b.size()) {}
 
   std::uint8_t get_u8() {
     require(1);

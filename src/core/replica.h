@@ -49,12 +49,12 @@ class Replica final : public net::Endpoint {
 
   int lane_count() const override { return 2; }
 
-  int lane_of(const Bytes& data) const override {
+  int lane_of(ByteSpan data) const override {
     if (data.empty()) return kProposerLane;
     return is_acceptor_bound(data.front()) ? kAcceptorLane : kProposerLane;
   }
 
-  void on_message(NodeId from, const Bytes& data) override {
+  void on_message(NodeId from, ByteSpan data) override {
     on_message(from, data.data(), data.size());
   }
 

@@ -63,7 +63,8 @@ class KeyedLogStore final : public net::Endpoint {
       : ctx_(ctx),
         replicas_(std::move(replicas)),
         config_(config),
-        shards_(options.shards) {
+        shards_(options.shards),
+        executor_groups_(static_cast<int>(options.groups())) {
     LSR_EXPECTS(options.valid());
   }
 
@@ -81,17 +82,19 @@ class KeyedLogStore final : public net::Endpoint {
 
   // One lane per shard: the baselines model a single peer FSM, so a shard is
   // exactly one serial executor (vs the CRDT store's two lanes per shard).
+  // As in ShardedStore, shards fold round-robin onto the configured executor
+  // groups (default: one group per shard).
   int lane_count() const override { return static_cast<int>(shards_.size()); }
-  int executor_count() const override { return static_cast<int>(shards_.size()); }
-  int executor_of(int lane) const override { return lane; }
+  int executor_count() const override { return executor_groups_; }
+  int executor_of(int lane) const override { return lane % executor_groups_; }
 
-  int lane_of(const Bytes& data) const override {
+  int lane_of(ByteSpan data) const override {
     EnvelopeView env;
     if (!peek_envelope(data, env)) return 0;
     return static_cast<int>(shard_of_hash(env.key_hash, shard_count()));
   }
 
-  void on_message(NodeId from, const Bytes& data) override {
+  void on_message(NodeId from, ByteSpan data) override {
     EnvelopeView env;
     if (!peek_envelope(data, env)) {
       LSR_LOG_WARN("keyed-log %u: malformed envelope from %u (%zu bytes)",
@@ -200,6 +203,7 @@ class KeyedLogStore final : public net::Endpoint {
   std::vector<NodeId> replicas_;
   Config config_;
   std::vector<Shard> shards_;
+  int executor_groups_;
 };
 
 }  // namespace lsr::kv

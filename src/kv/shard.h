@@ -27,9 +27,20 @@ constexpr std::uint8_t kEnvelopeTag = 0xE1;
 using ShardId = std::uint32_t;
 
 // Shared by every keyed store (CRDT ShardedStore, log-baseline
-// KeyedLogStore): how many shards partition this node's keyspace.
+// KeyedLogStore): how many shards partition this node's keyspace, and how
+// many executor groups their lanes fold onto.
 struct ShardOptions {
   std::uint32_t shards = 4;  // must be a power of two
+  // 0 = one executor group per shard (full logical parallelism). Hosts with
+  // real threads set this to the core count so a many-shard store doesn't
+  // oversubscribe workers: shards stay the unit of partitioning, groups are
+  // the unit of hardware parallelism (shard s runs on group s % groups()).
+  std::uint32_t executor_groups = 0;
+
+  constexpr std::uint32_t groups() const {
+    return executor_groups == 0 || executor_groups > shards ? shards
+                                                            : executor_groups;
+  }
 
   constexpr bool valid() const {
     return shards > 0 && (shards & (shards - 1)) == 0;
@@ -103,7 +114,7 @@ inline bool peek_envelope(const std::uint8_t* data, std::size_t size,
   return true;
 }
 
-inline bool peek_envelope(const Bytes& data, EnvelopeView& out) noexcept {
+inline bool peek_envelope(ByteSpan data, EnvelopeView& out) noexcept {
   return peek_envelope(data.data(), data.size(), out);
 }
 

@@ -49,7 +49,8 @@ class ShardedStore final : public net::Endpoint {
         config_(config),
         ops_(std::move(ops)),
         initial_(std::move(initial)),
-        shards_(options.shards) {
+        shards_(options.shards),
+        executor_groups_(static_cast<int>(options.groups())) {
     LSR_EXPECTS(options.valid());
   }
 
@@ -67,13 +68,16 @@ class ShardedStore final : public net::Endpoint {
 
   int lane_count() const override { return 2 * static_cast<int>(shards_.size()); }
 
-  // Lanes 2s / 2s+1 are shard s's acceptor / proposer lane; the shard is the
-  // executor group, so hosts with real threads keep both roles of one shard
-  // on one serial executor while different shards run in parallel.
-  int executor_count() const override { return static_cast<int>(shards_.size()); }
-  int executor_of(int lane) const override { return lane / 2; }
+  // Lanes 2s / 2s+1 are shard s's acceptor / proposer lane; both roles of
+  // one shard stay on one serial executor, and shards fold round-robin onto
+  // the configured executor groups (default: one group per shard) so
+  // real-thread hosts can match workers to cores.
+  int executor_count() const override { return executor_groups_; }
+  int executor_of(int lane) const override {
+    return (lane / 2) % executor_groups_;
+  }
 
-  int lane_of(const Bytes& data) const override {
+  int lane_of(ByteSpan data) const override {
     // Allocation-free peek (never throws, never copies): mask the envelope's
     // key hash onto a shard, classify the inner tag onto that shard's
     // acceptor or proposer lane. Malformed input lands on lane 0's proposer
@@ -86,7 +90,7 @@ class ShardedStore final : public net::Endpoint {
                        : core::kProposerLane);
   }
 
-  void on_message(NodeId from, const Bytes& data) override {
+  void on_message(NodeId from, ByteSpan data) override {
     EnvelopeView env;
     if (!peek_envelope(data, env)) {
       LSR_LOG_WARN("kv %u: malformed envelope from %u (%zu bytes)",
@@ -188,6 +192,7 @@ class ShardedStore final : public net::Endpoint {
   core::Ops<L> ops_;
   L initial_;
   std::vector<Shard> shards_;
+  int executor_groups_;
 };
 
 }  // namespace lsr::kv

@@ -55,14 +55,17 @@ class Endpoint {
   // state is preserved, in-flight messages and timers are lost).
   virtual void on_recover() {}
 
-  virtual void on_message(NodeId from, const Bytes& data) = 0;
+  // `data` is only valid for the duration of the call: transports may hand a
+  // view straight into their receive buffer (the TCP slab reader), so a
+  // handler that needs the bytes later must copy them.
+  virtual void on_message(NodeId from, ByteSpan data) = 0;
 
   // Classifies a raw message into an execution lane. Must not mutate state
   // and must be safe to call from any thread concurrently with the
   // endpoint's handlers: threaded hosts (InprocCluster) invoke it on the
   // *sender's* thread to pick the destination mailbox. Implement it as a
   // pure function of the bytes (and immutable configuration).
-  virtual int lane_of(const Bytes& data) const {
+  virtual int lane_of(ByteSpan data) const {
     (void)data;
     return 0;
   }

@@ -65,15 +65,42 @@ void NodeRuntime::stop() {
   endpoint_started_ = false;
 }
 
-void NodeRuntime::post(NodeId from, Bytes data) {
+void NodeRuntime::post(NodeId from, Payload payload) {
   if (paused_.load()) return;  // a down node loses its mail (crash semantics)
   // lane_of is const and state-free, safe from the posting thread.
-  Executor& executor = executor_of_lane(endpoint_.lane_of(data));
+  Executor& executor = executor_of_lane(endpoint_.lane_of(payload.view()));
   {
     std::lock_guard<std::mutex> lock(executor.mutex);
-    executor.mailbox.emplace_back(from, std::move(data));
+    executor.mailbox.emplace_back(from, std::move(payload));
   }
   executor.cv.notify_one();
+}
+
+bool NodeRuntime::try_execute_inline(NodeId from, const Payload& payload) {
+  if (executors_.size() != 1) return false;  // lanes may genuinely race
+  if (paused_.load()) return true;  // dropped, exactly as post() drops it
+  if (!endpoint_started_.load() || !running_.load()) return false;
+  Executor& executor = *executors_[0];
+  std::unique_lock<std::mutex> exec(executor.exec_mutex, std::try_to_lock);
+  if (!exec.owns_lock()) return false;  // worker mid-handler or mid-timer
+  {
+    // Same dequeue protocol as the worker: the gates re-checked and the
+    // in-flight count raised under the mailbox mutex, which the recovery
+    // barrier cycles — so a recovery either sees this handler in flight or
+    // this check sees the recovery pending.
+    std::lock_guard<std::mutex> lock(executor.mutex);
+    if (!executor.mailbox.empty()) return false;  // FIFO: queued mail first
+    if (paused_.load() || recover_pending_.load()) return false;
+    handlers_inflight_.fetch_add(1);
+  }
+  endpoint_.on_message(from, payload.view());
+  if (handlers_inflight_.fetch_sub(1) == 1 && recover_pending_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex_);
+    }
+    gate_cv_.notify_all();
+  }
+  return true;
 }
 
 TimerId NodeRuntime::set_timer(TimeNs delay, int lane,
@@ -200,10 +227,13 @@ void NodeRuntime::executor_loop(Executor& executor) {
       continue;
     }
     std::function<void()> timer_fn;
-    std::pair<NodeId, Bytes> message;
+    std::deque<std::pair<NodeId, Payload>> batch;
     bool have_timer = false;
     bool have_message = false;
     {
+      // exec_mutex is held across dequeue *and* execution (released before
+      // any sleep) so inline deliveries stay serialized with this worker.
+      std::unique_lock<std::mutex> exec(executor.exec_mutex);
       std::unique_lock<std::mutex> lock(executor.mutex);
       // Re-check the gates under the lock: after this point a dequeue is
       // invisible to the recovery barrier until handlers_inflight says so.
@@ -224,11 +254,24 @@ void NodeRuntime::executor_loop(Executor& executor) {
         have_timer = true;
         handlers_inflight_.fetch_add(1);
       } else if (!executor.mailbox.empty()) {
-        message = std::move(executor.mailbox.front());
-        executor.mailbox.pop_front();
+        // Take the backlog in one lock cycle: a burst posted by an io
+        // thread (one recv can complete many frames) costs one dequeue and
+        // one wakeup instead of one per message. Capped so a deep mailbox
+        // cannot starve a due timer (e.g. an election timeout) for more
+        // than one batch's worth of handlers.
+        constexpr std::size_t kMaxBatch = 128;
+        if (executor.mailbox.size() <= kMaxBatch) {
+          batch.swap(executor.mailbox);
+        } else {
+          for (std::size_t i = 0; i < kMaxBatch; ++i) {
+            batch.push_back(std::move(executor.mailbox.front()));
+            executor.mailbox.pop_front();
+          }
+        }
         have_message = true;
         handlers_inflight_.fetch_add(1);
       } else {
+        exec.unlock();  // never sleep while blocking inline delivery
         const std::uint64_t epoch_seen = executor.timer_epoch;
         const auto wake = [&] {
           return !running_.load() || paused_.load() ||
@@ -243,12 +286,21 @@ void NodeRuntime::executor_loop(Executor& executor) {
         } else {
           executor.cv.wait(lock, wake);
         }
+        continue;
       }
-    }
-    if (have_timer) {
-      timer_fn();
-    } else if (have_message && !paused_.load()) {
-      endpoint_.on_message(message.first, message.second);
+      lock.unlock();
+      if (have_timer) {
+        timer_fn();
+      } else {
+        // A pause mid-batch drops the remainder (crash semantics: the mail
+        // was queued, not yet handled) — and so does a pause+resume that
+        // completed within one handler: the rest of the batch is crash-era
+        // mail that must not beat on_recover.
+        for (auto& [from, payload] : batch) {
+          if (paused_.load() || recover_pending_.load()) break;
+          endpoint_.on_message(from, payload.view());
+        }
+      }
     }
     if (have_timer || have_message) {
       if (handlers_inflight_.fetch_sub(1) == 1 && recover_pending_.load()) {

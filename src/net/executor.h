@@ -27,6 +27,7 @@
 
 #include "common/types.h"
 #include "net/context.h"
+#include "net/payload.h"
 
 namespace lsr::net {
 
@@ -48,11 +49,24 @@ class NodeRuntime {
   // and timers are dropped).
   void stop();
 
-  // Delivers raw bytes to the endpoint: classifies the lane on the caller's
+  // Delivers a payload to the endpoint: classifies the lane on the caller's
   // thread via Endpoint::lane_of and enqueues on that lane's executor.
-  // Messages posted while the node is paused are discarded (crash
-  // semantics).
-  void post(NodeId from, Bytes data);
+  // Accepts an inline Bytes (implicit conversion; inproc senders move their
+  // encode buffer in) or a slab-backed Payload (the TCP io thread posts
+  // frames without copying them out of its receive slab). Messages posted
+  // while the node is paused are discarded (crash semantics).
+  void post(NodeId from, Payload payload);
+
+  // Runs the handler for `payload` on the calling thread instead of
+  // enqueueing, when that is indistinguishable from a mailbox delivery:
+  // single-executor node, executor idle (its execution mutex uncontended),
+  // mailbox empty (FIFO preserved), started, not paused or recovering. A
+  // transport's io thread uses this to skip the wake + context switch per
+  // message — the dominant delivery cost on few-core hosts. Returns false
+  // when the caller must fall back to post(); returns true with no handler
+  // run when the node is paused (the message is the crash's loss, exactly
+  // as post() would treat it).
+  bool try_execute_inline(NodeId from, const Payload& payload);
 
   TimerId set_timer(TimeNs delay, int lane, std::function<void()> fn);
   void cancel_timer(TimerId id);
@@ -71,9 +85,15 @@ class NodeRuntime {
   struct Executor {
     int index = 0;
 
+    // Held for the duration of every handler and timer callback (but never
+    // across a sleep): try_execute_inline's try_lock on it is the "is this
+    // executor mid-handler" probe that keeps inline delivery serialized
+    // with the worker thread.
+    std::mutex exec_mutex;
+
     std::mutex mutex;
     std::condition_variable cv;
-    std::deque<std::pair<NodeId, Bytes>> mailbox;
+    std::deque<std::pair<NodeId, Payload>> mailbox;
 
     struct Timer {
       TimeNs fire_at;
@@ -110,7 +130,7 @@ class NodeRuntime {
   // a state change.
   std::mutex gate_mutex_;
   std::condition_variable gate_cv_;
-  bool endpoint_started_ = false;
+  std::atomic<bool> endpoint_started_{false};  // atomic: inline path peeks
 };
 
 }  // namespace lsr::net

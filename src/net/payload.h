@@ -1,0 +1,48 @@
+// Owning handle for a received message payload, shared by every threaded
+// transport's mailbox. Two representations:
+//
+//  - inline: the payload owns its own Bytes (an inproc sender moves the
+//    buffer it just encoded straight into the destination mailbox);
+//  - slab:   a span into a shared receive slab plus a reference that keeps
+//    the slab alive (the TCP io thread parses frames in place and posts them
+//    without copying a single payload byte out of the stream buffer).
+//
+// Handlers only ever see the ByteSpan view, so the two are indistinguishable
+// past the mailbox — which is what lets the TCP receive path be zero-copy
+// while the Endpoint interface stays transport-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/types.h"
+
+namespace lsr::net {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  // Inline representation; implicit so post(from, std::move(bytes)) keeps
+  // working unchanged for every existing caller.
+  Payload(Bytes bytes) : owned_(std::move(bytes)) {}  // NOLINT(runtime/explicit)
+
+  // Slab representation: [data, data+size) must point into *slab.
+  Payload(std::shared_ptr<const Bytes> slab, const std::uint8_t* data,
+          std::size_t size)
+      : slab_(std::move(slab)), data_(data), size_(size) {}
+
+  ByteSpan view() const {
+    return slab_ ? ByteSpan{data_, size_} : ByteSpan{owned_};
+  }
+  std::size_t size() const { return slab_ ? size_ : owned_.size(); }
+
+ private:
+  Bytes owned_;
+  std::shared_ptr<const Bytes> slab_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lsr::net

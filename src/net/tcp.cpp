@@ -6,11 +6,11 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -22,6 +22,16 @@ namespace lsr::net {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+// Receive slab sizing: recv() is offered at least kRecvChunk of contiguous
+// space per call; slabs are allocated in kSlabSize units so many frames
+// share one allocation (and one shared_ptr control block).
+constexpr std::size_t kRecvChunk = 64 * 1024;
+constexpr std::size_t kSlabSize = 256 * 1024;
+
+// Hard cap on iovecs per writev batch (IOV_MAX is 1024 on Linux; two iovecs
+// per frame — header, payload).
+constexpr std::size_t kMaxIovs = 512;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -39,126 +49,130 @@ void close_fd(int& fd) {
     fd = -1;
   }
 }
-
-// Bounded connect: nonblocking connect + poll, so an unreachable peer (a
-// host dropping SYNs, not just a closed port) costs at most `timeout`
-// instead of the kernel's SYN-retry default (~2 minutes) — send_from holds
-// the peer-link mutex through this. Leaves the socket blocking again on
-// success; sendmsg relies on SO_SNDTIMEO, not O_NONBLOCK.
-bool connect_with_deadline(int fd, const sockaddr_in& addr, TimeNs timeout) {
-  set_nonblocking(fd);
-  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                     sizeof addr);
-  if (rc != 0 && errno != EINPROGRESS) return false;
-  if (rc != 0) {
-    pollfd pfd{fd, POLLOUT, 0};
-    const int timeout_ms =
-        static_cast<int>(std::max<TimeNs>(timeout / kMillisecond, 1));
-    do {
-      rc = ::poll(&pfd, 1, timeout_ms);
-    } while (rc < 0 && errno == EINTR);
-    if (rc <= 0) return false;  // timed out or poll error
-    int err = 0;
-    socklen_t err_len = sizeof err;
-    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
-        err != 0)
-      return false;
-  }
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
-  return true;
-}
-
-// Writes header + payload as one frame, riding out partial writes and EINTR.
-// Returns false on any terminal error — including an SO_SNDTIMEO expiry
-// (EAGAIN) or the overall deadline passing. The deadline matters: a peer
-// whose window trickles open makes every sendmsg partially succeed within
-// its own SO_SNDTIMEO, so without a per-frame bound the loop could stall an
-// executor indefinitely.
-bool send_all(int fd, const std::uint8_t* header, std::size_t header_size,
-              const std::uint8_t* payload, std::size_t payload_size,
-              Clock::time_point deadline) {
-  std::size_t sent = 0;
-  const std::size_t total = header_size + payload_size;
-  while (sent < total) {
-    if (Clock::now() > deadline) return false;
-    iovec iov[2];
-    int iov_count = 0;
-    if (sent < header_size) {
-      iov[iov_count++] = {const_cast<std::uint8_t*>(header) + sent,
-                          header_size - sent};
-      if (payload_size > 0)
-        iov[iov_count++] = {const_cast<std::uint8_t*>(payload), payload_size};
-    } else {
-      const std::size_t offset = sent - header_size;
-      iov[iov_count++] = {const_cast<std::uint8_t*>(payload) + offset,
-                          payload_size - offset};
-    }
-    msghdr msg{};
-    msg.msg_iov = iov;
-    msg.msg_iovlen = static_cast<std::size_t>(iov_count);
-    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
-}
-
-bool write_frame(int fd, NodeId sender, const Bytes& payload,
-                 TimeNs send_timeout) {
-  std::uint8_t header[FrameHeader::kSize];
-  FrameHeader{sender, static_cast<std::uint32_t>(payload.size())}.write(header);
-  return send_all(fd, header, sizeof header, payload.data(), payload.size(),
-                  Clock::now() + std::chrono::nanoseconds(send_timeout));
-}
 }  // namespace
 
-bool FrameReader::parse(const std::uint8_t* data, std::size_t size,
-                        const std::function<void(NodeId, Bytes&&)>& sink,
-                        std::size_t& consumed) {
-  consumed = 0;
-  while (size - consumed >= FrameHeader::kSize) {
-    FrameHeader header;
-    if (!FrameHeader::read(data + consumed, header)) return false;
-    if (header.length > max_payload_) return false;
-    if (size - consumed - FrameHeader::kSize < header.length) break;
-    const std::uint8_t* payload_begin = data + consumed + FrameHeader::kSize;
-    Bytes payload(payload_begin, payload_begin + header.length);
-    consumed += FrameHeader::kSize + header.length;
-    sink(static_cast<NodeId>(header.sender), std::move(payload));
+// ---------------------------------------------------------------------------
+// FrameReader: slab-backed zero-copy frame extraction.
+// ---------------------------------------------------------------------------
+
+std::span<std::uint8_t> FrameReader::writable_span(std::size_t min_size) {
+  if (!slab_) {
+    slab_ = std::make_shared<Bytes>(std::max(kSlabSize, min_size));
+    lent_ = false;
   }
+  if (slab_->size() - write_pos_ >= min_size)
+    return {slab_->data() + write_pos_, slab_->size() - write_pos_};
+  const std::size_t pending = write_pos_ - parse_pos_;
+  if (!lent_ && pending + min_size <= slab_->size()) {
+    // Nothing from this slab was ever handed out, so no other thread can be
+    // reading it: slide the torn frame to the front and keep using it.
+    std::memmove(slab_->data(), slab_->data() + parse_pos_, pending);
+    parse_pos_ = 0;
+    write_pos_ = pending;
+    return {slab_->data() + write_pos_, slab_->size() - write_pos_};
+  }
+  // Replace the slab. A slab that delivered frames is consumed strictly
+  // linearly and never rewritten — handlers on other threads may still be
+  // reading their Payload spans, and the spans keep the old slab alive; the
+  // reader has no synchronized way to know when they finish. If the torn
+  // frame's header is already buffered we know its full size, so even a
+  // frame much larger than a slab is copied at most once more.
+  std::size_t want = pending + std::max(kSlabSize, min_size);
+  if (pending >= FrameHeader::kSize) {
+    FrameHeader header;
+    if (FrameHeader::read(slab_->data() + parse_pos_, header))
+      want = std::max(want,
+                      FrameHeader::kSize + std::size_t{header.length} + min_size);
+  }
+  auto fresh = std::make_shared<Bytes>(want);
+  std::memcpy(fresh->data(), slab_->data() + parse_pos_, pending);
+  slab_ = std::move(fresh);
+  lent_ = false;
+  parse_pos_ = 0;
+  write_pos_ = pending;
+  return {slab_->data() + write_pos_, slab_->size() - write_pos_};
+}
+
+bool FrameReader::parse(const Sink& sink) {
+  while (write_pos_ - parse_pos_ >= FrameHeader::kSize) {
+    FrameHeader header;
+    if (!FrameHeader::read(slab_->data() + parse_pos_, header)) return false;
+    if (header.length > max_payload_) return false;
+    if (write_pos_ - parse_pos_ - FrameHeader::kSize < header.length) break;
+    const std::uint8_t* payload = slab_->data() + parse_pos_ + FrameHeader::kSize;
+    parse_pos_ += FrameHeader::kSize + header.length;
+    lent_ = true;
+    sink(static_cast<NodeId>(header.sender),
+         Payload(slab_, payload, header.length));
+  }
+  // Fully caught up and nothing was ever lent out: rewind instead of
+  // growing (the pure torn-frame accumulation case).
+  if (parse_pos_ == write_pos_ && slab_ && !lent_)
+    parse_pos_ = write_pos_ = 0;
   return true;
+}
+
+bool FrameReader::commit(std::size_t size, const Sink& sink) {
+  write_pos_ += size;
+  LSR_EXPECTS(slab_ && write_pos_ <= slab_->size());
+  return parse(sink);
 }
 
 bool FrameReader::consume(const std::uint8_t* data, std::size_t size,
-                          const std::function<void(NodeId, Bytes&&)>& sink) {
-  std::size_t consumed = 0;
-  if (buffer_.empty()) {
-    // Fast path (the common case once a stream is flowing): parse complete
-    // frames straight out of the receive chunk; only a trailing partial
-    // frame is ever copied into the reassembly buffer.
-    if (!parse(data, size, sink, consumed)) return false;
-    buffer_.assign(data + consumed, data + size);
-    return true;
+                          const Sink& sink) {
+  while (size > 0) {
+    const auto dst = writable_span(std::min(size, kSlabSize));
+    const std::size_t n = std::min(size, dst.size());
+    std::memcpy(dst.data(), data, n);
+    if (!commit(n, sink)) return false;
+    data += n;
+    size -= n;
   }
-  buffer_.insert(buffer_.end(), data, data + size);
-  if (!parse(buffer_.data(), buffer_.size(), sink, consumed)) return false;
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
   return true;
 }
 
-// Outgoing connection to one peer: opened lazily on the first send, shared
-// by every executor thread of the owning node (the mutex serializes frame
-// writes, so frames are never interleaved mid-write).
+// ---------------------------------------------------------------------------
+// Cluster internals.
+// ---------------------------------------------------------------------------
+
+namespace {
+// One queued frame: header bytes materialized at enqueue time (the sending
+// executor does the encoding; the io thread only moves iovecs).
+struct OutFrame {
+  std::array<std::uint8_t, FrameHeader::kSize> header;
+  Bytes payload;
+
+  std::size_t size() const { return header.size() + payload.size(); }
+};
+}  // namespace
+
+// Outgoing connection to one peer. Executor threads only append to the
+// queue (send_from); everything touching the descriptor — connecting,
+// draining, recycling — happens on the owning node's io thread. The mutex
+// guards the queue and the link state across the two.
 struct TcpCluster::PeerLink {
-  std::mutex mutex;
+  mutable std::mutex mutex;
+  std::condition_variable space_cv;  // Overflow::kBlock senders wait here
+
+  std::deque<OutFrame> queue;
+  std::size_t queued_bytes = 0;
+  // Bytes of queue.front() already written to the current connection; the
+  // drain resumes mid-frame after a partial writev. Reset (and the frame
+  // retransmitted whole) when the connection is replaced.
+  std::size_t front_offset = 0;
+
   int fd = -1;
-  TimeNs next_attempt = 0;  // connect backoff deadline
+  bool connecting = false;       // nonblocking connect awaiting POLLOUT
+  TimeNs connect_deadline = 0;
+  TimeNs next_attempt = 0;       // reconnect backoff gate
+
+  // Whole-batch drain deadline: when armed, `stall_target` bytes (the queue
+  // depth at arming) must leave the queue before `stall_deadline`, or the
+  // connection is recycled and the queue discarded. Re-armed only when a
+  // full batch has drained — so a wedged or trickling peer costs one
+  // send_timeout for the entire batch, never frames x timeout.
+  TimeNs stall_deadline = 0;
+  std::size_t stall_target = 0;
 };
 
 struct TcpCluster::Node {
@@ -169,11 +183,19 @@ struct TcpCluster::Node {
   std::unique_ptr<Endpoint> endpoint;
   std::unique_ptr<NodeRuntime> runtime;
   std::thread io_thread;
-  int wake_read = -1;   // self-pipe: stop/pause signals for the io thread
+  int wake_read = -1;   // self-pipe: stop/pause/enqueue signals
   int wake_write = -1;
+  // Links whose queue went empty->nonempty since the io thread's last scan:
+  // the io thread only ever touches dirty or watched links, so a cycle costs
+  // O(active links), not O(cluster size).
+  std::mutex dirty_mutex;
+  std::vector<NodeId> dirty;
+  std::atomic<bool> wake_pending{false};  // dedupes wake pipe writes
   std::atomic<bool> drop_accepted{false};
+  std::atomic<bool> rx_stalled{false};    // test hook: stop reading
   std::vector<std::unique_ptr<PeerLink>> links;  // indexed by destination
   std::atomic<std::uint64_t> connects{0};
+  std::atomic<std::uint64_t> dropped{0};
 };
 
 class TcpCluster::TcpContext final : public Context {
@@ -202,7 +224,12 @@ class TcpCluster::TcpContext final : public Context {
 };
 
 TcpCluster::TcpCluster(TcpClusterOptions options)
-    : options_(std::move(options)), epoch_(Clock::now()) {}
+    : options_(std::move(options)), epoch_(Clock::now()) {
+  // 0 frames per batch would make every drain an empty writev whose 0
+  // return reads as a dead connection; 1 is the documented "coalescing
+  // off" setting.
+  options_.max_batch_frames = std::max<std::size_t>(options_.max_batch_frames, 1);
+}
 
 TcpCluster::~TcpCluster() {
   stop();
@@ -225,6 +252,9 @@ NodeId TcpCluster::add_node(const EndpointFactory& factory) {
   LSR_ENSURES(node->listen_fd >= 0);
   const int one = 1;
   ::setsockopt(node->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (options_.so_rcvbuf > 0)
+    ::setsockopt(node->listen_fd, SOL_SOCKET, SO_RCVBUF, &options_.so_rcvbuf,
+                 sizeof options_.so_rcvbuf);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(options_.base_port == 0
@@ -279,9 +309,17 @@ void TcpCluster::start() {
 void TcpCluster::stop() {
   if (!started_) return;
   // Executors first: after runtime->stop() no thread of any node can call
-  // send_from, so descriptors close race-free below.
-  for (auto& node : nodes_) node->runtime->stop();
+  // send_from, so descriptors close race-free below. Unblock kBlock senders
+  // up front so the executor join never waits out an overflow timeout.
   running_.store(false);
+  for (auto& node : nodes_)
+    for (auto& link : node->links) {
+      {
+        std::lock_guard<std::mutex> lock(link->mutex);
+      }
+      link->space_cv.notify_all();
+    }
+  for (auto& node : nodes_) node->runtime->stop();
   for (auto& node : nodes_) wake_io(*node);
   for (auto& node : nodes_)
     if (node->io_thread.joinable()) node->io_thread.join();
@@ -313,6 +351,20 @@ std::uint64_t TcpCluster::connect_count(NodeId node) const {
   return nodes_[node]->connects.load();
 }
 
+std::size_t TcpCluster::queued_bytes(NodeId src, NodeId dst) const {
+  LSR_EXPECTS(src < nodes_.size() && dst < nodes_.size());
+  const Node& node = *nodes_[src];
+  if (node.links.size() <= dst) return 0;  // before start()
+  const PeerLink& link = *node.links[dst];
+  std::lock_guard<std::mutex> lock(link.mutex);
+  return link.queued_bytes;
+}
+
+std::uint64_t TcpCluster::dropped_frames(NodeId node) const {
+  LSR_EXPECTS(node < nodes_.size());
+  return nodes_[node]->dropped.load();
+}
+
 void TcpCluster::set_paused(NodeId node_id, bool paused) {
   LSR_EXPECTS(node_id < nodes_.size());
   Node& node = *nodes_[node_id];
@@ -320,10 +372,11 @@ void TcpCluster::set_paused(NodeId node_id, bool paused) {
     node.runtime->set_paused(true);
     // Kill the sockets too: peers writing to this node get resets and must
     // run their reconnect path, and this node's own links start from
-    // scratch after recovery.
+    // scratch after recovery. Queued outbound batches are discarded — a
+    // crashed node's unsent frames die with it.
     for (auto& link : node.links) {
       std::lock_guard<std::mutex> lock(link->mutex);
-      close_fd(link->fd);
+      link_reset(node, *link, /*discard_queue=*/true);
       link->next_attempt = 0;
     }
     node.drop_accepted.store(true);
@@ -338,38 +391,20 @@ void TcpCluster::set_paused(NodeId node_id, bool paused) {
   }
 }
 
-void TcpCluster::wake_io(Node& node) {
-  if (node.wake_write < 0) return;
-  const std::uint8_t byte = 0;
-  [[maybe_unused]] const ssize_t n = ::write(node.wake_write, &byte, 1);
+void TcpCluster::set_rx_stalled(NodeId node_id, bool stalled) {
+  LSR_EXPECTS(node_id < nodes_.size());
+  nodes_[node_id]->rx_stalled.store(stalled);
+  wake_io(*nodes_[node_id]);
 }
 
-bool TcpCluster::open_link(Node& src, NodeId dst, PeerLink& link) {
-  const TimeNs t = now();
-  if (link.next_attempt > 0 && t < link.next_attempt) return false;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  set_nodelay(fd);
-  timeval timeout{};
-  timeout.tv_sec = options_.send_timeout / kSecond;
-  timeout.tv_usec = (options_.send_timeout % kSecond) / kMicrosecond;
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(nodes_[dst]->port);
-  const char* dial = options_.bind_address == "0.0.0.0"
-                         ? "127.0.0.1"
-                         : options_.bind_address.c_str();
-  if (::inet_pton(AF_INET, dial, &addr.sin_addr) != 1 ||
-      !connect_with_deadline(fd, addr, options_.send_timeout)) {
-    ::close(fd);
-    link.next_attempt = t + options_.reconnect_backoff;
-    return false;
-  }
-  link.fd = fd;
-  link.next_attempt = 0;
-  src.connects.fetch_add(1);
-  return true;
+void TcpCluster::wake_io(Node& node) {
+  if (node.wake_write < 0) return;
+  // One pipe byte per io wakeup, not per enqueue: the flag is cleared by the
+  // io thread after draining the pipe and before it scans the queues, so a
+  // sender that skips the write is guaranteed a scan after its append.
+  if (node.wake_pending.exchange(true)) return;
+  const std::uint8_t byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(node.wake_write, &byte, 1);
 }
 
 void TcpCluster::send_from(Node& src, NodeId dst, Bytes data) {
@@ -380,18 +415,239 @@ void TcpCluster::send_from(Node& src, NodeId dst, Bytes data) {
                  dst, data.size());
     return;
   }
+  OutFrame frame;
+  FrameHeader{src.id, static_cast<std::uint32_t>(data.size())}.write(
+      frame.header.data());
+  frame.payload = std::move(data);
+  const std::size_t frame_size = frame.size();
   PeerLink& link = *src.links[dst];
-  std::lock_guard<std::mutex> lock(link.mutex);
-  if (link.fd < 0 && !open_link(src, dst, link)) return;  // peer down: lost
-  if (!write_frame(link.fd, src.id, data, options_.send_timeout)) {
-    // Peer restarted or the connection died mid-stream: reconnect once
-    // immediately and retransmit; anything beyond that is the protocol
-    // retry timers' job (the message counts as lost).
-    close_fd(link.fd);
-    if (!open_link(src, dst, link)) return;
-    if (!write_frame(link.fd, src.id, data, options_.send_timeout))
-      close_fd(link.fd);
+  bool was_empty = false;
+  {
+    std::unique_lock<std::mutex> lock(link.mutex);
+    // A frame is admitted when it fits the byte bound — or when the queue
+    // is empty: a single frame above max_queue_bytes (but under
+    // max_frame_payload) must still be deliverable, so the bound governs
+    // backlog, never admissibility.
+    const auto admissible = [&] {
+      return link.queue.empty() ||
+             link.queued_bytes + frame_size <= options_.max_queue_bytes;
+    };
+    if (options_.overflow == TcpClusterOptions::Overflow::kBlock &&
+        !admissible()) {
+      link.space_cv.wait_for(
+          lock, std::chrono::nanoseconds(options_.send_timeout), [&] {
+            return admissible() || !running_.load() || src.runtime->paused();
+          });
+      // The node may have crashed while we waited (pause clears the queue,
+      // which is exactly what unblocks this wait): a crashed node must not
+      // enqueue the frame it was blocked on — it counts among the crash's
+      // losses.
+      if (!running_.load() || src.runtime->paused()) {
+        src.dropped.fetch_add(1);
+        return;
+      }
+    }
+    if (!admissible()) {
+      if (options_.overflow == TcpClusterOptions::Overflow::kDropOldest) {
+        // Never drop the front frame once part of it is on the wire — the
+        // stream would desync; the drain owns it until it completes.
+        const std::size_t keep = link.front_offset > 0 ? 1 : 0;
+        while (!admissible() && link.queue.size() > keep) {
+          const auto victim = link.queue.begin() +
+                              static_cast<std::ptrdiff_t>(keep);
+          link.queued_bytes -= victim->size();
+          link.queue.erase(victim);
+          src.dropped.fetch_add(1);
+        }
+      }
+      if (!admissible()) {
+        // kBlock timed out behind a partially-written front frame: the new
+        // frame is the loss.
+        src.dropped.fetch_add(1);
+        return;
+      }
+    }
+    // Final paused re-check under the link mutex: a pause that won the lock
+    // first has already discarded this link's queue, and a frame enqueued
+    // now would be transmitted while the node is "crashed".
+    if (src.runtime->paused()) {
+      src.dropped.fetch_add(1);
+      return;
+    }
+    was_empty = link.queue.empty();
+    link.queued_bytes += frame_size;
+    link.queue.push_back(std::move(frame));
   }
+  // Only an empty->nonempty transition needs a wakeup: the io thread keeps a
+  // nonempty link watched until it drains.
+  if (was_empty) {
+    {
+      std::lock_guard<std::mutex> lock(src.dirty_mutex);
+      src.dirty.push_back(dst);
+    }
+    wake_io(src);
+  }
+}
+
+// --- io-thread link state machine (caller holds link.mutex) ----------------
+
+void TcpCluster::link_reset(Node& src, PeerLink& link, bool discard_queue) {
+  close_fd(link.fd);
+  link.connecting = false;
+  link.front_offset = 0;  // a replacement connection retransmits whole frames
+  link.stall_deadline = 0;
+  link.stall_target = 0;
+  if (discard_queue) {
+    src.dropped.fetch_add(link.queue.size());
+    link.queue.clear();
+    link.queued_bytes = 0;
+    link.space_cv.notify_all();
+  }
+}
+
+void TcpCluster::link_begin_connect(Node& src, NodeId dst, PeerLink& link) {
+  const TimeNs t = now();
+  if (link.next_attempt > 0 && t < link.next_attempt) return;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    // Resource failure (fd exhaustion), not a refusal: keep the queue and
+    // retry after the backoff — discarding here would strand traffic that
+    // could flow once descriptors free up.
+    link.next_attempt = t + options_.reconnect_backoff;
+    return;
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  if (options_.so_sndbuf > 0)
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                 sizeof options_.so_sndbuf);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(nodes_[dst]->port);
+  const char* dial = options_.bind_address == "0.0.0.0"
+                         ? "127.0.0.1"
+                         : options_.bind_address.c_str();
+  if (::inet_pton(AF_INET, dial, &addr.sin_addr) != 1) {
+    ::close(fd);
+    link.next_attempt = t + options_.reconnect_backoff;
+    return;
+  }
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc == 0) {
+    link.fd = fd;
+    link.next_attempt = 0;
+    src.connects.fetch_add(1);
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    link.fd = fd;
+    link.connecting = true;
+    link.connect_deadline = t + options_.send_timeout;
+    return;
+  }
+  // Synchronous refusal (dead peer on loopback): everything queued for it is
+  // lost, protocol retry timers take over.
+  ::close(fd);
+  link.next_attempt = t + options_.reconnect_backoff;
+  link_reset(src, link, /*discard_queue=*/true);
+}
+
+void TcpCluster::link_finish_connect(Node& src, PeerLink& link) {
+  int err = 0;
+  socklen_t err_len = sizeof err;
+  if (::getsockopt(link.fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+      err != 0) {
+    link.next_attempt = now() + options_.reconnect_backoff;
+    link_reset(src, link, /*discard_queue=*/true);
+    return;
+  }
+  link.connecting = false;
+  link.next_attempt = 0;
+  src.connects.fetch_add(1);
+}
+
+void TcpCluster::link_drain(Node& src, PeerLink& link) {
+  // Drain until the queue empties or the kernel pushes back: each sendmsg
+  // coalesces up to max_batch_frames frames as header+payload iovecs (the
+  // batch cap bounds frames per *syscall*, not per cycle, so the ablation's
+  // uncoalesced arm pays one syscall per frame through the same pipeline).
+  while (!link.queue.empty()) {
+    iovec iov[kMaxIovs];
+    std::size_t niov = 0;
+    std::size_t nframes = 0;
+    std::size_t skip = link.front_offset;
+    for (const OutFrame& frame : link.queue) {
+      if (nframes >= options_.max_batch_frames || niov + 2 > kMaxIovs) break;
+      if (skip < frame.header.size()) {
+        iov[niov++] = {const_cast<std::uint8_t*>(frame.header.data()) + skip,
+                       frame.header.size() - skip};
+        if (!frame.payload.empty())
+          iov[niov++] = {const_cast<std::uint8_t*>(frame.payload.data()),
+                         frame.payload.size()};
+      } else if (skip < frame.size()) {
+        const std::size_t payload_skip = skip - frame.header.size();
+        iov[niov++] = {const_cast<std::uint8_t*>(frame.payload.data()) +
+                           payload_skip,
+                       frame.payload.size() - payload_skip};
+      }
+      skip = 0;
+      ++nframes;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    ssize_t n;
+    do {
+      n = ::sendmsg(link.fd, &msg, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    const TimeNs t = now();
+    if (n > 0) {
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        OutFrame& front = link.queue.front();
+        const std::size_t remaining = front.size() - link.front_offset;
+        if (left >= remaining) {
+          left -= remaining;
+          link.queued_bytes -= front.size();
+          link.queue.pop_front();
+          link.front_offset = 0;
+        } else {
+          link.front_offset += left;
+          left = 0;
+        }
+      }
+      link.space_cv.notify_all();
+      // Whole-batch deadline accounting: the armed batch shrinks by what
+      // was written; only a fully drained batch re-arms the clock.
+      const auto written = static_cast<std::size_t>(n);
+      link.stall_target =
+          link.stall_target > written ? link.stall_target - written : 0;
+      if (link.stall_target == 0 && !link.queue.empty()) {
+        link.stall_deadline = t + options_.send_timeout;
+        link.stall_target = link.queued_bytes - link.front_offset;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: arm the batch deadline if this backlog is new,
+      // then wait for POLLOUT.
+      if (link.stall_deadline == 0) {
+        link.stall_deadline = t + options_.send_timeout;
+        link.stall_target = link.queued_bytes - link.front_offset;
+      }
+      return;
+    }
+    // Peer restarted or the connection died mid-stream. Keep the queue and
+    // allow an immediate reconnect: if the peer is back, the batch is
+    // retransmitted whole (duplicates are within the model); if not, the
+    // failed connect discards it (the loss).
+    link_reset(src, link, /*discard_queue=*/false);
+    link.next_attempt = 0;
+    return;
+  }
+  link.stall_deadline = 0;
+  link.stall_target = 0;
 }
 
 void TcpCluster::io_loop(Node& node) {
@@ -401,13 +657,150 @@ void TcpCluster::io_loop(Node& node) {
   };
   std::vector<AcceptedConn> conns;
   std::vector<pollfd> pfds;
-  Bytes chunk(64 * 1024);
+  std::vector<NodeId> polled_links;
+  // Links the io thread must revisit every cycle: connecting (awaiting
+  // POLLOUT), backlogged behind a full kernel buffer (awaiting POLLOUT +
+  // stall deadline) or waiting out a reconnect backoff (deadline only).
+  // Everything else is untouched until a sender marks it dirty, so a cycle
+  // costs O(links with work), not O(cluster size).
+  std::vector<char> watched(nodes_.size(), 0);
+  std::vector<NodeId> dirty;
+  // Single-executor endpoints run their handler right on the io thread when
+  // the worker is idle — no wake, no context switch; the mailbox is only
+  // for multi-executor nodes and busy workers. Never under kBlock: a
+  // handler's own send could then wait on a full queue's space_cv, which
+  // only this io thread's drains can signal — a guaranteed self-stall.
+  const bool inline_ok =
+      options_.overflow != TcpClusterOptions::Overflow::kBlock;
+  const auto sink = [&node, inline_ok, this](NodeId sender,
+                                             Payload&& payload) {
+    // A frame naming an unknown sender is remote garbage.
+    if (sender >= nodes_.size()) return;
+    if (inline_ok && node.runtime->try_execute_inline(sender, payload))
+      return;
+    node.runtime->post(sender, std::move(payload));
+  };
+  // Runs one link through its state machine until it goes idle (unwatched)
+  // or must wait for a poll event or deadline (watched). `pollout_ready`
+  // reports a POLLOUT/POLLERR/POLLHUP edge from the last poll for its
+  // pending connect.
+  const auto process_link = [&](NodeId dst, bool pollout_ready) {
+    PeerLink& link = *node.links[dst];
+    std::lock_guard<std::mutex> lock(link.mutex);
+    // The attempt budget bounds connect->write-error->reconnect churn within
+    // one cycle; a link still busy after it stays watched and continues next
+    // cycle.
+    for (int attempts = 0; attempts < 4; ++attempts) {
+      if (link.connecting) {
+        if (pollout_ready) {
+          pollout_ready = false;
+          link_finish_connect(node, link);
+          continue;  // connected: fall through to the drain
+        }
+        if (now() > link.connect_deadline) {
+          link.next_attempt = now() + options_.reconnect_backoff;
+          link_reset(node, link, /*discard_queue=*/true);
+        }
+        watched[dst] = link.connecting ? 1 : 0;
+        return;
+      }
+      if (link.queue.empty()) {
+        watched[dst] = 0;
+        return;
+      }
+      if (link.fd < 0) {
+        if (link.next_attempt > 0 && now() < link.next_attempt) {
+          watched[dst] = 1;  // deadline wait, no fd to poll
+          return;
+        }
+        link_begin_connect(node, dst, link);
+        if (link.fd < 0) {
+          // Synchronous refusal discarded the queue (unwatch); a resource
+          // failure kept it and armed a backoff (stay watched so the
+          // deadline is polled for).
+          watched[dst] = link.queue.empty() ? 0 : 1;
+          return;
+        }
+        continue;
+      }
+      if (link.stall_deadline > 0 && now() > link.stall_deadline &&
+          link.stall_target > 0) {
+        // The peer accepted too little of the batch within the deadline:
+        // recycle the connection, count the batch as lost.
+        LSR_LOG_WARN("tcp %u: peer %u stalled a %zu-byte batch, dropping it",
+                     node.id, dst, link.queued_bytes);
+        link.next_attempt = now() + options_.reconnect_backoff;
+        link_reset(node, link, /*discard_queue=*/true);
+        watched[dst] = 0;
+        return;
+      }
+      link_drain(node, link);
+      if (link.queue.empty()) {
+        watched[dst] = 0;
+        return;
+      }
+      if (link.fd >= 0) {  // EAGAIN: wait for POLLOUT
+        watched[dst] = 1;
+        return;
+      }
+      // Write error reset the connection but kept the queue: loop around for
+      // the immediate reconnect.
+    }
+    watched[dst] = 1;
+  };
   while (running_.load()) {
+    // Newly nonempty links first: on an idle or writable socket the frame
+    // goes out this cycle without waiting for a poll round-trip.
+    {
+      std::lock_guard<std::mutex> lock(node.dirty_mutex);
+      dirty.swap(node.dirty);
+    }
+    for (const NodeId dst : dirty) process_link(dst, false);
+    dirty.clear();
+
     pfds.clear();
+    polled_links.clear();
     pfds.push_back({node.wake_read, POLLIN, 0});
     pfds.push_back({node.listen_fd, POLLIN, 0});
-    for (const auto& conn : conns) pfds.push_back({conn.fd, POLLIN, 0});
-    if (::poll(pfds.data(), pfds.size(), -1) < 0) {
+    const bool rx_stalled = node.rx_stalled.load();
+    std::size_t polled_conns = 0;
+    if (!rx_stalled) {
+      for (const auto& conn : conns) pfds.push_back({conn.fd, POLLIN, 0});
+      polled_conns = conns.size();
+    }
+    const std::size_t link_base = pfds.size();
+    TimeNs next_deadline = -1;
+    const auto want_deadline = [&next_deadline](TimeNs t) {
+      if (t > 0 && (next_deadline < 0 || t < next_deadline)) next_deadline = t;
+    };
+    for (NodeId dst = 0; dst < node.links.size(); ++dst) {
+      if (!watched[dst]) continue;
+      PeerLink& link = *node.links[dst];
+      std::lock_guard<std::mutex> lock(link.mutex);
+      if (link.connecting) {
+        want_deadline(link.connect_deadline);
+      } else if (link.fd < 0) {
+        // next_attempt == 0 means "retry immediately" (write-error reset
+        // kept the queue): an already-passed deadline makes poll return at
+        // once instead of blocking forever on a link with no fd to watch.
+        want_deadline(link.next_attempt > 0 ? link.next_attempt : 1);
+      } else {
+        want_deadline(link.stall_deadline);
+      }
+      if (link.fd >= 0) {
+        pfds.push_back({link.fd, POLLOUT, 0});
+        polled_links.push_back(dst);
+      }
+    }
+    int timeout_ms = -1;
+    if (next_deadline >= 0) {
+      const TimeNs delta = next_deadline - now();
+      timeout_ms = delta <= 0
+                       ? 0
+                       : static_cast<int>(
+                             std::min<TimeNs>(delta / kMillisecond + 1, 1000));
+    }
+    if (::poll(pfds.data(), pfds.size(), timeout_ms) < 0) {
       if (errno == EINTR) continue;
       break;
     }
@@ -416,6 +809,9 @@ void TcpCluster::io_loop(Node& node) {
       while (::read(node.wake_read, drain, sizeof drain) > 0) {
       }
     }
+    // Clear before scanning: a sender that skipped its pipe write because the
+    // flag was set is owed exactly the scan below.
+    node.wake_pending.store(false);
     if (!running_.load()) break;
     if (node.drop_accepted.exchange(false)) {
       // Crash semantics: sever every incoming connection so peers observe
@@ -433,45 +829,53 @@ void TcpCluster::io_loop(Node& node) {
         conns.push_back({fd, FrameReader(options_.max_frame_payload)});
       }
     }
-    // Only the connections that were polled this round (accepts above
-    // appended past the end of pfds).
-    const std::size_t polled = pfds.size() - 2;
-    for (std::size_t i = polled; i-- > 0;) {
-      if (!(pfds[i + 2].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      AcceptedConn& conn = conns[i];
-      bool drop = false;
-      for (;;) {
-        const ssize_t n = ::recv(conn.fd, chunk.data(), chunk.size(), 0);
-        if (n > 0) {
-          const bool ok = conn.reader.consume(
-              chunk.data(), static_cast<std::size_t>(n),
-              [&](NodeId sender, Bytes&& payload) {
-                // A frame naming an unknown sender is remote garbage.
-                if (sender < nodes_.size())
-                  node.runtime->post(sender, std::move(payload));
-              });
-          if (!ok) {
-            LSR_LOG_WARN("tcp %u: bad frame on incoming stream, dropping it",
-                         node.id);
+    // TX: revisit every watched link — POLLOUT edges first, then the ones
+    // waiting on deadlines (connect, stall, backoff).
+    for (std::size_t i = 0; i < polled_links.size(); ++i) {
+      const short revents = pfds[link_base + i].revents;
+      process_link(polled_links[i],
+                   (revents & (POLLOUT | POLLERR | POLLHUP)) != 0);
+    }
+    for (NodeId dst = 0; dst < node.links.size(); ++dst) {
+      if (!watched[dst]) continue;
+      if (std::find(polled_links.begin(), polled_links.end(), dst) !=
+          polled_links.end())
+        continue;  // handled above
+      process_link(dst, false);
+    }
+    // RX: drain readable accepted connections straight into their slabs.
+    if (!rx_stalled) {
+      for (std::size_t i = polled_conns; i-- > 0;) {
+        if (!(pfds[2 + i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+        AcceptedConn& conn = conns[i];
+        bool drop = false;
+        for (;;) {
+          const auto buf = conn.reader.writable_span(kRecvChunk);
+          const ssize_t n = ::recv(conn.fd, buf.data(), buf.size(), 0);
+          if (n > 0) {
+            if (!conn.reader.commit(static_cast<std::size_t>(n), sink)) {
+              LSR_LOG_WARN("tcp %u: bad frame on incoming stream, dropping it",
+                           node.id);
+              drop = true;
+              break;
+            }
+            if (static_cast<std::size_t>(n) < buf.size()) break;  // drained
+          } else if (n == 0) {
+            drop = true;  // peer closed
+            break;
+          } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            break;
+          } else if (errno == EINTR) {
+            continue;
+          } else {
             drop = true;
             break;
           }
-          if (static_cast<std::size_t>(n) < chunk.size()) break;  // drained
-        } else if (n == 0) {
-          drop = true;  // peer closed
-          break;
-        } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          break;
-        } else if (errno == EINTR) {
-          continue;
-        } else {
-          drop = true;
-          break;
         }
-      }
-      if (drop) {
-        ::close(conn.fd);
-        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+        if (drop) {
+          ::close(conn.fd);
+          conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+        }
       }
     }
   }

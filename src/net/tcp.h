@@ -2,26 +2,44 @@
 // the in-process cluster) that runs each node as a process-local endpoint
 // bound to a real TCP listener — loopback for tests and benches, any IPv4
 // address via TcpClusterOptions. Peers exchange length-prefixed frames
-// (wire.h FrameHeader) over persistent per-peer connections that are opened
-// lazily, re-opened on failure (with backoff), and written with a bounded
-// send timeout so a stalled peer exerts backpressure instead of wedging an
-// executor forever.
+// (wire.h FrameHeader) over persistent per-peer connections.
+//
+// The data path is batched at both ends:
+//
+//   TX  send() never touches a socket. It appends the frame to a bounded
+//       per-peer outbound queue and wakes the node's io thread, which owns
+//       every descriptor: it opens connections (nonblocking connect with a
+//       deadline), waits for POLLOUT, and drains each queue with a single
+//       writev per poll cycle — header+payload iovecs for as many queued
+//       frames as fit one batch — resuming mid-frame after partial writes.
+//       A full queue either drops its oldest frames or blocks the sender
+//       briefly (TcpClusterOptions::overflow); a connected peer that accepts
+//       no bytes for send_timeout has its connection recycled and its queued
+//       batch discarded (the whole drain shares one deadline — protocol
+//       retry timers treat the batch like lost datagrams).
+//
+//   RX  the io thread recv()s straight into a growable shared slab; frames
+//       are parsed in place and handed to NodeRuntime::post as spans that
+//       keep the slab alive (net::Payload) — no payload byte is copied
+//       between the socket and the endpoint handler, matching the inproc
+//       host's move-through-mailbox delivery.
 //
 // Execution mirrors InprocCluster exactly — both hosts run the shared
 // net::NodeRuntime (one worker thread per executor group, per-node timer
-// queues, condvar crash/recovery barriers); only the delivery path differs:
-// a per-node socket thread polls the listener plus every accepted
-// connection, reassembles frames across partial reads, and posts payloads
-// into the destination executor's mailbox. Protocol bytes on the wire are
-// identical to what the simulator delivers, which is what lets the same
-// workloads and linearizability checkers run over all three hosts.
+// queues, condvar crash/recovery barriers); only the delivery path differs.
+// Protocol bytes on the wire are identical to what the simulator delivers,
+// which is what lets the same workloads and linearizability checkers run
+// over all three hosts.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,38 +48,74 @@
 #include "common/wire.h"
 #include "net/context.h"
 #include "net/executor.h"
+#include "net/payload.h"
 
 namespace lsr::net {
 
-// Incremental frame extractor for one TCP stream: feed it whatever recv
-// returned — any split, down to one byte at a time — and it invokes the sink
-// once per completed frame. Returns false on an unrecoverable protocol
-// violation (magic mismatch or a length above the bound): a length-prefixed
-// stream cannot resynchronize after corruption, so the caller must drop the
-// connection.
+// Incremental frame extractor for one TCP stream, built on a growable shared
+// slab so extraction is zero-copy: recv() directly into writable_span(), then
+// commit(n, sink) parses every completed frame in place and invokes the sink
+// with a Payload that shares ownership of the slab (handlers and mailboxes
+// keep the slab alive; the reader moves on). Only torn frames are ever
+// copied, and only when the slab must be replaced to make room.
+//
+// consume() is the copy-in convenience for callers that already hold the
+// bytes (tests, fuzzers): memcpy into the slab, then commit.
+//
+// Returns false on an unrecoverable protocol violation (magic mismatch or a
+// length above the bound): a length-prefixed stream cannot resynchronize
+// after corruption, so the caller must drop the connection.
 class FrameReader {
  public:
+  using Sink = std::function<void(NodeId, Payload&&)>;
+
   explicit FrameReader(
       std::size_t max_payload = FrameHeader::kDefaultMaxPayload)
       : max_payload_(max_payload) {}
 
-  bool consume(const std::uint8_t* data, std::size_t size,
-               const std::function<void(NodeId, Bytes&&)>& sink);
+  // Contiguous writable tail of the slab, at least min_size bytes (the slab
+  // is grown or replaced as needed; a torn frame's prefix moves with it).
+  std::span<std::uint8_t> writable_span(std::size_t min_size);
 
-  std::size_t buffered() const { return buffer_.size(); }
+  // Declares that `size` bytes were received into writable_span() and parses
+  // them: one sink call per completed frame, torn tail kept for next time.
+  bool commit(std::size_t size, const Sink& sink);
+
+  // Copy-in path: appends [data, data+size) to the slab, then parses.
+  bool consume(const std::uint8_t* data, std::size_t size, const Sink& sink);
+
+  // Bytes of torn frame buffered for reassembly.
+  std::size_t buffered() const { return write_pos_ - parse_pos_; }
 
  private:
-  // Extracts complete frames from [data, data+size); sets `consumed` to the
-  // byte count handed to the sink (a trailing partial frame stays).
-  bool parse(const std::uint8_t* data, std::size_t size,
-             const std::function<void(NodeId, Bytes&&)>& sink,
-             std::size_t& consumed);
+  bool parse(const Sink& sink);
 
   std::size_t max_payload_;
-  Bytes buffer_;
+  std::shared_ptr<Bytes> slab_;
+  std::size_t parse_pos_ = 0;  // first unparsed byte
+  std::size_t write_pos_ = 0;  // one past the last received byte
+  // True once any Payload was handed out of this slab: its delivered
+  // regions may be read by handler threads with no synchronization back to
+  // the reader, so the slab is then consumed linearly and replaced, never
+  // rewound or slid.
+  bool lent_ = false;
 };
 
 struct TcpClusterOptions {
+  // How a full per-peer outbound queue treats new frames.
+  enum class Overflow {
+    // Discard queued frames, oldest first, until the new frame fits: the
+    // queue holds the freshest window of traffic and senders never stall
+    // (protocol retry timers recover the dropped frames, exactly as for
+    // lost datagrams). The default — matches the loss model every protocol
+    // in this repo is built against.
+    kDropOldest,
+    // Block the sending executor until the io thread drains enough space,
+    // but never past send_timeout (then the new frame is dropped): bounded
+    // end-to-end backpressure for workloads that prefer latency over loss.
+    kBlock,
+  };
+
   // IPv4 address the listeners bind to; peers connect to the same address
   // ("0.0.0.0" listeners are dialed via loopback — all nodes of one cluster
   // live in one process).
@@ -73,11 +127,28 @@ struct TcpClusterOptions {
   std::size_t max_frame_payload = FrameHeader::kDefaultMaxPayload;
   // A failed connect is not retried for this long (per peer link).
   TimeNs reconnect_backoff = 10 * kMillisecond;
-  // SO_SNDTIMEO on outgoing connections: bounds how long a full peer socket
-  // can block an executor (backpressure with an upper limit); on expiry the
-  // frame is dropped and the connection recycled — protocol retry timers
-  // take over, exactly as for a lost datagram.
+  // Whole-batch drain deadline: a connected peer that accepts no bytes for
+  // this long while frames are queued has its connection recycled and the
+  // queued batch discarded (counts as lost). Also bounds nonblocking
+  // connects, and the kBlock overflow wait. One deadline covers the entire
+  // drain — a wedged peer costs send_timeout once, not frames x timeout.
   TimeNs send_timeout = kSecond;
+  // Per-peer outbound queue bound (frame header + payload bytes). Governs
+  // backlog, not admissibility: a single frame larger than the bound is
+  // still admitted onto an empty queue, so every frame under
+  // max_frame_payload stays deliverable.
+  std::size_t max_queue_bytes = 4u << 20;
+  Overflow overflow = Overflow::kDropOldest;
+  // Frames coalesced into one writev per drain; 1 disables coalescing (the
+  // bench ablation's "off" arm — still asynchronous, but one frame per
+  // syscall like the PR 2 data path).
+  std::size_t max_batch_frames = 64;
+  // Kernel socket buffer sizes; 0 = kernel default. The backpressure suites
+  // shrink these so a slow reader's pushback reaches the user-space queues
+  // within a test's patience instead of hiding in megabytes of kernel
+  // buffering.
+  int so_sndbuf = 0;  // outgoing connections
+  int so_rcvbuf = 0;  // listeners (inherited by accepted connections)
 };
 
 class TcpCluster {
@@ -109,17 +180,32 @@ class TcpCluster {
   }
 
   // Kill / reconnect in the crash-recovery model: pausing parks the node's
-  // executors, drops queued work, and closes every connection it owns, so
-  // peers see resets and exercise their reconnect path. Resuming runs
-  // on_recover behind the drain barrier; connections re-establish lazily on
-  // the next send in either direction.
+  // executors, drops queued work — including every frame sitting in the
+  // node's outbound queues — and closes every connection it owns, so peers
+  // see resets and exercise their reconnect path. Resuming runs on_recover
+  // behind the drain barrier; connections re-establish lazily on the next
+  // send in either direction.
   void set_paused(NodeId node, bool paused);
+
+  // Test hook simulating a slow reader: while stalled, the node's io thread
+  // stops recv()ing its accepted connections (the kernel window fills, then
+  // peers' outbound queues) but keeps sending and answering poll — the node
+  // is alive, just not consuming. No effect on correctness paths; used by
+  // the backpressure suite.
+  void set_rx_stalled(NodeId node, bool stalled);
 
   std::uint16_t port(NodeId node) const;
 
   // Successful outgoing connects of this node (first connects + reconnects);
   // lets tests assert that a kill actually forced reconnections.
   std::uint64_t connect_count(NodeId node) const;
+
+  // Bytes currently queued on src's outbound link to dst (headers included).
+  std::size_t queued_bytes(NodeId src, NodeId dst) const;
+
+  // Frames this node has dropped across all links: queue overflow, drain
+  // stalls, failed connects and pause discards.
+  std::uint64_t dropped_frames(NodeId node) const;
 
  private:
   struct PeerLink;
@@ -129,8 +215,12 @@ class TcpCluster {
   TimeNs now() const;
   void io_loop(Node& node);
   void send_from(Node& src, NodeId dst, Bytes data);
-  bool open_link(Node& src, NodeId dst, PeerLink& link);
   void wake_io(Node& node);
+  // io-thread link state machine (caller holds the link's mutex):
+  void link_begin_connect(Node& src, NodeId dst, PeerLink& link);
+  void link_finish_connect(Node& src, PeerLink& link);
+  void link_drain(Node& src, PeerLink& link);
+  void link_reset(Node& src, PeerLink& link, bool discard_queue);
 
   TcpClusterOptions options_;
   std::vector<std::unique_ptr<Node>> nodes_;

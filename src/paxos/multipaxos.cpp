@@ -51,7 +51,7 @@ void MultiPaxosReplica::broadcast(const Bytes& data) {
     if (replica != ctx_.self()) ctx_.send(replica, data);
 }
 
-void MultiPaxosReplica::on_message(NodeId from, const Bytes& data) {
+void MultiPaxosReplica::on_message(NodeId from, ByteSpan data) {
   on_message(from, data.data(), data.size());
 }
 

@@ -71,7 +71,7 @@ class MultiPaxosReplica final : public net::Endpoint {
 
   void on_start() override;
   void on_recover() override;
-  void on_message(NodeId from, const Bytes& data) override;
+  void on_message(NodeId from, ByteSpan data) override;
   // Span form for multiplexing hosts (the keyed KV store) that deliver the
   // payload in place out of a shard envelope.
   void on_message(NodeId from, const std::uint8_t* data, std::size_t size);

@@ -71,7 +71,7 @@ void RaftReplica::append_entry(LogEntry entry) {
 
 // ---- message dispatch ----
 
-void RaftReplica::on_message(NodeId from, const Bytes& data) {
+void RaftReplica::on_message(NodeId from, ByteSpan data) {
   on_message(from, data.data(), data.size());
 }
 

@@ -55,7 +55,7 @@ class KvRecordingClient final : public net::Endpoint {
 
   void on_start() override { submit_next(); }
 
-  void on_message(NodeId from, const Bytes& data) override {
+  void on_message(NodeId from, ByteSpan data) override {
     (void)from;
     kv::EnvelopeView env;
     if (!kv::peek_envelope(data, env)) return;

@@ -31,7 +31,7 @@ class RecordingClient final : public net::Endpoint {
 
   void on_start() override { submit_next(); }
 
-  void on_message(NodeId from, const Bytes& data) override {
+  void on_message(NodeId from, ByteSpan data) override {
     (void)from;
     Decoder dec(data);
     const std::uint8_t tag = dec.get_u8();

@@ -1,11 +1,15 @@
-// The kill/reconnect acceptance scenario for the TCP transport, shared by
-// tests/tcp_test.cpp and bench/scale_tcp.cpp so the CI smoke and the test
-// suite can never silently diverge: a sharded KV store on three replicas
-// over loopback TCP, recording clients against replicas 0 and 1 (the 2/3
-// quorum stays live), replica 2 killed and reconnected mid-workload, then
-// every key's merged history checked for linearizability.
+// The fault-injection acceptance scenarios for the TCP transport, shared by
+// tests/tcp_test.cpp, tests/tcp_backpressure_test.cpp, tests/tcp_soak_test.cpp
+// and bench/scale_tcp.cpp so the CI smoke and the test suites can never
+// silently diverge: a sharded KV store on three replicas over loopback TCP,
+// recording clients against replicas 0 and 1 (the 2/3 quorum stays live),
+// replica 2 faulted mid-workload — killed and reconnected, and/or rx-stalled
+// (a slow reader: its io thread stops consuming, so peers' bounded outbound
+// queues toward it fill) — then every key's merged history checked for
+// linearizability.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <thread>
@@ -31,6 +35,14 @@ struct TcpKillReconnectOptions {
   TimeNs kill_after = 50 * kMillisecond;    // wall-clock into the workload
   TimeNs downtime = 150 * kMillisecond;     // how long replica 2 stays dead
   int deadline_ms = 20000;                  // client-completion deadline
+  // Transport knobs under test (queue bounds, overflow policy, batch size).
+  net::TcpClusterOptions cluster;
+  // > 0: replica 2 stops reading for this long before the kill (or, with
+  // kill == false, as the fault itself) — peers' outbound queues toward it
+  // fill against their byte bound while the workload keeps running.
+  TimeNs rx_stall = 0;
+  // false: the fault is the rx stall alone; replica 2 is never paused.
+  bool kill = true;
 };
 
 struct TcpKillReconnectResult {
@@ -41,6 +53,14 @@ struct TcpKillReconnectResult {
   // Outgoing connects of replica 0 — nonzero proves real sockets were
   // dialed (and re-dialed after the kill).
   std::uint64_t replica0_connects = 0;
+  // Sampled every few ms during an rx stall: the maximum of replica 0+1's
+  // outbound queue bytes toward replica 2 — the backpressure suite asserts
+  // this stays under the configured bound.
+  std::size_t max_peer_queued_to_victim = 0;
+  // Replica 2's own outbound queue bytes immediately before and after the
+  // pause: pausing must discard queued batches (after == 0).
+  std::size_t victim_queued_before_kill = 0;
+  std::size_t victim_queued_after_kill = 0;
   std::string explanation;  // first linearizability violation, when any
 
   bool ok() const { return completed && linearizable; }
@@ -58,7 +78,7 @@ inline TcpKillReconnectResult run_tcp_kill_reconnect(
     keys.push_back("hot" + std::to_string(k));
   std::vector<std::unique_ptr<KeyedHistory>> histories;
   std::vector<NodeId> clients;
-  net::TcpCluster cluster;
+  net::TcpCluster cluster(options.cluster);
   const std::vector<NodeId> replica_ids{0, 1, 2};
   for (std::size_t i = 0; i < replica_ids.size(); ++i) {
     cluster.add_node([&](net::Context& ctx) {
@@ -75,11 +95,37 @@ inline TcpKillReconnectResult run_tcp_kill_reconnect(
           options.seed * 31 + c, histories[c].get(), options.ops_per_client);
     }));
   }
+  const auto queued_toward = [&cluster](NodeId victim) {
+    return cluster.queued_bytes(0, victim) + cluster.queued_bytes(1, victim);
+  };
+  const auto victim_outbound = [&cluster, &clients](NodeId victim) {
+    std::size_t total = cluster.queued_bytes(victim, 0) +
+                        cluster.queued_bytes(victim, 1);
+    for (const NodeId client : clients)
+      total += cluster.queued_bytes(victim, client);
+    return total;
+  };
   cluster.start();
   std::this_thread::sleep_for(std::chrono::nanoseconds(options.kill_after));
-  cluster.set_paused(2, true);
+  if (options.rx_stall > 0) {
+    // Slow reader: replica 2 stops consuming; sample the peers' queue depth
+    // toward it while their retransmissions pile up against the byte bound.
+    cluster.set_rx_stalled(2, true);
+    const TimeNs step = 5 * kMillisecond;
+    for (TimeNs waited = 0; waited < options.rx_stall; waited += step) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(step));
+      result.max_peer_queued_to_victim =
+          std::max(result.max_peer_queued_to_victim, queued_toward(2));
+    }
+  }
+  if (options.kill) {
+    result.victim_queued_before_kill = victim_outbound(2);
+    cluster.set_paused(2, true);
+    result.victim_queued_after_kill = victim_outbound(2);
+  }
+  if (options.rx_stall > 0) cluster.set_rx_stalled(2, false);
   std::this_thread::sleep_for(std::chrono::nanoseconds(options.downtime));
-  cluster.set_paused(2, false);
+  if (options.kill) cluster.set_paused(2, false);
   const auto all_done = [&] {
     for (const NodeId client : clients)
       if (cluster.endpoint_as<KvRecordingClient>(client).completed() <

@@ -164,7 +164,7 @@ TEST(GlaConditions, UpdateVisibilitySequentialCrossReplica) {
   struct Alternator final : public net::Endpoint {
     explicit Alternator(net::Context& ctx) : ctx(ctx) {}
     void on_start() override { next(); }
-    void on_message(NodeId, const Bytes& data) override {
+    void on_message(NodeId, ByteSpan data) override {
       Decoder dec(data);
       const auto tag = static_cast<rsm::ClientTag>(dec.get_u8());
       if (tag == rsm::ClientTag::kQueryDone) {

@@ -28,7 +28,7 @@ class Echo final : public Endpoint {
  public:
   explicit Echo(Context& ctx) : ctx_(ctx) {}
 
-  void on_message(NodeId from, const Bytes& data) override {
+  void on_message(NodeId from, ByteSpan data) override {
     ++received;
     if (!data.empty() && data.front() == 0x01) ctx_.send(from, Bytes{0x02});
   }
@@ -66,7 +66,7 @@ TEST(Inproc, TimersFire) {
           ctx_.set_timer(5 * kMillisecond, 0, [this] { wrong.store(true); });
       ctx_.cancel_timer(cancelled_id);
     }
-    void on_message(NodeId, const Bytes&) override {}
+    void on_message(NodeId, ByteSpan) override {}
     std::atomic<bool> fired{false};
     std::atomic<bool> wrong{false};
     Context& ctx_;
@@ -117,10 +117,10 @@ TEST(Inproc, ExecutorGroupsRunOnDistinctThreads) {
     int lane_count() const override { return 4; }
     int executor_count() const override { return 2; }
     int executor_of(int lane) const override { return lane / 2; }
-    int lane_of(const Bytes& data) const override {
+    int lane_of(ByteSpan data) const override {
       return data.empty() ? 0 : data.front() % 4;
     }
-    void on_message(NodeId, const Bytes& data) override {
+    void on_message(NodeId, ByteSpan data) override {
       std::lock_guard<std::mutex> lock(mutex);
       thread_of_lane[data.empty() ? 0 : data.front() % 4].insert(
           std::this_thread::get_id());
@@ -167,7 +167,7 @@ TEST(Inproc, ShardedStoreServesKeysAcrossShardThreads) {
         keys_.push_back("live-key-" + std::to_string(i));
     }
     void on_start() override { submit(); }
-    void on_message(NodeId, const Bytes& data) override {
+    void on_message(NodeId, ByteSpan data) override {
       kv::EnvelopeView env;
       if (!kv::peek_envelope(data, env)) return;
       Decoder inner(env.inner, env.inner_size);

@@ -100,7 +100,7 @@ class ScriptClient final : public net::Endpoint {
 
   void on_start() override { submit(); }
 
-  void on_message(NodeId, const Bytes& data) override {
+  void on_message(NodeId, ByteSpan data) override {
     EnvelopeView env;
     if (!peek_envelope(data, env)) return;
     Decoder dec(env.inner, env.inner_size);
@@ -200,7 +200,7 @@ void fuzz_garbage_through_store(std::uint64_t seed) {
   set_log_level(LogLevel::kError);
   class Sink final : public net::Endpoint {
    public:
-    void on_message(NodeId, const Bytes&) override {}
+    void on_message(NodeId, ByteSpan) override {}
   };
   sim::Simulator sim(seed);
   const std::vector<NodeId> replicas{0};

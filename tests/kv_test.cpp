@@ -44,7 +44,7 @@ class KvClient final : public net::Endpoint {
       submit();
   }
 
-  void on_message(NodeId, const Bytes& data) override {
+  void on_message(NodeId, ByteSpan data) override {
     EnvelopeView env;
     if (!peek_envelope(data, env)) return;
     Decoder inner_dec(env.inner, env.inner_size);

@@ -105,6 +105,29 @@ TEST(ShardRouting, LaneGeometryMatchesShards) {
   EXPECT_EQ(store.lane_of(merge_env), expected_base + core::kAcceptorLane);
 }
 
+TEST(ShardRouting, ExecutorGroupsFoldShardsOntoFewerWorkers) {
+  // executor_groups caps worker parallelism below the shard count (hosts set
+  // it to the core count): lanes keep their shard meaning, both lanes of a
+  // shard stay in one group, and shards fold round-robin onto the groups.
+  sim::Simulator sim(2);
+  const std::vector<NodeId> replicas{0};
+  sim.add_node([&replicas](net::Context& ctx) {
+    return std::make_unique<Store>(ctx, replicas, core::ProtocolConfig{},
+                                   core::gcounter_ops(), GCounter{},
+                                   ShardOptions{8, /*executor_groups=*/3});
+  });
+  auto& store = sim.endpoint_as<Store>(0);
+  EXPECT_EQ(store.lane_count(), 16);  // lanes unchanged: 2 per shard
+  EXPECT_EQ(store.executor_count(), 3);
+  for (int lane = 0; lane < store.lane_count(); ++lane) {
+    EXPECT_EQ(store.executor_of(lane), (lane / 2) % 3);
+    EXPECT_LT(store.executor_of(lane), store.executor_count());
+  }
+  // A group cap above the shard count degrades to one group per shard.
+  EXPECT_EQ((ShardOptions{8, 64}.groups()), 8u);
+  EXPECT_EQ((ShardOptions{8, 0}.groups()), 8u);
+}
+
 TEST(ShardEnvelope, PeekRoundTripsAndRejectsTruncations) {
   const std::string key = "some/key";
   const Bytes inner{0x01, 0x02, 0x03, 0x04};
@@ -136,7 +159,7 @@ TEST(ShardEnvelope, FuzzGarbageThroughShardedStore) {
   set_log_level(LogLevel::kError);  // the point is to provoke drops; be quiet
   class Sink final : public net::Endpoint {
    public:
-    void on_message(NodeId, const Bytes&) override {}
+    void on_message(NodeId, ByteSpan) override {}
   };
   sim::Simulator sim(3);
   const std::vector<NodeId> replicas{0};

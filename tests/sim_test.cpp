@@ -15,8 +15,8 @@ class Recorder final : public net::Endpoint {
  public:
   explicit Recorder(net::Context& ctx) : ctx_(ctx) {}
 
-  void on_message(NodeId from, const Bytes& data) override {
-    received.push_back({from, data, ctx_.now()});
+  void on_message(NodeId from, ByteSpan data) override {
+    received.push_back({from, Bytes(data.begin(), data.end()), ctx_.now()});
     if (echo && !data.empty() && data.front() == 0x01) {
       Bytes reply{0x02};
       ctx_.send(from, std::move(reply));
@@ -218,7 +218,7 @@ TEST(Simulator, ConsumeExtendsLaneBusyTime) {
   class Consumer final : public net::Endpoint {
    public:
     explicit Consumer(net::Context& ctx) : ctx_(ctx) {}
-    void on_message(NodeId, const Bytes&) override {
+    void on_message(NodeId, ByteSpan) override {
       arrival_times.push_back(ctx_.now());
       if (arrival_times.size() == 1) ctx_.consume(40 * kMicrosecond);
     }

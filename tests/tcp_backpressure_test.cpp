@@ -1,0 +1,230 @@
+// Slow-reader backpressure on the batched TCP pipeline: a peer that stops
+// reading mid-workload must fill the sender's bounded per-peer queue and
+// nothing else — the queue never exceeds its byte bound (drop-oldest) or
+// blocks senders past the configured timeout (kBlock), the sender's io
+// thread stays live for its other peers, pausing a node discards its queued
+// batches, and a full KV workload that rides out an rx stall stays per-key
+// linearizable after the reader resumes.
+#include "net/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "verify/tcp_kill_reconnect.h"
+
+namespace lsr::net {
+namespace {
+
+class Echo final : public Endpoint {
+ public:
+  explicit Echo(Context& ctx) : ctx_(ctx) {}
+
+  void on_message(NodeId from, ByteSpan data) override {
+    ++received;
+    if (!data.empty() && data.front() == 0x01) ctx_.send(from, Bytes{0x02});
+  }
+
+  void on_recover() override { ++recoveries; }
+
+  std::atomic<int> received{0};
+  std::atomic<int> recoveries{0};
+  Context& ctx_;
+};
+
+template <typename Pred>
+bool wait_for(const Pred& pred, int timeout_ms = 5000) {
+  for (int waited = 0; waited < timeout_ms; waited += 5) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+// Shrunk kernel buffers so pushback reaches the user-space queue within a
+// few hundred frames instead of a few megabytes.
+TcpClusterOptions small_buffer_options() {
+  TcpClusterOptions options;
+  options.so_sndbuf = 8 * 1024;
+  options.so_rcvbuf = 8 * 1024;
+  return options;
+}
+
+TEST(TcpBackpressure, QueueStaysBoundedAndIoThreadStaysLive) {
+  TcpClusterOptions options = small_buffer_options();
+  options.max_queue_bytes = 64 * 1024;
+  // No batch-stall recycling in this test: the byte bound alone must hold
+  // the line while the reader is stalled.
+  options.send_timeout = 60 * kSecond;
+  TcpCluster cluster(options);
+  const NodeId a = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  const NodeId b = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  const NodeId c = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  cluster.start();
+  // Warm both links up.
+  cluster.endpoint_as<Echo>(a).ctx_.send(b, Bytes{0x00});
+  cluster.endpoint_as<Echo>(a).ctx_.send(c, Bytes{0x00});
+  ASSERT_TRUE(wait_for([&] {
+    return cluster.endpoint_as<Echo>(b).received.load() >= 1 &&
+           cluster.endpoint_as<Echo>(c).received.load() >= 1;
+  }));
+
+  cluster.set_rx_stalled(b, true);
+  // Flood a->b: kernel buffers fill first, then the bounded queue, then
+  // drop-oldest. The bound must hold at every sample.
+  const Bytes payload(1024, 0x00);
+  for (int i = 0; i < 20000; ++i) {
+    cluster.endpoint_as<Echo>(a).ctx_.send(b, payload);
+    if (i % 500 == 0)
+      ASSERT_LE(cluster.queued_bytes(a, b), options.max_queue_bytes)
+          << "after " << i << " frames";
+  }
+  EXPECT_LE(cluster.queued_bytes(a, b), options.max_queue_bytes);
+  EXPECT_GT(cluster.dropped_frames(a), 0u) << "drop-oldest never engaged";
+
+  // The io thread is not wedged behind the stalled peer: a->c still echoes.
+  const int a_before = cluster.endpoint_as<Echo>(a).received.load();
+  cluster.endpoint_as<Echo>(a).ctx_.send(c, Bytes{0x01});
+  EXPECT_TRUE(wait_for([&] {
+    return cluster.endpoint_as<Echo>(a).received.load() > a_before;
+  })) << "io thread wedged behind a stalled reader";
+
+  // Resume: the freshest window of traffic (and new frames) flow again.
+  const int b_before = cluster.endpoint_as<Echo>(b).received.load();
+  cluster.set_rx_stalled(b, false);
+  EXPECT_TRUE(wait_for([&] {
+    cluster.endpoint_as<Echo>(a).ctx_.send(b, Bytes{0x00});
+    return cluster.endpoint_as<Echo>(b).received.load() > b_before;
+  }));
+  cluster.stop();
+}
+
+TEST(TcpBackpressure, PauseDiscardsQueuedBatchesMidFlight) {
+  // The kill-mid-batch semantic, deterministically: build a nonempty
+  // outbound queue against a stalled reader, pause the sender, and the
+  // queued batch must be gone (a crashed node's unsent frames die with it).
+  TcpClusterOptions options = small_buffer_options();
+  options.max_queue_bytes = 256 * 1024;
+  options.send_timeout = 60 * kSecond;
+  TcpCluster cluster(options);
+  const NodeId a = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  const NodeId b = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  const NodeId c = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  cluster.start();
+  cluster.endpoint_as<Echo>(a).ctx_.send(b, Bytes{0x00});
+  ASSERT_TRUE(wait_for(
+      [&] { return cluster.endpoint_as<Echo>(b).received.load() >= 1; }));
+
+  cluster.set_rx_stalled(b, true);
+  // Flood until a substantial backlog sits in the user-space queue — well
+  // past any transient the io thread could flush into the kernel between
+  // our sample and the pause below.
+  const Bytes payload(1024, 0x00);
+  const std::size_t backlog_target = 64 * 1024;
+  const std::uint64_t dropped_before = cluster.dropped_frames(a);
+  for (int i = 0;
+       i < 60000 && cluster.queued_bytes(a, b) < backlog_target; ++i)
+    cluster.endpoint_as<Echo>(a).ctx_.send(b, payload);
+  ASSERT_GE(cluster.queued_bytes(a, b), backlog_target)
+      << "flood never outpaced the kernel buffers";
+
+  cluster.set_paused(a, true);
+  EXPECT_EQ(cluster.queued_bytes(a, b), 0u)
+      << "pause must discard queued batches";
+  EXPECT_GT(cluster.dropped_frames(a), dropped_before);
+
+  // Recovery: the node comes back and its links re-establish lazily.
+  cluster.set_paused(a, false);
+  ASSERT_TRUE(wait_for(
+      [&] { return cluster.endpoint_as<Echo>(a).recoveries.load() == 1; }));
+  cluster.set_rx_stalled(b, false);
+  const int c_before = cluster.endpoint_as<Echo>(c).received.load();
+  EXPECT_TRUE(wait_for([&] {
+    cluster.endpoint_as<Echo>(a).ctx_.send(c, Bytes{0x00});
+    return cluster.endpoint_as<Echo>(c).received.load() > c_before;
+  }));
+  cluster.stop();
+}
+
+TEST(TcpBackpressure, BlockPolicyBoundsSenderWaitAndQueue) {
+  // Overflow::kBlock: a full queue blocks the sender, but only up to
+  // send_timeout per frame — the whole flood completes in bounded time, the
+  // byte bound holds throughout, and nothing deadlocks.
+  TcpClusterOptions options = small_buffer_options();
+  options.overflow = TcpClusterOptions::Overflow::kBlock;
+  options.max_queue_bytes = 16 * 1024;
+  options.send_timeout = 80 * kMillisecond;
+  TcpCluster cluster(options);
+  const NodeId a = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  const NodeId b = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  cluster.start();
+  cluster.endpoint_as<Echo>(a).ctx_.send(b, Bytes{0x00});
+  ASSERT_TRUE(wait_for(
+      [&] { return cluster.endpoint_as<Echo>(b).received.load() >= 1; }));
+
+  cluster.set_rx_stalled(b, true);
+  const Bytes payload(1024, 0x00);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 400; ++i) {
+    cluster.endpoint_as<Echo>(a).ctx_.send(b, payload);
+    if (i % 50 == 0)
+      ASSERT_LE(cluster.queued_bytes(a, b), options.max_queue_bytes);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // 400 frames with an 80 ms worst-case wait each would be 32 s if every
+  // send blocked fully; the batch-stall recycle keeps freeing the queue, so
+  // well under that — but the real assertion is that we got here at all
+  // (no io-thread deadlock) within a bounded, generous window.
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+  EXPECT_LE(cluster.queued_bytes(a, b), options.max_queue_bytes);
+  cluster.set_rx_stalled(b, false);
+  cluster.stop();
+}
+
+TEST(TcpBackpressure, KvLinearizableAcrossRxStall) {
+  // The acceptance scenario: a replica stops reading mid-workload (slow
+  // reader, not a crash), peers' queues toward it stay under the bound,
+  // drop-oldest sheds the backlog, and after it resumes every key's merged
+  // history is still linearizable.
+  verify::TcpKillReconnectOptions options;
+  options.kill = false;
+  options.kill_after = 10 * kMillisecond;  // stall starts almost immediately
+  options.rx_stall = 400 * kMillisecond;
+  options.downtime = 50 * kMillisecond;
+  // Enough work that the sessions are still running throughout the stall
+  // (the stall only has teeth while traffic is flowing).
+  options.ops_per_client = 2000;
+  options.deadline_ms = 60000;
+  options.keys = 12;
+  options.seed = 4242;
+  options.cluster.so_sndbuf = 8 * 1024;
+  options.cluster.so_rcvbuf = 8 * 1024;
+  options.cluster.max_queue_bytes = 32 * 1024;
+  options.cluster.send_timeout = 150 * kMillisecond;
+  const auto result = verify::run_tcp_kill_reconnect(options);
+  ASSERT_TRUE(result.completed)
+      << "clients did not finish their sessions across the rx stall";
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+  EXPECT_GT(result.key_count, 1u);
+  // The stall actually pushed back into user space...
+  EXPECT_GT(result.max_peer_queued_to_victim, 0u)
+      << "stall never reached the bounded queues — test lost its teeth";
+  // ...and the two peer links' queues each honored their byte bound.
+  EXPECT_LE(result.max_peer_queued_to_victim,
+            2 * options.cluster.max_queue_bytes);
+}
+
+}  // namespace
+}  // namespace lsr::net

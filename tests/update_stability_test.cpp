@@ -34,7 +34,7 @@ class AlternatingWriter final : public net::Endpoint {
 
   void on_start() override { submit(); }
 
-  void on_message(NodeId, const Bytes& data) override {
+  void on_message(NodeId, ByteSpan data) override {
     Decoder dec(data);
     if (static_cast<rsm::ClientTag>(dec.get_u8()) !=
         rsm::ClientTag::kUpdateDone)
