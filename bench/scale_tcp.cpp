@@ -17,6 +17,8 @@
 // throughput, when the coalesced sweep is not at least as fast in aggregate
 // as the uncoalesced one, or when the kill/reconnect run is not per-key
 // linearizable — this is the CI smoke check for the socket transport.
+#include <unistd.h>
+
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -30,6 +32,7 @@
 #include "kv/sharded_store.h"
 #include "lattice/gcounter.h"
 #include "net/tcp.h"
+#include "verify/process_cluster.h"
 #include "verify/tcp_kill_reconnect.h"
 
 namespace {
@@ -201,6 +204,37 @@ int main(int argc, char** argv) {
   std::printf("\nkill/reconnect linearizability check:\n");
   const bool linearizable = run_kill_reconnect_check(args.seed);
 
+  // Multi-process row: the same Zipfian workload served by real lsr_node OS
+  // processes over the explicit membership table, one replica SIGKILLed and
+  // restarted mid-run. Skipped (not failed) when the server binary is
+  // absent — sanitizer jobs build only their target list — so the row is
+  // enforced exactly where the binary exists: the main CI build.
+  std::printf("\nmulti-process deployment (one lsr_node process per replica):\n");
+  bool multiprocess_ran = false;
+  bool multiprocess_ok = true;
+  double multiprocess_tput = 0.0;
+  const std::string node_bin = verify::ProcessCluster::default_node_binary();
+  if (::access(node_bin.c_str(), X_OK) != 0) {
+    std::printf("  skipped: %s not built\n", node_bin.c_str());
+  } else {
+    verify::ProcessKillRestartOptions options;
+    options.seed = args.seed;
+    options.clients = 4;
+    options.ops_per_client = args.full ? 400 : 150;
+    const auto proc = verify::run_process_kill_restart(options);
+    multiprocess_ran = true;
+    multiprocess_ok = proc.ok() && proc.restarted_serving;
+    multiprocess_tput = proc.throughput_per_sec;
+    if (multiprocess_ok) {
+      std::printf(
+          "  %zu keys, %zu ops across SIGKILL+restart -> linearizable, "
+          "%.0f req/s incl. fault window\n",
+          proc.key_count, proc.total_ops, proc.throughput_per_sec);
+    } else {
+      std::printf("  FAILED: %s\n", proc.explanation.c_str());
+    }
+  }
+
   bench::JsonReport report;
   report.set_meta("bench", std::string("scale_tcp"));
   report.set_meta("transport", std::string("tcp"));
@@ -216,9 +250,17 @@ int main(int argc, char** argv) {
                   std::string(kPerfGate ? "enforced" : "recorded-only"));
   report.set_meta("kill_reconnect_linearizable",
                   linearizable ? std::string("yes") : std::string("no"));
+  report.set_meta("multiprocess_kill_restart",
+                  !multiprocess_ran ? std::string("skipped")
+                  : multiprocess_ok ? std::string("linearizable")
+                                    : std::string("FAILED"));
+  if (multiprocess_ran)
+    report.set_meta("multiprocess_req_per_sec", multiprocess_tput);
   report.add_table("throughput_per_sec", table);
   if (!report.write_file(args.json_path)) return 2;
   std::printf("results written to %s\n", args.json_path.c_str());
 
-  return (all_cells_ok && coalescing_ok && linearizable) ? 0 : 1;
+  return (all_cells_ok && coalescing_ok && linearizable && multiprocess_ok)
+             ? 0
+             : 1;
 }

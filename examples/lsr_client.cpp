@@ -1,0 +1,188 @@
+// lsr_client — workload driver for a running lsr_node cluster: joins the
+// membership as a client endpoint (its id must be one of the table's
+// non-replica slots, where the replicas dial replies back to), runs the
+// Zipfian closed-loop KV workload over real sockets with bounded
+// retransmission, then checks its own per-key history for linearizability.
+//
+//   lsr_client --id 3 --replicas 3 --ops 500
+//              --peers "0=...,1=...,2=...,3=127.0.0.1:7403"
+//
+// Flags:
+//   --id N             this client's member id (required, >= --replicas)
+//   --peers SPEC / --peers-file PATH   the shared membership table
+//   --replicas R       ids 0..R-1 are replicas (default: table size - 1)
+//   --target T         replica to talk to (default: id %% replicas)
+//   --ops N            requests to complete (default 400)
+//   --keys K           keyspace size (default 24)
+//   --zipf T           Zipfian theta, 0 = uniform (default 0.99)
+//   --read-ratio F     fraction of reads (default 0.5)
+//   --retry-ms M       retransmission timeout (default 50; 0 = off)
+//   --failover N       switch replica after N consecutive timeouts
+//                      (default 0 = same-replica retry — keep 0 for crdt,
+//                      whose session dedup is per replica)
+//   --seed S           rng seed (default 1)
+//   --deadline-ms M    give up after M ms (default 60000)
+//
+// Exit code: 0 completed + linearizable, 1 linearizability violation,
+// 2 usage/membership error, 3 deadline exceeded.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/workload.h"
+#include "net/membership.h"
+#include "net/tcp.h"
+#include "verify/history.h"
+#include "verify/kv_recording_client.h"
+#include "verify/linearizability.h"
+
+using namespace lsr;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --id N (--peers SPEC | --peers-file PATH)\n"
+               "          [--replicas R] [--target T] [--ops N] [--keys K]\n"
+               "          [--zipf T] [--read-ratio F] [--retry-ms M]\n"
+               "          [--failover N] [--seed S] [--deadline-ms M]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long id = -1;
+  long replicas = -1;
+  long target = -1;
+  long ops = 400;
+  long keys = 24;
+  long retry_ms = 50;
+  long failover = 0;
+  long seed = 1;
+  long deadline_ms = 60000;
+  double zipf_theta = 0.99;
+  double read_ratio = 0.5;
+  const char* peers = nullptr;
+  const char* peers_file = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (flag("--id")) id = std::atol(argv[++i]);
+    else if (flag("--peers")) peers = argv[++i];
+    else if (flag("--peers-file")) peers_file = argv[++i];
+    else if (flag("--replicas")) replicas = std::atol(argv[++i]);
+    else if (flag("--target")) target = std::atol(argv[++i]);
+    else if (flag("--ops")) ops = std::atol(argv[++i]);
+    else if (flag("--keys")) keys = std::atol(argv[++i]);
+    else if (flag("--zipf")) zipf_theta = std::atof(argv[++i]);
+    else if (flag("--read-ratio")) read_ratio = std::atof(argv[++i]);
+    else if (flag("--retry-ms")) retry_ms = std::atol(argv[++i]);
+    else if (flag("--failover")) failover = std::atol(argv[++i]);
+    else if (flag("--seed")) seed = std::atol(argv[++i]);
+    else if (flag("--deadline-ms")) deadline_ms = std::atol(argv[++i]);
+    else return usage(argv[0]);
+  }
+  if (id < 0 || (peers == nullptr) == (peers_file == nullptr) || ops < 1 ||
+      keys < 1)
+    return usage(argv[0]);
+
+  net::Membership membership;
+  std::string error;
+  const bool parsed =
+      peers != nullptr
+          ? net::Membership::parse_peers(peers, membership, &error)
+          : net::Membership::load_file(peers_file, membership, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "lsr_client: bad membership: %s\n", error.c_str());
+    return 2;
+  }
+  if (replicas < 0) replicas = static_cast<long>(membership.size()) - 1;
+  if (replicas < 1 || static_cast<std::size_t>(replicas) >= membership.size() ||
+      id < replicas || !membership.has(static_cast<NodeId>(id))) {
+    std::fprintf(stderr,
+                 "lsr_client: --id %ld must be a non-replica member "
+                 "(replicas are 0..%ld of %zu)\n",
+                 id, replicas - 1, membership.size());
+    return 2;
+  }
+  if (target < 0) target = id % replicas;
+  if (target >= replicas) {
+    std::fprintf(stderr,
+                 "lsr_client: --target %ld is not a replica (0..%ld) — "
+                 "requests to it would be silently ignored\n",
+                 target, replicas - 1);
+    return 2;
+  }
+
+  std::vector<std::string> keyspace;
+  for (long k = 0; k < keys; ++k)
+    keyspace.push_back("proc" + std::to_string(k));
+  const bench::Zipfian zipf(static_cast<std::uint64_t>(keys),
+                            zipf_theta > 0 ? zipf_theta : 0.0);
+  verify::KeyedHistory history;
+
+  net::TcpCluster cluster(membership);
+  const NodeId self = static_cast<NodeId>(id);
+  cluster.add_node(self, [&](net::Context& ctx) {
+    auto client = std::make_unique<verify::KvRecordingClient>(
+        ctx, static_cast<NodeId>(target), &keyspace, read_ratio,
+        static_cast<std::uint64_t>(seed), &history,
+        static_cast<std::uint64_t>(ops),
+        zipf_theta > 0 ? &zipf : nullptr);
+    if (retry_ms > 0)
+      client->enable_retry(retry_ms * kMillisecond,
+                           static_cast<int>(failover),
+                           static_cast<NodeId>(replicas));
+    return client;
+  });
+  cluster.start();
+  std::printf("lsr_client %u: %ld ops against replica %ld (%ld keys, "
+              "zipf %.2f, retry %ld ms)\n",
+              self, ops, target, keys, zipf_theta, retry_ms);
+  std::fflush(stdout);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  bool completed = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cluster.endpoint_as<verify::KvRecordingClient>(self).completed() >=
+        static_cast<std::uint64_t>(ops)) {
+      completed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  cluster.stop();
+  if (!completed) {
+    std::fprintf(stderr, "lsr_client %u: FAILED: only %llu/%ld ops within "
+                         "the deadline\n",
+                 self,
+                 static_cast<unsigned long long>(
+                     cluster.endpoint_as<verify::KvRecordingClient>(self)
+                         .completed()),
+                 ops);
+    return 3;
+  }
+  cluster.endpoint_as<verify::KvRecordingClient>(self).flush_pending();
+
+  bool linearizable = true;
+  for (const auto& [key, key_history] : history.histories()) {
+    const auto check = verify::check_counter_linearizable(key_history);
+    if (!check.linearizable) {
+      linearizable = false;
+      std::fprintf(stderr, "lsr_client %u: key %s: %s\n", self, key.c_str(),
+                   check.explanation.c_str());
+    }
+  }
+  std::printf("lsr_client %u: completed %ld ops over %zu keys -> %s\n", self,
+              ops, history.key_count(),
+              linearizable ? "linearizable" : "VIOLATION");
+  return linearizable ? 0 : 1;
+}

@@ -1,0 +1,167 @@
+// lsr_node — a standalone replica server: one member of an lsr cluster per
+// OS process, the paper's actual deployment model. The process hosts
+// exactly one node id of an explicit membership table and serves the KV
+// envelope protocol over real TCP sockets until SIGTERM/SIGINT.
+//
+//   lsr_node --id 0 --peers "0=127.0.0.1:7400,1=127.0.0.1:7401,2=127.0.0.1:7402"
+//   lsr_node --id 1 --peers-file cluster.peers --system paxos --shards 8
+//
+// Flags:
+//   --id N              this process's node id (required; must be < --replicas)
+//   --peers SPEC        comma-separated membership: id=host:port,...
+//   --peers-file PATH   same entries, one per line, '#' comments
+//   --replicas R        ids 0..R-1 are replicas (default: the whole table;
+//                       higher ids are client endpoints that dial in)
+//   --system S          crdt | paxos | raft          (default crdt)
+//   --shards N          key-space shards, power of two (default 4)
+//   --groups N          executor groups (default: min(cores, shards))
+//
+// The same binary is what verify::ProcessCluster forks for the
+// fault-injection harness and what scripts/run_local_cluster.sh spawns; a
+// SIGKILL loses all state, and a restarted node rejoins from bottom — its
+// peers' quorum intersection carries every learned state across the fault.
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ops.h"
+#include "kv/keyed_log_store.h"
+#include "kv/sharded_store.h"
+#include "lattice/gcounter.h"
+#include "net/membership.h"
+#include "net/tcp.h"
+#include "paxos/multipaxos.h"
+#include "raft/raft.h"
+
+using namespace lsr;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --id N (--peers SPEC | --peers-file PATH)\n"
+      "          [--replicas R] [--system crdt|paxos|raft]\n"
+      "          [--shards N] [--groups N]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long id = -1;
+  long replicas = -1;
+  long shards = 4;
+  long groups = 0;
+  const char* peers = nullptr;
+  const char* peers_file = nullptr;
+  const char* system = "crdt";
+  for (int i = 1; i < argc; ++i) {
+    const auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (flag("--id")) id = std::atol(argv[++i]);
+    else if (flag("--peers")) peers = argv[++i];
+    else if (flag("--peers-file")) peers_file = argv[++i];
+    else if (flag("--replicas")) replicas = std::atol(argv[++i]);
+    else if (flag("--system")) system = argv[++i];
+    else if (flag("--shards")) shards = std::atol(argv[++i]);
+    else if (flag("--groups")) groups = std::atol(argv[++i]);
+    else return usage(argv[0]);
+  }
+  if (id < 0 || (peers == nullptr) == (peers_file == nullptr))
+    return usage(argv[0]);
+
+  net::Membership membership;
+  std::string error;
+  const bool parsed =
+      peers != nullptr
+          ? net::Membership::parse_peers(peers, membership, &error)
+          : net::Membership::load_file(peers_file, membership, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "lsr_node: bad membership: %s\n", error.c_str());
+    return 2;
+  }
+  if (replicas < 0) replicas = static_cast<long>(membership.size());
+  if (replicas < 1 || static_cast<std::size_t>(replicas) > membership.size() ||
+      id >= replicas) {
+    std::fprintf(stderr,
+                 "lsr_node: --id %ld must name a replica (0..%ld) within the "
+                 "%zu-member table\n",
+                 id, replicas - 1, membership.size());
+    return 2;
+  }
+  if (shards < 1 || (shards & (shards - 1)) != 0) {
+    std::fprintf(stderr, "lsr_node: --shards must be a power of two\n");
+    return 2;
+  }
+  const std::uint32_t cores =
+      std::max(1u, std::thread::hardware_concurrency());
+  kv::ShardOptions shard_options{
+      static_cast<std::uint32_t>(shards),
+      groups > 0 ? static_cast<std::uint32_t>(groups) : cores};
+
+  std::vector<NodeId> replica_ids;
+  for (long r = 0; r < replicas; ++r)
+    replica_ids.push_back(static_cast<NodeId>(r));
+
+  const NodeId self = static_cast<NodeId>(id);
+  net::TcpCluster cluster(membership);
+  if (std::strcmp(system, "crdt") == 0) {
+    cluster.add_node(self, [&](net::Context& ctx) {
+      return std::make_unique<kv::ShardedStore<lattice::GCounter>>(
+          ctx, replica_ids, core::ProtocolConfig{}, core::gcounter_ops(),
+          lattice::GCounter{}, shard_options);
+    });
+  } else if (std::strcmp(system, "paxos") == 0) {
+    cluster.add_node(self, [&](net::Context& ctx) {
+      return std::make_unique<kv::KeyedLogStore<paxos::MultiPaxosReplica>>(
+          ctx, replica_ids, paxos::PaxosConfig{}, shard_options);
+    });
+  } else if (std::strcmp(system, "raft") == 0) {
+    cluster.add_node(self, [&](net::Context& ctx) {
+      raft::RaftConfig config;
+      config.rng_seed = 0x5e5d + static_cast<std::uint64_t>(self) * 31;
+      return std::make_unique<kv::KeyedLogStore<raft::RaftReplica>>(
+          ctx, replica_ids, config, shard_options);
+    });
+  } else {
+    std::fprintf(stderr, "lsr_node: unknown --system %s (crdt|paxos|raft)\n",
+                 system);
+    return 2;
+  }
+
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  // Dead peers surface as connection errors on the io thread, not signals.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  cluster.start();
+  const auto& address = membership.address(self);
+  std::printf("lsr_node %u serving on %s:%u (system=%s, shards=%ld, "
+              "replicas=%ld of %zu members)\n",
+              self, address.host.c_str(), address.port, system, shards,
+              replicas, membership.size());
+  std::fflush(stdout);
+
+  while (!g_stop.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::printf("lsr_node %u shutting down\n", self);
+  cluster.stop();
+  return 0;
+}

@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# run_local_cluster.sh — spawn an N-replica lsr_node cluster on loopback,
+# tail its logs, and shut it down cleanly on Ctrl-C. With --smoke, run the
+# kill/restart acceptance check instead: drive the cluster with lsr_client
+# while replica N-1 is SIGKILLed and restarted mid-run, and report the
+# client's own linearizability verdict (this is what the CI multiprocess
+# job executes).
+#
+# Usage:
+#   scripts/run_local_cluster.sh [options]            # interactive cluster
+#   scripts/run_local_cluster.sh --smoke [options]    # CI acceptance check
+#
+# Options:
+#   --build DIR     build directory containing the binaries (default: build)
+#   --replicas N    replica count (default: 3)
+#   --system S      crdt | paxos | raft (default: crdt)
+#   --shards N      shards per node (default: 4)
+#   --base-port P   first port (default: random in 20000-29999)
+#   --log-dir DIR   where to write node logs + peers file + verdict
+#                   (default: a fresh mktemp -d)
+#   --ops N         smoke only: client ops (default: 20000 — sized so the
+#                   SIGKILL provably lands mid-workload even on a fast
+#                   machine; the smoke fails if the client finished first)
+set -u
+
+BUILD=build
+REPLICAS=3
+SYSTEM=crdt
+SHARDS=4
+BASE_PORT=$((20000 + RANDOM % 10000))
+LOG_DIR=""
+SMOKE=0
+OPS=20000
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build)     BUILD=$2; shift 2 ;;
+    --replicas)  REPLICAS=$2; shift 2 ;;
+    --system)    SYSTEM=$2; shift 2 ;;
+    --shards)    SHARDS=$2; shift 2 ;;
+    --base-port) BASE_PORT=$2; shift 2 ;;
+    --log-dir)   LOG_DIR=$2; shift 2 ;;
+    --smoke)     SMOKE=1; shift ;;
+    --ops)       OPS=$2; shift 2 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+NODE_BIN=$BUILD/example_lsr_node
+CLIENT_BIN=$BUILD/example_lsr_client
+for bin in "$NODE_BIN" "$CLIENT_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "missing $bin (cmake --build $BUILD --target example_lsr_node example_lsr_client)" >&2
+    exit 2
+  fi
+done
+
+[ -n "$LOG_DIR" ] || LOG_DIR=$(mktemp -d -t lsr-cluster-XXXXXX)
+mkdir -p "$LOG_DIR"
+
+# Membership: replicas 0..N-1 plus one client slot (id N). The same peers
+# file is handed to every process — file and --peers forms are equivalent.
+MEMBERS=$((REPLICAS + 1))
+PEERS_FILE=$LOG_DIR/cluster.peers
+{
+  echo "# lsr cluster ($SYSTEM, $SHARDS shards) on loopback"
+  for i in $(seq 0 $((MEMBERS - 1))); do
+    echo "$i=127.0.0.1:$((BASE_PORT + i))"
+  done
+} > "$PEERS_FILE"
+
+declare -a PIDS=()
+
+spawn_node() {
+  local id=$1
+  "$NODE_BIN" --id "$id" --peers-file "$PEERS_FILE" --system "$SYSTEM" \
+      --shards "$SHARDS" --replicas "$REPLICAS" \
+      >> "$LOG_DIR/node$id.log" 2>&1 &
+  PIDS[$id]=$!
+}
+
+wait_listening() {
+  local port=$1 tries=${2:-200}
+  for _ in $(seq "$tries"); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+      exec 3>&- 3<&-
+      return 0
+    fi
+    sleep 0.05
+  done
+  return 1
+}
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null
+  done
+}
+trap cleanup EXIT INT TERM
+
+echo "peers file: $PEERS_FILE"
+for i in $(seq 0 $((REPLICAS - 1))); do
+  spawn_node "$i"
+done
+for i in $(seq 0 $((REPLICAS - 1))); do
+  if ! wait_listening $((BASE_PORT + i)); then
+    echo "replica $i never started listening (see $LOG_DIR/node$i.log)" >&2
+    exit 1
+  fi
+done
+echo "$REPLICAS replicas up on ports $BASE_PORT..$((BASE_PORT + REPLICAS - 1)), logs in $LOG_DIR"
+
+if [ "$SMOKE" -eq 0 ]; then
+  echo "tailing logs; Ctrl-C stops the cluster"
+  tail -n +1 -F "$LOG_DIR"/node*.log
+  exit 0
+fi
+
+# --- smoke: kill/restart acceptance check -------------------------------
+VICTIM=$((REPLICAS - 1))
+VERDICT=$LOG_DIR/verdict.txt
+# The client targets replica 0 (a survivor) with same-replica retries; the
+# victim's SIGKILL still tears replica-to-replica connections mid-protocol.
+"$CLIENT_BIN" --id "$REPLICAS" --peers-file "$PEERS_FILE" \
+    --replicas "$REPLICAS" --target 0 --ops "$OPS" \
+    > "$LOG_DIR/client.log" 2>&1 &
+CLIENT_PID=$!
+
+sleep 0.2
+echo "SIGKILL replica $VICTIM (pid ${PIDS[$VICTIM]})"
+kill -9 "${PIDS[$VICTIM]}" 2>/dev/null
+wait "${PIDS[$VICTIM]}" 2>/dev/null
+# The fault must land mid-workload, or the verdict is vacuous: the client
+# still running at the kill instant is the proof.
+if ! kill -0 "$CLIENT_PID" 2>/dev/null; then
+  echo "verdict=FAILED (client finished before the fault; raise --ops)" \
+    | tee "$VERDICT"
+  exit 1
+fi
+sleep 0.5
+echo "restarting replica $VICTIM"
+spawn_node "$VICTIM"
+wait_listening $((BASE_PORT + VICTIM)) || echo "warning: restarted replica not listening yet"
+
+wait "$CLIENT_PID"
+CLIENT_RC=$?
+{
+  echo "system=$SYSTEM replicas=$REPLICAS shards=$SHARDS ops=$OPS"
+  echo "fault=SIGKILL+restart replica $VICTIM mid-run"
+  if [ "$CLIENT_RC" -eq 0 ]; then
+    echo "verdict=linearizable"
+  else
+    echo "verdict=FAILED (client exit $CLIENT_RC)"
+  fi
+  tail -n 2 "$LOG_DIR/client.log"
+} | tee "$VERDICT"
+exit "$CLIENT_RC"

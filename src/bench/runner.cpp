@@ -160,13 +160,26 @@ RunResult run_workload(const RunConfig& config) {
 RunResult run_kv_workload(const KvRunConfig& config) {
   LSR_EXPECTS(config.replicas >= 1);
   LSR_EXPECTS(config.keys >= 1);
+  // Cross-replica failover is only sound on the log baselines (replicated
+  // session tables); the CRDT proposer's dedup is per replica, so a failed-
+  // over retry would double-apply — reject the config instead of silently
+  // corrupting the run.
+  LSR_EXPECTS(config.client_failover_after == 0 ||
+              config.system == System::kMultiPaxos ||
+              config.system == System::kRaft);
   using lattice::GCounter;
   using Store = kv::ShardedStore<GCounter>;
   using PaxosStore = kv::KeyedLogStore<paxos::MultiPaxosReplica>;
   using RaftStore = kv::KeyedLogStore<raft::RaftReplica>;
 
   sim::NetworkConfig net = config.net;
-  net.lossy_node_limit = static_cast<NodeId>(config.replicas);
+  // Retrying clients survive lost requests/replies, so the nemesis may
+  // drop client-facing frames too; without retries a single dropped frame
+  // wedges a closed-loop client forever, so loss stays replica-to-replica.
+  net.lossy_node_limit =
+      config.client_retry_timeout > 0
+          ? static_cast<NodeId>(config.replicas + config.clients)
+          : static_cast<NodeId>(config.replicas);
   sim::Simulator sim(config.seed, net, config.node);
 
   const TimeNs end = config.warmup + config.measure;
@@ -228,9 +241,14 @@ RunResult run_kv_workload(const KvRunConfig& config) {
   for (std::size_t i = 0; i < config.clients; ++i) {
     const NodeId target = replica_ids[i % config.replicas];
     sim.add_node([&, target, i](net::Context& ctx) {
-      return std::make_unique<KvWorkloadClient>(
+      auto client = std::make_unique<KvWorkloadClient>(
           ctx, target, keys.get(), zipf.get(), config.read_ratio,
           config.seed * 7919 + i, &collector);
+      if (config.client_retry_timeout > 0)
+        client->enable_retry(config.client_retry_timeout,
+                             config.client_failover_after,
+                             static_cast<NodeId>(config.replicas));
+      return client;
     });
   }
 

@@ -133,6 +133,16 @@ struct KvRunConfig {
   }();
   raft::RaftConfig raft;
 
+  // Client retransmission (same request id + key) after this timeout;
+  // 0 = off. With it on the nemesis may drop client-facing frames too
+  // (lossy_node_limit is extended over the clients): queries are idempotent
+  // and updates are deduped by the per-client sessions on every system.
+  // Failover to the next replica after `client_failover_after` consecutive
+  // timeouts; keep 0 (no failover) for the CRDT systems, whose session
+  // table is per-replica.
+  TimeNs client_retry_timeout = 0;
+  int client_failover_after = 0;
+
   sim::NetworkConfig net;  // lossy_node_limit is set by the runner
   sim::NodeConfig node;
 };

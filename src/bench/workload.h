@@ -90,6 +90,68 @@ class Collector {
   std::vector<Histogram> update_series_;
 };
 
+// Client-side retransmission policy shared by every closed-loop client
+// (CounterClient, KvWorkloadClient, verify::KvRecordingClient): retransmit
+// the in-flight request after a timeout, optionally rotating to the next
+// replica after `failover_after` consecutive timeouts (Basho-Bench-style
+// reconnects). One state machine for all the harnesses keeps their fault
+// models identical — a retry-semantics change cannot silently diverge
+// between the bench and the linearizability clients.
+class RetrySchedule {
+ public:
+  RetrySchedule(net::Context& ctx, NodeId replica)
+      : ctx_(ctx), replica_(replica) {}
+
+  // failover_after = 0 pins the client to its replica forever — required on
+  // the CRDT path, whose session dedup is per replica; the log baselines'
+  // replicated session tables also tolerate rotation.
+  void enable(TimeNs timeout, int failover_after, NodeId replica_count) {
+    timeout_ = timeout;
+    failover_after_ = failover_after;
+    replica_count_ = replica_count;
+  }
+
+  bool enabled() const { return timeout_ > 0; }
+
+  // Current target replica (advanced by failover).
+  NodeId replica() const { return replica_; }
+
+  // Call after every transmission of the in-flight request; on expiry the
+  // (possibly rotated) target is in replica() and `retransmit` runs.
+  void after_send(std::function<void()> retransmit) {
+    if (timeout_ <= 0) return;
+    timer_ = ctx_.set_timer(
+        timeout_, 0, [this, retransmit = std::move(retransmit)] {
+          timer_ = net::kInvalidTimer;
+          ++timeouts_in_a_row_;
+          if (failover_after_ > 0 && timeouts_in_a_row_ >= failover_after_ &&
+              replica_count_ > 1) {
+            replica_ = (replica_ + 1) % replica_count_;
+            timeouts_in_a_row_ = 0;
+          }
+          retransmit();
+        });
+  }
+
+  // Call when the in-flight request was answered.
+  void acknowledged() {
+    if (timer_ != net::kInvalidTimer) {
+      ctx_.cancel_timer(timer_);
+      timer_ = net::kInvalidTimer;
+    }
+    timeouts_in_a_row_ = 0;
+  }
+
+ private:
+  net::Context& ctx_;
+  NodeId replica_;
+  TimeNs timeout_ = 0;
+  int failover_after_ = 0;
+  NodeId replica_count_ = 0;
+  int timeouts_in_a_row_ = 0;
+  net::TimerId timer_ = net::kInvalidTimer;
+};
+
 // Closed-loop client endpoint. Works against any of the three systems (they
 // all speak rsm::client_msg). op 0 is "increment by 1" / "read value".
 class CounterClient final : public net::Endpoint {
@@ -101,23 +163,19 @@ class CounterClient final : public net::Endpoint {
                 std::uint64_t seed, Collector* collector,
                 TimeNs stop_time = 0)
       : ctx_(ctx),
-        replica_(replica),
+        retry_(ctx, replica),
         read_ratio_(read_ratio),
         rng_(seed),
         collector_(collector),
         stop_time_(stop_time) {}
 
-  // Enables request retransmission (same request id) after `timeout`; after
-  // `failover_after` consecutive timeouts the client reconnects to the next
-  // replica of `replica_count` — Basho-Bench-style behaviour used in the
-  // failure experiments. The systems are responsible for dedup (baselines
-  // replicate per-client sessions; CRDT updates may double-apply, which is
-  // why correctness tests keep retries off — see DESIGN.md).
+  // See RetrySchedule: retransmission of the in-flight request, with
+  // optional replica failover (used in the failure experiments; dedup is
+  // the systems' job — replicated sessions on the baselines, the proposer
+  // session table on the CRDT path).
   void enable_retry(TimeNs timeout, int failover_after,
                     NodeId replica_count) {
-    retry_timeout_ = timeout;
-    failover_after_ = failover_after;
-    replica_count_ = replica_count;
+    retry_.enable(timeout, failover_after, replica_count);
   }
 
   void on_start() override { submit_next(); }
@@ -137,11 +195,7 @@ class CounterClient final : public net::Endpoint {
       return;  // not for us
     }
     if (request != inflight_request_) return;  // stale (e.g. pre-recovery)
-    if (retry_timer_ != net::kInvalidTimer) {
-      ctx_.cancel_timer(retry_timer_);
-      retry_timer_ = net::kInvalidTimer;
-    }
-    timeouts_in_a_row_ = 0;
+    retry_.acknowledged();
     if (collector_ != nullptr)
       collector_->record(inflight_is_read_, inflight_start_, ctx_.now());
     ++completed_;
@@ -171,32 +225,16 @@ class CounterClient final : public net::Endpoint {
       rsm::ClientUpdate update{inflight_request_, 0, std::move(args).take()};
       update.encode(enc);
     }
-    ctx_.send(replica_, std::move(enc).take());
-    if (retry_timeout_ > 0) {
-      retry_timer_ = ctx_.set_timer(retry_timeout_, 0, [this] {
-        retry_timer_ = net::kInvalidTimer;
-        ++timeouts_in_a_row_;
-        if (failover_after_ > 0 && timeouts_in_a_row_ >= failover_after_ &&
-            replica_count_ > 1) {
-          replica_ = (replica_ + 1) % replica_count_;
-          timeouts_in_a_row_ = 0;
-        }
-        transmit();
-      });
-    }
+    ctx_.send(retry_.replica(), std::move(enc).take());
+    retry_.after_send([this] { transmit(); });
   }
 
   net::Context& ctx_;
-  NodeId replica_;
+  RetrySchedule retry_;
   double read_ratio_;
   Rng rng_;
   Collector* collector_;
   TimeNs stop_time_;
-  TimeNs retry_timeout_ = 0;
-  int failover_after_ = 0;
-  NodeId replica_count_ = 0;
-  int timeouts_in_a_row_ = 0;
-  net::TimerId retry_timer_ = net::kInvalidTimer;
   RequestId inflight_request_ = 0;
   bool inflight_is_read_ = false;
   TimeNs inflight_start_ = 0;
@@ -262,7 +300,7 @@ class KvWorkloadClient final : public net::Endpoint {
                    double read_ratio, std::uint64_t seed,
                    Collector* collector, TimeNs stop_time = 0)
       : ctx_(ctx),
-        replica_(replica),
+        retry_(ctx, replica),
         keys_(keys),
         zipf_(zipf),
         read_ratio_(read_ratio),
@@ -271,6 +309,16 @@ class KvWorkloadClient final : public net::Endpoint {
         stop_time_(stop_time) {
     LSR_EXPECTS(keys_ != nullptr && !keys_->empty());
     LSR_EXPECTS(zipf_ == nullptr || zipf_->items() <= keys_->size());
+  }
+
+  // Retransmission (same request id and key) after `timeout` until
+  // answered — without it a single dropped request or reply frame wedges
+  // this closed-loop client for the rest of the run (the PR 4 ROADMAP
+  // wedge). Safe on every system: queries are idempotent and updates are
+  // deduped by the per-client sessions. See RetrySchedule for the failover
+  // semantics (keep failover_after 0 on the CRDT path).
+  void enable_retry(TimeNs timeout, int failover_after, NodeId replica_count) {
+    retry_.enable(timeout, failover_after, replica_count);
   }
 
   void on_start() override { submit_next(); }
@@ -295,6 +343,7 @@ class KvWorkloadClient final : public net::Endpoint {
       return;
     }
     if (request != inflight_request_) return;  // stale
+    retry_.acknowledged();
     if (collector_ != nullptr)
       collector_->record(inflight_is_read_, inflight_start_, ctx_.now());
     ++completed_;
@@ -311,7 +360,11 @@ class KvWorkloadClient final : public net::Endpoint {
     inflight_request_ = make_request_id(ctx_.self(), next_counter_++);
     const std::uint64_t rank =
         zipf_ != nullptr ? zipf_->next(rng_) : rng_.next_below(keys_->size());
-    const std::string& key = (*keys_)[rank];
+    inflight_key_ = &(*keys_)[rank];
+    transmit();
+  }
+
+  void transmit() {
     Encoder inner;
     if (inflight_is_read_) {
       rsm::ClientQuery{inflight_request_, 0, {}}.encode(inner);
@@ -321,11 +374,12 @@ class KvWorkloadClient final : public net::Endpoint {
       rsm::ClientUpdate{inflight_request_, 0, std::move(args).take()}.encode(
           inner);
     }
-    ctx_.send(replica_, kv::make_envelope(key, inner.bytes()));
+    ctx_.send(retry_.replica(), kv::make_envelope(*inflight_key_, inner.bytes()));
+    retry_.after_send([this] { transmit(); });
   }
 
   net::Context& ctx_;
-  NodeId replica_;
+  RetrySchedule retry_;
   const std::vector<std::string>* keys_;
   const Zipfian* zipf_;
   double read_ratio_;
@@ -334,6 +388,7 @@ class KvWorkloadClient final : public net::Endpoint {
   TimeNs stop_time_;
   RequestId inflight_request_ = 0;
   bool inflight_is_read_ = false;
+  const std::string* inflight_key_ = nullptr;
   TimeNs inflight_start_ = 0;
   std::uint64_t next_counter_ = 0;
   std::uint64_t completed_ = 0;

@@ -34,6 +34,22 @@ struct ProtocolConfig {
   // and never return a smaller one. On by default.
   bool gla_stability = true;
 
+  // Client-session dedup: the proposer remembers, per client, which update
+  // request counters it has applied and which it has acked, so a
+  // retransmitted or network-duplicated ClientUpdate is never applied twice
+  // (updates on arbitrary lattices are not idempotent — an increment that
+  // double-applies silently corrupts the counter). Duplicates of an acked
+  // request get their UpdateDone resent; duplicates of an in-flight request
+  // are dropped (the pending ack covers them); a retry of a request that was
+  // applied but lost its instance to a crash re-runs a MERGE of the current
+  // local state without re-applying, acking only on quorum. This is what
+  // lets clients retransmit over lossy client links — the paper's protocol
+  // needs no sessions only because its load generators never retry. On by
+  // default; the table is volatile (per-proposer), so retries must return
+  // to the same replica — cross-replica failover still requires the
+  // replicated session tables of the log baselines.
+  bool client_sessions = true;
+
   // Extension (paper Sect. 5, "future research": delta-state CRDTs of
   // Almeida et al.): MERGE messages ship only the delta produced by the
   // batch of updates instead of the full payload state. Requires

@@ -79,11 +79,25 @@ class Proposer {
     query_batch_.clear();
     updates_in_flight_ = 0;
     queries_in_flight_ = 0;
+    // Session bookkeeping survives with the payload (same crash-recovery
+    // model), but admitted-and-not-yet-acked entries lost their instance or
+    // batch slot: a client retry must be able to get back in. Entries that
+    // were already applied stay in applied_unacked, so the retry runs the
+    // no-reapply reconfirm path instead of double-applying.
+    for (auto& [client, session] : sessions_) session.admitted.clear();
     if (config_.batch_interval > 0) arm_flush_timer();
   }
 
   const ProposerStats& stats() const { return stats_; }
   ProposerHooks hooks;
+
+  // Observability/test hook: sparse session entries retained for `client`'s
+  // acked updates — bounded by the session window regardless of how many
+  // updates were served (the memory guarantee long-running servers rely on).
+  std::size_t session_sparse_acked(NodeId client) const {
+    const auto it = sessions_.find(client);
+    return it == sessions_.end() ? 0 : it->second.acked.size();
+  }
 
   // Invoked with every learned state (after GLA-stability adjustment), in
   // learn order — the tests verify the paper's Validity / Stability /
@@ -101,6 +115,7 @@ class Proposer {
                    ctx_.self(), msg.op, client);
       return;
     }
+    if (config_.client_sessions && !admit_update(client, msg)) return;
     Command cmd{msg.request, client, msg.op, std::move(msg.args)};
     if (config_.batch_interval > 0) {
       update_batch_.push_back(std::move(cmd));
@@ -222,9 +237,98 @@ class Proposer {
   using UpdateMap = std::unordered_map<std::uint64_t, UpdateOp>;
   using QueryMap = std::unordered_map<std::uint64_t, QueryOp>;
 
+  // ---- client sessions (dedup of retransmitted / duplicated updates) ----
+
+  // Per-client update bookkeeping. Counters (the monotone half of a
+  // RequestId) move admitted -> applied_unacked -> acked; the acked set is
+  // kept compact by folding the dense prefix into acked_below, and — since
+  // a sharded store hands each per-key proposer only a sparse slice of a
+  // client's global counter space, so the dense fold alone would never
+  // fire — by treating everything further than kSessionWindow below the
+  // newest ack as acked. That caps the per-(proposer, client) footprint at
+  // O(window) for a server's whole lifetime and is sound for any client
+  // pipelining at most kSessionWindow requests (ours are closed-loop: one
+  // in flight; a retransmission is always of the newest counter the client
+  // ever issued).
+  struct Session {
+    std::uint64_t acked_below = 0;            // every counter < this is acked
+    std::set<std::uint64_t> acked;            // sparse acked >= acked_below
+    std::set<std::uint64_t> applied_unacked;  // in the payload, ack pending
+    std::set<std::uint64_t> admitted;         // buffered or in flight
+  };
+
+  static constexpr std::uint64_t kSessionWindow = 4096;
+
+  // Gatekeeper for ClientUpdate: returns true when the command is new and
+  // must run the normal path; duplicates are answered or dropped here.
+  bool admit_update(NodeId client, const rsm::ClientUpdate& msg) {
+    Session& session = sessions_[client];
+    const std::uint64_t counter = request_id_counter(msg.request);
+    if (counter < session.acked_below || session.acked.count(counter) > 0) {
+      // Applied and acked before: the ack was lost in flight — resend it.
+      ++stats_.session_dup_acks;
+      rsm::UpdateDone done{msg.request};
+      Encoder enc;
+      done.encode(enc);
+      ctx_.send(client, std::move(enc).take());
+      return false;
+    }
+    if (session.admitted.count(counter) > 0) {
+      ++stats_.session_dup_drops;  // buffered or in flight: its ack is coming
+      return false;
+    }
+    if (session.applied_unacked.count(counter) > 0) {
+      // Applied, but the instance died (crash) before the ack: the update is
+      // in the local payload yet possibly on no quorum, so neither acking
+      // now nor re-applying is sound. Re-run a MERGE of the current local
+      // state — which contains the update — without applying anything, and
+      // ack once a quorum holds it.
+      ++stats_.session_reconfirms;
+      session.admitted.insert(counter);
+      std::vector<Command> single;
+      single.push_back(Command{msg.request, client, msg.op, {}});
+      start_update(std::move(single), /*apply_commands=*/false);
+      return false;
+    }
+    session.admitted.insert(counter);
+    return true;
+  }
+
+  void session_mark_applied(const Command& cmd) {
+    if (!config_.client_sessions) return;
+    sessions_[cmd.client].applied_unacked.insert(
+        request_id_counter(cmd.request));
+  }
+
+  void session_mark_acked(const Command& cmd) {
+    if (!config_.client_sessions) return;
+    Session& session = sessions_[cmd.client];
+    const std::uint64_t counter = request_id_counter(cmd.request);
+    session.admitted.erase(counter);
+    session.applied_unacked.erase(counter);
+    if (counter < session.acked_below) return;
+    session.acked.insert(counter);
+    while (session.acked.erase(session.acked_below) > 0)
+      ++session.acked_below;
+    if (session.acked.empty()) return;  // fully folded
+    // Window fold (see Session): ancient sparse entries collapse into the
+    // floor so per-key proposers seeing sparse counter slices stay bounded.
+    const std::uint64_t newest = *session.acked.rbegin();
+    if (newest >= kSessionWindow) {
+      const std::uint64_t floor = newest - kSessionWindow + 1;
+      if (floor > session.acked_below) {
+        session.acked_below = floor;
+        session.acked.erase(session.acked.begin(),
+                            session.acked.lower_bound(floor));
+      }
+    }
+  }
+
+
   // ---- update protocol ----
 
-  void start_update(std::vector<Command> commands) {
+  void start_update(std::vector<Command> commands,
+                    bool apply_commands = true) {
     LSR_EXPECTS(!commands.empty());
     ++stats_.update_rounds;
     ++updates_in_flight_;
@@ -233,20 +337,27 @@ class Proposer {
     op.id = op_id;
     op.commands = std::move(commands);
     // Lines 2-3: apply all (batched) update functions at the local acceptor.
-    const bool use_delta = config_.delta_updates && ops_.delta != nullptr;
+    // A session reconfirm skips this — its commands are already in the
+    // payload — and always ships the full state: a delta of "nothing
+    // changed" would be bottom, whose quorum ack confirms nothing.
+    const bool use_delta = apply_commands && config_.delta_updates &&
+                           ops_.delta != nullptr;
     const L before = use_delta ? local_.state() : L{};
-    for (const Command& cmd : op.commands) {
-      LSR_DASSERT(cmd.op < ops_.updates.size());  // validated at entry
-      try {
-        local_.apply_update([this, &cmd](L& state) {
-          Decoder args(cmd.args);
-          ops_.updates[cmd.op](state, args, ctx_.self());
-        });
-      } catch (const WireError& error) {
-        // Malformed argument bytes: the command is dropped; update
-        // functions must decode before mutating, so the state is intact.
-        LSR_LOG_WARN("proposer %u: dropping update with bad args: %s",
-                     ctx_.self(), error.what());
+    if (apply_commands) {
+      for (const Command& cmd : op.commands) {
+        LSR_DASSERT(cmd.op < ops_.updates.size());  // validated at entry
+        try {
+          local_.apply_update([this, &cmd](L& state) {
+            Decoder args(cmd.args);
+            ops_.updates[cmd.op](state, args, ctx_.self());
+          });
+        } catch (const WireError& error) {
+          // Malformed argument bytes: the command is dropped; update
+          // functions must decode before mutating, so the state is intact.
+          LSR_LOG_WARN("proposer %u: dropping update with bad args: %s",
+                       ctx_.self(), error.what());
+        }
+        session_mark_applied(cmd);
       }
     }
     // Delta extension: ship only what the batch changed. The delta is a
@@ -273,6 +384,7 @@ class Proposer {
     UpdateOp& op = it->second;
     ctx_.cancel_timer(op.timer);
     for (const Command& cmd : op.commands) {
+      session_mark_acked(cmd);
       rsm::UpdateDone done{cmd.request};
       Encoder enc;
       done.encode(enc);
@@ -513,6 +625,7 @@ class Proposer {
 
   UpdateMap updates_;
   QueryMap queries_;
+  std::unordered_map<NodeId, Session> sessions_;
   std::vector<Command> update_batch_;
   std::vector<Command> query_batch_;
   std::size_t updates_in_flight_ = 0;

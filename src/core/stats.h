@@ -18,6 +18,10 @@ struct ProposerStats {
   std::uint64_t nacks_received = 0;
   std::uint64_t merge_retransmissions = 0;
   std::uint64_t query_timeouts = 0;
+  // Client-session dedup (retransmitted or duplicated ClientUpdates):
+  std::uint64_t session_dup_acks = 0;    // already acked -> UpdateDone resent
+  std::uint64_t session_dup_drops = 0;   // still in flight -> duplicate dropped
+  std::uint64_t session_reconfirms = 0;  // applied but unacked -> re-MERGEd
 };
 
 struct ProposerHooks {

@@ -1,0 +1,210 @@
+#include "net/membership.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace lsr::net {
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r'))
+    s.remove_prefix(1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+// Strict decimal parse with an explicit bound; rejects empty input, signs,
+// leading junk and overflow (fuzzed peers tables must never wrap into a
+// "valid" id or port).
+bool parse_decimal(std::string_view text, std::uint64_t max,
+                   std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > max / 10) return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > max) return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+bool parse_host_port(std::string_view text, MemberAddress& out,
+                     std::string* error) {
+  text = trim(text);
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos) {
+    set_error(error, "expected host:port, got '" + std::string(text) + "'");
+    return false;
+  }
+  const std::string_view host = trim(text.substr(0, colon));
+  const std::string_view port_text = trim(text.substr(colon + 1));
+  in_addr parsed_host{};
+  if (host.empty() ||
+      ::inet_pton(AF_INET, std::string(host).c_str(), &parsed_host) != 1) {
+    // Messages are built by append, not operator+ chains: GCC 12's
+    // -Wrestrict false-positives on the inlined concatenations at -O3.
+    std::string message = "'";
+    message.append(host);
+    message +=
+        "' is not an IPv4 address (the transport dials raw addresses; no DNS)";
+    set_error(error, std::move(message));
+    return false;
+  }
+  std::uint64_t port = 0;
+  if (!parse_decimal(port_text, 65535, port) || port == 0) {
+    std::string message = "'";
+    message.append(port_text);
+    message += "' is not a port in [1, 65535]";
+    set_error(error, std::move(message));
+    return false;
+  }
+  out.host = std::string(host);
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+Membership Membership::loopback(std::size_t count, std::uint16_t base_port) {
+  Membership membership;
+  for (std::size_t i = 0; i < count; ++i)
+    membership.add(static_cast<NodeId>(i),
+                   {"127.0.0.1", static_cast<std::uint16_t>(base_port + i)});
+  return membership;
+}
+
+bool Membership::parse_entries(std::string_view text, char separator,
+                               Membership& out, std::string* error) {
+  // Collect (id, address) pairs first; density is validated once the whole
+  // table is known so entries may arrive in any order.
+  std::vector<std::pair<NodeId, MemberAddress>> entries;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(separator, start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view entry = trim(text.substr(start, end - start));
+    start = end + 1;
+    if (!entry.empty() && entry.front() == '#') continue;  // comment line
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      std::string message = "entry '";
+      message.append(entry);
+      message += "' is not of the form id=host:port";
+      set_error(error, std::move(message));
+      return false;
+    }
+    std::uint64_t id = 0;
+    if (!parse_decimal(trim(entry.substr(0, eq)), 0xFFFFF, id)) {
+      std::string message = "'";
+      message.append(trim(entry.substr(0, eq)));
+      message += "' is not a node id (0..1048575)";
+      set_error(error, std::move(message));
+      return false;
+    }
+    MemberAddress address;
+    if (!parse_host_port(entry.substr(eq + 1), address, error)) return false;
+    entries.emplace_back(static_cast<NodeId>(id), std::move(address));
+  }
+  if (entries.empty()) {
+    set_error(error, "empty membership");
+    return false;
+  }
+  std::vector<MemberAddress> table(entries.size());
+  std::vector<bool> seen(entries.size(), false);
+  for (auto& [id, address] : entries) {
+    if (id >= table.size()) {
+      set_error(error, "node id " + std::to_string(id) + " leaves a gap (" +
+                           std::to_string(entries.size()) +
+                           " entries must cover ids 0.." +
+                           std::to_string(entries.size() - 1) + ")");
+      return false;
+    }
+    if (seen[id]) {
+      set_error(error, "duplicate node id " + std::to_string(id));
+      return false;
+    }
+    seen[id] = true;
+    table[id] = std::move(address);
+  }
+  out.addresses_ = std::move(table);
+  return true;
+}
+
+bool Membership::parse_peers(std::string_view spec, Membership& out,
+                             std::string* error) {
+  out.addresses_.clear();
+  return parse_entries(spec, ',', out, error);
+}
+
+bool Membership::parse_file_text(std::string_view text, Membership& out,
+                                 std::string* error) {
+  out.addresses_.clear();
+  return parse_entries(text, '\n', out, error);
+}
+
+bool Membership::load_file(const std::string& path, Membership& out,
+                           std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    set_error(error, "cannot read peers file '" + path + "'");
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_file_text(text.str(), out, error);
+}
+
+std::string Membership::to_peers_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < addresses_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(i) + '=' + addresses_[i].host + ':' +
+           std::to_string(addresses_[i].port);
+  }
+  return out;
+}
+
+std::string Membership::to_file_text() const {
+  std::string out;
+  for (std::size_t i = 0; i < addresses_.size(); ++i)
+    out += std::to_string(i) + '=' + addresses_[i].host + ':' +
+           std::to_string(addresses_[i].port) + '\n';
+  return out;
+}
+
+void Membership::add(NodeId id, MemberAddress address) {
+  LSR_EXPECTS(id == addresses_.size());
+  addresses_.push_back(std::move(address));
+}
+
+const MemberAddress& Membership::address(NodeId id) const {
+  LSR_EXPECTS(id < addresses_.size());
+  return addresses_[id];
+}
+
+std::optional<NodeId> Membership::find(std::string_view host,
+                                       std::uint16_t port) const {
+  for (std::size_t i = 0; i < addresses_.size(); ++i)
+    if (addresses_[i].port == port && addresses_[i].host == host)
+      return static_cast<NodeId>(i);
+  return std::nullopt;
+}
+
+}  // namespace lsr::net

@@ -1,0 +1,92 @@
+// Explicit cluster membership: the address table that lets the TCP transport
+// run one node per OS process. A Membership maps every NodeId of a cluster
+// (replicas *and* client endpoints — the transport does not distinguish) to
+// the IPv4 host:port its listener binds to, so any process hosting any
+// subset of the ids can dial every peer without a shared cluster object.
+//
+// Two interchangeable textual forms, round-trippable into each other:
+//
+//   --peers flag   "0=127.0.0.1:7400,1=127.0.0.1:7401,2=127.0.0.1:7402"
+//   peers file     one "id=host:port" entry per line; blank lines and
+//                  '#' comments are ignored
+//
+// Node ids must be dense (every id in [0, size) exactly once, in any order):
+// the transport indexes its per-peer link tables by id, and a gap would be
+// an undialable phantom peer. Parsing is strict and never throws — a
+// malformed table is an operator error reported as text, not an exception,
+// and the same parser runs on fuzzed input in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lsr::net {
+
+struct MemberAddress {
+  std::string host;         // IPv4 dotted quad ("0.0.0.0" = all interfaces)
+  std::uint16_t port = 0;   // always nonzero in a parsed table
+
+  bool operator==(const MemberAddress&) const = default;
+};
+
+// Parses "host:port" into `out`. The host must be a well-formed IPv4 dotted
+// quad (no DNS — the transport dials raw addresses) and the port must be in
+// [1, 65535] with no trailing junk. On failure returns false and, when
+// `error` is non-null, explains why.
+bool parse_host_port(std::string_view text, MemberAddress& out,
+                     std::string* error = nullptr);
+
+class Membership {
+ public:
+  Membership() = default;
+
+  // Builds the loopback table single-process tests and demos use: `count`
+  // nodes on 127.0.0.1, node i on base_port + i.
+  static Membership loopback(std::size_t count, std::uint16_t base_port);
+
+  // Parses the comma-separated --peers form. Returns false (and sets
+  // `error`) on malformed entries, duplicate ids, gaps, or an empty spec;
+  // `out` is left empty on failure.
+  static bool parse_peers(std::string_view spec, Membership& out,
+                          std::string* error = nullptr);
+
+  // Parses the file form (one entry per line, '#' comments, blank lines).
+  static bool parse_file_text(std::string_view text, Membership& out,
+                              std::string* error = nullptr);
+
+  // Reads and parses a peers file from disk.
+  static bool load_file(const std::string& path, Membership& out,
+                        std::string* error = nullptr);
+
+  // Serializations that parse back into an equal table.
+  std::string to_peers_string() const;
+  std::string to_file_text() const;
+
+  // Programmatic construction (the lazy loopback path of TcpCluster): ids
+  // must still arrive densely, 0, 1, 2, ...
+  void add(NodeId id, MemberAddress address);
+
+  std::size_t size() const { return addresses_.size(); }
+  bool empty() const { return addresses_.empty(); }
+  bool has(NodeId id) const { return id < addresses_.size(); }
+  const MemberAddress& address(NodeId id) const;
+
+  // Self-address detection: the member whose table entry matches host:port
+  // exactly (how a process can locate its own id in a shared peers file).
+  std::optional<NodeId> find(std::string_view host, std::uint16_t port) const;
+
+  bool operator==(const Membership&) const = default;
+
+ private:
+  static bool parse_entries(std::string_view text, char separator,
+                            Membership& out, std::string* error);
+
+  std::vector<MemberAddress> addresses_;  // indexed by NodeId
+};
+
+}  // namespace lsr::net

@@ -231,6 +231,13 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
   options_.max_batch_frames = std::max<std::size_t>(options_.max_batch_frames, 1);
 }
 
+TcpCluster::TcpCluster(Membership membership, TcpClusterOptions options)
+    : TcpCluster(std::move(options)) {
+  LSR_EXPECTS(!membership.empty());
+  membership_ = std::move(membership);
+  explicit_membership_ = true;
+}
+
 TcpCluster::~TcpCluster() {
   stop();
   for (auto& node : nodes_) close_fd(node->listen_fd);
@@ -242,13 +249,30 @@ TimeNs TcpCluster::now() const {
       .count();
 }
 
-NodeId TcpCluster::add_node(const EndpointFactory& factory) {
-  LSR_EXPECTS(!started_);
-  const NodeId id = static_cast<NodeId>(nodes_.size());
+TcpCluster::Node* TcpCluster::find_local(NodeId id) const {
+  for (const auto& node : nodes_)
+    if (node->id == id) return node.get();
+  return nullptr;
+}
+
+TcpCluster::Node& TcpCluster::local(NodeId id) const {
+  Node* node = find_local(id);
+  LSR_EXPECTS(node != nullptr);  // remote members have no state here
+  return *node;
+}
+
+TcpCluster::Node& TcpCluster::make_node(NodeId id, const std::string& bind_host,
+                                        std::uint16_t port,
+                                        const EndpointFactory& factory) {
+  LSR_EXPECTS(!started_ && !stopped_);
   auto node = std::make_unique<Node>();
   node->id = id;
 
-  node->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  // Every descriptor the cluster opens is CLOEXEC: harnesses fork+exec
+  // server processes (verify::ProcessCluster) while io threads hold live
+  // sockets, and an inherited fd would keep connections and listen ports
+  // alive inside the child long after this process closed them.
+  node->listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   LSR_ENSURES(node->listen_fd >= 0);
   const int one = 1;
   ::setsockopt(node->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -257,11 +281,8 @@ NodeId TcpCluster::add_node(const EndpointFactory& factory) {
                  sizeof options_.so_rcvbuf);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.base_port == 0
-                            ? std::uint16_t{0}
-                            : static_cast<std::uint16_t>(options_.base_port + id));
-  LSR_ENSURES(::inet_pton(AF_INET, options_.bind_address.c_str(),
-                          &addr.sin_addr) == 1);
+  addr.sin_port = htons(port);
+  LSR_ENSURES(::inet_pton(AF_INET, bind_host.c_str(), &addr.sin_addr) == 1);
   LSR_ENSURES(::bind(node->listen_fd, reinterpret_cast<sockaddr*>(&addr),
                      sizeof addr) == 0);
   LSR_ENSURES(::listen(node->listen_fd, 128) == 0);
@@ -278,21 +299,47 @@ NodeId TcpCluster::add_node(const EndpointFactory& factory) {
   node->runtime = std::make_unique<NodeRuntime>(id, *node->endpoint,
                                                 [this] { return now(); });
   nodes_.push_back(std::move(node));
+  return *nodes_.back();
+}
+
+NodeId TcpCluster::add_node(const EndpointFactory& factory) {
+  LSR_EXPECTS(!explicit_membership_);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  const Node& node = make_node(
+      id, options_.bind_address,
+      options_.base_port == 0
+          ? std::uint16_t{0}
+          : static_cast<std::uint16_t>(options_.base_port + id),
+      factory);
+  // The implicit loopback membership grows as listeners bind, so the table
+  // is complete (every peer address known) before start() spawns a thread.
+  membership_.add(id, {options_.bind_address, node.port});
   return id;
+}
+
+void TcpCluster::add_node(NodeId id, const EndpointFactory& factory) {
+  LSR_EXPECTS(explicit_membership_);
+  LSR_EXPECTS(membership_.has(id));
+  LSR_EXPECTS(find_local(id) == nullptr);  // one process hosts an id once
+  make_node(id, membership_.address(id).host, membership_.address(id).port,
+            factory);
 }
 
 void TcpCluster::start() {
   // One-shot lifecycle: stop() closes the listeners, so unlike
   // InprocCluster a stopped TcpCluster cannot be restarted.
   LSR_EXPECTS(!started_ && !stopped_);
+  LSR_EXPECTS(!nodes_.empty());
   started_ = true;
   running_.store(true);
   for (auto& node : nodes_) {
     node->links.clear();
-    for (std::size_t i = 0; i < nodes_.size(); ++i)
+    // One outgoing link per member of the cluster, local or remote: the
+    // membership table is the single source of peer addresses.
+    for (std::size_t i = 0; i < membership_.size(); ++i)
       node->links.push_back(std::make_unique<PeerLink>());
     int pipe_fds[2];
-    LSR_ENSURES(::pipe(pipe_fds) == 0);
+    LSR_ENSURES(::pipe2(pipe_fds, O_CLOEXEC) == 0);
     node->wake_read = pipe_fds[0];
     node->wake_write = pipe_fds[1];
     set_nonblocking(node->wake_read);
@@ -337,23 +384,20 @@ void TcpCluster::stop() {
 }
 
 Endpoint& TcpCluster::endpoint(NodeId node) {
-  LSR_EXPECTS(node < nodes_.size());
-  return *nodes_[node]->endpoint;
+  return *local(node).endpoint;
 }
 
 std::uint16_t TcpCluster::port(NodeId node) const {
-  LSR_EXPECTS(node < nodes_.size());
-  return nodes_[node]->port;
+  return membership_.address(node).port;
 }
 
 std::uint64_t TcpCluster::connect_count(NodeId node) const {
-  LSR_EXPECTS(node < nodes_.size());
-  return nodes_[node]->connects.load();
+  return local(node).connects.load();
 }
 
 std::size_t TcpCluster::queued_bytes(NodeId src, NodeId dst) const {
-  LSR_EXPECTS(src < nodes_.size() && dst < nodes_.size());
-  const Node& node = *nodes_[src];
+  LSR_EXPECTS(dst < membership_.size());
+  const Node& node = local(src);
   if (node.links.size() <= dst) return 0;  // before start()
   const PeerLink& link = *node.links[dst];
   std::lock_guard<std::mutex> lock(link.mutex);
@@ -361,13 +405,11 @@ std::size_t TcpCluster::queued_bytes(NodeId src, NodeId dst) const {
 }
 
 std::uint64_t TcpCluster::dropped_frames(NodeId node) const {
-  LSR_EXPECTS(node < nodes_.size());
-  return nodes_[node]->dropped.load();
+  return local(node).dropped.load();
 }
 
 void TcpCluster::set_paused(NodeId node_id, bool paused) {
-  LSR_EXPECTS(node_id < nodes_.size());
-  Node& node = *nodes_[node_id];
+  Node& node = local(node_id);
   if (paused) {
     node.runtime->set_paused(true);
     // Kill the sockets too: peers writing to this node get resets and must
@@ -392,9 +434,9 @@ void TcpCluster::set_paused(NodeId node_id, bool paused) {
 }
 
 void TcpCluster::set_rx_stalled(NodeId node_id, bool stalled) {
-  LSR_EXPECTS(node_id < nodes_.size());
-  nodes_[node_id]->rx_stalled.store(stalled);
-  wake_io(*nodes_[node_id]);
+  Node& node = local(node_id);
+  node.rx_stalled.store(stalled);
+  wake_io(node);
 }
 
 void TcpCluster::wake_io(Node& node) {
@@ -408,7 +450,7 @@ void TcpCluster::wake_io(Node& node) {
 }
 
 void TcpCluster::send_from(Node& src, NodeId dst, Bytes data) {
-  if (dst >= nodes_.size() || !running_.load()) return;
+  if (dst >= membership_.size() || !running_.load()) return;
   if (src.runtime->paused()) return;  // a crashed node sends nothing
   if (data.size() > options_.max_frame_payload) {
     LSR_LOG_WARN("tcp %u: dropping oversized frame to %u (%zu bytes)", src.id,
@@ -508,7 +550,7 @@ void TcpCluster::link_reset(Node& src, PeerLink& link, bool discard_queue) {
 void TcpCluster::link_begin_connect(Node& src, NodeId dst, PeerLink& link) {
   const TimeNs t = now();
   if (link.next_attempt > 0 && t < link.next_attempt) return;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     // Resource failure (fd exhaustion), not a refusal: keep the queue and
     // retry after the backoff — discarding here would strand traffic that
@@ -523,10 +565,13 @@ void TcpCluster::link_begin_connect(Node& src, NodeId dst, PeerLink& link) {
                  sizeof options_.so_sndbuf);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(nodes_[dst]->port);
-  const char* dial = options_.bind_address == "0.0.0.0"
-                         ? "127.0.0.1"
-                         : options_.bind_address.c_str();
+  // The peer's address comes from the membership table — the only thing a
+  // node knows about a peer, local or in another process. All-interface
+  // listeners are dialed via loopback.
+  const MemberAddress& peer = membership_.address(dst);
+  addr.sin_port = htons(peer.port);
+  const char* dial =
+      peer.host == "0.0.0.0" ? "127.0.0.1" : peer.host.c_str();
   if (::inet_pton(AF_INET, dial, &addr.sin_addr) != 1) {
     ::close(fd);
     link.next_attempt = t + options_.reconnect_backoff;
@@ -663,7 +708,7 @@ void TcpCluster::io_loop(Node& node) {
   // stall deadline) or waiting out a reconnect backoff (deadline only).
   // Everything else is untouched until a sender marks it dirty, so a cycle
   // costs O(links with work), not O(cluster size).
-  std::vector<char> watched(nodes_.size(), 0);
+  std::vector<char> watched(membership_.size(), 0);
   std::vector<NodeId> dirty;
   // Single-executor endpoints run their handler right on the io thread when
   // the worker is idle — no wake, no context switch; the mailbox is only
@@ -674,8 +719,8 @@ void TcpCluster::io_loop(Node& node) {
       options_.overflow != TcpClusterOptions::Overflow::kBlock;
   const auto sink = [&node, inline_ok, this](NodeId sender,
                                              Payload&& payload) {
-    // A frame naming an unknown sender is remote garbage.
-    if (sender >= nodes_.size()) return;
+    // A frame naming a sender outside the membership is remote garbage.
+    if (sender >= membership_.size()) return;
     if (inline_ok && node.runtime->try_execute_inline(sender, payload))
       return;
     node.runtime->post(sender, std::move(payload));
@@ -822,7 +867,8 @@ void TcpCluster::io_loop(Node& node) {
     }
     if (pfds[1].revents & POLLIN) {
       for (;;) {
-        const int fd = ::accept(node.listen_fd, nullptr, nullptr);
+        const int fd = ::accept4(node.listen_fd, nullptr, nullptr,
+                                 SOCK_CLOEXEC);
         if (fd < 0) break;
         set_nonblocking(fd);
         set_nodelay(fd);

@@ -1,8 +1,26 @@
 // Real socket transport: a third net::Context host (after the simulator and
 // the in-process cluster) that runs each node as a process-local endpoint
 // bound to a real TCP listener — loopback for tests and benches, any IPv4
-// address via TcpClusterOptions. Peers exchange length-prefixed frames
-// (wire.h FrameHeader) over persistent per-peer connections.
+// address via an explicit net::Membership table. Peers exchange
+// length-prefixed frames (wire.h FrameHeader) over persistent per-peer
+// connections.
+//
+// Deployment shapes (same transport code, same wire bytes):
+//
+//   single process  TcpCluster cluster;            // legacy loopback form
+//                   cluster.add_node(factory);     // ephemeral ports, the
+//                   ...                            // cluster builds its own
+//                   cluster.start();               // loopback Membership
+//
+//   one node per    TcpCluster cluster(membership);      // shared table
+//   OS process      cluster.add_node(my_id, factory);    // host only my id
+//                   cluster.start();                     // peers are remote
+//
+// A process may host any subset of the membership (the examples/lsr_node
+// binary hosts exactly one id; the fault-injection harness hosts its client
+// ids while the replicas run as separate killable processes). Everything a
+// node knows about its peers comes from the Membership — there is no shared
+// cluster object across processes.
 //
 // The data path is batched at both ends:
 //
@@ -48,6 +66,7 @@
 #include "common/wire.h"
 #include "net/context.h"
 #include "net/executor.h"
+#include "net/membership.h"
 #include "net/payload.h"
 
 namespace lsr::net {
@@ -116,12 +135,12 @@ struct TcpClusterOptions {
     kBlock,
   };
 
-  // IPv4 address the listeners bind to; peers connect to the same address
-  // ("0.0.0.0" listeners are dialed via loopback — all nodes of one cluster
-  // live in one process).
+  // Single-process (loopback) form only: IPv4 address the listeners bind to
+  // and the port layout (base_port == 0: every node gets an ephemeral port;
+  // otherwise node i listens on base_port + i). With an explicit Membership
+  // both come from the table instead and these are ignored. "0.0.0.0"
+  // addresses are dialed via loopback.
   std::string bind_address = "127.0.0.1";
-  // 0: every node gets an ephemeral port (tests, benches). Otherwise node i
-  // listens on base_port + i.
   std::uint16_t base_port = 0;
   // Receive-side frame payload bound; oversized frames kill the connection.
   std::size_t max_frame_payload = FrameHeader::kDefaultMaxPayload;
@@ -155,15 +174,34 @@ class TcpCluster {
  public:
   using EndpointFactory = std::function<std::unique_ptr<Endpoint>(Context&)>;
 
+  // Single-process loopback form: every node lives in this process and the
+  // membership table is built implicitly as add_node binds listeners.
   explicit TcpCluster(TcpClusterOptions options = {});
+
+  // Multi-process form: `membership` is the cluster's full address table;
+  // this process hosts only the ids it add_node(id, factory)s, every other
+  // id is a remote peer dialed at its table address.
+  explicit TcpCluster(Membership membership, TcpClusterOptions options = {});
+
   ~TcpCluster();
 
   TcpCluster(const TcpCluster&) = delete;
   TcpCluster& operator=(const TcpCluster&) = delete;
 
-  // Must be called before start(); binds the node's listener immediately so
-  // every peer address is known before any endpoint runs.
+  // Loopback form only. Must be called before start(); binds the node's
+  // listener immediately so every peer address is known before any endpoint
+  // runs.
   NodeId add_node(const EndpointFactory& factory);
+
+  // Membership form only: hosts member `id` in this process, binding its
+  // listener to the membership address (the port must be free). Call once
+  // per locally hosted id, before start().
+  void add_node(NodeId id, const EndpointFactory& factory);
+
+  // The cluster's address table: explicit (membership form) or accumulated
+  // from the bound listeners (loopback form; complete once every add_node
+  // returned).
+  const Membership& membership() const { return membership_; }
 
   // Spawns each node's socket thread and executor threads; on_start runs on
   // executor 0 before any message handling, as on every host.
@@ -173,6 +211,8 @@ class TcpCluster {
   // closes every descriptor. Pending messages are dropped, not drained.
   void stop();
 
+  // Locally hosted nodes only (every per-node accessor below asserts the id
+  // is hosted by this process; remote members have no Endpoint here).
   Endpoint& endpoint(NodeId node);
   template <typename T>
   T& endpoint_as(NodeId node) {
@@ -194,6 +234,7 @@ class TcpCluster {
   // the backpressure suite.
   void set_rx_stalled(NodeId node, bool stalled);
 
+  // Listener port of any member (local or remote), from the address table.
   std::uint16_t port(NodeId node) const;
 
   // Successful outgoing connects of this node (first connects + reconnects);
@@ -213,6 +254,12 @@ class TcpCluster {
   class TcpContext;
 
   TimeNs now() const;
+  // Resolves a member id to the Node hosted in this process (nullptr when
+  // the id is a remote peer); `local` additionally asserts it is hosted.
+  Node* find_local(NodeId id) const;
+  Node& local(NodeId id) const;
+  Node& make_node(NodeId id, const std::string& bind_host, std::uint16_t port,
+                  const EndpointFactory& factory);
   void io_loop(Node& node);
   void send_from(Node& src, NodeId dst, Bytes data);
   void wake_io(Node& node);
@@ -223,7 +270,11 @@ class TcpCluster {
   void link_reset(Node& src, PeerLink& link, bool discard_queue);
 
   TcpClusterOptions options_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  Membership membership_;
+  // Membership form: add_node(id, ...) may host any table subset. Loopback
+  // form: ids are assigned densely and membership_ mirrors nodes_.
+  bool explicit_membership_ = false;
+  std::vector<std::unique_ptr<Node>> nodes_;  // locally hosted, in add order
   std::atomic<bool> running_{false};
   bool started_ = false;
   bool stopped_ = false;  // stop() is final: listeners are gone

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/workload.h"
 #include "common/assert.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -24,33 +25,37 @@ namespace lsr::verify {
 
 class KvRecordingClient final : public net::Endpoint {
  public:
-  // max_ops == 0: run until the simulation stops.
+  // max_ops == 0: run until the simulation stops. `zipf` (optional, not
+  // owned) skews key popularity the way the bench workload does; null picks
+  // keys uniformly.
   KvRecordingClient(net::Context& ctx, NodeId replica,
                     const std::vector<std::string>* keys, double read_ratio,
                     std::uint64_t seed, KeyedHistory* history,
-                    std::uint64_t max_ops = 0)
+                    std::uint64_t max_ops = 0,
+                    const bench::Zipfian* zipf = nullptr)
       : ctx_(ctx),
-        replica_(replica),
+        retry_(ctx, replica),
         keys_(keys),
+        zipf_(zipf),
         read_ratio_(read_ratio),
         rng_(seed),
         history_(history),
         max_ops_(max_ops) {
     LSR_EXPECTS(keys_ != nullptr && !keys_->empty());
+    LSR_EXPECTS(zipf_ == nullptr || zipf_->items() <= keys_->size());
   }
 
   // Enables request retransmission (same request id and key) after
-  // `timeout`; after `failover_after` consecutive timeouts the client
-  // reconnects to the next of `replica_count` replicas. Required for the log
-  // baselines under crash/partition nemeses (a follower that forwarded a
-  // command to a dead leader does not keep it) — their replicated session
-  // tables make retried updates apply at most once, so the recorded history
-  // stays sound. The CRDT store has no sessions: keep retries off there or
-  // an increment may double-apply.
+  // `timeout`; see bench::RetrySchedule. The log baselines need it under
+  // crash/partition nemeses (a follower that forwarded a command to a dead
+  // leader does not keep it); their replicated session tables dedup retries
+  // across replicas, so failover is safe there. The CRDT store dedups
+  // through the proposer's per-replica session table
+  // (ProtocolConfig::client_sessions): retransmission to the *same* replica
+  // is sound — pass failover_after = 0 on the CRDT path, a retry that lands
+  // on a different replica would re-apply the update.
   void enable_retry(TimeNs timeout, int failover_after, NodeId replica_count) {
-    retry_timeout_ = timeout;
-    failover_after_ = failover_after;
-    replica_count_ = replica_count;
+    retry_.enable(timeout, failover_after, replica_count);
   }
 
   void on_start() override { submit_next(); }
@@ -79,11 +84,7 @@ class KvRecordingClient final : public net::Endpoint {
     } catch (const WireError&) {
       return;
     }
-    if (retry_timer_ != net::kInvalidTimer) {
-      ctx_.cancel_timer(retry_timer_);
-      retry_timer_ = net::kInvalidTimer;
-    }
-    timeouts_in_a_row_ = 0;
+    retry_.acknowledged();
     ++completed_;
     inflight_request_ = 0;
     if (max_ops_ == 0 || completed_ < max_ops_) submit_next();
@@ -110,7 +111,10 @@ class KvRecordingClient final : public net::Endpoint {
     inflight_is_update_ = !is_read;
     inflight_start_ = ctx_.now();
     inflight_request_ = make_request_id(ctx_.self(), next_counter_++);
-    inflight_key_ = (*keys_)[rng_.next_below(keys_->size())];
+    const std::uint64_t rank = zipf_ != nullptr
+                                   ? zipf_->next(rng_)
+                                   : rng_.next_below(keys_->size());
+    inflight_key_ = (*keys_)[rank];
     transmit();
   }
 
@@ -124,33 +128,18 @@ class KvRecordingClient final : public net::Endpoint {
       rsm::ClientUpdate{inflight_request_, 0, std::move(args).take()}.encode(
           inner);
     }
-    ctx_.send(replica_, kv::make_envelope(inflight_key_, inner.bytes()));
-    if (retry_timeout_ > 0) {
-      retry_timer_ = ctx_.set_timer(retry_timeout_, 0, [this] {
-        retry_timer_ = net::kInvalidTimer;
-        ++timeouts_in_a_row_;
-        if (failover_after_ > 0 && timeouts_in_a_row_ >= failover_after_ &&
-            replica_count_ > 1) {
-          replica_ = (replica_ + 1) % replica_count_;
-          timeouts_in_a_row_ = 0;
-        }
-        transmit();
-      });
-    }
+    ctx_.send(retry_.replica(), kv::make_envelope(inflight_key_, inner.bytes()));
+    retry_.after_send([this] { transmit(); });
   }
 
   net::Context& ctx_;
-  NodeId replica_;
+  bench::RetrySchedule retry_;
   const std::vector<std::string>* keys_;
+  const bench::Zipfian* zipf_;
   double read_ratio_;
   Rng rng_;
   KeyedHistory* history_;
   std::uint64_t max_ops_;
-  TimeNs retry_timeout_ = 0;
-  int failover_after_ = 0;
-  NodeId replica_count_ = 0;
-  int timeouts_in_a_row_ = 0;
-  net::TimerId retry_timer_ = net::kInvalidTimer;
   RequestId inflight_request_ = 0;
   bool inflight_is_update_ = false;
   std::string inflight_key_;

@@ -1,0 +1,387 @@
+#include "verify/process_cluster.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "bench/workload.h"
+#include "common/assert.h"
+#include "common/logging.h"
+#include "net/tcp.h"
+#include "verify/history.h"
+#include "verify/kv_recording_client.h"
+#include "verify/linearizability.h"
+
+namespace lsr::verify {
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+void sleep_ns(TimeNs delay) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+}
+
+// Binds `count` ephemeral loopback listeners at once (so no two picks
+// collide with each other), reads the assigned ports back, then closes
+// them. A racing process could still grab a port before the node binds it;
+// the spawned node would abort and start() report it — loud, not silent.
+std::vector<std::uint16_t> pick_free_ports(std::size_t count) {
+  std::vector<int> fds;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < count; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) break;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    socklen_t len = sizeof addr;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      ::close(fd);
+      break;
+    }
+    fds.push_back(fd);
+    ports.push_back(ntohs(addr.sin_port));
+  }
+  for (const int fd : fds) ::close(fd);
+  if (ports.size() != count) ports.clear();
+  return ports;
+}
+
+bool tcp_probe(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+  const bool up =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  ::close(fd);
+  return up;
+}
+
+}  // namespace
+
+std::string ProcessCluster::default_node_binary() {
+  if (const char* env = std::getenv("LSR_NODE_BIN");
+      env != nullptr && env[0] != '\0')
+    return env;
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof self - 1);
+  if (n <= 0) return "example_lsr_node";
+  self[n] = '\0';
+  std::string path(self);
+  const std::size_t slash = path.rfind('/');
+  return (slash == std::string::npos ? std::string()
+                                     : path.substr(0, slash + 1)) +
+         "example_lsr_node";
+}
+
+ProcessCluster::ProcessCluster(ProcessClusterOptions options)
+    : options_(std::move(options)) {
+  if (options_.node_binary.empty())
+    options_.node_binary = default_node_binary();
+  pids_.assign(options_.replicas, -1);
+}
+
+ProcessCluster::~ProcessCluster() { stop_all(); }
+
+NodeId ProcessCluster::client_id(std::size_t slot) const {
+  LSR_EXPECTS(slot < options_.client_slots);
+  return static_cast<NodeId>(options_.replicas + slot);
+}
+
+pid_t ProcessCluster::pid(NodeId replica) const {
+  LSR_EXPECTS(replica < pids_.size());
+  return pids_[replica];
+}
+
+bool ProcessCluster::running(NodeId replica) const {
+  return replica < pids_.size() && pids_[replica] > 0;
+}
+
+bool ProcessCluster::spawn(NodeId replica, std::string* error) {
+  // argv is materialized before the fork: nothing between fork and exec may
+  // allocate (the child shares the parent's heap state).
+  std::vector<std::string> args{
+      options_.node_binary,
+      "--id",       std::to_string(replica),
+      "--peers",    membership_.to_peers_string(),
+      "--system",   options_.system,
+      "--shards",   std::to_string(options_.shards),
+      "--replicas", std::to_string(options_.replicas),
+  };
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t child = ::fork();
+  if (child < 0) {
+    set_error(error, std::string("fork failed: ") + std::strerror(errno));
+    return false;
+  }
+  if (child == 0) {
+    ::execv(argv[0], argv.data());
+    // Exec failed; nothing sane to do in the forked child but vanish with a
+    // recognizable status.
+    ::_exit(127);
+  }
+  pids_[replica] = child;
+  return true;
+}
+
+bool ProcessCluster::start(std::string* error) {
+  LSR_EXPECTS(!started_);
+  if (::access(options_.node_binary.c_str(), X_OK) != 0) {
+    set_error(error, "node binary '" + options_.node_binary +
+                         "' is not an executable (build example_lsr_node, or "
+                         "point LSR_NODE_BIN at it)");
+    return false;
+  }
+  const auto ports =
+      pick_free_ports(options_.replicas + options_.client_slots);
+  if (ports.empty()) {
+    set_error(error, "could not reserve loopback ports");
+    return false;
+  }
+  membership_ = net::Membership();
+  for (std::size_t i = 0; i < ports.size(); ++i)
+    membership_.add(static_cast<NodeId>(i), {"127.0.0.1", ports[i]});
+  started_ = true;
+  for (NodeId replica = 0; replica < options_.replicas; ++replica)
+    if (!spawn(replica, error)) {
+      stop_all();
+      return false;
+    }
+  for (NodeId replica = 0; replica < options_.replicas; ++replica) {
+    if (wait_listening(replica, options_.ready_timeout)) continue;
+    set_error(error, "replica " + std::to_string(replica) +
+                         " never started listening on port " +
+                         std::to_string(membership_.address(replica).port));
+    stop_all();
+    return false;
+  }
+  return true;
+}
+
+bool ProcessCluster::wait_listening(NodeId member, TimeNs timeout) const {
+  LSR_EXPECTS(membership_.has(member));
+  const auto& address = membership_.address(member);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (tcp_probe(address.host, address.port)) return true;
+    sleep_ns(10 * kMillisecond);
+  }
+  return tcp_probe(address.host, address.port);
+}
+
+bool ProcessCluster::kill_replica(NodeId replica) {
+  LSR_EXPECTS(replica < pids_.size());
+  if (pids_[replica] <= 0) return false;
+  // The real thing: no handler runs, queued frames, session tables and the
+  // whole CRDT payload die with the process.
+  ::kill(pids_[replica], SIGKILL);
+  ::waitpid(pids_[replica], nullptr, 0);
+  pids_[replica] = -1;
+  return true;
+}
+
+bool ProcessCluster::restart_replica(NodeId replica, std::string* error) {
+  LSR_EXPECTS(replica < pids_.size());
+  LSR_EXPECTS(started_);
+  if (pids_[replica] > 0) {
+    set_error(error, "replica " + std::to_string(replica) + " still running");
+    return false;
+  }
+  if (!spawn(replica, error)) return false;
+  if (!wait_listening(replica, options_.ready_timeout)) {
+    set_error(error, "restarted replica " + std::to_string(replica) +
+                         " never started listening");
+    return false;
+  }
+  return true;
+}
+
+void ProcessCluster::stop_all() {
+  for (const pid_t pid : pids_)
+    if (pid > 0) ::kill(pid, SIGTERM);
+  // Bounded graceful reap, then force.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    while (pids_[i] > 0) {
+      const pid_t reaped = ::waitpid(pids_[i], nullptr, WNOHANG);
+      if (reaped == pids_[i] || reaped < 0) {
+        pids_[i] = -1;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(pids_[i], SIGKILL);
+        ::waitpid(pids_[i], nullptr, 0);
+        pids_[i] = -1;
+        break;
+      }
+      sleep_ns(10 * kMillisecond);
+    }
+  }
+}
+
+ProcessKillRestartResult run_process_kill_restart(
+    const ProcessKillRestartOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  ProcessKillRestartResult result;
+  LSR_EXPECTS(options.replicas >= 1 && options.clients >= 1);
+  LSR_EXPECTS(!options.kill || options.replicas >= 3);  // need a live quorum
+
+  // Everything the client endpoints point into outlives the harness cluster
+  // (declared first => destroyed last), as in run_tcp_kill_reconnect.
+  std::vector<std::string> keys;
+  for (int k = 0; k < options.keys; ++k)
+    keys.push_back("proc" + std::to_string(k));
+  const bench::Zipfian zipf(static_cast<std::uint64_t>(options.keys),
+                            options.zipf_theta);
+  std::vector<std::unique_ptr<KeyedHistory>> histories;
+
+  ProcessClusterOptions cluster_options;
+  cluster_options.node_binary = options.node_binary;
+  cluster_options.replicas = options.replicas;
+  cluster_options.client_slots = options.clients;
+  cluster_options.system = options.system;
+  cluster_options.shards = options.shards;
+  ProcessCluster processes(cluster_options);
+  std::string error;
+  if (!processes.start(&error)) {
+    result.explanation = error;
+    return result;
+  }
+  result.started = true;
+
+  // The workload clients live in *this* process but speak to the replicas
+  // exclusively over their membership addresses — the same bytes a remote
+  // host would send.
+  const NodeId victim = static_cast<NodeId>(options.replicas - 1);
+  const std::size_t safe_targets =
+      options.kill ? options.replicas - 1 : options.replicas;
+  net::TcpCluster harness(processes.membership());
+  std::vector<NodeId> client_ids;
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    histories.push_back(std::make_unique<KeyedHistory>());
+    const NodeId id = processes.client_id(c);
+    client_ids.push_back(id);
+    harness.add_node(id, [&, c](net::Context& ctx) {
+      auto client = std::make_unique<KvRecordingClient>(
+          ctx, static_cast<NodeId>(c % safe_targets), &keys,
+          options.read_ratio, options.seed * 31 + c, histories[c].get(),
+          options.ops_per_client, &zipf);
+      // Same-replica retransmission: sound on every system (the CRDT
+      // proposers dedup per replica, the baselines replicate sessions) and
+      // required here — a kill tears real connections, and unacked requests
+      // riding them are genuinely lost.
+      client->enable_retry(50 * kMillisecond, /*failover_after=*/0,
+                           static_cast<NodeId>(options.replicas));
+      return client;
+    });
+  }
+  const auto t0 = Clock::now();
+  harness.start();
+
+  const auto completed_sum = [&] {
+    std::uint64_t sum = 0;
+    for (const NodeId id : client_ids)
+      sum += harness.endpoint_as<KvRecordingClient>(id).completed();
+    return sum;
+  };
+  if (options.kill) {
+    // Fire at kill_after — or as soon as a quarter of the ops completed,
+    // whichever comes first — so the SIGKILL provably lands mid-workload on
+    // machines of any speed (a fault that misses the workload would make
+    // the whole scenario vacuous; ok() rejects that outcome).
+    const std::uint64_t total_ops =
+        options.clients * options.ops_per_client;
+    const auto kill_deadline =
+        t0 + std::chrono::nanoseconds(options.kill_after);
+    while (Clock::now() < kill_deadline && completed_sum() < total_ops / 4)
+      sleep_ns(2 * kMillisecond);
+    result.completed_at_kill = completed_sum();
+    result.fault_overlapped_workload = result.completed_at_kill < total_ops;
+    processes.kill_replica(victim);
+    if (!result.fault_overlapped_workload && result.explanation.empty())
+      result.explanation =
+          "workload finished before the fault landed (raise ops_per_client)";
+    sleep_ns(options.downtime);
+    std::string restart_error;
+    if (!processes.restart_replica(victim, &restart_error)) {
+      result.explanation = restart_error;
+    } else {
+      result.restarted_serving = true;
+    }
+  }
+
+  const auto all_done = [&] {
+    for (const NodeId id : client_ids)
+      if (harness.endpoint_as<KvRecordingClient>(id).completed() <
+          options.ops_per_client)
+        return false;
+    return true;
+  };
+  for (int waited = 0; waited < options.deadline_ms && !all_done();
+       waited += 10)
+    sleep_ns(10 * kMillisecond);
+  result.completed = all_done();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  harness.stop();
+  processes.stop_all();
+  if (!result.completed) {
+    if (result.explanation.empty())
+      result.explanation = "clients did not finish within the deadline";
+    return result;
+  }
+
+  KeyedHistory merged;
+  std::uint64_t completed_ops = 0;
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    // A still-inflight update is filed as possibly-applied (response +inf);
+    // with completed == ops_per_client there is none, but the idiom keeps a
+    // deadline-relaxed caller sound.
+    harness.endpoint_as<KvRecordingClient>(client_ids[c]).flush_pending();
+    completed_ops += options.ops_per_client;
+    merged.merge_from(*histories[c]);
+  }
+  result.key_count = merged.key_count();
+  result.total_ops = merged.total_ops();
+  result.throughput_per_sec =
+      result.wall_seconds > 0
+          ? static_cast<double>(completed_ops) / result.wall_seconds
+          : 0.0;
+  result.linearizable = true;
+  for (const auto& [key, history] : merged.histories()) {
+    const auto check = check_counter_linearizable(history);
+    if (!check.linearizable) {
+      result.linearizable = false;
+      if (result.explanation.empty())
+        result.explanation = "key " + key + ": " + check.explanation;
+    }
+  }
+  return result;
+}
+
+}  // namespace lsr::verify

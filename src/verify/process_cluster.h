@@ -1,0 +1,140 @@
+// Process-level fault injection: forks/execs one examples/lsr_node server
+// binary per replica (genuinely separate OS processes, each hosting one
+// member of an explicit net::Membership over real sockets), SIGKILLs and
+// restarts them mid-workload, and checks per-key linearizability from the
+// surviving client history. This is the deployment model of the paper's
+// evaluation — replica processes communicating over a network — and the
+// strongest fault CI can inject: a SIGKILL loses every byte of the victim's
+// state, unlike TcpCluster::set_paused which preserves it.
+//
+// The harness process hosts the workload clients itself (they are members
+// of the same table, so the replicas' replies dial straight back), which is
+// what makes the full history observable for checking.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/membership.h"
+
+namespace lsr::verify {
+
+struct ProcessClusterOptions {
+  // Path to the server binary. Empty: $LSR_NODE_BIN, else example_lsr_node
+  // next to the current executable (tests and benches live in the same
+  // build directory).
+  std::string node_binary;
+  std::size_t replicas = 3;
+  // Extra membership slots (ids replicas..replicas+client_slots-1) for
+  // endpoints the *caller* hosts — the workload clients.
+  std::size_t client_slots = 0;
+  std::string system = "crdt";  // crdt | paxos | raft
+  std::uint32_t shards = 4;
+  // How long start()/restart_replica wait for a spawned node's listener to
+  // accept before giving up.
+  TimeNs ready_timeout = 20 * kSecond;
+};
+
+class ProcessCluster {
+ public:
+  static std::string default_node_binary();
+
+  explicit ProcessCluster(ProcessClusterOptions options = {});
+  ~ProcessCluster();  // stop_all()
+
+  ProcessCluster(const ProcessCluster&) = delete;
+  ProcessCluster& operator=(const ProcessCluster&) = delete;
+
+  // Picks free loopback ports for every member, spawns the replica
+  // processes and waits until each listener accepts. False (with `error`)
+  // when the binary is missing or a node never comes up.
+  bool start(std::string* error = nullptr);
+
+  // The full address table (replicas + client slots); valid after start().
+  const net::Membership& membership() const { return membership_; }
+  NodeId client_id(std::size_t slot) const;
+
+  pid_t pid(NodeId replica) const;
+  bool running(NodeId replica) const;
+
+  // SIGKILL — the process dies instantly, all state lost, peers see resets.
+  bool kill_replica(NodeId replica);
+
+  // Respawns a killed replica on its original membership address and waits
+  // for its listener.
+  bool restart_replica(NodeId replica, std::string* error = nullptr);
+
+  // True once the member's listener accepts a TCP connection.
+  bool wait_listening(NodeId member, TimeNs timeout) const;
+
+  // SIGTERM everyone still running, reap with a bounded wait, SIGKILL any
+  // holdout. Idempotent.
+  void stop_all();
+
+ private:
+  bool spawn(NodeId replica, std::string* error);
+
+  ProcessClusterOptions options_;
+  net::Membership membership_;
+  std::vector<pid_t> pids_;  // per replica; -1 = not running
+  bool started_ = false;
+};
+
+// The acceptance scenario (shared by tests/process_cluster_test.cpp and the
+// multi-process row of bench/scale_tcp.cpp): N lsr_node processes on
+// loopback serve the Zipfian KV workload from retrying clients hosted in
+// this process; the last replica is SIGKILLed and restarted mid-run; the
+// merged per-key history must be linearizable. Clients avoid the victim —
+// its session table dies with it, and the CRDT dedup is per-replica (see
+// ProtocolConfig::client_sessions) — which also matches how the in-process
+// suites treat their kill target.
+struct ProcessKillRestartOptions {
+  std::string node_binary;  // empty: ProcessCluster's default resolution
+  std::string system = "crdt";
+  std::size_t replicas = 3;
+  std::size_t clients = 4;
+  std::uint64_t ops_per_client = 120;
+  int keys = 24;
+  std::uint32_t shards = 4;
+  double zipf_theta = 0.99;
+  double read_ratio = 0.5;
+  std::uint64_t seed = 1;
+  bool kill = true;  // false: plain multi-process workload, no fault
+  // The SIGKILL lands at kill_after — or earlier, as soon as a quarter of
+  // the total ops completed, so a fast machine cannot let the workload
+  // finish before the fault and turn the scenario vacuous.
+  TimeNs kill_after = 100 * kMillisecond;
+  TimeNs downtime = 250 * kMillisecond;
+  int deadline_ms = 60000;
+};
+
+struct ProcessKillRestartResult {
+  bool started = false;       // every replica process came up
+  bool completed = false;     // every client finished its session
+  bool linearizable = false;  // every key's merged history checked out
+  // The SIGKILL provably interrupted the workload: completed ops at the
+  // kill instant were below the total (true for kill == false runs, which
+  // have no fault to overlap). ok() requires it — a kill/restart run whose
+  // fault missed the workload proves nothing.
+  bool fault_overlapped_workload = true;
+  std::uint64_t completed_at_kill = 0;
+  // The SIGKILLed replica's fresh process accepted connections again.
+  bool restarted_serving = false;
+  std::size_t key_count = 0;
+  std::size_t total_ops = 0;
+  double wall_seconds = 0;
+  double throughput_per_sec = 0;  // completed ops / wall time, fault included
+  std::string explanation;
+
+  bool ok() const {
+    return started && completed && linearizable && fault_overlapped_workload;
+  }
+};
+
+ProcessKillRestartResult run_process_kill_restart(
+    const ProcessKillRestartOptions& options);
+
+}  // namespace lsr::verify

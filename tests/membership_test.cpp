@@ -1,0 +1,177 @@
+// net::Membership parsing: the address table crosses a process boundary
+// (a --peers flag or peers file written by an operator or harness), so the
+// parser must reject every malformed form with a diagnostic instead of
+// asserting or wrapping — and never crash on arbitrary bytes (the fuzz
+// case below mirrors the envelope-fuzz style of shard_test).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "net/membership.h"
+
+namespace lsr::net {
+namespace {
+
+TEST(MembershipTest, ParsesPeersSpec) {
+  Membership m;
+  std::string error;
+  ASSERT_TRUE(Membership::parse_peers(
+      "0=127.0.0.1:7400,1=127.0.0.1:7401,2=10.1.2.3:65535", m, &error))
+      << error;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.address(0).host, "127.0.0.1");
+  EXPECT_EQ(m.address(0).port, 7400);
+  EXPECT_EQ(m.address(2).host, "10.1.2.3");
+  EXPECT_EQ(m.address(2).port, 65535);
+}
+
+TEST(MembershipTest, EntriesMayArriveInAnyOrderAndWithWhitespace) {
+  Membership m;
+  std::string error;
+  ASSERT_TRUE(Membership::parse_peers(
+      " 2=127.0.0.1:9 , 0=127.0.0.1:7 ,\t1=127.0.0.1:8 ", m, &error))
+      << error;
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.address(0).port, 7);
+  EXPECT_EQ(m.address(1).port, 8);
+  EXPECT_EQ(m.address(2).port, 9);
+}
+
+TEST(MembershipTest, RejectsDuplicateNodeIds) {
+  Membership m;
+  std::string error;
+  EXPECT_FALSE(Membership::parse_peers(
+      "0=127.0.0.1:7400,1=127.0.0.1:7401,1=127.0.0.1:7402", m, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(MembershipTest, RejectsGapsInTheIdSpace) {
+  // 2 entries covering ids {0, 2}: id 1 would be an undialable phantom.
+  Membership m;
+  std::string error;
+  EXPECT_FALSE(
+      Membership::parse_peers("0=127.0.0.1:7400,2=127.0.0.1:7402", m, &error));
+  EXPECT_NE(error.find("gap"), std::string::npos) << error;
+}
+
+TEST(MembershipTest, RejectsMalformedHostPort) {
+  Membership m;
+  const char* bad[] = {
+      "0=127.0.0.1",          // no port
+      "0=127.0.0.1:",         // empty port
+      "0=127.0.0.1:0",        // port 0 is not dialable
+      "0=127.0.0.1:65536",    // port overflow
+      "0=127.0.0.1:99999999999999999999",  // u64 overflow
+      "0=127.0.0.1:74x0",     // trailing junk in the port
+      "0=127.0.0.1:-7400",    // signs rejected
+      "0=:7400",              // empty host
+      "0=example.com:7400",   // no DNS: IPv4 only
+      "0=256.0.0.1:7400",     // not a dotted quad
+      "0=::1:7400",           // IPv6 unsupported
+      "127.0.0.1:7400",       // missing id=
+      "x=127.0.0.1:7400",     // non-numeric id
+      "0:127.0.0.1=7400",     // separators swapped
+      "",                     // empty spec
+      " , ,",                 // only empty entries
+  };
+  for (const char* spec : bad) {
+    std::string error;
+    EXPECT_FALSE(Membership::parse_peers(spec, m, &error))
+        << "accepted: " << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+TEST(MembershipTest, FileTextSupportsCommentsAndBlankLines) {
+  Membership m;
+  std::string error;
+  ASSERT_TRUE(Membership::parse_file_text(
+      "# lsr cluster\n"
+      "\n"
+      "0=127.0.0.1:7400\n"
+      "1=127.0.0.1:7401\r\n"  // CRLF tolerated
+      "  # trailing comment\n"
+      "2=127.0.0.1:7402\n",
+      m, &error))
+      << error;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.address(1).port, 7401);
+}
+
+TEST(MembershipTest, PeersStringAndFileTextRoundTrip) {
+  Membership m;
+  std::string error;
+  ASSERT_TRUE(Membership::parse_peers(
+      "0=127.0.0.1:7400,1=0.0.0.0:7401,2=192.168.7.1:12345", m, &error))
+      << error;
+
+  Membership from_peers;
+  ASSERT_TRUE(Membership::parse_peers(m.to_peers_string(), from_peers, &error))
+      << error;
+  EXPECT_EQ(from_peers, m);
+
+  // The two textual forms describe the same table.
+  Membership from_file;
+  ASSERT_TRUE(Membership::parse_file_text(m.to_file_text(), from_file, &error))
+      << error;
+  EXPECT_EQ(from_file, m);
+}
+
+TEST(MembershipTest, FindDetectsSelfAddress) {
+  Membership m;
+  ASSERT_TRUE(
+      Membership::parse_peers("0=127.0.0.1:7400,1=127.0.0.1:7401", m));
+  ASSERT_TRUE(m.find("127.0.0.1", 7401).has_value());
+  EXPECT_EQ(*m.find("127.0.0.1", 7401), 1u);
+  EXPECT_FALSE(m.find("127.0.0.1", 7402).has_value());
+  EXPECT_FALSE(m.find("127.0.0.2", 7401).has_value());
+}
+
+TEST(MembershipTest, LoopbackFactoryMatchesParsedForm) {
+  const Membership built = Membership::loopback(3, 7400);
+  Membership parsed;
+  ASSERT_TRUE(Membership::parse_peers(
+      "0=127.0.0.1:7400,1=127.0.0.1:7401,2=127.0.0.1:7402", parsed));
+  EXPECT_EQ(built, parsed);
+}
+
+// Envelope-fuzz style: mutations of a valid spec and raw random bytes must
+// either parse or fail with a diagnostic — never crash, never accept a
+// table that violates the density/address invariants.
+TEST(MembershipTest, FuzzedSpecsNeverCrashAndNeverAcceptInvalidTables) {
+  Rng rng(20260726);
+  const std::string valid = "0=127.0.0.1:7400,1=127.0.0.1:7401,2=10.0.0.2:81";
+  for (int round = 0; round < 3000; ++round) {
+    std::string spec = valid;
+    const int mode = static_cast<int>(rng.next_below(3));
+    if (mode == 0) {
+      spec.resize(rng.next_below(spec.size() + 1));  // truncate
+    } else if (mode == 1) {
+      const std::size_t at = rng.next_below(spec.size());
+      spec[at] = static_cast<char>(rng.next_u64() & 0xFF);  // mutate one byte
+    } else {
+      spec.assign(rng.next_below(48), '\0');
+      for (auto& c : spec) c = static_cast<char>(rng.next_u64() & 0xFF);
+    }
+    Membership m;
+    std::string error;
+    if (Membership::parse_peers(spec, m, &error)) {
+      // Whatever parsed must satisfy the invariants the transport relies on.
+      ASSERT_GT(m.size(), 0u);
+      for (NodeId id = 0; id < m.size(); ++id) {
+        EXPECT_FALSE(m.address(id).host.empty());
+        EXPECT_GT(m.address(id).port, 0);
+      }
+      // ...and must round-trip to an equal table.
+      Membership again;
+      ASSERT_TRUE(Membership::parse_peers(m.to_peers_string(), again));
+      EXPECT_EQ(again, m);
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsr::net

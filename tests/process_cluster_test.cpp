@@ -1,0 +1,116 @@
+// Multi-process deployment acceptance: real lsr_node OS processes (one
+// replica each, discovered through an explicit net::Membership), driven by
+// retrying clients in this process over real sockets, with a SIGKILL +
+// restart of a replica mid-workload — the strongest fault the repo injects:
+// unlike TcpCluster::set_paused, a SIGKILL loses the victim's entire state
+// (CRDT payloads, rounds, session tables), and recovery rides purely on
+// quorum intersection among the survivors.
+//
+// Needs the example_lsr_node binary next to this test executable (the
+// default CMake layout) or at $LSR_NODE_BIN.
+#include "verify/process_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/types.h"
+#include "verify/kv_recording_client.h"
+
+namespace lsr::verify {
+namespace {
+
+TEST(ProcessCluster, SpawnsServesAndStopsCleanly) {
+  // No fault: a plain 3-process cluster serves the Zipfian workload.
+  ProcessKillRestartOptions options;
+  options.kill = false;
+  options.clients = 2;
+  options.ops_per_client = 60;
+  options.seed = 11;
+  const auto result = run_process_kill_restart(options);
+  ASSERT_TRUE(result.started) << result.explanation;
+  EXPECT_TRUE(result.completed) << result.explanation;
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+  EXPECT_GT(result.key_count, 1u);
+  EXPECT_EQ(result.total_ops, 2u * 60u);
+  EXPECT_GT(result.throughput_per_sec, 0.0);
+}
+
+TEST(ProcessCluster, SigkillAndRestartMidWorkloadStaysLinearizable) {
+  // The acceptance scenario: replica 2 is SIGKILLed mid-run and restarted
+  // from bottom on the same address; clients of the surviving quorum keep
+  // completing (with retransmission over the torn connections) and every
+  // key's merged history checks out.
+  ProcessKillRestartOptions options;
+  options.clients = 4;
+  options.ops_per_client = 100;
+  options.kill_after = 80 * kMillisecond;
+  options.downtime = 250 * kMillisecond;
+  options.seed = 23;
+  const auto result = run_process_kill_restart(options);
+  ASSERT_TRUE(result.started) << result.explanation;
+  // The fault must actually have interrupted the workload — a kill that
+  // lands after the last op would make this test vacuous.
+  EXPECT_TRUE(result.fault_overlapped_workload)
+      << result.completed_at_kill << " ops had already completed";
+  EXPECT_LT(result.completed_at_kill, 4u * 100u);
+  EXPECT_TRUE(result.restarted_serving) << result.explanation;
+  EXPECT_TRUE(result.completed) << result.explanation;
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+  EXPECT_GT(result.key_count, 1u);
+  EXPECT_EQ(result.total_ops, 4u * 100u);
+}
+
+TEST(ProcessCluster, KeyedPaxosServesAcrossProcesses) {
+  // The log baseline rides the same membership/binary path (no kill: a
+  // keyed Multi-Paxos replica restarting from an empty log is outside the
+  // baselines' persistence model).
+  ProcessKillRestartOptions options;
+  options.kill = false;
+  options.system = "paxos";
+  options.clients = 2;
+  options.ops_per_client = 40;
+  options.seed = 5;
+  const auto result = run_process_kill_restart(options);
+  ASSERT_TRUE(result.started) << result.explanation;
+  EXPECT_TRUE(result.completed) << result.explanation;
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+}
+
+TEST(ProcessCluster, KillReapsAndRestartRebinds) {
+  // Lifecycle-level checks of the harness itself.
+  ProcessClusterOptions options;
+  options.client_slots = 1;
+  ProcessCluster cluster(options);
+  std::string error;
+  ASSERT_TRUE(cluster.start(&error)) << error;
+  ASSERT_EQ(cluster.membership().size(), 4u);  // 3 replicas + 1 client slot
+  EXPECT_TRUE(cluster.running(0));
+  const pid_t first_pid = cluster.pid(1);
+  EXPECT_GT(first_pid, 0);
+
+  EXPECT_TRUE(cluster.kill_replica(1));
+  EXPECT_FALSE(cluster.running(1));
+  EXPECT_FALSE(cluster.kill_replica(1));  // already dead
+
+  ASSERT_TRUE(cluster.restart_replica(1, &error)) << error;
+  EXPECT_TRUE(cluster.running(1));
+  EXPECT_NE(cluster.pid(1), first_pid);
+  // Same membership address after restart — peers reconnect without any
+  // table change.
+  EXPECT_TRUE(cluster.wait_listening(1, kSecond));
+  cluster.stop_all();
+  EXPECT_FALSE(cluster.running(0));
+}
+
+TEST(ProcessCluster, MissingBinaryFailsLoudly) {
+  ProcessClusterOptions options;
+  options.node_binary = "/nonexistent/lsr_node";
+  ProcessCluster cluster(options);
+  std::string error;
+  EXPECT_FALSE(cluster.start(&error));
+  EXPECT_NE(error.find("not an executable"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace lsr::verify

@@ -67,10 +67,22 @@ struct ProposerHarness {
     return false;
   }
 
+  // Each submission gets a fresh request id, as a real client would issue;
+  // resubmit_update replays an old id (a retransmission) for the session
+  // tests.
   void submit_update(std::uint64_t amount = 1) {
     proposer->handle_client_update(
-        kClient, rsm::ClientUpdate{1, 0, encode_increment_args(amount)});
+        kClient, rsm::ClientUpdate{make_request_id(kClient, update_seq_++), 0,
+                                   encode_increment_args(amount)});
   }
+
+  void resubmit_update(std::uint64_t seq, std::uint64_t amount = 1) {
+    proposer->handle_client_update(
+        kClient, rsm::ClientUpdate{make_request_id(kClient, seq), 0,
+                                   encode_increment_args(amount)});
+  }
+
+  std::uint64_t update_seq_ = 0;
 
   void submit_query() {
     proposer->handle_client_query(kClient, rsm::ClientQuery{2, 0, {}});
@@ -337,6 +349,112 @@ TEST(Proposer, DeltaBatchCoversAllBatchedCommands) {
   ASSERT_TRUE(h.ctx.fire_next_timer());
   const auto merge = h.last_sent<Merge<GCounter>>(1);
   EXPECT_EQ(merge.state.slot(0), 5u);  // both commands included
+}
+
+// ---- client sessions (dedup of retransmitted / duplicated updates) ----
+
+TEST(Proposer, DuplicateOfInflightUpdateIsDroppedNotReapplied) {
+  ProposerHarness h;
+  h.submit_update(4);  // seq 0, applied locally, MERGE in flight
+  EXPECT_EQ(h.local.state().value(), 4u);
+  h.ctx.clear_sent();
+  h.resubmit_update(0, 4);  // network duplicate of the same request
+  EXPECT_EQ(h.local.state().value(), 4u);  // not applied twice
+  EXPECT_TRUE(h.ctx.sent.empty());         // no second instance, no early ack
+  EXPECT_EQ(h.proposer->stats().session_dup_drops, 1u);
+}
+
+TEST(Proposer, DuplicateAfterAckResendsUpdateDone) {
+  ProposerHarness h;
+  h.submit_update(4);
+  const auto merge = h.last_sent<Merge<GCounter>>(1);
+  h.proposer->handle(1, Merged{merge.op});  // quorum -> acked
+  EXPECT_TRUE(h.update_done_received());
+  h.ctx.clear_sent();
+
+  h.resubmit_update(0, 4);  // late retransmission of the acked request
+  EXPECT_EQ(h.local.state().value(), 4u);  // still applied exactly once
+  EXPECT_TRUE(h.update_done_received());   // ack resent
+  EXPECT_TRUE(h.ctx.sent_to(1).empty());   // no new protocol round
+  EXPECT_EQ(h.proposer->stats().session_dup_acks, 1u);
+  EXPECT_EQ(h.proposer->stats().updates_done, 1u);
+}
+
+TEST(Proposer, RetryAfterCrashReconfirmsWithoutReapplying) {
+  ProposerHarness h;
+  h.submit_update(4);  // applied locally; no Merged arrives before the crash
+  EXPECT_FALSE(h.update_done_received());
+  h.proposer->on_recover();  // instance and its bookkeeping die
+  h.ctx.clear_sent();
+
+  // The client retries. The update is already in the preserved payload but
+  // possibly on no quorum: the proposer must re-MERGE the current state
+  // without applying again, and ack only on quorum.
+  h.resubmit_update(0, 4);
+  EXPECT_EQ(h.local.state().value(), 4u);  // no double apply
+  EXPECT_EQ(h.proposer->stats().session_reconfirms, 1u);
+  const auto merge = h.last_sent<Merge<GCounter>>(1);
+  EXPECT_EQ(merge.state.value(), 4u);      // full state, carries the update
+  EXPECT_FALSE(h.update_done_received());  // not acked before quorum
+  h.proposer->handle(1, Merged{merge.op});
+  EXPECT_TRUE(h.update_done_received());
+
+  // A further duplicate now hits the acked fast path.
+  h.ctx.clear_sent();
+  h.resubmit_update(0, 4);
+  EXPECT_TRUE(h.update_done_received());
+  EXPECT_EQ(h.proposer->stats().session_dup_acks, 1u);
+}
+
+TEST(Proposer, SessionsOffRestoresUnguardedApplication) {
+  // The pre-session behaviour, kept reachable for comparison: with the flag
+  // off a duplicated update double-applies (which is why retries used to be
+  // forbidden on the CRDT path).
+  ProtocolConfig config;
+  config.client_sessions = false;
+  ProposerHarness h(config);
+  h.submit_update(4);
+  h.resubmit_update(0, 4);
+  EXPECT_EQ(h.local.state().value(), 8u);
+}
+
+TEST(Proposer, SessionAckedSetStaysCompact) {
+  // In-order acks fold into the dense prefix: the sparse set never grows
+  // past the client's outstanding window.
+  ProposerHarness h;
+  for (int i = 0; i < 64; ++i) {
+    h.submit_update(1);
+    const auto merge = h.last_sent<Merge<GCounter>>(1);
+    h.proposer->handle(1, Merged{merge.op});
+  }
+  EXPECT_EQ(h.proposer->stats().updates_done, 64u);
+  EXPECT_EQ(h.local.state().value(), 64u);
+  // Every later duplicate is answered from the folded floor.
+  h.ctx.clear_sent();
+  h.resubmit_update(17);
+  EXPECT_TRUE(h.update_done_received());
+  EXPECT_EQ(h.local.state().value(), 64u);
+}
+
+TEST(Proposer, SessionWindowBoundsSparseAckedMemory) {
+  // A sharded store hands each per-key proposer a sparse slice of a
+  // client's global counter space, so the dense-prefix fold never fires;
+  // the window fold must bound the retained entries anyway, while still
+  // answering duplicates of folded (ancient) requests as acked.
+  ProposerHarness h;
+  for (std::uint64_t c = 0; c <= 20; ++c) {
+    h.resubmit_update(c * 1000, 1);
+    const auto merge = h.last_sent<Merge<GCounter>>(1);
+    h.proposer->handle(1, Merged{merge.op});
+  }
+  EXPECT_EQ(h.proposer->stats().updates_done, 21u);
+  // Only the entries within the 4096-counter window survive (16000..20000).
+  EXPECT_LE(h.proposer->session_sparse_acked(kClient), 5u);
+  h.ctx.clear_sent();
+  h.resubmit_update(0, 1);  // far below the folded floor
+  EXPECT_TRUE(h.update_done_received());
+  EXPECT_EQ(h.proposer->stats().session_dup_acks, 1u);
+  EXPECT_EQ(h.local.state().value(), 21u);  // never re-applied
 }
 
 TEST(Proposer, RecoverDropsInflightAndRearms) {

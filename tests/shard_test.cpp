@@ -263,6 +263,55 @@ TEST_P(ShardLinearizabilityP, PerKeyLinearizableUnderLossAndPartition) {
   }
 }
 
+// The PR 4 ROADMAP wedge, closed: with client retransmission (same replica,
+// no failover) and the proposer's session dedup, the nemesis may drop and
+// duplicate *client-facing* frames too — every link in the cluster is lossy.
+// Clients must still finish their sessions, retried updates must apply
+// exactly once, and every key's history must stay linearizable.
+TEST_P(ShardLinearizabilityP, PerKeyLinearizableWithLossyClientLinks) {
+  sim::NetworkConfig net;
+  net.loss_probability = 0.05;
+  net.duplicate_probability = 0.05;
+  net.lossy_node_limit = 9;  // 3 replicas + 6 clients: no reliable links left
+  sim::Simulator sim(3000 + GetParam(), net);
+  const std::vector<NodeId> replicas{0, 1, 2};
+  for (int i = 0; i < 3; ++i) {
+    sim.add_node([&](net::Context& ctx) {
+      return std::make_unique<Store>(ctx, replicas, core::ProtocolConfig{},
+                                     core::gcounter_ops(), GCounter{},
+                                     ShardOptions{GetParam()});
+    });
+  }
+  const auto keys = make_keys(24, "lossy-");
+  verify::KeyedHistory history;
+  std::vector<NodeId> clients;
+  for (std::size_t c = 0; c < 6; ++c) {
+    clients.push_back(sim.add_node([&, c](net::Context& ctx) {
+      auto client = std::make_unique<verify::KvRecordingClient>(
+          ctx, static_cast<NodeId>(c % 3), &keys, /*read_ratio=*/0.5,
+          /*seed=*/1300 + c, &history, /*max_ops=*/60);
+      // Retransmit lost requests/replies to the same replica; its session
+      // table answers duplicates without re-applying.
+      client->enable_retry(20 * kMillisecond, /*failover_after=*/0, 3);
+      return client;
+    }));
+  }
+  sim.run_to_completion();
+  for (const NodeId client : clients)
+    sim.endpoint_as<verify::KvRecordingClient>(client).flush_pending();
+
+  // No client wedged despite lossy client links.
+  for (const NodeId client : clients)
+    EXPECT_EQ(sim.endpoint_as<verify::KvRecordingClient>(client).completed(),
+              60u);
+  EXPECT_GT(history.key_count(), 1u);
+  for (const auto& [key, key_history] : history.histories()) {
+    const auto result = verify::check_counter_linearizable(key_history);
+    EXPECT_TRUE(result.linearizable)
+        << "key " << key << ": " << result.explanation;
+  }
+}
+
 TEST_P(ShardLinearizabilityP, PerKeyLinearizableAcrossCrashRecovery) {
   sim::NetworkConfig net;
   net.loss_probability = 0.02;
