@@ -1,22 +1,29 @@
 // TCP scaling — aggregate KV throughput over real loopback sockets, with a
-// frame-coalescing ablation.
+// reactor-backend x frame-coalescing ablation.
 //
 // The same Zipfian multi-key workload bench_scale_shards runs on the
 // simulator, now on net::TcpCluster: three replicas, every node a real TCP
 // endpoint, closed-loop clients measured on the wall clock. Sweeps shard
-// count × client count twice — once with writev coalescing on (the batched
-// pipeline's default, max_batch_frames frames per syscall) and once with it
-// off (one frame per syscall, the PR 2 data path) — so BENCH_tcp.json
-// records the batching gain as an ablation column. Then the acceptance
+// count × client count once per ablation arm:
+//
+//   epoll builds   poll+coalesced, epoll+uncoalesced, epoll+coalesced
+//   poll-only      poll+uncoalesced, poll+coalesced
+//
+// so BENCH_tcp.json records both the writev-batching gain and the
+// epoll-vs-poll reactor delta as ablation columns, each cell annotated with
+// the reactor hot-path counters (syscalls/cycle, frames/writev, inline
+// ratio, slab recycling) that explain its number. Then the acceptance
 // phase: the identical workload with recording clients while replica 2 is
 // killed and reconnected mid-run, followed by the per-key linearizability
 // checker over the merged histories.
 //
 // Flags: --full (longer runs, larger sweep), --csv, --seed N, --json <path>
 // (default BENCH_tcp.json). Exits non-zero when any cell produces zero
-// throughput, when the coalesced sweep is not at least as fast in aggregate
-// as the uncoalesced one, or when the kill/reconnect run is not per-key
-// linearizable — this is the CI smoke check for the socket transport.
+// throughput, when coalescing or the epoll backend loses to its ablation
+// partner in aggregate (both perf gates are recorded but not enforced under
+// sanitizers, and the backend gate only exists where epoll does), or when
+// the kill/reconnect run is not per-key linearizable — this is the CI smoke
+// check for the socket transport.
 #include <unistd.h>
 
 #include <cstdio>
@@ -29,6 +36,7 @@
 #include "bench/report.h"
 #include "bench/workload.h"
 #include "core/ops.h"
+#include "core/stats.h"
 #include "kv/sharded_store.h"
 #include "lattice/gcounter.h"
 #include "net/tcp.h"
@@ -44,6 +52,17 @@ constexpr std::size_t kReplicas = 3;
 constexpr std::uint64_t kKeys = 256;
 constexpr double kZipfTheta = 0.99;
 constexpr double kReadRatio = 0.9;
+
+struct ArmSpec {
+  std::string label;
+  net::TcpClusterOptions::Backend backend;
+  bool coalesce;
+};
+
+struct CellResult {
+  double throughput = 0.0;
+  core::ReactorHotPathStats stats;
+};
 
 std::vector<std::string> make_keys() {
   std::vector<std::string> keys;
@@ -71,19 +90,23 @@ void add_replicas(net::TcpCluster& cluster, std::uint32_t shards,
 }
 
 // One throughput cell: `clients` closed-loop Zipfian clients against
-// `shards`-sharded replicas over loopback TCP for a wall-clock window.
-// `coalesce` toggles writev batching (off = max_batch_frames 1, one frame
-// per syscall). Clients run on their own executor threads, so each gets a
-// private Collector; the merge happens after stop() joined everything.
-double run_cell(std::uint32_t shards, std::size_t clients, bool coalesce,
-                std::uint64_t seed, TimeNs warmup, TimeNs measure) {
+// `shards`-sharded replicas over loopback TCP for a wall-clock window, on
+// the arm's reactor backend and coalescing setting (coalescing off =
+// max_batch_frames 1, one frame per syscall). Clients run on their own
+// executor threads, so each gets a private Collector; the merge happens
+// after stop() joined everything. The cluster's aggregated hot-path
+// counters ride along so every cell's number is explainable.
+CellResult run_cell(std::uint32_t shards, std::size_t clients,
+                    const ArmSpec& arm, std::uint64_t seed, TimeNs warmup,
+                    TimeNs measure) {
   // Endpoint-referenced state outlives the cluster (declared first =>
   // destroyed last), matching the harness in verify/tcp_kill_reconnect.h.
   const auto keys = make_keys();
   const bench::Zipfian zipf(kKeys, kZipfTheta);
   std::vector<std::unique_ptr<bench::Collector>> collectors;
   net::TcpClusterOptions options;
-  if (!coalesce) options.max_batch_frames = 1;
+  options.backend = arm.backend;
+  if (!arm.coalesce) options.max_batch_frames = 1;
   net::TcpCluster cluster(options);
   const std::vector<NodeId> replica_ids{0, 1, 2};
   add_replicas(cluster, shards, replica_ids);
@@ -102,7 +125,10 @@ double run_cell(std::uint32_t shards, std::size_t clients, bool coalesce,
   std::uint64_t completed = 0;
   for (const auto& collector : collectors) completed += collector->completed();
   const double window_sec = static_cast<double>(measure) / kSecond;
-  return static_cast<double>(completed) / window_sec;
+  CellResult result;
+  result.throughput = static_cast<double>(completed) / window_sec;
+  result.stats = cluster.hot_path_stats();
+  return result;
 }
 
 // Acceptance phase: the shared kill/reconnect harness (the same scenario
@@ -139,50 +165,102 @@ int main(int argc, char** argv) {
       args.full ? std::vector<std::size_t>{8, 32, 128}
                 : std::vector<std::size_t>{32, 128};
 
+  // Resolve what "epoll" means on this host: the build may lack the header,
+  // and LSR_TCP_BACKEND=poll (the CI fallback runs) overrides everything —
+  // in both cases the backend ablation collapses to the coalescing pair.
+  using Backend = net::TcpClusterOptions::Backend;
+  bool epoll_usable = false;
+  {
+    net::TcpClusterOptions probe;
+    probe.backend = Backend::kEpoll;
+    epoll_usable =
+        std::string(net::TcpCluster(probe).backend_name()) == "epoll";
+  }
+  std::vector<ArmSpec> arms;
+  if (epoll_usable) {
+    arms.push_back({"poll+coalesced", Backend::kPoll, true});
+    arms.push_back({"epoll+uncoalesced", Backend::kEpoll, false});
+    arms.push_back({"epoll+coalesced", Backend::kEpoll, true});
+  } else {
+    arms.push_back({"poll+uncoalesced", Backend::kPoll, false});
+    arms.push_back({"poll+coalesced", Backend::kPoll, true});
+  }
+
   std::printf(
       "TCP scaling: KV throughput (requests/s) over loopback sockets%s\n"
       "three replicas, %llu keys, Zipfian(%.2f), %.0f%% reads, "
-      "wall-clock %.1fs per cell, coalescing ablation on/off\n\n",
+      "wall-clock %.1fs per cell\n"
+      "reactor backend x writev-coalescing ablation: %zu arms (%s)\n\n",
       args.full ? " [--full]" : "", static_cast<unsigned long long>(kKeys),
       kZipfTheta, kReadRatio * 100,
-      static_cast<double>(warmup + measure) / kSecond);
+      static_cast<double>(warmup + measure) / kSecond, arms.size(),
+      epoll_usable ? "epoll available" : "poll fallback only");
 
-  std::vector<std::string> headers{"clients", "coalesce"};
+  std::vector<std::string> headers{"clients", "arm"};
   for (const std::uint32_t shards : shard_counts)
     headers.push_back("shards" + std::to_string(shards));
   bench::Table table(std::move(headers));
+  bench::Table hot_path(std::vector<std::string>{
+      "arm", "clients", "shards", "req_per_sec", "syscalls_per_cycle",
+      "frames_per_writev", "inline_ratio", "slab_recycle_ratio"});
   bool all_cells_ok = true;
-  double total_coalesced = 0.0;
-  double total_uncoalesced = 0.0;
-  // Uncoalesced first so the headline (coalesced) numbers land on a warm
-  // machine; each mode gets a full clients x shards sweep.
-  for (const bool coalesce : {false, true}) {
+  std::vector<double> arm_totals(arms.size(), 0.0);
+  // Arms run slowest-expected first so the headline (epoll+coalesced)
+  // numbers land on a warm machine; each arm gets a full clients x shards
+  // sweep.
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    const ArmSpec& arm = arms[a];
     for (const std::size_t clients : client_counts) {
-      std::vector<std::string> row{std::to_string(clients),
-                                   coalesce ? "on" : "off"};
+      std::vector<std::string> row{std::to_string(clients), arm.label};
       for (const std::uint32_t shards : shard_counts) {
-        const double throughput =
-            run_cell(shards, clients, coalesce, args.seed, warmup, measure);
-        all_cells_ok = all_cells_ok && throughput > 0.0;
-        (coalesce ? total_coalesced : total_uncoalesced) += throughput;
-        row.push_back(bench::fmt_double(throughput, 0));
-        std::printf("  %zu clients x %u shards, coalescing %s: %.0f req/s\n",
-                    clients, shards, coalesce ? "on " : "off", throughput);
+        const CellResult cell =
+            run_cell(shards, clients, arm, args.seed, warmup, measure);
+        all_cells_ok = all_cells_ok && cell.throughput > 0.0;
+        arm_totals[a] += cell.throughput;
+        row.push_back(bench::fmt_double(cell.throughput, 0));
+        hot_path.add_row(std::vector<std::string>{
+            arm.label, std::to_string(clients), std::to_string(shards),
+            bench::fmt_double(cell.throughput, 0),
+            bench::fmt_double(cell.stats.syscalls_per_cycle(), 2),
+            bench::fmt_double(cell.stats.frames_per_sendmsg(), 2),
+            bench::fmt_double(cell.stats.inline_ratio(), 3),
+            bench::fmt_double(cell.stats.slab_recycle_ratio(), 3)});
+        std::printf(
+            "  %zu clients x %u shards [%s]: %.0f req/s "
+            "(%.2f sys/cycle, %.1f frames/writev, %.2f inline, "
+            "%.2f slab reuse)\n",
+            clients, shards, arm.label.c_str(), cell.throughput,
+            cell.stats.syscalls_per_cycle(), cell.stats.frames_per_sendmsg(),
+            cell.stats.inline_ratio(), cell.stats.slab_recycle_ratio());
       }
       table.add_row(std::move(row));
     }
   }
   std::printf("\n");
   table.print(std::cout, args.csv);
-  const double speedup =
-      total_uncoalesced > 0.0 ? total_coalesced / total_uncoalesced : 0.0;
-  std::printf("\ncoalescing speedup (aggregate): %.2fx\n", speedup);
-  // The smoke gate: batching must never make the transport slower. A small
+
+  // Ablation aggregates: coalescing on-vs-off on the same backend, and
+  // epoll-vs-poll with coalescing on (the shipping configuration).
+  const std::size_t coalesced_arm = arms.size() - 1;
+  const std::size_t uncoalesced_arm = arms.size() - 2;
+  const double coalescing_speedup =
+      arm_totals[uncoalesced_arm] > 0.0
+          ? arm_totals[coalesced_arm] / arm_totals[uncoalesced_arm]
+          : 0.0;
+  const double epoll_speedup =
+      epoll_usable && arm_totals[0] > 0.0
+          ? arm_totals[coalesced_arm] / arm_totals[0]
+          : 0.0;
+  std::printf("\ncoalescing speedup (aggregate): %.2fx\n", coalescing_speedup);
+  if (epoll_usable)
+    std::printf("epoll speedup over poll (aggregate, coalesced): %.2fx\n",
+                epoll_speedup);
+  // The smoke gates: batching must never make the transport slower, and the
+  // epoll reactor must never lose to the poll fallback it replaced. A small
   // tolerance absorbs wall-clock noise on loaded CI machines without letting
-  // a real regression (batching off faster than on) through. Sanitizer
-  // builds skip the gate — instrumentation dwarfs the syscall costs the
-  // ablation measures — but still record the ablation and run every
-  // correctness check.
+  // a real regression through. Sanitizer builds skip both gates —
+  // instrumentation dwarfs the syscall costs the ablations measure — but
+  // still record them and run every correctness check.
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
   constexpr bool kPerfGate = false;
 #elif defined(__has_feature)
@@ -195,11 +273,17 @@ int main(int argc, char** argv) {
   constexpr bool kPerfGate = true;
 #endif
   const bool coalescing_ok =
-      !kPerfGate || total_coalesced >= 0.95 * total_uncoalesced;
+      !kPerfGate ||
+      arm_totals[coalesced_arm] >= 0.95 * arm_totals[uncoalesced_arm];
+  const bool backend_ok =
+      !kPerfGate || !epoll_usable ||
+      arm_totals[coalesced_arm] >= 0.95 * arm_totals[0];
   if (!coalescing_ok)
     std::printf("FAILED: coalesced sweep slower than uncoalesced\n");
+  if (!backend_ok)
+    std::printf("FAILED: epoll reactor slower than the poll fallback\n");
   if (!kPerfGate)
-    std::printf("(sanitizer build: coalescing gate recorded, not enforced)\n");
+    std::printf("(sanitizer build: ablation gates recorded, not enforced)\n");
 
   std::printf("\nkill/reconnect linearizability check:\n");
   const bool linearizable = run_kill_reconnect_check(args.seed);
@@ -245,8 +329,11 @@ int main(int argc, char** argv) {
   report.set_meta("seed", static_cast<double>(args.seed));
   report.set_meta("wall_clock_cell_sec",
                   static_cast<double>(warmup + measure) / kSecond);
-  report.set_meta("coalescing_speedup", speedup);
-  report.set_meta("coalescing_gate",
+  report.set_meta("reactor_backend",
+                  std::string(epoll_usable ? "epoll" : "poll"));
+  report.set_meta("coalescing_speedup", coalescing_speedup);
+  if (epoll_usable) report.set_meta("epoll_speedup", epoll_speedup);
+  report.set_meta("ablation_gates",
                   std::string(kPerfGate ? "enforced" : "recorded-only"));
   report.set_meta("kill_reconnect_linearizable",
                   linearizable ? std::string("yes") : std::string("no"));
@@ -257,10 +344,12 @@ int main(int argc, char** argv) {
   if (multiprocess_ran)
     report.set_meta("multiprocess_req_per_sec", multiprocess_tput);
   report.add_table("throughput_per_sec", table);
+  report.add_table("reactor_hot_path", hot_path);
   if (!report.write_file(args.json_path)) return 2;
   std::printf("results written to %s\n", args.json_path.c_str());
 
-  return (all_cells_ok && coalescing_ok && linearizable && multiprocess_ok)
+  return (all_cells_ok && coalescing_ok && backend_ok && linearizable &&
+          multiprocess_ok)
              ? 0
              : 1;
 }

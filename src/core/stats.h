@@ -24,6 +24,50 @@ struct ProposerStats {
   std::uint64_t session_reconfirms = 0;  // applied but unacked -> re-MERGEd
 };
 
+// Transport hot-path counters, aggregated across a TcpCluster's reactors.
+// These exist so the bench ablations are explainable, not just a number:
+// a throughput delta between backends or batch settings should be visible
+// as a syscalls/cycle, frames/writev or inline-ratio delta here.
+struct ReactorHotPathStats {
+  std::uint64_t cycles = 0;           // reactor loop iterations
+  std::uint64_t waits = 0;            // epoll_wait / poll syscalls
+  std::uint64_t recv_calls = 0;       // recv syscalls on accepted streams
+  std::uint64_t sendmsg_calls = 0;    // batched writev-style sends
+  std::uint64_t frames_sent = 0;      // frames fully written to the wire
+  std::uint64_t frames_received = 0;  // frames parsed out of receive slabs
+  std::uint64_t inline_handlers = 0;  // handlers run on the io thread
+  std::uint64_t mailbox_posts = 0;    // deliveries that took the mailbox
+  std::uint64_t inline_timers = 0;    // fused timer callbacks run inline
+  std::uint64_t slabs_allocated = 0;  // fresh receive-slab allocations
+  std::uint64_t slabs_recycled = 0;   // slab-pool reuses
+
+  double syscalls_per_cycle() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(waits + recv_calls +
+                                             sendmsg_calls) /
+                             static_cast<double>(cycles);
+  }
+  double frames_per_sendmsg() const {
+    return sendmsg_calls == 0 ? 0.0
+                              : static_cast<double>(frames_sent) /
+                                    static_cast<double>(sendmsg_calls);
+  }
+  // Fraction of deliveries that skipped the wake + context switch.
+  double inline_ratio() const {
+    const std::uint64_t total = inline_handlers + mailbox_posts;
+    return total == 0 ? 0.0
+                      : static_cast<double>(inline_handlers) /
+                            static_cast<double>(total);
+  }
+  // Fraction of slab demand served from the pool instead of the allocator.
+  double slab_recycle_ratio() const {
+    const std::uint64_t total = slabs_allocated + slabs_recycled;
+    return total == 0 ? 0.0
+                      : static_cast<double>(slabs_recycled) /
+                            static_cast<double>(total);
+  }
+};
+
 struct ProposerHooks {
   // Invoked once per completed *query command* with the number of round
   // trips its protocol instance needed (Fig. 3 of the paper).

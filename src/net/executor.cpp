@@ -11,6 +11,19 @@ namespace {
 // find the right timer queue without a node-global registry.
 constexpr int kExecutorBits = 8;
 constexpr TimerId kExecutorMask = (TimerId{1} << kExecutorBits) - 1;
+
+// True while this thread is inside any handler or timer callback (worker or
+// inline). Inline execution refuses to nest: a handler that sends would
+// otherwise try_lock an exec_mutex this very thread may already hold (its
+// own executor on a self-send) — undefined behavior for std::mutex. The
+// refusal just falls back to post(), so re-entrant sends cost a mailbox
+// hop, never correctness.
+thread_local bool t_in_handler = false;
+
+struct InHandlerScope {
+  InHandlerScope() { t_in_handler = true; }
+  ~InHandlerScope() { t_in_handler = false; }
+};
 }  // namespace
 
 NodeRuntime::NodeRuntime(NodeId id, Endpoint& endpoint,
@@ -77,10 +90,14 @@ void NodeRuntime::post(NodeId from, Payload payload) {
 }
 
 bool NodeRuntime::try_execute_inline(NodeId from, const Payload& payload) {
-  if (executors_.size() != 1) return false;  // lanes may genuinely race
   if (paused_.load()) return true;  // dropped, exactly as post() drops it
+  if (t_in_handler) return false;   // no nesting (see InHandlerScope)
   if (!endpoint_started_.load() || !running_.load()) return false;
-  Executor& executor = *executors_[0];
+  // Classify the lane exactly as post() would (lane_of is const and
+  // thread-safe by contract): only the message's own executor must be idle.
+  // Other executors running handlers in parallel is the node's normal
+  // multi-worker execution, indistinguishable from this inline run.
+  Executor& executor = executor_of_lane(endpoint_.lane_of(payload.view()));
   std::unique_lock<std::mutex> exec(executor.exec_mutex, std::try_to_lock);
   if (!exec.owns_lock()) return false;  // worker mid-handler or mid-timer
   {
@@ -93,7 +110,10 @@ bool NodeRuntime::try_execute_inline(NodeId from, const Payload& payload) {
     if (paused_.load() || recover_pending_.load()) return false;
     handlers_inflight_.fetch_add(1);
   }
-  endpoint_.on_message(from, payload.view());
+  {
+    InHandlerScope scope;
+    endpoint_.on_message(from, payload.view());
+  }
   if (handlers_inflight_.fetch_sub(1) == 1 && recover_pending_.load()) {
     {
       std::lock_guard<std::mutex> lock(gate_mutex_);
@@ -103,15 +123,26 @@ bool NodeRuntime::try_execute_inline(NodeId from, const Payload& payload) {
   return true;
 }
 
+void NodeRuntime::refresh_next_fire(Executor& executor) {
+  TimeNs best = -1;
+  for (const auto& [id, timer] : executor.timers)
+    if (best < 0 || timer.fire_at < best) best = timer.fire_at;
+  executor.next_fire.store(best, std::memory_order_relaxed);
+}
+
 TimerId NodeRuntime::set_timer(TimeNs delay, int lane,
                                std::function<void()> fn) {
   Executor& executor = executor_of_lane(lane);
   const TimerId id = (next_timer_seq_.fetch_add(1) << kExecutorBits) |
                      static_cast<TimerId>(executor.index);
+  const TimeNs fire_at = now_() + delay;
   {
     std::lock_guard<std::mutex> lock(executor.mutex);
-    executor.timers.emplace(id, Executor::Timer{now_() + delay, std::move(fn)});
+    executor.timers.emplace(id, Executor::Timer{fire_at, std::move(fn)});
     ++executor.timer_epoch;
+    const TimeNs cached = executor.next_fire.load(std::memory_order_relaxed);
+    if (cached < 0 || fire_at < cached)
+      executor.next_fire.store(fire_at, std::memory_order_relaxed);
   }
   executor.cv.notify_one();
   return id;
@@ -124,6 +155,71 @@ void NodeRuntime::cancel_timer(TimerId id) {
   Executor& executor = *executors_[group];
   std::lock_guard<std::mutex> lock(executor.mutex);
   executor.timers.erase(id);
+  refresh_next_fire(executor);
+}
+
+TimeNs NodeRuntime::next_timer_deadline() const {
+  if (paused_.load()) return -1;
+  TimeNs best = -1;
+  for (const auto& executor : executors_) {
+    const TimeNs t = executor->next_fire.load(std::memory_order_relaxed);
+    if (t >= 0 && (best < 0 || t < best)) best = t;
+  }
+  return best;
+}
+
+int NodeRuntime::run_due_timers() {
+  if (t_in_handler) return 0;  // no nesting (see InHandlerScope)
+  if (paused_.load() || !endpoint_started_.load() || !running_.load() ||
+      recover_pending_.load())
+    return 0;
+  int fired = 0;
+  for (auto& executor_ptr : executors_) {
+    Executor& executor = *executor_ptr;
+    const TimeNs cached = executor.next_fire.load(std::memory_order_relaxed);
+    if (cached < 0 || cached > now_()) continue;
+    std::unique_lock<std::mutex> exec(executor.exec_mutex, std::try_to_lock);
+    if (!exec.owns_lock()) {
+      // Worker mid-handler: it re-checks timers on its next loop; the nudge
+      // covers the narrow window where it is about to sleep on a stale wait.
+      executor.cv.notify_one();
+      continue;
+    }
+    // A timer callback may arm another timer at zero delay; the cap keeps a
+    // self-rearming endpoint from capturing the reactor thread.
+    for (int burst = 0; burst < 4; ++burst) {
+      std::function<void()> fn;
+      {
+        std::lock_guard<std::mutex> lock(executor.mutex);
+        if (paused_.load() || recover_pending_.load()) break;
+        TimeNs best = -1;
+        TimerId best_id = kInvalidTimer;
+        for (const auto& [id, timer] : executor.timers) {
+          if (best < 0 || timer.fire_at < best) {
+            best = timer.fire_at;
+            best_id = id;
+          }
+        }
+        if (best_id == kInvalidTimer || best > now_()) break;
+        fn = std::move(executor.timers.at(best_id).fn);
+        executor.timers.erase(best_id);
+        refresh_next_fire(executor);
+        handlers_inflight_.fetch_add(1);
+      }
+      {
+        InHandlerScope scope;
+        fn();
+      }
+      ++fired;
+      if (handlers_inflight_.fetch_sub(1) == 1 && recover_pending_.load()) {
+        {
+          std::lock_guard<std::mutex> lock(gate_mutex_);
+        }
+        gate_cv_.notify_all();
+      }
+    }
+  }
+  return fired;
 }
 
 void NodeRuntime::set_paused(bool paused) {
@@ -135,6 +231,7 @@ void NodeRuntime::set_paused(bool paused) {
         std::lock_guard<std::mutex> lock(executor->mutex);
         executor->mailbox.clear();
         executor->timers.clear();
+        executor->next_fire.store(-1, std::memory_order_relaxed);
       }
     }
   } else if (paused_.load()) {
@@ -146,6 +243,7 @@ void NodeRuntime::set_paused(bool paused) {
       std::lock_guard<std::mutex> lock(executor->mutex);
       executor->mailbox.clear();
       executor->timers.clear();
+      executor->next_fire.store(-1, std::memory_order_relaxed);
     }
     paused_.store(false);
   }
@@ -216,6 +314,7 @@ void NodeRuntime::executor_loop(Executor& executor) {
       std::unique_lock<std::mutex> lock(executor.mutex);
       executor.mailbox.clear();
       executor.timers.clear();
+      executor.next_fire.store(-1, std::memory_order_relaxed);
       executor.cv.wait(
           lock, [this] { return !running_.load() || !paused_.load(); });
       continue;
@@ -251,6 +350,7 @@ void NodeRuntime::executor_loop(Executor& executor) {
       if (next_id != kInvalidTimer && next_fire <= now_ns) {
         timer_fn = std::move(executor.timers.at(next_id).fn);
         executor.timers.erase(next_id);
+        refresh_next_fire(executor);
         have_timer = true;
         handlers_inflight_.fetch_add(1);
       } else if (!executor.mailbox.empty()) {
@@ -289,6 +389,7 @@ void NodeRuntime::executor_loop(Executor& executor) {
         continue;
       }
       lock.unlock();
+      InHandlerScope scope;
       if (have_timer) {
         timer_fn();
       } else {

@@ -58,15 +58,33 @@ class NodeRuntime {
   void post(NodeId from, Payload payload);
 
   // Runs the handler for `payload` on the calling thread instead of
-  // enqueueing, when that is indistinguishable from a mailbox delivery:
-  // single-executor node, executor idle (its execution mutex uncontended),
-  // mailbox empty (FIFO preserved), started, not paused or recovering. A
-  // transport's io thread uses this to skip the wake + context switch per
-  // message — the dominant delivery cost on few-core hosts. Returns false
-  // when the caller must fall back to post(); returns true with no handler
-  // run when the node is paused (the message is the crash's loss, exactly
-  // as post() would treat it).
+  // enqueueing, when that is indistinguishable from a mailbox delivery: the
+  // lane's executor is idle (its execution mutex uncontended), its mailbox
+  // empty (FIFO preserved), the node started and neither paused nor
+  // recovering. Works for multi-executor nodes too — the message is
+  // classified via lane_of and only its *own* executor must be idle; other
+  // executors of the node may be running handlers in parallel, exactly as
+  // their worker threads would. A transport's reactor uses this to skip the
+  // wake + context switch per message — the dominant delivery cost on
+  // few-core hosts. Returns false when the caller must fall back to post();
+  // returns true with no handler run when the node is paused (the message
+  // is the crash's loss, exactly as post() would treat it).
   bool try_execute_inline(NodeId from, const Payload& payload);
+
+  // Earliest pending timer deadline across every executor of this node, or
+  // -1 when no timer is armed (or the node is paused). Lock-free reads of
+  // per-executor caches: a reactor folds this into its wait deadline every
+  // cycle, so the io thread wakes for the nearest timer instead of sleeping
+  // out its full poll timeout.
+  TimeNs next_timer_deadline() const;
+
+  // Fires due timer callbacks on the calling thread, for every executor
+  // whose worker is idle (same try-lock probe as try_execute_inline);
+  // contended executors get a wakeup nudge instead and fire their timers on
+  // their own worker. Bounded per executor per call so a timer that re-arms
+  // itself at zero delay cannot capture the reactor. Returns the number of
+  // callbacks run.
+  int run_due_timers();
 
   TimerId set_timer(TimeNs delay, int lane, std::function<void()> fn);
   void cancel_timer(TimerId id);
@@ -101,6 +119,11 @@ class NodeRuntime {
     };
     std::map<TimerId, Timer> timers;  // guarded by mutex (cross-executor sets)
     std::uint64_t timer_epoch = 0;    // bumped on insert, re-checks deadlines
+    // Earliest fire_at in `timers`, -1 when empty. Written under `mutex`,
+    // read lock-free by next_timer_deadline()/run_due_timers() so a reactor
+    // can fold timer deadlines into its wait without taking every mailbox
+    // mutex every cycle.
+    std::atomic<TimeNs> next_fire{-1};
 
     std::thread thread;
   };
@@ -108,6 +131,9 @@ class NodeRuntime {
   Executor& executor_of_lane(int lane);
   void executor_loop(Executor& executor);
   void run_recovery_barrier(Executor& executor);
+  // Recomputes executor.next_fire from its timer map (caller holds
+  // executor.mutex).
+  static void refresh_next_fire(Executor& executor);
 
   NodeId id_;
   Endpoint& endpoint_;

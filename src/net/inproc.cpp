@@ -24,7 +24,14 @@ class InprocCluster::InprocContext final : public Context {
 
   void send(NodeId dst, Bytes data) override {
     if (dst >= cluster_->nodes_.size()) return;
-    cluster_->nodes_[dst]->runtime->post(node_->id, std::move(data));
+    NodeRuntime& runtime = *cluster_->nodes_[dst]->runtime;
+    if (cluster_->options_.inline_delivery) {
+      Payload payload(std::move(data));
+      if (runtime.try_execute_inline(node_->id, payload)) return;
+      runtime.post(node_->id, std::move(payload));
+      return;
+    }
+    runtime.post(node_->id, std::move(data));
   }
 
   TimerId set_timer(TimeNs delay, int lane, std::function<void()> fn) override {
@@ -40,7 +47,10 @@ class InprocCluster::InprocContext final : public Context {
   Node* node_;
 };
 
-InprocCluster::InprocCluster() : epoch_(std::chrono::steady_clock::now()) {}
+InprocCluster::InprocCluster() : InprocCluster(InprocClusterOptions{}) {}
+
+InprocCluster::InprocCluster(InprocClusterOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
 
 InprocCluster::~InprocCluster() { stop(); }
 

@@ -23,11 +23,26 @@
 
 namespace lsr::net {
 
+struct InprocClusterOptions {
+  // When set, send() first tries to run the destination's handler inline on
+  // the sending thread via NodeRuntime::try_execute_inline — the same
+  // optimization the TCP reactors use — and only falls back to the mailbox
+  // when the destination's executor is busy or its mailbox nonempty. A
+  // thread-local in-handler guard in the runtime refuses nested inline
+  // execution, so a handler that sends (even to its own executor) falls
+  // back to post() instead of re-locking a mutex its thread already holds;
+  // inline depth is therefore exactly one. Off by default: inline delivery
+  // trades the mailbox's fairness for latency, which only benches and
+  // targeted tests should opt into.
+  bool inline_delivery = false;
+};
+
 class InprocCluster {
  public:
   using EndpointFactory = std::function<std::unique_ptr<Endpoint>(Context&)>;
 
   InprocCluster();
+  explicit InprocCluster(InprocClusterOptions options);
   ~InprocCluster();
 
   InprocCluster(const InprocCluster&) = delete;
@@ -62,6 +77,7 @@ class InprocCluster {
 
   TimeNs now() const;
 
+  InprocClusterOptions options_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
   std::chrono::steady_clock::time_point epoch_;

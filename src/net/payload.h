@@ -12,9 +12,11 @@
 // while the Endpoint interface stays transport-agnostic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/types.h"
 
@@ -43,6 +45,96 @@ class Payload {
   std::shared_ptr<const Bytes> slab_;
   const std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;
+};
+
+// Receive-slab pool with epoch-based reclamation. A reactor's FrameReaders
+// acquire their slabs here instead of allocating fresh ones; a slab the
+// reader has exhausted is *retired* into a limbo list stamped with the
+// pool's current epoch (the reactor advances the epoch once per io cycle).
+// A retired slab is recycled only when both reclamation conditions hold:
+//
+//   1. a grace period of full epochs has passed since it was retired (no
+//      io cycle that could still be parsing it is in flight), and
+//   2. no lent Payload span still references it — the pool holds the only
+//      remaining shared_ptr, so nobody can resurrect a reference.
+//
+// Handlers may therefore keep Payload spans alive for arbitrarily many
+// cycles (a mailbox backlog, a deliberately retained message): the slab
+// they pin simply waits in limbo and is reused the moment they let go,
+// instead of each replacement allocating a fresh slab and leaving the old
+// one to the allocator. Single-threaded by design — one pool per reactor,
+// touched only from that reactor's thread (condition 2 is still safe under
+// concurrent Payload destruction: once the pool observes use_count() == 1
+// on the reference it exclusively owns, no other reference can reappear).
+class SlabPool {
+ public:
+  static constexpr std::size_t kDefaultSlabSize = 256 * 1024;
+
+  explicit SlabPool(std::size_t slab_size = kDefaultSlabSize,
+                    std::size_t max_free = 8, std::uint64_t grace_epochs = 2)
+      : slab_size_(slab_size), max_free_(max_free), grace_(grace_epochs) {}
+
+  // A slab of at least min_size bytes: recycled from the free list when one
+  // fits, freshly allocated otherwise.
+  std::shared_ptr<Bytes> acquire(std::size_t min_size) {
+    reclaim();
+    for (std::size_t i = free_.size(); i-- > 0;) {
+      if (free_[i]->size() >= min_size) {
+        auto slab = std::move(free_[i]);
+        free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++recycled_;
+        return slab;
+      }
+    }
+    ++allocated_;
+    return std::make_shared<Bytes>(std::max(slab_size_, min_size));
+  }
+
+  // Hands a slab the reader is done filling back to the pool; lent Payload
+  // spans into it stay valid (they share ownership) and only their release
+  // plus the epoch grace period makes it reusable.
+  void retire(std::shared_ptr<Bytes> slab) {
+    if (!slab) return;
+    limbo_.push_back({std::move(slab), epoch_});
+  }
+
+  // Cycle boundary: everything retired before this call ages one epoch.
+  void advance_epoch() { ++epoch_; }
+
+  // Sweeps limbo into the free list. Called from acquire(); public so tests
+  // can force a sweep without acquiring.
+  void reclaim() {
+    for (std::size_t i = limbo_.size(); i-- > 0;) {
+      Retired& r = limbo_[i];
+      if (epoch_ - r.epoch < grace_) continue;
+      // use_count() == 1 observed on the sole reference we own is stable:
+      // new references only come from existing ones.
+      if (r.slab.use_count() != 1) continue;
+      if (free_.size() < max_free_) free_.push_back(std::move(r.slab));
+      limbo_.erase(limbo_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+
+  std::uint64_t allocated() const { return allocated_; }  // fresh allocations
+  std::uint64_t recycled() const { return recycled_; }    // free-list reuses
+  std::size_t limbo() const { return limbo_.size(); }
+  std::size_t free_slabs() const { return free_.size(); }
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  struct Retired {
+    std::shared_ptr<Bytes> slab;
+    std::uint64_t epoch;
+  };
+
+  std::size_t slab_size_;
+  std::size_t max_free_;
+  std::uint64_t grace_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t recycled_ = 0;
+  std::vector<Retired> limbo_;
+  std::vector<std::shared_ptr<Bytes>> free_;
 };
 
 }  // namespace lsr::net

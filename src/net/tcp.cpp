@@ -5,6 +5,9 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#ifdef LSR_HAVE_EPOLL
+#include <sys/epoll.h>
+#endif
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -12,7 +15,9 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <utility>
 
 #include "common/assert.h"
@@ -57,7 +62,8 @@ void close_fd(int& fd) {
 
 std::span<std::uint8_t> FrameReader::writable_span(std::size_t min_size) {
   if (!slab_) {
-    slab_ = std::make_shared<Bytes>(std::max(kSlabSize, min_size));
+    slab_ = pool_ ? pool_->acquire(min_size)
+                  : std::make_shared<Bytes>(std::max(kSlabSize, min_size));
     lent_ = false;
   }
   if (slab_->size() - write_pos_ >= min_size)
@@ -77,15 +83,20 @@ std::span<std::uint8_t> FrameReader::writable_span(std::size_t min_size) {
   // reader has no synchronized way to know when they finish. If the torn
   // frame's header is already buffered we know its full size, so even a
   // frame much larger than a slab is copied at most once more.
-  std::size_t want = pending + std::max(kSlabSize, min_size);
+  // With a pool the pool's slab size governs (asking for kSlabSize extra
+  // here would oversize every request past the pooled slabs and defeat the
+  // free-list entirely); acquire() still rounds fresh allocations up.
+  std::size_t want =
+      pending + (pool_ ? min_size : std::max(kSlabSize, min_size));
   if (pending >= FrameHeader::kSize) {
     FrameHeader header;
     if (FrameHeader::read(slab_->data() + parse_pos_, header))
       want = std::max(want,
                       FrameHeader::kSize + std::size_t{header.length} + min_size);
   }
-  auto fresh = std::make_shared<Bytes>(want);
+  auto fresh = pool_ ? pool_->acquire(want) : std::make_shared<Bytes>(want);
   std::memcpy(fresh->data(), slab_->data() + parse_pos_, pending);
+  if (pool_) pool_->retire(std::move(slab_));
   slab_ = std::move(fresh);
   lent_ = false;
   parse_pos_ = 0;
@@ -132,6 +143,143 @@ bool FrameReader::consume(const std::uint8_t* data, std::size_t size,
 }
 
 // ---------------------------------------------------------------------------
+// Readiness multiplexing: one Poller per reactor, epoll when the build has
+// it, poll() otherwise (and under LSR_TCP_BACKEND=poll, for ablations and
+// portability CI). Every registered descriptor carries an FdSource* telling
+// the reactor what the fd is — the dispatch loop never searches for it.
+// ---------------------------------------------------------------------------
+
+struct TcpCluster::FdSource {
+  enum class Kind { kWake, kListener, kConn, kLink };
+  Kind kind = Kind::kWake;
+  Node* node = nullptr;       // kListener / kConn / kLink
+  AcceptedConn* conn = nullptr;  // kConn
+  NodeId dst = 0;             // kLink: destination id of the outgoing link
+};
+
+// add/mod/del may be called from any thread (link_reset runs under a pause
+// initiated off the reactor); wait() only ever runs on the owning reactor
+// thread. Deregistration must happen *before* the descriptor is closed —
+// a closed fd number can be reused by the next accept/connect, and a stale
+// registration would then fire with the wrong FdSource.
+class TcpCluster::Poller {
+ public:
+  struct Event {
+    FdSource* src;
+  };
+
+  virtual ~Poller() = default;
+  virtual const char* name() const = 0;
+  virtual void add(int fd, FdSource* src, bool want_read, bool want_write) = 0;
+  virtual void del(int fd) = 0;
+  // Fills `out` with ready sources; returns its size, 0 on timeout or
+  // EINTR, negative on an unrecoverable error. Any readiness (including
+  // error/hangup) is reported — kinds are registered one-directional, so
+  // the event needs no read/write distinction.
+  virtual int wait(std::vector<Event>& out, int timeout_ms) = 0;
+};
+
+#ifdef LSR_HAVE_EPOLL
+// Level-triggered epoll: wait cost scales with ready descriptors, not
+// registered ones, and registration survives across cycles (the poll
+// backend re-snapshots its whole fd table every wait). epoll_ctl is safe
+// against a concurrent epoll_wait by kernel contract, so no user lock.
+class TcpCluster::EpollPoller final : public TcpCluster::Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+    LSR_ENSURES(epfd_ >= 0);
+  }
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  const char* name() const override { return "epoll"; }
+
+  void add(int fd, FdSource* src, bool want_read, bool want_write) override {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.ptr = src;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0 && errno == EEXIST)
+      ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void del(int fd) override {
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  int wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    epoll_event events[64];
+    const int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    for (int i = 0; i < n; ++i)
+      out.push_back({static_cast<FdSource*>(events[i].data.ptr)});
+    return n;
+  }
+
+ private:
+  int epfd_;
+};
+#endif  // LSR_HAVE_EPOLL
+
+// Portable fallback on ::poll. The fd table is mutated from arbitrary
+// threads, so wait() snapshots it under the lock, polls *without* the lock
+// (a held lock across a blocking poll would deadlock every del), and maps
+// results back under the lock again — an entry deleted or re-registered
+// mid-poll no longer matches its snapshot source and is skipped, which is
+// exactly the fd-reuse protection epoll gets from del-before-close.
+class TcpCluster::PollPoller final : public TcpCluster::Poller {
+ public:
+  const char* name() const override { return "poll"; }
+
+  void add(int fd, FdSource* src, bool want_read, bool want_write) override {
+    const short events = static_cast<short>((want_read ? POLLIN : 0) |
+                                            (want_write ? POLLOUT : 0));
+    std::lock_guard<std::mutex> lock(mutex_);
+    fds_[fd] = {src, events};
+  }
+
+  void del(int fd) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fds_.erase(fd);
+  }
+
+  int wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    pfds_.clear();
+    srcs_.clear();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [fd, entry] : fds_) {
+        pfds_.push_back({fd, entry.events, 0});
+        srcs_.push_back(entry.src);
+      }
+    }
+    const int n = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    if (n == 0) return 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < pfds_.size(); ++i) {
+      if (pfds_[i].revents == 0) continue;
+      const auto it = fds_.find(pfds_[i].fd);
+      if (it == fds_.end() || it->second.src != srcs_[i]) continue;
+      out.push_back({srcs_[i]});
+    }
+    return static_cast<int>(out.size());
+  }
+
+ private:
+  struct Entry {
+    FdSource* src;
+    short events;
+  };
+  std::mutex mutex_;
+  std::map<int, Entry> fds_;
+  std::vector<pollfd> pfds_;      // wait()-only scratch
+  std::vector<FdSource*> srcs_;   // parallel to pfds_
+};
+
+// ---------------------------------------------------------------------------
 // Cluster internals.
 // ---------------------------------------------------------------------------
 
@@ -173,6 +321,31 @@ struct TcpCluster::PeerLink {
   // send_timeout for the entire batch, never frames x timeout.
   TimeNs stall_deadline = 0;
   std::size_t stall_target = 0;
+
+  // Reactor registration (guarded by `mutex` like the rest): the fd
+  // currently registered with the owning reactor's poller, -1 when none.
+  // Registration follows the watch state — a link is registered for
+  // writability exactly while it awaits a connect completion or drain
+  // space; an idle connected link is deregistered so a level-triggered
+  // backend does not spin on its permanently-writable socket.
+  int registered_fd = -1;
+  FdSource source;  // kLink, set once at start()
+};
+
+// One accepted (incoming) connection; owned by its Node, touched only by
+// the owning reactor thread. Heap-allocated so the embedded FdSource stays
+// address-stable while the conns vector grows and shrinks.
+struct TcpCluster::AcceptedConn {
+  AcceptedConn(int fd_in, std::size_t max_payload, SlabPool* pool,
+               Node* node) : fd(fd_in), reader(max_payload, pool) {
+    source.kind = FdSource::Kind::kConn;
+    source.node = node;
+    source.conn = this;
+  }
+
+  int fd = -1;
+  FrameReader reader;
+  FdSource source;
 };
 
 struct TcpCluster::Node {
@@ -182,20 +355,52 @@ struct TcpCluster::Node {
   std::unique_ptr<Context> context;
   std::unique_ptr<Endpoint> endpoint;
   std::unique_ptr<NodeRuntime> runtime;
-  std::thread io_thread;
-  int wake_read = -1;   // self-pipe: stop/pause/enqueue signals
-  int wake_write = -1;
-  // Links whose queue went empty->nonempty since the io thread's last scan:
-  // the io thread only ever touches dirty or watched links, so a cycle costs
+  Reactor* reactor = nullptr;  // pinned at start(): node i -> reactor i % n
+  FdSource listener_source;
+  // Links whose queue went empty->nonempty since the reactor's last scan:
+  // the reactor only ever touches dirty or watched links, so a cycle costs
   // O(active links), not O(cluster size).
   std::mutex dirty_mutex;
   std::vector<NodeId> dirty;
-  std::atomic<bool> wake_pending{false};  // dedupes wake pipe writes
   std::atomic<bool> drop_accepted{false};
   std::atomic<bool> rx_stalled{false};    // test hook: stop reading
   std::vector<std::unique_ptr<PeerLink>> links;  // indexed by destination
   std::atomic<std::uint64_t> connects{0};
   std::atomic<std::uint64_t> dropped{0};
+
+  // Reactor-thread-only state (no locks):
+  std::vector<std::unique_ptr<AcceptedConn>> conns;
+  std::vector<char> watched;  // links to revisit every cycle (by dst)
+  std::vector<char> visited;  // per-cycle scratch: link handled via event
+  bool rx_off = false;        // conns currently deregistered (rx stall)
+};
+
+// One io thread multiplexing the descriptors of every node pinned to it.
+// All counters are relaxed atomics so hot_path_stats() can read them live.
+struct TcpCluster::Reactor {
+  std::size_t index = 0;
+  std::vector<Node*> nodes;
+  std::unique_ptr<Poller> poller;
+  // Receive slabs for every conn of every pinned node; epoch advanced once
+  // per cycle, counters mirrored into the atomics below at cycle end.
+  SlabPool slab_pool;
+  FdSource wake_source;
+  int wake_read = -1;  // self-pipe: stop/pause/enqueue signals
+  int wake_write = -1;
+  std::atomic<bool> wake_pending{false};  // dedupes wake pipe writes
+  std::thread thread;
+
+  std::atomic<std::uint64_t> cycles{0};
+  std::atomic<std::uint64_t> waits{0};
+  std::atomic<std::uint64_t> recv_calls{0};
+  std::atomic<std::uint64_t> sendmsg_calls{0};
+  std::atomic<std::uint64_t> frames_sent{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> inline_handlers{0};
+  std::atomic<std::uint64_t> mailbox_posts{0};
+  std::atomic<std::uint64_t> inline_timers{0};
+  std::atomic<std::uint64_t> slabs_allocated{0};
+  std::atomic<std::uint64_t> slabs_recycled{0};
 };
 
 class TcpCluster::TcpContext final : public Context {
@@ -229,6 +434,17 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
   // return reads as a dead connection; 1 is the documented "coalescing
   // off" setting.
   options_.max_batch_frames = std::max<std::size_t>(options_.max_batch_frames, 1);
+  // Backend resolution: the environment beats the option (CI forces whole
+  // suites through the poll fallback this way), the option beats the
+  // default, and a backend the build lacks degrades to poll.
+  use_epoll_ = [&] {
+    if (const char* env = std::getenv("LSR_TCP_BACKEND")) {
+      if (std::strcmp(env, "poll") == 0) return false;
+      if (std::strcmp(env, "epoll") == 0) return epoll_available();
+    }
+    if (options_.backend == TcpClusterOptions::Backend::kPoll) return false;
+    return epoll_available();
+  }();
 }
 
 TcpCluster::TcpCluster(Membership membership, TcpClusterOptions options)
@@ -332,24 +548,65 @@ void TcpCluster::start() {
   LSR_EXPECTS(!nodes_.empty());
   started_ = true;
   running_.store(true);
-  for (auto& node : nodes_) {
-    node->links.clear();
-    // One outgoing link per member of the cluster, local or remote: the
-    // membership table is the single source of peer addresses.
-    for (std::size_t i = 0; i < membership_.size(); ++i)
-      node->links.push_back(std::make_unique<PeerLink>());
+
+  // One reactor per core by default, never more than one per hosted node.
+  std::size_t n_reactors = options_.reactors;
+  if (n_reactors == 0) {
+    n_reactors = std::thread::hardware_concurrency();
+    if (n_reactors == 0) n_reactors = 1;
+  }
+  n_reactors = std::max<std::size_t>(std::min(n_reactors, nodes_.size()), 1);
+  reactors_.clear();
+  for (std::size_t i = 0; i < n_reactors; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    reactor->index = i;
+#ifdef LSR_HAVE_EPOLL
+    if (use_epoll_) reactor->poller = std::make_unique<EpollPoller>();
+#endif
+    if (!reactor->poller) reactor->poller = std::make_unique<PollPoller>();
     int pipe_fds[2];
     LSR_ENSURES(::pipe2(pipe_fds, O_CLOEXEC) == 0);
-    node->wake_read = pipe_fds[0];
-    node->wake_write = pipe_fds[1];
-    set_nonblocking(node->wake_read);
-    set_nonblocking(node->wake_write);
+    reactor->wake_read = pipe_fds[0];
+    reactor->wake_write = pipe_fds[1];
+    set_nonblocking(reactor->wake_read);
+    set_nonblocking(reactor->wake_write);
+    reactor->wake_source.kind = FdSource::Kind::kWake;
+    reactor->poller->add(reactor->wake_read, &reactor->wake_source,
+                         /*want_read=*/true, /*want_write=*/false);
+    reactors_.push_back(std::move(reactor));
   }
-  // Socket threads first: a peer's on_start may send immediately, and its
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = *nodes_[i];
+    Reactor& reactor = *reactors_[i % n_reactors];
+    node.reactor = &reactor;
+    reactor.nodes.push_back(&node);
+    node.links.clear();
+    // One outgoing link per member of the cluster, local or remote: the
+    // membership table is the single source of peer addresses.
+    for (std::size_t dst = 0; dst < membership_.size(); ++dst) {
+      auto link = std::make_unique<PeerLink>();
+      link->source.kind = FdSource::Kind::kLink;
+      link->source.node = &node;
+      link->source.dst = static_cast<NodeId>(dst);
+      node.links.push_back(std::move(link));
+    }
+    node.watched.assign(membership_.size(), 0);
+    node.visited.assign(membership_.size(), 0);
+    node.conns.clear();
+    node.rx_off = false;
+    node.listener_source.kind = FdSource::Kind::kListener;
+    node.listener_source.node = &node;
+    reactor.poller->add(node.listen_fd, &node.listener_source,
+                        /*want_read=*/true, /*want_write=*/false);
+  }
+
+  // Reactor threads first: a peer's on_start may send immediately, and its
   // frames should find a reader (they would only sit in the kernel buffer
   // otherwise, but why wait).
-  for (auto& node : nodes_)
-    node->io_thread = std::thread([this, node = node.get()] { io_loop(*node); });
+  for (auto& reactor : reactors_)
+    reactor->thread =
+        std::thread([this, r = reactor.get()] { io_loop(*r); });
   for (auto& node : nodes_) node->runtime->start();
 }
 
@@ -367,20 +624,59 @@ void TcpCluster::stop() {
       link->space_cv.notify_all();
     }
   for (auto& node : nodes_) node->runtime->stop();
-  for (auto& node : nodes_) wake_io(*node);
-  for (auto& node : nodes_)
-    if (node->io_thread.joinable()) node->io_thread.join();
+  for (auto& reactor : reactors_) wake_reactor(*reactor);
+  for (auto& reactor : reactors_)
+    if (reactor->thread.joinable()) reactor->thread.join();
   for (auto& node : nodes_) {
     for (auto& link : node->links) {
       std::lock_guard<std::mutex> lock(link->mutex);
       close_fd(link->fd);
     }
-    close_fd(node->wake_read);
-    close_fd(node->wake_write);
     close_fd(node->listen_fd);
+  }
+  // Reactors stay alive (not cleared) so hot_path_stats() and
+  // backend_name() remain answerable after stop; only their fds close.
+  for (auto& reactor : reactors_) {
+    close_fd(reactor->wake_read);
+    close_fd(reactor->wake_write);
   }
   started_ = false;
   stopped_ = true;
+}
+
+const char* TcpCluster::backend_name() const {
+  return use_epoll_ ? "epoll" : "poll";
+}
+
+bool TcpCluster::epoll_available() {
+#ifdef LSR_HAVE_EPOLL
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::size_t TcpCluster::reactor_count() const { return reactors_.size(); }
+
+core::ReactorHotPathStats TcpCluster::hot_path_stats() const {
+  core::ReactorHotPathStats stats;
+  for (const auto& r : reactors_) {
+    stats.cycles += r->cycles.load(std::memory_order_relaxed);
+    stats.waits += r->waits.load(std::memory_order_relaxed);
+    stats.recv_calls += r->recv_calls.load(std::memory_order_relaxed);
+    stats.sendmsg_calls += r->sendmsg_calls.load(std::memory_order_relaxed);
+    stats.frames_sent += r->frames_sent.load(std::memory_order_relaxed);
+    stats.frames_received += r->frames_received.load(std::memory_order_relaxed);
+    stats.inline_handlers +=
+        r->inline_handlers.load(std::memory_order_relaxed);
+    stats.mailbox_posts += r->mailbox_posts.load(std::memory_order_relaxed);
+    stats.inline_timers += r->inline_timers.load(std::memory_order_relaxed);
+    stats.slabs_allocated +=
+        r->slabs_allocated.load(std::memory_order_relaxed);
+    stats.slabs_recycled +=
+        r->slabs_recycled.load(std::memory_order_relaxed);
+  }
+  return stats;
 }
 
 Endpoint& TcpCluster::endpoint(NodeId node) {
@@ -440,13 +736,17 @@ void TcpCluster::set_rx_stalled(NodeId node_id, bool stalled) {
 }
 
 void TcpCluster::wake_io(Node& node) {
-  if (node.wake_write < 0) return;
-  // One pipe byte per io wakeup, not per enqueue: the flag is cleared by the
-  // io thread after draining the pipe and before it scans the queues, so a
-  // sender that skips the write is guaranteed a scan after its append.
-  if (node.wake_pending.exchange(true)) return;
+  if (node.reactor != nullptr) wake_reactor(*node.reactor);
+}
+
+void TcpCluster::wake_reactor(Reactor& reactor) {
+  if (reactor.wake_write < 0) return;
+  // One pipe byte per reactor wakeup, not per enqueue: the flag is cleared
+  // by the reactor after draining the pipe and before its next queue scan,
+  // so a sender that skips the write is guaranteed a scan after its append.
+  if (reactor.wake_pending.exchange(true)) return;
   const std::uint8_t byte = 0;
-  [[maybe_unused]] const ssize_t n = ::write(node.wake_write, &byte, 1);
+  [[maybe_unused]] const ssize_t n = ::write(reactor.wake_write, &byte, 1);
 }
 
 void TcpCluster::send_from(Node& src, NodeId dst, Bytes data) {
@@ -534,6 +834,15 @@ void TcpCluster::send_from(Node& src, NodeId dst, Bytes data) {
 // --- io-thread link state machine (caller holds link.mutex) ----------------
 
 void TcpCluster::link_reset(Node& src, PeerLink& link, bool discard_queue) {
+  // Deregister before close: the fd number is reusable the instant close()
+  // returns, and a stale poller registration would fire for whatever
+  // descriptor inherits it (link_reset may run off the reactor thread — a
+  // pause — so this cannot be deferred to the reactor's own bookkeeping).
+  if (link.registered_fd >= 0) {
+    if (src.reactor != nullptr && src.reactor->poller != nullptr)
+      src.reactor->poller->del(link.registered_fd);
+    link.registered_fd = -1;
+  }
   close_fd(link.fd);
   link.connecting = false;
   link.front_offset = 0;  // a replacement connection retransmits whole frames
@@ -646,9 +955,12 @@ void TcpCluster::link_drain(Node& src, PeerLink& link) {
     do {
       n = ::sendmsg(link.fd, &msg, MSG_NOSIGNAL);
     } while (n < 0 && errno == EINTR);
+    if (src.reactor != nullptr)
+      src.reactor->sendmsg_calls.fetch_add(1, std::memory_order_relaxed);
     const TimeNs t = now();
     if (n > 0) {
       std::size_t left = static_cast<std::size_t>(n);
+      std::uint64_t completed = 0;
       while (left > 0) {
         OutFrame& front = link.queue.front();
         const std::size_t remaining = front.size() - link.front_offset;
@@ -657,11 +969,15 @@ void TcpCluster::link_drain(Node& src, PeerLink& link) {
           link.queued_bytes -= front.size();
           link.queue.pop_front();
           link.front_offset = 0;
+          ++completed;
         } else {
           link.front_offset += left;
           left = 0;
         }
       }
+      if (completed > 0 && src.reactor != nullptr)
+        src.reactor->frames_sent.fetch_add(completed,
+                                           std::memory_order_relaxed);
       link.space_cv.notify_all();
       // Whole-batch deadline accounting: the armed batch shrinks by what
       // was written; only a fully drained batch re-arms the clock.
@@ -695,43 +1011,36 @@ void TcpCluster::link_drain(Node& src, PeerLink& link) {
   link.stall_target = 0;
 }
 
-void TcpCluster::io_loop(Node& node) {
-  struct AcceptedConn {
-    int fd;
-    FrameReader reader;
-  };
-  std::vector<AcceptedConn> conns;
-  std::vector<pollfd> pfds;
-  std::vector<NodeId> polled_links;
-  // Links the io thread must revisit every cycle: connecting (awaiting
-  // POLLOUT), backlogged behind a full kernel buffer (awaiting POLLOUT +
-  // stall deadline) or waiting out a reconnect backoff (deadline only).
-  // Everything else is untouched until a sender marks it dirty, so a cycle
-  // costs O(links with work), not O(cluster size).
-  std::vector<char> watched(membership_.size(), 0);
-  std::vector<NodeId> dirty;
-  // Single-executor endpoints run their handler right on the io thread when
-  // the worker is idle — no wake, no context switch; the mailbox is only
-  // for multi-executor nodes and busy workers. Never under kBlock: a
-  // handler's own send could then wait on a full queue's space_cv, which
-  // only this io thread's drains can signal — a guaranteed self-stall.
+void TcpCluster::io_loop(Reactor& reactor) {
+  Poller& poller = *reactor.poller;
+  // Endpoints run their handlers right on the reactor thread when their
+  // executor is idle — no wake, no context switch; the mailbox is only for
+  // busy executors. Same for due timer callbacks (the fused timer path).
+  // Never under kBlock: a handler's own send could then wait on a full
+  // queue's space_cv, which only this reactor's drains can signal — a
+  // guaranteed self-stall.
   const bool inline_ok =
       options_.overflow != TcpClusterOptions::Overflow::kBlock;
-  const auto sink = [&node, inline_ok, this](NodeId sender,
-                                             Payload&& payload) {
+  // One Sink for every RX dispatch (a capturing std::function per recv
+  // would allocate); rx_node points at the node currently receiving.
+  Node* rx_node = nullptr;
+  const FrameReader::Sink sink = [&](NodeId sender, Payload&& payload) {
     // A frame naming a sender outside the membership is remote garbage.
     if (sender >= membership_.size()) return;
-    if (inline_ok && node.runtime->try_execute_inline(sender, payload))
+    reactor.frames_received.fetch_add(1, std::memory_order_relaxed);
+    if (inline_ok && rx_node->runtime->try_execute_inline(sender, payload)) {
+      reactor.inline_handlers.fetch_add(1, std::memory_order_relaxed);
       return;
-    node.runtime->post(sender, std::move(payload));
+    }
+    reactor.mailbox_posts.fetch_add(1, std::memory_order_relaxed);
+    rx_node->runtime->post(sender, std::move(payload));
   };
   // Runs one link through its state machine until it goes idle (unwatched)
-  // or must wait for a poll event or deadline (watched). `pollout_ready`
-  // reports a POLLOUT/POLLERR/POLLHUP edge from the last poll for its
-  // pending connect.
-  const auto process_link = [&](NodeId dst, bool pollout_ready) {
-    PeerLink& link = *node.links[dst];
-    std::lock_guard<std::mutex> lock(link.mutex);
+  // or must wait for a readiness event or deadline (watched).
+  // `pollout_ready` reports a writable/error/hangup event from the last
+  // wait for its pending connect. Caller holds link.mutex.
+  const auto step_link = [&](Node& node, NodeId dst, PeerLink& link,
+                             bool pollout_ready) {
     // The attempt budget bounds connect->write-error->reconnect churn within
     // one cycle; a link still busy after it stays watched and continues next
     // cycle.
@@ -746,24 +1055,24 @@ void TcpCluster::io_loop(Node& node) {
           link.next_attempt = now() + options_.reconnect_backoff;
           link_reset(node, link, /*discard_queue=*/true);
         }
-        watched[dst] = link.connecting ? 1 : 0;
+        node.watched[dst] = link.connecting ? 1 : 0;
         return;
       }
       if (link.queue.empty()) {
-        watched[dst] = 0;
+        node.watched[dst] = 0;
         return;
       }
       if (link.fd < 0) {
         if (link.next_attempt > 0 && now() < link.next_attempt) {
-          watched[dst] = 1;  // deadline wait, no fd to poll
+          node.watched[dst] = 1;  // deadline wait, no fd to watch
           return;
         }
         link_begin_connect(node, dst, link);
         if (link.fd < 0) {
           // Synchronous refusal discarded the queue (unwatch); a resource
           // failure kept it and armed a backoff (stay watched so the
-          // deadline is polled for).
-          watched[dst] = link.queue.empty() ? 0 : 1;
+          // deadline is waited for).
+          node.watched[dst] = link.queue.empty() ? 0 : 1;
           return;
         }
         continue;
@@ -776,156 +1085,254 @@ void TcpCluster::io_loop(Node& node) {
                      node.id, dst, link.queued_bytes);
         link.next_attempt = now() + options_.reconnect_backoff;
         link_reset(node, link, /*discard_queue=*/true);
-        watched[dst] = 0;
+        node.watched[dst] = 0;
         return;
       }
       link_drain(node, link);
       if (link.queue.empty()) {
-        watched[dst] = 0;
+        node.watched[dst] = 0;
         return;
       }
-      if (link.fd >= 0) {  // EAGAIN: wait for POLLOUT
-        watched[dst] = 1;
+      if (link.fd >= 0) {  // EAGAIN: wait for writability
+        node.watched[dst] = 1;
         return;
       }
       // Write error reset the connection but kept the queue: loop around for
       // the immediate reconnect.
     }
-    watched[dst] = 1;
+    node.watched[dst] = 1;
   };
+  const auto process_link = [&](Node& node, NodeId dst, bool pollout_ready) {
+    PeerLink& link = *node.links[dst];
+    std::lock_guard<std::mutex> lock(link.mutex);
+    step_link(node, dst, link, pollout_ready);
+    // Poller registration follows the watch state under the same lock (a
+    // concurrent pause's link_reset already deregisters on its own):
+    // watched with an open fd means "tell me when writable"; everything
+    // else is deregistered so a level-triggered backend never spins on an
+    // idle connected socket.
+    const bool want = node.watched[dst] != 0 && link.fd >= 0;
+    if (!want) {
+      if (link.registered_fd >= 0) {
+        poller.del(link.registered_fd);
+        link.registered_fd = -1;
+      }
+    } else if (link.registered_fd != link.fd) {
+      if (link.registered_fd >= 0) poller.del(link.registered_fd);
+      poller.add(link.fd, &link.source, /*want_read=*/false,
+                 /*want_write=*/true);
+      link.registered_fd = link.fd;
+    }
+  };
+  std::vector<Poller::Event> events;
+  std::vector<NodeId> dirty;
   while (running_.load()) {
     // Newly nonempty links first: on an idle or writable socket the frame
-    // goes out this cycle without waiting for a poll round-trip.
-    {
-      std::lock_guard<std::mutex> lock(node.dirty_mutex);
-      dirty.swap(node.dirty);
+    // goes out this cycle without waiting for a readiness round-trip. Also
+    // the point where an rx-stall toggle syncs conn registrations.
+    for (Node* node : reactor.nodes) {
+      {
+        std::lock_guard<std::mutex> lock(node->dirty_mutex);
+        dirty.swap(node->dirty);
+      }
+      for (const NodeId dst : dirty) process_link(*node, dst, false);
+      dirty.clear();
+      const bool stalled = node->rx_stalled.load();
+      if (stalled != node->rx_off) {
+        for (auto& conn : node->conns) {
+          if (stalled)
+            poller.del(conn->fd);
+          else
+            poller.add(conn->fd, &conn->source, /*want_read=*/true,
+                       /*want_write=*/false);
+        }
+        node->rx_off = stalled;
+      }
     }
-    for (const NodeId dst : dirty) process_link(dst, false);
-    dirty.clear();
 
-    pfds.clear();
-    polled_links.clear();
-    pfds.push_back({node.wake_read, POLLIN, 0});
-    pfds.push_back({node.listen_fd, POLLIN, 0});
-    const bool rx_stalled = node.rx_stalled.load();
-    std::size_t polled_conns = 0;
-    if (!rx_stalled) {
-      for (const auto& conn : conns) pfds.push_back({conn.fd, POLLIN, 0});
-      polled_conns = conns.size();
-    }
-    const std::size_t link_base = pfds.size();
+    // Wait deadline: link deadlines (connect, stall, backoff) and — the
+    // fused-timer half of the reactor — every pinned node's earliest
+    // NodeRuntime timer, so a timer never waits out a full poll timeout.
+    const TimeNs t_now = now();
     TimeNs next_deadline = -1;
     const auto want_deadline = [&next_deadline](TimeNs t) {
       if (t > 0 && (next_deadline < 0 || t < next_deadline)) next_deadline = t;
     };
-    for (NodeId dst = 0; dst < node.links.size(); ++dst) {
-      if (!watched[dst]) continue;
-      PeerLink& link = *node.links[dst];
-      std::lock_guard<std::mutex> lock(link.mutex);
-      if (link.connecting) {
-        want_deadline(link.connect_deadline);
-      } else if (link.fd < 0) {
-        // next_attempt == 0 means "retry immediately" (write-error reset
-        // kept the queue): an already-passed deadline makes poll return at
-        // once instead of blocking forever on a link with no fd to watch.
-        want_deadline(link.next_attempt > 0 ? link.next_attempt : 1);
-      } else {
-        want_deadline(link.stall_deadline);
+    for (Node* node : reactor.nodes) {
+      for (NodeId dst = 0; dst < node->links.size(); ++dst) {
+        if (!node->watched[dst]) continue;
+        PeerLink& link = *node->links[dst];
+        std::lock_guard<std::mutex> lock(link.mutex);
+        if (link.connecting) {
+          want_deadline(link.connect_deadline);
+        } else if (link.fd < 0) {
+          // next_attempt == 0 means "retry immediately" (write-error reset
+          // kept the queue): an already-passed deadline makes the wait
+          // return at once instead of blocking forever on a link with no
+          // fd to watch.
+          want_deadline(link.next_attempt > 0 ? link.next_attempt : 1);
+        } else {
+          want_deadline(link.stall_deadline);
+        }
       }
-      if (link.fd >= 0) {
-        pfds.push_back({link.fd, POLLOUT, 0});
-        polled_links.push_back(dst);
+      if (inline_ok) {
+        const TimeNs timer = node->runtime->next_timer_deadline();
+        // An overdue timer means its executor was mid-handler when
+        // run_due_timers last tried (the worker got a nudge instead): wait
+        // a floor of 1ms rather than spinning at timeout 0 against a long
+        // handler.
+        if (timer >= 0)
+          want_deadline(timer <= t_now ? t_now + kMillisecond : timer);
       }
     }
     int timeout_ms = -1;
     if (next_deadline >= 0) {
-      const TimeNs delta = next_deadline - now();
+      const TimeNs delta = next_deadline - t_now;
       timeout_ms = delta <= 0
                        ? 0
                        : static_cast<int>(
                              std::min<TimeNs>(delta / kMillisecond + 1, 1000));
     }
-    if (::poll(pfds.data(), pfds.size(), timeout_ms) < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (pfds[0].revents & POLLIN) {
-      std::uint8_t drain[64];
-      while (::read(node.wake_read, drain, sizeof drain) > 0) {
-      }
-    }
-    // Clear before scanning: a sender that skipped its pipe write because the
-    // flag was set is owed exactly the scan below.
-    node.wake_pending.store(false);
+
+    reactor.waits.fetch_add(1, std::memory_order_relaxed);
+    if (poller.wait(events, timeout_ms) < 0) break;
     if (!running_.load()) break;
-    if (node.drop_accepted.exchange(false)) {
-      // Crash semantics: sever every incoming connection so peers observe
-      // the failure on their next write.
-      for (auto& conn : conns) ::close(conn.fd);
-      conns.clear();
-      continue;
-    }
-    if (pfds[1].revents & POLLIN) {
-      for (;;) {
-        const int fd = ::accept4(node.listen_fd, nullptr, nullptr,
-                                 SOCK_CLOEXEC);
-        if (fd < 0) break;
-        set_nonblocking(fd);
-        set_nodelay(fd);
-        conns.push_back({fd, FrameReader(options_.max_frame_payload)});
+
+    // Crash semantics: sever every incoming connection of a dropped node so
+    // peers observe the failure on their next write. The just-harvested
+    // event batch may hold pointers into the conns we destroy — skip it
+    // wholesale; a level-triggered backend re-reports everything still
+    // ready on the next wait.
+    bool dropped_any = false;
+    for (Node* node : reactor.nodes) {
+      if (node->drop_accepted.exchange(false)) {
+        for (auto& conn : node->conns) {
+          poller.del(conn->fd);
+          ::close(conn->fd);
+        }
+        node->conns.clear();
+        dropped_any = true;
       }
     }
-    // TX: revisit every watched link — POLLOUT edges first, then the ones
-    // waiting on deadlines (connect, stall, backoff).
-    for (std::size_t i = 0; i < polled_links.size(); ++i) {
-      const short revents = pfds[link_base + i].revents;
-      process_link(polled_links[i],
-                   (revents & (POLLOUT | POLLERR | POLLHUP)) != 0);
-    }
-    for (NodeId dst = 0; dst < node.links.size(); ++dst) {
-      if (!watched[dst]) continue;
-      if (std::find(polled_links.begin(), polled_links.end(), dst) !=
-          polled_links.end())
-        continue;  // handled above
-      process_link(dst, false);
-    }
-    // RX: drain readable accepted connections straight into their slabs.
-    if (!rx_stalled) {
-      for (std::size_t i = polled_conns; i-- > 0;) {
-        if (!(pfds[2 + i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-        AcceptedConn& conn = conns[i];
-        bool drop = false;
-        for (;;) {
-          const auto buf = conn.reader.writable_span(kRecvChunk);
-          const ssize_t n = ::recv(conn.fd, buf.data(), buf.size(), 0);
-          if (n > 0) {
-            if (!conn.reader.commit(static_cast<std::size_t>(n), sink)) {
-              LSR_LOG_WARN("tcp %u: bad frame on incoming stream, dropping it",
-                           node.id);
+    if (dropped_any) continue;
+
+    for (const Poller::Event& event : events) {
+      FdSource* src = event.src;
+      switch (src->kind) {
+        case FdSource::Kind::kWake: {
+          std::uint8_t buf[64];
+          while (::read(reactor.wake_read, buf, sizeof buf) > 0) {
+          }
+          // Clear after draining, before the next dirty swap: a sender that
+          // skipped its pipe write because the flag was set is owed exactly
+          // the scan at the top of the next cycle.
+          reactor.wake_pending.store(false);
+          break;
+        }
+        case FdSource::Kind::kListener: {
+          Node& node = *src->node;
+          for (;;) {
+            const int fd = ::accept4(node.listen_fd, nullptr, nullptr,
+                                     SOCK_CLOEXEC);
+            if (fd < 0) break;
+            set_nonblocking(fd);
+            set_nodelay(fd);
+            auto conn = std::make_unique<AcceptedConn>(
+                fd, options_.max_frame_payload, &reactor.slab_pool, &node);
+            if (!node.rx_off)
+              poller.add(fd, &conn->source, /*want_read=*/true,
+                         /*want_write=*/false);
+            node.conns.push_back(std::move(conn));
+          }
+          break;
+        }
+        case FdSource::Kind::kConn: {
+          // RX: drain the readable connection straight into its slab.
+          Node& node = *src->node;
+          if (node.rx_stalled.load()) break;  // stalled mid-batch
+          AcceptedConn* conn = src->conn;
+          rx_node = &node;
+          bool drop = false;
+          for (;;) {
+            const auto buf = conn->reader.writable_span(kRecvChunk);
+            reactor.recv_calls.fetch_add(1, std::memory_order_relaxed);
+            const ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
+            if (n > 0) {
+              if (!conn->reader.commit(static_cast<std::size_t>(n), sink)) {
+                LSR_LOG_WARN(
+                    "tcp %u: bad frame on incoming stream, dropping it",
+                    node.id);
+                drop = true;
+                break;
+              }
+              if (static_cast<std::size_t>(n) < buf.size()) break;  // drained
+            } else if (n == 0) {
+              drop = true;  // peer closed
+              break;
+            } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+              break;
+            } else if (errno == EINTR) {
+              continue;
+            } else {
               drop = true;
               break;
             }
-            if (static_cast<std::size_t>(n) < buf.size()) break;  // drained
-          } else if (n == 0) {
-            drop = true;  // peer closed
-            break;
-          } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
-            break;
-          } else if (errno == EINTR) {
-            continue;
-          } else {
-            drop = true;
-            break;
           }
+          if (drop) {
+            poller.del(conn->fd);
+            ::close(conn->fd);
+            auto& conns = node.conns;
+            conns.erase(std::find_if(
+                conns.begin(), conns.end(),
+                [&](const std::unique_ptr<AcceptedConn>& c) {
+                  return c.get() == conn;
+                }));
+          }
+          break;
         }
-        if (drop) {
-          ::close(conn.fd);
-          conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+        case FdSource::Kind::kLink: {
+          Node& node = *src->node;
+          node.visited[src->dst] = 1;
+          process_link(node, src->dst, /*pollout_ready=*/true);
+          break;
         }
       }
     }
+
+    // Deadline-driven revisits: watched links with no event this cycle
+    // still need their connect/stall/backoff deadlines checked.
+    for (Node* node : reactor.nodes) {
+      for (NodeId dst = 0; dst < node->links.size(); ++dst) {
+        if (node->watched[dst] && !node->visited[dst])
+          process_link(*node, dst, false);
+        node->visited[dst] = 0;
+      }
+    }
+
+    // The fused-timer other half: fire due timers inline for every pinned
+    // node whose executor is idle (busy ones get a worker nudge inside).
+    if (inline_ok) {
+      for (Node* node : reactor.nodes) {
+        const int fired = node->runtime->run_due_timers();
+        if (fired > 0)
+          reactor.inline_timers.fetch_add(static_cast<std::uint64_t>(fired),
+                                          std::memory_order_relaxed);
+      }
+    }
+
+    // Cycle boundary: age retired slabs one epoch and mirror the pool's
+    // single-threaded counters into the live atomics.
+    reactor.slab_pool.advance_epoch();
+    reactor.slabs_allocated.store(reactor.slab_pool.allocated(),
+                                  std::memory_order_relaxed);
+    reactor.slabs_recycled.store(reactor.slab_pool.recycled(),
+                                 std::memory_order_relaxed);
+    reactor.cycles.fetch_add(1, std::memory_order_relaxed);
   }
-  for (auto& conn : conns) ::close(conn.fd);
+  for (Node* node : reactor.nodes) {
+    for (auto& conn : node->conns) ::close(conn->fd);
+    node->conns.clear();
+  }
 }
 
 }  // namespace lsr::net

@@ -25,10 +25,10 @@
 // The data path is batched at both ends:
 //
 //   TX  send() never touches a socket. It appends the frame to a bounded
-//       per-peer outbound queue and wakes the node's io thread, which owns
+//       per-peer outbound queue and wakes the node's reactor, which owns
 //       every descriptor: it opens connections (nonblocking connect with a
-//       deadline), waits for POLLOUT, and drains each queue with a single
-//       writev per poll cycle — header+payload iovecs for as many queued
+//       deadline), waits for writability, and drains each queue with a
+//       single writev per cycle — header+payload iovecs for as many queued
 //       frames as fit one batch — resuming mid-frame after partial writes.
 //       A full queue either drops its oldest frames or blocks the sender
 //       briefly (TcpClusterOptions::overflow); a connected peer that accepts
@@ -41,6 +41,17 @@
 //       keep the slab alive (net::Payload) — no payload byte is copied
 //       between the socket and the endpoint handler, matching the inproc
 //       host's move-through-mailbox delivery.
+//
+// The io side runs as a small set of *reactors* — one per core by default,
+// each an epoll (or poll, feature-detected / forced) event loop owning the
+// descriptors of every node pinned to it. Timer queues are fused into the
+// reactor: its wait deadline is min(link deadlines, earliest NodeRuntime
+// timer), and when a node's executor is idle the reactor runs both message
+// handlers and due timer callbacks inline on the io thread — for every
+// node, multi-executor ones included — falling back to the executor
+// mailboxes only under load. Receive slabs come from a per-reactor
+// SlabPool with epoch-based reclamation, so retired slabs are recycled
+// instead of re-allocated even while handlers hold lent Payload spans.
 //
 // Execution mirrors InprocCluster exactly — both hosts run the shared
 // net::NodeRuntime (one worker thread per executor group, per-node timer
@@ -64,6 +75,7 @@
 
 #include "common/types.h"
 #include "common/wire.h"
+#include "core/stats.h"
 #include "net/context.h"
 #include "net/executor.h"
 #include "net/membership.h"
@@ -88,9 +100,23 @@ class FrameReader {
  public:
   using Sink = std::function<void(NodeId, Payload&&)>;
 
+  // When `pool` is given every slab is acquired from it and retired back on
+  // replacement (and on destruction), so exhausted slabs get recycled once
+  // their lent Payload spans release; without a pool slabs are plain
+  // allocations, exactly as before.
   explicit FrameReader(
-      std::size_t max_payload = FrameHeader::kDefaultMaxPayload)
-      : max_payload_(max_payload) {}
+      std::size_t max_payload = FrameHeader::kDefaultMaxPayload,
+      SlabPool* pool = nullptr)
+      : max_payload_(max_payload), pool_(pool) {}
+
+  ~FrameReader() {
+    if (pool_ && slab_) pool_->retire(std::move(slab_));
+  }
+
+  FrameReader(const FrameReader&) = delete;
+  FrameReader& operator=(const FrameReader&) = delete;
+  FrameReader(FrameReader&&) = default;
+  FrameReader& operator=(FrameReader&&) = default;
 
   // Contiguous writable tail of the slab, at least min_size bytes (the slab
   // is grown or replaced as needed; a torn frame's prefix moves with it).
@@ -110,6 +136,7 @@ class FrameReader {
   bool parse(const Sink& sink);
 
   std::size_t max_payload_;
+  SlabPool* pool_ = nullptr;
   std::shared_ptr<Bytes> slab_;
   std::size_t parse_pos_ = 0;  // first unparsed byte
   std::size_t write_pos_ = 0;  // one past the last received byte
@@ -168,6 +195,21 @@ struct TcpClusterOptions {
   // buffering.
   int so_sndbuf = 0;  // outgoing connections
   int so_rcvbuf = 0;  // listeners (inherited by accepted connections)
+
+  // Which readiness multiplexer the reactors run on. kAuto picks epoll when
+  // the build detected <sys/epoll.h> (LSR_HAVE_EPOLL), poll otherwise;
+  // kEpoll on a poll-only build falls back to poll. The environment variable
+  // LSR_TCP_BACKEND=poll|epoll overrides this option entirely — it is how
+  // CI forces whole test suites through the fallback backend without
+  // touching their sources.
+  enum class Backend { kAuto, kEpoll, kPoll };
+  Backend backend = Backend::kAuto;
+
+  // Reactor (io thread) count; 0 = one per hardware core, capped by the
+  // hosted node count. Nodes are pinned round-robin in add order (node i →
+  // reactor i % n), so shards sharing a reactor also share its inline
+  // execution and slab pool.
+  std::size_t reactors = 0;
 };
 
 class TcpCluster {
@@ -248,10 +290,33 @@ class TcpCluster {
   // stalls, failed connects and pause discards.
   std::uint64_t dropped_frames(NodeId node) const;
 
+  // The multiplexer the reactors actually run on ("epoll" or "poll"), after
+  // option / build / environment resolution. Valid once constructed.
+  const char* backend_name() const;
+
+  // True when this build compiled the epoll backend in (LSR_HAVE_EPOLL).
+  static bool epoll_available();
+
+  // Number of reactor threads this cluster runs (resolved from
+  // options.reactors at start(); 0 before the first start()).
+  std::size_t reactor_count() const;
+
+  // Aggregated hot-path counters across every reactor; readable live (the
+  // counters are relaxed atomics) and after stop().
+  core::ReactorHotPathStats hot_path_stats() const;
+
  private:
   struct PeerLink;
   struct Node;
   class TcpContext;
+  struct FdSource;
+  struct AcceptedConn;
+  class Poller;
+  class PollPoller;
+#ifdef LSR_HAVE_EPOLL
+  class EpollPoller;
+#endif
+  struct Reactor;
 
   TimeNs now() const;
   // Resolves a member id to the Node hosted in this process (nullptr when
@@ -260,21 +325,24 @@ class TcpCluster {
   Node& local(NodeId id) const;
   Node& make_node(NodeId id, const std::string& bind_host, std::uint16_t port,
                   const EndpointFactory& factory);
-  void io_loop(Node& node);
+  void io_loop(Reactor& reactor);
   void send_from(Node& src, NodeId dst, Bytes data);
   void wake_io(Node& node);
+  void wake_reactor(Reactor& reactor);
   // io-thread link state machine (caller holds the link's mutex):
   void link_begin_connect(Node& src, NodeId dst, PeerLink& link);
   void link_finish_connect(Node& src, PeerLink& link);
   void link_drain(Node& src, PeerLink& link);
   void link_reset(Node& src, PeerLink& link, bool discard_queue);
 
+  bool use_epoll_ = false;  // resolved in the constructor
   TcpClusterOptions options_;
   Membership membership_;
   // Membership form: add_node(id, ...) may host any table subset. Loopback
   // form: ids are assigned densely and membership_ mirrors nodes_.
   bool explicit_membership_ = false;
   std::vector<std::unique_ptr<Node>> nodes_;  // locally hosted, in add order
+  std::vector<std::unique_ptr<Reactor>> reactors_;
   std::atomic<bool> running_{false};
   bool started_ = false;
   bool stopped_ = false;  // stop() is final: listeners are gone
