@@ -4,6 +4,8 @@
 #include "common/rng.h"
 #include "common/wire.h"
 #include "core/messages.h"
+#include "kv/interned_key.h"
+#include "kv/shard.h"
 #include "lattice/gcounter.h"
 
 namespace {
@@ -67,6 +69,42 @@ void BM_MergeMessageRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MergeMessageRoundTrip);
+
+// The keyed stores' per-message send path, before and after key interning.
+// Re-encode is what KeyedContext::send used to do for EVERY outgoing message
+// of a key's protocol instance: re-derive the envelope header (tag + varint
+// hash + varint key length + key bytes) through the Encoder. The interned
+// path memcpys the header the key was interned with once and appends the
+// inner message — the win is every heartbeat, ack and reply of every hosted
+// key. Arg is the key length; the inner message is a typical small protocol
+// frame.
+void BM_EnvelopeReencode(benchmark::State& state) {
+  const std::string key(static_cast<std::size_t>(state.range(0)), 'k');
+  const std::uint32_t hash = kv::fnv1a(key);
+  const Bytes inner(64, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv::make_envelope(hash, key, inner));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnvelopeReencode)->Arg(16)->Arg(64);
+
+void BM_EnvelopePrefix(benchmark::State& state) {
+  const std::string key(static_cast<std::size_t>(state.range(0)), 'k');
+  const kv::InternedKey interned =
+      kv::InternedKey::intern(key, kv::fnv1a(key), kv::kEnvelopeTag);
+  const Bytes inner(64, 0x5A);
+  for (auto _ : state) {
+    const ByteSpan prefix = interned.envelope_prefix();
+    Bytes out;
+    out.reserve(prefix.size() + inner.size());
+    out.insert(out.end(), prefix.begin(), prefix.end());
+    out.insert(out.end(), inner.begin(), inner.end());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnvelopePrefix)->Arg(16)->Arg(64);
 
 void BM_StringRoundTrip(benchmark::State& state) {
   const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');

@@ -263,16 +263,31 @@ RunResult run_kv_workload(const KvRunConfig& config) {
   result.bytes_sent = sim.bytes_sent();
   // Log growth of the keyed baselines: per-node sum over every key's peak
   // log, maxed over the replicas (the CRDT stores keep no log at all).
+  // Memory accounting comes from the same per-replica sweep.
+  const auto fold_memory = [&result](const core::KeyedMemoryStats& mem) {
+    result.hosted_keys = std::max(result.hosted_keys, mem.keys);
+    result.bytes_per_key = std::max(result.bytes_per_key, mem.bytes_per_key());
+    result.parked_keys += mem.parked_keys;
+    result.idle_parks += mem.idle_parks;
+    result.idle_unparks += mem.idle_unparks;
+  };
   if (config.system == System::kMultiPaxos) {
-    for (std::size_t i = 0; i < config.replicas; ++i)
+    for (std::size_t i = 0; i < config.replicas; ++i) {
+      const auto& store = sim.endpoint_as<PaxosStore>(replica_ids[i]);
       result.peak_log_entries =
-          std::max(result.peak_log_entries,
-                   sim.endpoint_as<PaxosStore>(replica_ids[i]).peak_log_entries());
+          std::max(result.peak_log_entries, store.peak_log_entries());
+      fold_memory(store.memory_stats());
+    }
   } else if (config.system == System::kRaft) {
-    for (std::size_t i = 0; i < config.replicas; ++i)
+    for (std::size_t i = 0; i < config.replicas; ++i) {
+      const auto& store = sim.endpoint_as<RaftStore>(replica_ids[i]);
       result.peak_log_entries =
-          std::max(result.peak_log_entries,
-                   sim.endpoint_as<RaftStore>(replica_ids[i]).peak_log_entries());
+          std::max(result.peak_log_entries, store.peak_log_entries());
+      fold_memory(store.memory_stats());
+    }
+  } else {
+    for (std::size_t i = 0; i < config.replicas; ++i)
+      fold_memory(sim.endpoint_as<Store>(replica_ids[i]).memory_stats());
   }
   return result;
 }

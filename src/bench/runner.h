@@ -79,6 +79,15 @@ struct RunResult {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
 
+  // Keyed stores only (run_kv_workload): per-replica memory footprint of the
+  // hosted key instances and idle-demotion counters. hosted_keys/bytes_per_key
+  // are the max over replicas; park counters are summed over replicas.
+  std::uint64_t hosted_keys = 0;
+  double bytes_per_key = 0;
+  std::uint64_t parked_keys = 0;  // parked when the run ended
+  std::uint64_t idle_parks = 0;
+  std::uint64_t idle_unparks = 0;
+
   double percentile_read_ms(double q) const {
     return static_cast<double>(read_latency.percentile(q)) / kMillisecond;
   }
@@ -125,13 +134,23 @@ struct KvRunConfig {
   // Log-baseline knobs (kMultiPaxos, kRaft). Defaults relax the single-key
   // heartbeat cadence: every key runs its own leader, so the single-key
   // 1 ms heartbeat would multiply into pure per-key background traffic.
+  // Both log baselines default to idle demotion after 16 quiet heartbeat
+  // intervals (80 ms): every key runs its own leader, and without demotion
+  // the background heartbeat traffic scales with the keyspace instead of the
+  // active set. Set idle_demote_intervals = 0 to measure the undemoted
+  // baseline (the scale_keys ablation does exactly that).
   paxos::PaxosConfig paxos = [] {
     paxos::PaxosConfig config;
     config.heartbeat_interval = 5 * kMillisecond;
     config.lease_duration = 25 * kMillisecond;
+    config.idle_demote_intervals = 16;
     return config;
   }();
-  raft::RaftConfig raft;
+  raft::RaftConfig raft = [] {
+    raft::RaftConfig config;
+    config.idle_demote_intervals = 16;
+    return config;
+  }();
 
   // Client retransmission (same request id + key) after this timeout;
   // 0 = off. With it on the nemesis may drop client-facing frames too

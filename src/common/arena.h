@@ -1,0 +1,145 @@
+// Bump-pointer chunk arena with size-bucketed reuse — the allocation engine
+// behind the keyed stores' per-key protocol instances.
+//
+// Why not plain `new` per key: a million-key replica makes a million tiny,
+// heap-scattered allocations per store (instance + map node + key string),
+// each paying malloc header overhead and fragmenting the heap, and a key
+// churn (evict + recreate) round-trips the global allocator every time. The
+// arena carves instances out of large chunks instead and recycles freed
+// blocks through per-size free lists, so steady-state churn allocates
+// nothing.
+//
+// Concurrency contract: NONE. One arena belongs to one shard, and a shard is
+// a serial execution domain (one lane / executor group) — the same ownership
+// discipline the shard's instance map already relies on. Never share an
+// arena across shards or threads.
+//
+// Blocks handed out by `allocate` stay valid until `deallocate` (or the
+// arena's destruction); freed blocks are reused for later allocations of the
+// same size class, so dangling pointers into freed blocks are real
+// use-after-frees — the keyed churn tests run this under ASan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace lsr {
+
+class Arena {
+ public:
+  struct Stats {
+    std::size_t chunks = 0;          // chunk allocations taken from the heap
+    std::size_t bytes_reserved = 0;  // total chunk bytes owned by the arena
+    std::size_t bytes_live = 0;      // bytes in blocks currently handed out
+    std::uint64_t allocations = 0;   // total allocate() calls
+    std::uint64_t reuses = 0;        // allocations served from a free list
+  };
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes < kMinAlign ? kMinAlign : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    for (auto& chunk : chunks_) ::operator delete(chunk.base);
+  }
+
+  // Alignment is capped at kMinAlign (16): every block start is 16-aligned,
+  // which covers every type the keyed stores place here.
+  void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t)) {
+    LSR_EXPECTS(align <= kMinAlign);
+    const std::size_t rounded = round_up(size);
+    ++stats_.allocations;
+    stats_.bytes_live += rounded;
+    const auto free_it = free_lists_.find(rounded);
+    if (free_it != free_lists_.end() && free_it->second != nullptr) {
+      FreeBlock* block = free_it->second;
+      free_it->second = block->next;
+      ++stats_.reuses;
+      return block;
+    }
+    if (chunks_.empty() || chunks_.back().used + rounded > chunks_.back().size) {
+      const std::size_t chunk_size =
+          rounded > chunk_bytes_ ? rounded : chunk_bytes_;
+      chunks_.push_back(Chunk{
+          static_cast<std::uint8_t*>(::operator new(chunk_size)), 0,
+          chunk_size});
+      ++stats_.chunks;
+      stats_.bytes_reserved += chunk_size;
+    }
+    Chunk& chunk = chunks_.back();
+    void* out = chunk.base + chunk.used;
+    chunk.used += rounded;
+    return out;
+  }
+
+  // Returns a block to its size class. `size` must be the original request.
+  void deallocate(void* p, std::size_t size) noexcept {
+    if (p == nullptr) return;
+    const std::size_t rounded = round_up(size);
+    stats_.bytes_live -= rounded;
+    auto* block = static_cast<FreeBlock*>(p);
+    auto& head = free_lists_[rounded];
+    block->next = head;
+    head = block;
+  }
+
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(alignof(T) <= kMinAlign);
+    void* mem = allocate(sizeof(T), alignof(T));
+    try {
+      return new (mem) T(std::forward<Args>(args)...);
+    } catch (...) {
+      deallocate(mem, sizeof(T));
+      throw;
+    }
+  }
+
+  template <typename T>
+  void destroy(T* p) noexcept {
+    if (p == nullptr) return;
+    p->~T();
+    deallocate(p, sizeof(T));
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  static constexpr std::size_t kMinAlign = 16;
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+ private:
+  struct FreeBlock {
+    FreeBlock* next = nullptr;
+  };
+
+  struct Chunk {
+    std::uint8_t* base = nullptr;
+    std::size_t used = 0;
+    std::size_t size = 0;
+  };
+
+  // Every block is at least one free-list node big and 16-aligned, so a
+  // freed block can always hold its own list link.
+  static constexpr std::size_t round_up(std::size_t size) {
+    const std::size_t floor = size < sizeof(FreeBlock) ? sizeof(FreeBlock) : size;
+    return (floor + kMinAlign - 1) & ~(kMinAlign - 1);
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  // size class (rounded bytes) -> singly linked free list threaded through
+  // the freed blocks themselves. A store hosts a handful of size classes
+  // (one instance type + key reps), so the map stays tiny.
+  std::unordered_map<std::size_t, FreeBlock*> free_lists_;
+  Stats stats_;
+};
+
+}  // namespace lsr

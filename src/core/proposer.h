@@ -64,10 +64,21 @@ class Proposer {
     quorum_ = replicas_.size() / 2 + 1;
   }
 
-  // Called from Endpoint::on_start / on_recover: arms the batch flush timer.
-  void start() {
-    if (config_.batch_interval > 0) arm_flush_timer();
+  // Eviction safety: a keyed store destroys per-key proposers while the
+  // hosting context lives on — any timer left armed would fire into freed
+  // (arena-recycled) memory.
+  ~Proposer() {
+    ctx_.cancel_timer(flush_timer_);
+    for (auto& [id, op] : updates_) ctx_.cancel_timer(op.timer);
+    for (auto& [id, op] : queries_) ctx_.cancel_timer(op.timer);
   }
+
+  // Called from Endpoint::on_start. The flush timer is demand-driven: it
+  // arms on the first buffered command, ticks while anything is pending or
+  // in flight, and falls silent when the proposer goes fully idle — a hosted
+  // key costs zero timer events until someone talks to it (a million parked
+  // keys would otherwise fire a million empty flushes per interval).
+  void start() {}
 
   void on_recover() {
     // Crash-recovery: in-flight protocol instances lost their timers; the
@@ -85,7 +96,9 @@ class Proposer {
     // were already applied stay in applied_unacked, so the retry runs the
     // no-reapply reconfirm path instead of double-applying.
     for (auto& [client, session] : sessions_) session.admitted.clear();
-    if (config_.batch_interval > 0) arm_flush_timer();
+    // Crash-recovery dropped the flush timer with everything else; the
+    // batches were just cleared, so it re-arms on the next buffered command.
+    flush_timer_ = net::kInvalidTimer;
   }
 
   const ProposerStats& stats() const { return stats_; }
@@ -119,6 +132,7 @@ class Proposer {
     Command cmd{msg.request, client, msg.op, std::move(msg.args)};
     if (config_.batch_interval > 0) {
       update_batch_.push_back(std::move(cmd));
+      if (flush_timer_ == net::kInvalidTimer) arm_flush_timer();
       return;
     }
     std::vector<Command> single;
@@ -135,6 +149,7 @@ class Proposer {
     Command cmd{msg.request, client, msg.op, std::move(msg.args)};
     if (config_.batch_interval > 0) {
       query_batch_.push_back(std::move(cmd));
+      if (flush_timer_ == net::kInvalidTimer) arm_flush_timer();
       return;
     }
     std::vector<Command> single;
@@ -596,7 +611,7 @@ class Proposer {
   }
 
   void flush_batches() {
-    arm_flush_timer();
+    flush_timer_ = net::kInvalidTimer;  // fired; re-armed below if needed
     const bool update_busy = updates_in_flight_ > 0;
     if (!update_batch_.empty() && !update_busy) {
       std::vector<Command> batch = std::move(update_batch_);
@@ -606,6 +621,12 @@ class Proposer {
     // Queries wait for an in-flight/just-started update batch (they are
     // flushed from finish_update instead) so they observe the merged state.
     if (updates_in_flight_ == 0) maybe_flush_queries();
+    // Keep ticking while anything is buffered or in flight (in-flight ops
+    // can leave their successors waiting on the next tick); go silent on a
+    // fully idle key. The next buffered command re-arms.
+    if (!update_batch_.empty() || !query_batch_.empty() ||
+        updates_in_flight_ > 0 || queries_in_flight_ > 0)
+      arm_flush_timer();
   }
 
   void maybe_flush_queries() {

@@ -68,6 +68,32 @@ struct ReactorHotPathStats {
   }
 };
 
+// Memory accounting of a keyed store (CRDT ShardedStore / KeyedLogStore):
+// everything the store's shards own per key — arena chunks holding the
+// protocol instances and interned key blocks, plus an estimate of the shard
+// maps' node + bucket overhead. Feeds the bytes/key curves of
+// bench/scale_keys (the at-scale version of the paper's Fig. 1 memory
+// argument).
+struct KeyedMemoryStats {
+  std::uint64_t keys = 0;
+  // Keys whose per-key leader parked its heartbeat/lease (idle demotion);
+  // always 0 for the CRDT store, which has no per-key background traffic.
+  std::uint64_t parked_keys = 0;
+  std::uint64_t arena_reserved_bytes = 0;  // chunk bytes owned by the arenas
+  std::uint64_t arena_live_bytes = 0;      // bytes in live blocks
+  std::uint64_t interned_key_bytes = 0;    // shared key blocks (subset of live)
+  std::uint64_t map_overhead_bytes = 0;    // shard map nodes + bucket arrays
+  std::uint64_t idle_parks = 0;            // demotions (log backends)
+  std::uint64_t idle_unparks = 0;          // re-arms on traffic (log backends)
+
+  double bytes_per_key() const {
+    return keys == 0 ? 0.0
+                     : static_cast<double>(arena_reserved_bytes +
+                                           map_overhead_bytes) /
+                           static_cast<double>(keys);
+  }
+};
+
 struct ProposerHooks {
   // Invoked once per completed *query command* with the number of round
   // trips its protocol instance needed (Fig. 3 of the paper).

@@ -1,0 +1,195 @@
+// Refcounted interned key for the keyed stores.
+//
+// One heap block per key holds everything every layer used to copy
+// separately: the refcount, the FNV-1a routing hash, and the fully encoded
+// shard-envelope prefix (tag + varint hash + varint key length + key bytes —
+// the exact byte layout make_envelope produces). The key string itself is
+// the tail of the prefix, so the shard map, the per-key KeyedContext and the
+// per-message envelope header all share a single allocation:
+//   * KeyedContext::send prepends the cached prefix instead of re-encoding
+//     the tag + hash + key varints for every outgoing message;
+//   * the shard map keys by InternedKey (transparent string_view probing
+//     stays allocation-free);
+//   * evicting a key releases exactly one block back to its shard arena.
+//
+// Concurrency contract: the refcount is NOT atomic. An InternedKey and all
+// its copies belong to one shard (one serial execution domain), exactly like
+// the Arena the rep lives in. Reps allocated from an arena must be fully
+// released before that arena dies — the keyed stores guarantee this by
+// destroying a shard's instances before the shard's arena.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "common/arena.h"
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace lsr::kv {
+
+class InternedKey {
+ public:
+  InternedKey() = default;
+
+  // Interns `key` with its precomputed routing hash. `arena == nullptr`
+  // falls back to the global heap (tests, ad-hoc callers).
+  static InternedKey intern(std::string_view key, std::uint32_t key_hash,
+                            std::uint8_t envelope_tag, Arena* arena = nullptr) {
+    const std::size_t prefix_size =
+        1 + varint_size(key_hash) + varint_size(key.size()) + key.size();
+    const std::size_t total = sizeof(Rep) + prefix_size;
+    void* mem = arena != nullptr ? arena->allocate(total, alignof(Rep))
+                                 : ::operator new(total);
+    Rep* rep = new (mem) Rep;
+    rep->arena = arena;
+    rep->refs = 1;
+    rep->hash = key_hash;
+    rep->prefix_size = static_cast<std::uint32_t>(prefix_size);
+    rep->key_size = static_cast<std::uint32_t>(key.size());
+    std::uint8_t* out = rep->prefix();
+    *out++ = envelope_tag;
+    out = put_varint(out, key_hash);
+    out = put_varint(out, key.size());
+    if (!key.empty()) std::memcpy(out, key.data(), key.size());
+    return InternedKey(rep);
+  }
+
+  InternedKey(const InternedKey& other) : rep_(other.rep_) {
+    if (rep_ != nullptr) ++rep_->refs;
+  }
+  InternedKey(InternedKey&& other) noexcept
+      : rep_(std::exchange(other.rep_, nullptr)) {}
+  InternedKey& operator=(const InternedKey& other) {
+    if (this != &other) {
+      release();
+      rep_ = other.rep_;
+      if (rep_ != nullptr) ++rep_->refs;
+    }
+    return *this;
+  }
+  InternedKey& operator=(InternedKey&& other) noexcept {
+    if (this != &other) {
+      release();
+      rep_ = std::exchange(other.rep_, nullptr);
+    }
+    return *this;
+  }
+  ~InternedKey() { release(); }
+
+  explicit operator bool() const { return rep_ != nullptr; }
+
+  std::string_view view() const {
+    LSR_EXPECTS(rep_ != nullptr);
+    return std::string_view(
+        reinterpret_cast<const char*>(rep_->prefix() + rep_->prefix_size -
+                                      rep_->key_size),
+        rep_->key_size);
+  }
+
+  std::uint32_t hash() const {
+    LSR_EXPECTS(rep_ != nullptr);
+    return rep_->hash;
+  }
+
+  // The fully encoded envelope header: prepend to an inner message to get
+  // exactly what make_envelope(hash, key, inner) would produce.
+  ByteSpan envelope_prefix() const {
+    LSR_EXPECTS(rep_ != nullptr);
+    return ByteSpan(rep_->prefix(), rep_->prefix_size);
+  }
+
+  // Heap footprint of the shared block (memory accounting).
+  std::size_t footprint_bytes() const {
+    return rep_ == nullptr ? 0 : sizeof(Rep) + rep_->prefix_size;
+  }
+
+  std::uint32_t use_count() const { return rep_ == nullptr ? 0 : rep_->refs; }
+
+ private:
+  struct Rep {
+    Arena* arena = nullptr;
+    std::uint32_t refs = 0;
+    std::uint32_t hash = 0;
+    std::uint32_t prefix_size = 0;
+    std::uint32_t key_size = 0;
+
+    std::uint8_t* prefix() {
+      return reinterpret_cast<std::uint8_t*>(this + 1);
+    }
+    const std::uint8_t* prefix() const {
+      return reinterpret_cast<const std::uint8_t*>(this + 1);
+    }
+  };
+  static_assert(alignof(Rep) <= Arena::kMinAlign);
+
+  explicit InternedKey(Rep* rep) : rep_(rep) {}
+
+  void release() noexcept {
+    if (rep_ == nullptr) return;
+    if (--rep_->refs == 0) {
+      const std::size_t total = sizeof(Rep) + rep_->prefix_size;
+      Arena* arena = rep_->arena;
+      rep_->~Rep();
+      if (arena != nullptr) {
+        arena->deallocate(rep_, total);
+      } else {
+        ::operator delete(rep_);
+      }
+    }
+    rep_ = nullptr;
+  }
+
+  static constexpr std::size_t varint_size(std::uint64_t v) {
+    std::size_t n = 1;
+    while (v >= 0x80) {
+      v >>= 7;
+      ++n;
+    }
+    return n;
+  }
+
+  static std::uint8_t* put_varint(std::uint8_t* out, std::uint64_t v) {
+    while (v >= 0x80) {
+      *out++ = static_cast<std::uint8_t>(v) | 0x80;
+      v >>= 7;
+    }
+    *out++ = static_cast<std::uint8_t>(v);
+    return out;
+  }
+
+  Rep* rep_ = nullptr;
+};
+
+// Transparent hash/equality so shard maps keyed by InternedKey can be probed
+// with the string_view carved out of an incoming envelope — no allocation,
+// no copy on the receive path.
+struct InternedKeyHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view key) const noexcept {
+    return std::hash<std::string_view>{}(key);
+  }
+  std::size_t operator()(const InternedKey& key) const noexcept {
+    return (*this)(key.view());
+  }
+};
+
+struct InternedKeyEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+  bool operator()(const InternedKey& a, std::string_view b) const noexcept {
+    return a.view() == b;
+  }
+  bool operator()(std::string_view a, const InternedKey& b) const noexcept {
+    return a == b.view();
+  }
+  bool operator()(const InternedKey& a, const InternedKey& b) const noexcept {
+    return a.view() == b.view();
+  }
+};
+
+}  // namespace lsr::kv

@@ -1,34 +1,39 @@
 // Per-key net::Context decorator shared by the keyed stores (the CRDT
 // ShardedStore and the log-baseline KeyedLogStore): every outgoing message
-// of one key's protocol instance is prefixed with the key's shard envelope
-// (hash precomputed once at instance creation), and instance-relative timer
-// lanes are translated onto the lane block the hosting store assigned to the
-// key's shard. The wrapped instance never learns it is multiplexed.
+// of one key's protocol instance is prefixed with the key's shard envelope,
+// and instance-relative timer lanes are translated onto the lane block the
+// hosting store assigned to the key's shard. The wrapped instance never
+// learns it is multiplexed.
+//
+// The envelope header (tag + varint hash + varint key length + key bytes) is
+// encoded exactly once, at interning time; send() is a reserve + two
+// appends. The store's map entry and this context share the same interned
+// block, so the key bytes exist once per (node, key).
 #pragma once
 
 #include <functional>
-#include <string>
 #include <utility>
 
 #include "common/types.h"
-#include "kv/shard.h"
+#include "kv/interned_key.h"
 #include "net/context.h"
 
 namespace lsr::kv {
 
 class KeyedContext final : public net::Context {
  public:
-  KeyedContext(net::Context& inner, std::string key, std::uint32_t key_hash,
-               int base_lane)
-      : inner_(inner),
-        key_(std::move(key)),
-        key_hash_(key_hash),
-        base_lane_(base_lane) {}
+  KeyedContext(net::Context& inner, InternedKey key, int base_lane)
+      : inner_(inner), key_(std::move(key)), base_lane_(base_lane) {}
 
   NodeId self() const override { return inner_.self(); }
   TimeNs now() const override { return inner_.now(); }
   void send(NodeId dst, Bytes data) override {
-    inner_.send(dst, make_envelope(key_hash_, key_, data));
+    const ByteSpan prefix = key_.envelope_prefix();
+    Bytes out;
+    out.reserve(prefix.size() + data.size());
+    out.insert(out.end(), prefix.begin(), prefix.end());
+    out.insert(out.end(), data.begin(), data.end());
+    inner_.send(dst, std::move(out));
   }
   net::TimerId set_timer(TimeNs delay, int lane,
                          std::function<void()> fn) override {
@@ -37,10 +42,11 @@ class KeyedContext final : public net::Context {
   void cancel_timer(net::TimerId id) override { inner_.cancel_timer(id); }
   void consume(TimeNs cost) override { inner_.consume(cost); }
 
+  const InternedKey& key() const { return key_; }
+
  private:
   net::Context& inner_;
-  std::string key_;
-  std::uint32_t key_hash_;
+  InternedKey key_;
   int base_lane_;
 };
 

@@ -3,9 +3,11 @@
 // all three systems run the identical multi-key workload — the Fig. 1-style
 // comparison on a realistic Zipfian keyspace instead of a single counter.
 //
-// Same two-level structure and the exact same wire envelope as the CRDT
-// store (shard.h: tag + FNV-1a key hash + key + inner message), so clients,
-// recording clients and transports are shared unchanged:
+// Same two-level structure, the exact same wire envelope as the CRDT store
+// (shard.h: tag + FNV-1a key hash + key + inner message), and the same
+// memory engine (per-shard arenas + interned keys + evict(), see
+// sharded_store.h), so clients, recording clients and transports are shared
+// unchanged:
 //   shard = unit of parallelism. The log baselines run a single peer FSM per
 //           instance (one execution lane), so each shard maps onto ONE lane
 //           (its own executor group), not the CRDT store's
@@ -15,23 +17,30 @@
 //           — created on demand on first touch. This is the honest cost of
 //           "fine-granular" log-based SMR the paper argues against: per-key
 //           leaders, per-key heartbeat traffic and per-key log storage.
+//           Idle-key demotion (Config::idle_demote_intervals) parks the
+//           per-key heartbeat/election machinery after N quiet intervals so
+//           background traffic scales with the ACTIVE key set; parked keys
+//           re-arm on the next command.
 //
 // Backend contract: constructor (Context&, vector<NodeId>, Config), a
 // Config typedef, span on_message(NodeId, const uint8_t*, size_t),
-// on_start/on_recover, stats() with a peak_log_entries field, is_leader().
-// paxos::MultiPaxosReplica and raft::RaftReplica both satisfy it.
+// on_start/on_recover, stats() with peak_log_entries + idle_parks +
+// idle_unparks fields, is_leader(), is_parked(), and a destructor that
+// cancels its timers (eviction safety). paxos::MultiPaxosReplica and
+// raft::RaftReplica both satisfy it.
 #pragma once
 
-#include <memory>
-#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/assert.h"
 #include "common/logging.h"
 #include "common/types.h"
+#include "core/stats.h"
+#include "kv/interned_key.h"
 #include "kv/keyed_context.h"
 #include "kv/shard.h"
 #include "net/context.h"
@@ -132,7 +141,8 @@ class KeyedLogStore final : public net::Endpoint {
     return shard.instances.find(key) != shard.instances.end();
   }
 
-  // Access to a key's backend replica (creates the instance if absent).
+  // Access to a key's backend replica (creates the instance if absent) —
+  // the same lazy-create path on_message uses for remote envelopes.
   Backend& replica_for(std::string_view key) {
     return instance(fnv1a(key), key).replica;
   }
@@ -147,6 +157,16 @@ class KeyedLogStore final : public net::Endpoint {
     return n;
   }
 
+  // Keys whose per-key machinery is currently parked by idle demotion (the
+  // leader stopped heartbeating / followers canceled failover timers).
+  std::size_t parked_key_count() const {
+    std::size_t n = 0;
+    for (const auto& shard : shards_)
+      for (const auto& [key, instance] : shard.instances)
+        if (instance->replica.is_parked()) ++n;
+    return n;
+  }
+
   // Aggregate log footprint across all keys hosted on this node: the sum of
   // per-key peak log sizes (each key pays its own log — the storage argument
   // of the paper against fine-granular log-based SMR).
@@ -158,45 +178,93 @@ class KeyedLogStore final : public net::Endpoint {
     return total;
   }
 
+  // Drops a key's backend instance and returns its memory (instance block +
+  // interned key) to the shard arena for reuse. Local-only and destructive:
+  // this node's copy of the key's log, role and timers are discarded
+  // (destructors cancel the timers); the key itself survives on the other
+  // replicas and a later touch here rejoins via the protocol's catch-up.
+  bool evict(std::string_view key) {
+    Shard& shard = shards_[shard_of(key)];
+    const auto it = shard.instances.find(key);
+    if (it == shard.instances.end()) return false;
+    Instance* inst = it->second;
+    shard.instances.erase(it);
+    shard.arena.destroy(inst);
+    return true;
+  }
+
+  // Memory + demotion accounting across all shards.
+  core::KeyedMemoryStats memory_stats() const {
+    core::KeyedMemoryStats out;
+    for (const auto& shard : shards_) {
+      const Arena::Stats& arena = shard.arena.stats();
+      out.keys += shard.instances.size();
+      out.arena_reserved_bytes += arena.bytes_reserved;
+      out.arena_live_bytes += arena.bytes_live;
+      out.map_overhead_bytes += map_overhead(shard.instances);
+      for (const auto& [key, instance] : shard.instances) {
+        out.interned_key_bytes += key.footprint_bytes();
+        if (instance->replica.is_parked()) ++out.parked_keys;
+        out.idle_parks += instance->replica.stats().idle_parks;
+        out.idle_unparks += instance->replica.stats().idle_unparks;
+      }
+    }
+    return out;
+  }
+
  private:
   struct Instance {
-    Instance(net::Context& outer, std::string_view key, std::uint32_t key_hash,
-             int base_lane, const std::vector<NodeId>& replicas,
-             const Config& config)
-        : context(outer, std::string(key), key_hash, base_lane),
+    Instance(net::Context& outer, InternedKey key, int base_lane,
+             const std::vector<NodeId>& replicas, const Config& config)
+        : context(outer, std::move(key), base_lane),
           replica(context, replicas,
-                  per_key_config(config, key_hash, outer.self())) {}
+                  per_key_config(config, context.key().hash(), outer.self())) {}
 
     KeyedContext context;
     Backend replica;
   };
 
-  // Transparent lookup: incoming messages probe with the envelope's
-  // string_view, no key copy on the hot path (same as ShardedStore).
-  struct KeyHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view key) const noexcept {
-      return std::hash<std::string_view>{}(key);
+  using InstanceMap =
+      std::unordered_map<InternedKey, Instance*, InternedKeyHash,
+                         InternedKeyEq>;
+
+  static std::uint64_t map_overhead(const InstanceMap& map) {
+    return map.bucket_count() * sizeof(void*) +
+           map.size() * (sizeof(typename InstanceMap::value_type) +
+                         2 * sizeof(void*));
+  }
+
+  struct Shard {
+    // Declared before the map: instances (and their interned keys) release
+    // into the arena, so they must be destroyed first — see ~Shard.
+    Arena arena;
+    InstanceMap instances;
+
+    Shard() = default;
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+    ~Shard() {
+      for (auto& [key, instance] : instances) arena.destroy(instance);
+      instances.clear();
     }
   };
 
-  struct Shard {
-    std::unordered_map<std::string, std::unique_ptr<Instance>, KeyHash,
-                       std::equal_to<>>
-        instances;
-  };
-
+  // The one shared lazy-create path for both first-touch directions (local
+  // command via replica_for, remote envelope via on_message).
   Instance& instance(std::uint32_t key_hash, std::string_view key) {
     const ShardId shard_id = shard_of_hash(key_hash, shard_count());
     Shard& shard = shards_[shard_id];
     const auto it = shard.instances.find(key);
     if (it != shard.instances.end()) return *it->second;
-    auto created = std::make_unique<Instance>(ctx_, key, key_hash,
-                                              static_cast<int>(shard_id),
-                                              replicas_, config_);
+    InternedKey interned =
+        InternedKey::intern(key, key_hash, kEnvelopeTag, &shard.arena);
+    Instance* created =
+        shard.arena.template create<Instance>(ctx_, interned,
+                                     static_cast<int>(shard_id), replicas_,
+                                     config_);
+    shard.instances.emplace(std::move(interned), created);
     created->replica.on_start();
-    return *shard.instances.emplace(std::string(key), std::move(created))
-                .first->second;
+    return *created;
   }
 
   net::Context& ctx_;

@@ -12,25 +12,36 @@
 //            InprocCluster runs one worker thread per shard (executor group).
 //   key    = unit of replication. Every key gets its own acceptor/proposer
 //            pair (protocol state: the CRDT payload + one round — still no
-//            log), created on demand on first touch.
+//            log), created on demand on first touch — through ONE shared
+//            path whether the first touch is a local client command
+//            (replica_for) or a remote envelope (on_message).
+//
+// Memory engine: per-key instances live in per-shard arenas (bump chunks +
+// size-bucketed reuse, see common/arena.h), keyed by refcounted interned
+// keys whose single block also carries the precomputed envelope prefix the
+// KeyedContext sends with (see kv/interned_key.h). evict() returns a key's
+// instance and key block to the shard arena's free lists, so key churn
+// allocates nothing in steady state. memory_stats() reports the resulting
+// bytes/key (bench/scale_keys pins the curve in CI).
 //
 // Messages are wrapped in a compact shard envelope (see shard.h) carrying
 // the key's FNV-1a hash; routing to a shard masks the hash and never parses
 // the key, and the envelope is decoded exactly once per message.
 #pragma once
 
-#include <memory>
-#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/logging.h"
 #include "common/types.h"
 #include "common/wire.h"
 #include "core/messages.h"
 #include "core/replica.h"
+#include "core/stats.h"
+#include "kv/interned_key.h"
 #include "kv/keyed_context.h"
 #include "kv/shard.h"
 #include "net/context.h"
@@ -137,53 +148,103 @@ class ShardedStore final : public net::Endpoint {
     return shard.instances.find(key) != shard.instances.end();
   }
 
-  // Access to a key's replica (creates the instance if absent).
+  // Access to a key's replica (creates the instance if absent) — the same
+  // lazy-create path on_message uses for remote envelopes.
   core::Replica<L>& replica_for(std::string_view key) {
     return instance(fnv1a(key), key).replica;
   }
 
+  // Drops a key's protocol instance and returns its memory (instance block +
+  // interned key) to the shard arena for reuse. Local-only and destructive:
+  // the CRDT payload, session table and any in-flight per-key ops on THIS
+  // node are discarded (timers are canceled by the instance destructors).
+  // Callers evict keys they consider idle; a later touch recreates the key
+  // from scratch and merges state back in via the protocol.
+  bool evict(std::string_view key) {
+    Shard& shard = shards_[shard_of(key)];
+    const auto it = shard.instances.find(key);
+    if (it == shard.instances.end()) return false;
+    Instance* inst = it->second;
+    shard.instances.erase(it);
+    shard.arena.destroy(inst);
+    return true;
+  }
+
+  // Memory accounting across all shards (see core::KeyedMemoryStats).
+  core::KeyedMemoryStats memory_stats() const {
+    core::KeyedMemoryStats out;
+    for (const auto& shard : shards_) {
+      const Arena::Stats& arena = shard.arena.stats();
+      out.keys += shard.instances.size();
+      out.arena_reserved_bytes += arena.bytes_reserved;
+      out.arena_live_bytes += arena.bytes_live;
+      out.map_overhead_bytes += map_overhead(shard.instances);
+      for (const auto& [key, instance] : shard.instances)
+        out.interned_key_bytes += key.footprint_bytes();
+    }
+    return out;
+  }
+
  private:
   // Per-key context (shared with the keyed log baselines): prefixes every
-  // outgoing message with the key's shard envelope and translates the
-  // instance-relative lane of timers onto the shard's lane pair.
+  // outgoing message with the key's precomputed shard envelope and
+  // translates the instance-relative lane of timers onto the shard's lane
+  // pair.
   struct Instance {
-    Instance(net::Context& outer, std::string_view key, std::uint32_t key_hash,
-             int base_lane, const std::vector<NodeId>& replicas,
+    Instance(net::Context& outer, InternedKey key, int base_lane,
+             const std::vector<NodeId>& replicas,
              const core::ProtocolConfig& config, const core::Ops<L>& ops,
              const L& initial)
-        : context(outer, std::string(key), key_hash, base_lane),
+        : context(outer, std::move(key), base_lane),
           replica(context, replicas, config, ops, initial) {}
 
     KeyedContext context;
     core::Replica<L> replica;
   };
 
-  // Transparent lookup so incoming messages probe the map with the
-  // string_view from the envelope — no key copy on the hot path.
-  struct KeyHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view key) const noexcept {
-      return std::hash<std::string_view>{}(key);
+  using InstanceMap =
+      std::unordered_map<InternedKey, Instance*, InternedKeyHash,
+                         InternedKeyEq>;
+
+  static std::uint64_t map_overhead(const InstanceMap& map) {
+    // Estimate: one bucket pointer per bucket plus a node (value + hash +
+    // link) per entry — the libstdc++ layout; close enough for the curve.
+    return map.bucket_count() * sizeof(void*) +
+           map.size() * (sizeof(typename InstanceMap::value_type) +
+                         2 * sizeof(void*));
+  }
+
+  struct Shard {
+    // Declared before the map: instances (and their interned keys) release
+    // into the arena, so they must be destroyed first — see ~Shard.
+    Arena arena;
+    InstanceMap instances;
+
+    Shard() = default;
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+    ~Shard() {
+      for (auto& [key, instance] : instances) arena.destroy(instance);
+      instances.clear();
     }
   };
 
-  struct Shard {
-    std::unordered_map<std::string, std::unique_ptr<Instance>, KeyHash,
-                       std::equal_to<>>
-        instances;
-  };
-
+  // The one shared lazy-create path: local commands (replica_for) and remote
+  // envelopes (on_message) both land here, so a key first touched by a
+  // receive behaves identically to one first touched by a send.
   Instance& instance(std::uint32_t key_hash, std::string_view key) {
     const ShardId shard_id = shard_of_hash(key_hash, shard_count());
     Shard& shard = shards_[shard_id];
     const auto it = shard.instances.find(key);
     if (it != shard.instances.end()) return *it->second;
-    auto created = std::make_unique<Instance>(
-        ctx_, key, key_hash, 2 * static_cast<int>(shard_id), replicas_,
-        config_, ops_, initial_);
+    InternedKey interned =
+        InternedKey::intern(key, key_hash, kEnvelopeTag, &shard.arena);
+    Instance* created =
+        shard.arena.template create<Instance>(ctx_, interned, 2 * static_cast<int>(shard_id),
+                                     replicas_, config_, ops_, initial_);
+    shard.instances.emplace(std::move(interned), created);
     created->replica.on_start();
-    return *shard.instances.emplace(std::string(key), std::move(created))
-                .first->second;
+    return *created;
   }
 
   net::Context& ctx_;

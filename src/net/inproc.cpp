@@ -9,8 +9,12 @@ namespace lsr::net {
 struct InprocCluster::Node {
   NodeId id = 0;
   std::unique_ptr<Context> context;
-  std::unique_ptr<Endpoint> endpoint;
+  // runtime before endpoint: worker threads are joined by stop() before any
+  // Node is destroyed, so the only teardown-time interaction left is the
+  // endpoint's destructors canceling their timers — which needs the runtime
+  // object alive, i.e. the endpoint must be destroyed FIRST (declared last).
   std::unique_ptr<NodeRuntime> runtime;
+  std::unique_ptr<Endpoint> endpoint;
 };
 
 class InprocCluster::InprocContext final : public Context {

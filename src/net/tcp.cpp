@@ -353,8 +353,11 @@ struct TcpCluster::Node {
   int listen_fd = -1;
   std::uint16_t port = 0;
   std::unique_ptr<Context> context;
-  std::unique_ptr<Endpoint> endpoint;
+  // runtime before endpoint: threads are joined by stop() before Node
+  // destruction, and the endpoint's destructors cancel their timers against
+  // the runtime — destroy the endpoint first (declared last).
   std::unique_ptr<NodeRuntime> runtime;
+  std::unique_ptr<Endpoint> endpoint;
   Reactor* reactor = nullptr;  // pinned at start(): node i -> reactor i % n
   FdSource listener_source;
   // Links whose queue went empty->nonempty since the reactor's last scan:

@@ -196,18 +196,24 @@ struct Heartbeat {
   Ballot ballot;
   std::uint64_t sequence = 0;
   std::uint64_t commit_index = 0;
+  // Idle demotion farewell: the leader stops heartbeating after this message
+  // and followers cancel their failover timers — the key's lease machinery
+  // parks until the next command re-arms it.
+  bool park = false;
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(MsgTag::kHeartbeat));
     ballot.encode(enc);
     enc.put_u64(sequence);
     enc.put_u64(commit_index);
+    enc.put_bool(park);
   }
   static Heartbeat decode(Decoder& dec) {
     Heartbeat msg;
     msg.ballot = Ballot::decode(dec);
     msg.sequence = dec.get_u64();
     msg.commit_index = dec.get_u64();
+    msg.park = dec.get_bool();
     return msg;
   }
 };

@@ -15,6 +15,11 @@ MultiPaxosReplica::MultiPaxosReplica(net::Context& ctx,
   LSR_EXPECTS(!replicas_.empty());
 }
 
+MultiPaxosReplica::~MultiPaxosReplica() {
+  ctx_.cancel_timer(heartbeat_timer_);
+  ctx_.cancel_timer(failover_timer_);
+}
+
 std::size_t MultiPaxosReplica::rank() const {
   for (std::size_t i = 0; i < replicas_.size(); ++i)
     if (replicas_[i] == ctx_.self()) return i;
@@ -43,6 +48,11 @@ void MultiPaxosReplica::on_recover() {
   heartbeat_sent_.clear();
   lease_until_ = 0;
   leader_hint_ = kNoLeader;
+  // Crash-recovery dropped every timer with the volatile state; a recovered
+  // node must never come back parked or it would sit watchdog-less forever.
+  parked_ = false;
+  idle_heartbeats_ = 0;
+  activity_at_heartbeat_ = activity_;
   arm_failover_timer();
 }
 
@@ -61,6 +71,13 @@ void MultiPaxosReplica::on_message(NodeId from, const std::uint8_t* data,
     Decoder dec(data, size);
     const std::uint8_t tag = dec.get_u8();
     if (rsm::is_client_tag(tag)) {
+      // A parked key re-arms on its first command — leader resumes
+      // heartbeating (and renews the lease) before the command is handled,
+      // a follower restarts its failover watchdog before forwarding. The
+      // activity bump comes first so the wake's inline heartbeat sees a
+      // non-idle interval and cannot immediately re-park.
+      ++activity_;
+      wake_if_parked();
       if (tag == static_cast<std::uint8_t>(rsm::ClientTag::kUpdate)) {
         auto msg = rsm::ClientUpdate::decode(dec);
         if (leading_) {
@@ -122,7 +139,7 @@ void MultiPaxosReplica::on_message(NodeId from, const std::uint8_t* data,
 
 void MultiPaxosReplica::drain_pending_client_messages() {
   // Re-dispatch buffered client commands now that a leader is known.
-  std::deque<std::pair<NodeId, Bytes>> pending = std::move(pending_client_);
+  std::vector<std::pair<NodeId, Bytes>> pending = std::move(pending_client_);
   pending_client_.clear();
   for (auto& [client, data] : pending) on_message(client, data);
 }
@@ -248,20 +265,77 @@ void MultiPaxosReplica::retransmit_stalled_accepts() {
 void MultiPaxosReplica::send_heartbeat() {
   if (!leading_) return;
   retransmit_stalled_accepts();
+  // Idle detection: nothing proposed-but-uncommitted, nothing committed-but-
+  // unapplied, no reads waiting, and no client command since the last beat.
+  const bool idle = activity_ == activity_at_heartbeat_ &&
+                    next_slot_ == commit_index_ + 1 &&
+                    applied_index_ == commit_index_ &&
+                    pending_reads_.empty() && pending_client_.empty();
+  activity_at_heartbeat_ = activity_;
+  idle_heartbeats_ = idle ? idle_heartbeats_ + 1 : 0;
+  const bool park = config_.idle_demote_intervals > 0 &&
+                    idle_heartbeats_ >= config_.idle_demote_intervals;
   ++heartbeat_sequence_;
   heartbeat_sent_[heartbeat_sequence_] = ctx_.now();
   heartbeat_acks_[heartbeat_sequence_].insert(ctx_.self());
   // Prune old bookkeeping.
   while (heartbeat_sent_.size() > 16) heartbeat_sent_.erase(heartbeat_sent_.begin());
   while (heartbeat_acks_.size() > 16) heartbeat_acks_.erase(heartbeat_acks_.begin());
-  Heartbeat hb{ballot_, heartbeat_sequence_, commit_index_};
+  Heartbeat hb{ballot_, heartbeat_sequence_, commit_index_, park};
   Encoder enc;
   hb.encode(enc);
   broadcast(enc.bytes());
   if (quorum() == 1)
     lease_until_ = ctx_.now() + config_.lease_duration;
+  if (park) {
+    park_leader();
+    return;
+  }
   heartbeat_timer_ = ctx_.set_timer(config_.heartbeat_interval, 0,
                                     [this] { send_heartbeat(); });
+}
+
+void MultiPaxosReplica::park_leader() {
+  parked_ = true;
+  ++stats_.idle_parks;
+  idle_heartbeats_ = 0;
+  // The heartbeat timer just fired (or send_heartbeat ran inline) and is
+  // deliberately not re-armed; the failover watchdog is canceled too, so a
+  // parked key costs zero timer events. The lease simply lapses — reads
+  // arriving later defer until the unpark heartbeat renews it, which keeps
+  // the lease/failover safety argument untouched (parking only ever DELAYS
+  // a campaign, never accelerates one past a live lease).
+  heartbeat_timer_ = net::kInvalidTimer;
+  ctx_.cancel_timer(failover_timer_);
+  failover_timer_ = net::kInvalidTimer;
+  // Shed idle bookkeeping: acks for the farewell beat find no entry, which
+  // also keeps them from extending the lease or waking us.
+  heartbeat_sent_.clear();
+  heartbeat_acks_.clear();
+  pending_reads_.shrink_to_fit();
+}
+
+void MultiPaxosReplica::park_follower() {
+  if (parked_) return;
+  parked_ = true;
+  ++stats_.idle_parks;
+  ctx_.cancel_timer(failover_timer_);
+  failover_timer_ = net::kInvalidTimer;
+}
+
+void MultiPaxosReplica::wake_if_parked() {
+  if (!parked_) return;
+  parked_ = false;
+  ++stats_.idle_unparks;
+  if (leading_) {
+    arm_failover_timer();
+    send_heartbeat();  // resumes the cadence and renews the lease
+  } else {
+    // Give whoever leads one full failover window to prove liveness before
+    // we campaign — identical to the grace a freshly started follower gets.
+    leader_contact();
+    arm_failover_timer();
+  }
 }
 
 void MultiPaxosReplica::on_heartbeat_ack(NodeId from, const HeartbeatAck& msg) {
@@ -279,6 +353,7 @@ void MultiPaxosReplica::on_heartbeat_ack(NodeId from, const HeartbeatAck& msg) {
 
 void MultiPaxosReplica::on_heartbeat(NodeId from, const Heartbeat& msg) {
   if (msg.ballot < promised_) return;  // stale leader
+  if (!msg.park) wake_if_parked();  // live leader again — restart watchdog
   promised_ = msg.ballot;
   if (leading_ && msg.ballot.node != ctx_.self()) leading_ = false;
   leader_hint_ = msg.ballot.node;
@@ -292,11 +367,16 @@ void MultiPaxosReplica::on_heartbeat(NodeId from, const Heartbeat& msg) {
   ack.encode(enc);
   ctx_.send(from, std::move(enc).take());
   drain_pending_client_messages();
+  // Farewell beat: the leader stops heartbeating now; drop our watchdog too
+  // (processed AFTER the ack so the leader's lease accounting is unaffected —
+  // it already cleared its ack tables when it parked).
+  if (msg.park && !leading_) park_follower();
 }
 
 // ---- acceptor side ----
 
 void MultiPaxosReplica::on_prepare(NodeId from, const Prepare& msg) {
+  wake_if_parked();  // a campaign is under way; parked nodes must respond live
   if (msg.ballot <= promised_) {
     PrepareNack nack{promised_};
     Encoder enc;
@@ -323,6 +403,7 @@ void MultiPaxosReplica::on_prepare(NodeId from, const Prepare& msg) {
 
 void MultiPaxosReplica::on_accept(NodeId from, const Accept& msg) {
   if (msg.ballot < promised_) return;  // stale leader; drop
+  wake_if_parked();
   promised_ = msg.ballot;
   leader_hint_ = msg.ballot.node;
   leader_contact();

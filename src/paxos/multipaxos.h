@@ -17,7 +17,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <set>
 #include <vector>
@@ -46,6 +45,13 @@ struct PaxosConfig {
   TimeNs fsm_cost = 5 * kMicrosecond;
   // Log tail kept after applying, for follower catch-up without snapshots.
   std::uint64_t log_keep_tail = 1024;
+  // Idle-key demotion: after this many consecutive heartbeat intervals with
+  // no client activity and nothing uncommitted, the leader sends a farewell
+  // heartbeat (park flag), stops heartbeating and lets its lease lapse;
+  // followers cancel their failover timers. Any later command re-arms the
+  // machinery. 0 = never park (the single-key deployments' default — only
+  // keyed multi-key hosts want background traffic scaled to the active set).
+  std::uint32_t idle_demote_intervals = 0;
 };
 
 struct PaxosStats {
@@ -59,6 +65,8 @@ struct PaxosStats {
   std::uint64_t peak_log_entries = 0;  // high-water mark (log growth)
   std::uint64_t catchups_served = 0;
   std::uint64_t accept_retransmits = 0;  // stalled-slot Accept re-broadcasts
+  std::uint64_t idle_parks = 0;    // lease/heartbeat machinery parked (idle)
+  std::uint64_t idle_unparks = 0;  // re-armed by traffic after a park
 };
 
 class MultiPaxosReplica final : public net::Endpoint {
@@ -68,6 +76,9 @@ class MultiPaxosReplica final : public net::Endpoint {
 
   MultiPaxosReplica(net::Context& ctx, std::vector<NodeId> replicas,
                     PaxosConfig config = {});
+  // Eviction safety: keyed stores destroy per-key replicas while the host
+  // context lives on; armed timers would fire into recycled memory.
+  ~MultiPaxosReplica() override;
 
   void on_start() override;
   void on_recover() override;
@@ -77,6 +88,9 @@ class MultiPaxosReplica final : public net::Endpoint {
   void on_message(NodeId from, const std::uint8_t* data, std::size_t size);
 
   bool is_leader() const { return leading_; }
+  // True while idle demotion holds this replica's per-key timers canceled
+  // (leader: heartbeat/lease stopped; follower: failover watchdog off).
+  bool is_parked() const { return parked_; }
   std::int64_t value() const { return value_; }
   std::uint64_t applied_index() const { return applied_index_; }
   std::uint64_t commit_index() const { return commit_index_; }
@@ -105,6 +119,9 @@ class MultiPaxosReplica final : public net::Endpoint {
   void maybe_commit(std::uint64_t slot);
   void retransmit_stalled_accepts();
   void send_heartbeat();
+  void park_leader();
+  void park_follower();
+  void wake_if_parked();
   void on_heartbeat_ack(NodeId from, const HeartbeatAck& msg);
   bool lease_valid() const;
   void serve_read(const PendingRead& read);
@@ -162,6 +179,15 @@ class MultiPaxosReplica final : public net::Endpoint {
   std::uint64_t commit_at_last_heartbeat_ = 0;
   int stalled_heartbeats_ = 0;
 
+  // Idle demotion (config.idle_demote_intervals > 0): the leader counts
+  // heartbeat intervals in which no client command arrived and nothing was
+  // left uncommitted; reaching the threshold parks the key (see
+  // send_heartbeat / wake_if_parked).
+  bool parked_ = false;
+  std::uint64_t activity_ = 0;               // client commands handled
+  std::uint64_t activity_at_heartbeat_ = 0;  // watermark at the last beat
+  std::uint32_t idle_heartbeats_ = 0;
+
   // Candidate state.
   bool campaigning_ = false;
   std::set<NodeId> promises_;
@@ -175,7 +201,10 @@ class MultiPaxosReplica final : public net::Endpoint {
   NodeId leader_hint_ = kNoLeader;
   TimeNs last_leader_contact_ = 0;
   net::TimerId failover_timer_ = net::kInvalidTimer;
-  std::deque<std::pair<NodeId, Bytes>> pending_client_;
+  // Vector, not deque: libstdc++'s deque eagerly allocates ~576 B even when
+  // empty, which a million-key host pays per instance. Drain is all-or-
+  // nothing, so FIFO-by-index is free.
+  std::vector<std::pair<NodeId, Bytes>> pending_client_;
 
   PaxosStats stats_;
 

@@ -107,6 +107,9 @@ struct AppendEntries {
   std::uint64_t prev_log_term = 0;
   std::uint64_t commit_index = 0;
   std::vector<LogEntry> entries;
+  // Idle demotion farewell: the leader stops heartbeating this key after the
+  // message and a caught-up follower cancels its election timer in response.
+  bool park = false;
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(MsgTag::kAppendEntries));
@@ -117,6 +120,7 @@ struct AppendEntries {
     enc.put_u64(commit_index);
     enc.put_container(entries,
                       [](Encoder& e, const LogEntry& entry) { entry.encode(e); });
+    enc.put_bool(park);
   }
   static AppendEntries decode(Decoder& dec) {
     AppendEntries msg;
@@ -127,6 +131,7 @@ struct AppendEntries {
     msg.commit_index = dec.get_u64();
     dec.get_container(
         [&msg](Decoder& d) { msg.entries.push_back(LogEntry::decode(d)); });
+    msg.park = dec.get_bool();
     return msg;
   }
 };

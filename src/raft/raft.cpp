@@ -19,6 +19,11 @@ RaftReplica::RaftReplica(net::Context& ctx, std::vector<NodeId> replicas,
     if (replica != ctx_.self()) peers_[replica] = Peer{};
 }
 
+RaftReplica::~RaftReplica() {
+  ctx_.cancel_timer(election_timer_);
+  ctx_.cancel_timer(heartbeat_timer_);
+}
+
 void RaftReplica::on_start() {
   // Bias the first election towards replica 0 for a fast, deterministic
   // bootstrap (matching the staggered start of production deployments).
@@ -40,6 +45,11 @@ void RaftReplica::on_recover() {
   sessions_ = snapshot_sessions_;
   applied_index_ = snapshot_index_;
   commit_index_ = snapshot_index_;
+  // Crash-recovery dropped every timer with the volatile state; a recovered
+  // node must never come back parked or it would sit watchdog-less forever.
+  parked_ = false;
+  idle_heartbeats_ = 0;
+  activity_at_heartbeat_ = activity_;
   arm_election_timer();
 }
 
@@ -118,6 +128,12 @@ void RaftReplica::on_message(NodeId from, const std::uint8_t* data,
 void RaftReplica::handle_client(NodeId client, const std::uint8_t* data,
                                 std::size_t size, std::uint8_t tag,
                                 Decoder& dec) {
+  // A parked key re-arms on its first command — the leader resumes its
+  // heartbeat cadence before the command replicates, a follower restarts its
+  // election timer before forwarding. The activity bump comes first so the
+  // wake's inline heartbeat sees a non-idle interval and cannot re-park.
+  ++activity_;
+  wake_if_parked();
   if (role_ != Role::kLeader) {
     if (leader_hint_ != kNobody && leader_hint_ != ctx_.self()) {
       ++stats_.forwards;
@@ -152,7 +168,7 @@ void RaftReplica::handle_client(NodeId client, const std::uint8_t* data,
 }
 
 void RaftReplica::drain_pending_client_messages() {
-  std::deque<std::pair<NodeId, Bytes>> pending = std::move(pending_client_);
+  std::vector<std::pair<NodeId, Bytes>> pending = std::move(pending_client_);
   pending_client_.clear();
   for (auto& [client, data] : pending) on_message(client, data);
 }
@@ -187,6 +203,7 @@ void RaftReplica::start_election() {
 }
 
 void RaftReplica::on_request_vote(NodeId from, const RequestVote& msg) {
+  wake_if_parked();  // an election is under way; parked nodes must vote live
   if (msg.term > term_) become_follower(msg.term, kNobody);
   bool granted = false;
   if (msg.term == term_ &&
@@ -241,6 +258,10 @@ void RaftReplica::become_leader() {
 void RaftReplica::become_follower(std::uint64_t term, NodeId leader_hint) {
   const bool was_leader = role_ == Role::kLeader;
   role_ = Role::kFollower;
+  if (parked_) {
+    parked_ = false;
+    ++stats_.idle_unparks;
+  }
   if (term > term_) {
     term_ = term;
     voted_for_ = kNobody;
@@ -295,6 +316,38 @@ void RaftReplica::replicate_all() {
 
 void RaftReplica::send_heartbeats() {
   if (role_ != Role::kLeader) return;
+  // Idle detection: no client command since the last beat, every follower
+  // fully caught up, and nothing left to commit or apply.
+  bool caught_up = true;
+  for (const auto& [id, peer] : peers_)
+    caught_up = caught_up && peer.match_index == last_log_index();
+  const bool idle = activity_ == activity_at_heartbeat_ && caught_up &&
+                    commit_index_ == last_log_index() &&
+                    applied_index_ == commit_index_ && pending_client_.empty();
+  activity_at_heartbeat_ = activity_;
+  idle_heartbeats_ = idle ? idle_heartbeats_ + 1 : 0;
+  if (config_.idle_demote_intervals > 0 &&
+      idle_heartbeats_ >= config_.idle_demote_intervals) {
+    // Farewell round: park-flagged empty AppendEntries tell caught-up
+    // followers to drop their election timers; their replies are absorbed
+    // without triggering further replication (see on_append_reply).
+    for (auto& [id, peer] : peers_) {
+      AppendEntries hb;
+      hb.term = term_;
+      hb.leader = ctx_.self();
+      hb.prev_log_index = peer.next_index - 1;
+      hb.prev_log_term = term_at(hb.prev_log_index);
+      hb.commit_index = commit_index_;
+      hb.park = true;
+      Encoder enc;
+      hb.encode(enc);
+      ctx_.send(id, std::move(enc).take());
+      peer.in_flight = true;
+      peer.last_send = ctx_.now();
+    }
+    park_leader();
+    return;
+  }
   for (auto& [id, peer] : peers_) {
     if (!peer.in_flight || ctx_.now() - peer.last_send >= config_.rpc_timeout) {
       peer.in_flight = false;  // retransmit if the RPC was lost
@@ -319,6 +372,28 @@ void RaftReplica::send_heartbeats() {
                                     [this] { send_heartbeats(); });
 }
 
+void RaftReplica::park_leader() {
+  parked_ = true;
+  ++stats_.idle_parks;
+  idle_heartbeats_ = 0;
+  // The heartbeat timer just fired and is deliberately not re-armed; the
+  // election timer goes too, so a parked key costs zero timer events.
+  // Parking only ever DELAYS elections — safety is untouched, and liveness
+  // self-heals: a follower that missed the farewell keeps its election timer,
+  // eventually campaigns, and its RequestVote wakes everyone.
+  heartbeat_timer_ = net::kInvalidTimer;
+  ctx_.cancel_timer(election_timer_);
+  election_timer_ = net::kInvalidTimer;
+}
+
+void RaftReplica::wake_if_parked() {
+  if (!parked_) return;
+  parked_ = false;
+  ++stats_.idle_unparks;
+  arm_election_timer();
+  if (role_ == Role::kLeader) send_heartbeats();  // resumes the cadence
+}
+
 void RaftReplica::on_append_entries(NodeId from, const AppendEntries& msg) {
   if (msg.term < term_) {
     AppendReply reply{term_, false, 0, last_log_index()};
@@ -327,6 +402,7 @@ void RaftReplica::on_append_entries(NodeId from, const AppendEntries& msg) {
     ctx_.send(from, std::move(enc).take());
     return;
   }
+  if (!msg.park) wake_if_parked();  // live leader again — restart the timer
   if (msg.term > term_ || role_ != Role::kFollower)
     become_follower(msg.term, msg.leader);
   leader_hint_ = msg.leader;
@@ -369,6 +445,15 @@ void RaftReplica::on_append_entries(NodeId from, const AppendEntries& msg) {
   reply.encode(enc);
   ctx_.send(from, std::move(enc).take());
   drain_pending_client_messages();
+  // Farewell beat, and we passed the consistency check (a lagging follower
+  // must keep its election timer so the key can make progress again): drop
+  // the election timer until traffic returns.
+  if (msg.park && role_ == Role::kFollower && !parked_) {
+    parked_ = true;
+    ++stats_.idle_parks;
+    ctx_.cancel_timer(election_timer_);
+    election_timer_ = net::kInvalidTimer;
+  }
 }
 
 void RaftReplica::on_append_reply(NodeId from, const AppendReply& msg) {
@@ -389,11 +474,15 @@ void RaftReplica::on_append_reply(NodeId from, const AppendReply& msg) {
         std::max<std::uint64_t>(1, std::min(peer.next_index - 1,
                                             msg.hint_index + 1));
   }
-  replicate(from);
+  // A parked leader absorbs replies to its farewell beats without issuing
+  // fresh RPCs — an empty-AppendEntries ping-pong would keep every idle key
+  // chattering forever. Anything that actually needs replication wakes us.
+  if (!parked_) replicate(from);
 }
 
 void RaftReplica::on_install_snapshot(NodeId from, const InstallSnapshot& msg) {
   if (msg.term < term_) return;
+  wake_if_parked();
   if (msg.term > term_ || role_ != Role::kFollower)
     become_follower(msg.term, msg.leader);
   leader_hint_ = msg.leader;
@@ -427,7 +516,7 @@ void RaftReplica::on_snapshot_reply(NodeId from, const SnapshotReply& msg) {
   peer.in_flight = false;
   peer.match_index = std::max(peer.match_index, msg.match_index);
   peer.next_index = peer.match_index + 1;
-  replicate(from);
+  if (!parked_) replicate(from);
 }
 
 void RaftReplica::advance_commit() {

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <set>
 #include <vector>
@@ -39,6 +38,12 @@ struct RaftConfig {
   // followers are caught up via InstallSnapshot.
   std::uint64_t log_keep_tail = 1024;
   std::uint64_t rng_seed = 1;
+  // Idle-key demotion: after this many consecutive heartbeat intervals with
+  // no client activity and every follower fully caught up, the leader sends
+  // farewell (park-flagged) empty AppendEntries and stops heartbeating;
+  // caught-up followers cancel their election timers. Any later command (or
+  // vote/append traffic) re-arms everything. 0 = never park.
+  std::uint32_t idle_demote_intervals = 0;
 };
 
 struct RaftStats {
@@ -50,6 +55,8 @@ struct RaftStats {
   std::uint64_t peak_log_entries = 0;
   std::uint64_t snapshots_sent = 0;
   std::uint64_t forwards = 0;
+  std::uint64_t idle_parks = 0;    // heartbeat/election machinery parked
+  std::uint64_t idle_unparks = 0;  // re-armed by traffic after a park
 };
 
 class RaftReplica final : public net::Endpoint {
@@ -59,6 +66,9 @@ class RaftReplica final : public net::Endpoint {
 
   RaftReplica(net::Context& ctx, std::vector<NodeId> replicas,
               RaftConfig config = {});
+  // Eviction safety: keyed stores destroy per-key replicas while the host
+  // context lives on; armed timers would fire into recycled memory.
+  ~RaftReplica() override;
 
   void on_start() override;
   void on_recover() override;
@@ -71,6 +81,9 @@ class RaftReplica final : public net::Endpoint {
 
   Role role() const { return role_; }
   bool is_leader() const { return role_ == Role::kLeader; }
+  // True while idle demotion holds this replica's per-key timers canceled
+  // (leader: heartbeat cadence stopped; follower: election timer off).
+  bool is_parked() const { return parked_; }
   std::uint64_t term() const { return term_; }
   std::int64_t value() const { return value_; }
   std::uint64_t commit_index() const { return commit_index_; }
@@ -112,6 +125,8 @@ class RaftReplica final : public net::Endpoint {
   void replicate(NodeId peer_id);
   void replicate_all();
   void send_heartbeats();
+  void park_leader();
+  void wake_if_parked();
   void on_append_entries(NodeId from, const AppendEntries& msg);
   void on_append_reply(NodeId from, const AppendReply& msg);
   void on_install_snapshot(NodeId from, const InstallSnapshot& msg);
@@ -128,7 +143,10 @@ class RaftReplica final : public net::Endpoint {
   // Durable-equivalent state.
   std::uint64_t term_ = 0;
   NodeId voted_for_ = kNobody;
-  std::deque<LogEntry> log_;          // entries (snapshot_index_+1 ...)
+  // Vector, not deque: libstdc++'s deque eagerly allocates ~576 B even when
+  // empty, which a million-key host pays per instance. The front erase at
+  // truncation time is a rare bulk memmove of an already-short tail.
+  std::vector<LogEntry> log_;         // entries (snapshot_index_+1 ...)
   std::uint64_t snapshot_index_ = 0;  // last index covered by the snapshot
   std::uint64_t snapshot_term_ = 0;
   std::int64_t snapshot_value_ = 0;
@@ -148,7 +166,14 @@ class RaftReplica final : public net::Endpoint {
   std::map<NodeId, Peer> peers_;
   net::TimerId election_timer_ = net::kInvalidTimer;
   net::TimerId heartbeat_timer_ = net::kInvalidTimer;
-  std::deque<std::pair<NodeId, Bytes>> pending_client_;
+  std::vector<std::pair<NodeId, Bytes>> pending_client_;
+
+  // Idle demotion (config.idle_demote_intervals > 0): see send_heartbeats /
+  // wake_if_parked.
+  bool parked_ = false;
+  std::uint64_t activity_ = 0;               // client commands handled
+  std::uint64_t activity_at_heartbeat_ = 0;  // watermark at the last beat
+  std::uint32_t idle_heartbeats_ = 0;
 
   RaftStats stats_;
 

@@ -241,12 +241,26 @@ net::TimerId Simulator::set_timer(NodeId node_id, TimeNs delay, int lane,
   const net::TimerId id = next_timer_id_++;
   live_timers_.insert(id);
   const std::uint64_t generation = nodes_[node_id].generation;
+  // The id stays in live_timers_ until the callback actually RUNS, not just
+  // until it fires: a fired timer sits in a lane queue behind other work, and
+  // a cancel in that window (typically a destructor — the keyed stores evict
+  // instances whose timers are mid-flight) must still win or the queued
+  // callback runs into freed memory. A crash that clears the lane queue can
+  // strand an id in the set; that costs one integer until the owner's
+  // cancel_timer collects it.
   events_.push(now_ + delay, [this, node_id, lane, generation, id,
                               fn = std::move(fn)]() mutable {
-    if (live_timers_.erase(id) == 0) return;  // cancelled
+    if (live_timers_.count(id) == 0) return;  // cancelled
     Node& node = nodes_[node_id];
-    if (node.down || node.generation != generation) return;  // lost in crash
-    enqueue_lane(node_id, lane, QueueItem{.data = {}, .callback = std::move(fn)});
+    if (node.down || node.generation != generation) {  // lost in crash
+      live_timers_.erase(id);
+      return;
+    }
+    enqueue_lane(node_id, lane,
+                 QueueItem{.data = {}, .callback = [this, id, fn = std::move(fn)] {
+                   if (live_timers_.erase(id) == 0) return;  // cancelled queued
+                   fn();
+                 }});
   });
   return id;
 }

@@ -58,7 +58,9 @@ class KvRecordingClient final : public net::Endpoint {
     retry_.enable(timeout, failover_after, replica_count);
   }
 
-  void on_start() override { submit_next(); }
+  void on_start() override {
+    if (!paused_) submit_next();
+  }
 
   void on_message(NodeId from, ByteSpan data) override {
     (void)from;
@@ -87,12 +89,28 @@ class KvRecordingClient final : public net::Endpoint {
     retry_.acknowledged();
     ++completed_;
     inflight_request_ = 0;
-    if (max_ops_ == 0 || completed_ < max_ops_) submit_next();
+    if (!paused_ && (max_ops_ == 0 || completed_ < max_ops_)) submit_next();
   }
 
   // Atomic so real-time hosts (InprocCluster, TcpCluster) can poll progress
   // from outside the client's executor thread.
   std::uint64_t completed() const { return completed_.load(); }
+
+  // Pause/resume the closed loop. Pausing lets the in-flight operation (if
+  // any) complete but submits nothing new — nemesis tests use this to let a
+  // keyspace go fully idle (and the leaders demote) before injecting the
+  // next fault. Resuming submits immediately when the client is idle.
+  void set_paused(bool paused) {
+    if (paused_ == paused) return;
+    paused_ = paused;
+    if (!paused_ && inflight_request_ == 0 &&
+        (max_ops_ == 0 || completed_.load() < max_ops_))
+      submit_next();
+  }
+
+  // True once nothing is in flight — with set_paused(true), the quiescent
+  // point where every started operation has been recorded.
+  bool idle() const { return inflight_request_ == 0; }
 
   // Call after the run: records a still-pending update as possibly-applied
   // (response = +inf) under its key — an update whose ack was lost may
@@ -145,6 +163,7 @@ class KvRecordingClient final : public net::Endpoint {
   std::string inflight_key_;
   TimeNs inflight_start_ = 0;
   std::uint64_t next_counter_ = 0;
+  bool paused_ = false;
   std::atomic<std::uint64_t> completed_{0};
 };
 

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -314,8 +315,11 @@ TEST_P(KvBaselineNemesisP, PerKeyLinearizableUnderLossPartitionAndCrash) {
           break;
         case bench::System::kMultiPaxos:
           sim.add_node([&](net::Context& ctx) {
-            return std::make_unique<PaxosStore>(ctx, replicas,
-                                                paxos::PaxosConfig{},
+            // Demotion stays on under loss: a dropped park farewell or a
+            // wake racing a retransmitted command must never cost safety.
+            paxos::PaxosConfig config;
+            config.idle_demote_intervals = 2;
+            return std::make_unique<PaxosStore>(ctx, replicas, config,
                                                 ShardOptions{shards});
           });
           break;
@@ -323,6 +327,7 @@ TEST_P(KvBaselineNemesisP, PerKeyLinearizableUnderLossPartitionAndCrash) {
           sim.add_node([&](net::Context& ctx) {
             raft::RaftConfig config;
             config.rng_seed = 900 + 31 * static_cast<std::uint64_t>(seed);
+            config.idle_demote_intervals = 2;
             return std::make_unique<RaftStore>(ctx, replicas, config,
                                                ShardOptions{shards});
           });
@@ -382,6 +387,151 @@ TEST_P(KvBaselineNemesisP, PerKeyLinearizableUnderLossPartitionAndCrash) {
           << "seed " << seed << " key " << key << ": " << result.explanation;
     }
   }
+}
+
+// ---- demotion nemesis --------------------------------------------------
+//
+// Idle-key lease demotion under faults, for both log baselines: park the
+// whole keyspace, re-wake it across a partition, re-park after the heal,
+// then SIGKILL the bootstrap leader WHILE its keys are parked (no heartbeats
+// are flowing, so nothing detects the crash until a client speaks) and
+// demand that the next commands re-elect per key and every history stays
+// linearizable. Clients pause/resume around each fault so the keyspace
+// genuinely goes idle — demotion only triggers on idle keys.
+//
+// The network stays lossless here on purpose: a lost park farewell leaves a
+// follower un-parked and the full-park predicates below would flake. Loss
+// plus demotion is covered by the seed-sweep nemesis above (which runs with
+// idle demotion enabled); this test isolates the park/wake/crash
+// interleavings.
+
+template <typename Store>
+void demotion_nemesis_sweep(
+    const std::function<typename Store::Config(int seed)>& config_for) {
+  constexpr int kSeeds = 10;
+  constexpr std::uint64_t kMaxOps = 30;
+  const auto keys = make_keys(6, "dem-");
+
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    sim::Simulator sim(7000 + 100 * seed);
+    const std::vector<NodeId> replicas{0, 1, 2};
+    for (int i = 0; i < 3; ++i) {
+      sim.add_node([&](net::Context& ctx) {
+        return std::make_unique<Store>(ctx, replicas, config_for(seed),
+                                       ShardOptions{4});
+      });
+    }
+
+    verify::KeyedHistory history;
+    std::vector<NodeId> clients;
+    for (std::size_t c = 0; c < 3; ++c) {
+      clients.push_back(sim.add_node([&, c](net::Context& ctx) {
+        auto client = std::make_unique<verify::KvRecordingClient>(
+            ctx, static_cast<NodeId>(c % 3), &keys, /*read_ratio=*/0.4,
+            /*seed=*/4000 + 10 * static_cast<std::uint64_t>(seed) + c,
+            &history, kMaxOps);
+        client->enable_retry(50 * kMillisecond, /*failover_after=*/3,
+                             /*replica_count=*/3);
+        return client;
+      }));
+    }
+    auto client_at = [&](std::size_t c) -> verify::KvRecordingClient& {
+      return sim.endpoint_as<verify::KvRecordingClient>(clients[c]);
+    };
+    auto all_completed = [&](std::uint64_t target) {
+      return [&, target] {
+        for (std::size_t c = 0; c < clients.size(); ++c)
+          if (client_at(c).completed() < target) return false;
+        return true;
+      };
+    };
+    auto pause_all = [&](bool paused) {
+      for (std::size_t c = 0; c < clients.size(); ++c)
+        client_at(c).set_paused(paused);
+    };
+    // Full park: every hosted key of every listed replica is demoted and no
+    // client operation is still in flight.
+    auto fully_parked = [&](std::vector<NodeId> stores) {
+      return [&, stores = std::move(stores)] {
+        for (std::size_t c = 0; c < clients.size(); ++c)
+          if (!client_at(c).idle()) return false;
+        for (const NodeId node : stores) {
+          auto& store = sim.endpoint_as<Store>(node);
+          if (store.key_count() == 0 ||
+              store.parked_key_count() < store.key_count())
+            return false;
+        }
+        return true;
+      };
+    };
+
+    // Phase A: populate the keyspace, then go idle and wait for every key on
+    // every replica to demote.
+    ASSERT_TRUE(run_until_done(sim, 30 * kSecond, all_completed(10)))
+        << "seed " << seed << ": phase A wedged";
+    pause_all(true);
+    ASSERT_TRUE(run_until_done(sim, 30 * kSecond, fully_parked({0, 1, 2})))
+        << "seed " << seed << ": keyspace never fully parked";
+    ASSERT_GT(sim.endpoint_as<Store>(0).parked_key_count(), 0u);
+
+    // Phase B: wake the parked keyspace across a partition (replica 2 cut
+    // off from its peers; quorum 0+1 still commits), then heal and let
+    // everything park again — including replica 2, which must first catch
+    // up on whatever it missed. The heal happens while simulated time is
+    // stopped, so no park farewell can be lost to the partition.
+    sim.set_partitioned(0, 2, true);
+    sim.set_partitioned(1, 2, true);
+    pause_all(false);
+    ASSERT_TRUE(run_until_done(sim, 30 * kSecond, all_completed(20)))
+        << "seed " << seed << ": phase B wedged under partition";
+    pause_all(true);
+    sim.set_partitioned(0, 2, false);
+    sim.set_partitioned(1, 2, false);
+    ASSERT_TRUE(run_until_done(sim, 30 * kSecond, fully_parked({0, 1, 2})))
+        << "seed " << seed << ": keyspace never re-parked after heal";
+
+    // Phase C: kill the bootstrap replica while the whole keyspace is
+    // parked. Nothing heartbeats a parked key, so the crash is silent —
+    // nothing may wake until a client speaks.
+    sim.set_down(0, true);
+    const std::uint64_t msgs_during_silence = sim.messages_sent();
+    sim.run_for(100 * kMillisecond);
+    EXPECT_EQ(sim.messages_sent(), msgs_during_silence)
+        << "seed " << seed << ": parked keyspace was not silent";
+    pause_all(false);  // clients fail over, keys wake and re-elect
+    const bool all_done =
+        run_until_done(sim, 60 * kSecond, all_completed(kMaxOps));
+    sim.set_down(0, false);
+    for (std::size_t c = 0; c < clients.size(); ++c)
+      client_at(c).flush_pending();
+
+    EXPECT_TRUE(all_done)
+        << "seed " << seed << ": a session wedged after the parked crash";
+    for (const auto& [key, key_history] : history.histories()) {
+      const auto result = verify::check_counter_linearizable(key_history);
+      EXPECT_TRUE(result.linearizable)
+          << "seed " << seed << " key " << key << ": " << result.explanation;
+    }
+  }
+}
+
+TEST(KvDemotionNemesis, MultiPaxosParkedKeysReElectAndStayLinearizable) {
+  demotion_nemesis_sweep<PaxosStore>([](int) {
+    paxos::PaxosConfig config;
+    config.heartbeat_interval = 5 * kMillisecond;
+    config.lease_duration = 25 * kMillisecond;
+    config.idle_demote_intervals = 2;
+    return config;
+  });
+}
+
+TEST(KvDemotionNemesis, RaftParkedKeysReElectAndStayLinearizable) {
+  demotion_nemesis_sweep<RaftStore>([](int seed) {
+    raft::RaftConfig config;
+    config.idle_demote_intervals = 2;
+    config.rng_seed = 1300 + 17 * static_cast<std::uint64_t>(seed);
+    return config;
+  });
 }
 
 }  // namespace

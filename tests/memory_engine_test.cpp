@@ -1,0 +1,476 @@
+// Memory engine: the arena allocator (bump chunks + size-bucketed reuse),
+// interned keys (refcounted shared envelope prefix), the one shared
+// lazy-create path for both first-touch directions, eviction returning
+// instance memory to the shard arena, and the create/evict/recreate churn
+// that proves arena reuse is use-after-free-clean under ASan while message
+// buffers are held across eviction rounds.
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ops.h"
+#include "kv/interned_key.h"
+#include "kv/keyed_log_store.h"
+#include "kv/shard.h"
+#include "kv/sharded_store.h"
+#include "lattice/gcounter.h"
+#include "paxos/multipaxos.h"
+#include "raft/raft.h"
+#include "rsm/client_msg.h"
+#include "sim/simulator.h"
+
+namespace lsr {
+namespace {
+
+using kv::InternedKey;
+using kv::InternedKeyEq;
+using kv::InternedKeyHash;
+using lattice::GCounter;
+using CrdtStore = kv::ShardedStore<GCounter>;
+using PaxosStore = kv::KeyedLogStore<paxos::MultiPaxosReplica>;
+using RaftStore = kv::KeyedLogStore<raft::RaftReplica>;
+
+// ---- arena --------------------------------------------------------------
+
+TEST(Arena, BlocksAreAlignedAndAccounted) {
+  Arena arena;
+  void* a = arena.allocate(1);
+  void* b = arena.allocate(100, 8);
+  void* c = arena.allocate(64);
+  for (void* p : {a, b, c})
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % Arena::kMinAlign, 0u);
+  EXPECT_EQ(arena.stats().chunks, 1u);
+  EXPECT_EQ(arena.stats().allocations, 3u);
+  // 1 -> 16 (free-list minimum), 100 -> 112, 64 -> 64.
+  EXPECT_EQ(arena.stats().bytes_live, 16u + 112u + 64u);
+}
+
+TEST(Arena, FreedBlocksAreReusedBySizeClass) {
+  Arena arena;
+  void* first = arena.allocate(48);
+  arena.deallocate(first, 48);
+  void* second = arena.allocate(48);
+  EXPECT_EQ(first, second);  // served from the 48-byte free list
+  EXPECT_EQ(arena.stats().reuses, 1u);
+  // A different size class does not steal the block.
+  arena.deallocate(second, 48);
+  void* other = arena.allocate(128);
+  EXPECT_NE(other, second);
+  EXPECT_EQ(arena.stats().reuses, 1u);
+}
+
+TEST(Arena, OversizedAllocationGetsItsOwnChunk) {
+  Arena arena(1024);
+  void* big = arena.allocate(100 * 1024);
+  EXPECT_NE(big, nullptr);
+  EXPECT_GE(arena.stats().bytes_reserved, 100u * 1024u);
+  // The arena still serves small blocks afterwards.
+  EXPECT_NE(arena.allocate(32), nullptr);
+}
+
+TEST(Arena, CreateDestroyRunsConstructorsAndRecycles) {
+  struct Probe {
+    explicit Probe(int* counter) : counter_(counter) { ++*counter_; }
+    ~Probe() { --*counter_; }
+    int* counter_;
+    char pad[40];
+  };
+  Arena arena;
+  int live = 0;
+  Probe* p = arena.create<Probe>(&live);
+  EXPECT_EQ(live, 1);
+  arena.destroy(p);
+  EXPECT_EQ(live, 0);
+  EXPECT_EQ(arena.stats().bytes_live, 0u);
+  Probe* q = arena.create<Probe>(&live);
+  EXPECT_EQ(static_cast<void*>(q), static_cast<void*>(p));  // recycled block
+  arena.destroy(q);
+}
+
+TEST(Arena, SteadyStateChurnStopsReservingMemory) {
+  Arena arena;
+  std::vector<void*> blocks;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 1000; ++i) blocks.push_back(arena.allocate(96));
+    for (void* p : blocks) arena.deallocate(p, 96);
+    blocks.clear();
+    if (round == 0) {
+      const std::size_t after_first = arena.stats().bytes_reserved;
+      EXPECT_GT(after_first, 0u);
+    }
+  }
+  const std::size_t reserved = arena.stats().bytes_reserved;
+  for (int i = 0; i < 1000; ++i) blocks.push_back(arena.allocate(96));
+  EXPECT_EQ(arena.stats().bytes_reserved, reserved);  // all reuse, no growth
+  for (void* p : blocks) arena.deallocate(p, 96);
+}
+
+// ---- interned keys ------------------------------------------------------
+
+TEST(InternedKey, PrefixReproducesMakeEnvelopeExactly) {
+  for (const std::string& key : {std::string("k"), std::string(40, 'x'),
+                                 std::string(300, 'y')}) {
+    const std::uint32_t hash = kv::fnv1a(key);
+    const InternedKey interned =
+        InternedKey::intern(key, hash, kv::kEnvelopeTag);
+    Encoder inner_enc;
+    inner_enc.put_u64(0xDEADBEEF);
+    const Bytes inner = std::move(inner_enc).take();
+    const Bytes expected = kv::make_envelope(hash, key, inner);
+    const ByteSpan prefix = interned.envelope_prefix();
+    Bytes assembled(prefix.begin(), prefix.end());
+    assembled.insert(assembled.end(), inner.begin(), inner.end());
+    EXPECT_EQ(assembled, expected) << "key length " << key.size();
+    EXPECT_EQ(interned.view(), key);
+    EXPECT_EQ(interned.hash(), hash);
+  }
+}
+
+TEST(InternedKey, RefcountSharesOneBlock) {
+  InternedKey a = InternedKey::intern("shared", kv::fnv1a("shared"),
+                                      kv::kEnvelopeTag);
+  EXPECT_EQ(a.use_count(), 1u);
+  InternedKey b = a;
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_EQ(a.envelope_prefix().data(), b.envelope_prefix().data());
+  InternedKey c = std::move(b);
+  EXPECT_EQ(a.use_count(), 2u);  // move does not add a reference
+  c = InternedKey();
+  EXPECT_EQ(a.use_count(), 1u);
+}
+
+TEST(InternedKey, ArenaBackedBlocksReturnToTheArena) {
+  Arena arena;
+  const char* block = nullptr;
+  {
+    InternedKey key = InternedKey::intern("arena-key", kv::fnv1a("arena-key"),
+                                          kv::kEnvelopeTag, &arena);
+    block = reinterpret_cast<const char*>(key.envelope_prefix().data());
+    EXPECT_GT(arena.stats().bytes_live, 0u);
+  }
+  EXPECT_EQ(arena.stats().bytes_live, 0u);
+  // The freed rep is recycled for the next same-sized intern.
+  InternedKey again = InternedKey::intern("arena-kez", kv::fnv1a("arena-kez"),
+                                          kv::kEnvelopeTag, &arena);
+  EXPECT_EQ(reinterpret_cast<const char*>(again.envelope_prefix().data()),
+            block);
+}
+
+TEST(InternedKey, TransparentMapLookupByStringView) {
+  std::unordered_map<InternedKey, int, InternedKeyHash, InternedKeyEq> map;
+  map.emplace(InternedKey::intern("alpha", kv::fnv1a("alpha"),
+                                  kv::kEnvelopeTag),
+              1);
+  map.emplace(InternedKey::intern("beta", kv::fnv1a("beta"), kv::kEnvelopeTag),
+              2);
+  const auto it = map.find(std::string_view("alpha"));
+  ASSERT_NE(it, map.end());
+  EXPECT_EQ(it->second, 1);
+  EXPECT_EQ(map.find(std::string_view("gamma")), map.end());
+}
+
+// ---- shared lazy-create path (both first-touch directions) --------------
+
+// A key's instance can materialize on a replica either because a local
+// command touched it first (replica_for / a client envelope) or because a
+// remote protocol message arrived first (a peer's Prepare/AppendEntries).
+// Both directions run the same instance() path; this drives one key through
+// each direction and demands identical outcomes.
+class CountClient final : public net::Endpoint {
+ public:
+  CountClient(net::Context& ctx, NodeId target) : ctx_(ctx), target_(target) {}
+
+  void on_message(NodeId, ByteSpan data) override {
+    kv::EnvelopeView env;
+    if (!kv::peek_envelope(data, env)) return;
+    Decoder dec(env.inner, env.inner_size);
+    try {
+      const auto tag = static_cast<rsm::ClientTag>(dec.get_u8());
+      if (tag == rsm::ClientTag::kUpdateDone) {
+        ++updates_done;
+      } else if (tag == rsm::ClientTag::kQueryDone) {
+        const auto done = rsm::QueryDone::decode(dec);
+        Decoder result(done.result);
+        reads[std::string(env.key)] = result.get_u64();
+      }
+    } catch (const WireError&) {
+    }
+  }
+
+  void update(std::string_view key, NodeId target = kNobody) {
+    Encoder inner;
+    rsm::ClientUpdate{make_request_id(ctx_.self(), seq_++), 0,
+                      core::encode_increment_args(1)}
+        .encode(inner);
+    ctx_.send(target == kNobody ? target_ : target,
+              kv::make_envelope(key, inner.bytes()));
+  }
+
+  void query(std::string_view key, NodeId target = kNobody) {
+    Encoder inner;
+    rsm::ClientQuery{make_request_id(ctx_.self(), seq_++), 0, {}}.encode(inner);
+    ctx_.send(target == kNobody ? target_ : target,
+              kv::make_envelope(key, inner.bytes()));
+  }
+
+  static constexpr NodeId kNobody = ~NodeId{0};
+  std::uint64_t updates_done = 0;
+  std::unordered_map<std::string, std::uint64_t> reads;
+
+ private:
+  net::Context& ctx_;
+  NodeId target_;
+  std::uint64_t seq_ = 0;
+};
+
+template <typename Store, typename Factory>
+void receive_side_first_equals_send_side_first(Factory make_store) {
+  sim::Simulator sim(17);
+  const std::vector<NodeId> replicas{0, 1, 2};
+  for (int i = 0; i < 3; ++i)
+    sim.add_node(
+        [&](net::Context& ctx) { return make_store(ctx, replicas); });
+  const NodeId client_id = sim.add_node([](net::Context& ctx) {
+    return std::make_unique<CountClient>(ctx, 0);
+  });
+  auto& client = sim.endpoint_as<CountClient>(client_id);
+
+  // Direction 1 (receive-side first on replicas 1 and 2): the client's
+  // envelope creates the instance on replica 0; the protocol's own messages
+  // create it on the peers.
+  client.update("recv-first");
+  // Direction 2 (send-side first on replica 1): materialize the key locally
+  // before any message for it ever arrives, then drive the same traffic.
+  sim.run_for(1 * kMillisecond);
+  sim.endpoint_as<Store>(1).replica_for("send-first");
+  client.update("send-first");
+  sim.run_for(2 * kSecond);
+  EXPECT_EQ(client.updates_done, 2u);
+
+  // Both keys exist on every replica regardless of which direction created
+  // them, and both report the same count through any replica.
+  for (const NodeId replica : replicas) {
+    EXPECT_TRUE(sim.endpoint_as<Store>(replica).has_key("recv-first"))
+        << "replica " << replica;
+    EXPECT_TRUE(sim.endpoint_as<Store>(replica).has_key("send-first"))
+        << "replica " << replica;
+    EXPECT_EQ(sim.endpoint_as<Store>(replica).key_count(), 2u);
+  }
+  client.query("recv-first", 1);
+  client.query("send-first", 2);
+  sim.run_for(2 * kSecond);
+  ASSERT_TRUE(client.reads.count("recv-first"));
+  ASSERT_TRUE(client.reads.count("send-first"));
+  EXPECT_EQ(client.reads["recv-first"], 1u);
+  EXPECT_EQ(client.reads["send-first"], 1u);
+}
+
+TEST(SharedCreatePath, CrdtReceiveSideFirstEqualsSendSideFirst) {
+  receive_side_first_equals_send_side_first<CrdtStore>(
+      [](net::Context& ctx, const std::vector<NodeId>& replicas) {
+        return std::make_unique<CrdtStore>(ctx, replicas,
+                                           core::ProtocolConfig{},
+                                           core::gcounter_ops(), GCounter{},
+                                           kv::ShardOptions{4});
+      });
+}
+
+TEST(SharedCreatePath, PaxosReceiveSideFirstEqualsSendSideFirst) {
+  receive_side_first_equals_send_side_first<PaxosStore>(
+      [](net::Context& ctx, const std::vector<NodeId>& replicas) {
+        return std::make_unique<PaxosStore>(ctx, replicas,
+                                            paxos::PaxosConfig{},
+                                            kv::ShardOptions{4});
+      });
+}
+
+TEST(SharedCreatePath, RaftReceiveSideFirstEqualsSendSideFirst) {
+  receive_side_first_equals_send_side_first<RaftStore>(
+      [](net::Context& ctx, const std::vector<NodeId>& replicas) {
+        return std::make_unique<RaftStore>(ctx, replicas, raft::RaftConfig{},
+                                           kv::ShardOptions{4});
+      });
+}
+
+// ---- eviction + churn (the ASan proof) ----------------------------------
+
+// Create / evict / recreate 10^4 keys on a single-replica store while
+// holding every round's envelope buffers (the "Payload spans" a transport
+// would still own) across the evictions. Under ASan this proves:
+//   * eviction destroys instances into the arena without leaving armed
+//     timers behind (their dtors cancel them — a stale timer would fire
+//     into recycled memory),
+//   * arena reuse never hands out memory something still points into,
+//   * held message buffers are never invalidated by eviction.
+// The arena must stop growing after the first round: steady-state churn is
+// pure free-list reuse.
+template <typename Store, typename Factory>
+void churn_keys_through_store(Factory make_store, int rounds, int keys) {
+  sim::Simulator sim(23);
+  const std::vector<NodeId> replicas{0};
+  sim.add_node([&](net::Context& ctx) { return make_store(ctx, replicas); });
+  const NodeId client_id = sim.add_node([](net::Context& ctx) {
+    return std::make_unique<CountClient>(ctx, 0);
+  });
+  auto& store = sim.endpoint_as<Store>(0);
+  auto& client = sim.endpoint_as<CountClient>(client_id);
+
+  std::vector<Bytes> held_envelopes;  // survive across eviction rounds
+  std::size_t reserved_after_first_round = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (int k = 0; k < keys; ++k) {
+      const std::string key = "churn" + std::to_string(k);
+      client.update(key);
+      if (k % 997 == 0) {
+        Encoder inner;
+        rsm::ClientQuery{make_request_id(99, static_cast<std::uint64_t>(k)),
+                         0,
+                         {}}
+            .encode(inner);
+        held_envelopes.push_back(kv::make_envelope(key, inner.bytes()));
+      }
+      // Keep the event queue bounded: drain in slices.
+      if (k % 512 == 511) sim.run_for(5 * kMillisecond);
+    }
+    sim.run_for(200 * kMillisecond);
+    EXPECT_EQ(store.key_count(), static_cast<std::size_t>(keys))
+        << "round " << round;
+    const auto mem = store.memory_stats();
+    EXPECT_GT(mem.bytes_per_key(), 0.0);
+    for (int k = 0; k < keys; ++k)
+      EXPECT_TRUE(store.evict("churn" + std::to_string(k)));
+    EXPECT_EQ(store.key_count(), 0u);
+    // Everything went back: no instance bytes may remain live in any arena.
+    EXPECT_EQ(store.memory_stats().arena_live_bytes, 0u) << "round " << round;
+    // Timers of evicted instances must be gone, not pending: running the
+    // simulation after a full evict must not touch recycled memory (ASan
+    // turns a violation into a crash here).
+    sim.run_for(50 * kMillisecond);
+    if (round == 0)
+      reserved_after_first_round = store.memory_stats().arena_reserved_bytes;
+    else
+      EXPECT_EQ(store.memory_stats().arena_reserved_bytes,
+                reserved_after_first_round)
+          << "round " << round << ": churn must reuse, not grow";
+  }
+  // The held buffers stayed intact through every evict/recreate cycle.
+  for (const Bytes& envelope : held_envelopes) {
+    kv::EnvelopeView env;
+    ASSERT_TRUE(kv::peek_envelope(envelope, env));
+    EXPECT_EQ(env.key_hash, kv::fnv1a(env.key));
+  }
+  EXPECT_GT(client.updates_done, 0u);
+}
+
+TEST(KeyChurn, CrdtCreateEvictRecreateTenThousandKeys) {
+  churn_keys_through_store<CrdtStore>(
+      [](net::Context& ctx, const std::vector<NodeId>& replicas) {
+        return std::make_unique<CrdtStore>(ctx, replicas,
+                                           core::ProtocolConfig{},
+                                           core::gcounter_ops(), GCounter{},
+                                           kv::ShardOptions{8});
+      },
+      /*rounds=*/3, /*keys=*/10000);
+}
+
+TEST(KeyChurn, PaxosCreateEvictRecreateTenThousandKeys) {
+  churn_keys_through_store<PaxosStore>(
+      [](net::Context& ctx, const std::vector<NodeId>& replicas) {
+        // Heartbeats on: every created key arms leader machinery, so every
+        // eviction must cancel live timers (the dangerous path).
+        return std::make_unique<PaxosStore>(ctx, replicas,
+                                            paxos::PaxosConfig{},
+                                            kv::ShardOptions{8});
+      },
+      /*rounds=*/3, /*keys=*/10000);
+}
+
+TEST(KeyChurn, RaftCreateEvictRecreateTenThousandKeys) {
+  churn_keys_through_store<RaftStore>(
+      [](net::Context& ctx, const std::vector<NodeId>& replicas) {
+        return std::make_unique<RaftStore>(ctx, replicas, raft::RaftConfig{},
+                                           kv::ShardOptions{8});
+      },
+      /*rounds=*/3, /*keys=*/10000);
+}
+
+// Eviction mid-protocol on a replicated cluster: evict every key on one
+// replica while its peers still hold state and timers referencing it by
+// node id, touch the keys again (recreating the instances through the
+// receive-side path), and demand the counts survive — the evicted replica
+// rejoins each key via the protocol's own catch-up.
+template <typename Store, typename Factory>
+void evict_and_rejoin(Factory make_store) {
+  sim::Simulator sim(31);
+  const std::vector<NodeId> replicas{0, 1, 2};
+  for (int i = 0; i < 3; ++i)
+    sim.add_node(
+        [&](net::Context& ctx) { return make_store(ctx, replicas); });
+  const NodeId client_id = sim.add_node([](net::Context& ctx) {
+    return std::make_unique<CountClient>(ctx, 1);
+  });
+  auto& client = sim.endpoint_as<CountClient>(client_id);
+  const int kKeys = 50;
+  for (int k = 0; k < kKeys; ++k)
+    client.update("rejoin" + std::to_string(k));
+  sim.run_for(2 * kSecond);
+  ASSERT_EQ(client.updates_done, static_cast<std::uint64_t>(kKeys));
+
+  // Drop replica 0's copy of every key (its logs, roles and timers die with
+  // the instances; peers keep the committed state).
+  for (int k = 0; k < kKeys; ++k)
+    EXPECT_TRUE(sim.endpoint_as<Store>(0).evict("rejoin" + std::to_string(k)));
+  EXPECT_EQ(sim.endpoint_as<Store>(0).key_count(), 0u);
+  sim.run_for(500 * kMillisecond);
+
+  // Second increment per key, again via replica 1: replica 0 is recreated
+  // on demand by protocol traffic and must catch back up.
+  for (int k = 0; k < kKeys; ++k)
+    client.update("rejoin" + std::to_string(k));
+  sim.run_for(3 * kSecond);
+  EXPECT_EQ(client.updates_done, static_cast<std::uint64_t>(2 * kKeys));
+  for (int k = 0; k < kKeys; ++k)
+    client.query("rejoin" + std::to_string(k));
+  sim.run_for(2 * kSecond);
+  for (int k = 0; k < kKeys; ++k) {
+    const std::string key = "rejoin" + std::to_string(k);
+    ASSERT_TRUE(client.reads.count(key)) << key;
+    EXPECT_EQ(client.reads[key], 2u) << key;
+  }
+}
+
+TEST(KeyChurn, CrdtEvictedReplicaRejoinsPerKey) {
+  evict_and_rejoin<CrdtStore>(
+      [](net::Context& ctx, const std::vector<NodeId>& replicas) {
+        return std::make_unique<CrdtStore>(ctx, replicas,
+                                           core::ProtocolConfig{},
+                                           core::gcounter_ops(), GCounter{},
+                                           kv::ShardOptions{4});
+      });
+}
+
+TEST(KeyChurn, PaxosEvictedReplicaRejoinsPerKey) {
+  evict_and_rejoin<PaxosStore>(
+      [](net::Context& ctx, const std::vector<NodeId>& replicas) {
+        return std::make_unique<PaxosStore>(ctx, replicas,
+                                            paxos::PaxosConfig{},
+                                            kv::ShardOptions{4});
+      });
+}
+
+TEST(KeyChurn, RaftEvictedReplicaRejoinsPerKey) {
+  evict_and_rejoin<RaftStore>(
+      [](net::Context& ctx, const std::vector<NodeId>& replicas) {
+        return std::make_unique<RaftStore>(ctx, replicas, raft::RaftConfig{},
+                                           kv::ShardOptions{4});
+      });
+}
+
+}  // namespace
+}  // namespace lsr
