@@ -20,11 +20,19 @@
 //   --failover N       switch replica after N consecutive timeouts
 //                      (default 0 = same-replica retry — keep 0 for crdt,
 //                      whose session dedup is per replica)
+//   --retry-budget N   retransmissions per request before the request is
+//                      abandoned (default 0 = retry forever). An abandoned
+//                      update stays in the history as possibly-applied, so
+//                      the verdict below remains sound.
 //   --seed S           rng seed (default 1)
 //   --deadline-ms M    give up after M ms (default 60000)
 //
 // Exit code: 0 completed + linearizable, 1 linearizability violation,
-// 2 usage/membership error, 3 deadline exceeded.
+// 2 usage/membership error, 3 deadline exceeded (but linearizable so far).
+// The history is checked on EVERY exit path that ran operations — a
+// deadline overrun must not mask a violation (1 wins over 3), and the ops
+// that never completed are flushed into the history as possibly-applied
+// rather than silently dropped.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -49,7 +57,8 @@ int usage(const char* argv0) {
                "usage: %s --id N (--peers SPEC | --peers-file PATH)\n"
                "          [--replicas R] [--target T] [--ops N] [--keys K]\n"
                "          [--zipf T] [--read-ratio F] [--retry-ms M]\n"
-               "          [--failover N] [--seed S] [--deadline-ms M]\n",
+               "          [--failover N] [--retry-budget N] [--seed S]\n"
+               "          [--deadline-ms M]\n",
                argv0);
   return 2;
 }
@@ -64,6 +73,7 @@ int main(int argc, char** argv) {
   long keys = 24;
   long retry_ms = 50;
   long failover = 0;
+  long retry_budget = 0;
   long seed = 1;
   long deadline_ms = 60000;
   double zipf_theta = 0.99;
@@ -85,6 +95,7 @@ int main(int argc, char** argv) {
     else if (flag("--read-ratio")) read_ratio = std::atof(argv[++i]);
     else if (flag("--retry-ms")) retry_ms = std::atol(argv[++i]);
     else if (flag("--failover")) failover = std::atol(argv[++i]);
+    else if (flag("--retry-budget")) retry_budget = std::atol(argv[++i]);
     else if (flag("--seed")) seed = std::atol(argv[++i]);
     else if (flag("--deadline-ms")) deadline_ms = std::atol(argv[++i]);
     else return usage(argv[0]);
@@ -139,7 +150,8 @@ int main(int argc, char** argv) {
     if (retry_ms > 0)
       client->enable_retry(retry_ms * kMillisecond,
                            static_cast<int>(failover),
-                           static_cast<NodeId>(replicas));
+                           static_cast<NodeId>(replicas),
+                           static_cast<int>(retry_budget));
     return client;
   });
   cluster.start();
@@ -160,17 +172,14 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   cluster.stop();
-  if (!completed) {
-    std::fprintf(stderr, "lsr_client %u: FAILED: only %llu/%ld ops within "
-                         "the deadline\n",
-                 self,
-                 static_cast<unsigned long long>(
-                     cluster.endpoint_as<verify::KvRecordingClient>(self)
-                         .completed()),
-                 ops);
-    return 3;
-  }
-  cluster.endpoint_as<verify::KvRecordingClient>(self).flush_pending();
+  auto& client = cluster.endpoint_as<verify::KvRecordingClient>(self);
+  const std::uint64_t done = client.completed();
+  const std::uint64_t abandoned = client.abandoned();
+  // Whatever happened — deadline overrun included — the history must be
+  // closed out and checked: the old early-return here skipped both, so a
+  // timed-out run could hide a real violation behind exit code 3 and its
+  // still-pending update was silently dropped from the history.
+  client.flush_pending();
 
   bool linearizable = true;
   for (const auto& [key, key_history] : history.histories()) {
@@ -181,8 +190,18 @@ int main(int argc, char** argv) {
                    check.explanation.c_str());
     }
   }
-  std::printf("lsr_client %u: completed %ld ops over %zu keys -> %s\n", self,
-              ops, history.key_count(),
+  if (!completed)
+    std::fprintf(stderr,
+                 "lsr_client %u: FAILED: only %llu/%ld ops within the "
+                 "deadline (%llu abandoned)\n",
+                 self, static_cast<unsigned long long>(done), ops,
+                 static_cast<unsigned long long>(abandoned));
+  std::printf("lsr_client %u: completed %llu/%ld ops (%llu abandoned) over "
+              "%zu keys -> %s\n",
+              self, static_cast<unsigned long long>(done), ops,
+              static_cast<unsigned long long>(abandoned),
+              history.key_count(),
               linearizable ? "linearizable" : "VIOLATION");
-  return linearizable ? 0 : 1;
+  if (!linearizable) return 1;
+  return completed ? 0 : 3;
 }

@@ -15,6 +15,10 @@
 //   --system S          crdt | paxos | raft          (default crdt)
 //   --shards N          key-space shards, power of two (default 4)
 //   --groups N          executor groups (default: min(cores, shards))
+//   --read-leases       crdt only: serve reads from quorum-granted local
+//                       leases (zero message rounds; writes revoke first)
+//   --lease-ttl-ms M    lease time-to-live (default 200); a SIGKILLed
+//                       leaseholder delays conflicting commits at most M ms
 //
 // The same binary is what verify::ProcessCluster forks for the
 // fault-injection harness and what scripts/run_local_cluster.sh spawns; a
@@ -53,7 +57,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --id N (--peers SPEC | --peers-file PATH)\n"
       "          [--replicas R] [--system crdt|paxos|raft]\n"
-      "          [--shards N] [--groups N]\n",
+      "          [--shards N] [--groups N]\n"
+      "          [--read-leases] [--lease-ttl-ms M]\n",
       argv0);
   return 2;
 }
@@ -65,6 +70,8 @@ int main(int argc, char** argv) {
   long replicas = -1;
   long shards = 4;
   long groups = 0;
+  bool read_leases = false;
+  long lease_ttl_ms = 200;
   const char* peers = nullptr;
   const char* peers_file = nullptr;
   const char* system = "crdt";
@@ -79,6 +86,8 @@ int main(int argc, char** argv) {
     else if (flag("--system")) system = argv[++i];
     else if (flag("--shards")) shards = std::atol(argv[++i]);
     else if (flag("--groups")) groups = std::atol(argv[++i]);
+    else if (flag("--lease-ttl-ms")) lease_ttl_ms = std::atol(argv[++i]);
+    else if (std::strcmp(argv[i], "--read-leases") == 0) read_leases = true;
     else return usage(argv[0]);
   }
   if (id < 0 || (peers == nullptr) == (peers_file == nullptr))
@@ -120,9 +129,12 @@ int main(int argc, char** argv) {
   const NodeId self = static_cast<NodeId>(id);
   net::TcpCluster cluster(membership);
   if (std::strcmp(system, "crdt") == 0) {
+    core::ProtocolConfig protocol;
+    protocol.read_leases = read_leases;
+    protocol.lease_ttl = lease_ttl_ms * kMillisecond;
     cluster.add_node(self, [&](net::Context& ctx) {
       return std::make_unique<kv::ShardedStore<lattice::GCounter>>(
-          ctx, replica_ids, core::ProtocolConfig{}, core::gcounter_ops(),
+          ctx, replica_ids, protocol, core::gcounter_ops(),
           lattice::GCounter{}, shard_options);
     });
   } else if (std::strcmp(system, "paxos") == 0) {
@@ -153,9 +165,10 @@ int main(int argc, char** argv) {
   cluster.start();
   const auto& address = membership.address(self);
   std::printf("lsr_node %u serving on %s:%u (system=%s, shards=%ld, "
-              "replicas=%ld of %zu members)\n",
+              "replicas=%ld of %zu members%s)\n",
               self, address.host.c_str(), address.port, system, shards,
-              replicas, membership.size());
+              replicas, membership.size(),
+              read_leases ? ", read leases on" : "");
   std::fflush(stdout);
 
   while (!g_stop.load())

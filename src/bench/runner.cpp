@@ -286,8 +286,16 @@ RunResult run_kv_workload(const KvRunConfig& config) {
       fold_memory(store.memory_stats());
     }
   } else {
-    for (std::size_t i = 0; i < config.replicas; ++i)
-      fold_memory(sim.endpoint_as<Store>(replica_ids[i]).memory_stats());
+    for (std::size_t i = 0; i < config.replicas; ++i) {
+      const auto& store = sim.endpoint_as<Store>(replica_ids[i]);
+      fold_memory(store.memory_stats());
+      const core::LeaseStats lease = store.lease_stats();
+      result.lease_hits += lease.lease_hits;
+      result.lease_acquisitions += lease.lease_acquisitions;
+      result.lease_revokes += lease.lease_revokes;
+      result.lease_expiries += lease.lease_expiries + lease.holder_expiries;
+      result.merges_deferred += lease.merges_deferred;
+    }
   }
   return result;
 }

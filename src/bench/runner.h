@@ -88,6 +88,14 @@ struct RunResult {
   std::uint64_t idle_parks = 0;
   std::uint64_t idle_unparks = 0;
 
+  // Read leases (kCrdt/kCrdtBatching with protocol.read_leases): counters
+  // summed over replicas and keys (see core::LeaseStats).
+  std::uint64_t lease_hits = 0;
+  std::uint64_t lease_acquisitions = 0;
+  std::uint64_t lease_revokes = 0;
+  std::uint64_t lease_expiries = 0;  // grantor records + holder-side expiries
+  std::uint64_t merges_deferred = 0;
+
   double percentile_read_ms(double q) const {
     return static_cast<double>(read_latency.percentile(q)) / kMillisecond;
   }
@@ -122,7 +130,9 @@ struct KvRunConfig {
   TimeNs measure = 2 * kSecond;
   std::uint64_t seed = 1;
 
-  // CRDT Paxos knobs (kCrdt, kCrdtBatching).
+  // CRDT Paxos knobs (kCrdt, kCrdtBatching). protocol.read_leases turns on
+  // the per-key read-lease layer (core/lease.h): RunResult then reports the
+  // lease_hits/revokes/expiries counters the ablation reads.
   core::ProtocolConfig protocol;
   // Per-key proposer batching (paper Sect. 3.6). > 0: every key's proposer
   // buffers commands and flushes once per interval — Zipfian hot keys

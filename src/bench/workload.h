@@ -104,17 +104,29 @@ class RetrySchedule {
 
   // failover_after = 0 pins the client to its replica forever — required on
   // the CRDT path, whose session dedup is per replica; the log baselines'
-  // replicated session tables also tolerate rotation.
-  void enable(TimeNs timeout, int failover_after, NodeId replica_count) {
+  // replicated session tables also tolerate rotation. max_retries bounds
+  // retransmissions per request (0 = retry forever): once the budget is
+  // spent the request is NOT retransmitted again and on_exhausted fires
+  // instead, exactly once per request.
+  void enable(TimeNs timeout, int failover_after, NodeId replica_count,
+              int max_retries = 0) {
     timeout_ = timeout;
     failover_after_ = failover_after;
     replica_count_ = replica_count;
+    max_retries_ = max_retries;
   }
 
   bool enabled() const { return timeout_ > 0; }
 
   // Current target replica (advanced by failover).
   NodeId replica() const { return replica_; }
+
+  // Fires when max_retries retransmissions of one request all went
+  // unanswered. The owning client must treat the operation as ABANDONED:
+  // it was invoked (the request may still take effect server-side at any
+  // later time) but will never complete here — silently forgetting it
+  // makes histories unsound and closed loops report phantom hangs.
+  std::function<void()> on_exhausted;
 
   // Call after every transmission of the in-flight request; on expiry the
   // (possibly rotated) target is in replica() and `retransmit` runs.
@@ -123,6 +135,14 @@ class RetrySchedule {
     timer_ = ctx_.set_timer(
         timeout_, 0, [this, retransmit = std::move(retransmit)] {
           timer_ = net::kInvalidTimer;
+          if (max_retries_ > 0 && retries_used_ >= max_retries_ &&
+              on_exhausted) {
+            retries_used_ = 0;
+            timeouts_in_a_row_ = 0;
+            on_exhausted();  // may start the next request re-entrantly
+            return;
+          }
+          ++retries_used_;
           ++timeouts_in_a_row_;
           if (failover_after_ > 0 && timeouts_in_a_row_ >= failover_after_ &&
               replica_count_ > 1) {
@@ -140,6 +160,7 @@ class RetrySchedule {
       timer_ = net::kInvalidTimer;
     }
     timeouts_in_a_row_ = 0;
+    retries_used_ = 0;
   }
 
  private:
@@ -148,7 +169,9 @@ class RetrySchedule {
   TimeNs timeout_ = 0;
   int failover_after_ = 0;
   NodeId replica_count_ = 0;
+  int max_retries_ = 0;  // 0 = unbounded
   int timeouts_in_a_row_ = 0;
+  int retries_used_ = 0;  // retransmissions of the in-flight request
   net::TimerId timer_ = net::kInvalidTimer;
 };
 
@@ -316,9 +339,18 @@ class KvWorkloadClient final : public net::Endpoint {
   // this closed-loop client for the rest of the run (the PR 4 ROADMAP
   // wedge). Safe on every system: queries are idempotent and updates are
   // deduped by the per-client sessions. See RetrySchedule for the failover
-  // semantics (keep failover_after 0 on the CRDT path).
-  void enable_retry(TimeNs timeout, int failover_after, NodeId replica_count) {
-    retry_.enable(timeout, failover_after, replica_count);
+  // semantics (keep failover_after 0 on the CRDT path). max_retries > 0
+  // bounds retransmissions per request; an exhausted request is counted in
+  // abandoned() and the closed loop moves on — it neither hangs forever on
+  // one dead request nor silently pretends the request never happened.
+  void enable_retry(TimeNs timeout, int failover_after, NodeId replica_count,
+                    int max_retries = 0) {
+    retry_.enable(timeout, failover_after, replica_count, max_retries);
+    retry_.on_exhausted = [this] {
+      ++abandoned_;
+      inflight_request_ = 0;  // a late reply must not look current
+      submit_next();
+    };
   }
 
   void on_start() override { submit_next(); }
@@ -351,6 +383,9 @@ class KvWorkloadClient final : public net::Endpoint {
   }
 
   std::uint64_t completed() const { return completed_; }
+
+  // Requests whose retransmission budget ran out: invoked, never answered.
+  std::uint64_t abandoned() const { return abandoned_; }
 
  private:
   void submit_next() {
@@ -392,6 +427,7 @@ class KvWorkloadClient final : public net::Endpoint {
   TimeNs inflight_start_ = 0;
   std::uint64_t next_counter_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t abandoned_ = 0;
 };
 
 }  // namespace lsr::bench

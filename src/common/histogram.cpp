@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "common/assert.h"
 
@@ -31,6 +32,15 @@ std::int64_t Histogram::bucket_upper(int index) {
                               << (high - 5);
   const std::uint64_t width = std::uint64_t{1} << (high - 5);
   return static_cast<std::int64_t>(lower + width - 1);
+}
+
+std::int64_t Histogram::bucket_lower(int index) {
+  if (index < kUnitBuckets) return index;  // exact
+  const int row = (index - kUnitBuckets) / kSubBuckets + 1;
+  const int offset = (index - kUnitBuckets) % kSubBuckets;
+  const int high = row + 5;
+  return static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(kSubBuckets + offset) << (high - 5));
 }
 
 void Histogram::record(std::int64_t value) { record_n(value, 1); }
@@ -74,14 +84,32 @@ double Histogram::mean() const {
 std::int64_t Histogram::percentile(double quantile) const {
   if (count_ == 0) return 0;
   quantile = std::clamp(quantile, 0.0, 1.0);
-  const auto target = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(quantile * static_cast<double>(count_) +
-                                    0.5));
-  std::uint64_t seen = 0;
+  // Nearest rank in [1, count]: ceil(q * count). The epsilon keeps exact
+  // quantiles from rounding up a whole rank when q * count lands a few ulps
+  // above the integer (0.3 * 10 = 3.0000000000000004); the old
+  // "+ 0.5 then truncate" rounding pushed boundary quantiles (e.g. the
+  // median of an even count) one rank high instead.
+  const double h = quantile * static_cast<double>(count_);
+  const auto target = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::ceil(h - 1e-9)), 1, count_);
+  std::uint64_t before = 0;  // entries in buckets preceding bucket i
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (seen >= target && buckets_[i] > 0)
-      return std::min<std::int64_t>(bucket_upper(static_cast<int>(i)), max_);
+    if (buckets_[i] == 0) continue;
+    if (before + buckets_[i] >= target) {
+      // Rank `target` falls in this bucket: interpolate linearly by
+      // intra-bucket rank instead of reporting the bucket's upper edge,
+      // which inflated every quantile of sub-bucket-width distributions by
+      // up to a full bucket width. Clamping into the observed range keeps
+      // single-valued histograms exact.
+      const std::int64_t lower = bucket_lower(static_cast<int>(i));
+      const std::int64_t upper = bucket_upper(static_cast<int>(i));
+      const double frac = static_cast<double>(target - before) /
+                          static_cast<double>(buckets_[i]);
+      const auto value = static_cast<std::int64_t>(
+          static_cast<double>(lower) + frac * static_cast<double>(upper - lower));
+      return std::clamp(value, min_, max_);
+    }
+    before += buckets_[i];
   }
   return max_;
 }

@@ -2,9 +2,10 @@
 //
 // Values below 64 are bucketed exactly; larger values use 32 sub-buckets per
 // octave (~3 % relative precision), ample for nanosecond latencies. Memory is
-// a fixed ~15 KiB per histogram. percentile() reports bucket upper edges
-// clamped to the observed maximum, so single-valued histograms report
-// exactly that value.
+// a fixed ~15 KiB per histogram. percentile() uses the nearest-rank value
+// interpolated linearly within its bucket, clamped to the observed
+// [min, max] — single-valued histograms report exactly that value, and
+// sub-bucket-width distributions are not inflated to the bucket edge.
 #pragma once
 
 #include <cstdint>
@@ -29,8 +30,8 @@ class Histogram {
   std::int64_t max() const;  // 0 when empty
   double mean() const;       // 0 when empty
 
-  // Returns an upper bound (within ~3 % relative error, clamped to max())
-  // for the value at the given quantile in [0,1]. Returns 0 when empty.
+  // Value at the given quantile in [0,1] (nearest rank, interpolated within
+  // its bucket, clamped to [min(), max()]). Returns 0 when empty.
   std::int64_t percentile(double quantile) const;
 
   void clear();
@@ -42,6 +43,7 @@ class Histogram {
   static constexpr int kNumBuckets = kUnitBuckets + kOctaves * kSubBuckets;
 
   static int bucket_index(std::int64_t value);
+  static std::int64_t bucket_lower(int index);
   static std::int64_t bucket_upper(int index);
 
   std::vector<std::uint64_t> buckets_;

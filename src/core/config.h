@@ -50,6 +50,22 @@ struct ProtocolConfig {
   // replicated session tables of the log baselines.
   bool client_sessions = true;
 
+  // Read leases (ROADMAP item 1, see core/lease.h): replicas acquire
+  // quorum-granted per-key leases by piggybacking on the query learn and
+  // then answer client queries from their local stable state with zero
+  // message rounds. Conflicting updates revoke (recall + release) before
+  // their MERGED quorum completes; a crashed leaseholder delays commit by at
+  // most lease_ttl. Off by default — without leases the protocol is exactly
+  // the paper's.
+  bool read_leases = false;
+
+  // Lease validity window. Grantors hold their record for receive time +
+  // lease_ttl; holders stop serving at send time + lease_ttl −
+  // lease_skew_margin, so with bounded clock drift (< margin over one TTL)
+  // every holder stops before any grantor forgets the grant.
+  TimeNs lease_ttl = 200 * kMillisecond;
+  TimeNs lease_skew_margin = 25 * kMillisecond;
+
   // Extension (paper Sect. 5, "future research": delta-state CRDTs of
   // Almeida et al.): MERGE messages ship only the delta produced by the
   // batch of updates instead of the full payload state. Requires

@@ -1,0 +1,248 @@
+// lsr::lease — per-key read leases for the CRDT protocol (ROADMAP item 1).
+//
+// A replica acquires a lease by piggybacking a lease request on the query
+// learn it already runs (PREPARE carries {lease_request, lease_epoch}; ACK
+// carries lease_granted): the learned state is the holder's *stable* serving
+// state — by quorum intersection it includes every update committed before
+// the grant — and a quorum of granted ACKs makes the lease held. While the
+// lease is valid the holder answers client queries from its local stable
+// state with zero message rounds.
+//
+// Conflicting traffic is fenced by the grantors (this file): an acceptor
+// that granted a still-live lease withholds its reply to any protocol step
+// that could surface state the holder has not served — from every node
+// other than that holder — until the holder revokes or the lease expires:
+//   * MERGEs: the join is applied immediately (joins are always safe); only
+//     the MERGED ack that would let the update commit is deferred.
+//   * PREPAREs (query learns): the positive ACK is computed, then parked —
+//     an acceptor's state may contain joined-but-uncommitted updates whose
+//     commits are themselves lease-fenced, and a learn that returned such a
+//     state to a reader would let the holder's next local read run backwards
+//     in time. NACKs flow (they cannot complete a learn), and the VOTE phase
+//     needs a full ACK quorum first, so fencing ACKs fences the whole learn.
+// The deferring grantor recalls the holder; the holder revokes (stops
+// serving) and broadcasts a release, at which point deferred replies flow.
+// A dead holder simply never releases: the grantor's record expires after
+// the TTL and the replies flow then — a crashed leaseholder delays commits
+// and foreign reads by at most one TTL, never blocks them.
+//
+// Why this is linearizable (per key):
+//   * every update commit needs a majority of MERGED acks, every query
+//     learn a majority of ACKs, and every lease is granted by a majority of
+//     acceptors — each pair always intersects, so at least one granting
+//     acceptor defers its reply until the holder has revoked or the lease
+//     has expired. No update is acknowledged to a client and no foreign
+//     read returns while any other replica could still serve a stale local
+//     read.
+//   * the holder serves only its stable state (states learned by the query
+//     protocol plus update states that completed a MERGED quorum), never
+//     raw in-flight joins — a lease read can therefore never observe an
+//     update that a later protocol read could miss.
+//   * holder validity is computed from the attempt's *send* time minus a
+//     skew margin, grantor records from *receive* time plus the full TTL:
+//     with monotone clocks and non-negative delivery delay the holder
+//     always stops serving before any grantor forgets the lease.
+//
+// The grantor side lives here (owned by core::Replica, one per protocol
+// instance / key); the holder side is bookkeeping inside core::Proposer.
+// Everything is demand-driven: a key with no lease activity arms no timers
+// and sends no messages, so idle demoted keys keep costing zero.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/stats.h"
+
+namespace lsr::core {
+
+// Grantor-side lease table of one protocol instance (one key): which remote
+// proposers hold a live read lease granted by the co-located acceptor, and
+// which MERGED acknowledgments are deferred behind those leases.
+class LeaseGrantor {
+ public:
+  struct Record {
+    NodeId holder = 0;
+    std::uint32_t epoch = 0;
+    TimeNs deadline = 0;  // local receive time + TTL
+  };
+
+  // A reply parked behind a live foreign lease, delivered once no live
+  // lease held by a node other than `proposer` remains. MERGED acks are
+  // synthesized from (proposer, op) at flush time; query ACKs carry their
+  // encoded wire bytes, captured when the PREPARE was handled (serving the
+  // defer-time state after the fence lifts is just a slow message).
+  struct Deferred {
+    NodeId proposer = 0;
+    std::uint64_t op = 0;
+    Bytes ack_reply;  // empty: MERGED ack; else: encoded query ACK
+  };
+
+  // Wired by the owning Replica: delivers a (possibly deferred) MERGED ack
+  // or an encoded query ACK to `proposer`, and a lease recall to a holder.
+  // All must tolerate the destination being this node itself.
+  std::function<void(NodeId proposer, std::uint64_t op)> deliver_merged;
+  std::function<void(NodeId proposer, const Bytes& reply)> deliver_ack;
+  std::function<void(NodeId holder, std::uint32_t epoch)> send_recall;
+  // Invoked whenever an ack was deferred: the owner arms its demand-driven
+  // expiry timer (at next_deadline) so a dead holder cannot block the ack
+  // past the TTL. Never invoked on idle keys.
+  std::function<void()> on_deferred;
+
+  // Grants (or refuses) a lease to `holder` on a lease-requesting PREPARE.
+  // Refused while a write is waiting (deferred acks pending): admitting new
+  // readers would starve the writer past the TTL bound.
+  bool grant(NodeId holder, std::uint32_t epoch, TimeNs now, TimeNs ttl) {
+    prune(now);
+    if (!deferred_.empty()) {
+      ++stats_.lease_denials;
+      return false;
+    }
+    for (Record& record : records_) {
+      if (record.holder == holder) {  // re-acquisition: newest epoch wins
+        if (epoch >= record.epoch) {
+          record.epoch = epoch;
+          record.deadline = now + ttl;
+          ++stats_.lease_grants;
+          return true;
+        }
+        ++stats_.lease_denials;  // stale epoch (reordered old attempt)
+        return false;
+      }
+    }
+    records_.push_back(Record{holder, epoch, now + ttl});
+    ++stats_.lease_grants;
+    return true;
+  }
+
+  // True when a MERGE from `proposer` must have its ack deferred: some other
+  // node holds a live lease granted here.
+  bool should_defer(NodeId proposer, TimeNs now) {
+    prune(now);
+    for (const Record& record : records_)
+      if (record.holder != proposer) return true;
+    return false;
+  }
+
+  // Registers a deferred MERGED ack (dedup by (proposer, op) — MERGE
+  // retransmissions re-enter here) and recalls every blocking holder.
+  // Recalls are re-sent on every call: they are idempotent, and a lost
+  // recall must not extend the deferral past the holder's retransmission.
+  void defer(NodeId proposer, std::uint64_t op, TimeNs now) {
+    bool known = false;
+    for (const Deferred& d : deferred_)
+      if (d.proposer == proposer && d.op == op) {
+        known = true;
+        break;
+      }
+    if (!known) {
+      deferred_.push_back(Deferred{proposer, op, {}});
+      ++stats_.merges_deferred;
+    }
+    recall_blockers(proposer, now);
+    if (on_deferred) on_deferred();
+  }
+
+  // Parks an encoded query ACK for `proposer`'s learn (read fencing) and
+  // recalls every blocking holder. A retried PREPARE replaces the stored
+  // reply: the proposer only accepts its newest attempt, so flushing a
+  // superseded ACK would stall the reader for another retry cycle.
+  void defer_ack(NodeId proposer, std::uint64_t op, Bytes reply, TimeNs now) {
+    bool known = false;
+    for (Deferred& d : deferred_)
+      if (d.proposer == proposer && d.op == op) {
+        d.ack_reply = std::move(reply);
+        known = true;
+        break;
+      }
+    if (!known) {
+      deferred_.push_back(Deferred{proposer, op, std::move(reply)});
+      ++stats_.queries_deferred;
+    }
+    recall_blockers(proposer, now);
+    if (on_deferred) on_deferred();
+  }
+
+  // Holder `holder` released every lease epoch <= `epoch` (revocation ack,
+  // recall + ack in the classic cache-lease shape).
+  void release(NodeId holder, std::uint32_t epoch, TimeNs now) {
+    for (std::size_t i = 0; i < records_.size(); ++i)
+      if (records_[i].holder == holder && records_[i].epoch <= epoch) {
+        records_.erase(records_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++stats_.lease_releases;
+        break;
+      }
+    flush(now);
+  }
+
+  // Expires overdue records (the dead-holder path) and flushes any acks they
+  // were blocking. Called from the owning replica's expiry timer.
+  void on_expiry(TimeNs now) {
+    prune(now);
+    flush(now);
+  }
+
+  // Earliest grantor deadline, or 0 when no records are live (used to arm
+  // the demand-driven expiry timer — no leases, no timer).
+  TimeNs next_deadline() const {
+    TimeNs earliest = 0;
+    for (const Record& record : records_)
+      if (earliest == 0 || record.deadline < earliest)
+        earliest = record.deadline;
+    return earliest;
+  }
+
+  bool has_records() const { return !records_.empty(); }
+  bool has_deferred() const { return !deferred_.empty(); }
+
+  // Crash recovery: deferred acks die with the crash (the merging proposers
+  // retransmit and re-enter the deferral); lease records are part of the
+  // surviving acceptor state and keep fencing until they expire.
+  void on_recover() { deferred_.clear(); }
+
+  const LeaseStats& stats() const { return stats_; }
+
+ private:
+  void recall_blockers(NodeId proposer, TimeNs now) {
+    for (const Record& record : records_)
+      if (record.holder != proposer && record.deadline > now) {
+        ++stats_.recalls_sent;
+        send_recall(record.holder, record.epoch);
+      }
+  }
+
+  void prune(TimeNs now) {
+    for (std::size_t i = 0; i < records_.size();) {
+      if (records_[i].deadline <= now) {
+        records_.erase(records_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++stats_.lease_expiries;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void flush(TimeNs now) {
+    for (std::size_t i = 0; i < deferred_.size();) {
+      if (!should_defer(deferred_[i].proposer, now)) {
+        const Deferred d = std::move(deferred_[i]);
+        deferred_.erase(deferred_.begin() + static_cast<std::ptrdiff_t>(i));
+        if (d.ack_reply.empty())
+          deliver_merged(d.proposer, d.op);
+        else
+          deliver_ack(d.proposer, d.ack_reply);
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  std::vector<Record> records_;    // live leases granted by this acceptor
+  std::vector<Deferred> deferred_;  // replies waiting on revocation
+  LeaseStats stats_;
+};
+
+}  // namespace lsr::core

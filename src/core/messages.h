@@ -26,6 +26,8 @@ enum class MsgTag : std::uint8_t {
   kVote = 20,
   kVoted = 21,
   kNack = 22,
+  kLeaseRecall = 23,
+  kLeaseRelease = 24,
 };
 
 // <MERGE, s> — update propagation (Alg. 2 line 4).
@@ -63,13 +65,18 @@ struct Merged {
 };
 
 // <PREPARE, r, s> — phase-1 announcement (line 10). The payload state is
-// optional (Sect. 3.6: proposers need not ship s0).
+// optional (Sect. 3.6: proposers need not ship s0). With read leases on, a
+// PREPARE may additionally request an epoch-numbered lease from each
+// acceptor: the learn this PREPARE belongs to doubles as the lease grant
+// round (see core/lease.h).
 template <lattice::SerializableLattice L>
 struct Prepare {
   std::uint64_t op = 0;
   std::uint32_t attempt = 0;
   Round round;  // round.number may be kIncrementalNumber (⊥)
   std::optional<L> state;
+  bool lease_request = false;
+  std::uint32_t lease_epoch = 0;
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(MsgTag::kPrepare));
@@ -78,6 +85,8 @@ struct Prepare {
     round.encode(enc);
     enc.put_bool(state.has_value());
     if (state) state->encode(enc);
+    enc.put_bool(lease_request);
+    if (lease_request) enc.put_u32(lease_epoch);
   }
   static Prepare decode(Decoder& dec) {
     Prepare msg;
@@ -85,18 +94,22 @@ struct Prepare {
     msg.attempt = dec.get_u32();
     msg.round = Round::decode(dec);
     if (dec.get_bool()) msg.state = L::decode(dec);
+    msg.lease_request = dec.get_bool();
+    if (msg.lease_request) msg.lease_epoch = dec.get_u32();
     return msg;
   }
 };
 
 // <ACK, r, s> — phase-1 acceptance carrying the acceptor's round and payload
-// state (line 42).
+// state (line 42). lease_granted answers a PREPARE's lease_request: true iff
+// the acceptor's grantor recorded a lease for the proposer.
 template <lattice::SerializableLattice L>
 struct Ack {
   std::uint64_t op = 0;
   std::uint32_t attempt = 0;
   Round round;
   L state;
+  bool lease_granted = false;
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(MsgTag::kAck));
@@ -104,6 +117,7 @@ struct Ack {
     enc.put_u32(attempt);
     round.encode(enc);
     state.encode(enc);
+    enc.put_bool(lease_granted);
   }
   static Ack decode(Decoder& dec) {
     Ack msg;
@@ -111,6 +125,7 @@ struct Ack {
     msg.attempt = dec.get_u32();
     msg.round = Round::decode(dec);
     msg.state = L::decode(dec);
+    msg.lease_granted = dec.get_bool();
     return msg;
   }
 };
@@ -191,9 +206,42 @@ struct Nack {
   }
 };
 
+// <LEASE-RECALL, e> — grantor → holder: a write is deferred behind the
+// holder's lease with epoch e; the holder must revoke and broadcast a
+// LEASE-RELEASE. Idempotent (re-sent on every deferred MERGE arrival).
+struct LeaseRecall {
+  std::uint32_t epoch = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kLeaseRecall));
+    enc.put_u32(epoch);
+  }
+  static LeaseRecall decode(Decoder& dec) {
+    LeaseRecall msg;
+    msg.epoch = dec.get_u32();
+    return msg;
+  }
+};
+
+// <LEASE-RELEASE, e> — holder → all acceptors: every lease the sender holds
+// with epoch <= e is revoked; deferred MERGED acks behind it may flow.
+struct LeaseRelease {
+  std::uint32_t epoch = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kLeaseRelease));
+    enc.put_u32(epoch);
+  }
+  static LeaseRelease decode(Decoder& dec) {
+    LeaseRelease msg;
+    msg.epoch = dec.get_u32();
+    return msg;
+  }
+};
+
 template <lattice::SerializableLattice L>
 using Message = std::variant<Merge<L>, Merged, Prepare<L>, Ack<L>, Vote<L>,
-                             Voted<L>, Nack<L>>;
+                             Voted<L>, Nack<L>, LeaseRecall, LeaseRelease>;
 
 template <lattice::SerializableLattice L>
 Bytes encode_message(const Message<L>& msg) {
@@ -214,16 +262,21 @@ Message<L> decode_message(Decoder& dec) {
     case MsgTag::kVote: return Vote<L>::decode(dec);
     case MsgTag::kVoted: return Voted<L>::decode(dec);
     case MsgTag::kNack: return Nack<L>::decode(dec);
+    case MsgTag::kLeaseRecall: return LeaseRecall::decode(dec);
+    case MsgTag::kLeaseRelease: return LeaseRelease::decode(dec);
   }
   throw WireError("unknown protocol message tag");
 }
 
-// True when the tag addresses the acceptor role (PREPARE/VOTE/MERGE), false
-// for proposer-bound replies. Used for execution-lane classification.
+// True when the tag addresses the acceptor role (PREPARE/VOTE/MERGE, plus
+// LEASE-RELEASE which targets the co-located grantor), false for
+// proposer-bound replies (LEASE-RECALL targets the holder, i.e. the
+// proposer). Used for execution-lane classification.
 inline bool is_acceptor_bound(std::uint8_t tag) {
   return tag == static_cast<std::uint8_t>(MsgTag::kMerge) ||
          tag == static_cast<std::uint8_t>(MsgTag::kPrepare) ||
-         tag == static_cast<std::uint8_t>(MsgTag::kVote);
+         tag == static_cast<std::uint8_t>(MsgTag::kVote) ||
+         tag == static_cast<std::uint8_t>(MsgTag::kLeaseRelease);
 }
 
 }  // namespace lsr::core

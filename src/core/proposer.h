@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -38,6 +39,7 @@
 #include "common/types.h"
 #include "core/acceptor.h"
 #include "core/config.h"
+#include "core/lease.h"
 #include "core/messages.h"
 #include "core/ops.h"
 #include "core/round.h"
@@ -62,7 +64,17 @@ class Proposer {
         timer_lane_(timer_lane) {
     LSR_EXPECTS(!replicas_.empty());
     quorum_ = replicas_.size() / 2 + 1;
+    // Holder-side lease state lives behind a pointer so the common
+    // lease-less deployment pays 8 bytes per key, not a second state copy
+    // plus a page of counters (the per-key memory budget is the product).
+    if (config_.read_leases)
+      lease_ = std::make_unique<LeaseHolder>(local_acceptor.state());
   }
+
+  // Wires the co-located grantor (owned by the Replica; same serial executor,
+  // so direct calls are safe). Must be set before on_start when read leases
+  // are enabled.
+  void set_grantor(LeaseGrantor* grantor) { grantor_ = grantor; }
 
   // Eviction safety: a keyed store destroys per-key proposers while the
   // hosting context lives on — any timer left armed would fire into freed
@@ -99,10 +111,29 @@ class Proposer {
     // Crash-recovery dropped the flush timer with everything else; the
     // batches were just cleared, so it re-arms on the next buffered command.
     flush_timer_ = net::kInvalidTimer;
+    // Any held lease is conservatively dropped (grantor records elsewhere
+    // keep fencing until they expire); the stable state holds only committed
+    // states, which survive with the payload, so it is kept. The epoch
+    // counter also survives, so post-recovery acquisitions never reuse an
+    // epoch.
+    if (lease_) {
+      lease_->held = false;
+      lease_->acquiring = false;
+      lease_->backoff_until = 0;
+    }
   }
 
   const ProposerStats& stats() const { return stats_; }
+  LeaseStats lease_stats() const {
+    return lease_ ? lease_->stats : LeaseStats{};
+  }
   ProposerHooks hooks;
+
+  // True while this proposer may serve queries locally (test hook).
+  bool lease_held() const {
+    return replicas_.size() == 1 ||
+           (lease_ && lease_->held && ctx_.now() < lease_->valid_until);
+  }
 
   // Observability/test hook: sparse session entries retained for `client`'s
   // acked updates — bounded by the session window regardless of how many
@@ -146,6 +177,26 @@ class Proposer {
                    ctx_.self(), msg.op, client);
       return;
     }
+    // Lease fast path: a valid lease means every update that was committed
+    // anywhere is fenced behind our revocation, so the local stable state is
+    // linearizable to serve — zero message rounds, zero timers.
+    if (lease_ != nullptr && lease_usable(ctx_.now())) {
+      try {
+        Decoder args(msg.args);
+        rsm::QueryDone done{msg.request,
+                            ops_.queries[msg.op](lease_->stable, args)};
+        Encoder enc;
+        done.encode(enc);
+        ctx_.send(client, std::move(enc).take());
+        ++stats_.queries_done;
+        ++lease_->stats.lease_hits;
+        if (hooks.on_query_round_trips) hooks.on_query_round_trips(0);
+      } catch (const WireError& error) {
+        LSR_LOG_WARN("proposer %u: dropping query with bad args: %s",
+                     ctx_.self(), error.what());
+      }
+      return;
+    }
     Command cmd{msg.request, client, msg.op, std::move(msg.args)};
     if (config_.batch_interval > 0) {
       query_batch_.push_back(std::move(cmd));
@@ -173,6 +224,7 @@ class Proposer {
     QueryOp& op = it->second;
     if (msg.attempt != op.attempt || op.phase != Phase::kPrepare) return;
     if (!op.acked.insert(from).second) return;  // duplicate delivery
+    if (msg.lease_granted) ++op.lease_grants;
     op.ack_rounds.push_back(msg.round);
     op.ack_states.push_back(msg.state);
     op.gathered.join(msg.state);
@@ -212,6 +264,23 @@ class Proposer {
     }
   }
 
+  // A grantor (remote or the co-located one, calling directly) asks us to
+  // revoke: stop serving, doom any in-flight acquisition, and broadcast a
+  // release covering every epoch we ever used so all deferred acks flow.
+  void handle(NodeId from, const LeaseRecall& msg) {
+    (void)from;
+    (void)msg;  // any recall revokes; epoch only disambiguates grantor state
+    if (!lease_) return;
+    if (lease_->held) {
+      lease_->held = false;
+      ++lease_->stats.lease_revokes;
+    }
+    // An acquisition completing after this point must not believe it holds:
+    // the release below covers its epoch at the grantors.
+    lease_->doomed_below = lease_->epoch_counter + 1;
+    broadcast_release();
+  }
+
  private:
   enum class Phase { kPrepare, kVote };
 
@@ -247,6 +316,11 @@ class Proposer {
     std::uint64_t max_seen_round = 0;
     int round_trips = 0;
     net::TimerId timer = net::kInvalidTimer;
+    // Lease acquisition piggybacked on this learn (see core/lease.h):
+    bool lease_request = false;
+    std::uint32_t lease_epoch = 0;
+    std::size_t lease_grants = 0;  // per-attempt grants, counting self
+    TimeNs lease_sent_at = 0;      // send time of the current attempt
   };
 
   using UpdateMap = std::unordered_map<std::uint64_t, UpdateOp>;
@@ -382,7 +456,18 @@ class Proposer {
     auto [it, inserted] = updates_.emplace(op_id, std::move(op));
     LSR_ASSERT(inserted);
     UpdateOp& stored = it->second;
-    stored.acked.insert(ctx_.self());  // the local acceptor has the state
+    // The local acceptor has the state; its ack is subject to the same lease
+    // fencing as a remote MERGE would be — without this, self-ack plus one
+    // non-granting acceptor could commit without ever touching a grantor
+    // that fences the leaseholder.
+    const bool self_deferred =
+        lease_ != nullptr && grantor_ != nullptr &&
+        grantor_->should_defer(ctx_.self(), ctx_.now());
+    if (self_deferred) {
+      grantor_->defer(ctx_.self(), op_id, ctx_.now());
+    } else {
+      stored.acked.insert(ctx_.self());
+    }
     if (stored.acked.size() >= quorum_) {  // single-replica deployments
       finish_update(it);
       return;
@@ -398,6 +483,9 @@ class Proposer {
   void finish_update(typename UpdateMap::iterator it) {
     UpdateOp& op = it->second;
     ctx_.cancel_timer(op.timer);
+    // op.state was just acknowledged by a quorum, so no future learn can
+    // miss it: it is safe to serve from the lease fast path.
+    if (lease_) lease_->stable.join(op.state);
     for (const Command& cmd : op.commands) {
       session_mark_acked(cmd);
       rsm::UpdateDone done{cmd.request};
@@ -446,6 +534,18 @@ class Proposer {
     QueryOp op;
     op.id = op_id;
     op.commands = std::move(commands);
+    // Lazy lease acquisition: the first protocol query after a lease became
+    // invalid doubles as the (re-)acquisition — no background renewal, so a
+    // key nobody reads costs nothing. One acquisition in flight at a time;
+    // a denied acquisition backs off so a write burst is not pelted with
+    // grant requests it will keep denying.
+    if (lease_ != nullptr && replicas_.size() > 1 &&
+        !lease_usable(ctx_.now()) && !lease_->acquiring &&
+        ctx_.now() >= lease_->backoff_until) {
+      op.lease_request = true;
+      op.lease_epoch = ++lease_->epoch_counter;
+      lease_->acquiring = true;
+    }
     auto [it, inserted] = queries_.emplace(op_id, std::move(op));
     LSR_ASSERT(inserted);
     // Line 9: begin with an incremental prepare. Optionally include the local
@@ -470,6 +570,23 @@ class Proposer {
     op.ack_rounds.clear();
     op.ack_states.clear();
     Prepare<L> prepare{op_id, op.attempt, round, std::move(state)};
+    if (op.lease_request) {
+      // Grants are counted per attempt (a grant quorum must come from one
+      // coherent PREPARE wave so validity can anchor at its send time).
+      prepare.lease_request = true;
+      prepare.lease_epoch = op.lease_epoch;
+      op.lease_sent_at = ctx_.now();
+      op.lease_grants = 0;
+      // The co-located acceptor is a grantor too; consult it directly (same
+      // serial executor) instead of looping a message to self. Skipped while
+      // a foreign lease is live here: the local ACK is parked below, and a
+      // parked prepare must not leave a grant record behind.
+      if (grantor_ != nullptr &&
+          !grantor_->should_defer(ctx_.self(), ctx_.now()) &&
+          grantor_->grant(ctx_.self(), op.lease_epoch, ctx_.now(),
+                          config_.lease_ttl))
+        ++op.lease_grants;
+    }
     const Bytes wire = encode_message<L>(Message<L>(prepare));
     for (const NodeId replica : replicas_)
       if (replica != ctx_.self()) ctx_.send(replica, wire);
@@ -477,7 +594,21 @@ class Proposer {
     // Line 10 sends to *all* acceptors: the co-located one is invoked
     // directly, last, so a decision (possible when quorum == 1) happens
     // after all sends. Nothing may touch `op` after this call.
-    dispatch_local(local_.handle(prepare));
+    auto local_reply = local_.handle(prepare);
+    // Self read fencing (mirror of Replica::dispatch(Prepare) for the
+    // message-free local hop): our own acceptor may hold joined-but-
+    // uncommitted state behind a foreign lease, and its ACK counts toward
+    // our learn quorum like any remote's — park it or a learn over a
+    // quorum of non-granting acceptors could expose fenced state.
+    if (grantor_ != nullptr) {
+      if (Ack<L>* ack = std::get_if<Ack<L>>(&local_reply);
+          ack != nullptr && grantor_->should_defer(ctx_.self(), ctx_.now())) {
+        grantor_->defer_ack(ctx_.self(), op_id,
+                            encode_message<L>(Message<L>(*ack)), ctx_.now());
+        return;
+      }
+    }
+    dispatch_local(std::move(local_reply));
   }
 
   void decide(typename QueryMap::iterator it) {
@@ -518,7 +649,20 @@ class Proposer {
       for (const NodeId replica : replicas_)
         if (replica != ctx_.self()) ctx_.send(replica, wire);
       rearm_query_timer(op, op_id);
-      dispatch_local(local_.handle(vote));  // nothing after this line
+      // Nothing may touch `op` past the local dispatch. Self read fencing
+      // applies to the local VOTED exactly as to the local ACK above.
+      auto local_reply = local_.handle(vote);
+      if (grantor_ != nullptr) {
+        if (Voted<L>* voted = std::get_if<Voted<L>>(&local_reply);
+            voted != nullptr &&
+            grantor_->should_defer(ctx_.self(), ctx_.now())) {
+          grantor_->defer_ack(ctx_.self(), op_id,
+                              encode_message<L>(Message<L>(*voted)),
+                              ctx_.now());
+          return;
+        }
+      }
+      dispatch_local(std::move(local_reply));
       return;
     }
     // Lines 18-21: inconsistent rounds — retry with a fixed prepare above
@@ -538,6 +682,11 @@ class Proposer {
       learned_ = learned;
     }
     if (on_state_learned) on_state_learned(learned);
+    if (lease_) {
+      // A learned state is on a quorum by construction — stable to serve.
+      lease_->stable.join(learned);
+      if (op.lease_request) complete_lease_acquisition(op);
+    }
     for (const Command& cmd : op.commands) {
       LSR_DASSERT(cmd.op < ops_.queries.size());  // validated at entry
       try {
@@ -571,6 +720,50 @@ class Proposer {
           begin_attempt(op, incremental_round(ctx_.self(), next_round_counter()),
                         std::optional<L>(op.gathered));
         });
+  }
+
+  // ---- read leases (holder side; see core/lease.h) ----
+
+  // True while the lease fast path may serve. Expiry is lazy: the first
+  // check past the deadline flips the lease off — no holder-side timer, so
+  // an idle leased key costs zero events until it is touched again.
+  bool lease_usable(TimeNs now) {
+    if (replicas_.size() == 1) return true;  // trivially held
+    if (!lease_->held) return false;
+    if (now < lease_->valid_until) return true;
+    lease_->held = false;
+    ++lease_->stats.holder_expiries;
+    return false;
+  }
+
+  void complete_lease_acquisition(QueryOp& op) {
+    lease_->acquiring = false;
+    const TimeNs valid_until =
+        op.lease_sent_at + config_.lease_ttl - config_.lease_skew_margin;
+    if (op.lease_grants >= quorum_ &&
+        op.lease_epoch >= lease_->doomed_below && ctx_.now() < valid_until) {
+      lease_->held = true;
+      lease_->epoch = op.lease_epoch;
+      lease_->valid_until = valid_until;
+      ++lease_->stats.lease_acquisitions;
+    } else {
+      // Denied (write pending somewhere), recalled mid-acquisition, or the
+      // learn outlived the TTL. Minority grants left behind expire on their
+      // own; back off so a write burst is not spammed with grant requests.
+      ++lease_->stats.lease_acquire_failures;
+      lease_->backoff_until = ctx_.now() + config_.lease_ttl / 4;
+    }
+  }
+
+  // Tells every grantor (remote via LEASE-RELEASE, the co-located one by
+  // direct call) that all epochs up to the newest are revoked.
+  void broadcast_release() {
+    const std::uint32_t epoch = lease_->epoch_counter;
+    const Bytes wire = encode_message<L>(Message<L>(LeaseRelease{epoch}));
+    for (const NodeId replica : replicas_)
+      if (replica != ctx_.self()) ctx_.send(replica, wire);
+    if (grantor_ != nullptr)
+      grantor_->release(ctx_.self(), epoch, ctx_.now());
   }
 
   // Routes the co-located acceptor's reply back into this proposer.
@@ -654,6 +847,30 @@ class Proposer {
   net::TimerId flush_timer_ = net::kInvalidTimer;
 
   L learned_{};  // s_learned of Sect. 3.4
+
+  // Read-lease holder state, allocated only when read_leases is on (the
+  // per-key footprint otherwise is one null pointer — a million parked keys
+  // must not each carry a spare state copy). `stable` is the serving state:
+  // the join of the initial payload, every learned state, and every locally
+  // committed update state — each component provably on a quorum, so a lease
+  // read can never observe anything a later protocol read could miss (no
+  // read inversion through in-flight joins).
+  struct LeaseHolder {
+    explicit LeaseHolder(const L& initial) : stable(initial) {}
+    L stable;
+    bool held = false;
+    bool acquiring = false;
+    std::uint32_t epoch = 0;          // epoch of the held lease
+    std::uint32_t epoch_counter = 0;  // newest epoch ever issued
+    std::uint32_t doomed_below = 0;   // acquisitions below this are void
+    TimeNs valid_until = 0;
+    TimeNs backoff_until = 0;
+    LeaseStats stats;
+  };
+
+  LeaseGrantor* grantor_ = nullptr;
+  std::unique_ptr<LeaseHolder> lease_;
+
   std::uint64_t next_op_id_ = 1;
   std::uint64_t round_counter_ = 0;
   bool started_ = false;  // first flush gets a per-replica phase offset

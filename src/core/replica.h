@@ -16,6 +16,7 @@
 #include "common/wire.h"
 #include "core/acceptor.h"
 #include "core/config.h"
+#include "core/lease.h"
 #include "core/messages.h"
 #include "core/ops.h"
 #include "core/proposer.h"
@@ -37,7 +38,41 @@ class Replica final : public net::Endpoint {
         config_(config),
         acceptor_(std::move(initial), &config_),
         proposer_(ctx, acceptor_, std::move(replicas), config_, std::move(ops),
-                  kProposerLane) {}
+                  kProposerLane) {
+    // Grantor wiring (see core/lease.h), allocated only when leases are on —
+    // lease-less per-key replicas must not each carry the grantor's callback
+    // slots and vectors. Grantor and proposer share one serial executor (the
+    // default Endpoint grouping, and the sharded store's per-shard lane
+    // pair), so the self-destined callbacks are direct calls, never messages
+    // to self.
+    if (config_.read_leases) {
+      grantor_ = std::make_unique<LeaseGrantor>();
+      grantor_->deliver_merged = [this](NodeId proposer, std::uint64_t op) {
+        if (proposer == ctx_.self())
+          proposer_.handle(ctx_.self(), Merged{op});
+        else
+          reply(proposer, Merged{op});
+      };
+      grantor_->deliver_ack = [this](NodeId proposer, const Bytes& wire) {
+        if (proposer == ctx_.self())
+          on_message(ctx_.self(), wire.data(), wire.size());
+        else
+          ctx_.send(proposer, wire);
+      };
+      grantor_->send_recall = [this](NodeId holder, std::uint32_t epoch) {
+        if (holder == ctx_.self())
+          proposer_.handle(ctx_.self(), LeaseRecall{epoch});
+        else
+          reply(holder, LeaseRecall{epoch});
+      };
+      grantor_->on_deferred = [this] { arm_lease_timer(); };
+      proposer_.set_grantor(grantor_.get());
+    }
+  }
+
+  // Eviction safety (mirrors ~Proposer): the keyed store destroys replicas
+  // while the context lives on.
+  ~Replica() { ctx_.cancel_timer(lease_timer_); }
 
   Acceptor<L>& acceptor() { return acceptor_; }
   const Acceptor<L>& acceptor() const { return acceptor_; }
@@ -45,7 +80,24 @@ class Replica final : public net::Endpoint {
   const Proposer<L>& proposer() const { return proposer_; }
 
   void on_start() override { proposer_.start(); }
-  void on_recover() override { proposer_.on_recover(); }
+  void on_recover() override {
+    proposer_.on_recover();
+    // The crash dropped the expiry timer; deferred acks die with it (the
+    // merging proposers retransmit and re-defer), lease records survive with
+    // the acceptor state and keep fencing until they expire.
+    if (grantor_) {
+      grantor_->on_recover();
+      lease_timer_ = net::kInvalidTimer;
+      if (grantor_->has_records()) arm_lease_timer();
+    }
+  }
+
+  // Combined holder + grantor lease counters of this protocol instance.
+  LeaseStats lease_stats() const {
+    LeaseStats out = proposer_.lease_stats();
+    if (grantor_) out.add(grantor_->stats());
+    return out;
+  }
 
   int lane_count() const override { return 2; }
 
@@ -98,15 +150,57 @@ class Replica final : public net::Endpoint {
 
   // Acceptor-bound messages: handle and send the reply back to the proposer.
   void dispatch(NodeId from, const Merge<L>& msg) {
-    reply(from, acceptor_.handle(msg));
+    const Merged ack = acceptor_.handle(msg);
+    // Lease fencing: the join is already applied (joins are always safe) but
+    // the ack that would let the update commit is withheld while any other
+    // node holds a live lease granted here; it flows on release or expiry.
+    if (grantor_ && grantor_->should_defer(from, ctx_.now())) {
+      grantor_->defer(from, msg.op, ctx_.now());
+      return;
+    }
+    reply(from, ack);
   }
   void dispatch(NodeId from, const Prepare<L>& msg) {
-    std::visit([this, from](auto&& r) { reply(from, r); },
-               acceptor_.handle(msg));
+    auto r = acceptor_.handle(msg);
+    if (grantor_) {
+      if (Ack<L>* ack = std::get_if<Ack<L>>(&r)) {
+        // Read fencing: while another node holds a live lease granted here,
+        // this acceptor's state may contain joined-but-uncommitted updates
+        // the holder has never served — an ACK would let a foreign learn
+        // return them and the holder's next local read run backwards. Park
+        // the encoded ACK (replacing any older attempt's) and recall the
+        // holder; it flows on release or expiry. NACKs flow freely: they
+        // cannot complete a learn.
+        if (grantor_->should_defer(from, ctx_.now())) {
+          grantor_->defer_ack(from, msg.op,
+                              encode_message<L>(Message<L>(*ack)), ctx_.now());
+          return;
+        }
+        // Only a positive, undeferred ACK may carry a grant: a NACKed or
+        // parked prepare's learn cannot complete, and a lease without a
+        // completed learn has no stable state to serve.
+        if (msg.lease_request)
+          ack->lease_granted = grantor_->grant(from, msg.lease_epoch,
+                                               ctx_.now(), config_.lease_ttl);
+      }
+    }
+    std::visit([this, from](auto&& m) { reply(from, m); }, r);
   }
   void dispatch(NodeId from, const Vote<L>& msg) {
-    std::visit([this, from](auto&& r) { reply(from, r); },
-               acceptor_.handle(msg));
+    auto r = acceptor_.handle(msg);
+    // Read fencing, vote phase: a learn whose PREPARE quorum completed just
+    // before a lease was granted can still finish through VOTED replies —
+    // park those like ACKs (replacing any parked ACK for the same op; the
+    // newest reply is the only one the proposer can use).
+    if (grantor_) {
+      if (Voted<L>* voted = std::get_if<Voted<L>>(&r);
+          voted != nullptr && grantor_->should_defer(from, ctx_.now())) {
+        grantor_->defer_ack(from, msg.op,
+                            encode_message<L>(Message<L>(*voted)), ctx_.now());
+        return;
+      }
+    }
+    std::visit([this, from](auto&& m) { reply(from, m); }, r);
   }
 
   // Proposer-bound replies.
@@ -114,6 +208,31 @@ class Replica final : public net::Endpoint {
   void dispatch(NodeId from, const Ack<L>& msg) { proposer_.handle(from, msg); }
   void dispatch(NodeId from, const Voted<L>& msg) { proposer_.handle(from, msg); }
   void dispatch(NodeId from, const Nack<L>& msg) { proposer_.handle(from, msg); }
+
+  // Lease control messages.
+  void dispatch(NodeId from, const LeaseRecall& msg) {
+    proposer_.handle(from, msg);  // holder side lives in the proposer
+  }
+  void dispatch(NodeId from, const LeaseRelease& msg) {
+    if (!grantor_) return;
+    grantor_->release(from, msg.epoch, ctx_.now());
+  }
+
+  // Demand-driven grantor expiry timer: armed only while MERGED acks are
+  // deferred (the dead-holder path must unblock them without any message),
+  // silent otherwise — leases on idle keys cost zero events.
+  void arm_lease_timer() {
+    if (lease_timer_ != net::kInvalidTimer) return;
+    const TimeNs deadline = grantor_->next_deadline();
+    if (deadline == 0) return;
+    const TimeNs now = ctx_.now();
+    const TimeNs delay = deadline > now ? deadline - now : 1;
+    lease_timer_ = ctx_.set_timer(delay, kAcceptorLane, [this] {
+      lease_timer_ = net::kInvalidTimer;
+      grantor_->on_expiry(ctx_.now());
+      if (grantor_->has_deferred()) arm_lease_timer();
+    });
+  }
 
   template <typename Reply>
   void reply(NodeId to, const Reply& msg) {
@@ -124,6 +243,8 @@ class Replica final : public net::Endpoint {
   ProtocolConfig config_;
   Acceptor<L> acceptor_;
   Proposer<L> proposer_;
+  std::unique_ptr<LeaseGrantor> grantor_;  // non-null iff read_leases
+  net::TimerId lease_timer_ = net::kInvalidTimer;
 };
 
 }  // namespace lsr::core

@@ -24,6 +24,50 @@ struct ProposerStats {
   std::uint64_t session_reconfirms = 0;  // applied but unacked -> re-MERGEd
 };
 
+// Read-lease counters of one protocol instance (holder side lives in the
+// proposer, grantor side in core::LeaseGrantor); ShardedStore aggregates
+// them across keys the same way KeyedMemoryStats is folded. Like
+// ReactorHotPathStats these exist so the lease ablation is explainable:
+// a read-throughput delta should be visible as a hit-ratio delta here.
+struct LeaseStats {
+  // Holder side (proposer):
+  std::uint64_t lease_hits = 0;          // queries served locally, 0 rounds
+  std::uint64_t lease_acquisitions = 0;  // quorum-granted lease acquired
+  std::uint64_t lease_acquire_failures = 0;  // learn done, grants < quorum
+  std::uint64_t lease_revokes = 0;       // recalls honored (stopped serving)
+  std::uint64_t holder_expiries = 0;     // lease aged out at the holder
+  // Grantor side (co-located acceptor):
+  std::uint64_t lease_grants = 0;
+  std::uint64_t lease_denials = 0;       // write pending or stale epoch
+  std::uint64_t lease_releases = 0;      // holder-acknowledged revocations
+  std::uint64_t lease_expiries = 0;      // records expired (dead holder path)
+  std::uint64_t merges_deferred = 0;     // MERGED acks withheld behind leases
+  std::uint64_t queries_deferred = 0;    // learn ACKs withheld (read fencing)
+  std::uint64_t recalls_sent = 0;
+
+  void add(const LeaseStats& other) {
+    lease_hits += other.lease_hits;
+    lease_acquisitions += other.lease_acquisitions;
+    lease_acquire_failures += other.lease_acquire_failures;
+    lease_revokes += other.lease_revokes;
+    holder_expiries += other.holder_expiries;
+    lease_grants += other.lease_grants;
+    lease_denials += other.lease_denials;
+    lease_releases += other.lease_releases;
+    lease_expiries += other.lease_expiries;
+    merges_deferred += other.merges_deferred;
+    queries_deferred += other.queries_deferred;
+    recalls_sent += other.recalls_sent;
+  }
+
+  // Fraction of completed queries answered without a protocol round.
+  double hit_ratio(std::uint64_t queries_done) const {
+    return queries_done == 0 ? 0.0
+                             : static_cast<double>(lease_hits) /
+                                   static_cast<double>(queries_done);
+  }
+};
+
 // Transport hot-path counters, aggregated across a TcpCluster's reactors.
 // These exist so the bench ablations are explainable, not just a number:
 // a throughput delta between backends or batch settings should be visible

@@ -170,6 +170,16 @@ class ShardedStore final : public net::Endpoint {
     return true;
   }
 
+  // Lease counters folded across every hosted key (see core::LeaseStats) —
+  // the per-cell observability the lease ablation reads.
+  core::LeaseStats lease_stats() const {
+    core::LeaseStats out;
+    for (const auto& shard : shards_)
+      for (const auto& [key, instance] : shard.instances)
+        out.add(instance->replica.lease_stats());
+    return out;
+  }
+
   // Memory accounting across all shards (see core::KeyedMemoryStats).
   core::KeyedMemoryStats memory_stats() const {
     core::KeyedMemoryStats out;

@@ -22,8 +22,24 @@
 
 #include "common/assert.h"
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace lsr::net {
+
+TimeNs decorrelated_backoff(TimeNs base, TimeNs cap, TimeNs prev,
+                            std::uint64_t& rng_state) {
+  if (base <= 0) return 0;
+  if (cap < base) cap = base;
+  // First failure after a reset draws as if the previous wait were the base:
+  // even the first redial wave after a peer restart is spread, not lockstep.
+  if (prev <= 0) prev = base;
+  // uniform(base, min(cap, 3 * prev)); the multiply saturates at the cap so
+  // long outages cannot overflow.
+  const TimeNs high = prev > cap / 3 ? cap : prev * 3;
+  if (high <= base) return base;
+  const auto span = static_cast<std::uint64_t>(high - base) + 1;
+  return base + static_cast<TimeNs>(splitmix64_next(rng_state) % span);
+}
 
 namespace {
 using Clock = std::chrono::steady_clock;
@@ -313,6 +329,11 @@ struct TcpCluster::PeerLink {
   bool connecting = false;       // nonblocking connect awaiting POLLOUT
   TimeNs connect_deadline = 0;
   TimeNs next_attempt = 0;       // reconnect backoff gate
+  // Decorrelated-jitter backoff state (see decorrelated_backoff): the last
+  // drawn wait (0 = sequence reset) and the link's private jitter stream,
+  // seeded lazily on first failure.
+  TimeNs backoff = 0;
+  std::uint64_t backoff_rng = 0;
 
   // Whole-batch drain deadline: when armed, `stall_target` bytes (the queue
   // depth at arming) must leave the queue before `stall_deadline`, or the
@@ -859,6 +880,22 @@ void TcpCluster::link_reset(Node& src, PeerLink& link, bool discard_queue) {
   }
 }
 
+TimeNs TcpCluster::next_backoff(PeerLink& link) {
+  if (link.backoff_rng == 0) {
+    // Seed each link's jitter stream independently (link identity + wall
+    // time): peers that fail together must not draw the same sequence.
+    link.backoff_rng =
+        (static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&link)) |
+         1) ^
+        (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(now() + 1));
+  }
+  link.backoff =
+      decorrelated_backoff(options_.reconnect_backoff,
+                           options_.reconnect_backoff_max, link.backoff,
+                           link.backoff_rng);
+  return link.backoff;
+}
+
 void TcpCluster::link_begin_connect(Node& src, NodeId dst, PeerLink& link) {
   const TimeNs t = now();
   if (link.next_attempt > 0 && t < link.next_attempt) return;
@@ -867,7 +904,7 @@ void TcpCluster::link_begin_connect(Node& src, NodeId dst, PeerLink& link) {
     // Resource failure (fd exhaustion), not a refusal: keep the queue and
     // retry after the backoff — discarding here would strand traffic that
     // could flow once descriptors free up.
-    link.next_attempt = t + options_.reconnect_backoff;
+    link.next_attempt = t + next_backoff(link);
     return;
   }
   set_nonblocking(fd);
@@ -886,7 +923,7 @@ void TcpCluster::link_begin_connect(Node& src, NodeId dst, PeerLink& link) {
       peer.host == "0.0.0.0" ? "127.0.0.1" : peer.host.c_str();
   if (::inet_pton(AF_INET, dial, &addr.sin_addr) != 1) {
     ::close(fd);
-    link.next_attempt = t + options_.reconnect_backoff;
+    link.next_attempt = t + next_backoff(link);
     return;
   }
   const int rc =
@@ -894,6 +931,7 @@ void TcpCluster::link_begin_connect(Node& src, NodeId dst, PeerLink& link) {
   if (rc == 0) {
     link.fd = fd;
     link.next_attempt = 0;
+    link.backoff = 0;  // success: the jitter sequence restarts at the base
     src.connects.fetch_add(1);
     return;
   }
@@ -906,7 +944,7 @@ void TcpCluster::link_begin_connect(Node& src, NodeId dst, PeerLink& link) {
   // Synchronous refusal (dead peer on loopback): everything queued for it is
   // lost, protocol retry timers take over.
   ::close(fd);
-  link.next_attempt = t + options_.reconnect_backoff;
+  link.next_attempt = t + next_backoff(link);
   link_reset(src, link, /*discard_queue=*/true);
 }
 
@@ -915,12 +953,13 @@ void TcpCluster::link_finish_connect(Node& src, PeerLink& link) {
   socklen_t err_len = sizeof err;
   if (::getsockopt(link.fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
       err != 0) {
-    link.next_attempt = now() + options_.reconnect_backoff;
+    link.next_attempt = now() + next_backoff(link);
     link_reset(src, link, /*discard_queue=*/true);
     return;
   }
   link.connecting = false;
   link.next_attempt = 0;
+  link.backoff = 0;  // handshake completed: reset the jitter sequence
   src.connects.fetch_add(1);
 }
 
@@ -1055,7 +1094,7 @@ void TcpCluster::io_loop(Reactor& reactor) {
           continue;  // connected: fall through to the drain
         }
         if (now() > link.connect_deadline) {
-          link.next_attempt = now() + options_.reconnect_backoff;
+          link.next_attempt = now() + next_backoff(link);
           link_reset(node, link, /*discard_queue=*/true);
         }
         node.watched[dst] = link.connecting ? 1 : 0;
@@ -1086,7 +1125,7 @@ void TcpCluster::io_loop(Reactor& reactor) {
         // recycle the connection, count the batch as lost.
         LSR_LOG_WARN("tcp %u: peer %u stalled a %zu-byte batch, dropping it",
                      node.id, dst, link.queued_bytes);
-        link.next_attempt = now() + options_.reconnect_backoff;
+        link.next_attempt = now() + next_backoff(link);
         link_reset(node, link, /*discard_queue=*/true);
         node.watched[dst] = 0;
         return;

@@ -171,8 +171,15 @@ struct TcpClusterOptions {
   std::uint16_t base_port = 0;
   // Receive-side frame payload bound; oversized frames kill the connection.
   std::size_t max_frame_payload = FrameHeader::kDefaultMaxPayload;
-  // A failed connect is not retried for this long (per peer link).
+  // Reconnect backoff, exponential with decorrelated jitter per peer link:
+  // the first failed connect waits reconnect_backoff, each further failure
+  // draws uniform(reconnect_backoff, 3 * previous wait) capped at
+  // reconnect_backoff_max, and a successful handshake resets the sequence.
+  // Each link jitters independently, so after a node restart its peers
+  // redial spread out instead of in lockstep (and keep de-synchronizing
+  // while it stays down).
   TimeNs reconnect_backoff = 10 * kMillisecond;
+  TimeNs reconnect_backoff_max = 500 * kMillisecond;
   // Whole-batch drain deadline: a connected peer that accepts no bytes for
   // this long while frames are queued has its connection recycled and the
   // queued batch discarded (counts as lost). Also bounds nonblocking
@@ -211,6 +218,14 @@ struct TcpClusterOptions {
   // execution and slab pool.
   std::size_t reactors = 0;
 };
+
+// Draws the next reconnect wait: uniform in [base, 3 * prev] (prev == 0
+// means first failure, which waits exactly `base`), capped at `cap` — the
+// "decorrelated jitter" scheme, which grows exponentially in expectation
+// yet never locksteps independent links. Pure in (args, rng_state);
+// exposed for the spread assertions in tcp_test.
+TimeNs decorrelated_backoff(TimeNs base, TimeNs cap, TimeNs prev,
+                            std::uint64_t& rng_state);
 
 class TcpCluster {
  public:
@@ -332,6 +347,7 @@ class TcpCluster {
   // io-thread link state machine (caller holds the link's mutex):
   void link_begin_connect(Node& src, NodeId dst, PeerLink& link);
   void link_finish_connect(Node& src, PeerLink& link);
+  TimeNs next_backoff(PeerLink& link);  // advances the link's jitter state
   void link_drain(Node& src, PeerLink& link);
   void link_reset(Node& src, PeerLink& link, bool discard_queue);
 

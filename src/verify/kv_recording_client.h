@@ -54,8 +54,18 @@ class KvRecordingClient final : public net::Endpoint {
   // (ProtocolConfig::client_sessions): retransmission to the *same* replica
   // is sound — pass failover_after = 0 on the CRDT path, a retry that lands
   // on a different replica would re-apply the update.
-  void enable_retry(TimeNs timeout, int failover_after, NodeId replica_count) {
-    retry_.enable(timeout, failover_after, replica_count);
+  //
+  // max_retries > 0 bounds retransmissions per request. An exhausted
+  // request is ABANDONED, not forgotten: the operation was invoked, so an
+  // update may still commit server-side at any later time — it enters the
+  // history as possibly-applied forever (response = +inf, the flush_pending
+  // convention) so the linearizability verdict stays sound. An abandoned
+  // read constrains nothing and is dropped. Either way the closed loop
+  // moves on instead of wedging on one dead request.
+  void enable_retry(TimeNs timeout, int failover_after, NodeId replica_count,
+                    int max_retries = 0) {
+    retry_.enable(timeout, failover_after, replica_count, max_retries);
+    retry_.on_exhausted = [this] { abandon_inflight(); };
   }
 
   void on_start() override {
@@ -96,6 +106,10 @@ class KvRecordingClient final : public net::Endpoint {
   // from outside the client's executor thread.
   std::uint64_t completed() const { return completed_.load(); }
 
+  // Requests whose retransmission budget ran out (see enable_retry). Their
+  // updates are already in the history as possibly-applied.
+  std::uint64_t abandoned() const { return abandoned_.load(); }
+
   // Pause/resume the closed loop. Pausing lets the in-flight operation (if
   // any) complete but submits nothing new — nemesis tests use this to let a
   // keyspace go fully idle (and the leaders demote) before injecting the
@@ -124,6 +138,17 @@ class KvRecordingClient final : public net::Endpoint {
   }
 
  private:
+  void abandon_inflight() {
+    if (inflight_request_ != 0 && inflight_is_update_)
+      history_->for_key(inflight_key_)
+          .add_increment(inflight_start_, std::numeric_limits<TimeNs>::max(),
+                         1);
+    inflight_request_ = 0;
+    ++abandoned_;
+    if (!paused_ && (max_ops_ == 0 || completed_.load() < max_ops_))
+      submit_next();
+  }
+
   void submit_next() {
     const bool is_read = rng_.next_bool(read_ratio_);
     inflight_is_update_ = !is_read;
@@ -165,6 +190,7 @@ class KvRecordingClient final : public net::Endpoint {
   std::uint64_t next_counter_ = 0;
   bool paused_ = false;
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> abandoned_{0};
 };
 
 }  // namespace lsr::verify

@@ -127,6 +127,11 @@ bool ProcessCluster::spawn(NodeId replica, std::string* error) {
       "--shards",   std::to_string(options_.shards),
       "--replicas", std::to_string(options_.replicas),
   };
+  if (options_.read_leases && options_.system == "crdt") {
+    args.push_back("--read-leases");
+    args.push_back("--lease-ttl-ms");
+    args.push_back(std::to_string(options_.lease_ttl_ms));
+  }
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
   for (std::string& arg : args) argv.push_back(arg.data());
@@ -266,6 +271,8 @@ ProcessKillRestartResult run_process_kill_restart(
   cluster_options.client_slots = options.clients;
   cluster_options.system = options.system;
   cluster_options.shards = options.shards;
+  cluster_options.read_leases = options.read_leases;
+  cluster_options.lease_ttl_ms = options.lease_ttl_ms;
   ProcessCluster processes(cluster_options);
   std::string error;
   if (!processes.start(&error)) {
@@ -280,17 +287,25 @@ ProcessKillRestartResult run_process_kill_restart(
   const NodeId victim = static_cast<NodeId>(options.replicas - 1);
   const std::size_t safe_targets =
       options.kill ? options.replicas - 1 : options.replicas;
+  const bool victim_reader = options.kill && options.victim_reader;
   net::TcpCluster harness(processes.membership());
   std::vector<NodeId> client_ids;
   for (std::size_t c = 0; c < options.clients; ++c) {
     histories.push_back(std::make_unique<KeyedHistory>());
     const NodeId id = processes.client_id(c);
     client_ids.push_back(id);
-    harness.add_node(id, [&, c](net::Context& ctx) {
+    // victim_reader: client 0 reads (only) at the victim so the kill lands
+    // on a replica that is actively serving — with read leases on, a live
+    // leaseholder. Its retransmissions bridge the downtime.
+    const NodeId target = victim_reader && c == 0
+                              ? victim
+                              : static_cast<NodeId>(c % safe_targets);
+    const double ratio =
+        victim_reader && c == 0 ? 1.0 : options.read_ratio;
+    harness.add_node(id, [&, c, target, ratio](net::Context& ctx) {
       auto client = std::make_unique<KvRecordingClient>(
-          ctx, static_cast<NodeId>(c % safe_targets), &keys,
-          options.read_ratio, options.seed * 31 + c, histories[c].get(),
-          options.ops_per_client, &zipf);
+          ctx, target, &keys, ratio, options.seed * 31 + c,
+          histories[c].get(), options.ops_per_client, &zipf);
       // Same-replica retransmission: sound on every system (the CRDT
       // proposers dedup per replica, the baselines replicate sessions) and
       // required here — a kill tears real connections, and unacked requests

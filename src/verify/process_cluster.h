@@ -33,6 +33,10 @@ struct ProcessClusterOptions {
   std::size_t client_slots = 0;
   std::string system = "crdt";  // crdt | paxos | raft
   std::uint32_t shards = 4;
+  // crdt only: spawn nodes with --read-leases / --lease-ttl-ms so reads are
+  // served from quorum-granted local leases (see core/lease.h).
+  bool read_leases = false;
+  long lease_ttl_ms = 200;
   // How long start()/restart_replica wait for a spawned node's listener to
   // accept before giving up.
   TimeNs ready_timeout = 20 * kSecond;
@@ -102,6 +106,15 @@ struct ProcessKillRestartOptions {
   double zipf_theta = 0.99;
   double read_ratio = 0.5;
   std::uint64_t seed = 1;
+  // crdt read leases (forwarded to ProcessClusterOptions / lsr_node flags).
+  bool read_leases = false;
+  long lease_ttl_ms = 200;
+  // With kill: client 0 becomes a pure reader pinned to the victim — it
+  // builds leases there, so the SIGKILL lands on a live leaseholder and the
+  // survivors' writes must ride the grantor-expiry path (bounded by the
+  // TTL). Queries are idempotent, so reading at the victim is sound even
+  // though its session tables die with it.
+  bool victim_reader = false;
   bool kill = true;  // false: plain multi-process workload, no fault
   // The SIGKILL lands at kill_after — or earlier, as soon as a quarter of
   // the total ops completed, so a fast machine cannot let the workload

@@ -110,6 +110,52 @@ TEST(Histogram, LargeValuesDoNotOverflow) {
   EXPECT_GT(h.percentile(1.0), 0);
 }
 
+TEST(Histogram, MedianOfEvenCountUsesLowerRank) {
+  // Nearest-rank median of {10, 20} is the 1st order statistic; the old
+  // "+ 0.5 then truncate" rank rounding reported the 2nd.
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  EXPECT_EQ(h.percentile(0.5), 10);
+}
+
+TEST(Histogram, BoundaryRanksAreExact) {
+  // Every decile of 10 distinct unit-bucket values must land on the exact
+  // nearest-rank order statistic — in particular q * count landing a few
+  // ulps above an integer (0.3 * 10) must not bump the rank.
+  Histogram h;
+  for (int v = 1; v <= 10; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.1), 1);
+  EXPECT_EQ(h.percentile(0.3), 3);
+  EXPECT_EQ(h.percentile(0.5), 5);
+  EXPECT_EQ(h.percentile(0.9), 9);
+  EXPECT_EQ(h.percentile(1.0), 10);
+}
+
+TEST(Histogram, InterpolatesWithinBucket) {
+  // A sub-bucket-width distribution (every sample identical, well inside an
+  // octave bucket) must report the recorded value at every quantile, not
+  // the bucket's upper edge — exactly the shape lease-served reads produce.
+  Histogram h;
+  h.record_n(15'000, 100000);
+  EXPECT_EQ(h.percentile(0.5), 15'000);
+  EXPECT_EQ(h.percentile(0.99), 15'000);
+  EXPECT_EQ(h.percentile(1.0), 15'000);
+}
+
+TEST(Histogram, InterpolationStaysNearExactOrderStatistics) {
+  // Two-point distribution across distinct octave buckets: quantiles stay
+  // within bucket precision (~3 %) of the exact order statistics instead of
+  // jumping to upper edges.
+  Histogram h;
+  h.record_n(10'000, 50);
+  h.record_n(20'000, 50);
+  EXPECT_GE(h.percentile(0.99), 19'000);
+  EXPECT_LE(h.percentile(0.99), 20'000);  // clamped to max
+  EXPECT_LE(h.percentile(0.5), 10'000 + 10'000 / 16);
+  EXPECT_GE(h.percentile(0.5), 10'000 - 10'000 / 16);
+}
+
 TEST(Histogram, MonotonePercentiles) {
   Rng rng(13);
   Histogram h;

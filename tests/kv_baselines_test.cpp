@@ -534,5 +534,89 @@ TEST(KvDemotionNemesis, RaftParkedKeysReElectAndStayLinearizable) {
   });
 }
 
+// ---- read-lease revocation across a partition --------------------------
+//
+// The CRDT store's worst lease case: a reader builds leases at replica 0,
+// then 0 is partitioned away mid-lease — recalls can never reach it, so
+// revocation must happen by TTL expiry at the granting acceptors (the
+// dead-holder path) while the stranded holder independently stops serving
+// at its own (earlier) validity deadline. Writers on the majority side may
+// be delayed at most one TTL and every per-key history must stay
+// linearizable across the expiry race.
+TEST(KvLeaseNemesis, RevokeMidPartitionExpiresAndStaysLinearizable) {
+  constexpr std::uint64_t kMaxOps = 30;
+  const auto keys = make_keys(4, "lease-");
+  sim::NetworkConfig net;
+  net.loss_probability = 0.02;
+  net.lossy_node_limit = 3;  // replica links only; client links stay fair
+  sim::Simulator sim(8200, net);
+  const std::vector<NodeId> replicas{0, 1, 2};
+  core::ProtocolConfig config;
+  config.read_leases = true;
+  for (int i = 0; i < 3; ++i) {
+    sim.add_node([&](net::Context& ctx) {
+      return std::make_unique<CrdtStore>(ctx, replicas, config,
+                                         core::gcounter_ops(),
+                                         lattice::GCounter{}, ShardOptions{4});
+    });
+  }
+
+  verify::KeyedHistory history;
+  std::vector<NodeId> clients;
+  // Client 0: read-heavy at replica 0 — the leaseholder-to-be. Client 1:
+  // write-heavy at replica 1, the revocation pressure on the majority side —
+  // held paused until the holder is stranded, so its first writes are
+  // guaranteed to meet live grantor records whose recalls cannot arrive.
+  const double read_ratio[2] = {0.9, 0.1};
+  for (std::size_t c = 0; c < 2; ++c) {
+    clients.push_back(sim.add_node([&, c](net::Context& ctx) {
+      auto client = std::make_unique<verify::KvRecordingClient>(
+          ctx, static_cast<NodeId>(c), &keys, read_ratio[c],
+          /*seed=*/8300 + 17 * static_cast<std::uint64_t>(c), &history,
+          kMaxOps);
+      if (c == 1) client->set_paused(true);
+      return client;
+    }));
+  }
+
+  // Let replica 0 acquire leases, then strand it for longer than the TTL
+  // (200 ms): every revocation in that window must travel the expiry path.
+  sim.call_at(25 * kMillisecond, [&] {
+    sim.set_partitioned(0, 1, true);
+    sim.set_partitioned(0, 2, true);
+  });
+  sim.call_at(30 * kMillisecond, [&] {
+    sim.endpoint_as<verify::KvRecordingClient>(clients[1]).set_paused(false);
+  });
+  sim.call_at(350 * kMillisecond, [&] {
+    sim.set_partitioned(0, 1, false);
+    sim.set_partitioned(0, 2, false);
+  });
+
+  const bool all_done = run_until_done(sim, 30 * kSecond, [&] {
+    for (const NodeId client : clients)
+      if (sim.endpoint_as<verify::KvRecordingClient>(client).completed() <
+          kMaxOps)
+        return false;
+    return true;
+  });
+  for (const NodeId client : clients)
+    sim.endpoint_as<verify::KvRecordingClient>(client).flush_pending();
+  EXPECT_TRUE(all_done) << "a client wedged across the lease expiry";
+
+  core::LeaseStats folded;
+  for (const NodeId id : replicas)
+    folded.add(sim.endpoint_as<CrdtStore>(id).lease_stats());
+  EXPECT_GT(folded.lease_hits, 0u) << "leases never served a read";
+  EXPECT_GT(folded.lease_expiries, 0u)
+      << "no grantor record expired: the partition never forced the "
+         "dead-holder revocation path";
+  for (const auto& [key, key_history] : history.histories()) {
+    const auto result = verify::check_counter_linearizable(key_history);
+    EXPECT_TRUE(result.linearizable)
+        << "key " << key << ": " << result.explanation;
+  }
+}
+
 }  // namespace
 }  // namespace lsr::kv

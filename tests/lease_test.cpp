@@ -1,0 +1,425 @@
+// Read leases (core/lease.h): grantor-table unit tests, end-to-end lease
+// semantics over the simulator (zero-round reads, revoke-before-commit,
+// dead-holder TTL bound, expiry under partition), and adversarial
+// lease-shaped histories for the linearizability checkers.
+#include "core/lease.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench/workload.h"
+#include "core/ops.h"
+#include "core/replica.h"
+#include "lattice/gcounter.h"
+#include "sim/simulator.h"
+#include "verify/history.h"
+#include "verify/linearizability.h"
+#include "verify/recording_client.h"
+
+namespace lsr {
+namespace {
+
+using core::LeaseGrantor;
+using lattice::GCounter;
+using CounterReplica = core::Replica<GCounter>;
+
+// ---- grantor table unit tests ----
+
+struct GrantorHarness {
+  LeaseGrantor grantor;
+  std::vector<std::pair<NodeId, std::uint64_t>> delivered;
+  std::vector<std::pair<NodeId, std::uint32_t>> recalled;
+  int deferred_signals = 0;
+
+  GrantorHarness() {
+    grantor.deliver_merged = [this](NodeId proposer, std::uint64_t op) {
+      delivered.emplace_back(proposer, op);
+    };
+    grantor.send_recall = [this](NodeId holder, std::uint32_t epoch) {
+      recalled.emplace_back(holder, epoch);
+    };
+    grantor.on_deferred = [this] { ++deferred_signals; };
+  }
+};
+
+constexpr TimeNs kTtl = 200 * kMillisecond;
+
+TEST(LeaseGrantor, MultipleReadersHoldConcurrently) {
+  // Read leases conflict with writes, not with each other.
+  GrantorHarness h;
+  EXPECT_TRUE(h.grantor.grant(1, 1, 0, kTtl));
+  EXPECT_TRUE(h.grantor.grant(2, 1, 0, kTtl));
+  EXPECT_TRUE(h.grantor.has_records());
+  // A holder's own write is not fenced by its own lease, only by the other's.
+  EXPECT_TRUE(h.grantor.should_defer(1, 1));
+  EXPECT_TRUE(h.grantor.should_defer(2, 1));
+  EXPECT_FALSE(h.grantor.should_defer(1, kTtl + 1));  // both expired
+}
+
+TEST(LeaseGrantor, DeferRecallsHoldersAndReleaseFlushes) {
+  GrantorHarness h;
+  ASSERT_TRUE(h.grantor.grant(1, 7, 0, kTtl));
+  h.grantor.defer(/*proposer=*/2, /*op=*/42, /*now=*/1);
+  ASSERT_EQ(h.recalled.size(), 1u);
+  EXPECT_EQ(h.recalled[0], (std::pair<NodeId, std::uint32_t>{1, 7}));
+  EXPECT_EQ(h.deferred_signals, 1);
+  EXPECT_TRUE(h.delivered.empty());
+  // Retransmitted MERGE re-enters: dedup the ack, re-send the recall.
+  h.grantor.defer(2, 42, 2);
+  EXPECT_EQ(h.recalled.size(), 2u);
+  EXPECT_EQ(h.grantor.stats().merges_deferred, 1u);
+  // The holder releases: the deferred ack flows exactly once.
+  h.grantor.release(1, 7, 3);
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_EQ(h.delivered[0], (std::pair<NodeId, std::uint64_t>{2, 42}));
+  EXPECT_FALSE(h.grantor.has_deferred());
+}
+
+TEST(LeaseGrantor, ExpiryUnblocksDeadHolder) {
+  // The dead-holder path: no release ever arrives; the record expires at
+  // its deadline and the deferred ack flows then — bounded by one TTL.
+  GrantorHarness h;
+  ASSERT_TRUE(h.grantor.grant(1, 1, 0, kTtl));
+  h.grantor.defer(2, 9, 1);
+  EXPECT_EQ(h.grantor.next_deadline(), kTtl);
+  h.grantor.on_expiry(kTtl - 1);
+  EXPECT_TRUE(h.delivered.empty());  // not yet due
+  h.grantor.on_expiry(kTtl);
+  ASSERT_EQ(h.delivered.size(), 1u);
+  EXPECT_EQ(h.grantor.stats().lease_expiries, 1u);
+  EXPECT_FALSE(h.grantor.has_records());
+}
+
+TEST(LeaseGrantor, GrantsDeniedWhileWritesWait) {
+  // Admitting new readers while a write is deferred would starve the write
+  // past the TTL bound, so acquisition is denied until the queue drains.
+  GrantorHarness h;
+  ASSERT_TRUE(h.grantor.grant(1, 1, 0, kTtl));
+  h.grantor.defer(2, 5, 1);
+  EXPECT_FALSE(h.grantor.grant(3, 1, 2, kTtl));
+  EXPECT_GE(h.grantor.stats().lease_denials, 1u);
+  h.grantor.release(1, 1, 3);  // drains the deferred ack
+  EXPECT_TRUE(h.grantor.grant(3, 1, 4, kTtl));
+}
+
+TEST(LeaseGrantor, StaleEpochFromReorderedAttemptDenied) {
+  GrantorHarness h;
+  ASSERT_TRUE(h.grantor.grant(1, 5, 0, kTtl));
+  EXPECT_FALSE(h.grantor.grant(1, 4, 1, kTtl));  // reordered old attempt
+  EXPECT_TRUE(h.grantor.grant(1, 6, 2, kTtl));   // renewal
+}
+
+TEST(LeaseGrantor, RecoveryKeepsRecordsDropsDeferred) {
+  // Records are acceptor state (keep fencing across a crash); deferred acks
+  // die with the crash — the merging proposer retransmits and re-defers.
+  GrantorHarness h;
+  ASSERT_TRUE(h.grantor.grant(1, 1, 0, kTtl));
+  h.grantor.defer(2, 3, 1);
+  h.grantor.on_recover();
+  EXPECT_TRUE(h.grantor.has_records());
+  EXPECT_FALSE(h.grantor.has_deferred());
+}
+
+// ---- end-to-end over the simulator ----
+
+core::ProtocolConfig lease_config() {
+  core::ProtocolConfig config;
+  config.read_leases = true;
+  return config;
+}
+
+struct Cluster {
+  std::unique_ptr<sim::Simulator> sim;
+  std::vector<NodeId> replicas;
+  std::vector<NodeId> clients;
+  std::unique_ptr<bench::Collector> collector;
+
+  CounterReplica& replica(std::size_t i) {
+    return sim->endpoint_as<CounterReplica>(replicas[i]);
+  }
+  bench::CounterClient& client(std::size_t i) {
+    return sim->endpoint_as<bench::CounterClient>(clients[i]);
+  }
+  core::LeaseStats lease_totals() const {
+    core::LeaseStats total;
+    for (const NodeId id : replicas)
+      total.add(sim->endpoint_as<CounterReplica>(id).lease_stats());
+    return total;
+  }
+};
+
+// clients[i] = {target replica index, read ratio}.
+Cluster make_cluster(std::uint64_t seed,
+                     const std::vector<std::pair<std::size_t, double>>& specs,
+                     core::ProtocolConfig config, sim::NetworkConfig net = {},
+                     std::size_t n_replicas = 3) {
+  Cluster cluster;
+  net.lossy_node_limit = static_cast<NodeId>(n_replicas);
+  cluster.sim = std::make_unique<sim::Simulator>(seed, net);
+  cluster.collector = std::make_unique<bench::Collector>(0, 3600 * kSecond);
+  std::vector<NodeId> replica_ids(n_replicas);
+  for (std::size_t i = 0; i < n_replicas; ++i)
+    replica_ids[i] = static_cast<NodeId>(i);
+  for (std::size_t i = 0; i < n_replicas; ++i)
+    cluster.replicas.push_back(
+        cluster.sim->add_node([&replica_ids, config](net::Context& ctx) {
+          return std::make_unique<CounterReplica>(ctx, replica_ids, config,
+                                                  core::gcounter_ops());
+        }));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const NodeId target = replica_ids[specs[i].first];
+    const double read_ratio = specs[i].second;
+    cluster.clients.push_back(cluster.sim->add_node(
+        [&, target, read_ratio, i](net::Context& ctx) {
+          return std::make_unique<bench::CounterClient>(
+              ctx, target, read_ratio, seed * 977 + i,
+              cluster.collector.get());
+        }));
+  }
+  return cluster;
+}
+
+TEST(Lease, ReadsServeLocallyAfterOneAcquisition) {
+  // Read-only load: the first query learns + acquires; every read inside
+  // the lease's validity is answered from local stable state, so protocol
+  // query rounds stay at a handful while completed reads run to thousands.
+  Cluster cluster =
+      make_cluster(11, {{0, 1.0}}, lease_config());
+  cluster.sim->run_for(150 * kMillisecond);
+  const auto& proposer = cluster.replica(0).proposer();
+  const auto lease = proposer.lease_stats();
+  EXPECT_GE(lease.lease_acquisitions, 1u);
+  EXPECT_GT(lease.lease_hits, 100u);
+  EXPECT_LT(proposer.stats().query_rounds, 5u);
+  EXPECT_GT(cluster.client(0).completed(), 100u);
+  EXPECT_TRUE(proposer.lease_held());
+}
+
+TEST(Lease, LeasedReadsAddNoReplicaTraffic) {
+  // Inside one lease validity window a read costs exactly the client
+  // request and its reply — the replica-to-replica links are silent.
+  Cluster cluster =
+      make_cluster(13, {{0, 1.0}}, lease_config());
+  cluster.sim->run_for(50 * kMillisecond);  // warm: learn + acquire
+  const std::uint64_t m1 = cluster.sim->messages_sent();
+  const std::uint64_t c1 = cluster.client(0).completed();
+  cluster.sim->run_for(100 * kMillisecond);  // still inside the first lease
+  const std::uint64_t m2 = cluster.sim->messages_sent();
+  const std::uint64_t c2 = cluster.client(0).completed();
+  ASSERT_GT(c2, c1);
+  // 2 messages per read, small slack for an in-flight boundary op.
+  EXPECT_LE(m2 - m1, 2 * (c2 - c1) + 8);
+}
+
+TEST(Lease, WritesRevokeBeforeCommitting) {
+  // A writer at another replica must first un-lease the reader: recalls and
+  // deferred MERGED acks appear, both sides keep completing, and the reads
+  // never miss a committed increment (checked end-to-end elsewhere; here
+  // the revocation machinery itself must be exercised).
+  Cluster cluster = make_cluster(
+      17, {{0, 1.0}, {1, 0.0}}, lease_config());
+  cluster.sim->run_for(300 * kMillisecond);
+  EXPECT_GT(cluster.client(0).completed(), 0u);
+  EXPECT_GT(cluster.client(1).completed(), 100u);
+  const auto lease = cluster.lease_totals();
+  EXPECT_GE(lease.lease_acquisitions, 1u);
+  EXPECT_GE(lease.recalls_sent, 1u);
+  EXPECT_GE(lease.lease_revokes, 1u);
+  EXPECT_GE(lease.merges_deferred, 1u);
+  EXPECT_GE(lease.lease_releases, 1u);
+}
+
+// Sends one increment to `target` after `fire_at`, recording when the ack
+// arrives — a probe for "how long was this single write delayed".
+class OneShotWriter final : public net::Endpoint {
+ public:
+  OneShotWriter(net::Context& ctx, NodeId target, TimeNs fire_at)
+      : ctx_(ctx), target_(target), fire_at_(fire_at) {}
+
+  void on_start() override {
+    ctx_.set_timer(fire_at_, 0, [this] {
+      sent_at_ = ctx_.now();
+      Encoder args;
+      args.put_u64(1);
+      Encoder enc;
+      rsm::ClientUpdate{make_request_id(ctx_.self(), 1), 0,
+                        std::move(args).take()}
+          .encode(enc);
+      ctx_.send(target_, std::move(enc).take());
+    });
+  }
+
+  void on_message(NodeId, ByteSpan data) override {
+    Decoder dec(data);
+    if (dec.get_u8() != static_cast<std::uint8_t>(rsm::ClientTag::kUpdateDone))
+      return;
+    done_at_ = ctx_.now();
+  }
+
+  TimeNs sent_at() const { return sent_at_; }
+  TimeNs done_at() const { return done_at_; }
+
+ private:
+  net::Context& ctx_;
+  NodeId target_;
+  TimeNs fire_at_;
+  TimeNs sent_at_ = 0;
+  TimeNs done_at_ = 0;
+};
+
+TEST(Lease, DeadLeaseholderDelaysCommitAtMostOneTtl) {
+  // SIGKILL-shaped nemesis: the leaseholder dies holding a live lease; a
+  // write issued right after must commit — delayed by the grantors' expiry,
+  // never blocked — and the delay is bounded by the TTL.
+  core::ProtocolConfig config = lease_config();
+  Cluster cluster = make_cluster(19, {{0, 1.0}}, config);
+  const NodeId writer_id = cluster.sim->add_node([&](net::Context& ctx) {
+    return std::make_unique<OneShotWriter>(
+        ctx, cluster.replicas[1], /*fire_at=*/151 * kMillisecond);
+  });
+  cluster.sim->call_at(150 * kMillisecond, [&] {
+    // The reader renewed at ~175ms cadence, so the lease is live right now.
+    EXPECT_TRUE(cluster.replica(0).proposer().lease_held());
+    cluster.sim->set_down(cluster.replicas[0], true);
+  });
+  cluster.sim->run_for(600 * kMillisecond);
+  auto& writer = cluster.sim->endpoint_as<OneShotWriter>(writer_id);
+  ASSERT_GT(writer.done_at(), 0) << "write blocked by a dead leaseholder";
+  const TimeNs delay = writer.done_at() - writer.sent_at();
+  // Genuinely deferred (an unfenced write completes in well under 10ms)...
+  EXPECT_GE(delay, 10 * kMillisecond);
+  // ...but within one TTL plus scheduling slack, per the liveness bound.
+  EXPECT_LE(delay, config.lease_ttl + 50 * kMillisecond);
+  EXPECT_GE(cluster.lease_totals().lease_expiries, 1u);
+}
+
+TEST(Lease, PartitionedHolderStopsServingAtExpiry) {
+  // Clock-skew/TTL race: a holder cut off from every grantor keeps serving
+  // only until its (margin-shortened) validity runs out, then goes silent —
+  // it must NOT serve past the moment a grantor could expire the record and
+  // let a conflicting write commit.
+  core::ProtocolConfig config = lease_config();
+  Cluster cluster = make_cluster(23, {{0, 1.0}}, config);
+  cluster.sim->run_for(100 * kMillisecond);
+  ASSERT_TRUE(cluster.replica(0).proposer().lease_held());
+  cluster.sim->set_partitioned(cluster.replicas[0], cluster.replicas[1], true);
+  cluster.sim->set_partitioned(cluster.replicas[0], cluster.replicas[2], true);
+  const std::uint64_t at_cut = cluster.client(0).completed();
+  // Validity anchors at the acquisition attempt's send time, so the lease
+  // outlives the cut by at most ttl - skew_margin.
+  cluster.sim->run_for(config.lease_ttl);
+  const std::uint64_t at_expiry = cluster.client(0).completed();
+  EXPECT_GT(at_expiry, at_cut);  // served locally while still valid
+  cluster.sim->run_for(200 * kMillisecond);
+  // After expiry the read path falls back to the (partitioned, hence stuck)
+  // learn protocol: no further reads complete, and the holder counted its
+  // own expiry instead of serving stale state.
+  EXPECT_EQ(cluster.client(0).completed(), at_expiry);
+  EXPECT_GE(
+      cluster.replica(0).proposer().lease_stats().holder_expiries, 1u);
+}
+
+TEST(Lease, LinearizableUnderLossWithLeases) {
+  // Mixed readers/writers on every replica with lossy replica links: the
+  // full recall/defer/expire machinery churns, and the per-key history must
+  // stay linearizable (reads include every committed increment).
+  sim::NetworkConfig net;
+  net.loss_probability = 0.05;
+  net.duplicate_probability = 0.02;
+  for (const std::uint64_t seed : {3u, 5u, 7u}) {
+    sim::Simulator sim(seed, net);
+    std::vector<NodeId> replica_ids{0, 1, 2};
+    core::ProtocolConfig config = lease_config();
+    for (int i = 0; i < 3; ++i)
+      sim.add_node([&](net::Context& ctx) {
+        return std::make_unique<CounterReplica>(ctx, replica_ids, config,
+                                                core::gcounter_ops());
+      });
+    verify::History history;
+    std::vector<NodeId> client_ids;
+    for (int i = 0; i < 4; ++i)
+      client_ids.push_back(sim.add_node([&, i](net::Context& ctx) {
+        return std::make_unique<verify::RecordingClient>(
+            ctx, static_cast<NodeId>(i % 3), /*read_ratio=*/0.6,
+            seed * 131 + i, &history);
+      }));
+    sim.run_for(400 * kMillisecond);
+    // Write churn this dense keeps recalling every acquisition — hits are
+    // not the point here (ReadsServeLocallyAfterOneAcquisition pins those);
+    // what must hold is that the fencing machinery actually engaged and the
+    // history stayed linearizable through it.
+    core::LeaseStats folded;
+    for (const NodeId id : replica_ids)
+      folded.add(sim.endpoint_as<CounterReplica>(id).lease_stats());
+    EXPECT_GT(folded.recalls_sent + folded.merges_deferred +
+                  folded.queries_deferred,
+              0u)
+        << "seed " << seed << ": lease fencing never exercised";
+    for (const NodeId id : client_ids)
+      sim.endpoint_as<verify::RecordingClient>(id).flush_pending();
+    const auto result = verify::check_counter_linearizable(history);
+    EXPECT_TRUE(result.linearizable)
+        << "seed " << seed << ": " << result.explanation;
+  }
+}
+
+// ---- adversarial lease-shaped histories for the checker itself ----
+// If the checker cannot catch the failure modes leases could introduce,
+// every green nemesis run above is meaningless.
+
+TEST(LeaseHistory, StaleLeaseReadIsRejected) {
+  // The classic lease bug: an update commits (quorum ack) while a stale
+  // holder still serves the old value to a read that starts strictly after
+  // the update's response. Linearizability forbids it; the checker must too.
+  verify::History history;
+  history.add_increment(0, 10 * kMillisecond, 1);
+  history.add_read(20 * kMillisecond, 21 * kMillisecond, 0);
+  EXPECT_FALSE(verify::check_counter_linearizable(history).linearizable);
+  EXPECT_FALSE(
+      verify::check_counter_linearizable_exhaustive(history).linearizable);
+}
+
+TEST(LeaseHistory, ReadOverlappingRevocationMayMissTheWrite) {
+  // A read that overlaps the update (e.g. served just before the recall
+  // landed) may legally return either value.
+  verify::History old_value;
+  old_value.add_increment(0, 10 * kMillisecond, 1);
+  old_value.add_read(5 * kMillisecond, 6 * kMillisecond, 0);
+  EXPECT_TRUE(verify::check_counter_linearizable(old_value).linearizable);
+  verify::History new_value;
+  new_value.add_increment(0, 10 * kMillisecond, 1);
+  new_value.add_read(5 * kMillisecond, 6 * kMillisecond, 1);
+  EXPECT_TRUE(verify::check_counter_linearizable(new_value).linearizable);
+}
+
+TEST(LeaseHistory, ExpiryRaceValueRegressionIsRejected) {
+  // Two lease-served reads around an expiry race: once some read observed
+  // the increment, a later read returning the pre-increment value is a
+  // regression no schedule can explain.
+  verify::History history;
+  history.add_increment(0, std::numeric_limits<TimeNs>::max(), 1);
+  history.add_read(10 * kMillisecond, 11 * kMillisecond, 1);
+  history.add_read(20 * kMillisecond, 21 * kMillisecond, 0);
+  EXPECT_FALSE(verify::check_counter_linearizable(history).linearizable);
+}
+
+TEST(LeaseHistory, AbandonedUpdateStaysPossiblyApplied) {
+  // The retry-budget abandonment convention (invoke, +inf): later reads may
+  // see the increment or not — both schedules exist — but observation is
+  // still monotone (covered by the regression case above).
+  verify::History absent;
+  absent.add_increment(0, std::numeric_limits<TimeNs>::max(), 1);
+  absent.add_read(10 * kMillisecond, 11 * kMillisecond, 0);
+  EXPECT_TRUE(verify::check_counter_linearizable(absent).linearizable);
+  verify::History applied;
+  applied.add_increment(0, std::numeric_limits<TimeNs>::max(), 1);
+  applied.add_read(10 * kMillisecond, 11 * kMillisecond, 1);
+  EXPECT_TRUE(verify::check_counter_linearizable(applied).linearizable);
+}
+
+}  // namespace
+}  // namespace lsr

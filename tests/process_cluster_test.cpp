@@ -61,6 +61,31 @@ TEST(ProcessCluster, SigkillAndRestartMidWorkloadStaysLinearizable) {
   EXPECT_EQ(result.total_ops, 4u * 100u);
 }
 
+TEST(ProcessCluster, SigkillLeaseholderMidLeaseStaysLinearizable) {
+  // Read leases on, and the SIGKILL lands on the replica a pure reader is
+  // pinned to — a live leaseholder. The survivors' grantor records for the
+  // dead holder cannot be released (nobody is left to release them), so
+  // every conflicting write must ride the TTL-expiry path; the workload
+  // still completes and every key's merged history stays linearizable.
+  ProcessKillRestartOptions options;
+  options.read_leases = true;
+  options.lease_ttl_ms = 150;
+  options.victim_reader = true;
+  options.clients = 4;
+  options.ops_per_client = 100;
+  options.kill_after = 80 * kMillisecond;
+  options.downtime = 300 * kMillisecond;
+  options.seed = 31;
+  const auto result = run_process_kill_restart(options);
+  ASSERT_TRUE(result.started) << result.explanation;
+  EXPECT_TRUE(result.fault_overlapped_workload)
+      << result.completed_at_kill << " ops had already completed";
+  EXPECT_TRUE(result.restarted_serving) << result.explanation;
+  EXPECT_TRUE(result.completed) << result.explanation;
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+  EXPECT_EQ(result.total_ops, 4u * 100u);
+}
+
 TEST(ProcessCluster, KeyedPaxosServesAcrossProcesses) {
   // The log baseline rides the same membership/binary path (no kill: a
   // keyed Multi-Paxos replica restarting from an empty log is outside the

@@ -354,5 +354,136 @@ TEST_P(ShardLinearizabilityP, PerKeyLinearizableAcrossCrashRecovery) {
   }
 }
 
+// Lease nemesis sweep: read leases on, lossy + duplicating replica links, a
+// transient partition that cuts a (likely) leaseholding replica away from
+// every grantor, and a crash/recovery of another replica while leases and
+// deferred acks are live — across 10 seeds, every key's history must stay
+// linearizable and every client must finish (a dead or partitioned
+// leaseholder delays commits, never blocks them).
+TEST(ShardLeaseNemesis, TenSeedSweepLossPartitionCrash) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    sim::NetworkConfig net;
+    net.loss_probability = 0.04;
+    net.duplicate_probability = 0.03;
+    net.lossy_node_limit = 3;
+    sim::Simulator sim(4000 + seed * 97, net);
+    const std::vector<NodeId> replicas{0, 1, 2};
+    core::ProtocolConfig config;
+    config.read_leases = true;
+    for (int i = 0; i < 3; ++i) {
+      sim.add_node([&](net::Context& ctx) {
+        return std::make_unique<Store>(ctx, replicas, config,
+                                       core::gcounter_ops(), GCounter{},
+                                       ShardOptions{4});
+      });
+    }
+    const auto keys = make_keys(12, "lease-");
+    verify::KeyedHistory history;
+    std::vector<NodeId> clients;
+    for (std::size_t c = 0; c < 6; ++c) {
+      clients.push_back(sim.add_node([&, c](net::Context& ctx) {
+        return std::make_unique<verify::KvRecordingClient>(
+            ctx, static_cast<NodeId>(c % 3), &keys,
+            /*read_ratio=*/0.7,  // read-heavy so leases are actually held
+            /*seed=*/4100 + seed * 17 + c, &history, /*max_ops=*/40);
+      }));
+    }
+    // Revoke-mid-partition: replica 0 holds leases when it is cut off; the
+    // recalls racing the cut are lost, so its grantor records must expire
+    // at the peers for writes to keep committing.
+    sim.call_at(40 * kMillisecond, [&] {
+      sim.set_partitioned(0, 1, true);
+      sim.set_partitioned(0, 2, true);
+    });
+    sim.call_at(160 * kMillisecond, [&] {
+      sim.set_partitioned(0, 1, false);
+      sim.set_partitioned(0, 2, false);
+    });
+    // Crash a replica while leases/deferred acks are live; its records
+    // survive (acceptor state), its deferred acks are rebuilt from MERGE
+    // retransmissions after recovery.
+    sim.call_at(320 * kMillisecond, [&] { sim.set_down(1, true); });
+    sim.call_at(420 * kMillisecond, [&] { sim.set_down(1, false); });
+    sim.run_to_completion();
+    for (const NodeId client : clients)
+      sim.endpoint_as<verify::KvRecordingClient>(client).flush_pending();
+
+    std::uint64_t lease_hits = 0;
+    for (const NodeId replica : replicas)
+      lease_hits +=
+          sim.endpoint_as<Store>(replica).lease_stats().lease_hits;
+    EXPECT_GT(lease_hits, 0u) << "seed " << seed << ": leases never served";
+    for (const NodeId client : clients)
+      EXPECT_EQ(
+          sim.endpoint_as<verify::KvRecordingClient>(client).completed(), 40u)
+          << "seed " << seed << ": client wedged";
+    for (const auto& [key, key_history] : history.histories()) {
+      const auto result = verify::check_counter_linearizable(key_history);
+      EXPECT_TRUE(result.linearizable)
+          << "seed " << seed << ", key " << key << ": "
+          << result.explanation;
+    }
+  }
+}
+
+// Retry-budget abandonment under a long partition: clients with a small
+// retransmission budget give up on requests their partitioned replica will
+// never answer in time. Abandoned updates enter the history as
+// possibly-applied, so the per-key verdict stays sound — and nothing
+// wedges.
+TEST(ShardLeaseNemesis, AbandonedOpsKeepHistoriesSound) {
+  sim::NetworkConfig net;
+  net.loss_probability = 0.03;
+  net.lossy_node_limit = 9;  // client links lossy too: retries do fire
+  sim::Simulator sim(6123, net);
+  const std::vector<NodeId> replicas{0, 1, 2};
+  core::ProtocolConfig config;
+  config.read_leases = true;
+  for (int i = 0; i < 3; ++i) {
+    sim.add_node([&](net::Context& ctx) {
+      return std::make_unique<Store>(ctx, replicas, config,
+                                     core::gcounter_ops(), GCounter{},
+                                     ShardOptions{4});
+    });
+  }
+  const auto keys = make_keys(8, "abandon-");
+  verify::KeyedHistory history;
+  std::vector<NodeId> clients;
+  for (std::size_t c = 0; c < 4; ++c) {
+    clients.push_back(sim.add_node([&, c](net::Context& ctx) {
+      auto client = std::make_unique<verify::KvRecordingClient>(
+          ctx, static_cast<NodeId>(c % 3), &keys, /*read_ratio=*/0.5,
+          /*seed=*/6200 + c, &history, /*max_ops=*/40);
+      client->enable_retry(10 * kMillisecond, /*failover_after=*/0, 3,
+                           /*max_retries=*/3);
+      return client;
+    }));
+  }
+  // Long partition of replica 0: its clients' in-flight ops exhaust their
+  // budgets and are abandoned rather than retried forever.
+  sim.call_at(30 * kMillisecond, [&] {
+    sim.set_partitioned(0, 1, true);
+    sim.set_partitioned(0, 2, true);
+  });
+  sim.call_at(400 * kMillisecond, [&] {
+    sim.set_partitioned(0, 1, false);
+    sim.set_partitioned(0, 2, false);
+  });
+  sim.run_to_completion();
+  std::uint64_t abandoned = 0;
+  for (const NodeId client : clients) {
+    auto& endpoint = sim.endpoint_as<verify::KvRecordingClient>(client);
+    endpoint.flush_pending();
+    abandoned += endpoint.abandoned();
+    EXPECT_EQ(endpoint.completed(), 40u) << "client wedged";
+  }
+  EXPECT_GT(abandoned, 0u) << "nemesis never exhausted a retry budget";
+  for (const auto& [key, key_history] : history.histories()) {
+    const auto result = verify::check_counter_linearizable(key_history);
+    EXPECT_TRUE(result.linearizable)
+        << "key " << key << ": " << result.explanation;
+  }
+}
+
 }  // namespace
 }  // namespace lsr::kv

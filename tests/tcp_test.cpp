@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -267,6 +268,74 @@ bool wait_for(const Pred& pred, int timeout_ms = 5000) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   return pred();
+}
+
+TEST(TcpBackoff, StaysWithinBoundsAndGrows) {
+  const TimeNs base = 10 * kMillisecond;
+  const TimeNs cap = 500 * kMillisecond;
+  std::uint64_t rng = 42;
+  TimeNs prev = 0;
+  TimeNs seen_max = 0;
+  for (int i = 0; i < 64; ++i) {
+    prev = decorrelated_backoff(base, cap, prev, rng);
+    ASSERT_GE(prev, base);
+    ASSERT_LE(prev, cap);
+    seen_max = std::max(seen_max, prev);
+  }
+  // Exponential in expectation: a 64-draw sequence must have escaped the
+  // neighborhood of the base and approached the cap.
+  EXPECT_GT(seen_max, cap / 2);
+}
+
+TEST(TcpBackoff, FirstDrawAfterResetIsJitteredNearBase) {
+  const TimeNs base = 10 * kMillisecond;
+  const TimeNs cap = 500 * kMillisecond;
+  std::uint64_t rng = 7;
+  for (int i = 0; i < 100; ++i) {
+    const TimeNs first = decorrelated_backoff(base, cap, 0, rng);
+    ASSERT_GE(first, base);
+    ASSERT_LE(first, 3 * base);  // uniform(base, 3*base), never beyond
+  }
+}
+
+TEST(TcpBackoff, CapSaturatesWithoutOverflow) {
+  std::uint64_t rng = 3;
+  const TimeNs cap = 500 * kMillisecond;
+  const TimeNs draw =
+      decorrelated_backoff(10 * kMillisecond, cap,
+                           std::numeric_limits<TimeNs>::max() / 2, rng);
+  EXPECT_GE(draw, 10 * kMillisecond);
+  EXPECT_LE(draw, cap);
+}
+
+TEST(TcpBackoff, IndependentLinksDesynchronize) {
+  // The lockstep-redial bug: peers that fail at the same instant must not
+  // share retry schedules. Simulate 8 links failing in lockstep and assert
+  // their cumulative retry times spread out instead of coinciding.
+  const TimeNs base = 10 * kMillisecond;
+  const TimeNs cap = 500 * kMillisecond;
+  constexpr int kLinks = 8;
+  std::uint64_t rng[kLinks];
+  for (int l = 0; l < kLinks; ++l)
+    rng[l] = 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(l + 1);
+  TimeNs prev[kLinks] = {};
+  TimeNs at[kLinks] = {};  // cumulative redial instant per link
+  for (int round = 0; round < 6; ++round) {
+    std::vector<TimeNs> draws;
+    for (int l = 0; l < kLinks; ++l) {
+      prev[l] = decorrelated_backoff(base, cap, prev[l], rng[l]);
+      at[l] += prev[l];
+      draws.push_back(prev[l]);
+    }
+    std::sort(draws.begin(), draws.end());
+    if (round == 0) continue;  // first draws share the narrow [base, 3*base]
+    // Per-round spread: not all 8 links may draw the same wait.
+    EXPECT_GT(draws.back() - draws.front(), base / 2)
+        << "round " << round << " drew in lockstep";
+  }
+  // Cumulative schedules must all differ by the end.
+  std::sort(at, at + kLinks);
+  for (int l = 1; l < kLinks; ++l) EXPECT_NE(at[l - 1], at[l]);
 }
 
 TEST(Tcp, DeliversAcrossRealSockets) {
