@@ -10,7 +10,8 @@
 // Flags:
 //   --id N             this client's member id (required, >= --replicas)
 //   --peers SPEC / --peers-file PATH   the shared membership table
-//   --replicas R       ids 0..R-1 are replicas (default: table size - 1)
+//   --replicas R       ids 0..R-1 are replicas (default: the table's
+//                      `replicas=` directive, else table size - 1)
 //   --target T         replica to talk to (default: id %% replicas)
 //   --ops N            requests to complete (default 400)
 //   --keys K           keyspace size (default 24)
@@ -18,12 +19,29 @@
 //   --read-ratio F     fraction of reads (default 0.5)
 //   --retry-ms M       retransmission timeout (default 50; 0 = off)
 //   --failover N       switch replica after N consecutive timeouts
-//                      (default 0 = same-replica retry — keep 0 for crdt,
-//                      whose session dedup is per replica)
+//                      (default 0 = same-replica retry — keep 0 for crdt
+//                      unless the nodes run --replicate-sessions, which
+//                      makes cross-replica retries safe)
+//   --refresh          after each failover, ask the new target for the
+//                      current member table (rsm::MembersQuery) and adopt
+//                      its replica count — lets the client follow a live
+//                      3->5 grow
 //   --retry-budget N   retransmissions per request before the request is
 //                      abandoned (default 0 = retry forever). An abandoned
 //                      update stays in the history as possibly-applied, so
 //                      the verdict below remains sound.
+//   --sweep            maintenance mode instead of the workload: one repair
+//                      read (rsm::kQueryRepairFlag) per key through
+//                      --target, which makes the proposer learn each key
+//                      from EVERY member and write the global LUB back to
+//                      all of them before replying. Run it through an added
+//                      node between the two SIGHUPs of a grow, and through
+//                      a just-restarted node before touching the next one
+//                      — the protocol keeps no logs, so this sweep is what
+//                      restores full replication after an amnesiac rejoin
+//                      (see README "Operating a live cluster"). Requires
+//                      every member reachable; exits 0 when all --keys
+//                      keys swept.
 //   --seed S           rng seed (default 1)
 //   --deadline-ms M    give up after M ms (default 60000)
 //
@@ -41,9 +59,14 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "bench/workload.h"
+#include "common/wire.h"
+#include "kv/shard.h"
 #include "net/membership.h"
 #include "net/tcp.h"
+#include "rsm/client_msg.h"
 #include "verify/history.h"
 #include "verify/kv_recording_client.h"
 #include "verify/linearizability.h"
@@ -57,11 +80,66 @@ int usage(const char* argv0) {
                "usage: %s --id N (--peers SPEC | --peers-file PATH)\n"
                "          [--replicas R] [--target T] [--ops N] [--keys K]\n"
                "          [--zipf T] [--read-ratio F] [--retry-ms M]\n"
-               "          [--failover N] [--retry-budget N] [--seed S]\n"
+               "          [--failover N] [--refresh] [--retry-budget N]\n"
+               "          [--sweep] [--seed S]\n"
                "          [--deadline-ms M]\n",
                argv0);
   return 2;
 }
+
+// --sweep: repair-reads every key once, in order, through one replica.
+// The repair flag is what distinguishes this from a workload read: the
+// proposer must gather from all members and leave the global LUB on all of
+// them, so finishing the sweep proves every key is fully replicated.
+class RepairSweep final : public net::Endpoint {
+ public:
+  RepairSweep(net::Context& ctx, NodeId target,
+              const std::vector<std::string>* keys, TimeNs retry_timeout)
+      : ctx_(ctx), retry_(ctx, target), keys_(keys) {
+    retry_.enable(retry_timeout, /*failover_after=*/0, 1);
+  }
+
+  void on_start() override { transmit(); }
+
+  void on_message(NodeId, ByteSpan data) override {
+    kv::EnvelopeView env;
+    if (!kv::peek_envelope(data, env)) return;
+    Decoder dec(env.inner, env.inner_size);
+    try {
+      if (dec.get_u8() != static_cast<std::uint8_t>(rsm::ClientTag::kQueryDone))
+        return;
+      if (rsm::QueryDone::decode(dec).request != request_) return;
+    } catch (const WireError&) {
+      return;
+    }
+    retry_.acknowledged();
+    if (index_.fetch_add(1) + 1 < keys_->size())
+      transmit();
+    else
+      done_.store(true);
+  }
+
+  bool done() const { return done_.load(); }
+  std::size_t swept() const { return index_.load(); }
+
+ private:
+  void transmit() {
+    request_ = make_request_id(ctx_.self(), counter_++);
+    Encoder inner;
+    rsm::ClientQuery{request_, 0, {}, rsm::kQueryRepairFlag}.encode(inner);
+    ctx_.send(retry_.replica(),
+              kv::make_envelope((*keys_)[index_.load()], inner.bytes()));
+    retry_.after_send([this] { transmit(); });
+  }
+
+  net::Context& ctx_;
+  bench::RetrySchedule retry_;
+  const std::vector<std::string>* keys_;
+  std::atomic<std::size_t> index_{0};  // atomic: main thread polls progress
+  RequestId request_ = 0;
+  std::uint64_t counter_ = 0;
+  std::atomic<bool> done_{false};
+};
 
 }  // namespace
 
@@ -73,6 +151,8 @@ int main(int argc, char** argv) {
   long keys = 24;
   long retry_ms = 50;
   long failover = 0;
+  bool refresh = false;
+  bool sweep = false;
   long retry_budget = 0;
   long seed = 1;
   long deadline_ms = 60000;
@@ -95,6 +175,8 @@ int main(int argc, char** argv) {
     else if (flag("--read-ratio")) read_ratio = std::atof(argv[++i]);
     else if (flag("--retry-ms")) retry_ms = std::atol(argv[++i]);
     else if (flag("--failover")) failover = std::atol(argv[++i]);
+    else if (std::strcmp(argv[i], "--refresh") == 0) refresh = true;
+    else if (std::strcmp(argv[i], "--sweep") == 0) sweep = true;
     else if (flag("--retry-budget")) retry_budget = std::atol(argv[++i]);
     else if (flag("--seed")) seed = std::atol(argv[++i]);
     else if (flag("--deadline-ms")) deadline_ms = std::atol(argv[++i]);
@@ -114,7 +196,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "lsr_client: bad membership: %s\n", error.c_str());
     return 2;
   }
-  if (replicas < 0) replicas = static_cast<long>(membership.size()) - 1;
+  if (replicas < 0)
+    replicas = membership.has_replica_directive()
+                   ? static_cast<long>(membership.replicas())
+                   : static_cast<long>(membership.size()) - 1;
   if (replicas < 1 || static_cast<std::size_t>(replicas) >= membership.size() ||
       id < replicas || !membership.has(static_cast<NodeId>(id))) {
     std::fprintf(stderr,
@@ -135,6 +220,33 @@ int main(int argc, char** argv) {
   std::vector<std::string> keyspace;
   for (long k = 0; k < keys; ++k)
     keyspace.push_back("proc" + std::to_string(k));
+
+  if (sweep) {
+    net::TcpCluster cluster(membership);
+    const NodeId self = static_cast<NodeId>(id);
+    cluster.add_node(self, [&](net::Context& ctx) {
+      return std::make_unique<RepairSweep>(
+          ctx, static_cast<NodeId>(target), &keyspace,
+          (retry_ms > 0 ? retry_ms : 50) * kMillisecond);
+    });
+    cluster.start();
+    std::printf("lsr_client %u: repair sweep of %ld keys through replica "
+                "%ld\n",
+                self, keys, target);
+    std::fflush(stdout);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+    while (!cluster.endpoint_as<RepairSweep>(self).done() &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    cluster.stop();
+    auto& sweeper = cluster.endpoint_as<RepairSweep>(self);
+    std::printf("lsr_client %u: swept %zu/%ld keys -> %s\n", self,
+                sweeper.swept(), keys,
+                sweeper.done() ? "fully replicated" : "INCOMPLETE");
+    return sweeper.done() ? 0 : 3;
+  }
+
   const bench::Zipfian zipf(static_cast<std::uint64_t>(keys),
                             zipf_theta > 0 ? zipf_theta : 0.0);
   verify::KeyedHistory history;
@@ -152,6 +264,7 @@ int main(int argc, char** argv) {
                            static_cast<int>(failover),
                            static_cast<NodeId>(replicas),
                            static_cast<int>(retry_budget));
+    if (refresh) client->enable_members_refresh();
     return client;
   });
   cluster.start();

@@ -10,8 +10,9 @@
 //   --id N              this process's node id (required; must be < --replicas)
 //   --peers SPEC        comma-separated membership: id=host:port,...
 //   --peers-file PATH   same entries, one per line, '#' comments
-//   --replicas R        ids 0..R-1 are replicas (default: the whole table;
-//                       higher ids are client endpoints that dial in)
+//   --replicas R        ids 0..R-1 are replicas (default: the table's
+//                       `replicas=` directive, else the whole table; higher
+//                       ids are client endpoints that dial in)
 //   --system S          crdt | paxos | raft          (default crdt)
 //   --shards N          key-space shards, power of two (default 4)
 //   --groups N          executor groups (default: min(cores, shards))
@@ -19,6 +20,22 @@
 //                       leases (zero message rounds; writes revoke first)
 //   --lease-ttl-ms M    lease time-to-live (default 200); a SIGKILLed
 //                       leaseholder delays conflicting commits at most M ms
+//   --replicate-sessions  crdt only: replicate per-client session markers
+//                       through the lattice so a retried update is deduped
+//                       on ANY replica (required for client failover)
+//
+// Online reconfiguration: SIGHUP re-reads --peers-file, hot-swaps the
+// transport's member table (net::TcpCluster::reload_membership — new members
+// are dialed lazily, removed ones drain then close), and on the crdt system
+// switches every hosted key to the file's `replicas=` directive, running
+// joint quorums over the old set while a `prev-replicas=` directive is
+// present (see core::Proposer::reconfigure). A rolling grow is therefore:
+// rewrite the file with both directives, SIGHUP every old node, start the
+// new ones, then drop `prev-replicas=` and SIGHUP everything again.
+//
+// Every node also answers rsm::MembersQuery (tag 5, sent raw — no shard
+// envelope) with its current table + replica counts, so clients can refresh
+// their view from any replica after a failover.
 //
 // The same binary is what verify::ProcessCluster forks for the
 // fault-injection harness and what scripts/run_local_cluster.sh spawns; a
@@ -37,20 +54,24 @@
 
 #include "core/ops.h"
 #include "kv/keyed_log_store.h"
+#include "kv/shard.h"
 #include "kv/sharded_store.h"
 #include "lattice/gcounter.h"
 #include "net/membership.h"
 #include "net/tcp.h"
 #include "paxos/multipaxos.h"
 #include "raft/raft.h"
+#include "rsm/client_msg.h"
 
 using namespace lsr;
 
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_reload{false};
 
 void handle_signal(int) { g_stop.store(true); }
+void handle_reload(int) { g_reload.store(true); }
 
 int usage(const char* argv0) {
   std::fprintf(
@@ -58,9 +79,74 @@ int usage(const char* argv0) {
       "usage: %s --id N (--peers SPEC | --peers-file PATH)\n"
       "          [--replicas R] [--system crdt|paxos|raft]\n"
       "          [--shards N] [--groups N]\n"
-      "          [--read-leases] [--lease-ttl-ms M]\n",
+      "          [--read-leases] [--lease-ttl-ms M]\n"
+      "          [--replicate-sessions]\n",
       argv0);
   return 2;
+}
+
+// Node-level control plane wrapped around the store endpoint: answers
+// rsm::MembersQuery (which arrives raw, outside any shard envelope — tag 5
+// can never alias the 0xE1 envelope tag) with the transport's CURRENT member
+// table and replica directives, and forwards everything else untouched. The
+// store keeps serving per-key traffic exactly as before; clients get one
+// place to rediscover the cluster after a failover or reconfiguration.
+class NodeService final : public net::Endpoint {
+ public:
+  NodeService(net::Context& ctx, net::TcpCluster& cluster,
+              std::unique_ptr<net::Endpoint> inner)
+      : ctx_(ctx), cluster_(cluster), inner_(std::move(inner)) {}
+
+  void on_start() override { inner_->on_start(); }
+  void on_recover() override { inner_->on_recover(); }
+  int lane_count() const override { return inner_->lane_count(); }
+  int executor_count() const override { return inner_->executor_count(); }
+  int executor_of(int lane) const override { return inner_->executor_of(lane); }
+
+  int lane_of(ByteSpan data) const override {
+    if (is_members_query(data)) return 0;
+    return inner_->lane_of(data);
+  }
+
+  void on_message(NodeId from, ByteSpan data) override {
+    if (!is_members_query(data)) {
+      inner_->on_message(from, data);
+      return;
+    }
+    Decoder dec(data);
+    rsm::MembersReply reply;
+    try {
+      dec.get_u8();  // tag
+      reply.request = rsm::MembersQuery::decode(dec).request;
+    } catch (const WireError&) {
+      return;
+    }
+    const net::Membership members = cluster_.membership();
+    reply.replicas = static_cast<std::uint32_t>(members.replicas());
+    reply.prev_replicas = static_cast<std::uint32_t>(members.prev_replicas());
+    reply.peers = members.to_peers_string();
+    Encoder enc;
+    reply.encode(enc);
+    ctx_.send(from, std::move(enc).take());
+  }
+
+ private:
+  static bool is_members_query(ByteSpan data) {
+    return !data.empty() &&
+           data[0] == static_cast<std::uint8_t>(rsm::ClientTag::kMembers);
+  }
+
+  net::Context& ctx_;
+  net::TcpCluster& cluster_;
+  std::unique_ptr<net::Endpoint> inner_;
+};
+
+// ids 0..count-1 — the replica-set convention shared with the clients.
+std::vector<NodeId> dense_replica_ids(std::size_t count) {
+  std::vector<NodeId> ids;
+  for (std::size_t r = 0; r < count; ++r)
+    ids.push_back(static_cast<NodeId>(r));
+  return ids;
 }
 
 }  // namespace
@@ -71,6 +157,7 @@ int main(int argc, char** argv) {
   long shards = 4;
   long groups = 0;
   bool read_leases = false;
+  bool replicate_sessions = false;
   long lease_ttl_ms = 200;
   const char* peers = nullptr;
   const char* peers_file = nullptr;
@@ -88,6 +175,8 @@ int main(int argc, char** argv) {
     else if (flag("--groups")) groups = std::atol(argv[++i]);
     else if (flag("--lease-ttl-ms")) lease_ttl_ms = std::atol(argv[++i]);
     else if (std::strcmp(argv[i], "--read-leases") == 0) read_leases = true;
+    else if (std::strcmp(argv[i], "--replicate-sessions") == 0)
+      replicate_sessions = true;
     else return usage(argv[0]);
   }
   if (id < 0 || (peers == nullptr) == (peers_file == nullptr))
@@ -103,7 +192,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "lsr_node: bad membership: %s\n", error.c_str());
     return 2;
   }
-  if (replicas < 0) replicas = static_cast<long>(membership.size());
+  if (replicas < 0)
+    replicas = static_cast<long>(membership.replicas());
   if (replicas < 1 || static_cast<std::size_t>(replicas) > membership.size() ||
       id >= replicas) {
     std::fprintf(stderr,
@@ -116,38 +206,49 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "lsr_node: --shards must be a power of two\n");
     return 2;
   }
+  // The transport's table is what MembersReply serves back to clients; make
+  // it carry the effective replica count whether it came from a directive or
+  // the --replicas flag.
+  membership.set_replicas(static_cast<std::size_t>(replicas));
   const std::uint32_t cores =
       std::max(1u, std::thread::hardware_concurrency());
   kv::ShardOptions shard_options{
       static_cast<std::uint32_t>(shards),
       groups > 0 ? static_cast<std::uint32_t>(groups) : cores};
 
-  std::vector<NodeId> replica_ids;
-  for (long r = 0; r < replicas; ++r)
-    replica_ids.push_back(static_cast<NodeId>(r));
+  const std::vector<NodeId> replica_ids =
+      dense_replica_ids(static_cast<std::size_t>(replicas));
 
   const NodeId self = static_cast<NodeId>(id);
   net::TcpCluster cluster(membership);
+  kv::ShardedStore<lattice::GCounter>* crdt_store = nullptr;
   if (std::strcmp(system, "crdt") == 0) {
     core::ProtocolConfig protocol;
     protocol.read_leases = read_leases;
     protocol.lease_ttl = lease_ttl_ms * kMillisecond;
+    protocol.replicate_sessions = replicate_sessions;
     cluster.add_node(self, [&](net::Context& ctx) {
-      return std::make_unique<kv::ShardedStore<lattice::GCounter>>(
+      auto store = std::make_unique<kv::ShardedStore<lattice::GCounter>>(
           ctx, replica_ids, protocol, core::gcounter_ops(),
           lattice::GCounter{}, shard_options);
+      crdt_store = store.get();
+      return std::make_unique<NodeService>(ctx, cluster, std::move(store));
     });
   } else if (std::strcmp(system, "paxos") == 0) {
     cluster.add_node(self, [&](net::Context& ctx) {
-      return std::make_unique<kv::KeyedLogStore<paxos::MultiPaxosReplica>>(
-          ctx, replica_ids, paxos::PaxosConfig{}, shard_options);
+      return std::make_unique<NodeService>(
+          ctx, cluster,
+          std::make_unique<kv::KeyedLogStore<paxos::MultiPaxosReplica>>(
+              ctx, replica_ids, paxos::PaxosConfig{}, shard_options));
     });
   } else if (std::strcmp(system, "raft") == 0) {
     cluster.add_node(self, [&](net::Context& ctx) {
       raft::RaftConfig config;
       config.rng_seed = 0x5e5d + static_cast<std::uint64_t>(self) * 31;
-      return std::make_unique<kv::KeyedLogStore<raft::RaftReplica>>(
-          ctx, replica_ids, config, shard_options);
+      return std::make_unique<NodeService>(
+          ctx, cluster,
+          std::make_unique<kv::KeyedLogStore<raft::RaftReplica>>(
+              ctx, replica_ids, config, shard_options));
     });
   } else {
     std::fprintf(stderr, "lsr_node: unknown --system %s (crdt|paxos|raft)\n",
@@ -159,10 +260,18 @@ int main(int argc, char** argv) {
   action.sa_handler = handle_signal;
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
+  struct sigaction reload_action {};
+  reload_action.sa_handler = handle_reload;
+  ::sigaction(SIGHUP, &reload_action, nullptr);
   // Dead peers surface as connection errors on the io thread, not signals.
   ::signal(SIGPIPE, SIG_IGN);
 
   cluster.start();
+  // A node started mid-reconfiguration (the file still names the previous
+  // set) joins with joint quorums from its very first key.
+  if (crdt_store != nullptr && membership.prev_replicas() > 0)
+    crdt_store->reconfigure(
+        replica_ids, dense_replica_ids(membership.prev_replicas()));
   const auto& address = membership.address(self);
   std::printf("lsr_node %u serving on %s:%u (system=%s, shards=%ld, "
               "replicas=%ld of %zu members%s)\n",
@@ -171,8 +280,43 @@ int main(int argc, char** argv) {
               read_leases ? ", read leases on" : "");
   std::fflush(stdout);
 
-  while (!g_stop.load())
+  while (!g_stop.load()) {
+    if (g_reload.exchange(false)) {
+      if (peers_file == nullptr) {
+        std::fprintf(stderr,
+                     "lsr_node %u: SIGHUP ignored — reload needs "
+                     "--peers-file\n",
+                     self);
+      } else {
+        net::Membership next;
+        if (!net::Membership::load_file(peers_file, next, &error)) {
+          std::fprintf(stderr, "lsr_node %u: reload rejected: %s\n", self,
+                       error.c_str());
+        } else if (!cluster.reload_membership(next, &error)) {
+          std::fprintf(stderr, "lsr_node %u: reload rejected: %s\n", self,
+                       error.c_str());
+        } else {
+          const std::size_t new_replicas = next.replicas();
+          const std::size_t prev_replicas = next.prev_replicas();
+          if (crdt_store != nullptr)
+            crdt_store->reconfigure(dense_replica_ids(new_replicas),
+                                    dense_replica_ids(prev_replicas));
+          else if (new_replicas != static_cast<std::size_t>(replicas))
+            std::fprintf(stderr,
+                         "lsr_node %u: transport reloaded, but --system %s "
+                         "does not reconfigure its replica set online\n",
+                         self, system);
+          replicas = static_cast<long>(new_replicas);
+          std::printf("lsr_node %u: membership reloaded (%zu members, "
+                      "replicas=%zu%s)\n",
+                      self, next.size(), new_replicas,
+                      prev_replicas > 0 ? ", joint with previous set" : "");
+          std::fflush(stdout);
+        }
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
 
   std::printf("lsr_node %u shutting down\n", self);
   cluster.stop();

@@ -91,6 +91,32 @@ wait_listening() {
   return 1
 }
 
+# Readiness probe that also notices death: a node that exits before its
+# listener comes up (bad flags, port collision, crash) is reaped right away
+# — no zombie held until script exit, no full 10 s probe against a corpse —
+# and reported with its exit status and last log lines.
+wait_replica_ready() {
+  local id=$1 port=$2 tries=${3:-200}
+  local pid=${PIDS[$id]}
+  for _ in $(seq "$tries"); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      wait "$pid" 2>/dev/null
+      local rc=$?
+      unset "PIDS[$id]"
+      echo "replica $id (pid $pid) died before readiness (exit $rc):" >&2
+      tail -n 5 "$LOG_DIR/node$id.log" >&2
+      return 1
+    fi
+    if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+      exec 3>&- 3<&-
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "replica $id (pid $pid) is running but never started listening" >&2
+  return 1
+}
+
 cleanup() {
   for pid in "${PIDS[@]:-}"; do
     kill "$pid" 2>/dev/null
@@ -106,8 +132,8 @@ for i in $(seq 0 $((REPLICAS - 1))); do
   spawn_node "$i"
 done
 for i in $(seq 0 $((REPLICAS - 1))); do
-  if ! wait_listening $((BASE_PORT + i)); then
-    echo "replica $i never started listening (see $LOG_DIR/node$i.log)" >&2
+  if ! wait_replica_ready "$i" $((BASE_PORT + i)); then
+    echo "replica $i never became ready (see $LOG_DIR/node$i.log)" >&2
     exit 1
   fi
 done
@@ -145,16 +171,42 @@ echo "restarting replica $VICTIM"
 spawn_node "$VICTIM"
 wait_listening $((BASE_PORT + VICTIM)) || echo "warning: restarted replica not listening yet"
 
+# SIGHUP reload under traffic: append a spare member to the shared peers
+# file (atomic replace — nodes re-read it on signal) and SIGHUP every
+# replica; each must adopt the wider table while still serving the client.
+# This proves the operational reload path (edit file, signal) end to end;
+# the full grow + roll-restart scenario runs in process_cluster_test.
+SPARE=$MEMBERS
+{
+  cat "$PEERS_FILE"
+  echo "$SPARE=127.0.0.1:$((BASE_PORT + SPARE))"
+} > "$PEERS_FILE.tmp" && mv "$PEERS_FILE.tmp" "$PEERS_FILE"
+echo "SIGHUP all replicas (spare member $SPARE added to the table)"
+for i in $(seq 0 $((REPLICAS - 1))); do
+  kill -HUP "${PIDS[$i]}" 2>/dev/null
+done
+RELOADED=0
+for _ in $(seq 100); do
+  RELOADED=$(grep -l "membership reloaded" "$LOG_DIR"/node*.log 2>/dev/null | wc -l)
+  [ "$RELOADED" -ge "$REPLICAS" ] && break
+  sleep 0.05
+done
+
 wait "$CLIENT_PID"
 CLIENT_RC=$?
+RC=$CLIENT_RC
+[ "$RELOADED" -ge "$REPLICAS" ] || RC=1
 {
   echo "system=$SYSTEM replicas=$REPLICAS shards=$SHARDS ops=$OPS"
-  echo "fault=SIGKILL+restart replica $VICTIM mid-run"
-  if [ "$CLIENT_RC" -eq 0 ]; then
+  echo "fault=SIGKILL+restart replica $VICTIM mid-run, then SIGHUP reload"
+  echo "reload=$RELOADED/$REPLICAS nodes adopted the SIGHUPed member table"
+  if [ "$RC" -eq 0 ]; then
     echo "verdict=linearizable"
-  else
+  elif [ "$CLIENT_RC" -ne 0 ]; then
     echo "verdict=FAILED (client exit $CLIENT_RC)"
+  else
+    echo "verdict=FAILED (membership reload incomplete)"
   fi
   tail -n 2 "$LOG_DIR/client.log"
 } | tee "$VERDICT"
-exit "$CLIENT_RC"
+exit "$RC"

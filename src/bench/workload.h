@@ -103,8 +103,9 @@ class RetrySchedule {
       : ctx_(ctx), replica_(replica) {}
 
   // failover_after = 0 pins the client to its replica forever — required on
-  // the CRDT path, whose session dedup is per replica; the log baselines'
-  // replicated session tables also tolerate rotation. max_retries bounds
+  // the CRDT path when ProtocolConfig::replicate_sessions is off (its
+  // session dedup is then per replica); with replicated sessions the CRDT
+  // path tolerates rotation like the log baselines do. max_retries bounds
   // retransmissions per request (0 = retry forever): once the budget is
   // spent the request is NOT retransmitted again and on_exhausted fires
   // instead, exactly once per request.
@@ -120,6 +121,25 @@ class RetrySchedule {
 
   // Current target replica (advanced by failover).
   NodeId replica() const { return replica_; }
+
+  // True while the in-flight request has been retransmitted at least once.
+  // Clients put rsm::kClientRetryFlag on exactly these transmissions: a
+  // flagged update tells a replica that lost its session (crash, failover)
+  // to probe its peers before applying (see ProtocolConfig::
+  // replicate_sessions); the first transmission is always unflagged.
+  bool retrying() const { return retries_used_ > 0; }
+
+  // Grows (or shrinks) the rotation space after a members refresh told the
+  // host the cluster changed size. Never touches the current target.
+  void set_replica_count(NodeId replica_count) {
+    replica_count_ = replica_count;
+  }
+
+  // Fires right after the schedule rotates to a new replica, with the new
+  // target. Hosts that can reach the cluster control plane use it to
+  // refresh their member table (rsm::MembersQuery) — a failover is the
+  // moment a stale table is most likely.
+  std::function<void(NodeId)> on_failover;
 
   // Fires when max_retries retransmissions of one request all went
   // unanswered. The owning client must treat the operation as ABANDONED:
@@ -148,6 +168,7 @@ class RetrySchedule {
               replica_count_ > 1) {
             replica_ = (replica_ + 1) % replica_count_;
             timeouts_in_a_row_ = 0;
+            if (on_failover) on_failover(replica_);
           }
           retransmit();
         });
@@ -245,7 +266,9 @@ class CounterClient final : public net::Endpoint {
     } else {
       Encoder args;
       args.put_u64(1);
-      rsm::ClientUpdate update{inflight_request_, 0, std::move(args).take()};
+      rsm::ClientUpdate update{
+          inflight_request_, 0, std::move(args).take(),
+          retry_.retrying() ? rsm::kClientRetryFlag : std::uint8_t{0}};
       update.encode(enc);
     }
     ctx_.send(retry_.replica(), std::move(enc).take());
@@ -353,12 +376,28 @@ class KvWorkloadClient final : public net::Endpoint {
     };
   }
 
+  // After every failover, ask the new target for the cluster's current
+  // member table (rsm::MembersQuery, answered at the node level) and adopt
+  // the replica count it reports — a client started against a 3-replica
+  // cluster learns it grew to 5 and rotates over all of them.
+  void enable_members_refresh() {
+    retry_.on_failover = [this](NodeId target) {
+      Encoder enc;
+      rsm::MembersQuery{make_request_id(ctx_.self(), next_counter_++)}.encode(
+          enc);
+      ctx_.send(target, std::move(enc).take());
+    };
+  }
+
   void on_start() override { submit_next(); }
 
   void on_message(NodeId from, ByteSpan data) override {
     (void)from;
     kv::EnvelopeView env;
-    if (!kv::peek_envelope(data, env)) return;
+    if (!kv::peek_envelope(data, env)) {
+      handle_members_reply(data);
+      return;
+    }
     Decoder dec(env.inner, env.inner_size);
     std::uint8_t tag = 0;
     RequestId request = 0;
@@ -388,6 +427,21 @@ class KvWorkloadClient final : public net::Endpoint {
   std::uint64_t abandoned() const { return abandoned_; }
 
  private:
+  // Members replies arrive outside any shard envelope; everything else that
+  // fails the envelope peek is noise and ignored.
+  void handle_members_reply(ByteSpan data) {
+    Decoder dec(data);
+    try {
+      if (dec.get_u8() !=
+          static_cast<std::uint8_t>(rsm::ClientTag::kMembersReply))
+        return;
+      const auto reply = rsm::MembersReply::decode(dec);
+      if (reply.replicas > 0)
+        retry_.set_replica_count(static_cast<NodeId>(reply.replicas));
+    } catch (const WireError&) {
+    }
+  }
+
   void submit_next() {
     if (stop_time_ > 0 && ctx_.now() >= stop_time_) return;
     inflight_is_read_ = rng_.next_bool(read_ratio_);
@@ -406,8 +460,10 @@ class KvWorkloadClient final : public net::Endpoint {
     } else {
       Encoder args;
       args.put_u64(1);
-      rsm::ClientUpdate{inflight_request_, 0, std::move(args).take()}.encode(
-          inner);
+      rsm::ClientUpdate{inflight_request_, 0, std::move(args).take(),
+                        retry_.retrying() ? rsm::kClientRetryFlag
+                                          : std::uint8_t{0}}
+          .encode(inner);
     }
     ctx_.send(retry_.replica(), kv::make_envelope(*inflight_key_, inner.bytes()));
     retry_.after_send([this] { transmit(); });

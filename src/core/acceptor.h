@@ -36,6 +36,22 @@ class Acceptor {
   const Round& round() const { return round_; }
   const AcceptorStats& stats() const { return stats_; }
 
+  // Replicated client-session markers (ProtocolConfig::replicate_sessions):
+  // joined atomically with the payload on MERGE, marked by the co-located
+  // proposer in the same handler that applies the update. Empty (one null
+  // pointer) while the feature is off.
+  const SessionLattice& sessions() const { return sessions_; }
+  SessionLattice& sessions() { return sessions_; }
+
+  // Joins foreign (state, sessions) pairs outside a protocol instance —
+  // used by the proposer to absorb a positive SESSION-PROBE-REPLY before
+  // re-MERGEing. Atomic join of both halves preserves the marker invariant.
+  void absorb(const L& state, const SessionLattice& sessions) {
+    state_.join(state);
+    sessions_.join(sessions);
+    round_.id = Round::kWriteId;
+  }
+
   // Alg. 2 lines 28-31: apply an update function at the co-located proposer.
   // The update must be inflationary (Definition 3); we check in debug builds.
   const L& apply_update(const std::function<void(L&)>& update_fn) {
@@ -51,9 +67,11 @@ class Acceptor {
     return state_;
   }
 
-  // Alg. 2 lines 32-35.
+  // Alg. 2 lines 32-35. State and session markers join in the same step:
+  // an acceptor never holds a marker whose update is missing from its state.
   Merged handle(const Merge<L>& msg) {
     state_.join(msg.state);
+    sessions_.join(msg.sessions);
     round_.id = Round::kWriteId;  // line 34
     ++stats_.merges;
     return Merged{msg.op};
@@ -87,8 +105,23 @@ class Acceptor {
     return Nack<L>{msg.op, msg.attempt, round_, state_};
   }
 
+  // Cross-replica retry probe: reports whether the queried client update is
+  // already applied in this acceptor's payload, shipping (state, sessions)
+  // back on a hit so the prober can absorb and re-MERGE it.
+  SessionProbeReply<L> handle(const SessionProbe& msg) const {
+    SessionProbeReply<L> reply;
+    reply.op = msg.op;
+    reply.found = sessions_.contains(msg.client, msg.counter);
+    if (reply.found) {
+      reply.state = state_;
+      reply.sessions = sessions_;
+    }
+    return reply;
+  }
+
  private:
   L state_;       // the replicated CRDT payload (updated in place, no log)
+  SessionLattice sessions_;  // replicated session markers riding alongside
   Round round_;   // highest observed round; starts (0, kInitId)
   const ProtocolConfig* config_;  // optional; only for the VOTED-state ablation
   AcceptorStats stats_;

@@ -45,10 +45,21 @@ struct ProtocolConfig {
   // local state without re-applying, acking only on quorum. This is what
   // lets clients retransmit over lossy client links — the paper's protocol
   // needs no sessions only because its load generators never retry. On by
-  // default; the table is volatile (per-proposer), so retries must return
-  // to the same replica — cross-replica failover still requires the
-  // replicated session tables of the log baselines.
+  // default; the table is volatile (per-proposer), so with
+  // replicate_sessions off retries must return to the same replica.
   bool client_sessions = true;
+
+  // Cross-replica session replication (ROADMAP item 2): session markers
+  // (client, counter) ride MERGE messages next to the payload and are stored
+  // in every acceptor (core/session_lattice.h), so a retry that fails over
+  // to a different replica after a crash is deduplicated there — either
+  // against the local replicated markers (re-MERGE without re-applying) or
+  // by probing every reachable acceptor (SESSION-PROBE) before concluding
+  // the retry is fresh. Clients flag retransmissions (rsm::kClientRetryFlag)
+  // to trigger the probe. Off by default: it costs one wire byte per MERGE
+  // and a marker table per acceptor, and the paper's protocol has no
+  // sessions at all. Requires client_sessions.
+  bool replicate_sessions = false;
 
   // Read leases (ROADMAP item 1, see core/lease.h): replicas acquire
   // quorum-granted per-key leases by piggybacking on the query learn and

@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "common/wire.h"
 #include "core/round.h"
+#include "core/session_lattice.h"
 #include "lattice/semilattice.h"
 
 namespace lsr::core {
@@ -28,23 +29,37 @@ enum class MsgTag : std::uint8_t {
   kNack = 22,
   kLeaseRecall = 23,
   kLeaseRelease = 24,
+  kSessionProbe = 25,
+  kSessionProbeReply = 26,
 };
 
-// <MERGE, s> — update propagation (Alg. 2 line 4).
+// <MERGE, s> — update propagation (Alg. 2 line 4). With
+// ProtocolConfig::replicate_sessions the message additionally carries the
+// sender's session-marker lattice; state and sessions are joined atomically
+// at the receiving acceptor, which is what keeps "marker => update is in the
+// adjacent state" true everywhere (see core/session_lattice.h). An empty
+// table costs one wire byte.
 template <lattice::SerializableLattice L>
 struct Merge {
   std::uint64_t op = 0;
   L state;
+  SessionLattice sessions;
+
+  Merge() = default;
+  Merge(std::uint64_t op_id, L payload, SessionLattice marks = {})
+      : op(op_id), state(std::move(payload)), sessions(std::move(marks)) {}
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(MsgTag::kMerge));
     enc.put_u64(op);
     state.encode(enc);
+    sessions.encode(enc);
   }
   static Merge decode(Decoder& dec) {
     Merge msg;
     msg.op = dec.get_u64();
     msg.state = L::decode(dec);
+    msg.sessions = SessionLattice::decode(dec);
     return msg;
   }
 };
@@ -239,9 +254,68 @@ struct LeaseRelease {
   }
 };
 
+// <SESSION-PROBE, client, counter> — proposer → every acceptor, sent before
+// re-applying a client update that arrived flagged as a retry but is unknown
+// to both the local volatile session table and the local replicated markers
+// (i.e. the client failed over from a crashed replica). Asks: "is this
+// update already applied in your payload state?"
+struct SessionProbe {
+  std::uint64_t op = 0;
+  NodeId client = 0;
+  std::uint64_t counter = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kSessionProbe));
+    enc.put_u64(op);
+    enc.put_u32(client);
+    enc.put_u64(counter);
+  }
+  static SessionProbe decode(Decoder& dec) {
+    SessionProbe msg;
+    msg.op = dec.get_u64();
+    msg.client = dec.get_u32();
+    msg.counter = dec.get_u64();
+    return msg;
+  }
+};
+
+// <SESSION-PROBE-REPLY, found, s, sessions> — acceptor → probing proposer.
+// When found, the reply carries the acceptor's payload state and marker
+// table so the prober can absorb both (atomically, preserving the marker
+// invariant) and then re-MERGE instead of re-applying.
 template <lattice::SerializableLattice L>
-using Message = std::variant<Merge<L>, Merged, Prepare<L>, Ack<L>, Vote<L>,
-                             Voted<L>, Nack<L>, LeaseRecall, LeaseRelease>;
+struct SessionProbeReply {
+  std::uint64_t op = 0;
+  bool found = false;
+  std::optional<L> state;
+  SessionLattice sessions;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(MsgTag::kSessionProbeReply));
+    enc.put_u64(op);
+    enc.put_bool(found);
+    if (found) {
+      state->encode(enc);
+      sessions.encode(enc);
+    }
+  }
+  static SessionProbeReply decode(Decoder& dec) {
+    SessionProbeReply msg;
+    msg.op = dec.get_u64();
+    msg.found = dec.get_bool();
+    if (msg.found) {
+      msg.state = L::decode(dec);
+      msg.sessions = SessionLattice::decode(dec);
+    }
+    return msg;
+  }
+};
+
+template <lattice::SerializableLattice L>
+using Message =
+    std::variant<Merge<L>, Merged, Prepare<L>, Ack<L>, Vote<L>, Voted<L>,
+                 Nack<L>, LeaseRecall, LeaseRelease, SessionProbe,
+                 SessionProbeReply<L>>;
 
 template <lattice::SerializableLattice L>
 Bytes encode_message(const Message<L>& msg) {
@@ -264,6 +338,8 @@ Message<L> decode_message(Decoder& dec) {
     case MsgTag::kNack: return Nack<L>::decode(dec);
     case MsgTag::kLeaseRecall: return LeaseRecall::decode(dec);
     case MsgTag::kLeaseRelease: return LeaseRelease::decode(dec);
+    case MsgTag::kSessionProbe: return SessionProbe::decode(dec);
+    case MsgTag::kSessionProbeReply: return SessionProbeReply<L>::decode(dec);
   }
   throw WireError("unknown protocol message tag");
 }
@@ -276,7 +352,8 @@ inline bool is_acceptor_bound(std::uint8_t tag) {
   return tag == static_cast<std::uint8_t>(MsgTag::kMerge) ||
          tag == static_cast<std::uint8_t>(MsgTag::kPrepare) ||
          tag == static_cast<std::uint8_t>(MsgTag::kVote) ||
-         tag == static_cast<std::uint8_t>(MsgTag::kLeaseRelease);
+         tag == static_cast<std::uint8_t>(MsgTag::kLeaseRelease) ||
+         tag == static_cast<std::uint8_t>(MsgTag::kSessionProbe);
 }
 
 }  // namespace lsr::core

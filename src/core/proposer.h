@@ -25,6 +25,7 @@
 // state and returns the maximum of it and the freshly learned state.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -63,7 +64,7 @@ class Proposer {
         ops_(std::move(ops)),
         timer_lane_(timer_lane) {
     LSR_EXPECTS(!replicas_.empty());
-    quorum_ = replicas_.size() / 2 + 1;
+    rebuild_quorums({});
     // Holder-side lease state lives behind a pointer so the common
     // lease-less deployment pays 8 bytes per key, not a second state copy
     // plus a page of counters (the per-key memory budget is the product).
@@ -76,6 +77,24 @@ class Proposer {
   // are enabled.
   void set_grantor(LeaseGrantor* grantor) { grantor_ = grantor; }
 
+  // Online reconfiguration (ROADMAP item 2) with joint quorums: while
+  // `previous` is nonempty, every quorum decision (MERGED acks, learn ACKs,
+  // VOTEDs, probe waves) requires a majority of BOTH replica sets and all
+  // sends go to their union. Nodes must stay joint until the whole cluster
+  // has adopted the new table (the operator keeps the prev-replicas
+  // directive in the peers file for the duration of the transition) —
+  // old-only and new-only majorities need not intersect each other. In-
+  // flight instances adopt the new predicate immediately (it is strictly
+  // more conservative while joint). New lease acquisitions are disabled
+  // while joint; leases granted before the transition stay sound because
+  // joint update quorums still include an old-set majority, which fences
+  // behind the old grantors.
+  void reconfigure(std::vector<NodeId> replicas, std::vector<NodeId> previous) {
+    LSR_EXPECTS(!replicas.empty());
+    replicas_ = std::move(replicas);
+    rebuild_quorums(std::move(previous));
+  }
+
   // Eviction safety: a keyed store destroys per-key proposers while the
   // hosting context lives on — any timer left armed would fire into freed
   // (arena-recycled) memory.
@@ -83,6 +102,8 @@ class Proposer {
     ctx_.cancel_timer(flush_timer_);
     for (auto& [id, op] : updates_) ctx_.cancel_timer(op.timer);
     for (auto& [id, op] : queries_) ctx_.cancel_timer(op.timer);
+    if (probes_)
+      for (auto& [id, op] : *probes_) ctx_.cancel_timer(op.timer);
   }
 
   // Called from Endpoint::on_start. The flush timer is demand-driven: it
@@ -98,6 +119,7 @@ class Proposer {
     // paper's proposers keep no durable state). Clients re-submit.
     updates_.clear();
     queries_.clear();
+    if (probes_) probes_->clear();
     update_batch_.clear();
     query_batch_.clear();
     updates_in_flight_ = 0;
@@ -131,7 +153,7 @@ class Proposer {
 
   // True while this proposer may serve queries locally (test hook).
   bool lease_held() const {
-    return replicas_.size() == 1 ||
+    return (replicas_.size() == 1 && joint_ == nullptr) ||
            (lease_ && lease_->held && ctx_.now() < lease_->valid_until);
   }
 
@@ -177,10 +199,14 @@ class Proposer {
                    ctx_.self(), msg.op, client);
       return;
     }
+    // Repair read (rsm::kQueryRepairFlag): the learn must gather from every
+    // member and write back, so it bypasses both the lease fast path and the
+    // batch buffer (a batch would dilute the flag across unrelated queries).
+    const bool repair = (msg.flags & rsm::kQueryRepairFlag) != 0;
     // Lease fast path: a valid lease means every update that was committed
     // anywhere is fenced behind our revocation, so the local stable state is
     // linearizable to serve — zero message rounds, zero timers.
-    if (lease_ != nullptr && lease_usable(ctx_.now())) {
+    if (lease_ != nullptr && lease_usable(ctx_.now()) && !repair) {
       try {
         Decoder args(msg.args);
         rsm::QueryDone done{msg.request,
@@ -198,14 +224,14 @@ class Proposer {
       return;
     }
     Command cmd{msg.request, client, msg.op, std::move(msg.args)};
-    if (config_.batch_interval > 0) {
+    if (config_.batch_interval > 0 && !repair) {
       query_batch_.push_back(std::move(cmd));
       if (flush_timer_ == net::kInvalidTimer) arm_flush_timer();
       return;
     }
     std::vector<Command> single;
     single.push_back(std::move(cmd));
-    start_query(std::move(single));
+    start_query(std::move(single), repair);
   }
 
   // ---- acceptor replies (routed here by Replica) ----
@@ -215,7 +241,7 @@ class Proposer {
     if (it == updates_.end()) return;  // already complete or stale
     UpdateOp& op = it->second;
     if (!op.acked.insert(from).second) return;  // duplicate
-    if (op.acked.size() >= quorum_) finish_update(it);
+    if (quorum_reached(op.acked)) finish_update(it);
   }
 
   void handle(NodeId from, const Ack<L>& msg) {
@@ -229,7 +255,7 @@ class Proposer {
     op.ack_states.push_back(msg.state);
     op.gathered.join(msg.state);
     op.max_seen_round = std::max(op.max_seen_round, msg.round.number);
-    if (op.acked.size() >= quorum_) decide(it);  // line 11: quorum of ACKs
+    if (learn_complete(op)) decide(it);  // line 11: quorum of ACKs
   }
 
   void handle(NodeId from, const Voted<L>& msg) {
@@ -238,7 +264,8 @@ class Proposer {
     QueryOp& op = it->second;
     if (msg.attempt != op.attempt || op.phase != Phase::kVote) return;
     if (!op.voted.insert(from).second) return;
-    if (op.voted.size() >= quorum_) {
+    if (op.repair ? op.voted.size() >= targets().size()
+                  : quorum_reached(op.voted)) {
       // Line 22-24: state learned by unanimous vote; the proposer remembers
       // its proposal (Sect. 3.6), no state needs to travel back.
       ++stats_.learned_by_vote;
@@ -257,8 +284,8 @@ class Proposer {
     if (!op.nacked.insert(from).second) return;
     // Retry as soon as this attempt can no longer assemble a quorum
     // ("any proposer that received a NACK ... must retry its request").
-    const std::size_t reachable = replicas_.size() - op.nacked.size();
-    if (reachable < quorum_) {
+    // A repair learn needs every member, so any NACK dooms the attempt.
+    if (op.repair || !quorum_possible(op.nacked)) {
       begin_attempt(op, incremental_round(ctx_.self(), next_round_counter()),
                     std::optional<L>(op.gathered));
     }
@@ -281,6 +308,27 @@ class Proposer {
     broadcast_release();
   }
 
+  // A peer answered our cross-replica retry probe (replicate_sessions).
+  // First "found" wins: absorb the peer's (state, markers) pair into the
+  // local acceptor — atomically, preserving the marker invariant — and
+  // re-enter the client path, which now deduplicates against the local
+  // table. If every target reports "not found", the retry is treated as
+  // fresh (see arm_probe_timer for the unreachable-acceptor fallback).
+  void handle(NodeId from, const SessionProbeReply<L>& msg) {
+    if (!probes_) return;
+    const auto it = probes_->find(msg.op);
+    if (it == probes_->end()) return;  // already resolved or stale
+    ProbeOp& op = it->second;
+    if (!op.replied.insert(from).second) return;  // duplicate delivery
+    if (msg.found) {
+      ++stats_.session_probe_hits;
+      local_.absorb(*msg.state, msg.sessions);
+      resolve_probe(it);
+      return;
+    }
+    if (op.replied.size() >= targets().size()) resolve_probe(it);
+  }
+
  private:
   enum class Phase { kPrepare, kVote };
 
@@ -296,6 +344,12 @@ class Proposer {
     std::vector<Command> commands;
     std::set<NodeId> acked;
     L state;  // state after local application; retransmitted on timeout
+    // Session markers of exactly this batch's commands (replicate_sessions):
+    // shipped with op.state in every (re)transmitted MERGE. The pair is
+    // consistent by construction — full state contains the batch, and in
+    // delta mode the delta is precisely the batch — which is what keeps the
+    // marker invariant at the receivers.
+    SessionLattice sessions;
     net::TimerId timer = net::kInvalidTimer;
     int transmissions = 1;
   };
@@ -313,6 +367,10 @@ class Proposer {
     std::vector<L> ack_states;
     L gathered;   // LUB of every payload received across attempts
     L proposal;   // state proposed in the VOTE phase
+    // Repair read (rsm::kQueryRepairFlag): the learn and the vote must be
+    // acknowledged by ALL of targets(), not the first quorum, so finishing
+    // proves every member stores the returned state. See client_msg.h.
+    bool repair = false;
     std::uint64_t max_seen_round = 0;
     int round_trips = 0;
     net::TimerId timer = net::kInvalidTimer;
@@ -323,8 +381,20 @@ class Proposer {
     TimeNs lease_sent_at = 0;      // send time of the current attempt
   };
 
+  // Cross-replica retry probe (replicate_sessions): one SESSION-PROBE wave
+  // to every acceptor before a flagged retry may be applied as fresh.
+  struct ProbeOp {
+    std::uint64_t id = 0;
+    NodeId client = 0;
+    rsm::ClientUpdate msg;     // the original update, retry flag intact
+    std::set<NodeId> replied;  // counting self (consulted before probing)
+    net::TimerId timer = net::kInvalidTimer;
+    int transmissions = 1;
+  };
+
   using UpdateMap = std::unordered_map<std::uint64_t, UpdateOp>;
   using QueryMap = std::unordered_map<std::uint64_t, QueryOp>;
+  using ProbeMap = std::unordered_map<std::uint64_t, ProbeOp>;
 
   // ---- client sessions (dedup of retransmitted / duplicated updates) ----
 
@@ -349,8 +419,9 @@ class Proposer {
   static constexpr std::uint64_t kSessionWindow = 4096;
 
   // Gatekeeper for ClientUpdate: returns true when the command is new and
-  // must run the normal path; duplicates are answered or dropped here.
-  bool admit_update(NodeId client, const rsm::ClientUpdate& msg) {
+  // must run the normal path; duplicates are answered or dropped here (a
+  // false return may consume msg — the probe path keeps the original).
+  bool admit_update(NodeId client, rsm::ClientUpdate& msg) {
     Session& session = sessions_[client];
     const std::uint64_t counter = request_id_counter(msg.request);
     if (counter < session.acked_below || session.acked.count(counter) > 0) {
@@ -378,6 +449,31 @@ class Proposer {
       single.push_back(Command{msg.request, client, msg.op, {}});
       start_update(std::move(single), /*apply_commands=*/false);
       return false;
+    }
+    if (config_.replicate_sessions) {
+      if (local_.sessions().contains(client, counter)) {
+        // Unknown to the volatile session but marked in the replicated
+        // table: the update was applied by another replica (since crashed —
+        // the client failed over here) and its effect arrived in our payload
+        // via MERGE. Same soundness situation as applied_unacked above:
+        // possibly on no quorum, so re-MERGE the local state — which
+        // provably contains the update — without re-applying.
+        ++stats_.session_reconfirms;
+        session.admitted.insert(counter);
+        std::vector<Command> single;
+        single.push_back(Command{msg.request, client, msg.op, {}});
+        start_update(std::move(single), /*apply_commands=*/false);
+        return false;
+      }
+      if ((msg.flags & rsm::kClientRetryFlag) != 0) {
+        // A retransmission we know nothing about: the original may have been
+        // applied at a replica whose MERGE never reached us. Probe every
+        // acceptor before concluding the retry is fresh; duplicates arriving
+        // while the probe runs are dropped by the admitted set.
+        session.admitted.insert(counter);
+        start_probe(client, std::move(msg));
+        return false;
+      }
     }
     session.admitted.insert(counter);
     return true;
@@ -453,6 +549,14 @@ class Proposer {
     // lattice element too, so MERGE handling and retransmission are
     // unchanged.
     op.state = use_delta ? ops_.delta(before, local_.state()) : local_.state();
+    if (config_.replicate_sessions) {
+      // Mark this batch in the replicated table in the same step that put
+      // (or confirmed) its effects in the local payload, and ship exactly
+      // these markers with the MERGE below.
+      for (const Command& cmd : op.commands)
+        op.sessions.mark(cmd.client, request_id_counter(cmd.request));
+      local_.sessions().join(op.sessions);
+    }
     auto [it, inserted] = updates_.emplace(op_id, std::move(op));
     LSR_ASSERT(inserted);
     UpdateOp& stored = it->second;
@@ -472,10 +576,11 @@ class Proposer {
       finish_update(it);
       return;
     }
-    // Line 4: send MERGE to all remote acceptors.
-    const Merge<L> merge{op_id, stored.state};
+    // Line 4: send MERGE to all remote acceptors (the union of both replica
+    // sets while a reconfiguration is in flight).
+    const Merge<L> merge{op_id, stored.state, stored.sessions};
     const Bytes wire = encode_message<L>(Message<L>(merge));
-    for (const NodeId replica : replicas_)
+    for (const NodeId replica : targets())
       if (replica != ctx_.self()) ctx_.send(replica, wire);
     arm_update_timer(op_id);
   }
@@ -515,18 +620,89 @@ class Proposer {
           ++op.transmissions;
           // Retransmit only to acceptors that have not confirmed; joins are
           // idempotent so duplicates are harmless.
-          const Merge<L> merge{op_id, op.state};
+          const Merge<L> merge{op_id, op.state, op.sessions};
           const Bytes wire = encode_message<L>(Message<L>(merge));
-          for (const NodeId replica : replicas_)
+          for (const NodeId replica : targets())
             if (replica != ctx_.self() && op.acked.count(replica) == 0)
               ctx_.send(replica, wire);
           arm_update_timer(op_id);
         });
   }
 
+  // ---- cross-replica retry probe (replicate_sessions) ----
+
+  // Asks every acceptor in the send set whether (client, counter) is already
+  // applied in its payload. Unlike a learn — which completes at the *first*
+  // quorum and could race past the one acceptor holding the marker — the
+  // probe waits for every reachable acceptor, falling back to a quorum of
+  // "not found" only after repeated waves (a crashed-and-restarted node
+  // holds no state that could double-apply; a *partitioned* marker holder is
+  // the documented residual risk of the SIGKILL fault model).
+  void start_probe(NodeId client, rsm::ClientUpdate msg) {
+    ++stats_.session_probes;
+    if (!probes_) probes_ = std::make_unique<ProbeMap>();
+    const std::uint64_t op_id = next_op_id_++;
+    ProbeOp op;
+    op.id = op_id;
+    op.client = client;
+    op.msg = std::move(msg);
+    op.replied.insert(ctx_.self());  // local table consulted by admit_update
+    auto [it, inserted] = probes_->emplace(op_id, std::move(op));
+    LSR_ASSERT(inserted);
+    const std::uint64_t counter =
+        request_id_counter(it->second.msg.request);
+    const Bytes wire =
+        encode_message<L>(Message<L>(SessionProbe{op_id, client, counter}));
+    for (const NodeId replica : targets())
+      if (replica != ctx_.self()) ctx_.send(replica, wire);
+    if (it->second.replied.size() >= targets().size()) {
+      resolve_probe(it);  // single-replica deployment: nothing to ask
+      return;
+    }
+    arm_probe_timer(op_id);
+  }
+
+  // Every target answered "not found" (or the fallback fired), or a hit was
+  // absorbed into the local acceptor: re-enter the admission path without
+  // the probe flag. A hit now takes the replicated-marker reconfirm branch;
+  // a miss is admitted as a genuinely fresh update.
+  void resolve_probe(typename ProbeMap::iterator it) {
+    ProbeOp op = std::move(it->second);
+    ctx_.cancel_timer(op.timer);
+    probes_->erase(it);
+    sessions_[op.client].admitted.erase(request_id_counter(op.msg.request));
+    op.msg.flags &= static_cast<std::uint8_t>(~rsm::kClientRetryFlag);
+    handle_client_update(op.client, std::move(op.msg));
+  }
+
+  void arm_probe_timer(std::uint64_t op_id) {
+    const auto it = probes_->find(op_id);
+    LSR_ASSERT(it != probes_->end());
+    it->second.timer =
+        ctx_.set_timer(config_.retry_timeout, timer_lane_, [this, op_id] {
+          if (!probes_) return;
+          const auto op_it = probes_->find(op_id);
+          if (op_it == probes_->end()) return;
+          ProbeOp& op = op_it->second;
+          ++op.transmissions;
+          if (op.transmissions > 2 && quorum_reached(op.replied)) {
+            ++stats_.session_probe_fallbacks;
+            resolve_probe(op_it);
+            return;
+          }
+          const std::uint64_t counter = request_id_counter(op.msg.request);
+          const Bytes wire = encode_message<L>(
+              Message<L>(SessionProbe{op_id, op.client, counter}));
+          for (const NodeId replica : targets())
+            if (replica != ctx_.self() && op.replied.count(replica) == 0)
+              ctx_.send(replica, wire);
+          arm_probe_timer(op_id);
+        });
+  }
+
   // ---- query protocol ----
 
-  void start_query(std::vector<Command> commands) {
+  void start_query(std::vector<Command> commands, bool repair = false) {
     LSR_EXPECTS(!commands.empty());
     ++stats_.query_rounds;
     ++queries_in_flight_;
@@ -534,12 +710,13 @@ class Proposer {
     QueryOp op;
     op.id = op_id;
     op.commands = std::move(commands);
+    op.repair = repair;
     // Lazy lease acquisition: the first protocol query after a lease became
     // invalid doubles as the (re-)acquisition — no background renewal, so a
     // key nobody reads costs nothing. One acquisition in flight at a time;
     // a denied acquisition backs off so a write burst is not pelted with
     // grant requests it will keep denying.
-    if (lease_ != nullptr && replicas_.size() > 1 &&
+    if (lease_ != nullptr && replicas_.size() > 1 && joint_ == nullptr &&
         !lease_usable(ctx_.now()) && !lease_->acquiring &&
         ctx_.now() >= lease_->backoff_until) {
       op.lease_request = true;
@@ -588,7 +765,7 @@ class Proposer {
         ++op.lease_grants;
     }
     const Bytes wire = encode_message<L>(Message<L>(prepare));
-    for (const NodeId replica : replicas_)
+    for (const NodeId replica : targets())
       if (replica != ctx_.self()) ctx_.send(replica, wire);
     rearm_query_timer(op, op_id);
     // Line 10 sends to *all* acceptors: the co-located one is invoked
@@ -613,6 +790,10 @@ class Proposer {
 
   void decide(typename QueryMap::iterator it) {
     QueryOp& op = it->second;
+    // For a repair read the "quorum" below is all of targets_
+    // (learn_complete): a consistent outcome means every member already
+    // stores the LUB, and the vote outcome writes it to every member — both
+    // leave the state fully replicated, which is the repair contract.
     // Line 12: s' is the LUB of the quorum's ACK states.
     L lub = op.ack_states.front();
     for (std::size_t i = 1; i < op.ack_states.size(); ++i)
@@ -646,7 +827,7 @@ class Proposer {
       const std::uint64_t op_id = it->first;
       Vote<L> vote{op_id, op.attempt, op.round, op.proposal};
       const Bytes wire = encode_message<L>(Message<L>(vote));
-      for (const NodeId replica : replicas_)
+      for (const NodeId replica : targets())
         if (replica != ctx_.self()) ctx_.send(replica, wire);
       rearm_query_timer(op, op_id);
       // Nothing may touch `op` past the local dispatch. Self read fencing
@@ -728,7 +909,8 @@ class Proposer {
   // check past the deadline flips the lease off — no holder-side timer, so
   // an idle leased key costs zero events until it is touched again.
   bool lease_usable(TimeNs now) {
-    if (replicas_.size() == 1) return true;  // trivially held
+    if (replicas_.size() == 1 && joint_ == nullptr)
+      return true;  // trivially held
     if (!lease_->held) return false;
     if (now < lease_->valid_until) return true;
     lease_->held = false;
@@ -740,7 +922,7 @@ class Proposer {
     lease_->acquiring = false;
     const TimeNs valid_until =
         op.lease_sent_at + config_.lease_ttl - config_.lease_skew_margin;
-    if (op.lease_grants >= quorum_ &&
+    if (op.lease_grants >= quorum_ && joint_ == nullptr &&
         op.lease_epoch >= lease_->doomed_below && ctx_.now() < valid_until) {
       lease_->held = true;
       lease_->epoch = op.lease_epoch;
@@ -760,10 +942,66 @@ class Proposer {
   void broadcast_release() {
     const std::uint32_t epoch = lease_->epoch_counter;
     const Bytes wire = encode_message<L>(Message<L>(LeaseRelease{epoch}));
-    for (const NodeId replica : replicas_)
+    for (const NodeId replica : targets())
       if (replica != ctx_.self()) ctx_.send(replica, wire);
     if (grantor_ != nullptr)
       grantor_->release(ctx_.self(), epoch, ctx_.now());
+  }
+
+  // ---- quorum predicates (joint while a reconfiguration is in flight) ----
+
+  static std::size_t count_members(const std::set<NodeId>& acks,
+                                   const std::vector<NodeId>& members) {
+    std::size_t n = 0;
+    for (const NodeId id : members) n += acks.count(id);
+    return n;
+  }
+
+  // Majority of the current replica set — and, while joint, of the previous
+  // set too. Responders outside both sets are ignored.
+  bool quorum_reached(const std::set<NodeId>& acks) const {
+    if (count_members(acks, replicas_) < quorum_) return false;
+    return joint_ == nullptr ||
+           count_members(acks, joint_->previous) >= joint_->prev_quorum;
+  }
+
+  // When a query's learn may decide: its quorum for a repair read is every
+  // member of the send set (the all-ack gather is what lets the repair
+  // contract promise full replication on completion).
+  bool learn_complete(const QueryOp& op) const {
+    return op.repair ? op.acked.size() >= targets().size()
+                     : quorum_reached(op.acked);
+  }
+
+  // False once the nacked set makes quorum_reached unattainable this attempt.
+  bool quorum_possible(const std::set<NodeId>& nacked) const {
+    if (replicas_.size() - count_members(nacked, replicas_) < quorum_)
+      return false;
+    return joint_ == nullptr ||
+           joint_->previous.size() - count_members(nacked, joint_->previous) >=
+               joint_->prev_quorum;
+  }
+
+  void rebuild_quorums(std::vector<NodeId> previous) {
+    quorum_ = replicas_.size() / 2 + 1;
+    if (previous.empty()) {
+      joint_.reset();
+      return;
+    }
+    if (!joint_) joint_ = std::make_unique<Joint>();
+    joint_->previous = std::move(previous);
+    joint_->prev_quorum = joint_->previous.size() / 2 + 1;
+    joint_->targets = replicas_;
+    for (const NodeId id : joint_->previous)
+      if (std::find(joint_->targets.begin(), joint_->targets.end(), id) ==
+          joint_->targets.end())
+        joint_->targets.push_back(id);
+  }
+
+  // The send set: union of both replica sets while joint, replicas_ alone
+  // otherwise.
+  const std::vector<NodeId>& targets() const {
+    return joint_ ? joint_->targets : replicas_;
   }
 
   // Routes the co-located acceptor's reply back into this proposer.
@@ -832,6 +1070,17 @@ class Proposer {
   net::Context& ctx_;
   Acceptor<L>& local_;
   std::vector<NodeId> replicas_;
+  // Joint-quorum reconfiguration state, allocated only while a replica-set
+  // change is in flight (previous set nonempty) — a million stable per-key
+  // proposers must not each carry two spare vectors for it. `targets` is
+  // the send set (union of both sets); targets() falls back to replicas_
+  // when not joint.
+  struct Joint {
+    std::vector<NodeId> previous;
+    std::vector<NodeId> targets;
+    std::size_t prev_quorum = 0;
+  };
+  std::unique_ptr<Joint> joint_;
   ProtocolConfig config_;
   Ops<L> ops_;
   int timer_lane_;
@@ -839,6 +1088,9 @@ class Proposer {
 
   UpdateMap updates_;
   QueryMap queries_;
+  // Allocated on the first cross-replica retry probe: a per-key proposer
+  // must not pay an empty map for a feature that is off.
+  std::unique_ptr<ProbeMap> probes_;
   std::unordered_map<NodeId, Session> sessions_;
   std::vector<Command> update_batch_;
   std::vector<Command> query_batch_;

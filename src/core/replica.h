@@ -79,6 +79,13 @@ class Replica final : public net::Endpoint {
   Proposer<L>& proposer() { return proposer_; }
   const Proposer<L>& proposer() const { return proposer_; }
 
+  // Online reconfiguration passthrough (see Proposer::reconfigure). Safe to
+  // call from the proposer's serial executor only — the sharded store posts
+  // it onto each shard lane.
+  void reconfigure(std::vector<NodeId> replicas, std::vector<NodeId> previous) {
+    proposer_.reconfigure(std::move(replicas), std::move(previous));
+  }
+
   void on_start() override { proposer_.start(); }
   void on_recover() override {
     proposer_.on_recover();
@@ -203,11 +210,20 @@ class Replica final : public net::Endpoint {
     std::visit([this, from](auto&& m) { reply(from, m); }, r);
   }
 
+  // Cross-replica retry probe: pure read of the acceptor's marker table
+  // (acceptor lane — the markers and payload are consulted atomically).
+  void dispatch(NodeId from, const SessionProbe& msg) {
+    reply(from, acceptor_.handle(msg));
+  }
+
   // Proposer-bound replies.
   void dispatch(NodeId from, const Merged& msg) { proposer_.handle(from, msg); }
   void dispatch(NodeId from, const Ack<L>& msg) { proposer_.handle(from, msg); }
   void dispatch(NodeId from, const Voted<L>& msg) { proposer_.handle(from, msg); }
   void dispatch(NodeId from, const Nack<L>& msg) { proposer_.handle(from, msg); }
+  void dispatch(NodeId from, const SessionProbeReply<L>& msg) {
+    proposer_.handle(from, msg);
+  }
 
   // Lease control messages.
   void dispatch(NodeId from, const LeaseRecall& msg) {

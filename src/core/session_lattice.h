@@ -1,0 +1,167 @@
+// Replicated client-session table as a join-semilattice (ROADMAP item 2).
+//
+// The volatile per-proposer session table (ProtocolConfig::client_sessions)
+// dies with a SIGKILL, so a client that retries a non-idempotent update on a
+// *different* replica cannot be deduplicated there. This lattice carries the
+// missing fact through the protocol itself: a marker (client, counter) means
+// "this client update has been applied into the payload state it travels
+// with". Markers ride MERGE messages next to the payload and are joined into
+// the acceptor atomically with it, which maintains the invariant
+//
+//   marker in acceptor.sessions  =>  the update's effect is in acceptor.state
+//
+// at every acceptor (the only writers are the co-located proposer, which
+// marks in the same handler that applies, and Merge joins, which carry
+// state and sessions together). A replica that receives a cross-replica
+// retry can therefore re-MERGE its own state instead of re-applying — or
+// probe the other acceptors for the marker (see SessionProbe in
+// core/messages.h) before deciding the retry is genuinely fresh.
+//
+// Per client the set is window-folded exactly like the volatile table: a
+// floor F means "every counter < F is marked", and a sparse overflow set
+// holds markers above the floor. Join is floor-max + set-union, refolded.
+// Memory: one heap node per client with in-flight history, nothing at all
+// (a single null pointer) while the feature is unused.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/types.h"
+#include "common/wire.h"
+
+namespace lsr::core {
+
+class SessionLattice {
+ public:
+  // Matches the volatile session window in core/proposer.h: closed-loop
+  // clients retransmit only their newest request, so counters more than a
+  // window below the newest marker can be folded into the floor.
+  static constexpr std::uint64_t kWindow = 4096;
+
+  SessionLattice() = default;
+  SessionLattice(const SessionLattice& other)
+      : marks_(other.marks_ ? std::make_unique<Marks>(*other.marks_)
+                            : nullptr) {}
+  SessionLattice& operator=(const SessionLattice& other) {
+    if (this != &other)
+      marks_ = other.marks_ ? std::make_unique<Marks>(*other.marks_) : nullptr;
+    return *this;
+  }
+  SessionLattice(SessionLattice&&) = default;
+  SessionLattice& operator=(SessionLattice&&) = default;
+
+  bool empty() const { return marks_ == nullptr || marks_->empty(); }
+  std::size_t client_count() const { return marks_ ? marks_->size() : 0; }
+
+  // Records "update `counter` of `client` is applied in the adjacent state".
+  void mark(NodeId client, std::uint64_t counter) {
+    ClientMarks& m = (*mutable_marks())[client];
+    if (counter < m.floor) return;
+    m.sparse.insert(counter);
+    fold(m);
+  }
+
+  bool contains(NodeId client, std::uint64_t counter) const {
+    if (!marks_) return false;
+    const auto it = marks_->find(client);
+    if (it == marks_->end()) return false;
+    return counter < it->second.floor || it->second.sparse.count(counter) > 0;
+  }
+
+  void join(const SessionLattice& other) {
+    if (other.empty()) return;
+    Marks& mine = *mutable_marks();
+    for (const auto& [client, theirs] : *other.marks_) {
+      ClientMarks& m = mine[client];
+      if (theirs.floor > m.floor) m.floor = theirs.floor;
+      for (const std::uint64_t c : theirs.sparse)
+        if (c >= m.floor) m.sparse.insert(c);
+      fold(m);
+    }
+  }
+
+  bool leq(const SessionLattice& other) const {
+    if (empty()) return true;
+    for (const auto& [client, m] : *marks_) {
+      for (std::uint64_t c = m.floor >= kWindow ? m.floor - kWindow : 0;
+           c < m.floor; ++c)
+        if (!other.contains(client, c)) return false;
+      for (const std::uint64_t c : m.sparse)
+        if (!other.contains(client, c)) return false;
+    }
+    return true;
+  }
+
+  void encode(Encoder& enc) const {
+    if (empty()) {
+      enc.put_u64(0);
+      return;
+    }
+    enc.put_u64(marks_->size());
+    for (const auto& [client, m] : *marks_) {
+      enc.put_u32(client);
+      enc.put_u64(m.floor);
+      enc.put_u64(m.sparse.size());
+      for (const std::uint64_t c : m.sparse) enc.put_u64(c);
+    }
+  }
+
+  static SessionLattice decode(Decoder& dec) {
+    SessionLattice out;
+    const std::uint64_t clients = dec.get_u64();
+    if (clients == 0) return out;
+    Marks& mine = *out.mutable_marks();
+    for (std::uint64_t i = 0; i < clients; ++i) {
+      const NodeId client = dec.get_u32();
+      ClientMarks& m = mine[client];
+      m.floor = dec.get_u64();
+      const std::uint64_t n = dec.get_u64();
+      if (n > dec.remaining()) throw WireError("session set exceeds input");
+      for (std::uint64_t j = 0; j < n; ++j) {
+        const std::uint64_t c = dec.get_u64();
+        if (c >= m.floor) m.sparse.insert(c);
+      }
+      fold(m);
+    }
+    return out;
+  }
+
+ private:
+  struct ClientMarks {
+    std::uint64_t floor = 0;  // every counter < floor is marked
+    std::set<std::uint64_t> sparse;
+
+    bool operator==(const ClientMarks&) const = default;
+  };
+  using Marks = std::map<NodeId, ClientMarks>;
+
+  // Dense prefix above the floor folds in; anything a full window below the
+  // highest marker folds in regardless (the client has long moved past it).
+  static void fold(ClientMarks& m) {
+    auto it = m.sparse.begin();
+    while (it != m.sparse.end() && *it == m.floor) {
+      m.floor = *it + 1;
+      it = m.sparse.erase(it);
+    }
+    if (m.sparse.empty()) return;
+    const std::uint64_t newest = *m.sparse.rbegin();
+    if (newest >= kWindow && newest - kWindow + 1 > m.floor) {
+      m.floor = newest - kWindow + 1;
+      m.sparse.erase(m.sparse.begin(), m.sparse.lower_bound(m.floor));
+    }
+  }
+
+  Marks* mutable_marks() {
+    if (!marks_) marks_ = std::make_unique<Marks>();
+    return marks_.get();
+  }
+
+  // Pointer-backed so an unused table costs 8 bytes per acceptor — the
+  // memory-engine bytes/key gates must not pay for a disabled feature.
+  std::unique_ptr<Marks> marks_;
+};
+
+}  // namespace lsr::core

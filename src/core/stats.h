@@ -22,6 +22,12 @@ struct ProposerStats {
   std::uint64_t session_dup_acks = 0;    // already acked -> UpdateDone resent
   std::uint64_t session_dup_drops = 0;   // still in flight -> duplicate dropped
   std::uint64_t session_reconfirms = 0;  // applied but unacked -> re-MERGEd
+  // Cross-replica retry probes (ProtocolConfig::replicate_sessions):
+  std::uint64_t session_probes = 0;  // flagged retries probed before applying
+  std::uint64_t session_probe_hits = 0;  // marker found at a peer -> re-MERGE
+  std::uint64_t session_probe_fallbacks = 0;  // resolved on a quorum of
+                                              // "not found" with a target
+                                              // unreachable
 };
 
 // Read-lease counters of one protocol instance (holder side lives in the

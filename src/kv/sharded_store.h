@@ -29,6 +29,7 @@
 // the key, and the envelope is decoded exactly once per message.
 #pragma once
 
+#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -154,6 +155,30 @@ class ShardedStore final : public net::Endpoint {
     return instance(fnv1a(key), key).replica;
   }
 
+  // Online reconfiguration (ROADMAP item 2): switches every hosted key —
+  // and every key created from here on — to `replicas`, running joint
+  // quorums over (replicas, previous) while `previous` is nonempty (see
+  // core::Proposer::reconfigure for the quorum rules). Callable from any
+  // thread: the per-key swaps are posted onto each shard's own executor
+  // lane via zero-delay timers, so they serialize with that shard's message
+  // handling; until a shard's swap runs, its keys keep operating on the old
+  // set (safe — the operator holds `previous` across the whole rollout).
+  void reconfigure(std::vector<NodeId> replicas, std::vector<NodeId> previous) {
+    {
+      std::lock_guard<std::mutex> lock(reconfig_mutex_);
+      replicas_ = replicas;
+      previous_ = previous;
+    }
+    for (std::uint32_t s = 0; s < shard_count(); ++s) {
+      ctx_.set_timer(
+          0, 2 * static_cast<int>(s) + core::kProposerLane,
+          [this, s, replicas, previous] {
+            for (auto& [key, inst] : shards_[s].instances)
+              inst->replica.reconfigure(replicas, previous);
+          });
+    }
+  }
+
   // Drops a key's protocol instance and returns its memory (instance block +
   // interned key) to the shard arena for reuse. Local-only and destructive:
   // the CRDT payload, session table and any in-flight per-key ops on THIS
@@ -247,18 +272,32 @@ class ShardedStore final : public net::Endpoint {
     Shard& shard = shards_[shard_id];
     const auto it = shard.instances.find(key);
     if (it != shard.instances.end()) return *it->second;
+    // Snapshot the current replica sets under the lock: a reconfigure from
+    // another thread may be swapping them while this shard creates a key.
+    std::vector<NodeId> replicas, previous;
+    {
+      std::lock_guard<std::mutex> lock(reconfig_mutex_);
+      replicas = replicas_;
+      previous = previous_;
+    }
     InternedKey interned =
         InternedKey::intern(key, key_hash, kEnvelopeTag, &shard.arena);
     Instance* created =
         shard.arena.template create<Instance>(ctx_, interned, 2 * static_cast<int>(shard_id),
-                                     replicas_, config_, ops_, initial_);
+                                     replicas, config_, ops_, initial_);
     shard.instances.emplace(std::move(interned), created);
     created->replica.on_start();
+    if (!previous.empty())
+      created->replica.reconfigure(std::move(replicas), std::move(previous));
     return *created;
   }
 
   net::Context& ctx_;
+  // Guards replicas_/previous_ against a concurrent reconfigure (key
+  // creation runs on shard executors, reconfigure on a control thread).
+  std::mutex reconfig_mutex_;
   std::vector<NodeId> replicas_;
+  std::vector<NodeId> previous_;  // nonempty while joint quorums run
   core::ProtocolConfig config_;
   core::Ops<L> ops_;
   L initial_;

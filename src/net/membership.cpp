@@ -92,8 +92,12 @@ Membership Membership::loopback(std::size_t count, std::uint16_t base_port) {
 bool Membership::parse_entries(std::string_view text, char separator,
                                Membership& out, std::string* error) {
   // Collect (id, address) pairs first; density is validated once the whole
-  // table is known so entries may arrive in any order.
+  // table is known so entries may arrive in any order. Directive lines
+  // ("replicas=N", "prev-replicas=M") are validated the same way: collected
+  // here, range-checked against the finished table below.
   std::vector<std::pair<NodeId, MemberAddress>> entries;
+  std::uint64_t replicas_directive = 0;       // 0 = absent
+  std::uint64_t prev_replicas_directive = 0;  // 0 = absent
   std::size_t start = 0;
   while (start <= text.size()) {
     std::size_t end = text.find(separator, start);
@@ -110,10 +114,33 @@ bool Membership::parse_entries(std::string_view text, char separator,
       set_error(error, std::move(message));
       return false;
     }
+    const std::string_view key = trim(entry.substr(0, eq));
+    if (key == "replicas" || key == "prev-replicas") {
+      std::uint64_t& slot =
+          key == "replicas" ? replicas_directive : prev_replicas_directive;
+      if (slot != 0) {
+        std::string message = "duplicate '";
+        message.append(key);
+        message += "' directive";
+        set_error(error, std::move(message));
+        return false;
+      }
+      std::uint64_t value = 0;
+      if (!parse_decimal(trim(entry.substr(eq + 1)), 0xFFFFF, value) ||
+          value == 0) {
+        std::string message = "'";
+        message.append(trim(entry.substr(eq + 1)));
+        message += "' is not a replica count (1..1048575)";
+        set_error(error, std::move(message));
+        return false;
+      }
+      slot = value;
+      continue;
+    }
     std::uint64_t id = 0;
-    if (!parse_decimal(trim(entry.substr(0, eq)), 0xFFFFF, id)) {
+    if (!parse_decimal(key, 0xFFFFF, id)) {
       std::string message = "'";
-      message.append(trim(entry.substr(0, eq)));
+      message.append(key);
       message += "' is not a node id (0..1048575)";
       set_error(error, std::move(message));
       return false;
@@ -124,6 +151,19 @@ bool Membership::parse_entries(std::string_view text, char separator,
   }
   if (entries.empty()) {
     set_error(error, "empty membership");
+    return false;
+  }
+  if (replicas_directive > entries.size()) {
+    set_error(error, "replicas=" + std::to_string(replicas_directive) +
+                         " exceeds the table size (" +
+                         std::to_string(entries.size()) + " entries)");
+    return false;
+  }
+  if (prev_replicas_directive > entries.size()) {
+    set_error(error,
+              "prev-replicas=" + std::to_string(prev_replicas_directive) +
+                  " exceeds the table size (" +
+                  std::to_string(entries.size()) + " entries)");
     return false;
   }
   std::vector<MemberAddress> table(entries.size());
@@ -144,18 +184,21 @@ bool Membership::parse_entries(std::string_view text, char separator,
     table[id] = std::move(address);
   }
   out.addresses_ = std::move(table);
+  out.replica_directive_ = static_cast<std::size_t>(replicas_directive);
+  out.prev_replica_directive_ =
+      static_cast<std::size_t>(prev_replicas_directive);
   return true;
 }
 
 bool Membership::parse_peers(std::string_view spec, Membership& out,
                              std::string* error) {
-  out.addresses_.clear();
+  out = Membership();
   return parse_entries(spec, ',', out, error);
 }
 
 bool Membership::parse_file_text(std::string_view text, Membership& out,
                                  std::string* error) {
-  out.addresses_.clear();
+  out = Membership();
   return parse_entries(text, '\n', out, error);
 }
 
@@ -178,6 +221,10 @@ std::string Membership::to_peers_string() const {
     out += std::to_string(i) + '=' + addresses_[i].host + ':' +
            std::to_string(addresses_[i].port);
   }
+  if (replica_directive_ != 0)
+    out += ",replicas=" + std::to_string(replica_directive_);
+  if (prev_replica_directive_ != 0)
+    out += ",prev-replicas=" + std::to_string(prev_replica_directive_);
   return out;
 }
 
@@ -186,7 +233,21 @@ std::string Membership::to_file_text() const {
   for (std::size_t i = 0; i < addresses_.size(); ++i)
     out += std::to_string(i) + '=' + addresses_[i].host + ':' +
            std::to_string(addresses_[i].port) + '\n';
+  if (replica_directive_ != 0)
+    out += "replicas=" + std::to_string(replica_directive_) + '\n';
+  if (prev_replica_directive_ != 0)
+    out += "prev-replicas=" + std::to_string(prev_replica_directive_) + '\n';
   return out;
+}
+
+void Membership::set_replicas(std::size_t count) {
+  LSR_EXPECTS(count <= addresses_.size());
+  replica_directive_ = count;
+}
+
+void Membership::set_prev_replicas(std::size_t count) {
+  LSR_EXPECTS(count <= addresses_.size());
+  prev_replica_directive_ = count;
 }
 
 void Membership::add(NodeId id, MemberAddress address) {
@@ -205,6 +266,18 @@ std::optional<NodeId> Membership::find(std::string_view host,
     if (addresses_[i].port == port && addresses_[i].host == host)
       return static_cast<NodeId>(i);
   return std::nullopt;
+}
+
+MembershipDiff diff_membership(const Membership& from, const Membership& to) {
+  MembershipDiff diff;
+  const std::size_t common = std::min(from.size(), to.size());
+  for (NodeId id = 0; id < common; ++id)
+    if (!(from.address(id) == to.address(id))) diff.changed.push_back(id);
+  for (NodeId id = static_cast<NodeId>(common); id < to.size(); ++id)
+    diff.added.push_back(id);
+  for (NodeId id = static_cast<NodeId>(common); id < from.size(); ++id)
+    diff.removed.push_back(id);
+  return diff;
 }
 
 }  // namespace lsr::net

@@ -15,6 +15,17 @@
 // an undialable phantom peer. Parsing is strict and never throws — a
 // malformed table is an operator error reported as text, not an exception,
 // and the same parser runs on fuzzed input in the test suite.
+//
+// Reconfiguration directives (ROADMAP item 2): either form may also carry
+//
+//   replicas=N        ids 0..N-1 are the active replica set; the remaining
+//                     ids are client endpoints (default: every id)
+//   prev-replicas=M   mid-reconfiguration marker — the cluster is running
+//                     joint quorums over the old replica set 0..M-1 and the
+//                     new set 0..N-1 (see core::Proposer::reconfigure)
+//
+// which is how one peers file describes "5 nodes, 3 of them replicas" before
+// a grow, "replicas=5 prev-replicas=3" during it, and "replicas=5" after.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +87,21 @@ class Membership {
   bool has(NodeId id) const { return id < addresses_.size(); }
   const MemberAddress& address(NodeId id) const;
 
+  // Active replica-set size: the `replicas=` directive when present, else
+  // every id in the table (the historical behaviour — replica processes and
+  // client endpoints alike).
+  std::size_t replicas() const {
+    return replica_directive_ == 0 ? addresses_.size() : replica_directive_;
+  }
+  bool has_replica_directive() const { return replica_directive_ != 0; }
+  // Old replica-set size mid-reconfiguration; 0 when not reconfiguring.
+  std::size_t prev_replicas() const { return prev_replica_directive_; }
+
+  // Programmatic directive setters (the harness writes peers files through
+  // to_file_text). Values must fit the current table; 0 clears.
+  void set_replicas(std::size_t count);
+  void set_prev_replicas(std::size_t count);
+
   // Self-address detection: the member whose table entry matches host:port
   // exactly (how a process can locate its own id in a shared peers file).
   std::optional<NodeId> find(std::string_view host, std::uint16_t port) const;
@@ -87,6 +113,24 @@ class Membership {
                             Membership& out, std::string* error);
 
   std::vector<MemberAddress> addresses_;  // indexed by NodeId
+  // Directive values; 0 = directive absent (a directive of 0 is rejected).
+  std::size_t replica_directive_ = 0;
+  std::size_t prev_replica_directive_ = 0;
 };
+
+// What changed between two parsed tables — drives TcpCluster's live reload:
+// added ids are dialed lazily, removed ids are drained then closed, changed
+// ids get their link reset so the next send redials the new address.
+struct MembershipDiff {
+  std::vector<NodeId> added;    // in `to` but not `from`
+  std::vector<NodeId> removed;  // in `from` but not `to`
+  std::vector<NodeId> changed;  // in both, different host:port
+
+  bool empty() const {
+    return added.empty() && removed.empty() && changed.empty();
+  }
+};
+
+MembershipDiff diff_membership(const Membership& from, const Membership& to);
 
 }  // namespace lsr::net

@@ -351,6 +351,11 @@ struct TcpCluster::PeerLink {
   // backend does not spin on its permanently-writable socket.
   int registered_fd = -1;
   FdSource source;  // kLink, set once at start()
+
+  // Membership reload removed this destination: drain what is queued over
+  // an existing connection, then close and never redial (links are never
+  // erased — a later reload re-adding the id clears the flag).
+  bool retired = false;
 };
 
 // One accepted (incoming) connection; owned by its Node, touched only by
@@ -388,6 +393,11 @@ struct TcpCluster::Node {
   std::vector<NodeId> dirty;
   std::atomic<bool> drop_accepted{false};
   std::atomic<bool> rx_stalled{false};    // test hook: stop reading
+  // Guards the links *vector* against reload growth (push_back may
+  // reallocate); the PeerLinks themselves are heap-allocated and
+  // address-stable, each guarded by its own mutex. Never acquired while a
+  // link's mutex is held.
+  mutable std::shared_mutex links_mutex;
   std::vector<std::unique_ptr<PeerLink>> links;  // indexed by destination
   std::atomic<std::uint64_t> connects{0};
   std::atomic<std::uint64_t> dropped{0};
@@ -475,6 +485,7 @@ TcpCluster::TcpCluster(Membership membership, TcpClusterOptions options)
     : TcpCluster(std::move(options)) {
   LSR_EXPECTS(!membership.empty());
   membership_ = std::move(membership);
+  member_count_.store(membership_.size(), std::memory_order_release);
   explicit_membership_ = true;
 }
 
@@ -499,6 +510,16 @@ TcpCluster::Node& TcpCluster::local(NodeId id) const {
   Node* node = find_local(id);
   LSR_EXPECTS(node != nullptr);  // remote members have no state here
   return *node;
+}
+
+TcpCluster::PeerLink* TcpCluster::link_to(Node& node, NodeId dst) const {
+  std::shared_lock<std::shared_mutex> lock(node.links_mutex);
+  return dst < node.links.size() ? node.links[dst].get() : nullptr;
+}
+
+Membership TcpCluster::membership() const {
+  std::lock_guard<std::mutex> lock(membership_mutex_);
+  return membership_;
 }
 
 TcpCluster::Node& TcpCluster::make_node(NodeId id, const std::string& bind_host,
@@ -554,6 +575,7 @@ NodeId TcpCluster::add_node(const EndpointFactory& factory) {
   // The implicit loopback membership grows as listeners bind, so the table
   // is complete (every peer address known) before start() spawns a thread.
   membership_.add(id, {options_.bind_address, node.port});
+  member_count_.store(membership_.size(), std::memory_order_release);
   return id;
 }
 
@@ -640,13 +662,15 @@ void TcpCluster::stop() {
   // send_from, so descriptors close race-free below. Unblock kBlock senders
   // up front so the executor join never waits out an overflow timeout.
   running_.store(false);
-  for (auto& node : nodes_)
+  for (auto& node : nodes_) {
+    std::shared_lock<std::shared_mutex> links_lock(node->links_mutex);
     for (auto& link : node->links) {
       {
         std::lock_guard<std::mutex> lock(link->mutex);
       }
       link->space_cv.notify_all();
     }
+  }
   for (auto& node : nodes_) node->runtime->stop();
   for (auto& reactor : reactors_) wake_reactor(*reactor);
   for (auto& reactor : reactors_)
@@ -708,6 +732,7 @@ Endpoint& TcpCluster::endpoint(NodeId node) {
 }
 
 std::uint16_t TcpCluster::port(NodeId node) const {
+  std::lock_guard<std::mutex> lock(membership_mutex_);
   return membership_.address(node).port;
 }
 
@@ -716,12 +741,11 @@ std::uint64_t TcpCluster::connect_count(NodeId node) const {
 }
 
 std::size_t TcpCluster::queued_bytes(NodeId src, NodeId dst) const {
-  LSR_EXPECTS(dst < membership_.size());
-  const Node& node = local(src);
-  if (node.links.size() <= dst) return 0;  // before start()
-  const PeerLink& link = *node.links[dst];
-  std::lock_guard<std::mutex> lock(link.mutex);
-  return link.queued_bytes;
+  LSR_EXPECTS(dst < member_count_.load(std::memory_order_acquire));
+  const PeerLink* link = link_to(local(src), dst);
+  if (link == nullptr) return 0;  // before start()
+  std::lock_guard<std::mutex> lock(link->mutex);
+  return link->queued_bytes;
 }
 
 std::uint64_t TcpCluster::dropped_frames(NodeId node) const {
@@ -736,10 +760,13 @@ void TcpCluster::set_paused(NodeId node_id, bool paused) {
     // run their reconnect path, and this node's own links start from
     // scratch after recovery. Queued outbound batches are discarded — a
     // crashed node's unsent frames die with it.
-    for (auto& link : node.links) {
-      std::lock_guard<std::mutex> lock(link->mutex);
-      link_reset(node, *link, /*discard_queue=*/true);
-      link->next_attempt = 0;
+    {
+      std::shared_lock<std::shared_mutex> links_lock(node.links_mutex);
+      for (auto& link : node.links) {
+        std::lock_guard<std::mutex> lock(link->mutex);
+        link_reset(node, *link, /*discard_queue=*/true);
+        link->next_attempt = 0;
+      }
     }
     node.drop_accepted.store(true);
     wake_io(node);
@@ -759,6 +786,96 @@ void TcpCluster::set_rx_stalled(NodeId node_id, bool stalled) {
   wake_io(node);
 }
 
+bool TcpCluster::reload_membership(const Membership& next, std::string* error) {
+  const auto fail = [&](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  if (next.empty()) return fail("empty membership");
+  if (!started_) return fail("cluster is not running");
+  MembershipDiff diff;
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    for (const auto& node : nodes_) {
+      if (!next.has(node->id))
+        return fail("locally hosted node " + std::to_string(node->id) +
+                    " is missing from the new table");
+      if (!(next.address(node->id) == membership_.address(node->id)))
+        return fail("locally hosted node " + std::to_string(node->id) +
+                    " changed address (a live listener cannot rebind)");
+    }
+    diff = diff_membership(membership_, next);
+  }
+
+  // 1. Grow every local node's link table first: the moment member_count_
+  // rises, any executor may send to an added id and must find its link.
+  // Links are never erased or shrunk — a removed id keeps a retired stub
+  // (heap-allocated, so pointers handed out stay valid forever).
+  for (auto& node : nodes_) {
+    std::unique_lock<std::shared_mutex> links_lock(node->links_mutex);
+    while (node->links.size() < next.size()) {
+      auto link = std::make_unique<PeerLink>();
+      link->source.kind = FdSource::Kind::kLink;
+      link->source.node = node.get();
+      link->source.dst = static_cast<NodeId>(node->links.size());
+      node->links.push_back(std::move(link));
+    }
+  }
+
+  // 2. Swap the table. Hot paths bounds-check against the new size from
+  // here on: sends to removed ids stop, sends to added ids start, connects
+  // resolve addresses out of the new table.
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    membership_ = next;
+  }
+  member_count_.store(next.size(), std::memory_order_release);
+
+  // 3. Transition the affected links and hand them to their reactors via
+  // the dirty queues (how every off-reactor state change reaches
+  // process_link).
+  for (auto& node : nodes_) {
+    std::vector<NodeId> touched;
+    for (const NodeId dst : diff.added) {
+      PeerLink* link = link_to(*node, dst);
+      if (link == nullptr) continue;
+      std::lock_guard<std::mutex> lock(link->mutex);
+      // Usually a brand-new stub; possibly one an earlier reload retired
+      // (the id was removed, then re-added): revive it fresh.
+      link->retired = false;
+      link->next_attempt = 0;
+      link->backoff = 0;
+    }
+    for (const NodeId dst : diff.removed) {
+      PeerLink* link = link_to(*node, dst);
+      if (link == nullptr) continue;
+      {
+        std::lock_guard<std::mutex> lock(link->mutex);
+        link->retired = true;  // step_link drains the backlog, then closes
+      }
+      touched.push_back(dst);
+    }
+    for (const NodeId dst : diff.changed) {
+      PeerLink* link = link_to(*node, dst);
+      if (link == nullptr) continue;
+      {
+        std::lock_guard<std::mutex> lock(link->mutex);
+        // Keep the queue: the next drain attempt redials the new address.
+        link_reset(*node, *link, /*discard_queue=*/false);
+        link->next_attempt = 0;
+        link->backoff = 0;
+      }
+      touched.push_back(dst);
+    }
+    if (!touched.empty()) {
+      std::lock_guard<std::mutex> lock(node->dirty_mutex);
+      for (const NodeId dst : touched) node->dirty.push_back(dst);
+    }
+    wake_io(*node);
+  }
+  return true;
+}
+
 void TcpCluster::wake_io(Node& node) {
   if (node.reactor != nullptr) wake_reactor(*node.reactor);
 }
@@ -774,7 +891,13 @@ void TcpCluster::wake_reactor(Reactor& reactor) {
 }
 
 void TcpCluster::send_from(Node& src, NodeId dst, Bytes data) {
-  if (dst >= membership_.size() || !running_.load()) return;
+  // member_count_ is the lock-free view of the live table's size: a reload
+  // grows every link vector *before* raising it (a newly admitted dst always
+  // finds its link) and shrinks it before retiring links (sends to a removed
+  // member stop before its link closes).
+  if (dst >= member_count_.load(std::memory_order_acquire) ||
+      !running_.load())
+    return;
   if (src.runtime->paused()) return;  // a crashed node sends nothing
   if (data.size() > options_.max_frame_payload) {
     LSR_LOG_WARN("tcp %u: dropping oversized frame to %u (%zu bytes)", src.id,
@@ -786,7 +909,9 @@ void TcpCluster::send_from(Node& src, NodeId dst, Bytes data) {
       frame.header.data());
   frame.payload = std::move(data);
   const std::size_t frame_size = frame.size();
-  PeerLink& link = *src.links[dst];
+  PeerLink* link_ptr = link_to(src, dst);
+  if (link_ptr == nullptr) return;  // table swapped under us; rare, lossy
+  PeerLink& link = *link_ptr;
   bool was_empty = false;
   {
     std::unique_lock<std::mutex> lock(link.mutex);
@@ -916,8 +1041,19 @@ void TcpCluster::link_begin_connect(Node& src, NodeId dst, PeerLink& link) {
   addr.sin_family = AF_INET;
   // The peer's address comes from the membership table — the only thing a
   // node knows about a peer, local or in another process. All-interface
-  // listeners are dialed via loopback.
-  const MemberAddress& peer = membership_.address(dst);
+  // listeners are dialed via loopback. Copied out under the lock: a reload
+  // may swap the table while this connect is being set up.
+  MemberAddress peer;
+  {
+    std::lock_guard<std::mutex> lock(membership_mutex_);
+    if (!membership_.has(dst)) {
+      // Removed from the table while frames were queued: nothing to dial.
+      ::close(fd);
+      link_reset(src, link, /*discard_queue=*/true);
+      return;
+    }
+    peer = membership_.address(dst);
+  }
   addr.sin_port = htons(peer.port);
   const char* dial =
       peer.host == "0.0.0.0" ? "127.0.0.1" : peer.host.c_str();
@@ -1068,7 +1204,7 @@ void TcpCluster::io_loop(Reactor& reactor) {
   Node* rx_node = nullptr;
   const FrameReader::Sink sink = [&](NodeId sender, Payload&& payload) {
     // A frame naming a sender outside the membership is remote garbage.
-    if (sender >= membership_.size()) return;
+    if (sender >= member_count_.load(std::memory_order_acquire)) return;
     reactor.frames_received.fetch_add(1, std::memory_order_relaxed);
     if (inline_ok && rx_node->runtime->try_execute_inline(sender, payload)) {
       reactor.inline_handlers.fetch_add(1, std::memory_order_relaxed);
@@ -1087,6 +1223,17 @@ void TcpCluster::io_loop(Reactor& reactor) {
     // one cycle; a link still busy after it stays watched and continues next
     // cycle.
     for (int attempts = 0; attempts < 4; ++attempts) {
+      // Drain-then-close for members a reload removed: an established
+      // connection flushes its backlog through the normal drain below, then
+      // closes when the queue empties; with no usable connection (none, or
+      // one still connecting) the backlog is discarded — redialing a
+      // departed member would wait out a full connect timeout for nothing.
+      if (link.retired &&
+          (link.fd < 0 || link.connecting || link.queue.empty())) {
+        link_reset(node, link, /*discard_queue=*/true);
+        node.watched[dst] = 0;
+        return;
+      }
       if (link.connecting) {
         if (pollout_ready) {
           pollout_ready = false;
@@ -1132,6 +1279,8 @@ void TcpCluster::io_loop(Reactor& reactor) {
       }
       link_drain(node, link);
       if (link.queue.empty()) {
+        // A retired link has now flushed its backlog: close it for good.
+        if (link.retired) link_reset(node, link, /*discard_queue=*/false);
         node.watched[dst] = 0;
         return;
       }
@@ -1145,7 +1294,15 @@ void TcpCluster::io_loop(Reactor& reactor) {
     node.watched[dst] = 1;
   };
   const auto process_link = [&](Node& node, NodeId dst, bool pollout_ready) {
-    PeerLink& link = *node.links[dst];
+    PeerLink* link_ptr = link_to(node, dst);
+    if (link_ptr == nullptr) return;
+    // watched/visited are reactor-thread-only; grow them here so a link a
+    // reload added mid-cycle is indexable the moment it first gets traffic.
+    if (dst >= node.watched.size()) {
+      node.watched.resize(dst + 1, 0);
+      node.visited.resize(dst + 1, 0);
+    }
+    PeerLink& link = *link_ptr;
     std::lock_guard<std::mutex> lock(link.mutex);
     step_link(node, dst, link, pollout_ready);
     // Poller registration follows the watch state under the same lock (a
@@ -1201,7 +1358,13 @@ void TcpCluster::io_loop(Reactor& reactor) {
       if (t > 0 && (next_deadline < 0 || t < next_deadline)) next_deadline = t;
     };
     for (Node* node : reactor.nodes) {
-      for (NodeId dst = 0; dst < node->links.size(); ++dst) {
+      // Only links this reactor has watched matter here, so watched.size()
+      // (grown lazily by process_link) bounds the scan — links a reload
+      // appended but never dirtied are idle by construction.
+      std::shared_lock<std::shared_mutex> links_lock(node->links_mutex);
+      const NodeId scan_end = static_cast<NodeId>(
+          std::min(node->links.size(), node->watched.size()));
+      for (NodeId dst = 0; dst < scan_end; ++dst) {
         if (!node->watched[dst]) continue;
         PeerLink& link = *node->links[dst];
         std::lock_guard<std::mutex> lock(link.mutex);
@@ -1342,9 +1505,10 @@ void TcpCluster::io_loop(Reactor& reactor) {
     }
 
     // Deadline-driven revisits: watched links with no event this cycle
-    // still need their connect/stall/backoff deadlines checked.
+    // still need their connect/stall/backoff deadlines checked. Bounded by
+    // watched.size(), the reactor-thread view — never larger than links.
     for (Node* node : reactor.nodes) {
-      for (NodeId dst = 0; dst < node->links.size(); ++dst) {
+      for (NodeId dst = 0; dst < node->watched.size(); ++dst) {
         if (node->watched[dst] && !node->visited[dst])
           process_link(*node, dst, false);
         node->visited[dst] = 0;

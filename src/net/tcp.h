@@ -69,6 +69,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -257,8 +258,22 @@ class TcpCluster {
 
   // The cluster's address table: explicit (membership form) or accumulated
   // from the bound listeners (loopback form; complete once every add_node
-  // returned).
-  const Membership& membership() const { return membership_; }
+  // returned). By value: the live table can be swapped out from under a
+  // reference by reload_membership.
+  Membership membership() const;
+
+  // Online membership reload (ROADMAP item 2): atomically replaces the
+  // address table with `next` while the cluster runs. Added members become
+  // dialable immediately (links are created lazily-connecting, exactly like
+  // start()'s); removed members drain their queued frames then close and
+  // never redial; members whose address changed get their connection reset
+  // so the next frame dials the new address. Every locally hosted id must
+  // keep its current address — a listener cannot rebind live. On a rejected
+  // table (empty, or a hosted id moved/vanished) returns false, sets
+  // `error`, and leaves the live table untouched. Call from one control
+  // thread at a time (the SIGHUP handler / test driver); concurrent sends
+  // and io are safe throughout.
+  bool reload_membership(const Membership& next, std::string* error = nullptr);
 
   // Spawns each node's socket thread and executor threads; on_start runs on
   // executor 0 before any message handling, as on every host.
@@ -338,6 +353,10 @@ class TcpCluster {
   // the id is a remote peer); `local` additionally asserts it is hosted.
   Node* find_local(NodeId id) const;
   Node& local(NodeId id) const;
+  // Link-table lookup safe against a concurrent reload growing the vector
+  // (PeerLinks are heap-allocated, so the returned pointer stays stable);
+  // nullptr when `dst` has no link yet.
+  PeerLink* link_to(Node& node, NodeId dst) const;
   Node& make_node(NodeId id, const std::string& bind_host, std::uint16_t port,
                   const EndpointFactory& factory);
   void io_loop(Reactor& reactor);
@@ -353,7 +372,12 @@ class TcpCluster {
 
   bool use_epoll_ = false;  // resolved in the constructor
   TcpClusterOptions options_;
+  // The live table, guarded by membership_mutex_ (reload swaps it while io
+  // threads resolve peer addresses). member_count_ mirrors its size so the
+  // send/receive hot paths can bounds-check without the lock.
+  mutable std::mutex membership_mutex_;
   Membership membership_;
+  std::atomic<std::size_t> member_count_{0};
   // Membership form: add_node(id, ...) may host any table subset. Loopback
   // form: ids are assigned densely and membership_ mirrors nodes_.
   bool explicit_membership_ = false;

@@ -21,6 +21,8 @@ enum class ClientTag : std::uint8_t {
   kQuery = 2,
   kUpdateDone = 3,
   kQueryDone = 4,
+  kMembers = 5,       // client → node: "send me the current member table"
+  kMembersReply = 6,  // node → client: peers string + replica counts
 };
 
 constexpr std::uint8_t kMaxClientTag = 15;
@@ -29,16 +31,44 @@ inline bool is_client_tag(std::uint8_t tag) {
   return tag >= 1 && tag <= kMaxClientTag;
 }
 
+// ClientUpdate::flags bit 0: set by clients on every retransmission of an
+// update. A replica that does not know the request (volatile session lost to
+// a crash, client failed over) must treat a flagged update as possibly
+// already applied elsewhere and probe before applying (see
+// ProtocolConfig::replicate_sessions); an unflagged update is always fresh.
+constexpr std::uint8_t kClientRetryFlag = 0x01;
+
+// ClientQuery::flags bit 0: repair read. The proposer learns from ALL
+// members (not the first quorum) and — when any acceptor's state differs —
+// votes the global LUB so every acceptor stores it before the client is
+// answered. This is the operational catch-up primitive behind online grows
+// and roll-restarts: the protocol has no logs, so a node that (re)joins
+// empty silently breaks quorum intersection for any state it used to hold
+// until a repair read re-replicates that state everywhere. Repair reads
+// only complete while every member is reachable; they are for maintenance
+// sweeps, not the serving path.
+constexpr std::uint8_t kQueryRepairFlag = 0x01;
+
 struct ClientUpdate {
   RequestId request = 0;
   std::uint32_t op = 0;  // index into the system's registered update functions
   Bytes args;
+  std::uint8_t flags = 0;  // kClientRetryFlag
+
+  ClientUpdate() = default;
+  ClientUpdate(RequestId request_id, std::uint32_t op_index, Bytes op_args,
+               std::uint8_t flag_bits = 0)
+      : request(request_id),
+        op(op_index),
+        args(std::move(op_args)),
+        flags(flag_bits) {}
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(ClientTag::kUpdate));
     enc.put_u64(request);
     enc.put_u32(op);
     enc.put_bytes(args);
+    enc.put_u8(flags);
   }
 
   static ClientUpdate decode(Decoder& dec) {  // tag already consumed
@@ -46,6 +76,7 @@ struct ClientUpdate {
     msg.request = dec.get_u64();
     msg.op = dec.get_u32();
     msg.args = dec.get_bytes();
+    msg.flags = dec.get_u8();
     return msg;
   }
 };
@@ -54,12 +85,14 @@ struct ClientQuery {
   RequestId request = 0;
   std::uint32_t op = 0;  // index into the system's registered query functions
   Bytes args;
+  std::uint8_t flags = 0;  // kQueryRepairFlag
 
   void encode(Encoder& enc) const {
     enc.put_u8(static_cast<std::uint8_t>(ClientTag::kQuery));
     enc.put_u64(request);
     enc.put_u32(op);
     enc.put_bytes(args);
+    enc.put_u8(flags);
   }
 
   static ClientQuery decode(Decoder& dec) {
@@ -67,6 +100,7 @@ struct ClientQuery {
     msg.request = dec.get_u64();
     msg.op = dec.get_u32();
     msg.args = dec.get_bytes();
+    msg.flags = dec.get_u8();
     return msg;
   }
 };
@@ -104,4 +138,48 @@ struct QueryDone {
   }
 };
 
+// Members-table refresh (ROADMAP item 2): clients periodically (or after a
+// failover) ask any replica for the cluster's current view. Answered at the
+// node level (examples/lsr_node.cpp), outside any shard envelope, because
+// the table is per-process, not per-key.
+struct MembersQuery {
+  RequestId request = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(ClientTag::kMembers));
+    enc.put_u64(request);
+  }
+
+  static MembersQuery decode(Decoder& dec) {
+    MembersQuery msg;
+    msg.request = dec.get_u64();
+    return msg;
+  }
+};
+
+struct MembersReply {
+  RequestId request = 0;
+  std::uint32_t replicas = 0;       // active replica-set size (ids 0..n-1)
+  std::uint32_t prev_replicas = 0;  // nonzero mid-reconfiguration (joint)
+  std::string peers;                // net::Membership::to_peers_string form
+
+  void encode(Encoder& enc) const {
+    enc.put_u8(static_cast<std::uint8_t>(ClientTag::kMembersReply));
+    enc.put_u64(request);
+    enc.put_u32(replicas);
+    enc.put_u32(prev_replicas);
+    enc.put_string(peers);
+  }
+
+  static MembersReply decode(Decoder& dec) {
+    MembersReply msg;
+    msg.request = dec.get_u64();
+    msg.replicas = dec.get_u32();
+    msg.prev_replicas = dec.get_u32();
+    msg.peers = dec.get_string();
+    return msg;
+  }
+};
+
 }  // namespace lsr::rsm
+

@@ -52,8 +52,11 @@ class KvRecordingClient final : public net::Endpoint {
   // across replicas, so failover is safe there. The CRDT store dedups
   // through the proposer's per-replica session table
   // (ProtocolConfig::client_sessions): retransmission to the *same* replica
-  // is sound — pass failover_after = 0 on the CRDT path, a retry that lands
-  // on a different replica would re-apply the update.
+  // is always sound, and with ProtocolConfig::replicate_sessions the
+  // session markers ride the lattice so failover is sound too (a flagged
+  // retry probes the quorum before applying). Without replicate_sessions,
+  // keep failover_after = 0 on the CRDT path — a retry that lands on a
+  // different replica would re-apply the update.
   //
   // max_retries > 0 bounds retransmissions per request. An exhausted
   // request is ABANDONED, not forgotten: the operation was invoked, so an
@@ -68,6 +71,18 @@ class KvRecordingClient final : public net::Endpoint {
     retry_.on_exhausted = [this] { abandon_inflight(); };
   }
 
+  // After every failover, query the new target for the current member table
+  // and adopt its replica count (see bench::KvWorkloadClient) — the process
+  // harness uses this so a client outlives a 3→5 grow.
+  void enable_members_refresh() {
+    retry_.on_failover = [this](NodeId target) {
+      Encoder enc;
+      rsm::MembersQuery{make_request_id(ctx_.self(), next_counter_++)}.encode(
+          enc);
+      ctx_.send(target, std::move(enc).take());
+    };
+  }
+
   void on_start() override {
     if (!paused_) submit_next();
   }
@@ -75,7 +90,10 @@ class KvRecordingClient final : public net::Endpoint {
   void on_message(NodeId from, ByteSpan data) override {
     (void)from;
     kv::EnvelopeView env;
-    if (!kv::peek_envelope(data, env)) return;
+    if (!kv::peek_envelope(data, env)) {
+      handle_members_reply(data);
+      return;
+    }
     Decoder dec(env.inner, env.inner_size);
     try {
       const std::uint8_t tag = dec.get_u8();
@@ -114,17 +132,20 @@ class KvRecordingClient final : public net::Endpoint {
   // any) complete but submits nothing new — nemesis tests use this to let a
   // keyspace go fully idle (and the leaders demote) before injecting the
   // next fault. Resuming submits immediately when the client is idle.
+  // Pausing is safe from any thread (paused_ and the in-flight id are
+  // atomic); RESUMING from outside the executor is only safe once the
+  // client is idle and no late replies can race the re-submission.
   void set_paused(bool paused) {
-    if (paused_ == paused) return;
-    paused_ = paused;
-    if (!paused_ && inflight_request_ == 0 &&
+    if (paused_.exchange(paused) == paused) return;
+    if (!paused && inflight_request_.load() == 0 &&
         (max_ops_ == 0 || completed_.load() < max_ops_))
       submit_next();
   }
 
   // True once nothing is in flight — with set_paused(true), the quiescent
-  // point where every started operation has been recorded.
-  bool idle() const { return inflight_request_ == 0; }
+  // point where every started operation has been recorded. Atomic so
+  // real-time hosts can poll the drain from outside the executor.
+  bool idle() const { return inflight_request_.load() == 0; }
 
   // Call after the run: records a still-pending update as possibly-applied
   // (response = +inf) under its key — an update whose ack was lost may
@@ -138,6 +159,19 @@ class KvRecordingClient final : public net::Endpoint {
   }
 
  private:
+  void handle_members_reply(ByteSpan data) {
+    Decoder dec(data);
+    try {
+      if (dec.get_u8() !=
+          static_cast<std::uint8_t>(rsm::ClientTag::kMembersReply))
+        return;
+      const auto reply = rsm::MembersReply::decode(dec);
+      if (reply.replicas > 0)
+        retry_.set_replica_count(static_cast<NodeId>(reply.replicas));
+    } catch (const WireError&) {
+    }
+  }
+
   void abandon_inflight() {
     if (inflight_request_ != 0 && inflight_is_update_)
       history_->for_key(inflight_key_)
@@ -168,8 +202,10 @@ class KvRecordingClient final : public net::Endpoint {
     } else {
       Encoder args;
       args.put_u64(1);
-      rsm::ClientUpdate{inflight_request_, 0, std::move(args).take()}.encode(
-          inner);
+      rsm::ClientUpdate{inflight_request_, 0, std::move(args).take(),
+                        retry_.retrying() ? rsm::kClientRetryFlag
+                                          : std::uint8_t{0}}
+          .encode(inner);
     }
     ctx_.send(retry_.replica(), kv::make_envelope(inflight_key_, inner.bytes()));
     retry_.after_send([this] { transmit(); });
@@ -183,12 +219,14 @@ class KvRecordingClient final : public net::Endpoint {
   Rng rng_;
   KeyedHistory* history_;
   std::uint64_t max_ops_;
-  RequestId inflight_request_ = 0;
+  // Atomic for cross-thread pause/drain polling (set_paused, idle); all
+  // writes still happen on the executor or after the host stopped.
+  std::atomic<RequestId> inflight_request_{0};
   bool inflight_is_update_ = false;
   std::string inflight_key_;
   TimeNs inflight_start_ = 0;
   std::uint64_t next_counter_ = 0;
-  bool paused_ = false;
+  std::atomic<bool> paused_{false};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> abandoned_{0};
 };

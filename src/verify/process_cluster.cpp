@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -97,14 +98,20 @@ ProcessCluster::ProcessCluster(ProcessClusterOptions options)
     : options_(std::move(options)) {
   if (options_.node_binary.empty())
     options_.node_binary = default_node_binary();
-  pids_.assign(options_.replicas, -1);
+  if (options_.replica_slots < options_.replicas)
+    options_.replica_slots = options_.replicas;
+  pids_.assign(options_.replica_slots, -1);
 }
 
-ProcessCluster::~ProcessCluster() { stop_all(); }
+ProcessCluster::~ProcessCluster() {
+  stop_all();
+  if (!peers_path_.empty()) ::unlink(peers_path_.c_str());
+  if (!state_dir_.empty()) ::rmdir(state_dir_.c_str());
+}
 
 NodeId ProcessCluster::client_id(std::size_t slot) const {
   LSR_EXPECTS(slot < options_.client_slots);
-  return static_cast<NodeId>(options_.replicas + slot);
+  return static_cast<NodeId>(options_.replica_slots + slot);
 }
 
 pid_t ProcessCluster::pid(NodeId replica) const {
@@ -116,22 +123,47 @@ bool ProcessCluster::running(NodeId replica) const {
   return replica < pids_.size() && pids_[replica] > 0;
 }
 
+bool ProcessCluster::write_peers_file(std::string* error) {
+  // Atomic replace: nodes re-read this path on SIGHUP, and must never see a
+  // half-written table.
+  const std::string tmp = peers_path_ + ".tmp";
+  FILE* out = std::fopen(tmp.c_str(), "w");
+  if (out == nullptr) {
+    set_error(error, "cannot write '" + tmp + "': " + std::strerror(errno));
+    return false;
+  }
+  const std::string text = membership_.to_file_text();
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  const bool closed = std::fclose(out) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), peers_path_.c_str()) != 0) {
+    set_error(error,
+              "cannot replace '" + peers_path_ + "': " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 bool ProcessCluster::spawn(NodeId replica, std::string* error) {
   // argv is materialized before the fork: nothing between fork and exec may
-  // allocate (the child shares the parent's heap state).
+  // allocate (the child shares the parent's heap state). Nodes read the
+  // table (and its replicas=/prev-replicas= directives) from the shared
+  // peers file, which is also what SIGHUP makes them re-read.
   std::vector<std::string> args{
       options_.node_binary,
-      "--id",       std::to_string(replica),
-      "--peers",    membership_.to_peers_string(),
-      "--system",   options_.system,
-      "--shards",   std::to_string(options_.shards),
-      "--replicas", std::to_string(options_.replicas),
+      "--id",         std::to_string(replica),
+      "--peers-file", peers_path_,
+      "--system",     options_.system,
+      "--shards",     std::to_string(options_.shards),
   };
   if (options_.read_leases && options_.system == "crdt") {
     args.push_back("--read-leases");
     args.push_back("--lease-ttl-ms");
     args.push_back(std::to_string(options_.lease_ttl_ms));
   }
+  if (options_.replicate_sessions && options_.system == "crdt")
+    args.push_back("--replicate-sessions");
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
   for (std::string& arg : args) argv.push_back(arg.data());
@@ -161,7 +193,7 @@ bool ProcessCluster::start(std::string* error) {
     return false;
   }
   const auto ports =
-      pick_free_ports(options_.replicas + options_.client_slots);
+      pick_free_ports(options_.replica_slots + options_.client_slots);
   if (ports.empty()) {
     set_error(error, "could not reserve loopback ports");
     return false;
@@ -169,6 +201,18 @@ bool ProcessCluster::start(std::string* error) {
   membership_ = net::Membership();
   for (std::size_t i = 0; i < ports.size(); ++i)
     membership_.add(static_cast<NodeId>(i), {"127.0.0.1", ports[i]});
+  // The directive makes the active replica count part of the table itself —
+  // spawned nodes and refreshing clients both derive it from there.
+  membership_.set_replicas(options_.replicas);
+  char dir_template[] = "/tmp/lsr_proc_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    set_error(error,
+              std::string("mkdtemp failed: ") + std::strerror(errno));
+    return false;
+  }
+  state_dir_ = dir_template;
+  peers_path_ = state_dir_ + "/cluster.peers";
+  if (!write_peers_file(error)) return false;
   started_ = true;
   for (NodeId replica = 0; replica < options_.replicas; ++replica)
     if (!spawn(replica, error)) {
@@ -207,6 +251,74 @@ bool ProcessCluster::kill_replica(NodeId replica) {
   ::waitpid(pids_[replica], nullptr, 0);
   pids_[replica] = -1;
   return true;
+}
+
+bool ProcessCluster::terminate_replica(NodeId replica) {
+  LSR_EXPECTS(replica < pids_.size());
+  if (pids_[replica] <= 0) return false;
+  ::kill(pids_[replica], SIGTERM);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (::waitpid(pids_[replica], nullptr, WNOHANG) == 0) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::kill(pids_[replica], SIGKILL);
+      ::waitpid(pids_[replica], nullptr, 0);
+      break;
+    }
+    sleep_ns(5 * kMillisecond);
+  }
+  pids_[replica] = -1;
+  return true;
+}
+
+bool ProcessCluster::begin_grow(std::size_t new_replicas, std::string* error) {
+  LSR_EXPECTS(started_);
+  const std::size_t old_replicas = options_.replicas;
+  if (new_replicas <= old_replicas ||
+      new_replicas > options_.replica_slots) {
+    set_error(error, "grow target must exceed the current " +
+                         std::to_string(old_replicas) +
+                         " replicas within the " +
+                         std::to_string(options_.replica_slots) +
+                         " pre-allocated slots");
+    return false;
+  }
+  // Joint phase: every node (old and new) runs quorums over BOTH sets while
+  // the added nodes come up and catch up.
+  membership_.set_replicas(new_replicas);
+  membership_.set_prev_replicas(old_replicas);
+  if (!write_peers_file(error)) return false;
+  options_.replicas = new_replicas;
+  for (std::size_t r = 0; r < pids_.size(); ++r)
+    if (pids_[r] > 0) ::kill(pids_[r], SIGHUP);
+  for (std::size_t r = old_replicas; r < new_replicas; ++r)
+    if (!spawn(static_cast<NodeId>(r), error)) return false;
+  for (std::size_t r = old_replicas; r < new_replicas; ++r) {
+    if (wait_listening(static_cast<NodeId>(r), options_.ready_timeout))
+      continue;
+    set_error(error, "added replica " + std::to_string(r) +
+                         " never started listening");
+    return false;
+  }
+  // Give every old node a chance to process the SIGHUP (50 ms poll) before
+  // the caller relies on joint quorums being in force.
+  sleep_ns(options_.reconfig_settle);
+  return true;
+}
+
+bool ProcessCluster::finish_grow(std::string* error) {
+  LSR_EXPECTS(started_);
+  membership_.set_prev_replicas(0);
+  if (!write_peers_file(error)) return false;
+  for (std::size_t r = 0; r < pids_.size(); ++r)
+    if (pids_[r] > 0) ::kill(pids_[r], SIGHUP);
+  return true;
+}
+
+bool ProcessCluster::reconfigure(std::size_t new_replicas, std::string* error) {
+  if (new_replicas == options_.replicas) return true;
+  if (!begin_grow(new_replicas, error)) return false;
+  return finish_grow(error);
 }
 
 bool ProcessCluster::restart_replica(NodeId replica, std::string* error) {
@@ -397,6 +509,292 @@ ProcessKillRestartResult run_process_kill_restart(
     }
   }
   return result;
+}
+
+namespace {
+
+// Repair-reads every key once, in order, through one fixed replica — the
+// operational catch-up step of a reconfiguration or roll-restart. The
+// rsm::kQueryRepairFlag makes the proposer learn from ALL members and, when
+// any of them differs, vote the global LUB so every acceptor stores it
+// before the reply (core::Proposer — QueryOp::repair). A majority learn
+// would not do: an update whose commit quorum contained a since-restarted
+// node may survive on fewer than a majority of members, so only the global
+// gather provably recaptures it, and only the all-member write-back
+// restores quorum intersection for it.
+class SweepReader final : public net::Endpoint {
+ public:
+  SweepReader(net::Context& ctx, NodeId target,
+              const std::vector<std::string>* keys)
+      : ctx_(ctx), retry_(ctx, target), keys_(keys) {
+    retry_.enable(25 * kMillisecond, /*failover_after=*/0, 1);
+  }
+
+  void on_start() override { transmit(); }
+
+  void on_message(NodeId, ByteSpan data) override {
+    kv::EnvelopeView env;
+    if (!kv::peek_envelope(data, env)) return;
+    Decoder dec(env.inner, env.inner_size);
+    try {
+      if (dec.get_u8() !=
+          static_cast<std::uint8_t>(rsm::ClientTag::kQueryDone))
+        return;
+      if (rsm::QueryDone::decode(dec).request != request_) return;
+    } catch (const WireError&) {
+      return;
+    }
+    retry_.acknowledged();
+    if (++index_ < keys_->size())
+      transmit();
+    else
+      done_.store(true);
+  }
+
+  bool done() const { return done_.load(); }
+
+ private:
+  void transmit() {
+    request_ = make_request_id(ctx_.self(), counter_++);
+    Encoder inner;
+    rsm::ClientQuery{request_, 0, {}, rsm::kQueryRepairFlag}.encode(inner);
+    ctx_.send(retry_.replica(),
+              kv::make_envelope((*keys_)[index_], inner.bytes()));
+    retry_.after_send([this] { transmit(); });
+  }
+
+  net::Context& ctx_;
+  bench::RetrySchedule retry_;
+  const std::vector<std::string>* keys_;
+  std::size_t index_ = 0;
+  RequestId request_ = 0;
+  std::uint64_t counter_ = 0;
+  std::atomic<bool> done_{false};
+};
+
+// One catch-up sweep in its own short-lived transport (fresh connections,
+// nothing shared with the workload harness, so it can run while the
+// workload clients keep submitting).
+bool run_key_sweep(const net::Membership& members, NodeId self, NodeId target,
+                   const std::vector<std::string>& keys,
+                   std::chrono::steady_clock::time_point deadline) {
+  net::TcpCluster sweeper(members);
+  sweeper.add_node(self, [&](net::Context& ctx) {
+    return std::make_unique<SweepReader>(ctx, target, &keys);
+  });
+  sweeper.start();
+  bool done = false;
+  while (!(done = sweeper.endpoint_as<SweepReader>(self).done()) &&
+         std::chrono::steady_clock::now() < deadline)
+    sleep_ns(2 * kMillisecond);
+  sweeper.stop();
+  return done;
+}
+
+}  // namespace
+
+ProcessGrowRollRestartResult run_process_grow_roll_restart(
+    const ProcessGrowRollRestartOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  ProcessGrowRollRestartResult result;
+  LSR_EXPECTS(options.initial_replicas >= 3);  // joint quorums need majorities
+  LSR_EXPECTS(options.final_replicas >= options.initial_replicas);
+  LSR_EXPECTS(options.clients >= 1);
+
+  std::vector<std::string> keys;
+  for (int k = 0; k < options.keys; ++k)
+    keys.push_back("grow" + std::to_string(k));
+  const bench::Zipfian zipf(static_cast<std::uint64_t>(options.keys),
+                            options.zipf_theta);
+  std::vector<std::unique_ptr<KeyedHistory>> histories;
+
+  ProcessClusterOptions cluster_options;
+  cluster_options.node_binary = options.node_binary;
+  cluster_options.replicas = options.initial_replicas;
+  cluster_options.replica_slots = options.final_replicas;
+  // One extra slot beyond the workload clients for the catch-up sweeper.
+  cluster_options.client_slots = options.clients + 1;
+  cluster_options.system = "crdt";  // the only system that reconfigures
+  cluster_options.shards = options.shards;
+  // Failover + roll-restarts retry updates across replicas; only the
+  // lattice-replicated session table makes those retries dedupable.
+  cluster_options.replicate_sessions = true;
+  ProcessCluster processes(cluster_options);
+  std::string error;
+  if (!processes.start(&error)) {
+    result.explanation = error;
+    return result;
+  }
+  result.started = true;
+
+  // Continuous clients (max_ops = 0): the workload cannot finish before the
+  // faults land, so neither the grow nor the roll can turn vacuous. Ends by
+  // pausing and draining instead.
+  net::TcpCluster harness(processes.membership());
+  std::vector<NodeId> client_ids;
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    histories.push_back(std::make_unique<KeyedHistory>());
+    const NodeId id = processes.client_id(c);
+    client_ids.push_back(id);
+    const NodeId target = static_cast<NodeId>(c % options.initial_replicas);
+    harness.add_node(id, [&, c, target](net::Context& ctx) {
+      auto client = std::make_unique<KvRecordingClient>(
+          ctx, target, &keys, options.read_ratio, options.seed * 31 + c,
+          histories[c].get(), /*max_ops=*/0, &zipf);
+      // Unbounded retries (nothing may be abandoned) with rotation: a
+      // client whose target is being restarted moves to a live replica and
+      // its flagged retry is deduped there via the replicated sessions.
+      client->enable_retry(options.retry_timeout, options.failover_after,
+                           static_cast<NodeId>(options.initial_replicas));
+      // On every failover, rediscover the table — this is how a client
+      // started against 3 replicas learns the cluster grew to 5.
+      client->enable_members_refresh();
+      return client;
+    });
+  }
+  const auto t0 = Clock::now();
+  harness.start();
+
+  const auto deadline = t0 + std::chrono::milliseconds(options.deadline_ms);
+  const auto completed_sum = [&] {
+    std::uint64_t sum = 0;
+    for (const NodeId id : client_ids)
+      sum += harness.endpoint_as<KvRecordingClient>(id).completed();
+    return sum;
+  };
+  const auto finish = [&](const char* failure) {
+    if (failure != nullptr && result.explanation.empty())
+      result.explanation = failure;
+    result.completed_total = completed_sum();
+    for (const NodeId id : client_ids)
+      result.abandoned +=
+          harness.endpoint_as<KvRecordingClient>(id).abandoned();
+    result.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    harness.stop();
+    processes.stop_all();
+    KeyedHistory merged;
+    for (std::size_t c = 0; c < options.clients; ++c) {
+      harness.endpoint_as<KvRecordingClient>(client_ids[c]).flush_pending();
+      merged.merge_from(*histories[c]);
+    }
+    result.key_count = merged.key_count();
+    result.linearizable = true;
+    for (const auto& [key, history] : merged.histories()) {
+      const auto check = check_counter_linearizable(history);
+      if (!check.linearizable) {
+        result.linearizable = false;
+        if (result.explanation.empty() || failure == nullptr)
+          result.explanation = "key " + key + ": " + check.explanation;
+      }
+    }
+    return result;
+  };
+
+  // Warm up to steady state on the initial 3 nodes.
+  while (completed_sum() < options.warmup_ops) {
+    if (Clock::now() >= deadline)
+      return finish("warmup never reached steady state");
+    sleep_ns(2 * kMillisecond);
+  }
+  result.completed_at_grow = completed_sum();
+
+  // Grow online under live traffic: joint quorums, then a repair sweep
+  // through one of the ADDED nodes (pre-grow commits live only on old-set
+  // majorities, which need not intersect final-set read quorums; the
+  // repair's all-member write-back replicates every key across the joint
+  // target set, new nodes included), then finalize. No pause needed here:
+  // joint reads keep intersecting old-set commits throughout, and commits
+  // during the sweep already need a new-set majority.
+  const NodeId sweeper_id = processes.client_id(options.clients);
+  if (!processes.begin_grow(options.final_replicas, &error)) {
+    result.explanation = error;
+    return finish(nullptr);
+  }
+  if (!run_key_sweep(processes.membership(), sweeper_id,
+                     static_cast<NodeId>(options.initial_replicas), keys,
+                     deadline))
+    return finish("catch-up sweep through the added node never finished");
+  if (!processes.finish_grow(&error)) {
+    result.explanation = error;
+    return finish(nullptr);
+  }
+  result.grew = true;
+
+  // Roll-restart every node of the grown cluster, one at a time. The
+  // protocol keeps no logs, so each restart is total amnesia and each step
+  // is a maintenance barrier: pause the clients and drain their in-flight
+  // ops (every committed update now sits on an intact commit quorum),
+  // SIGTERM + respawn the victim, repair-sweep every key through the empty
+  // node (the all-member learn recaptures state the victim alone held with
+  // its quorum peers; the all-member write-back restores full replication),
+  // then resume. Without the barrier a read racing the repair window could
+  // assemble a quorum of the restarted node plus non-holders and miss a
+  // committed update — not a harness artifact but the real operational
+  // rule for amnesiac replicas, documented in README. Traffic flows
+  // between steps (roll_gap), so the workload spans the whole roll.
+  const auto set_all_paused = [&](bool paused) {
+    for (const NodeId id : client_ids)
+      harness.endpoint_as<KvRecordingClient>(id).set_paused(paused);
+  };
+  const auto all_idle = [&] {
+    for (const NodeId id : client_ids)
+      if (!harness.endpoint_as<KvRecordingClient>(id).idle()) return false;
+    return true;
+  };
+  const auto drain = [&] {
+    set_all_paused(true);
+    while (!all_idle()) {
+      if (Clock::now() >= deadline) return false;
+      sleep_ns(2 * kMillisecond);
+    }
+    return true;
+  };
+  for (std::size_t r = 0; r < options.final_replicas; ++r) {
+    if (Clock::now() >= deadline) return finish("deadline during the roll");
+    const NodeId node = static_cast<NodeId>(r);
+    if (!drain()) return finish("clients never drained before a roll step");
+    if (!processes.terminate_replica(node))
+      return finish("roll could not terminate a node");
+    if (!processes.restart_replica(node, &error)) {
+      result.explanation = "roll restart of node " + std::to_string(r) +
+                           ": " + error;
+      return finish(nullptr);
+    }
+    if (!run_key_sweep(processes.membership(), sweeper_id, node, keys,
+                       deadline))
+      return finish("catch-up sweep after a restart never finished");
+    set_all_paused(false);  // safe: drained to idle above
+    sleep_ns(options.roll_gap);
+  }
+  result.rolled = true;
+
+  // Progress proof: every client completes cooldown ops through the final
+  // configuration after the last restart.
+  std::vector<std::uint64_t> at_roll_end;
+  for (const NodeId id : client_ids)
+    at_roll_end.push_back(
+        harness.endpoint_as<KvRecordingClient>(id).completed());
+  const auto all_progressed = [&] {
+    for (std::size_t c = 0; c < client_ids.size(); ++c)
+      if (harness.endpoint_as<KvRecordingClient>(client_ids[c]).completed() <
+          at_roll_end[c] + options.cooldown_ops_per_client)
+        return false;
+    return true;
+  };
+  while (!all_progressed()) {
+    if (Clock::now() >= deadline)
+      return finish("a client made no progress after the roll");
+    sleep_ns(2 * kMillisecond);
+  }
+  result.progressed = true;
+
+  // Drain: stop submitting, let every in-flight op complete. A client that
+  // goes idle proves its last operation was answered — nothing was lost at
+  // any point, or the closed loop would still be retrying it.
+  if (!drain()) return finish("a client never drained to idle");
+  result.drained = true;
+  return finish(nullptr);
 }
 
 }  // namespace lsr::verify

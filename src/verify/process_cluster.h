@@ -28,8 +28,13 @@ struct ProcessClusterOptions {
   // build directory).
   std::string node_binary;
   std::size_t replicas = 3;
-  // Extra membership slots (ids replicas..replicas+client_slots-1) for
-  // endpoints the *caller* hosts — the workload clients.
+  // Total replica slots in the member table (ids 0..replica_slots-1): only
+  // ids 0..replicas-1 are spawned by start(), the rest are pre-allocated
+  // addresses a later reconfigure() grows into (the table uses dense ids,
+  // so growth slots must exist up front). 0 = replicas (no headroom).
+  std::size_t replica_slots = 0;
+  // Extra membership slots (above the replica slots) for endpoints the
+  // *caller* hosts — the workload clients.
   std::size_t client_slots = 0;
   std::string system = "crdt";  // crdt | paxos | raft
   std::uint32_t shards = 4;
@@ -37,9 +42,16 @@ struct ProcessClusterOptions {
   // served from quorum-granted local leases (see core/lease.h).
   bool read_leases = false;
   long lease_ttl_ms = 200;
+  // crdt only: spawn nodes with --replicate-sessions so a retried update is
+  // deduped on ANY replica — required before letting clients fail over or
+  // roll-restarting nodes under write traffic.
+  bool replicate_sessions = false;
   // How long start()/restart_replica wait for a spawned node's listener to
   // accept before giving up.
   TimeNs ready_timeout = 20 * kSecond;
+  // How long reconfigure() lets the joint-quorum phase settle before
+  // finalizing (must exceed lsr_node's 50 ms SIGHUP poll).
+  TimeNs reconfig_settle = 300 * kMillisecond;
 };
 
 class ProcessCluster {
@@ -64,12 +76,43 @@ class ProcessCluster {
   pid_t pid(NodeId replica) const;
   bool running(NodeId replica) const;
 
+  // Replica ids currently active (0..replicas-1); grows with reconfigure().
+  std::size_t replicas() const { return options_.replicas; }
+
   // SIGKILL — the process dies instantly, all state lost, peers see resets.
   bool kill_replica(NodeId replica);
+
+  // SIGTERM + bounded reap (SIGKILL any holdout) — the graceful half of a
+  // roll-restart; restart_replica() respawns on the same address.
+  bool terminate_replica(NodeId replica);
 
   // Respawns a killed replica on its original membership address and waits
   // for its listener.
   bool restart_replica(NodeId replica, std::string* error = nullptr);
+
+  // Online grow, phase 1 (joint quorums): rewrites the shared peers file
+  // with joint directives (replicas=new, prev-replicas=old), SIGHUPs every
+  // running node, spawns the added replicas and waits for their listeners.
+  // Running nodes serve throughout (crdt only — the log baselines reload
+  // their transport but not their replica set).
+  //
+  // Between begin_grow and finish_grow the caller MUST transfer pre-grow
+  // state onto the new set — otherwise a final-config read quorum can miss
+  // an old-config commit entirely (majorities of the grown set need not
+  // intersect majorities of the old one). Repair-reading every key (a
+  // ClientQuery with rsm::kQueryRepairFlag) does it: the proposer learns
+  // from every member of the joint set and writes the global LUB back to
+  // all of them before replying (see core::Proposer — QueryOp::repair).
+  bool begin_grow(std::size_t new_replicas, std::string* error = nullptr);
+
+  // Online grow, phase 2: drops prev-replicas from the peers file and
+  // SIGHUPs everything — quorums are majorities of the new set only.
+  bool finish_grow(std::string* error = nullptr);
+
+  // begin_grow + settle + finish_grow, for callers whose workload starts
+  // after the grow (no pre-grow state to transfer). Mid-workload grows
+  // must use the two-phase form with a catch-up sweep in between.
+  bool reconfigure(std::size_t new_replicas, std::string* error = nullptr);
 
   // True once the member's listener accepts a TCP connection.
   bool wait_listening(NodeId member, TimeNs timeout) const;
@@ -80,10 +123,13 @@ class ProcessCluster {
 
  private:
   bool spawn(NodeId replica, std::string* error);
+  bool write_peers_file(std::string* error);
 
   ProcessClusterOptions options_;
   net::Membership membership_;
-  std::vector<pid_t> pids_;  // per replica; -1 = not running
+  std::vector<pid_t> pids_;  // per replica slot; -1 = not running
+  std::string state_dir_;    // mkdtemp dir holding the shared peers file
+  std::string peers_path_;
   bool started_ = false;
 };
 
@@ -149,5 +195,64 @@ struct ProcessKillRestartResult {
 
 ProcessKillRestartResult run_process_kill_restart(
     const ProcessKillRestartOptions& options);
+
+// The reconfiguration acceptance scenario: a crdt cluster starts with
+// `initial_replicas` of `final_replicas` pre-allocated slots and serves a
+// continuous Zipfian workload from failover-enabled clients (sessions
+// replicated, member table refreshed on failover) while the harness (1)
+// grows it online to `final_replicas` via joint quorums — under live
+// traffic, with a repair sweep transferring pre-grow state before the
+// finalize — and (2) roll-restarts every node, one at a time, each step a
+// drain / restart / repair-sweep / resume maintenance barrier (the
+// protocol keeps no logs, so an amnesiac rejoin breaks quorum intersection
+// until a repair re-replicates what the victim held). The workload spans
+// the whole procedure; "zero client-visible errors" is proven structurally
+// — no abandoned ops (unbounded retries), every client makes post-roll
+// progress through the grown cluster, every in-flight op completes at
+// every barrier and at the end (drain to idle), and the merged per-key
+// history is linearizable.
+struct ProcessGrowRollRestartOptions {
+  std::string node_binary;  // empty: ProcessCluster's default resolution
+  std::size_t initial_replicas = 3;
+  std::size_t final_replicas = 5;
+  std::size_t clients = 4;
+  int keys = 24;
+  std::uint32_t shards = 4;
+  double zipf_theta = 0.99;
+  double read_ratio = 0.5;
+  std::uint64_t seed = 1;
+  // Steady-state ops completed across all clients before the grow begins.
+  std::uint64_t warmup_ops = 120;
+  // Per-client ops that must complete AFTER the last restart — progress
+  // proof through the final 5-node configuration.
+  std::uint64_t cooldown_ops_per_client = 25;
+  TimeNs retry_timeout = 25 * kMillisecond;
+  int failover_after = 2;  // consecutive timeouts before rotating
+  TimeNs roll_gap = 100 * kMillisecond;  // pause between roll steps
+  int deadline_ms = 120000;              // bound on every wait
+};
+
+struct ProcessGrowRollRestartResult {
+  bool started = false;       // the initial replicas came up
+  bool grew = false;          // reconfigure() to final_replicas succeeded
+  bool rolled = false;        // every node was restarted and listens again
+  bool progressed = false;    // every client completed cooldown ops post-roll
+  bool drained = false;       // every client went idle after pausing
+  bool linearizable = false;  // merged per-key history checked out
+  std::uint64_t abandoned = 0;  // must stay 0 (unbounded retries)
+  std::uint64_t completed_at_grow = 0;
+  std::uint64_t completed_total = 0;
+  std::size_t key_count = 0;
+  double wall_seconds = 0;
+  std::string explanation;
+
+  bool ok() const {
+    return started && grew && rolled && progressed && drained &&
+           linearizable && abandoned == 0;
+  }
+};
+
+ProcessGrowRollRestartResult run_process_grow_roll_restart(
+    const ProcessGrowRollRestartOptions& options);
 
 }  // namespace lsr::verify

@@ -136,6 +136,128 @@ TEST(MembershipTest, LoopbackFactoryMatchesParsedForm) {
   EXPECT_EQ(built, parsed);
 }
 
+TEST(MembershipTest, ReplicaDirectivesParseInBothForms) {
+  Membership m;
+  std::string error;
+  ASSERT_TRUE(Membership::parse_peers(
+      "0=127.0.0.1:7400,1=127.0.0.1:7401,2=127.0.0.1:7402,replicas=2", m,
+      &error))
+      << error;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.replicas(), 2u);
+  EXPECT_TRUE(m.has_replica_directive());
+  EXPECT_EQ(m.prev_replicas(), 0u);
+
+  ASSERT_TRUE(Membership::parse_file_text(
+      "# grow in flight\n"
+      "0=127.0.0.1:7400\n"
+      "1=127.0.0.1:7401\n"
+      "2=127.0.0.1:7402\n"
+      "replicas=3\n"
+      "prev-replicas=2\n",
+      m, &error))
+      << error;
+  EXPECT_EQ(m.replicas(), 3u);
+  EXPECT_EQ(m.prev_replicas(), 2u);
+}
+
+TEST(MembershipTest, ReplicasDefaultsToTableSizeWithoutDirective) {
+  Membership m;
+  ASSERT_TRUE(Membership::parse_peers("0=127.0.0.1:7400,1=127.0.0.1:7401", m));
+  EXPECT_FALSE(m.has_replica_directive());
+  EXPECT_EQ(m.replicas(), 2u);
+  EXPECT_EQ(m.prev_replicas(), 0u);
+}
+
+TEST(MembershipTest, RejectsMalformedDirectives) {
+  Membership m;
+  const char* bad[] = {
+      "0=127.0.0.1:7400,replicas=0",             // zero replicas
+      "0=127.0.0.1:7400,replicas=2",             // exceeds table size
+      "0=127.0.0.1:7400,replicas=x",             // non-numeric
+      "0=127.0.0.1:7400,replicas=",              // empty value
+      "0=127.0.0.1:7400,replicas=1,replicas=1",  // duplicate directive
+      "0=127.0.0.1:7400,prev-replicas=2",        // prev exceeds table size
+      "replicas=1",                              // directive with no entries
+  };
+  for (const char* spec : bad) {
+    std::string error;
+    EXPECT_FALSE(Membership::parse_peers(spec, m, &error))
+        << "accepted: " << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+TEST(MembershipTest, DirectivesRoundTripAndCompareEqual) {
+  Membership m;
+  std::string error;
+  ASSERT_TRUE(Membership::parse_peers(
+      "0=127.0.0.1:7400,1=127.0.0.1:7401,2=127.0.0.1:7402,"
+      "replicas=3,prev-replicas=2",
+      m, &error))
+      << error;
+
+  Membership from_peers;
+  ASSERT_TRUE(Membership::parse_peers(m.to_peers_string(), from_peers, &error))
+      << error;
+  EXPECT_EQ(from_peers, m);
+
+  Membership from_file;
+  ASSERT_TRUE(Membership::parse_file_text(m.to_file_text(), from_file, &error))
+      << error;
+  EXPECT_EQ(from_file, m);
+
+  // Same addresses, different directive: not the same membership.
+  Membership other;
+  ASSERT_TRUE(Membership::parse_peers(
+      "0=127.0.0.1:7400,1=127.0.0.1:7401,2=127.0.0.1:7402,replicas=3", other));
+  EXPECT_FALSE(other == m);
+}
+
+TEST(MembershipTest, DirectiveSettersEmitTheSameText) {
+  Membership m = Membership::loopback(5, 7400);
+  m.set_replicas(5);
+  m.set_prev_replicas(3);
+  Membership parsed;
+  std::string error;
+  ASSERT_TRUE(Membership::parse_file_text(m.to_file_text(), parsed, &error))
+      << error;
+  EXPECT_EQ(parsed, m);
+  EXPECT_EQ(parsed.replicas(), 5u);
+  EXPECT_EQ(parsed.prev_replicas(), 3u);
+
+  m.set_prev_replicas(0);  // reconfiguration finished
+  ASSERT_TRUE(Membership::parse_file_text(m.to_file_text(), parsed, &error));
+  EXPECT_EQ(parsed.prev_replicas(), 0u);
+}
+
+TEST(MembershipTest, DiffReportsAddedRemovedAndChanged) {
+  const Membership three = Membership::loopback(3, 7400);
+  const Membership five = Membership::loopback(5, 7400);
+
+  EXPECT_TRUE(diff_membership(three, three).empty());
+
+  const MembershipDiff grown = diff_membership(three, five);
+  EXPECT_EQ(grown.added, (std::vector<NodeId>{3, 4}));
+  EXPECT_TRUE(grown.removed.empty());
+  EXPECT_TRUE(grown.changed.empty());
+
+  const MembershipDiff shrunk = diff_membership(five, three);
+  EXPECT_TRUE(shrunk.added.empty());
+  EXPECT_EQ(shrunk.removed, (std::vector<NodeId>{3, 4}));
+  EXPECT_TRUE(shrunk.changed.empty());
+
+  Membership moved = Membership::loopback(3, 7400);
+  std::string error;
+  ASSERT_TRUE(Membership::parse_peers(
+      "0=127.0.0.1:7400,1=127.0.0.1:9999,2=127.0.0.1:7402", moved, &error))
+      << error;
+  const MembershipDiff rebound = diff_membership(three, moved);
+  EXPECT_TRUE(rebound.added.empty());
+  EXPECT_TRUE(rebound.removed.empty());
+  EXPECT_EQ(rebound.changed, (std::vector<NodeId>{1}));
+}
+
 // Envelope-fuzz style: mutations of a valid spec and raw random bytes must
 // either parse or fail with a diagnostic — never crash, never accept a
 // table that violates the density/address invariants.

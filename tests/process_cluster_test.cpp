@@ -102,6 +102,30 @@ TEST(ProcessCluster, KeyedPaxosServesAcrossProcesses) {
   EXPECT_TRUE(result.linearizable) << result.explanation;
 }
 
+TEST(ProcessCluster, GrowAndRollRestartMidWorkloadStaysLinearizable) {
+  // The reconfiguration acceptance scenario (ROADMAP item 2): 3 replicas
+  // (of 5 pre-allocated slots) serve a continuous Zipfian workload from
+  // failover-enabled clients with replicated sessions; the cluster grows
+  // online to 5 through joint quorums, then every node is roll-restarted
+  // one at a time. Zero client-visible errors: nothing abandoned, every
+  // client progresses through the grown cluster after the roll, every
+  // in-flight op drains to completion, and the merged per-key history is
+  // linearizable.
+  ProcessGrowRollRestartOptions options;
+  options.seed = 41;
+  const auto result = run_process_grow_roll_restart(options);
+  ASSERT_TRUE(result.started) << result.explanation;
+  EXPECT_TRUE(result.grew) << result.explanation;
+  EXPECT_TRUE(result.rolled) << result.explanation;
+  EXPECT_TRUE(result.progressed) << result.explanation;
+  EXPECT_TRUE(result.drained) << result.explanation;
+  EXPECT_EQ(result.abandoned, 0u);
+  EXPECT_TRUE(result.linearizable) << result.explanation;
+  EXPECT_TRUE(result.ok()) << result.explanation;
+  EXPECT_GT(result.completed_total, result.completed_at_grow);
+  EXPECT_GT(result.key_count, 1u);
+}
+
 TEST(ProcessCluster, KillReapsAndRestartRebinds) {
   // Lifecycle-level checks of the harness itself.
   ProcessClusterOptions options;

@@ -470,6 +470,126 @@ TEST(Tcp, PauseDropsTrafficAndRecoverReconnects) {
   EXPECT_GT(cluster.connect_count(a), connects_before);
 }
 
+// Reserves a free loopback port by binding an ephemeral listener and closing
+// it (the usual small TOCTOU window; fine for tests).
+std::uint16_t reserve_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+TEST(Tcp, ReloadUnderTrafficGrowsRemovesAndReAdds) {
+  // Online reconfiguration at the transport level: cluster `a` hosts nodes
+  // {0, 1}; a second process-local cluster `b` hosts node 2 of the grown
+  // table. While a pump thread keeps 0->1 traffic flowing, `a` reloads to
+  // the 3-member table (2 becomes dialable lazily), back down to 2 members
+  // (sends to the removed id stop), and up again (the retired link revives).
+  TcpCluster a;
+  const NodeId n0 = a.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  const NodeId n1 = a.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  a.start();
+
+  const Membership m2 = a.membership();
+  Membership m3 = m2;
+  m3.add(2, {"127.0.0.1", reserve_port()});
+  TcpCluster b(m3);
+  b.add_node(2, [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  b.start();
+
+  std::atomic<bool> stop_pump{false};
+  std::thread pump([&] {
+    while (!stop_pump.load()) {
+      a.endpoint_as<Echo>(n0).ctx_.send(n1, Bytes{0x00});
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // Grow: node 2 becomes reachable without any restart.
+  std::string error;
+  ASSERT_TRUE(a.reload_membership(m3, &error)) << error;
+  EXPECT_EQ(a.membership().size(), 3u);
+  a.endpoint_as<Echo>(n0).ctx_.send(2, Bytes{0x01});
+  EXPECT_TRUE(wait_for(
+      [&] { return b.endpoint_as<Echo>(2).received.load() >= 1; }));
+  // ...and node 2 can answer (the echo travels 2 -> 0).
+  EXPECT_TRUE(wait_for(
+      [&] { return a.endpoint_as<Echo>(n0).received.load() >= 1; }));
+
+  // Shrink: sends to the removed id are dropped at the source.
+  ASSERT_TRUE(a.reload_membership(m2, &error)) << error;
+  EXPECT_EQ(a.membership().size(), 2u);
+  const int received_before = b.endpoint_as<Echo>(2).received.load();
+  for (int i = 0; i < 5; ++i) {
+    a.endpoint_as<Echo>(n0).ctx_.send(2, Bytes{0x00});
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(b.endpoint_as<Echo>(2).received.load(), received_before);
+
+  // Re-add: the retired link revives and traffic flows again.
+  ASSERT_TRUE(a.reload_membership(m3, &error)) << error;
+  EXPECT_TRUE(wait_for([&] {
+    a.endpoint_as<Echo>(n0).ctx_.send(2, Bytes{0x00});
+    return b.endpoint_as<Echo>(2).received.load() > received_before;
+  }));
+
+  stop_pump.store(true);
+  pump.join();
+  // The 0->1 pump ran through all three reloads without loss of liveness.
+  EXPECT_GT(a.endpoint_as<Echo>(n1).received.load(), 10);
+  b.stop();
+  a.stop();
+}
+
+TEST(Tcp, ReloadRejectsBadTablesAndKeepsTheLiveOne) {
+  TcpCluster cluster;
+  const NodeId n0 = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  const NodeId n1 = cluster.add_node(
+      [](Context& ctx) { return std::make_unique<Echo>(ctx); });
+  cluster.start();
+  const Membership live = cluster.membership();
+
+  std::string error;
+  // Empty table.
+  EXPECT_FALSE(cluster.reload_membership(Membership{}, &error));
+  EXPECT_FALSE(error.empty());
+  // A hosted id vanished (the table shrank past a local listener).
+  Membership one;
+  one.add(0, live.address(0));
+  error.clear();
+  EXPECT_FALSE(cluster.reload_membership(one, &error));
+  EXPECT_NE(error.find("missing"), std::string::npos) << error;
+  // A hosted id changed address (a live listener cannot rebind).
+  Membership moved;
+  moved.add(0, live.address(0));
+  moved.add(1, {"127.0.0.1", static_cast<std::uint16_t>(
+                                 live.address(1).port == 65535
+                                     ? 1
+                                     : live.address(1).port + 1)});
+  error.clear();
+  EXPECT_FALSE(cluster.reload_membership(moved, &error));
+  EXPECT_NE(error.find("rebind"), std::string::npos) << error;
+
+  // Every rejection left the live table untouched and traffic flowing.
+  EXPECT_EQ(cluster.membership(), live);
+  cluster.endpoint_as<Echo>(n0).ctx_.send(n1, Bytes{0x00});
+  EXPECT_TRUE(wait_for(
+      [&] { return cluster.endpoint_as<Echo>(n1).received.load() >= 1; }));
+  cluster.stop();
+}
+
 TEST(Tcp, RunsTheFullProtocol) {
   // End-to-end: the same Replica<GCounter> the simulator and InprocCluster
   // run, now over real sockets.
